@@ -1,0 +1,44 @@
+"""Ablation/throughput: discrete-event engine and log-parsing hot paths.
+
+These are the substrate costs every scenario pays; regressions here make
+the large-system scenarios (S1/S2 at 5600-6400 nodes) impractical.
+"""
+
+from repro.logs.parsing import LineParser
+from repro.logs.record import LogSource
+from repro.simul.engine import SimulationEngine
+
+
+def _run_engine(n_events: int) -> int:
+    eng = SimulationEngine()
+    count = 0
+
+    def tick(e):
+        nonlocal count
+        count += 1
+        if count < n_events:
+            e.schedule(e.now + 1.0, tick)
+
+    # 64 interleaved self-rescheduling processes exercise heap churn
+    for i in range(64):
+        eng.schedule(float(i), tick)
+    eng.run()
+    return count
+
+
+def test_engine_throughput(benchmark):
+    processed = benchmark(_run_engine, 20_000)
+    assert processed >= 20_000
+
+
+def test_parse_throughput(benchmark, store_s3):
+    path = store_s3.path_for(LogSource.CONSOLE)
+    lines = path.read_text().splitlines()[:5_000]
+    clock = store_s3.manifest().clock()
+
+    def parse_all():
+        parser = LineParser(clock)
+        return sum(1 for line in lines if parser.parse(line) is not None)
+
+    parsed = benchmark(parse_all)
+    assert parsed == len(lines)

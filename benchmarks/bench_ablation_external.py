@@ -1,0 +1,38 @@
+"""Ablation: external correlation on/off (the paper's central design choice).
+
+Without the external stream, lead times collapse to the internal-only
+baseline and the false-positive filter loses its discriminator -- the
+exact deltas Fig. 13 and Fig. 14 quantify.  This bench measures both
+detector variants on the same logs and asserts the ordering.
+"""
+
+from repro.core.external import ExternalIndex
+from repro.core.falsepos import compare_fpr
+from repro.core.leadtime import compute_lead_times, summarize_lead_times
+
+
+def _with_and_without_external(diag):
+    with_ext = summarize_lead_times(
+        compute_lead_times(diag.failures, diag.internal, diag.index)
+    )
+    empty = ExternalIndex.build([])
+    without_ext = summarize_lead_times(
+        compute_lead_times(diag.failures, diag.internal, empty)
+    )
+    return with_ext, without_ext
+
+
+def test_ablation_leadtime_external(benchmark, diag_s3):
+    with_ext, without_ext = benchmark(_with_and_without_external, diag_s3)
+    # removing the external stream removes every enhancement
+    assert without_ext.enhanceable == 0
+    assert with_ext.enhanceable > 0
+    # the internal baseline is identical either way
+    assert abs(with_ext.mean_internal_lead - without_ext.mean_internal_lead) < 1e-6
+
+
+def test_ablation_fpr_external(benchmark, diag_s4):
+    cmp = benchmark(
+        compare_fpr, diag_s4.internal, diag_s4.failures, diag_s4.index
+    )
+    assert cmp.correlated_fpr < cmp.internal_fpr

@@ -1,0 +1,34 @@
+"""Ablation: how many leading stack frames the classifier inspects.
+
+The paper reads only the *preliminary* call trace.  Depth 1 misses
+profiles whose signature module sits second or third; very deep
+inspection risks matching generic library frames.  The bench sweeps the
+depth over the S2 failure population.
+"""
+
+from repro.core.stacktrace import failure_breakdown
+from repro.faults.model import FailureCategory
+
+DEPTHS = (1, 2, 3, 5, 8)
+
+
+def _sweep(diag):
+    out = {}
+    for depth in DEPTHS:
+        breakdown = failure_breakdown(
+            diag.failures, diag.node_traces, trace_depth=depth
+        )
+        out[depth] = breakdown
+    return out
+
+
+def test_ablation_trace_depth(benchmark, diag_s2):
+    by_depth = benchmark(_sweep, diag_s2)
+    # the headline ordering (APP-EXIT dominates) is depth-invariant
+    for depth, breakdown in by_depth.items():
+        top = max(breakdown, key=breakdown.get)
+        assert top is FailureCategory.APP_EXIT, f"depth={depth}"
+    # FS attribution is already stable at the paper's shallow depth
+    fs3 = by_depth[3].get(FailureCategory.FSBUG, 0.0)
+    fs8 = by_depth[8].get(FailureCategory.FSBUG, 0.0)
+    assert abs(fs3 - fs8) < 0.10

@@ -1,0 +1,8 @@
+"""Bench: Fig. 3 -- inter-node failure time CDFs and MTBF (S1, W1/W7)."""
+
+from repro.experiments.figures import fig3_internode_times
+
+
+def test_fig3_internode_times(benchmark, diag_s1):
+    result = benchmark(fig3_internode_times, diag_s1)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Fig. 4 -- daily dominant-cause fraction over 30 days."""
+
+from repro.experiments.figures import fig4_dominant_cause
+
+
+def test_fig4_dominant_cause(benchmark, diag_s2):
+    result = benchmark(fig4_dominant_cause, diag_s2)
+    assert result.shape_ok, result.render()

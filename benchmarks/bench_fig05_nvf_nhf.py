@@ -1,0 +1,8 @@
+"""Bench: Fig. 5 -- NVF/NHF failure correspondence per month."""
+
+from repro.experiments.figures import fig5_nvf_nhf
+
+
+def test_fig5_nvf_nhf(benchmark, diag_s3):
+    result = benchmark(fig5_nvf_nhf, diag_s3)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Fig. 6 -- weekly NHF outcome breakdown."""
+
+from repro.experiments.figures import fig6_nhf_breakdown
+
+
+def test_fig6_nhf_breakdown(benchmark, diag_s3):
+    result = benchmark(fig6_nhf_breakdown, diag_s3)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Fig. 7 -- failures on faulty blades / in faulty cabinets."""
+
+from repro.experiments.figures import fig7_blade_cabinet
+
+
+def test_fig7_blade_cabinet(benchmark, diag_s3):
+    result = benchmark(fig7_blade_cabinet, diag_s3)
+    assert result.shape_ok, result.render()

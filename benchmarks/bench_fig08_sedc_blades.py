@@ -1,0 +1,8 @@
+"""Bench: Fig. 8 -- weekly SEDC warning blade census (S1)."""
+
+from repro.experiments.figures import fig8_sedc_blades
+
+
+def test_fig8_sedc_blades(benchmark, diag_s1):
+    result = benchmark(fig8_sedc_blades, diag_s1)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Fig. 9 -- per-blade hourly warning frequency (S2 flood day)."""
+
+from repro.experiments.figures import fig9_warning_freq
+
+
+def test_fig9_warning_freq(benchmark, diag_s2):
+    result = benchmark(fig9_warning_freq, diag_s2)
+    assert result.shape_ok, result.render()

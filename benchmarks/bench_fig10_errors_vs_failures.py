@@ -1,0 +1,8 @@
+"""Bench: Fig. 10 -- erroneous-node vs failed-node populations."""
+
+from repro.experiments.figures import fig10_errors_vs_failures
+
+
+def test_fig10_errors_vs_failures(benchmark, diag_s3):
+    result = benchmark(fig10_errors_vs_failures, diag_s3)
+    assert result.shape_ok, result.render()

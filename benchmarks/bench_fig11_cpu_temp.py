@@ -1,0 +1,8 @@
+"""Bench: Fig. 11 -- mean CPU temperature across 16 blades."""
+
+from repro.experiments.figures import fig11_cpu_temp
+
+
+def test_fig11_cpu_temp(benchmark, diag_fig11):
+    result = benchmark(fig11_cpu_temp, diag_fig11)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Fig. 12 -- job exit-code census over three days."""
+
+from repro.experiments.figures import fig12_job_exits
+
+
+def test_fig12_job_exits(benchmark, diag_fig12):
+    result = benchmark(fig12_job_exits, diag_fig12)
+    assert result.shape_ok, result.render()

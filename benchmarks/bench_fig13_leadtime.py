@@ -1,0 +1,8 @@
+"""Bench: Fig. 13 -- lead-time enhancement via external precursors."""
+
+from repro.experiments.figures import fig13_leadtime
+
+
+def test_fig13_leadtime(benchmark, diag_s3):
+    result = benchmark(fig13_leadtime, diag_s3)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Fig. 14 -- FPR with vs without external correlation."""
+
+from repro.experiments.figures import fig14_false_positives
+
+
+def test_fig14_false_positives(benchmark, diag_s4):
+    result = benchmark(fig14_false_positives, diag_s4)
+    assert result.shape_ok, result.render()

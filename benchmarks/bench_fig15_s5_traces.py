@@ -1,0 +1,8 @@
+"""Bench: Fig. 15 -- S5 per-node anomaly mix (hung tasks dominate)."""
+
+from repro.experiments.figures import fig15_s5_traces
+
+
+def test_fig15_s5_traces(benchmark, diag_s5):
+    result = benchmark(fig15_s5_traces, diag_s5)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Fig. 16 -- S2 failure-category breakdown."""
+
+from repro.experiments.figures import fig16_s2_breakdown
+
+
+def test_fig16_s2_breakdown(benchmark, diag_s2):
+    result = benchmark(fig16_s2_breakdown, diag_s2)
+    assert result.shape_ok, result.render()

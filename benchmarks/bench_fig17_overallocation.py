@@ -1,0 +1,8 @@
+"""Bench: Fig. 17 -- memory-overallocation failures over 16 jobs."""
+
+from repro.experiments.figures import fig17_overallocation
+
+
+def test_fig17_overallocation(benchmark, diag_fig17):
+    result = benchmark(fig17_overallocation, diag_fig17)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Fig. 18 -- blade failure-reason sharing per week."""
+
+from repro.experiments.figures import fig18_blade_sharing
+
+
+def test_fig18_blade_sharing(benchmark, diag_s1):
+    result = benchmark(fig18_blade_sharing, diag_s1)
+    assert result.shape_ok, result.render()

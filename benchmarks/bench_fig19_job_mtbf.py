@@ -1,0 +1,8 @@
+"""Bench: Fig. 19 -- job-triggered failure MTBFs (S3)."""
+
+from repro.experiments.figures import fig19_job_mtbf
+
+
+def test_fig19_job_mtbf(benchmark, diag_s3):
+    result = benchmark(fig19_job_mtbf, diag_s3)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,22 @@
+"""Bench: the full holistic diagnosis over the richest scenario (S3).
+
+This is the end-to-end cost an operator pays per log window: every
+analysis of every figure, on an 8-week, 2100-node log set.
+"""
+
+from repro.core.pipeline import HolisticDiagnosis
+
+
+def test_full_pipeline_run(benchmark, diag_s3):
+    report = benchmark(diag_s3.run)
+    assert report.failure_count > 100
+    assert report.lead_times.enhanceable > 0
+    assert report.false_positives.improved
+
+
+def test_pipeline_construction(benchmark, store_s3):
+    def build():
+        return HolisticDiagnosis.from_store(store_s3)
+
+    diag = benchmark(build)
+    assert len(diag.failures) > 100

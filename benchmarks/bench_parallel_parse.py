@@ -1,0 +1,22 @@
+"""Bench: serial vs multiprocessing log parsing (measure, don't assume).
+
+The guides' rule -- no optimisation without measuring -- applied to the
+parallel parsing path: both variants run on the same S3 store so the
+report shows whether the pool pays for itself at this store size.
+"""
+
+from repro.logs.parallel import diagnosis_inputs
+
+
+def test_parse_serial(benchmark, store_s3):
+    internal, external, sched = benchmark(
+        diagnosis_inputs, store_s3, 1, False
+    )
+    assert internal and external and sched
+
+
+def test_parse_parallel(benchmark, store_s3):
+    internal, external, sched = benchmark(
+        diagnosis_inputs, store_s3, 4, True
+    )
+    assert internal and external and sched

@@ -1,0 +1,8 @@
+"""Bench: Sec. III-F -- S3 hardware/software/application family split."""
+
+from repro.experiments.tables import s3_family_split
+
+
+def test_s3_family_split(benchmark, diag_s3):
+    result = benchmark(s3_family_split, diag_s3)
+    assert result.shape_ok, result.render()

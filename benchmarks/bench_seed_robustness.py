@@ -1,0 +1,27 @@
+"""Seed robustness: conclusions must not hinge on one RNG seed.
+
+Re-runs the cheap scenarios' experiments under a different seed and
+asserts the shapes still hold.  (The big scenarios are covered at seed 7
+by the per-figure benches; rebuilding them per-seed would dominate bench
+time for little extra signal.)
+"""
+
+from repro.experiments import figures as F
+from repro.experiments import tables as T
+
+ALT_SEED = 11
+
+
+def _cheap_experiments():
+    return [
+        F.fig11_cpu_temp(F.load("fig11", ALT_SEED)),
+        F.fig17_overallocation(F.load("fig17", ALT_SEED)),
+        F.fig12_job_exits(F.load("fig12", ALT_SEED)),
+        T.table5_case_studies(F.load("cases", ALT_SEED)),
+    ]
+
+
+def test_seed_robustness(benchmark):
+    results = benchmark(_cheap_experiments)
+    for result in results:
+        assert result.shape_ok, result.render()

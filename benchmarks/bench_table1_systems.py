@@ -1,0 +1,8 @@
+"""Bench: Table I -- the five-system catalog."""
+
+from repro.experiments.tables import table1_systems
+
+
+def test_table1_systems(benchmark):
+    result = benchmark(table1_systems)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Table II -- log sources provided by a written store."""
+
+from repro.experiments.tables import table2_logsources
+
+
+def test_table2_logsources(benchmark, store_s3):
+    result = benchmark(table2_logsources, store_s3)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Table III -- health-fault and SEDC-warning vocabulary census."""
+
+from repro.experiments.tables import table3_fault_breakdown
+
+
+def test_table3_fault_breakdown(benchmark, diag_s3):
+    result = benchmark(table3_fault_breakdown, diag_s3)
+    assert result.shape_ok, result.render()

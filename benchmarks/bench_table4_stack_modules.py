@@ -1,0 +1,8 @@
+"""Bench: Table IV -- failure causes vs leading stack modules."""
+
+from repro.experiments.tables import table4_stack_modules
+
+
+def test_table4_stack_modules(benchmark, diag_s2):
+    result = benchmark(table4_stack_modules, diag_s2)
+    assert result.shape_ok, result.render()

@@ -1,0 +1,8 @@
+"""Bench: Table V -- root-cause inference over the five case studies."""
+
+from repro.experiments.tables import table5_case_studies
+
+
+def test_table5_case_studies(benchmark, diag_cases):
+    result = benchmark(table5_case_studies, diag_cases)
+    assert result.shape_ok, result.render()

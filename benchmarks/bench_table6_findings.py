@@ -1,0 +1,8 @@
+"""Bench: Table VI -- findings and recommendations synthesis."""
+
+from repro.experiments.tables import table6_findings
+
+
+def test_table6_findings(benchmark, diag_s3):
+    result = benchmark(table6_findings, diag_s3)
+    assert result.shape_ok, result.render()

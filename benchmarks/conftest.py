@@ -1,0 +1,73 @@
+"""Benchmark fixtures: materialised scenarios shared across bench files.
+
+Scenario generation happens once (cached on disk under
+``REPRO_CACHE_DIR`` / ``.scenario-cache``), so the benchmarks measure the
+*analysis* cost of each experiment, not simulation.  Every bench asserts
+its experiment's shape_ok flag, so ``pytest benchmarks/ --benchmark-only``
+doubles as the paper-reproduction gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import HolisticDiagnosis
+from repro.experiments import figures as F
+from repro.experiments.scenarios import materialize
+from repro.logs.store import LogStore
+
+SEED = 7
+
+
+def _diag(name: str) -> HolisticDiagnosis:
+    return F.diagnosis(materialize(name, seed=SEED))
+
+
+@pytest.fixture(scope="session")
+def diag_s1() -> HolisticDiagnosis:
+    return _diag("s1")
+
+
+@pytest.fixture(scope="session")
+def diag_s2() -> HolisticDiagnosis:
+    return _diag("s2")
+
+
+@pytest.fixture(scope="session")
+def diag_s3() -> HolisticDiagnosis:
+    return _diag("s3")
+
+
+@pytest.fixture(scope="session")
+def diag_s4() -> HolisticDiagnosis:
+    return _diag("s4")
+
+
+@pytest.fixture(scope="session")
+def diag_s5() -> HolisticDiagnosis:
+    return _diag("s5")
+
+
+@pytest.fixture(scope="session")
+def diag_fig11() -> HolisticDiagnosis:
+    return _diag("fig11")
+
+
+@pytest.fixture(scope="session")
+def diag_fig12() -> HolisticDiagnosis:
+    return _diag("fig12")
+
+
+@pytest.fixture(scope="session")
+def diag_fig17() -> HolisticDiagnosis:
+    return _diag("fig17")
+
+
+@pytest.fixture(scope="session")
+def diag_cases() -> HolisticDiagnosis:
+    return _diag("cases")
+
+
+@pytest.fixture(scope="session")
+def store_s3() -> LogStore:
+    return materialize("s3", seed=SEED)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Lead-time enhancement study across four Cray-like systems (Fig. 13/14).
+
+For each of S1..S4 (scaled-down node counts so the example runs in
+seconds) the script injects a mix of fail-slow hardware chains (which
+plant ``ec_hw_error`` precursors in the ERD stream minutes before any
+internal symptom) and application-triggered chains (which have no
+external precursors at all), then measures per-system:
+
+* the fraction of failures whose lead time external correlation extends,
+* the mean enhancement factor,
+* the false-positive-rate delta of requiring external correlation.
+
+The paper's claims to check against: enhancement is possible for
+10-28 % of failures, gains are ~5x, application-triggered failures gain
+nothing, and the correlated detector's FPR is lower.
+
+Run:  python examples/lead_time_study.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+from repro import Campaign, HolisticDiagnosis, LogStore, Platform, get_system
+from repro.core.falsepos import compare_fpr
+from repro.core.leadtime import compute_lead_times, summarize_lead_times
+
+DAYS = 14
+
+
+def build_system(key: str, seed: int) -> HolisticDiagnosis:
+    """Simulate one system's fail-slow campaign and return its pipeline."""
+    # scale node counts down ~10x; the statistics only need enough blades
+    spec = get_system(key)
+    spec = dataclasses.replace(spec, nodes=max(192, spec.nodes // 10))
+    plat = Platform.build(spec, seed=seed)
+    camp = Campaign(plat)
+    camp.poisson("mce_failstop", per_day=1.2, duration_days=DAYS,
+                 params={"precursor": True})
+    camp.poisson("mce_failstop", per_day=0.8, duration_days=DAYS)
+    camp.poisson("app_exit_chain", per_day=2.0, duration_days=DAYS)
+    camp.poisson("oom_chain", per_day=1.0, duration_days=DAYS,
+                 params={"fail_prob": 1.0})
+    camp.poisson("nvf_chain", per_day=0.4, duration_days=DAYS)
+    camp.poisson("mce_benign", per_day=1.5, duration_days=DAYS)
+    camp.poisson("failslow_recovery", per_day=0.5, duration_days=DAYS)
+    camp.daily_noise(DAYS, sedc_blades_per_day=6, noisy_cabinets_per_day=2)
+    plat.run(days=DAYS + 1)
+    root = Path(tempfile.mkdtemp(prefix=f"repro-leadtime-{key}-"))
+    plat.write_logs(root)
+    return HolisticDiagnosis.from_store(LogStore(root))
+
+
+def main() -> None:
+    print(f"{'sys':>4} {'fails':>6} {'enhanceable':>12} {'gain':>6} "
+          f"{'int lead':>9} {'ext lead':>9} {'FPR int':>8} {'FPR corr':>9}")
+    for i, key in enumerate(("S1", "S2", "S3", "S4")):
+        diag = build_system(key, seed=100 + i)
+        records = compute_lead_times(diag.failures, diag.internal, diag.index)
+        summary = summarize_lead_times(records)
+        fpr = compare_fpr(diag.internal, diag.failures, diag.index)
+        app = [r for r in records
+               if r.symptom in ("app_exit", "oom", "mem_exhaustion")]
+        app_enhanced = sum(r.enhanceable for r in app)
+        print(f"{key:>4} {summary.failures:>6} "
+              f"{summary.enhanceable_fraction:>11.1%} "
+              f"{summary.mean_enhancement_factor:>5.1f}x "
+              f"{summary.mean_internal_lead:>8.0f}s "
+              f"{summary.mean_external_lead:>8.0f}s "
+              f"{fpr.internal_fpr:>7.1%} {fpr.correlated_fpr:>8.1%}")
+        # Obs. 5: application-triggered failures essentially never gain
+        # lead time.  On a dense, scaled-down system a handful can pick
+        # up a blade-mate's genuine precursor by coincidence; anything
+        # beyond a few percent would falsify the observation.
+        assert app and app_enhanced <= max(1, len(app) // 20), (
+            f"{app_enhanced}/{len(app)} application-triggered failures "
+            "gained lead time -- Obs. 5 violated"
+        )
+    print("\napplication-triggered failures gained (essentially) no lead "
+          "time on any system, matching Obs. 5.")
+
+
+if __name__ == "__main__":
+    main()

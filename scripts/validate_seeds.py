@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Cross-seed validation: do the reproduced shapes survive reseeding?
+
+Runs the full experiment registry under several seeds and reports, per
+experiment, how many seeds' shapes held plus the spread of each headline
+quantity.  A reproduction whose conclusions flip with the seed would be
+tuning, not science -- this script is the check.
+
+    python scripts/validate_seeds.py [--seeds 7 11 23]
+
+Expect a few minutes per extra seed (each materialises all scenarios).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import defaultdict
+
+import numpy as np
+
+from repro.experiments.registry import run_all
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[7, 11])
+    args = parser.parse_args()
+
+    held: dict[str, list[bool]] = defaultdict(list)
+    values: dict[tuple[str, str], list[float]] = defaultdict(list)
+    for seed in args.seeds:
+        print(f"--- seed {seed} ---")
+        for exp_id, _scenario, result in run_all(seed):
+            held[exp_id].append(result.shape_ok)
+            print(("ok  " if result.shape_ok else "FAIL"), exp_id)
+            for key, value in result.measured.items():
+                if isinstance(value, (int, float)):
+                    values[(exp_id, key)].append(float(value))
+
+    print("\n=== shape stability ===")
+    unstable = 0
+    for exp_id, outcomes in sorted(held.items()):
+        ok = sum(outcomes)
+        flag = "ok  " if ok == len(outcomes) else "FLAKY"
+        unstable += ok != len(outcomes)
+        print(f"{flag} {exp_id:<9} {ok}/{len(outcomes)} seeds")
+
+    print("\n=== quantity spread (coefficient of variation) ===")
+    for (exp_id, key), series in sorted(values.items()):
+        arr = np.asarray(series)
+        if arr.size < 2 or arr.mean() == 0:
+            continue
+        cv = float(arr.std() / abs(arr.mean()))
+        if cv > 0.25:
+            print(f"  {exp_id}/{key}: cv={cv:.2f} values={list(arr.round(3))}")
+    print("\n(unlisted quantities vary by < 25 % across seeds)")
+    return 1 if unstable else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""repro: systemic assessment of node failures in HPC production platforms.
+
+A reproduction of Das, Mueller and Rountree's IPDPS 2021 measurement
+study.  The package has two halves:
+
+* a **platform simulator** (:mod:`repro.platform`, :mod:`repro.cluster`,
+  :mod:`repro.faults`, :mod:`repro.scheduler`, :mod:`repro.simul`) that
+  stands in for the proprietary production systems, emitting the same
+  families of text logs (:mod:`repro.logs`);
+* the **holistic diagnosis pipeline** (:mod:`repro.core`) -- the paper's
+  contribution -- which consumes only those text logs.
+
+Quickstart::
+
+    from repro import Platform, Campaign, HolisticDiagnosis, LogStore
+
+    plat = Platform.build("S1", seed=7)
+    camp = Campaign(plat)
+    camp.burst("mce_failstop", day=0, count=8, params={"precursor": True})
+    plat.run(days=1)
+    plat.write_logs("logs/s1")
+
+    diag = HolisticDiagnosis.from_store(LogStore("logs/s1"))
+    report = diag.run()
+    print(report.lead_times.mean_enhancement_factor)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.cluster import Machine, SystemSpec, get_system
+from repro.core import (
+    DetectedFailure,
+    DiagnosisReport,
+    FailureDetector,
+    HolisticDiagnosis,
+)
+from repro.faults import Campaign, CampaignSpec, ChainRate, Injection, InjectionLedger
+from repro.logs import LogStore
+from repro.platform import Platform
+from repro.scheduler import (
+    JobBug,
+    JobSpec,
+    WorkloadConfig,
+    WorkloadGenerator,
+    WorkloadScheduler,
+)
+from repro.simul import RngStream, SimClock, SimulationEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign",
+    "CampaignSpec",
+    "ChainRate",
+    "DetectedFailure",
+    "DiagnosisReport",
+    "FailureDetector",
+    "HolisticDiagnosis",
+    "Injection",
+    "InjectionLedger",
+    "JobBug",
+    "JobSpec",
+    "LogStore",
+    "Machine",
+    "Platform",
+    "RngStream",
+    "SimClock",
+    "SimulationEngine",
+    "SystemSpec",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WorkloadScheduler",
+    "get_system",
+    "__version__",
+]

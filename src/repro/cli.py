@@ -1,0 +1,242 @@
+"""Command-line interface: simulate, diagnose, predict, advise.
+
+Usage (installed as a module runner)::
+
+    python -m repro simulate s3 --out logs/s3 --seed 7
+    python -m repro diagnose logs/s3 --findings --cases
+    python -m repro predict logs/s3 --require-external
+    python -m repro checkpoint logs/s3 --cost 360
+    python -m repro experiments
+
+The CLI is a thin layer: each subcommand maps onto one public API call,
+so everything it prints is reproducible from a notebook with the same
+few lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.checkpointing import CheckpointAdvisor
+from repro.core.health import MitigationAdvisor
+from repro.core.pipeline import HolisticDiagnosis
+from repro.core.prediction import OnlinePredictor, PredictorConfig, evaluate
+from repro.core.report import generate_findings, render_findings
+from repro.core.rootcause import RootCauseEngine
+from repro.experiments.render import bar_chart
+from repro.experiments.scenarios import SCENARIOS, materialize
+from repro.logs.store import LogStore
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Systemic assessment of node failures: simulate HPC "
+                    "platform logs and diagnose them holistically.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="materialise a scenario's logs")
+    p_sim.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument("--out", type=Path, default=None,
+                       help="directory root (default: scenario cache)")
+
+    p_diag = sub.add_parser("diagnose", help="run the pipeline over a log dir")
+    p_diag.add_argument("logdir", type=Path)
+    p_diag.add_argument("--findings", action="store_true",
+                        help="print Table VI style findings")
+    p_diag.add_argument("--cases", action="store_true",
+                        help="print per-failure case narratives")
+
+    p_pred = sub.add_parser("predict", help="online failure prediction")
+    p_pred.add_argument("logdir", type=Path)
+    p_pred.add_argument("--require-external", action="store_true")
+    p_pred.add_argument("--min-events", type=int, default=3)
+    p_pred.add_argument("--horizon", type=float, default=7200.0,
+                        help="true-alarm horizon in seconds")
+
+    p_ckpt = sub.add_parser("checkpoint", help="checkpoint interval advice")
+    p_ckpt.add_argument("logdir", type=Path)
+    p_ckpt.add_argument("--cost", type=float, default=360.0,
+                        help="checkpoint cost in seconds")
+
+    p_tl = sub.add_parser("timeline", help="forensic timeline for one node")
+    p_tl.add_argument("logdir", type=Path)
+    p_tl.add_argument("node", help="node cname, e.g. c0-0c1s4n2")
+    p_tl.add_argument("--at", type=float, default=None,
+                      help="anchor sim-time (default: the node's first "
+                           "detected failure)")
+    p_tl.add_argument("--before", type=float, default=7200.0)
+    p_tl.add_argument("--after", type=float, default=600.0)
+
+    p_exp = sub.add_parser("experiments", help="run all paper reproductions")
+    p_exp.add_argument("--seed", type=int, default=7)
+    p_exp.add_argument("--draw", action="store_true",
+                       help="render each figure's ASCII shape")
+    return parser
+
+
+def _load(logdir: Path) -> HolisticDiagnosis:
+    store = LogStore(logdir)
+    if not store.exists():
+        raise SystemExit(f"error: {logdir} is not a log store "
+                         "(no manifest.json)")
+    return HolisticDiagnosis.from_store(store)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    store = materialize(args.scenario, seed=args.seed, root=args.out)
+    counts = store.line_counts()
+    print(f"scenario {args.scenario!r} (seed {args.seed}) at {store.root}")
+    print(bar_chart({k: float(v) for k, v in counts.items()},
+                    fmt="{:.0f}", title="log lines per source"))
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    diag = _load(args.logdir)
+    report = diag.run()
+    print(f"failures detected: {report.failure_count}")
+    lt = report.lead_times
+    print(f"lead times: {lt.enhanceable_fraction:.0%} enhanceable, "
+          f"mean gain {lt.mean_enhancement_factor:.1f}x")
+    fp = report.false_positives
+    print(f"false positives: {fp.internal_fpr:.1%} internal-only vs "
+          f"{fp.correlated_fpr:.1%} correlated")
+    print(bar_chart(
+        {c.value: f for c, f in report.category_breakdown.items()},
+        fmt="{:.1%}", title="failure categories",
+    ))
+    if report.swos:
+        print(f"system-wide outages: {len(report.swos)} "
+              f"({sum(s.nodes for s in report.swos)} nodes, accounted "
+              "separately)")
+    if report.intended_shutdowns:
+        print(f"intended shutdowns excluded: {len(report.intended_shutdowns)}")
+    if diag.index.failovers:
+        from repro.core.external import failover_census
+        census = failover_census(diag.index, diag.failures)
+        print(f"interconnect failovers: {census['succeeded']}/"
+              f"{census['attempts']} succeeded; "
+              f"{census['failed_followed_by_failure']} failed ones were "
+              "followed by a failure")
+    if diag.jobs:
+        from repro.core.jobs import lost_core_hours
+        lost = lost_core_hours(diag.jobs, diag.failures)
+        print(f"core-hours lost to node failures: "
+              f"{lost['node_failure_core_hours']:.0f} "
+              f"({lost['node_failure_fraction']:.1%} of accounted time)")
+    if args.cases:
+        engine = RootCauseEngine(diag.index, diag.node_traces, diag.jobs)
+        inferences = engine.infer_all(diag.failures)
+        advisor = MitigationAdvisor()
+        for inf, mit in zip(inferences, advisor.advise(inferences)):
+            print(f"\n{inf.failure.node} [{inf.family.value}/{inf.cause}] "
+                  f"-> {mit.action.value}")
+            print(f"  internal: {inf.internal_indicators}")
+            print(f"  external: {inf.external_indicators}")
+            print(f"  inference: {inf.inference}")
+    if args.findings:
+        print()
+        print(render_findings(generate_findings(report)))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    diag = _load(args.logdir)
+    config = PredictorConfig(
+        require_external=args.require_external,
+        min_events=args.min_events,
+    )
+    predictor = OnlinePredictor(config)
+    stream = sorted(diag.internal + diag.external, key=lambda r: r.time)
+    alarms = predictor.observe_all(stream)
+    score = evaluate(alarms, diag.failures, horizon=args.horizon)
+    print(f"alarms: {score.alarms}  precision: {score.precision:.1%}  "
+          f"recall: {score.recall:.1%}  "
+          f"mean lead: {score.mean_lead_time:.0f}s")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    diag = _load(args.logdir)
+    advisor = CheckpointAdvisor(diag.failures)
+    predictor = OnlinePredictor()
+    stream = sorted(diag.internal + diag.external, key=lambda r: r.time)
+    alarms = predictor.observe_all(stream)
+    plan = advisor.plan(checkpoint_cost=args.cost, alarms=alarms)
+    print(f"system MTBF: {plan.mtbf / 60:.1f} min")
+    print(f"Young/Daly interval at C={plan.checkpoint_cost:.0f}s: "
+          f"{plan.interval / 60:.1f} min")
+    print(f"expected waste: {plan.blind_waste_fraction:.1%} blind, "
+          f"{plan.predicted_waste_fraction:.1%} with prediction-triggered "
+          f"checkpoints (recall {plan.prediction_recall:.0%}, "
+          f"saving {plan.waste_reduction:.0%})")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core.timeline import node_timeline, render_timeline
+
+    diag = _load(args.logdir)
+    anchor = args.at
+    failure = None
+    if anchor is None:
+        node_failures = [f for f in diag.failures if f.node == args.node]
+        if not node_failures:
+            raise SystemExit(
+                f"error: no detected failure for {args.node}; pass --at")
+        failure = node_failures[0]
+        anchor = failure.time
+    entries = node_timeline(
+        args.node, anchor, diag.internal, diag.external, diag.jobs,
+        before=args.before, after=args.after,
+    )
+    print(render_timeline(entries, failure))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    # import lazily: this materialises every scenario on first run
+    from repro.experiments.registry import run_all
+
+    from repro.experiments.draw import draw
+
+    failures = 0
+    total = 0
+    for exp_id, scenario, result in run_all(args.seed):
+        flag = "ok  " if result.shape_ok else "FAIL"
+        tag = f" ({scenario})" if scenario else ""
+        print(f"{flag} {exp_id:<9} {result.title}{tag}")
+        if args.draw:
+            print(draw(result))
+            print()
+        failures += not result.shape_ok
+        total += 1
+    print(f"\n{total - failures}/{total} experiment shapes hold")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "diagnose": _cmd_diagnose,
+        "predict": _cmd_predict,
+        "checkpoint": _cmd_checkpoint,
+        "timeline": _cmd_timeline,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module runner below
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""HPC platform model: topology, components and their health machinery.
+
+The cluster subpackage models the physical machine the paper's logs came
+from, at the granularity the analysis needs:
+
+* :mod:`repro.cluster.topology` -- Cray-style component naming
+  (``c0-0c1s4n2``) and the cabinet / chassis / blade / node hierarchy.
+* :mod:`repro.cluster.systems` -- the five-system catalog of Table I
+  (S1..S5) with geometry, interconnect, scheduler and file-system choices.
+* :mod:`repro.cluster.node` -- per-node state machine
+  (up / suspect / admindown / down / off) with a transition ledger.
+* :mod:`repro.cluster.machine` -- the assembled machine: all nodes, blade
+  and cabinet indexes, and ground-truth failure ledger.
+* :mod:`repro.cluster.sensors` -- SEDC sensor models (temperature, voltage,
+  fan speed, air velocity) with threshold-violation warnings.
+* :mod:`repro.cluster.controllers` -- blade- and cabinet-controller
+  firmware emitting health faults (NHF, NVF, BCHF, ECB, ...).
+* :mod:`repro.cluster.interconnect` -- Aries dragonfly / Gemini torus /
+  InfiniBand link models producing link-error events.
+* :mod:`repro.cluster.power` -- power subsystem (voltage rails, ECBs).
+* :mod:`repro.cluster.hss` -- SMW / HSS event router (ERD) aggregating
+  controller events into the external log stream.
+"""
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node, NodeState
+from repro.cluster.systems import SYSTEMS, SystemSpec, get_system
+from repro.cluster.topology import (
+    BladeName,
+    CabinetName,
+    ChassisName,
+    Geometry,
+    NodeName,
+    parse_component,
+)
+
+__all__ = [
+    "BladeName",
+    "CabinetName",
+    "ChassisName",
+    "Geometry",
+    "Machine",
+    "Node",
+    "NodeName",
+    "NodeState",
+    "SYSTEMS",
+    "SystemSpec",
+    "get_system",
+    "parse_component",
+]

@@ -1,0 +1,229 @@
+"""Blade-controller (BC) and cabinet-controller (CC) firmware models.
+
+Each blade carries a blade controller and each cabinet a cabinet
+controller; the Hardware Supervisory System reads their health through
+the event router.  The paper mines their logs for the health-fault
+vocabulary of Table III: node heartbeat faults (NHF), node voltage faults
+(NVF), BC heartbeat faults (BCHF), ``ec_l0_failed``, failed sensor reads,
+module-health and RPM faults, communication faults.
+
+The controllers here are *record factories with a little state*: they
+format the controller-log records correctly (component = blade or cabinet
+cname, never the node), track which nodes they believe are alive, and
+forward everything to the ERD through :class:`repro.cluster.hss.EventRouter`
+when one is attached.  Fault chains decide *when* these fire.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.topology import BladeName, CabinetName, NodeName
+from repro.logs.record import LogBus, LogRecord, LogSource, Severity
+from repro.simul.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.hss import EventRouter
+
+__all__ = ["BladeController", "CabinetController"]
+
+
+class BladeController:
+    """Firmware of one blade: node heartbeats and blade-local health."""
+
+    def __init__(
+        self,
+        blade: BladeName,
+        bus: LogBus,
+        rng: RngStream,
+        router: Optional["EventRouter"] = None,
+    ) -> None:
+        self.blade = blade
+        self.bus = bus
+        self.rng = rng
+        self.router = router
+        #: nodes the controller currently believes are heartbeating
+        self.alive: set[NodeName] = set()
+
+    # ------------------------------------------------------------------
+    def _emit(self, record: LogRecord) -> LogRecord:
+        self.bus.emit(record)
+        return record
+
+    def node_heartbeat_fault(
+        self, time: float, node: NodeName, beats_missed: int = 3
+    ) -> LogRecord:
+        """Report an NHF for a node on this blade (may be benign)."""
+        if node.blade != self.blade:
+            raise ValueError(f"{node.cname} is not on blade {self.blade.cname}")
+        self.alive.discard(node)
+        rec = self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.blade.cname,
+                event="nhf",
+                attrs={"node": node.cname, "beats": beats_missed},
+                severity=Severity.ERROR,
+            )
+        )
+        if self.router is not None:
+            self.router.heartbeat_stop(time + 1e-3, node.cname)
+        return rec
+
+    def node_voltage_fault(self, time: float, record: LogRecord) -> LogRecord:
+        """Emit an NVF record prepared by the power model."""
+        if record.event != "nvf":
+            raise ValueError(f"expected an nvf record, got {record.event!r}")
+        return self._emit(record)
+
+    def bc_heartbeat_fault(self, time: float) -> LogRecord:
+        """The blade controller itself missed its HSS heartbeat (BCHF)."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.blade.cname,
+                event="bchf",
+                attrs={},
+                severity=Severity.ERROR,
+            )
+        )
+
+    def l0_failed(self, time: float) -> LogRecord:
+        """``ec_l0_failed``: the whole blade controller is unresponsive."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.blade.cname,
+                event="ec_l0_failed",
+                attrs={},
+                severity=Severity.CRITICAL,
+            )
+        )
+
+    def sensor_read_failure(self, time: float, sensor: str) -> LogRecord:
+        """A sensor read failed (benign unless paired with node faults)."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.blade.cname,
+                event="sensor_read_fail",
+                attrs={"sensor": sensor},
+                severity=Severity.WARNING,
+            )
+        )
+
+    def module_health_fault(self, time: float, detail: str) -> LogRecord:
+        """Module health fault (Table III vocabulary)."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.blade.cname,
+                event="module_health_fault",
+                attrs={"detail": detail},
+                severity=Severity.ERROR,
+            )
+        )
+
+    def node_powered_off(self, time: float, node: NodeName) -> LogRecord:
+        """State-change notification for an intentional power-off."""
+        self.alive.discard(node)
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.blade.cname,
+                event="ec_node_info_off",
+                attrs={"node": node.cname},
+                severity=Severity.NOTICE,
+            )
+        )
+
+
+class CabinetController:
+    """Firmware of one cabinet: power, fans, micro-controller health."""
+
+    def __init__(
+        self,
+        cabinet: CabinetName,
+        bus: LogBus,
+        rng: RngStream,
+        router: Optional["EventRouter"] = None,
+    ) -> None:
+        self.cabinet = cabinet
+        self.bus = bus
+        self.rng = rng
+        self.router = router
+
+    def _emit(self, record: LogRecord) -> LogRecord:
+        self.bus.emit(record)
+        return record
+
+    def power_fault(self, time: float, detail: str) -> LogRecord:
+        """Cabinet power fault."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.cabinet.cname,
+                event="cab_power_fault",
+                attrs={"detail": detail},
+                severity=Severity.CRITICAL,
+            )
+        )
+
+    def micro_controller_fault(self, time: float, code: int = 17) -> LogRecord:
+        """Cabinet micro-controller fault."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.cabinet.cname,
+                event="micro_ctl_fault",
+                attrs={"code": code},
+                severity=Severity.ERROR,
+            )
+        )
+
+    def communication_fault(self, time: float, which: str) -> LogRecord:
+        """Timeout talking to a blade controller or peer."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.cabinet.cname,
+                event="comm_fault",
+                attrs={"which": which},
+                severity=Severity.ERROR,
+            )
+        )
+
+    def fan_rpm_fault(self, time: float, fan: int, rpm: int, expected: int = 2400) -> LogRecord:
+        """A fan dropped below its expected RPM."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.cabinet.cname,
+                event="rpm_fault",
+                attrs={"fan": fan, "rpm": rpm, "expected": expected},
+                severity=Severity.WARNING,
+            )
+        )
+
+    def sensor_check_anomaly(self, time: float, sensor: str) -> LogRecord:
+        """Cabinet sensor check flagged a sensor as anomalous."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONTROLLER,
+                component=self.cabinet.cname,
+                event="cab_sensor_check",
+                attrs={"sensor": sensor},
+                severity=Severity.WARNING,
+            )
+        )

@@ -1,0 +1,118 @@
+"""SMW / HSS event router (ERD) model.
+
+The Hardware Supervisory System on the SMW aggregates controller events
+into the event-router stream the paper calls the "event logs" -- the
+source of ``ec_sedc_warning``, ``ec_hw_error``, ``ec_heartbeat_stop``,
+``ec_environment`` and link events.  :class:`EventRouter` is the single
+choke point through which external indicators reach the ERD log, which is
+what makes the lead-time experiments honest: fail-slow chains call
+:meth:`hw_error` *minutes before* the internal symptoms appear, and the
+pipeline has to find that precedence in the text logs.
+"""
+
+from __future__ import annotations
+
+from repro.logs.record import LogBus, LogRecord, LogSource, Severity
+
+__all__ = ["EventRouter"]
+
+
+class EventRouter:
+    """The ERD: formats and emits external event records."""
+
+    def __init__(self, bus: LogBus) -> None:
+        self.bus = bus
+
+    def _emit(
+        self, time: float, event: str, attrs: dict, severity: Severity
+    ) -> LogRecord:
+        return self.bus.emit(
+            LogRecord(
+                time=time,
+                source=LogSource.ERD,
+                component="erd",
+                event=event,
+                attrs=attrs,
+                severity=severity,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def sedc_warning(
+        self,
+        time: float,
+        src: str,
+        sensor: str,
+        value: float,
+        warn_min: float,
+        warn_max: float,
+    ) -> LogRecord:
+        """A sensor reading outside its allowed window."""
+        return self._emit(
+            time,
+            "ec_sedc_warning",
+            {
+                "src": src,
+                "sensor": sensor,
+                "value": f"{value:.1f}",
+                "min": f"{warn_min:.1f}",
+                "max": f"{warn_max:.1f}",
+            },
+            Severity.WARNING,
+        )
+
+    def sedc_data(self, time: float, src: str, sensor: str, value: float) -> LogRecord:
+        """Routine telemetry sample."""
+        return self._emit(
+            time,
+            "ec_sedc_data",
+            {"src": src, "sensor": sensor, "value": f"{value:.1f}"},
+            Severity.DEBUG,
+        )
+
+    def hw_error(self, time: float, src: str, detail: str) -> LogRecord:
+        """``ec_hw_error``: the early external indicator of Fig. 13."""
+        return self._emit(
+            time, "ec_hw_error", {"src": src, "detail": detail}, Severity.ERROR
+        )
+
+    def heartbeat_stop(self, time: float, src: str) -> LogRecord:
+        """``ec_heartbeat_stop`` for a node or blade controller."""
+        return self._emit(time, "ec_heartbeat_stop", {"src": src}, Severity.CRITICAL)
+
+    def environment(self, time: float, src: str, kind: str, value: float) -> LogRecord:
+        """``ec_environment`` (fan speed, air flow, ...)."""
+        return self._emit(
+            time,
+            "ec_environment",
+            {"src": src, "kind": kind, "value": f"{value:.1f}"},
+            Severity.WARNING,
+        )
+
+    def link_error(
+        self, time: float, fabric: str, src: str, link: str, detail: str
+    ) -> LogRecord:
+        """Interconnect link error observed near a component."""
+        return self._emit(
+            time,
+            "link_error",
+            {"fabric": fabric, "src": src, "link": link, "detail": detail},
+            Severity.ERROR,
+        )
+
+    def link_failover(
+        self, time: float, fabric: str, src: str, link: str, ok: bool
+    ) -> LogRecord:
+        """Result of a link failover attempt (Obs. background: failed
+        failovers delay recovery)."""
+        return self._emit(
+            time,
+            "link_failover",
+            {
+                "fabric": fabric,
+                "src": src,
+                "link": link,
+                "status": "ok" if ok else "failed",
+            },
+            Severity.WARNING,
+        )

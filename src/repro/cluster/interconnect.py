@@ -1,0 +1,181 @@
+"""Interconnect fabric models: Aries dragonfly, Gemini torus, InfiniBand.
+
+The paper's systems use three fabrics (Table I).  The diagnosis pipeline
+only ever sees *link error events near a component*, so the fabric model's
+job is to (a) build a plausible topology graph, (b) map a node to the
+links that would log errors when its neighbourhood degrades, and (c) name
+links the way each fabric's logs do.
+
+Topologies are built with :mod:`networkx`:
+
+* **Aries dragonfly** -- routers per blade; intra-group all-to-all over
+  chassis (the Cray "group" is a cabinet pair), plus global links between
+  groups.
+* **Gemini torus** -- a 3-D torus over blade positions.
+* **InfiniBand** -- a two-level fat tree (leaf switch per rack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.cluster.machine import Machine
+from repro.cluster.systems import Interconnect
+from repro.cluster.topology import BladeName, NodeName
+from repro.simul.rng import RngStream
+
+__all__ = ["Link", "Fabric", "build_fabric"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """One bidirectional fabric link between two router endpoints."""
+
+    a: str
+    b: str
+    kind: str  # "intra", "global", "host", "leaf", "spine"
+
+    @property
+    def name(self) -> str:
+        return f"{self.a}:{self.b}"
+
+
+class Fabric:
+    """A built interconnect: graph + node-to-router mapping."""
+
+    def __init__(self, kind: Interconnect, graph: nx.Graph, router_of: dict[NodeName, str]):
+        self.kind = kind
+        self.graph = graph
+        self.router_of = router_of
+
+    @property
+    def fabric_tag(self) -> str:
+        """Short tag used in the ``fabric=`` field of link-error lines."""
+        return {
+            Interconnect.ARIES_DRAGONFLY: "aries",
+            Interconnect.GEMINI_TORUS: "gemini",
+            Interconnect.INFINIBAND: "ib",
+        }[self.kind]
+
+    def links_near(self, node: NodeName, limit: int = 4) -> list[Link]:
+        """Links incident to the router serving ``node`` (error candidates)."""
+        router = self.router_of.get(node)
+        if router is None:
+            raise KeyError(f"node {node.cname} is not attached to the fabric")
+        links = [
+            Link(router, peer, self.graph.edges[router, peer].get("kind", "intra"))
+            for peer in self.graph.neighbors(router)
+        ]
+        links.sort(key=lambda l: (l.kind, l.b))
+        return links[:limit]
+
+    def pick_link(self, node: NodeName, rng: RngStream) -> Link:
+        """Choose one plausible error link near a node."""
+        links = self.links_near(node, limit=8)
+        if not links:
+            raise RuntimeError(f"router of {node.cname} has no links")
+        return rng.choice(links)
+
+    def error_detail(self, rng: RngStream) -> str:
+        """A fabric-appropriate error description."""
+        vocab = {
+            "aries": ("lane degrade", "send CRC error", "routing table corruption",
+                      "PTL translation fault"),
+            "gemini": ("lane failure", "ORB RAM scrubbed error", "netlink timeout",
+                       "rx descriptor error"),
+            "ib": ("symbol error threshold", "link downed counter", "port receive errors",
+                   "local link integrity"),
+        }[self.fabric_tag]
+        return rng.choice(vocab)
+
+
+def _dragonfly(machine: Machine) -> tuple[nx.Graph, dict[NodeName, str]]:
+    graph = nx.Graph()
+    router_of: dict[NodeName, str] = {}
+    # one Aries router per blade; group = cabinet pair (column-major index)
+    cabinets = machine.cabinets
+    group_of_cabinet = {cab: i // 2 for i, cab in enumerate(cabinets)}
+    routers_in_group: dict[int, list[str]] = {}
+    for blade in machine.blades:
+        router = f"r-{blade.cname}"
+        graph.add_node(router)
+        group = group_of_cabinet[blade.cabinet]
+        routers_in_group.setdefault(group, []).append(router)
+        for name in machine.nodes_in_blade(blade):
+            router_of[name] = router
+    # intra-group all-to-all (sparsified to ring + chords to bound edges)
+    for group, routers in routers_in_group.items():
+        n = len(routers)
+        for i in range(n):
+            graph.add_edge(routers[i], routers[(i + 1) % n], kind="intra")
+            graph.add_edge(routers[i], routers[(i + 7) % n], kind="intra")
+    # global links between neighbouring groups
+    groups = sorted(routers_in_group)
+    for gi in range(len(groups)):
+        for gj in range(gi + 1, len(groups)):
+            src = routers_in_group[groups[gi]][gj % len(routers_in_group[groups[gi]])]
+            dst = routers_in_group[groups[gj]][gi % len(routers_in_group[groups[gj]])]
+            graph.add_edge(src, dst, kind="global")
+    return graph, router_of
+
+
+def _torus(machine: Machine) -> tuple[nx.Graph, dict[NodeName, str]]:
+    graph = nx.Graph()
+    router_of: dict[NodeName, str] = {}
+    blades = machine.blades
+    # arrange blades on a 3-D grid as close to cubic as possible
+    n = len(blades)
+    dim = max(1, round(n ** (1 / 3)))
+    dims = (dim, dim, -(-n // (dim * dim)))  # ceil for the last axis
+    coord_of: dict[BladeName, tuple[int, int, int]] = {}
+    for i, blade in enumerate(blades):
+        x = i % dims[0]
+        y = (i // dims[0]) % dims[1]
+        z = i // (dims[0] * dims[1])
+        coord_of[blade] = (x, y, z)
+        router = f"g-{x}-{y}-{z}"
+        graph.add_node(router)
+        for name in machine.nodes_in_blade(blade):
+            router_of[name] = router
+    for blade, (x, y, z) in coord_of.items():
+        for dx, dy, dz in ((1, 0, 0), (0, 1, 0), (0, 0, 1)):
+            nxt = ((x + dx) % dims[0], (y + dy) % dims[1], (z + dz) % dims[2])
+            peer = f"g-{nxt[0]}-{nxt[1]}-{nxt[2]}"
+            if peer in graph:
+                graph.add_edge(f"g-{x}-{y}-{z}", peer, kind="intra")
+    return graph, router_of
+
+
+def _fat_tree(machine: Machine) -> tuple[nx.Graph, dict[NodeName, str]]:
+    graph = nx.Graph()
+    router_of: dict[NodeName, str] = {}
+    spines = [f"spine-{i}" for i in range(4)]
+    graph.add_nodes_from(spines)
+    for cab in machine.cabinets:
+        leaf = f"leaf-{cab.cname}"
+        graph.add_node(leaf)
+        for spine in spines:
+            graph.add_edge(leaf, spine, kind="spine")
+        for blade in machine.blades_in_cabinet(cab):
+            for name in machine.nodes_in_blade(blade):
+                host = f"hca-{name.cname}"
+                graph.add_node(host)
+                graph.add_edge(host, leaf, kind="host")
+                router_of[name] = host
+    return graph, router_of
+
+
+def build_fabric(machine: Machine) -> Fabric:
+    """Build the fabric matching the machine's system spec."""
+    kind = machine.spec.interconnect
+    if kind is Interconnect.ARIES_DRAGONFLY:
+        graph, router_of = _dragonfly(machine)
+    elif kind is Interconnect.GEMINI_TORUS:
+        graph, router_of = _torus(machine)
+    elif kind is Interconnect.INFINIBAND:
+        graph, router_of = _fat_tree(machine)
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown interconnect {kind!r}")
+    return Fabric(kind, graph, router_of)

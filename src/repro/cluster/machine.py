@@ -1,0 +1,186 @@
+"""The assembled machine: nodes, blade/cabinet indexes, ground truth.
+
+:class:`Machine` instantiates every node of a :class:`~repro.cluster.systems.SystemSpec`
+and maintains the lookup structures the simulator and the validation layer
+need:
+
+* node / blade / cabinet indexes with O(1) lookup by cname,
+* blade -> nodes and cabinet -> blades projections (the paper's spatial
+  correlation moves node -> blade -> cabinet),
+* a **ground-truth ledger** of anomalous failures, written by fault chains
+  and *never exposed to the diagnosis pipeline* -- the pipeline must
+  recover failures from the text logs.  The ledger is used only to score
+  the pipeline (false-positive analysis of Fig. 14) and to validate tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.cluster.node import Node, NodeState, Transition
+from repro.cluster.systems import SystemSpec
+from repro.cluster.topology import BladeName, CabinetName, NodeName
+
+__all__ = ["GroundTruthFailure", "Machine"]
+
+
+@dataclass(frozen=True)
+class GroundTruthFailure:
+    """One anomalous node failure as the simulator knows it happened."""
+
+    time: float
+    node: NodeName
+    cause: str
+    root: str
+    job_id: Optional[int] = None
+
+    @property
+    def blade(self) -> BladeName:
+        return self.node.blade
+
+    @property
+    def cabinet(self) -> CabinetName:
+        return self.node.cabinet
+
+
+class Machine:
+    """All nodes of one system plus spatial indexes and ground truth."""
+
+    def __init__(self, spec: SystemSpec) -> None:
+        self.spec = spec
+        self.nodes: dict[NodeName, Node] = {}
+        self._by_cname: dict[str, Node] = {}
+        self._blade_nodes: dict[BladeName, list[NodeName]] = defaultdict(list)
+        self._cabinet_blades: dict[CabinetName, list[BladeName]] = defaultdict(list)
+        for name in spec.geometry.iter_nodes(spec.nodes):
+            node = Node(name)
+            self.nodes[name] = node
+            self._by_cname[name.cname] = node
+            self._blade_nodes[name.blade].append(name)
+        for blade in self._blade_nodes:
+            self._cabinet_blades[blade.cabinet].append(blade)
+        self.ground_truth: list[GroundTruthFailure] = []
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def node(self, name: NodeName | str) -> Node:
+        """Node object by typed name or cname string."""
+        if isinstance(name, str):
+            try:
+                return self._by_cname[name]
+            except KeyError:
+                raise KeyError(f"no such node: {name!r}") from None
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"no such node: {name.cname!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, str):
+            return name in self._by_cname
+        if isinstance(name, NodeName):
+            return name in self.nodes
+        return False
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes.values())
+
+    @property
+    def blades(self) -> list[BladeName]:
+        """All blades, in cname order."""
+        return sorted(self._blade_nodes)
+
+    @property
+    def cabinets(self) -> list[CabinetName]:
+        """All cabinets, in cname order."""
+        return sorted(self._cabinet_blades)
+
+    def nodes_in_blade(self, blade: BladeName) -> list[NodeName]:
+        """Node names hosted by a blade."""
+        names = self._blade_nodes.get(blade)
+        if names is None:
+            raise KeyError(f"no such blade: {blade.cname!r}")
+        return list(names)
+
+    def blades_in_cabinet(self, cabinet: CabinetName) -> list[BladeName]:
+        """Blades inside a cabinet."""
+        blades = self._cabinet_blades.get(cabinet)
+        if blades is None:
+            raise KeyError(f"no such cabinet: {cabinet.cname!r}")
+        return list(blades)
+
+    def blade_peers(self, name: NodeName) -> list[NodeName]:
+        """The other nodes on the same blade."""
+        return [n for n in self.nodes_in_blade(name.blade) if n != name]
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    def up_nodes(self) -> list[NodeName]:
+        """Names of nodes currently in service."""
+        return [n.name for n in self.nodes.values() if n.state is NodeState.UP]
+
+    def idle_up_nodes(self) -> list[NodeName]:
+        """In-service nodes with no running job (allocatable)."""
+        return [
+            n.name
+            for n in self.nodes.values()
+            if n.state is NodeState.UP and n.job_id is None
+        ]
+
+    def failed_nodes(self) -> list[NodeName]:
+        """Nodes currently in a failed state."""
+        return [n.name for n in self.nodes.values() if n.state.is_failed]
+
+    # ------------------------------------------------------------------
+    # ground truth
+    # ------------------------------------------------------------------
+    def record_failure(
+        self,
+        time: float,
+        name: NodeName,
+        cause: str,
+        root: str,
+        job_id: Optional[int] = None,
+        admindown: bool = False,
+    ) -> Transition:
+        """Fail a node and record it in the ground-truth ledger.
+
+        ``cause`` is the proximate symptom (what the logs will show),
+        ``root`` the true root-cause label the pipeline should infer.
+        """
+        node = self.node(name)
+        tr = node.fail(time, cause, admindown=admindown)
+        self.ground_truth.append(
+            GroundTruthFailure(time=time, node=name, cause=cause, root=root, job_id=job_id)
+        )
+        return tr
+
+    def failures_between(self, t0: float, t1: float) -> list[GroundTruthFailure]:
+        """Ground-truth failures with ``t0 <= time < t1``."""
+        if t1 < t0:
+            raise ValueError(f"t1={t1} < t0={t0}")
+        return [f for f in self.ground_truth if t0 <= f.time < t1]
+
+    def failures_of_nodes(
+        self, names: Iterable[NodeName]
+    ) -> list[GroundTruthFailure]:
+        """Ground-truth failures restricted to the given nodes."""
+        wanted = set(names)
+        return [f for f in self.ground_truth if f.node in wanted]
+
+    def reboot_failed(self, time: float) -> int:
+        """Return every failed node to service; returns how many."""
+        count = 0
+        for node in self.nodes.values():
+            if node.state.is_failed:
+                node.reboot(time)
+                node.job_id = None
+                count += 1
+        return count

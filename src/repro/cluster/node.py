@@ -1,0 +1,160 @@
+"""Per-node state machine.
+
+Nodes move between five states.  The transitions mirror how a Cray node
+actually leaves service, which the diagnosis pipeline must reconstruct from
+logs alone:
+
+* ``UP`` -> ``SUSPECT``: the Node Health Checker (NHC) places a node in
+  suspect mode after an anomaly (e.g. abnormal application exit).
+* ``SUSPECT`` -> ``ADMINDOWN``: NHC tests fail; the node is withdrawn from
+  scheduling.  This *is* a node failure in the paper's accounting when the
+  withdrawal is anomalous.
+* ``UP``/``SUSPECT`` -> ``DOWN``: crash (kernel panic, hardware fatal).
+* ``UP`` -> ``OFF``: intentional power-off (not a failure; the paper
+  excludes intended shutdowns).
+* any -> ``UP``: reboot / warm swap returning the node to service.
+
+Each transition is recorded with its simulation time and a free-form
+reason so the machine can serve as the *ground-truth ledger* against which
+the pipeline's inferences are validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.cluster.topology import NodeName
+
+__all__ = ["NodeState", "Transition", "Node"]
+
+
+class NodeState(str, Enum):
+    """Service state of a compute node."""
+
+    UP = "up"
+    SUSPECT = "suspect"
+    ADMINDOWN = "admindown"
+    DOWN = "down"
+    OFF = "off"
+
+    @property
+    def in_service(self) -> bool:
+        return self is NodeState.UP
+
+    @property
+    def is_failed(self) -> bool:
+        """States the paper counts as potential failures (needs intent check)."""
+        return self in (NodeState.DOWN, NodeState.ADMINDOWN)
+
+
+# Allowed state transitions: from -> set of reachable states.
+_ALLOWED: dict[NodeState, frozenset[NodeState]] = {
+    NodeState.UP: frozenset(
+        {NodeState.SUSPECT, NodeState.ADMINDOWN, NodeState.DOWN, NodeState.OFF}
+    ),
+    NodeState.SUSPECT: frozenset(
+        {NodeState.UP, NodeState.ADMINDOWN, NodeState.DOWN, NodeState.OFF}
+    ),
+    NodeState.ADMINDOWN: frozenset({NodeState.UP, NodeState.DOWN, NodeState.OFF}),
+    NodeState.DOWN: frozenset({NodeState.UP, NodeState.OFF}),
+    NodeState.OFF: frozenset({NodeState.UP}),
+}
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One recorded state transition of a node."""
+
+    time: float
+    old: NodeState
+    new: NodeState
+    reason: str
+    intended: bool = False
+
+    @property
+    def is_failure(self) -> bool:
+        """An anomalous (non-intended) move into a failed state."""
+        return self.new.is_failed and not self.intended
+
+
+class Node:
+    """A compute node with state, transition history and running job.
+
+    The node intentionally knows nothing about *why* it fails; fault
+    chains in :mod:`repro.faults` drive transitions through
+    :meth:`transition` and record their own causes.
+    """
+
+    __slots__ = ("name", "state", "history", "job_id", "powered_on_at")
+
+    def __init__(self, name: NodeName) -> None:
+        self.name = name
+        self.state = NodeState.UP
+        self.history: list[Transition] = []
+        self.job_id: Optional[int] = None
+        self.powered_on_at: float = 0.0
+
+    # ------------------------------------------------------------------
+    def transition(
+        self,
+        time: float,
+        new: NodeState,
+        reason: str,
+        intended: bool = False,
+    ) -> Transition:
+        """Move to ``new`` at ``time``; returns the recorded transition.
+
+        Raises :class:`ValueError` for a transition the hardware cannot
+        make (e.g. OFF -> DOWN).
+        """
+        if new not in _ALLOWED[self.state]:
+            raise ValueError(
+                f"{self.name}: illegal transition {self.state.value} -> {new.value}"
+            )
+        tr = Transition(time=time, old=self.state, new=new, reason=reason, intended=intended)
+        self.history.append(tr)
+        self.state = new
+        if new is NodeState.UP:
+            self.powered_on_at = time
+        return tr
+
+    def fail(self, time: float, reason: str, admindown: bool = False) -> Transition:
+        """Anomalously take the node out of service (a *failure*)."""
+        target = NodeState.ADMINDOWN if admindown else NodeState.DOWN
+        return self.transition(time, target, reason, intended=False)
+
+    def shutdown(self, time: float, reason: str = "scheduled maintenance") -> Transition:
+        """Intended power-off; excluded from failure accounting."""
+        return self.transition(time, NodeState.OFF, reason, intended=True)
+
+    def suspect(self, time: float, reason: str) -> Transition:
+        """NHC places the node in suspect mode."""
+        return self.transition(time, NodeState.SUSPECT, reason, intended=False)
+
+    def reboot(self, time: float, reason: str = "reboot") -> Transition:
+        """Return the node to service."""
+        return self.transition(time, NodeState.UP, reason, intended=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def failures(self) -> list[Transition]:
+        """All anomalous out-of-service transitions so far."""
+        return [t for t in self.history if t.is_failure]
+
+    def state_at(self, time: float) -> NodeState:
+        """State the node was in at simulation time ``time``."""
+        state = NodeState.UP
+        for tr in self.history:
+            if tr.time > time:
+                break
+            state = tr.new
+        return state
+
+    def uptime_since_last_return(self, now: float) -> float:
+        """Seconds since the node last (re-)entered service."""
+        return max(0.0, now - self.powered_on_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.name.cname}, {self.state.value})"

@@ -1,0 +1,73 @@
+"""Reboot service: failed nodes return to service after repair.
+
+Production nodes do not stay dead -- warm swaps and reboots return them
+within hours, and the paper's app-triggered observation explicitly rests
+on it ("these nodes recover once new jobs run on them").  The
+:class:`RebootService` listens for failures on a platform and schedules
+each node's return:
+
+* admindown nodes (NHC withdrawals) come back quickly -- a suspect-clear
+  plus reboot;
+* crashed nodes take a longer repair delay;
+* every return logs the kernel's boot banner, so the log-side picture
+  (a node silent after a panic, then booting) matches real consoles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.node import NodeState
+from repro.cluster.topology import NodeName
+from repro.logs.record import LogRecord, LogSource, Severity
+from repro.platform import Platform
+from repro.simul.rng import RngStream
+
+__all__ = ["RebootService"]
+
+
+class RebootService:
+    """Automatic repair/reboot of failed nodes."""
+
+    def __init__(
+        self,
+        plat: Platform,
+        mean_repair: float = 4 * 3600.0,
+        mean_admindown_clear: float = 1800.0,
+        rng: Optional[RngStream] = None,
+    ) -> None:
+        if mean_repair <= 0 or mean_admindown_clear <= 0:
+            raise ValueError("repair delays must be positive")
+        self.plat = plat
+        self.mean_repair = mean_repair
+        self.mean_admindown_clear = mean_admindown_clear
+        self.rng = rng or plat.rng.child("reboot")
+        self.reboots = 0
+        plat.failure_listeners.append(self._on_failure)
+
+    # ------------------------------------------------------------------
+    def _on_failure(self, time: float, node: NodeName, job_id) -> None:
+        node_obj = self.plat.machine.node(node)
+        mean = (self.mean_admindown_clear
+                if node_obj.state is NodeState.ADMINDOWN
+                else self.mean_repair)
+        delay = self.rng.exponential(mean) + 60.0
+
+        def repair(engine) -> None:
+            if not node_obj.state.is_failed:
+                return  # already handled (e.g. manual reboot in a test)
+            node_obj.reboot(engine.now)
+            node_obj.job_id = None
+            self.reboots += 1
+            self.plat.bus.emit(LogRecord(
+                time=engine.now,
+                source=LogSource.CONSOLE,
+                component=node.cname,
+                event="node_boot",
+                attrs={},
+                severity=Severity.INFO,
+            ))
+
+        self.plat.engine.schedule(
+            max(time + delay, self.plat.engine.now), repair, label="repair"
+        )

@@ -1,0 +1,187 @@
+"""SEDC sensor models: temperature, voltage, fan speed, air velocity.
+
+Cray's System Environmental Data Collections (SEDC) streams sensor
+readings from blade controllers (``BC_*`` sensors) and cabinet controllers
+(``CC_*`` sensors) through the event router.  The paper's Figs. 8, 9 and 11
+are built from this stream, and its Observation 3 is that threshold
+violations here are *not* primary failure causes -- so the simulator must
+produce realistic benign deviation floods as well as honest telemetry.
+
+Readings follow an AR(1) process around a nominal value::
+
+    x[t+1] = nominal + phi * (x[t] - nominal) + sigma * eps
+
+which gives the slowly-wandering traces real sensors produce (vectorised
+generation per the HPC-Python guides).  A :class:`SensorModel` knows its
+warning thresholds and renders ``ec_sedc_warning`` / ``ec_sedc_data``
+records for the ERD stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.logs.record import LogRecord, LogSource, Severity
+from repro.simul.rng import RngStream
+
+__all__ = [
+    "SensorSpec",
+    "SensorModel",
+    "BLADE_SENSORS",
+    "CABINET_SENSORS",
+    "ar1_trace",
+    "cpu_temperature_trace",
+]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Static description of one SEDC sensor."""
+
+    name: str
+    unit: str
+    nominal: float
+    sigma: float
+    warn_min: float
+    warn_max: float
+    #: AR(1) persistence; close to 1.0 means slow drift.
+    phi: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not self.warn_min < self.warn_max:
+            raise ValueError(f"{self.name}: warn_min must be < warn_max")
+        if not 0.0 <= self.phi < 1.0:
+            raise ValueError(f"{self.name}: phi must be in [0, 1)")
+
+
+# Blade-controller sensors (per blade; NODE0..3 CPU temps exist per node,
+# generated with an index suffix).
+BLADE_SENSORS: dict[str, SensorSpec] = {
+    "BC_T_NODE_CPU": SensorSpec("BC_T_NODE_CPU", "C", 40.0, 1.2, 18.0, 75.0),
+    "BC_V_NODE_VDD": SensorSpec("BC_V_NODE_VDD", "V", 0.90, 0.008, 0.82, 0.98),
+    "BC_P_NODE_POWER": SensorSpec("BC_P_NODE_POWER", "W", 280.0, 14.0, 80.0, 425.0),
+    "BC_T_PDC": SensorSpec("BC_T_PDC", "C", 46.0, 1.5, 20.0, 85.0),
+}
+
+# Cabinet-controller sensors.
+CABINET_SENSORS: dict[str, SensorSpec] = {
+    "CC_T_CAB_AIR_IN": SensorSpec("CC_T_CAB_AIR_IN", "C", 21.0, 0.8, 18.0, 30.0),
+    "CC_T_CAB_AIR_OUT": SensorSpec("CC_T_CAB_AIR_OUT", "C", 33.0, 1.1, 20.0, 45.0),
+    "CC_V_CAB_RECT": SensorSpec("CC_V_CAB_RECT", "V", 52.0, 0.4, 48.0, 56.0),
+    "CC_F_FAN_SPEED": SensorSpec("CC_F_FAN_SPEED", "rpm", 2900.0, 80.0, 2400.0, 3600.0),
+    "CC_A_AIR_VELOCITY": SensorSpec("CC_A_AIR_VELOCITY", "m/s", 3.2, 0.15, 2.4, 4.5),
+}
+
+
+def ar1_trace(
+    spec: SensorSpec,
+    rng: RngStream,
+    n_samples: int,
+    start: Optional[float] = None,
+) -> np.ndarray:
+    """Vectorised AR(1) trace of ``n_samples`` readings.
+
+    The recursion is unrolled with :func:`numpy.cumsum` on the
+    innovations scaled by powers of ``phi`` -- O(n) with no Python loop.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    eps = rng.normal_array(0.0, spec.sigma, n_samples)
+    x0 = (start if start is not None else spec.nominal) - spec.nominal
+    # x[k] = phi^k * x0 + sum_{j<=k} phi^(k-j) eps[j]
+    k = np.arange(n_samples)
+    phik = spec.phi**k
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        scaled = eps / np.where(phik > 0, phik, 1.0)
+        drift = phik * np.cumsum(scaled)
+    # Guard against phi^k underflow for long traces: fall back to the loop
+    # only on the (rare) tail where phik underflowed to zero.
+    if not np.all(np.isfinite(drift)):
+        drift = np.empty(n_samples)
+        acc = 0.0
+        for i in range(n_samples):
+            acc = spec.phi * acc + eps[i]
+            drift[i] = acc
+    return spec.nominal + phik * x0 + drift
+
+
+def cpu_temperature_trace(
+    rng: RngStream,
+    n_samples: int,
+    nominal: float = 40.0,
+    powered: bool = True,
+) -> np.ndarray:
+    """Per-node CPU temperature trace for Fig. 11.
+
+    A powered-off node reads 0 C, exactly as the paper's B2 Node0 does.
+    """
+    if not powered:
+        return np.zeros(n_samples)
+    spec = SensorSpec("BC_T_NODE_CPU", "C", nominal, 1.2, 18.0, 75.0)
+    return ar1_trace(spec, rng, n_samples)
+
+
+class SensorModel:
+    """One live sensor bound to a component, able to emit SEDC records."""
+
+    def __init__(self, spec: SensorSpec, component: str, rng: RngStream) -> None:
+        self.spec = spec
+        self.component = component
+        self.rng = rng
+        self._value = spec.nominal
+
+    @property
+    def value(self) -> float:
+        """Most recent reading."""
+        return self._value
+
+    def step(self) -> float:
+        """Advance the AR(1) process one tick and return the reading."""
+        spec = self.spec
+        self._value = spec.nominal + spec.phi * (self._value - spec.nominal) + self.rng.normal(
+            0.0, spec.sigma
+        )
+        return self._value
+
+    def force(self, value: float) -> None:
+        """Pin the reading (fault injection: overheating, rail sag)."""
+        self._value = float(value)
+
+    def violates(self) -> bool:
+        """True when the current reading is outside warning thresholds."""
+        return not (self.spec.warn_min <= self._value <= self.spec.warn_max)
+
+    def data_record(self, time: float) -> LogRecord:
+        """``ec_sedc_data`` telemetry record for the current reading."""
+        return LogRecord(
+            time=time,
+            source=LogSource.ERD,
+            component="erd",
+            event="ec_sedc_data",
+            attrs={
+                "src": self.component,
+                "sensor": self.spec.name,
+                "value": f"{self._value:.1f}",
+            },
+            severity=Severity.DEBUG,
+        )
+
+    def warning_record(self, time: float) -> LogRecord:
+        """``ec_sedc_warning`` record (caller decides when to emit)."""
+        return LogRecord(
+            time=time,
+            source=LogSource.ERD,
+            component="erd",
+            event="ec_sedc_warning",
+            attrs={
+                "src": self.component,
+                "sensor": self.spec.name,
+                "value": f"{self._value:.1f}",
+                "min": f"{self.spec.warn_min:.1f}",
+                "max": f"{self.spec.warn_max:.1f}",
+            },
+            severity=Severity.WARNING,
+        )

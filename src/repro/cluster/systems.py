@@ -1,0 +1,198 @@
+"""The five-system catalog of Table I.
+
+Each :class:`SystemSpec` captures the configuration the paper reports for
+S1..S5: node count, machine family, interconnect, scheduler, file system,
+processor generation, accelerators and the duration of the analysed logs.
+
+These specs parameterise the simulator: the scheduler family decides which
+scheduler-log dialect is emitted, the interconnect decides the link-error
+vocabulary, the file system decides whether Lustre bug chains exist
+(S5's local file system instead produces hung-task timeouts, per the
+paper's Fig. 15 discussion), and GPUs enable GPU fault chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cluster.topology import Geometry
+
+__all__ = [
+    "Family",
+    "Interconnect",
+    "SchedulerKind",
+    "FileSystemKind",
+    "SystemSpec",
+    "SYSTEMS",
+    "get_system",
+]
+
+
+class Family(str, Enum):
+    """Machine family."""
+
+    CRAY_XC30 = "Cray XC30"
+    CRAY_XE6 = "Cray XE6"
+    CRAY_XC40 = "Cray XC40"
+    CRAY_XC40_XC30 = "Cray XC40/XC30"
+    INSTITUTIONAL = "Institutional"
+
+
+class Interconnect(str, Enum):
+    """Interconnect fabric; decides link-error vocabulary and topology."""
+
+    ARIES_DRAGONFLY = "Aries Dragonfly"
+    GEMINI_TORUS = "Gemini Torus"
+    INFINIBAND = "Infiniband"
+
+
+class SchedulerKind(str, Enum):
+    """Job scheduler family; decides scheduler-log dialect."""
+
+    SLURM = "Slurm"
+    TORQUE = "Torque"
+
+
+class FileSystemKind(str, Enum):
+    """Primary file system; decides file-system fault chains."""
+
+    LUSTRE = "Lustre"
+    LOCAL = "Local"
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Configuration of one studied system (one row of Table I)."""
+
+    key: str
+    family: Family
+    nodes: int
+    interconnect: Interconnect
+    scheduler: SchedulerKind
+    filesystem: FileSystemKind
+    os_name: str
+    processors: str
+    duration_months: int
+    log_size_gb: float
+    gpus: bool = False
+    burst_buffer: bool = False
+    geometry: Geometry = field(default_factory=Geometry)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.duration_months < 1:
+            raise ValueError("duration_months must be >= 1")
+
+    @property
+    def is_cray(self) -> bool:
+        return self.family is not Family.INSTITUTIONAL
+
+    @property
+    def has_external_logs(self) -> bool:
+        """Whether BC/CC/ERD environmental logs exist for this system.
+
+        The paper had no external environmental logs for S5.
+        """
+        return self.is_cray
+
+    def describe(self) -> dict[str, str]:
+        """Human-readable row matching Table I's columns."""
+        return {
+            "System": self.key,
+            "Duration": f"{self.duration_months} mons",
+            "Log Size": f"{self.log_size_gb}GB",
+            "Nodes": str(self.nodes),
+            "Type": self.family.value,
+            "Interconnect": self.interconnect.value,
+            "Job Scheduler": self.scheduler.value,
+            "FileSystem/OS": f"{self.filesystem.value}/{self.os_name}",
+            "Processors": self.processors,
+            "GPUs/Burst Buffer": (
+                "GPUs" if self.gpus else "Burst Buffer" if self.burst_buffer else "x"
+            ),
+        }
+
+
+# The catalog.  Numbers follow Table I of the paper; S2's type is printed
+# "Cray XL6" in the table, which is the well-known Gemini-torus XE6 line.
+# The paper's prose says S5 uses a local file system (the table's
+# "Lustre/RedHat" row is contradicted by Sec. II and Fig. 15); we follow
+# the prose because the hung-task analysis depends on it.
+SYSTEMS: dict[str, SystemSpec] = {
+    "S1": SystemSpec(
+        key="S1",
+        family=Family.CRAY_XC30,
+        nodes=5600,
+        interconnect=Interconnect.ARIES_DRAGONFLY,
+        scheduler=SchedulerKind.SLURM,
+        filesystem=FileSystemKind.LUSTRE,
+        os_name="SuSE",
+        processors="IvyBridge",
+        duration_months=10,
+        log_size_gb=37.3,
+    ),
+    "S2": SystemSpec(
+        key="S2",
+        family=Family.CRAY_XE6,
+        nodes=6400,
+        interconnect=Interconnect.GEMINI_TORUS,
+        scheduler=SchedulerKind.TORQUE,
+        filesystem=FileSystemKind.LUSTRE,
+        os_name="CLE",
+        processors="IvyBridge",
+        duration_months=12,
+        log_size_gb=150.0,
+    ),
+    "S3": SystemSpec(
+        key="S3",
+        family=Family.CRAY_XC40,
+        nodes=2100,
+        interconnect=Interconnect.ARIES_DRAGONFLY,
+        scheduler=SchedulerKind.SLURM,
+        filesystem=FileSystemKind.LUSTRE,
+        os_name="SuSE",
+        processors="Haswell",
+        duration_months=8,
+        log_size_gb=39.6,
+        burst_buffer=True,
+    ),
+    "S4": SystemSpec(
+        key="S4",
+        family=Family.CRAY_XC40_XC30,
+        nodes=1872,
+        interconnect=Interconnect.ARIES_DRAGONFLY,
+        scheduler=SchedulerKind.TORQUE,
+        filesystem=FileSystemKind.LUSTRE,
+        os_name="CLE",
+        processors="Haswell/IvyBridge",
+        duration_months=10,
+        log_size_gb=22.8,
+        burst_buffer=True,
+    ),
+    "S5": SystemSpec(
+        key="S5",
+        family=Family.INSTITUTIONAL,
+        nodes=520,
+        interconnect=Interconnect.INFINIBAND,
+        scheduler=SchedulerKind.SLURM,
+        filesystem=FileSystemKind.LOCAL,
+        os_name="RedHat",
+        processors="Haswell",
+        duration_months=1,
+        log_size_gb=3.1,
+        gpus=True,
+        geometry=Geometry(chassis_per_cabinet=2, slots_per_chassis=13, nodes_per_blade=2),
+    ),
+}
+
+
+def get_system(key: str) -> SystemSpec:
+    """Look up a system spec by key ('S1'..'S5'); case-insensitive."""
+    spec = SYSTEMS.get(key.upper())
+    if spec is None:
+        raise KeyError(
+            f"unknown system {key!r}; available: {', '.join(sorted(SYSTEMS))}"
+        )
+    return spec

@@ -1,0 +1,234 @@
+"""Cray-style component naming and machine geometry.
+
+Cray XC/XE machines name components hierarchically:
+
+========== =============================== =======================
+Level      Example cname                   Meaning
+========== =============================== =======================
+cabinet    ``c1-0``                        column 1, row 0
+chassis    ``c1-0c2``                      chassis 2 in cabinet
+blade/slot ``c1-0c2s7``                    slot 7 in chassis
+node       ``c1-0c2s7n3``                  node 3 on blade
+========== =============================== =======================
+
+The paper correlates failures across exactly these levels (node -> blade ->
+cabinet), so the name types here carry ``blade`` / ``chassis`` / ``cabinet``
+projections, and :func:`parse_component` recovers a typed name from the raw
+string found in a log line.
+
+:class:`Geometry` describes how many of each level a system has.  Cray XC
+geometry is 3 chassis x 16 slots x 4 nodes = 192 nodes per cabinet; the
+institutional cluster S5 is modelled as racks ("cabinets") of 2 enclosures
+("chassis") x 13 slots x 2 nodes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+__all__ = [
+    "CabinetName",
+    "ChassisName",
+    "BladeName",
+    "NodeName",
+    "Geometry",
+    "parse_component",
+    "ComponentName",
+]
+
+
+@dataclass(frozen=True, order=True)
+class CabinetName:
+    """A cabinet, addressed by column and row on the machine floor."""
+
+    col: int
+    row: int
+
+    @property
+    def cname(self) -> str:
+        return f"c{self.col}-{self.row}"
+
+    def __str__(self) -> str:
+        return self.cname
+
+
+@dataclass(frozen=True, order=True)
+class ChassisName:
+    """A chassis inside a cabinet."""
+
+    col: int
+    row: int
+    chassis: int
+
+    @property
+    def cname(self) -> str:
+        return f"c{self.col}-{self.row}c{self.chassis}"
+
+    @property
+    def cabinet(self) -> CabinetName:
+        return CabinetName(self.col, self.row)
+
+    def __str__(self) -> str:
+        return self.cname
+
+
+@dataclass(frozen=True, order=True)
+class BladeName:
+    """A blade (slot) inside a chassis; on Cray XC it hosts 4 nodes."""
+
+    col: int
+    row: int
+    chassis: int
+    slot: int
+
+    @property
+    def cname(self) -> str:
+        return f"c{self.col}-{self.row}c{self.chassis}s{self.slot}"
+
+    @property
+    def chassis_name(self) -> ChassisName:
+        return ChassisName(self.col, self.row, self.chassis)
+
+    @property
+    def cabinet(self) -> CabinetName:
+        return CabinetName(self.col, self.row)
+
+    def node(self, index: int) -> "NodeName":
+        """The node at position ``index`` on this blade."""
+        return NodeName(self.col, self.row, self.chassis, self.slot, index)
+
+    def __str__(self) -> str:
+        return self.cname
+
+
+@dataclass(frozen=True, order=True)
+class NodeName:
+    """A compute node; the unit at which failures are assessed."""
+
+    col: int
+    row: int
+    chassis: int
+    slot: int
+    node: int
+
+    @property
+    def cname(self) -> str:
+        return f"c{self.col}-{self.row}c{self.chassis}s{self.slot}n{self.node}"
+
+    @property
+    def blade(self) -> BladeName:
+        return BladeName(self.col, self.row, self.chassis, self.slot)
+
+    @property
+    def chassis_name(self) -> ChassisName:
+        return ChassisName(self.col, self.row, self.chassis)
+
+    @property
+    def cabinet(self) -> CabinetName:
+        return CabinetName(self.col, self.row)
+
+    def __str__(self) -> str:
+        return self.cname
+
+
+ComponentName = Union[CabinetName, ChassisName, BladeName, NodeName]
+
+_COMPONENT_RE = re.compile(
+    r"^c(?P<col>\d+)-(?P<row>\d+)"
+    r"(?:c(?P<chassis>\d+)"
+    r"(?:s(?P<slot>\d+)"
+    r"(?:n(?P<node>\d+))?)?)?$"
+)
+
+
+def parse_component(text: str) -> ComponentName:
+    """Parse a Cray cname string into the most specific name type.
+
+    >>> parse_component("c1-0c2s7n3")
+    NodeName(col=1, row=0, chassis=2, slot=7, node=3)
+    >>> parse_component("c1-0")
+    CabinetName(col=1, row=0)
+    """
+    m = _COMPONENT_RE.match(text.strip())
+    if not m:
+        raise ValueError(f"not a valid component name: {text!r}")
+    col, row = int(m["col"]), int(m["row"])
+    if m["chassis"] is None:
+        return CabinetName(col, row)
+    chassis = int(m["chassis"])
+    if m["slot"] is None:
+        return ChassisName(col, row, chassis)
+    slot = int(m["slot"])
+    if m["node"] is None:
+        return BladeName(col, row, chassis, slot)
+    return NodeName(col, row, chassis, slot, int(m["node"]))
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """How a machine's nodes are arranged into cabinets.
+
+    Parameters
+    ----------
+    chassis_per_cabinet, slots_per_chassis, nodes_per_blade:
+        Per-level fan-out.  Cray XC: 3 x 16 x 4.
+    """
+
+    chassis_per_cabinet: int = 3
+    slots_per_chassis: int = 16
+    nodes_per_blade: int = 4
+
+    def __post_init__(self) -> None:
+        for field_name in ("chassis_per_cabinet", "slots_per_chassis", "nodes_per_blade"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+
+    @property
+    def nodes_per_cabinet(self) -> int:
+        return self.chassis_per_cabinet * self.slots_per_chassis * self.nodes_per_blade
+
+    @property
+    def blades_per_cabinet(self) -> int:
+        return self.chassis_per_cabinet * self.slots_per_chassis
+
+    def cabinets_for(self, node_count: int) -> int:
+        """Minimum cabinet count to host ``node_count`` nodes."""
+        if node_count < 1:
+            raise ValueError("node_count must be >= 1")
+        return math.ceil(node_count / self.nodes_per_cabinet)
+
+    def cabinet_grid(self, node_count: int) -> tuple[int, int]:
+        """A near-square (cols, rows) floor layout for the cabinets."""
+        n_cab = self.cabinets_for(node_count)
+        rows = max(1, int(math.sqrt(n_cab)))
+        cols = math.ceil(n_cab / rows)
+        return cols, rows
+
+    def iter_nodes(self, node_count: int) -> Iterator[NodeName]:
+        """Yield the first ``node_count`` node names in cname order.
+
+        Nodes fill blade by blade, slot by slot, chassis by chassis,
+        cabinet by cabinet (column-major across the floor grid).
+        """
+        cols, rows = self.cabinet_grid(node_count)
+        emitted = 0
+        for row in range(rows):
+            for col in range(cols):
+                for chassis in range(self.chassis_per_cabinet):
+                    for slot in range(self.slots_per_chassis):
+                        for node in range(self.nodes_per_blade):
+                            if emitted >= node_count:
+                                return
+                            yield NodeName(col, row, chassis, slot, node)
+                            emitted += 1
+
+    def iter_blades(self, node_count: int) -> Iterator[BladeName]:
+        """Yield the blades hosting the first ``node_count`` nodes."""
+        seen: set[BladeName] = set()
+        for name in self.iter_nodes(node_count):
+            if name.blade not in seen:
+                seen.add(name.blade)
+                yield name.blade

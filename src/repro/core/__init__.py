@@ -1,0 +1,33 @@
+"""The holistic node-failure diagnosis pipeline (the paper's contribution).
+
+Everything in this subpackage consumes *parsed text logs* (via
+:class:`repro.logs.store.LogStore`) and nothing else -- no simulator
+state, no ground truth.  The pipeline mirrors the paper's three-step
+methodology (Sec. II-A):
+
+1. :mod:`failure_detection` finds confirmed failure indications in the
+   node-internal logs (console / messages / consumer);
+2. :mod:`external` correlates blade- and cabinet-level health faults and
+   SEDC warnings with those failures through component IDs and time
+   windows;
+3. :mod:`jobs` joins the scheduler logs to attribute application
+   influence.
+
+On top sit the per-question analyses: :mod:`temporal` (inter-failure
+times, Figs. 3/19), :mod:`dominant` (daily dominant causes, Fig. 4),
+:mod:`errors` (error-vs-failure populations, Figs. 10/11), :mod:`leadtime`
+(Fig. 13), :mod:`falsepos` (Fig. 14), :mod:`stacktrace` (Figs. 15/16,
+Table IV), :mod:`blades` (Fig. 18), :mod:`rootcause` (Table V) and the
+:mod:`pipeline` orchestrator plus :mod:`report` synthesis (Table VI).
+"""
+
+from repro.core.failure_detection import DetectedFailure, FailureDetector, FailureMode
+from repro.core.pipeline import DiagnosisReport, HolisticDiagnosis
+
+__all__ = [
+    "DetectedFailure",
+    "DiagnosisReport",
+    "FailureDetector",
+    "FailureMode",
+    "HolisticDiagnosis",
+]

@@ -1,0 +1,133 @@
+"""Checkpoint/restart advice from measured failure behaviour.
+
+Table VI's first recommendation is to make reactive fault tolerance
+"aware of the potential root cause": checkpoint intervals should follow
+the *measured* failure process, and prediction-triggered checkpoints can
+cut recomputation when fail-slow precursors give warning.  This module
+provides the quantitative side of that recommendation:
+
+* :func:`young_daly_interval` -- the classic optimal checkpoint interval
+  ``sqrt(2 * C * MTBF)`` for checkpoint cost ``C``;
+* :func:`expected_waste_fraction` -- the first-order expected fraction of
+  compute lost to checkpoint overhead + recomputation at a given
+  interval and MTBF;
+* :class:`CheckpointAdvisor` -- derives MTBF from detected failures,
+  recommends the interval, and quantifies what prediction-triggered
+  checkpoints save: for every failure predicted with lead time >= the
+  checkpoint cost, the expected half-interval of lost work shrinks to
+  (approximately) zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.failure_detection import DetectedFailure
+from repro.core.prediction import Alarm, evaluate
+from repro.core.temporal import inter_failure_gaps
+from repro.simul.clock import HOUR
+
+__all__ = [
+    "young_daly_interval",
+    "expected_waste_fraction",
+    "CheckpointPlan",
+    "CheckpointAdvisor",
+]
+
+
+def young_daly_interval(mtbf: float, checkpoint_cost: float) -> float:
+    """Young/Daly first-order optimal interval ``sqrt(2 * C * M)``."""
+    if mtbf <= 0 or checkpoint_cost <= 0:
+        raise ValueError("mtbf and checkpoint_cost must be positive")
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def expected_waste_fraction(
+    interval: float, mtbf: float, checkpoint_cost: float
+) -> float:
+    """First-order expected lost-compute fraction at a given interval.
+
+    Overhead ``C / T`` plus expected recomputation ``(T + C) / (2 M)``
+    (on average half a segment is lost per failure).  Valid for
+    ``T + C << M``; clamped to 1.0.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if mtbf <= 0 or checkpoint_cost < 0:
+        raise ValueError("mtbf must be positive, checkpoint_cost non-negative")
+    waste = checkpoint_cost / interval + (interval + checkpoint_cost) / (2.0 * mtbf)
+    return min(1.0, waste)
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """The advisor's output for one workload class."""
+
+    mtbf: float
+    checkpoint_cost: float
+    interval: float
+    blind_waste_fraction: float
+    #: waste when prediction-triggered checkpoints absorb predicted failures
+    predicted_waste_fraction: float
+    prediction_recall: float
+
+    @property
+    def waste_reduction(self) -> float:
+        """Relative waste saved by prediction-triggered checkpoints."""
+        if self.blind_waste_fraction <= 0:
+            return 0.0
+        return 1.0 - self.predicted_waste_fraction / self.blind_waste_fraction
+
+
+class CheckpointAdvisor:
+    """Derives checkpoint policy from a diagnosed failure history."""
+
+    def __init__(self, failures: Sequence[DetectedFailure]) -> None:
+        self.failures = list(failures)
+
+    def system_mtbf(self) -> float:
+        """Mean time between (any-node) failures over the history.
+
+        Raises :class:`ValueError` with fewer than two failures -- no
+        interval exists to estimate from.
+        """
+        gaps = inter_failure_gaps(self.failures)
+        if gaps.size == 0:
+            raise ValueError("need at least two failures to estimate MTBF")
+        return float(gaps.mean())
+
+    def plan(
+        self,
+        checkpoint_cost: float = 0.1 * HOUR,
+        alarms: Optional[Sequence[Alarm]] = None,
+        horizon: float = 2 * HOUR,
+    ) -> CheckpointPlan:
+        """Recommend an interval and quantify prediction-aware savings.
+
+        With an alarm stream, the recall fraction of failures is assumed
+        to be absorbed by a prediction-triggered checkpoint (possible
+        whenever the warning lead exceeds the checkpoint cost), removing
+        their recomputation term; the overhead term is unchanged.
+        """
+        mtbf = self.system_mtbf()
+        interval = young_daly_interval(mtbf, checkpoint_cost)
+        blind = expected_waste_fraction(interval, mtbf, checkpoint_cost)
+        recall = 0.0
+        if alarms is not None and self.failures:
+            score = evaluate(alarms, self.failures, horizon=horizon)
+            # only warnings long enough to take a checkpoint count
+            usable = sum(1 for lead in score.lead_times if lead >= checkpoint_cost)
+            recall = usable / len(self.failures)
+        overhead = checkpoint_cost / interval
+        recomputation = (interval + checkpoint_cost) / (2.0 * mtbf)
+        predicted = min(1.0, overhead + (1.0 - recall) * recomputation)
+        return CheckpointPlan(
+            mtbf=mtbf,
+            checkpoint_cost=checkpoint_cost,
+            interval=interval,
+            blind_waste_fraction=blind,
+            predicted_waste_fraction=predicted,
+            prediction_recall=recall,
+        )

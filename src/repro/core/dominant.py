@@ -1,0 +1,84 @@
+"""Daily dominant-cause analysis (Fig. 4, Obs. 1).
+
+For each day with failures, find the symptom label shared by the most
+failed nodes and the fraction of that day's failures it accounts for.
+The paper reports 65--82 % over 30 days with node-count variation between
+12 and 21, and notes that fixing the dominant fault would recover over
+half of each day's failures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.failure_detection import DetectedFailure, FailureDetector
+
+__all__ = ["DailyDominance", "daily_dominance", "dominance_summary"]
+
+
+@dataclass(frozen=True)
+class DailyDominance:
+    """Dominant failure cause of one day."""
+
+    day: int
+    failures: int
+    dominant_symptom: str
+    dominant_count: int
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of the day's failures sharing the dominant symptom."""
+        return self.dominant_count / self.failures if self.failures else 0.0
+
+    @property
+    def recoverable_majority(self) -> bool:
+        """Would fixing the dominant fault recover > 50 % of the day?"""
+        return self.fraction > 0.5
+
+
+def daily_dominance(
+    failures: Iterable[DetectedFailure], min_failures: int = 2
+) -> list[DailyDominance]:
+    """Per-day dominance records for days with >= ``min_failures``."""
+    out: list[DailyDominance] = []
+    for day, day_failures in sorted(FailureDetector.failures_by_day(failures).items()):
+        if len(day_failures) < min_failures:
+            continue
+        counts = Counter(f.symptom for f in day_failures)
+        symptom, count = counts.most_common(1)[0]
+        out.append(
+            DailyDominance(
+                day=day,
+                failures=len(day_failures),
+                dominant_symptom=symptom,
+                dominant_count=count,
+            )
+        )
+    return out
+
+
+def dominance_summary(records: Sequence[DailyDominance]) -> dict[str, float]:
+    """Aggregate view: the Fig. 4 headline numbers."""
+    if not records:
+        return {
+            "days": 0, "mean_fraction": 0.0, "min_fraction": 0.0,
+            "max_fraction": 0.0, "mean_failures": 0.0,
+            "min_failures": 0, "max_failures": 0,
+            "majority_recoverable_days": 0,
+        }
+    fracs = np.array([r.fraction for r in records])
+    counts = np.array([r.failures for r in records])
+    return {
+        "days": len(records),
+        "mean_fraction": float(fracs.mean()),
+        "min_fraction": float(fracs.min()),
+        "max_fraction": float(fracs.max()),
+        "mean_failures": float(counts.mean()),
+        "min_failures": int(counts.min()),
+        "max_failures": int(counts.max()),
+        "majority_recoverable_days": int(sum(r.recoverable_majority for r in records)),
+    }

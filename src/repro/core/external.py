@@ -1,0 +1,425 @@
+"""Step 2: external (environmental) correlation analysis (Figs. 5-9).
+
+Builds an :class:`ExternalIndex` over controller + ERD records keyed by
+node, blade and cabinet cnames, then answers the paper's questions:
+
+* **NVF / NHF correspondence** (Fig. 5): what fraction of node voltage /
+  heartbeat faults are followed by that node's failure within a window?
+* **NHF breakdown** (Fig. 6): of the NHFs, which were real failures,
+  which were intentional power-offs (the controller's ``ec_node_info``
+  state change gives those away), and which were merely skipped beats?
+* **faulty blade / cabinet fractions** (Fig. 7): how many failures sit on
+  a blade or in a cabinet that logged any fault or warning nearby?
+* **SEDC census** (Fig. 8): unique blades per warning type per week, and
+  the combined blade+cabinet fault counts.
+* **warning frequency by hour** (Fig. 9): per-blade hourly SEDC/health
+  warning counts across a day.
+
+All correlation is done on cnames parsed out of the log lines -- node ->
+blade -> cabinet projection is pure string structure, never simulator
+lookup.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import BladeName, NodeName, parse_component
+from repro.core.failure_detection import DetectedFailure
+from repro.logs.parsing import ParsedRecord
+from repro.simul.clock import DAY, HOUR
+
+__all__ = [
+    "ExternalIndex",
+    "CorrespondenceStats",
+    "NhfBreakdown",
+    "correspondence",
+    "nhf_breakdown",
+    "faulty_component_fractions",
+    "sedc_census",
+    "warning_frequency_by_hour",
+]
+
+#: 30-day "months" and 7-day weeks, matching the scenario groupings
+MONTH = 30 * DAY
+
+#: external events counted as blade/cabinet *health faults* (Table III col 1)
+HEALTH_FAULT_EVENTS = frozenset({
+    "nhf", "nvf", "bchf", "ec_l0_failed", "sensor_read_fail", "ecb_fault",
+    "module_health_fault", "cab_power_fault", "micro_ctl_fault",
+    "comm_fault", "rpm_fault", "cab_sensor_check", "ec_heartbeat_stop",
+    "ec_hw_error", "link_error",
+})
+
+#: external events counted as *SEDC warnings* (Table III col 2)
+SEDC_WARNING_EVENTS = frozenset({"ec_sedc_warning", "ec_environment"})
+
+
+def _blade_of(cname: str) -> Optional[str]:
+    """Blade cname of a node/blade cname; None for cabinets/daemons."""
+    try:
+        comp = parse_component(cname)
+    except ValueError:
+        return None
+    if isinstance(comp, NodeName):
+        return comp.blade.cname
+    if isinstance(comp, BladeName):
+        return comp.cname
+    return None
+
+
+def _cabinet_of(cname: str) -> Optional[str]:
+    """Cabinet cname of any component cname; None for daemons."""
+    try:
+        comp = parse_component(cname)
+    except ValueError:
+        return None
+    if isinstance(comp, (NodeName, BladeName)):
+        return comp.cabinet.cname
+    return comp.cname if hasattr(comp, "cname") else None
+
+
+@dataclass
+class ExternalIndex:
+    """Time-indexed external events keyed by component."""
+
+    #: (time, node_cname) per NHF
+    nhf: list[tuple[float, str]] = field(default_factory=list)
+    #: (time, node_cname) per NVF
+    nvf: list[tuple[float, str]] = field(default_factory=list)
+    #: (time, node_cname) per intentional power-off notification
+    node_off: list[tuple[float, str]] = field(default_factory=list)
+    #: blade cname -> sorted times of health faults near it
+    blade_faults: dict[str, list[float]] = field(default_factory=dict)
+    #: cabinet cname -> sorted times of health faults near it
+    cabinet_faults: dict[str, list[float]] = field(default_factory=dict)
+    #: blade cname -> (time, about) pairs of health faults (for filtering
+    #: out a failure's own post-mortem confirmations)
+    blade_fault_records: dict[str, list[tuple[float, str]]] = field(default_factory=dict)
+    #: cabinet cname -> (time, about) pairs of health faults
+    cabinet_fault_records: dict[str, list[tuple[float, str]]] = field(default_factory=dict)
+    #: blade/cabinet cname -> sorted times of SEDC warnings
+    sedc: dict[str, list[float]] = field(default_factory=dict)
+    #: (time, src, sensor) per SEDC warning
+    sedc_events: list[tuple[float, str, str]] = field(default_factory=list)
+    #: (time, src_cname, event) for every counted external event
+    events: list[tuple[float, str, str]] = field(default_factory=list)
+    #: (time, src, link, ok) per interconnect failover attempt
+    failovers: list[tuple[float, str, str, bool]] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, external: Iterable[ParsedRecord]) -> "ExternalIndex":
+        """Index a stream of controller + ERD records."""
+        idx = cls()
+        for rec in external:
+            if rec.event is None:
+                continue
+            # the component a record is *about*: the src/node attribute
+            # when present, else the reporting component
+            about = rec.attr("node") or rec.attr("src") or rec.component
+            if rec.event == "nhf":
+                idx.nhf.append((rec.time, about))
+            elif rec.event == "nvf":
+                idx.nvf.append((rec.time, about))
+            elif rec.event == "ec_node_info_off":
+                idx.node_off.append((rec.time, about))
+            elif rec.event == "link_failover":
+                idx.failovers.append((
+                    rec.time, about, rec.attr("link") or "?",
+                    rec.attr("status") == "ok",
+                ))
+            if rec.event in HEALTH_FAULT_EVENTS:
+                blade = _blade_of(about)
+                if blade is not None:
+                    idx.blade_faults.setdefault(blade, []).append(rec.time)
+                    idx.blade_fault_records.setdefault(blade, []).append(
+                        (rec.time, about)
+                    )
+                cabinet = _cabinet_of(about)
+                if cabinet is not None:
+                    idx.cabinet_faults.setdefault(cabinet, []).append(rec.time)
+                    idx.cabinet_fault_records.setdefault(cabinet, []).append(
+                        (rec.time, about)
+                    )
+                idx.events.append((rec.time, about, rec.event))
+            elif rec.event in SEDC_WARNING_EVENTS:
+                idx.sedc.setdefault(about, []).append(rec.time)
+                idx.sedc_events.append(
+                    (rec.time, about, rec.attr("sensor") or rec.attr("kind") or "?")
+                )
+                idx.events.append((rec.time, about, rec.event))
+        for table in (idx.blade_faults, idx.cabinet_faults, idx.sedc):
+            for times in table.values():
+                times.sort()
+        for table2 in (idx.blade_fault_records, idx.cabinet_fault_records):
+            for pairs in table2.values():
+                pairs.sort()
+        idx.nhf.sort()
+        idx.nvf.sort()
+        idx.node_off.sort()
+        idx.events.sort()
+        return idx
+
+    # ------------------------------------------------------------------
+    def component_had_event_near(
+        self, table: dict[str, list[float]], cname: str, time: float, window: float
+    ) -> bool:
+        """Any event for ``cname`` within ±window of ``time``?"""
+        times = table.get(cname)
+        if not times:
+            return False
+        arr = np.asarray(times)
+        lo = np.searchsorted(arr, time - window, side="left")
+        hi = np.searchsorted(arr, time + window, side="right")
+        return hi > lo
+
+
+@dataclass(frozen=True)
+class CorrespondenceStats:
+    """Fault-to-failure correspondence for one group (e.g. one month)."""
+
+    group: int
+    faults: int
+    corresponding: int
+
+    @property
+    def fraction(self) -> float:
+        return self.corresponding / self.faults if self.faults else 0.0
+
+
+def correspondence(
+    fault_events: Sequence[tuple[float, str]],
+    failures: Sequence[DetectedFailure],
+    window: float = HOUR,
+    group_seconds: float = MONTH,
+) -> list[CorrespondenceStats]:
+    """Fraction of fault events followed by the named node failing.
+
+    A fault *corresponds* when the same node has a detected failure in
+    ``[t_fault - 120, t_fault + window]`` -- the small negative slack
+    absorbs the post-mortem NHFs that trail a crash by seconds.
+    Results are grouped into ``group_seconds`` buckets (months for
+    Fig. 5, weeks for Fig. 6).
+    """
+    fail_times: dict[str, np.ndarray] = {}
+    by_node: dict[str, list[float]] = defaultdict(list)
+    for f in failures:
+        by_node[f.node].append(f.time)
+    for node, times in by_node.items():
+        fail_times[node] = np.sort(np.asarray(times))
+    grouped: dict[int, list[bool]] = defaultdict(list)
+    for t, node in fault_events:
+        times = fail_times.get(node)
+        hit = False
+        if times is not None:
+            lo = np.searchsorted(times, t - 120.0, side="left")
+            hi = np.searchsorted(times, t + window, side="right")
+            hit = hi > lo
+        grouped[int(t // group_seconds)].append(hit)
+    return [
+        CorrespondenceStats(group=g, faults=len(hits), corresponding=sum(hits))
+        for g, hits in sorted(grouped.items())
+    ]
+
+
+@dataclass(frozen=True)
+class NhfBreakdown:
+    """Fig. 6: what NHFs in one week turned out to be."""
+
+    week: int
+    total: int
+    failed: int
+    power_off: int
+    skipped: int
+
+    @property
+    def failed_fraction(self) -> float:
+        return self.failed / self.total if self.total else 0.0
+
+
+def nhf_breakdown(
+    index: ExternalIndex,
+    failures: Sequence[DetectedFailure],
+    window: float = HOUR,
+) -> list[NhfBreakdown]:
+    """Weekly NHF outcome breakdown (failed / power-off / skipped)."""
+    fail_by_node: dict[str, np.ndarray] = {}
+    tmp: dict[str, list[float]] = defaultdict(list)
+    for f in failures:
+        tmp[f.node].append(f.time)
+    for node, times in tmp.items():
+        fail_by_node[node] = np.sort(np.asarray(times))
+    off_by_node: dict[str, np.ndarray] = {}
+    tmp2: dict[str, list[float]] = defaultdict(list)
+    for t, node in index.node_off:
+        tmp2[node].append(t)
+    for node, times in tmp2.items():
+        off_by_node[node] = np.sort(np.asarray(times))
+
+    def _near(table: dict[str, np.ndarray], node: str, t: float, w: float) -> bool:
+        times = table.get(node)
+        if times is None:
+            return False
+        lo = np.searchsorted(times, t - 120.0, side="left")
+        hi = np.searchsorted(times, t + w, side="right")
+        return hi > lo
+
+    weeks: dict[int, Counter] = defaultdict(Counter)
+    for t, node in index.nhf:
+        week = int(t // (7 * DAY))
+        if _near(fail_by_node, node, t, window):
+            weeks[week]["failed"] += 1
+        elif _near(off_by_node, node, t, window):
+            weeks[week]["power_off"] += 1
+        else:
+            weeks[week]["skipped"] += 1
+    return [
+        NhfBreakdown(
+            week=w,
+            total=sum(c.values()),
+            failed=c["failed"],
+            power_off=c["power_off"],
+            skipped=c["skipped"],
+        )
+        for w, c in sorted(weeks.items())
+    ]
+
+
+def faulty_component_fractions(
+    failures: Sequence[DetectedFailure],
+    index: ExternalIndex,
+    window: float = HOUR,
+    group_seconds: float = 2 * MONTH,
+) -> list[dict[str, float]]:
+    """Fig. 7: fraction of failures on faulty blades / in faulty cabinets.
+
+    "Faulty" means the blade (cabinet) logged any health fault or SEDC
+    warning within ±window of the failure -- *excluding* the failure's own
+    post-mortem confirmations (the NHF/heartbeat-stop the controllers
+    report once the node is already dead would trivially correlate every
+    crash with its own blade).  Grouped into two-month periods like the
+    paper.
+    """
+
+    def _hit_excluding_self(
+        table: dict[str, list[tuple[float, str]]],
+        cname: str,
+        node: str,
+        t_fail: float,
+    ) -> bool:
+        for t, about in table.get(cname, ()):
+            if t < t_fail - window:
+                continue
+            if t > t_fail + window:
+                break
+            if about == node and t >= t_fail:
+                continue  # post-mortem confirmation of this very failure
+            return True
+        return False
+
+    grouped: dict[int, list[tuple[bool, bool]]] = defaultdict(list)
+    for f in failures:
+        blade = _blade_of(f.node)
+        cabinet = _cabinet_of(f.node)
+        blade_hit = blade is not None and (
+            _hit_excluding_self(index.blade_fault_records, blade, f.node, f.time)
+            or index.component_had_event_near(index.sedc, blade, f.time, window)
+        )
+        cab_hit = cabinet is not None and (
+            _hit_excluding_self(index.cabinet_fault_records, cabinet, f.node, f.time)
+            or index.component_had_event_near(index.sedc, cabinet, f.time, window)
+        )
+        grouped[int(f.time // group_seconds)].append((blade_hit, cab_hit))
+    out = []
+    for g, hits in sorted(grouped.items()):
+        n = len(hits)
+        out.append(
+            {
+                "group": g,
+                "failures": n,
+                "blade_fraction": sum(b for b, _ in hits) / n if n else 0.0,
+                "cabinet_fraction": sum(c for _, c in hits) / n if n else 0.0,
+            }
+        )
+    return out
+
+
+def sedc_census(
+    index: ExternalIndex, week: int = 0
+) -> dict[str, object]:
+    """Fig. 8: unique blades per SEDC warning type and combined faults."""
+    t0, t1 = week * 7 * DAY, (week + 1) * 7 * DAY
+    blades_by_sensor: dict[str, set[str]] = defaultdict(set)
+    for t, src, sensor in index.sedc_events:
+        if t0 <= t < t1 and _blade_of(src) is not None:
+            blades_by_sensor[sensor].add(src)
+    faulted: set[str] = set()
+    for t, src, event in index.events:
+        if t0 <= t < t1 and event in HEALTH_FAULT_EVENTS:
+            faulted.add(src)
+    return {
+        "week": week,
+        "unique_blades_per_warning": {
+            sensor: len(blades) for sensor, blades in sorted(blades_by_sensor.items())
+        },
+        "components_with_faults": len(faulted),
+    }
+
+
+def failover_census(
+    index: ExternalIndex,
+    failures: Sequence[DetectedFailure],
+    window: float = HOUR,
+) -> dict[str, object]:
+    """Interconnect failover outcomes and their failure consequences.
+
+    The paper's background point 3: failed failovers delay recovery.
+    Reports how many failover attempts succeeded, and what fraction of
+    the *failed* ones were followed by a failure on the affected blade
+    within ``window`` -- the quantitative version of that concern.
+    """
+    fail_by_blade: dict[str, list[float]] = defaultdict(list)
+    for f in failures:
+        blade = _blade_of(f.node)
+        if blade is not None:
+            fail_by_blade[blade].append(f.time)
+    for times in fail_by_blade.values():
+        times.sort()
+
+    def _followed_by_failure(src: str, t: float) -> bool:
+        blade = _blade_of(src) or src
+        times = fail_by_blade.get(blade)
+        if not times:
+            return False
+        arr = np.asarray(times)
+        lo = np.searchsorted(arr, t, side="left")
+        return lo < arr.size and arr[lo] - t <= window
+
+    ok = sum(1 for _t, _s, _l, good in index.failovers if good)
+    failed = [(t, s) for t, s, _l, good in index.failovers if not good]
+    harmful = sum(1 for t, s in failed if _followed_by_failure(s, t))
+    return {
+        "attempts": len(index.failovers),
+        "succeeded": ok,
+        "failed": len(failed),
+        "failed_followed_by_failure": harmful,
+        "harm_fraction": harmful / len(failed) if failed else 0.0,
+    }
+
+
+def warning_frequency_by_hour(
+    index: ExternalIndex, day: int, top_blades: int = 8
+) -> dict[str, np.ndarray]:
+    """Fig. 9: hourly warning counts for the day's noisiest blades."""
+    t0, t1 = day * DAY, (day + 1) * DAY
+    counts: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(24, dtype=int))
+    for t, src, _event in index.events:
+        if t0 <= t < t1:
+            blade = _blade_of(src) or src
+            counts[blade][int((t - t0) // HOUR)] += 1
+    ranked = sorted(counts.items(), key=lambda kv: -int(kv[1].sum()))
+    return dict(ranked[:top_blades])

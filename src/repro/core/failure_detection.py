@@ -1,0 +1,209 @@
+"""Step 1 of the methodology: confirmed failure detection from internal logs.
+
+A node *failure* is an anomalous out-of-service transition.  From text
+logs alone it surfaces as one of:
+
+* a kernel panic (``Kernel panic - not syncing``),
+* an NHC admindown (``setting node to admindown``),
+* an anomalous halt/shutdown message (``reboot: Power down``,
+  ``node shutdown initiated``) -- intended shutdowns never log these on
+  the node side (their only trace is the controller's
+  ``ec_node_info`` state change, which step 2 uses to discount NHFs).
+
+Markers on the same node within :data:`DEDUP_WINDOW` seconds collapse
+into one failure event (a panic following an admindown is one death, not
+two).  Each detected failure is labelled with a *proximate symptom* by
+scanning the node's internal records over the preceding
+:data:`SYMPTOM_LOOKBACK`: the label priority follows the paper's Table IV
+vocabulary, most-specific first, and is deliberately a *symptom* -- root
+cause inference happens later, with external and job context.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional, Sequence
+
+from repro.logs.parsing import ParsedRecord
+
+__all__ = [
+    "FailureMode",
+    "DetectedFailure",
+    "FailureDetector",
+    "SYMPTOM_PRIORITY",
+    "DEDUP_WINDOW",
+    "SYMPTOM_LOOKBACK",
+]
+
+#: seconds within which failure markers on one node merge into one event
+DEDUP_WINDOW = 600.0
+#: seconds of internal history consulted for the symptom label
+SYMPTOM_LOOKBACK = 1800.0
+
+#: events that directly mark a node leaving service
+_FAILURE_MARKERS = {
+    "kernel_panic": "down",
+    "nhc_admindown": "admindown",
+    "node_halt": "down",
+    "node_shutdown_msg": "down",
+}
+
+#: symptom label -> the internal events that indicate it, highest priority
+#: first (a failure with both MCEs and OOM messages is labelled by the
+#: earlier entry in this table)
+SYMPTOM_PRIORITY: tuple[tuple[str, frozenset[str]], ...] = (
+    ("app_exit", frozenset({"app_exit_abnormal"})),
+    ("oom", frozenset({"oom_kill", "oom_invoked"})),
+    ("hw_mce", frozenset({"mce", "mce_threshold", "ecc_uncorrected",
+                          "cpu_corruption"})),
+    ("lustre", frozenset({"lbug", "lustre_error", "lustre_io_error",
+                          "lustre_evicted"})),
+    ("dvs", frozenset({"dvs_error"})),
+    ("mem_exhaustion", frozenset({"page_alloc_fail", "fork_fail"})),
+    ("kernel_bug", frozenset({"invalid_opcode", "kernel_bug_at",
+                              "general_protection"})),
+    ("cpu_stall", frozenset({"cpu_stall"})),
+    ("disk", frozenset({"disk_error", "inode_error"})),
+    ("gpu", frozenset({"gpu_xid"})),
+    ("segfault", frozenset({"segfault"})),
+    ("hung_task", frozenset({"hung_task"})),
+    ("bios_unknown", frozenset({"bios_unknown"})),
+    ("l0_sysd_mce", frozenset({"l0_sysd_mce"})),
+)
+
+_EVENT_TO_SYMPTOM: dict[str, str] = {}
+for _label, _events in reversed(SYMPTOM_PRIORITY):
+    for _e in _events:
+        _EVENT_TO_SYMPTOM[_e] = _label
+
+
+class FailureMode(str, Enum):
+    """How the node left service."""
+
+    DOWN = "down"            # crash / halt
+    ADMINDOWN = "admindown"  # NHC withdrew the node
+
+
+@dataclass
+class DetectedFailure:
+    """One node failure recovered from the logs."""
+
+    time: float
+    node: str
+    mode: FailureMode
+    symptom: str
+    #: internal records in the lookback window (evidence for case studies)
+    evidence: list[ParsedRecord] = field(default_factory=list)
+    #: all failure-marker events merged into this failure
+    markers: list[str] = field(default_factory=list)
+
+    @property
+    def day(self) -> int:
+        return int(self.time // 86_400)
+
+    @property
+    def week(self) -> int:
+        return int(self.time // 604_800)
+
+    def evidence_events(self) -> list[str]:
+        """Event keys of the evidence records (None filtered)."""
+        return [r.event for r in self.evidence if r.event is not None]
+
+
+class FailureDetector:
+    """Scans internal records for confirmed node failures."""
+
+    def __init__(
+        self,
+        dedup_window: float = DEDUP_WINDOW,
+        lookback: float = SYMPTOM_LOOKBACK,
+    ) -> None:
+        if dedup_window <= 0 or lookback <= 0:
+            raise ValueError("windows must be positive")
+        self.dedup_window = dedup_window
+        self.lookback = lookback
+
+    # ------------------------------------------------------------------
+    def detect(self, internal: Sequence[ParsedRecord]) -> list[DetectedFailure]:
+        """Detect failures in time-sorted internal records."""
+        by_node: dict[str, list[ParsedRecord]] = defaultdict(list)
+        for rec in internal:
+            by_node[rec.component].append(rec)
+        failures: list[DetectedFailure] = []
+        for node, records in by_node.items():
+            failures.extend(self._detect_node(node, records))
+        failures.sort(key=lambda f: (f.time, f.node))
+        return failures
+
+    def _detect_node(
+        self, node: str, records: Sequence[ParsedRecord]
+    ) -> list[DetectedFailure]:
+        failures: list[DetectedFailure] = []
+        open_failure: Optional[DetectedFailure] = None
+        for idx, rec in enumerate(records):
+            mode_str = _FAILURE_MARKERS.get(rec.event or "")
+            if mode_str is None:
+                continue
+            if (
+                open_failure is not None
+                and rec.time - open_failure.time <= self.dedup_window
+            ):
+                open_failure.markers.append(rec.event)
+                # a crash marker overrides an admindown label
+                if mode_str == "down":
+                    open_failure.mode = FailureMode.DOWN
+                continue
+            open_failure = DetectedFailure(
+                time=rec.time,
+                node=node,
+                mode=FailureMode(mode_str),
+                symptom="unknown",
+                markers=[rec.event],
+            )
+            open_failure.evidence = self._window(records, idx, rec.time)
+            open_failure.symptom = self._label(open_failure)
+            failures.append(open_failure)
+        return failures
+
+    def _window(
+        self, records: Sequence[ParsedRecord], marker_idx: int, t_fail: float
+    ) -> list[ParsedRecord]:
+        """Evidence records in the lookback window before the marker."""
+        out = []
+        i = marker_idx
+        while i >= 0 and t_fail - records[i].time <= self.lookback:
+            out.append(records[i])
+            i -= 1
+        out.reverse()
+        return out
+
+    def _label(self, failure: DetectedFailure) -> str:
+        """Highest-priority symptom present in the evidence."""
+        present = {r.event for r in failure.evidence if r.event}
+        for label, events in SYMPTOM_PRIORITY:
+            if present & events:
+                return label
+        return "unknown"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def failures_by_day(
+        failures: Iterable[DetectedFailure],
+    ) -> dict[int, list[DetectedFailure]]:
+        """Group detected failures by day index."""
+        grouped: dict[int, list[DetectedFailure]] = defaultdict(list)
+        for f in failures:
+            grouped[f.day].append(f)
+        return dict(grouped)
+
+    @staticmethod
+    def failures_by_week(
+        failures: Iterable[DetectedFailure],
+    ) -> dict[int, list[DetectedFailure]]:
+        """Group detected failures by week index."""
+        grouped: dict[int, list[DetectedFailure]] = defaultdict(list)
+        for f in failures:
+            grouped[f.week].append(f)
+        return dict(grouped)

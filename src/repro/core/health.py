@@ -1,0 +1,149 @@
+"""Mitigation advice: what to do with a failed node, per root cause.
+
+The paper's discussion argues that "choosing a mitigation action with an
+understanding of the root cause ... can have long-term benefits":
+quarantining an application-killed node wastes capacity (the node
+recovers as soon as a clean job lands on it), while returning a
+fail-slow node to service guarantees a repeat.  :class:`MitigationAdvisor`
+turns each :class:`~repro.core.rootcause.RootCauseInference` into an
+explicit action, and aggregates the per-node history into a simple
+health index an operator can sort by.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.core.rootcause import RootCauseInference
+from repro.faults.model import FaultFamily
+
+__all__ = ["Action", "Mitigation", "MitigationAdvisor", "NodeHealth"]
+
+
+class Action(str, Enum):
+    """Operator actions the advisor can recommend."""
+
+    RETURN_TO_SERVICE = "return_to_service"   # app-triggered: node is fine
+    NOTIFY_USER = "notify_user"               # buggy application
+    BLOCK_APID = "block_apid"                 # repeat-offender application
+    SCHEDULE_MAINTENANCE = "schedule_maintenance"  # degrading hardware
+    REPLACE_COMPONENT = "replace_component"   # confirmed hardware fault
+    ESCALATE_VENDOR = "escalate_vendor"       # undiagnosable patterns
+    PATCH_SOFTWARE = "patch_software"         # kernel/driver bugs
+
+
+@dataclass(frozen=True)
+class Mitigation:
+    """One recommended action for one failure."""
+
+    inference: RootCauseInference
+    action: Action
+    rationale: str
+
+    @property
+    def node(self) -> str:
+        return self.inference.failure.node
+
+
+@dataclass(frozen=True)
+class NodeHealth:
+    """Aggregated per-node failure history."""
+
+    node: str
+    failures: int
+    hardware_failures: int
+    app_triggered: int
+
+    @property
+    def repeat_offender(self) -> bool:
+        """Multiple *hardware* failures indicate a genuinely sick node."""
+        return self.hardware_failures >= 2
+
+
+class MitigationAdvisor:
+    """Maps root-cause inferences to mitigation actions (Table VI)."""
+
+    def __init__(self, block_threshold: int = 3) -> None:
+        if block_threshold < 1:
+            raise ValueError("block_threshold must be >= 1")
+        self.block_threshold = block_threshold
+
+    def advise(self, inferences: Sequence[RootCauseInference]) -> list[Mitigation]:
+        """One mitigation per inference, APID-aware."""
+        job_failures: Counter = Counter(
+            inf.job_id for inf in inferences
+            if inf.job_id is not None and inf.family is FaultFamily.APPLICATION
+        )
+        out = []
+        for inf in inferences:
+            out.append(self._one(inf, job_failures))
+        return out
+
+    def _one(self, inf: RootCauseInference, job_failures: Counter) -> Mitigation:
+        if inf.family is FaultFamily.APPLICATION:
+            if (inf.job_id is not None
+                    and job_failures[inf.job_id] >= self.block_threshold):
+                return Mitigation(
+                    inf, Action.BLOCK_APID,
+                    f"job {inf.job_id} killed "
+                    f"{job_failures[inf.job_id]} nodes; block the APID in "
+                    "NHC rather than quarantining its victims",
+                )
+            return Mitigation(
+                inf, Action.NOTIFY_USER if inf.job_id is not None
+                else Action.RETURN_TO_SERVICE,
+                "application-triggered: the node recovers once new jobs "
+                "run on it; do not quarantine",
+            )
+        if inf.family is FaultFamily.HARDWARE:
+            if inf.fail_slow:
+                return Mitigation(
+                    inf, Action.SCHEDULE_MAINTENANCE,
+                    "fail-slow hardware with external precursors: degrade "
+                    "gracefully before the next crash",
+                )
+            return Mitigation(
+                inf, Action.REPLACE_COMPONENT,
+                "fail-stop hardware fault; repeat failures are likely "
+                "until the component is replaced",
+            )
+        if inf.family in (FaultFamily.SOFTWARE, FaultFamily.FILESYSTEM):
+            return Mitigation(
+                inf, Action.PATCH_SOFTWARE,
+                f"{inf.cause}: track against known kernel/file-system "
+                "issues before returning the node",
+            )
+        return Mitigation(
+            inf, Action.ESCALATE_VENDOR,
+            "insufficient information for root-cause inference; needs "
+            "operator or vendor support (Obs. 9)",
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def node_health(inferences: Sequence[RootCauseInference]) -> list[NodeHealth]:
+        """Per-node failure history, sickest first."""
+        per_node: dict[str, list[RootCauseInference]] = defaultdict(list)
+        for inf in inferences:
+            per_node[inf.failure.node].append(inf)
+        out = [
+            NodeHealth(
+                node=node,
+                failures=len(infs),
+                hardware_failures=sum(
+                    1 for i in infs if i.family is FaultFamily.HARDWARE),
+                app_triggered=sum(
+                    1 for i in infs if i.family is FaultFamily.APPLICATION),
+            )
+            for node, infs in per_node.items()
+        ]
+        out.sort(key=lambda h: (-h.hardware_failures, -h.failures, h.node))
+        return out
+
+    @staticmethod
+    def action_census(mitigations: Sequence[Mitigation]) -> dict[Action, int]:
+        """How many failures land on each action."""
+        return dict(Counter(m.action for m in mitigations))

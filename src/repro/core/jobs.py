@@ -1,0 +1,286 @@
+"""Step 3: job-log analysis (Figs. 12 and 17, Obs. 6 and 8).
+
+Reconstructs job lifecycles from the scheduler log (either dialect),
+yielding :class:`JobView` objects with allocation node lists, exit codes
+and limit-violation events.  On top of that:
+
+* :func:`exit_census` -- Fig. 12's success / config-error / other split;
+* :func:`job_failure_correlation` -- which failures happened on a node
+  while a job held it, and how many failures share each job ID;
+* :func:`same_job_locality` -- Obs. 8: groups of same-job failures that
+  are temporally close but land on *different blades*;
+* :func:`overallocation_report` -- Fig. 17: per overallocating job, how
+  many nodes logged memory-limit violations and how many of them failed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.failure_detection import DetectedFailure
+from repro.logs.parsing import ParsedRecord
+
+__all__ = [
+    "JobView",
+    "parse_jobs",
+    "exit_census",
+    "job_failure_correlation",
+    "same_job_locality",
+    "overallocation_report",
+]
+
+_START_EVENTS = {"slurm_start", "torque_start"}
+_COMPLETE_EVENTS = {"slurm_complete", "torque_complete"}
+_SUBMIT_EVENTS = {"slurm_submit", "torque_submit"}
+_CANCEL_EVENTS = {"slurm_cancel", "torque_cancel"}
+_TIMEOUT_EVENTS = {"slurm_timeout", "torque_timeout"}
+_MEM_EVENTS = {"slurm_mem_exceeded", "torque_mem_exceeded"}
+_REQUEUE_EVENTS = {"slurm_requeue", "torque_requeue"}
+
+
+@dataclass
+class JobView:
+    """One job's lifecycle as reconstructed from the scheduler log."""
+
+    job_id: int
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    exit_code: Optional[int] = None
+    user: Optional[str] = None
+    app: Optional[str] = None
+    nodes: list[str] = field(default_factory=list)
+    cancelled: bool = False
+    timed_out: bool = False
+    mem_exceeded: bool = False
+    requeued_for_nodes: list[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.exit_code == 0
+
+    @property
+    def config_error(self) -> bool:
+        """Fig. 12's configuration-error bucket."""
+        return self.cancelled or self.timed_out or self.mem_exceeded
+
+    @property
+    def failed_other(self) -> bool:
+        """Ended badly for a non-configuration reason."""
+        return (
+            self.exit_code is not None
+            and self.exit_code != 0
+            and not self.config_error
+        )
+
+    def held_node_at(self, node: str, time: float, grace: float = 5.0) -> bool:
+        """Did this job hold ``node`` at ``time``?
+
+        ``grace`` extends the window past the job's end: when a buggy job
+        kills its nodes minutes apart, the scheduler has already aborted
+        the job by the time the later nodes die, yet those failures still
+        "executed under the same job ID during the time of failure" in
+        the paper's accounting.
+        """
+        if node not in self.nodes or self.start_time is None:
+            return False
+        end = self.end_time if self.end_time is not None else float("inf")
+        return self.start_time <= time <= end + grace
+
+
+def parse_jobs(scheduler_records: Iterable[ParsedRecord]) -> dict[int, JobView]:
+    """Reconstruct all jobs from a scheduler-log record stream."""
+    jobs: dict[int, JobView] = {}
+
+    def view(job_id: int) -> JobView:
+        jv = jobs.get(job_id)
+        if jv is None:
+            jv = JobView(job_id=job_id)
+            jobs[job_id] = jv
+        return jv
+
+    for rec in scheduler_records:
+        if rec.event is None:
+            continue
+        job_attr = rec.attr("job")
+        if job_attr is None:
+            continue
+        jv = view(int(job_attr))
+        if rec.event in _SUBMIT_EVENTS:
+            jv.submit_time = rec.time
+        elif rec.event in _START_EVENTS:
+            jv.start_time = rec.time
+            jv.user = rec.attr("user")
+            jv.app = rec.attr("app")
+            jv.nodes = [n for n in (rec.attr("nodes") or "").split(",") if n]
+        elif rec.event in _COMPLETE_EVENTS:
+            jv.end_time = rec.time
+            jv.exit_code = rec.attr_int("code")
+        elif rec.event in _CANCEL_EVENTS:
+            jv.cancelled = True
+        elif rec.event in _TIMEOUT_EVENTS:
+            jv.timed_out = True
+        elif rec.event in _MEM_EVENTS:
+            jv.mem_exceeded = True
+        elif rec.event in _REQUEUE_EVENTS:
+            node = rec.attr("node")
+            if node:
+                jv.requeued_for_nodes.append(node)
+    return jobs
+
+
+def exit_census(
+    jobs: dict[int, JobView], day: Optional[int] = None
+) -> dict[str, float]:
+    """Fig. 12: job-outcome fractions (optionally for one day)."""
+    pool = [
+        j for j in jobs.values()
+        if j.exit_code is not None
+        and (day is None or (j.end_time is not None and int(j.end_time // 86_400) == day))
+    ]
+    n = len(pool)
+    if n == 0:
+        return {"jobs": 0, "success_frac": 0.0, "config_error_frac": 0.0,
+                "nonzero_exit_frac": 0.0, "other_failure_frac": 0.0}
+    success = sum(1 for j in pool if j.succeeded)
+    nonzero = sum(1 for j in pool if j.exit_code != 0)
+    config = sum(1 for j in pool if not j.succeeded and j.config_error)
+    other = sum(1 for j in pool if j.failed_other)
+    return {
+        "jobs": n,
+        "success_frac": success / n,
+        "nonzero_exit_frac": nonzero / n,
+        "config_error_frac": config / n,
+        "other_failure_frac": other / n,
+    }
+
+
+def job_failure_correlation(
+    jobs: dict[int, JobView],
+    failures: Sequence[DetectedFailure],
+    grace: float = 900.0,
+) -> dict[int, list[DetectedFailure]]:
+    """Failures that happened while a job held the failing node.
+
+    Returns job_id -> its correlated failures.  A failure correlates with
+    at most one job (the one holding the node at the failure time; ties
+    go to the later-starting job).  ``grace`` keeps counting failures for
+    a few minutes after a job aborts (see :meth:`JobView.held_node_at`).
+    """
+    by_node: dict[str, list[JobView]] = defaultdict(list)
+    for jv in jobs.values():
+        for node in jv.nodes:
+            by_node[node].append(jv)
+    out: dict[int, list[DetectedFailure]] = defaultdict(list)
+    for f in failures:
+        holders = [jv for jv in by_node.get(f.node, ())
+                   if jv.held_node_at(f.node, f.time, grace=grace)]
+        if not holders:
+            continue
+        holder = max(holders, key=lambda jv: jv.start_time or 0.0)
+        out[holder.job_id].append(f)
+    return dict(out)
+
+
+def same_job_locality(
+    jobs: dict[int, JobView],
+    failures: Sequence[DetectedFailure],
+    max_span: float = 1800.0,
+    min_failures: int = 2,
+) -> list[dict[str, object]]:
+    """Obs. 8: same-job failure groups and their blade diversity.
+
+    For each job with >= ``min_failures`` correlated failures within
+    ``max_span`` seconds of each other, report the time span and how many
+    distinct blades the failing nodes occupied.
+    """
+    correlated = job_failure_correlation(jobs, failures)
+    groups = []
+    for job_id, fs in sorted(correlated.items()):
+        if len(fs) < min_failures:
+            continue
+        times = sorted(f.time for f in fs)
+        if times[-1] - times[0] > max_span:
+            continue
+        blades = {f.node.rsplit("n", 1)[0] for f in fs}
+        groups.append(
+            {
+                "job_id": job_id,
+                "app": jobs[job_id].app,
+                "failures": len(fs),
+                "span_seconds": times[-1] - times[0],
+                "distinct_blades": len(blades),
+                "spatially_distant": len(blades) > 1,
+            }
+        )
+    return groups
+
+
+def lost_core_hours(
+    jobs: dict[int, JobView],
+    failures: Sequence[DetectedFailure],
+    cpus_per_node: int = 32,
+) -> dict[str, float]:
+    """Compute lost to failures vs configuration errors (wasted time).
+
+    A job ended by a node failure loses its entire accumulated
+    allocation (the paper: "job re-allocations are performed for
+    recomputations"); walltime/memory kills and cancellations lose what
+    they consumed too, but through user error rather than system fault.
+    Returns core-hours per loss class plus the total delivered, so the
+    waste fractions the checkpoint advisor targets are visible.
+    """
+    correlated = job_failure_correlation(jobs, failures)
+    node_failure_loss = 0.0
+    config_error_loss = 0.0
+    delivered = 0.0
+    for jv in jobs.values():
+        if jv.start_time is None or jv.end_time is None:
+            continue
+        core_hours = (
+            (jv.end_time - jv.start_time) / 3600.0
+            * len(jv.nodes) * cpus_per_node
+        )
+        if jv.job_id in correlated or jv.requeued_for_nodes:
+            node_failure_loss += core_hours
+        elif jv.config_error:
+            config_error_loss += core_hours
+        elif jv.succeeded:
+            delivered += core_hours
+    total = node_failure_loss + config_error_loss + delivered
+    return {
+        "node_failure_core_hours": node_failure_loss,
+        "config_error_core_hours": config_error_loss,
+        "delivered_core_hours": delivered,
+        "node_failure_fraction": node_failure_loss / total if total else 0.0,
+        "config_error_fraction": config_error_loss / total if total else 0.0,
+    }
+
+
+def overallocation_report(
+    jobs: dict[int, JobView],
+    failures: Sequence[DetectedFailure],
+    day: Optional[int] = None,
+) -> list[dict[str, object]]:
+    """Fig. 17: per overallocating job, violated vs failed node counts."""
+    correlated = job_failure_correlation(jobs, failures)
+    out = []
+    for job_id, jv in sorted(jobs.items()):
+        if not jv.mem_exceeded:
+            continue
+        if day is not None and (
+            jv.start_time is None or int(jv.start_time // 86_400) != day
+        ):
+            continue
+        failed = correlated.get(job_id, [])
+        out.append(
+            {
+                "job_id": job_id,
+                "allocated_nodes": len(jv.nodes),
+                "overallocated_nodes": len(jv.nodes),  # demand is per-node
+                "failed_nodes": len({f.node for f in failed}),
+            }
+        )
+    return out

@@ -1,0 +1,185 @@
+"""The orchestrator: one call from a log directory to a full diagnosis.
+
+:class:`HolisticDiagnosis` wires the whole methodology together::
+
+    diag = HolisticDiagnosis.from_store(LogStore(path))
+    report = diag.run()
+    print(report.lead_times.mean_enhancement_factor)
+
+``run()`` executes the three methodology steps and every per-question
+analysis, returning a :class:`DiagnosisReport` -- the single object the
+benchmarks, the examples and the report generator consume.  Individual
+analyses are also exposed as methods so a caller can pay for exactly
+what it needs (the benches for single figures do this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.blades import BladeSharing, blade_failure_sharing
+from repro.core.dominant import DailyDominance, daily_dominance, dominance_summary
+from repro.core.errors import DailyErrorPopulation, error_populations
+from repro.core.external import (
+    CorrespondenceStats,
+    ExternalIndex,
+    NhfBreakdown,
+    correspondence,
+    faulty_component_fractions,
+    nhf_breakdown,
+)
+from repro.core.failure_detection import DetectedFailure, FailureDetector
+from repro.core.falsepos import FprComparison, compare_fpr
+from repro.core.jobs import JobView, exit_census, parse_jobs, same_job_locality
+from repro.core.leadtime import (
+    LeadTimeRecord,
+    LeadTimeSummary,
+    compute_lead_times,
+    summarize_lead_times,
+)
+from repro.core.rootcause import RootCauseEngine, RootCauseInference, family_split
+from repro.core.spatial import SwoEvent, detect_swos, exclude_intended
+from repro.core.stacktrace import failure_breakdown, traces_by_node
+from repro.core.temporal import InterFailureStats, weekly_stats
+from repro.faults.model import FailureCategory
+from repro.logs.parsing import ParsedRecord
+from repro.logs.store import LogStore
+from repro.simul.clock import DAY
+
+__all__ = ["DiagnosisReport", "HolisticDiagnosis"]
+
+
+@dataclass
+class DiagnosisReport:
+    """Everything the pipeline concluded about one log set."""
+
+    failures: list[DetectedFailure]
+    #: intended shutdowns recognised and excluded from ``failures``
+    intended_shutdowns: list[DetectedFailure]
+    #: recognised system-wide outages (accounted separately)
+    swos: list[SwoEvent]
+    weekly_inter_failure: list[InterFailureStats]
+    dominance: list[DailyDominance]
+    dominance_summary: dict[str, float]
+    nvf_correspondence: list[CorrespondenceStats]
+    nhf_correspondence: list[CorrespondenceStats]
+    nhf_breakdown: list[NhfBreakdown]
+    faulty_fractions: list[dict[str, float]]
+    error_populations: list[DailyErrorPopulation]
+    job_census: dict[str, float]
+    same_job_groups: list[dict[str, object]]
+    lead_times: LeadTimeSummary
+    lead_time_records: list[LeadTimeRecord]
+    false_positives: FprComparison
+    category_breakdown: dict[FailureCategory, float]
+    blade_sharing: list[BladeSharing]
+    root_causes: list[RootCauseInference]
+    family_split: dict[str, float]
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failures)
+
+
+class HolisticDiagnosis:
+    """The pipeline, bound to one set of parsed logs."""
+
+    def __init__(
+        self,
+        internal: Sequence[ParsedRecord],
+        external: Sequence[ParsedRecord],
+        scheduler: Sequence[ParsedRecord],
+        detector: Optional[FailureDetector] = None,
+        total_nodes: Optional[int] = None,
+    ) -> None:
+        self.internal = list(internal)
+        self.external = list(external)
+        self.scheduler = list(scheduler)
+        self.detector = detector or FailureDetector()
+        # step 2 (built first -- step 1's accounting needs the power-off
+        # notifications): external index
+        self.index: ExternalIndex = ExternalIndex.build(self.external)
+        # step 1: confirmed failures from internal logs, with the paper's
+        # accounting -- intended shutdowns excluded, SWOs set aside
+        candidates = self.detector.detect(self.internal)
+        anomalous, self.intended_shutdowns = exclude_intended(
+            candidates, self.index)
+        if total_nodes is not None:
+            self.swos, self.failures = detect_swos(anomalous, total_nodes)
+        else:
+            self.swos, self.failures = [], anomalous
+        # step 3: job views
+        self.jobs: dict[int, JobView] = parse_jobs(self.scheduler)
+        self._node_traces = None
+
+    @classmethod
+    def from_store(cls, store: LogStore, **kwargs) -> "HolisticDiagnosis":
+        """Build the pipeline from an on-disk log directory.
+
+        The manifest's system key sizes the machine for SWO recognition
+        (unknown keys simply skip SWO separation).
+        """
+        manifest = store.manifest()
+        clock = manifest.clock()
+        if "total_nodes" not in kwargs:
+            try:
+                from repro.cluster.systems import get_system
+
+                kwargs["total_nodes"] = get_system(manifest.system).nodes
+            except KeyError:
+                pass
+        return cls(
+            internal=store.read_internal(clock),
+            external=store.read_external(clock),
+            scheduler=store.read_scheduler(clock),
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def node_traces(self):
+        """Regrouped call traces per node (computed once)."""
+        if self._node_traces is None:
+            self._node_traces = traces_by_node(self.internal)
+        return self._node_traces
+
+    def duration_days(self) -> int:
+        """Span of the log set in whole days (>= 1)."""
+        last = 0.0
+        for recs in (self.internal, self.external, self.scheduler):
+            if recs:
+                last = max(last, recs[-1].time)
+        return max(1, int(last // DAY) + 1)
+
+    # ------------------------------------------------------------------
+    def run(self) -> DiagnosisReport:
+        """Execute every analysis and assemble the report."""
+        dominance = daily_dominance(self.failures)
+        lead_records = compute_lead_times(self.failures, self.internal, self.index)
+        engine = RootCauseEngine(self.index, self.node_traces, self.jobs)
+        inferences = engine.infer_all(self.failures)
+        return DiagnosisReport(
+            failures=self.failures,
+            intended_shutdowns=self.intended_shutdowns,
+            swos=self.swos,
+            weekly_inter_failure=weekly_stats(self.failures),
+            dominance=dominance,
+            dominance_summary=dominance_summary(dominance),
+            nvf_correspondence=correspondence(self.index.nvf, self.failures),
+            nhf_correspondence=correspondence(self.index.nhf, self.failures),
+            nhf_breakdown=nhf_breakdown(self.index, self.failures),
+            faulty_fractions=faulty_component_fractions(self.failures, self.index),
+            error_populations=error_populations(
+                self.internal, self.failures, self.duration_days()
+            ),
+            job_census=exit_census(self.jobs),
+            same_job_groups=same_job_locality(self.jobs, self.failures),
+            lead_times=summarize_lead_times(lead_records),
+            lead_time_records=lead_records,
+            false_positives=compare_fpr(self.internal, self.failures, self.index),
+            category_breakdown=failure_breakdown(self.failures, self.node_traces),
+            blade_sharing=blade_failure_sharing(self.failures),
+            root_causes=inferences,
+            family_split=family_split(inferences),
+        )

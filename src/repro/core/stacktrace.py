@@ -1,0 +1,210 @@
+"""Stack-trace classification (Figs. 15/16, Table IV, Obs. 7).
+
+The paper inspects the *preliminary* part of kernel call traces -- the
+leading modules -- to tell application-triggered failures from
+file-system- or hardware-caused ones.  This module provides:
+
+* :data:`MODULE_SIGNALS` -- leading-function -> category signals
+  (Table IV's vocabulary);
+* :func:`classify_trace` -- categorise one regrouped
+  :class:`~repro.logs.stacktraces.CallTrace` from its top-k frames;
+* :func:`failure_breakdown` -- the Fig. 16 failure-category mix, joining
+  failures to nearby traces and their internal evidence;
+* :func:`node_category_census` -- the Fig. 15 per-node mix for S5 (what
+  fraction of nodes with anomalies showed hung tasks, OOM, Lustre
+  errors, software or hardware errors);
+* :func:`module_table` -- Table IV: which leading modules accompanied
+  which failure symptom.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable, Optional, Sequence
+
+from repro.core.failure_detection import DetectedFailure
+from repro.faults.model import FailureCategory
+from repro.logs.parsing import ParsedRecord
+from repro.logs.stacktraces import CallTrace, group_traces
+
+__all__ = [
+    "MODULE_SIGNALS",
+    "classify_trace",
+    "traces_by_node",
+    "failure_breakdown",
+    "node_category_census",
+    "module_table",
+]
+
+#: leading stack function -> category signal, checked in frame order.
+MODULE_SIGNALS: dict[str, FailureCategory] = {
+    "oom_kill_process": FailureCategory.OOM,
+    "out_of_memory": FailureCategory.OOM,
+    "rwsem_down_failed": FailureCategory.OOM,
+    "rwsem_down_read_failed": FailureCategory.OOM,
+    "ldlm_bl": FailureCategory.FSBUG,
+    "ldlm_bl_thread_main": FailureCategory.FSBUG,
+    "dvs_ipc_mesg": FailureCategory.FSBUG,
+    "inet_map_vism": FailureCategory.FSBUG,
+    "xpmem_detach": FailureCategory.FSBUG,
+    "xpmem_flush": FailureCategory.FSBUG,
+    "sleep_on_page": FailureCategory.HUNG_TASK,
+    "io_schedule": FailureCategory.HUNG_TASK,
+    "mce_log": FailureCategory.HW,
+    "do_machine_check": FailureCategory.HW,
+    "do_invalid_op": FailureCategory.KBUG,
+    "invalid_op": FailureCategory.KBUG,
+    "gni_dla_progress": FailureCategory.OTHERS,
+    "kgni_subsys_error": FailureCategory.OTHERS,
+}
+
+
+def classify_trace(trace: CallTrace, depth: int = 3) -> Optional[FailureCategory]:
+    """Categorise a trace from its leading ``depth`` frames.
+
+    The first recognised module wins; deeper frames are common library
+    code that carries no signal (the paper also stops early).
+    """
+    for func in trace.leading_k(depth):
+        signal = MODULE_SIGNALS.get(func)
+        if signal is not None:
+            return signal
+    return None
+
+
+def traces_by_node(
+    internal: Iterable[ParsedRecord],
+) -> dict[str, list[CallTrace]]:
+    """Regroup call traces and bucket them per node."""
+    grouped = group_traces(internal)
+    out: dict[str, list[CallTrace]] = defaultdict(list)
+    for trace in grouped:
+        out[trace.component].append(trace)
+    return dict(out)
+
+
+def _nearest_trace(
+    traces: Sequence[CallTrace], time: float, window: float
+) -> Optional[CallTrace]:
+    best = None
+    best_gap = window
+    for trace in traces:
+        gap = abs(trace.time - time)
+        if gap <= best_gap:
+            best, best_gap = trace, gap
+    return best
+
+
+def failure_breakdown(
+    failures: Sequence[DetectedFailure],
+    node_traces: dict[str, list[CallTrace]],
+    trace_window: float = 1800.0,
+    trace_depth: int = 3,
+) -> dict[FailureCategory, float]:
+    """Fig. 16: fraction of failures per category.
+
+    Category assignment order mirrors the paper's reading: an abnormal
+    app exit (admindown path) is APP-EXIT regardless of traces; otherwise
+    the nearest trace's leading modules decide; otherwise the symptom
+    label from detection falls through to KBUG / OOM / FSBUG / OTHERS.
+    """
+    counts: Counter[FailureCategory] = Counter()
+    for f in failures:
+        category = _categorize_failure(f, node_traces, trace_window, trace_depth)
+        counts[category] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {cat: counts[cat] / total for cat in sorted(counts, key=lambda c: -counts[c])}
+
+
+def _categorize_failure(
+    f: DetectedFailure,
+    node_traces: dict[str, list[CallTrace]],
+    trace_window: float,
+    trace_depth: int,
+) -> FailureCategory:
+    if f.symptom == "app_exit":
+        return FailureCategory.APP_EXIT
+    if f.symptom in ("oom", "mem_exhaustion"):
+        return FailureCategory.OOM
+    trace = _nearest_trace(node_traces.get(f.node, ()), f.time, trace_window)
+    if trace is not None:
+        signal = classify_trace(trace, depth=trace_depth)
+        if signal is FailureCategory.HUNG_TASK:
+            # hung-task traces mark slow I/O, not a failure class of its own
+            # in the Fig. 16 accounting
+            signal = FailureCategory.OTHERS
+        if signal is FailureCategory.HW:
+            # hardware-led traces land in the Others bucket of the
+            # kernel-oops breakdown (Fig. 16 separates APP/KBUG/FSBUG/OOM)
+            return FailureCategory.OTHERS
+        if signal is not None:
+            return signal
+    if f.symptom in ("lustre", "dvs", "disk"):
+        return FailureCategory.FSBUG
+    if f.symptom == "kernel_bug":
+        return FailureCategory.KBUG
+    return FailureCategory.OTHERS
+
+
+def node_category_census(
+    internal: Sequence[ParsedRecord],
+    trace_depth: int = 3,
+) -> dict[str, float]:
+    """Fig. 15: per-node anomaly mix for an institutional cluster.
+
+    Each node with any anomaly signal is assigned exactly one category by
+    the paper's priority: hung-task timeouts dominate, then OOM, then
+    Lustre errors without call traces, then software errors (page
+    allocation failures / segfaults), then hardware (GPU or disk).
+    Returns category -> fraction of anomalous nodes.
+    """
+    hung: set[str] = set()
+    oom: set[str] = set()
+    lustre: set[str] = set()
+    sw: set[str] = set()
+    hw: set[str] = set()
+    for rec in internal:
+        if rec.event in ("hung_task",):
+            hung.add(rec.component)
+        elif rec.event in ("oom_invoked", "oom_kill"):
+            oom.add(rec.component)
+        elif rec.event in ("lustre_error", "lustre_io_error", "lustre_evicted"):
+            lustre.add(rec.component)
+        elif rec.event in ("page_alloc_fail", "segfault"):
+            sw.add(rec.component)
+        elif rec.event in ("gpu_xid", "disk_error"):
+            hw.add(rec.component)
+    # priority assignment, top first
+    assigned: dict[str, str] = {}
+    for category, nodes in (
+        ("hung_task", hung), ("oom", oom), ("lustre", lustre),
+        ("sw_error", sw), ("hw_error", hw),
+    ):
+        for node in nodes:
+            assigned.setdefault(node, category)
+    total = len(assigned)
+    if total == 0:
+        return {}
+    counts = Counter(assigned.values())
+    return {cat: counts.get(cat, 0) / total
+            for cat in ("hung_task", "oom", "lustre", "sw_error", "hw_error")}
+
+
+def module_table(
+    failures: Sequence[DetectedFailure],
+    node_traces: dict[str, list[CallTrace]],
+    trace_window: float = 1800.0,
+    top_frames: int = 3,
+) -> dict[str, Counter]:
+    """Table IV: symptom -> counts of leading modules seen near failures."""
+    table: dict[str, Counter] = defaultdict(Counter)
+    for f in failures:
+        trace = _nearest_trace(node_traces.get(f.node, ()), f.time, trace_window)
+        if trace is None:
+            continue
+        for func in trace.leading_k(top_frames):
+            if func in MODULE_SIGNALS:
+                table[f.symptom][func] += 1
+    return dict(table)

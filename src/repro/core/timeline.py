@@ -1,0 +1,137 @@
+"""Per-node forensic timelines: the Table V "finer inspection" tool.
+
+The paper's case studies are built by laying one node's internal events,
+its blade/cabinet environmental events and its job context side by side
+around the failure time.  :func:`node_timeline` reconstructs exactly that
+view from parsed logs, and :func:`render_timeline` prints it the way an
+operator would read it::
+
+    -00:19:59  ERD       ec_hw_error detail=corrected mem error rate high
+    -00:04:00  console   mce_threshold cpu=3 kind=corrected
+    -00:00:00  console   kernel_panic why=Fatal machine check      <<< FAILURE
+    +00:00:14  controller nhf node=c0-0c1s4n2
+
+Negative offsets are before the anchor (the failure), positive after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.external import _blade_of
+from repro.core.failure_detection import DetectedFailure
+from repro.core.jobs import JobView
+from repro.logs.parsing import ParsedRecord
+from repro.simul.clock import HOUR
+
+__all__ = ["TimelineEntry", "node_timeline", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One event on a node's forensic timeline."""
+
+    offset: float           # seconds relative to the anchor time
+    lane: str               # console / messages / consumer / controller / erd / job
+    event: str
+    detail: str
+    is_anchor: bool = False
+
+
+def _attrs_str(rec: ParsedRecord, limit: int = 4) -> str:
+    parts = [f"{k}={v}" for k, v in list(rec.attrs.items())[:limit]]
+    return " ".join(parts)
+
+
+def node_timeline(
+    node: str,
+    anchor: float,
+    internal: Iterable[ParsedRecord],
+    external: Iterable[ParsedRecord],
+    jobs: Optional[dict[int, JobView]] = None,
+    before: float = 2 * HOUR,
+    after: float = 10 * 60.0,
+    include_trace_frames: bool = False,
+) -> list[TimelineEntry]:
+    """Merged event timeline for one node around an anchor time.
+
+    Internal events are the node's own; external events are those *about*
+    the node or its blade (the paper's correlation scope); job entries
+    mark the start/end of any job that held the node in the window.
+    Stack-trace frame lines are folded away by default (the head line
+    remains) to keep timelines readable.
+    """
+    if before < 0 or after < 0:
+        raise ValueError("window bounds must be non-negative")
+    blade = _blade_of(node)
+    lo, hi = anchor - before, anchor + after
+    entries: list[TimelineEntry] = []
+    for rec in internal:
+        if rec.component != node or not (lo <= rec.time <= hi):
+            continue
+        if rec.event is None:
+            continue
+        if rec.event == "call_trace_frame" and not include_trace_frames:
+            continue
+        entries.append(TimelineEntry(
+            offset=rec.time - anchor,
+            lane=rec.source.value,
+            event=rec.event,
+            detail=_attrs_str(rec),
+            is_anchor=abs(rec.time - anchor) < 1e-6,
+        ))
+    for rec in external:
+        if rec.event is None or not (lo <= rec.time <= hi):
+            continue
+        about = rec.attr("node") or rec.attr("src") or rec.component
+        if about != node and (blade is None or _blade_of(about) != blade):
+            continue
+        entries.append(TimelineEntry(
+            offset=rec.time - anchor,
+            lane=rec.source.value,
+            event=rec.event,
+            detail=_attrs_str(rec),
+        ))
+    for jv in (jobs or {}).values():
+        if node not in jv.nodes or jv.start_time is None:
+            continue
+        for t, tag in ((jv.start_time, "job_start"), (jv.end_time, "job_end")):
+            if t is not None and lo <= t <= hi:
+                entries.append(TimelineEntry(
+                    offset=t - anchor,
+                    lane="job",
+                    event=tag,
+                    detail=f"job={jv.job_id} app={jv.app} "
+                           f"exit={jv.exit_code if tag == 'job_end' else '-'}",
+                ))
+    entries.sort(key=lambda e: (e.offset, e.lane))
+    return entries
+
+
+def _fmt_offset(seconds: float) -> str:
+    sign = "-" if seconds < 0 else "+"
+    s = abs(seconds)
+    return f"{sign}{int(s // 3600):02d}:{int(s % 3600 // 60):02d}:{int(s % 60):02d}"
+
+
+def render_timeline(
+    entries: Sequence[TimelineEntry],
+    failure: Optional[DetectedFailure] = None,
+) -> str:
+    """Operator-readable rendering of a timeline."""
+    lines = []
+    if failure is not None:
+        lines.append(
+            f"node {failure.node}: {failure.mode.value} at t={failure.time:.1f} "
+            f"(symptom: {failure.symptom})"
+        )
+    if not entries:
+        lines.append("(no events in window)")
+        return "\n".join(lines)
+    for e in entries:
+        marker = "  <<< FAILURE MARKER" if e.is_anchor else ""
+        lines.append(
+            f"{_fmt_offset(e.offset)}  {e.lane:<10} {e.event} {e.detail}{marker}"
+        )
+    return "\n".join(lines)

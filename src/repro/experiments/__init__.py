@@ -1,0 +1,17 @@
+"""Experiment reproduction: scenarios, figures, tables.
+
+One function per table/figure of the paper's evaluation.  Each figure
+function consumes a materialised scenario (a log directory built by
+:mod:`repro.experiments.scenarios`) and returns an
+:class:`~repro.experiments.result.ExperimentResult` pairing the measured
+values with the paper's reference numbers, so EXPERIMENTS.md and the
+benchmarks can render paper-vs-measured without duplicating logic.
+
+Scenario materialisation is cached on disk keyed by (name, seed): the
+first call simulates and writes logs, subsequent calls just re-read them.
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scenarios import SCENARIOS, materialize
+
+__all__ = ["ExperimentResult", "SCENARIOS", "materialize"]

@@ -1,0 +1,108 @@
+"""Draw experiment results as ASCII figures.
+
+Each drawer consumes the ``series`` payload an
+:class:`~repro.experiments.result.ExperimentResult` carries and renders
+the figure's actual shape -- a CDF for Fig. 3, category bars for
+Fig. 16, hourly sparklines for Fig. 9 -- so the CLI and examples can
+show *the figure*, not just its headline numbers.  Results without a
+registered drawer fall back to the tabular ``render()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.experiments.render import bar_chart, cdf_plot, series_table, sparkline
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["draw", "DRAWERS"]
+
+
+def _draw_fig3(result: ExperimentResult) -> str:
+    cdf = (result.series or {}).get("w1_cdf") or []
+    return cdf_plot(cdf, title="Fig. 3 -- W1 inter-failure gap CDF",
+                    x_label="gap(min)")
+
+
+def _draw_fig9(result: ExperimentResult) -> str:
+    totals = (result.series or {}).get("totals") or {}
+    lines = ["Fig. 9 -- daily warning totals per noisy blade"]
+    for blade, total in sorted(totals.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {blade:>14}: {total:6d}")
+    return "\n".join(lines)
+
+
+def _draw_fig10(result: ExperimentResult) -> str:
+    daily = (result.series or {}).get("daily") or []
+    rows = [
+        {"day": d, "hw": hw, "mce": mce, "lustre": lu, "pagefault": pf,
+         "failed": failed}
+        for d, hw, mce, lu, pf, failed in daily
+    ]
+    return ("Fig. 10 -- erroneous vs failed nodes per day\n"
+            + series_table(rows, ("day", "hw", "mce", "lustre",
+                                  "pagefault", "failed")))
+
+
+def _draw_fig11(result: ExperimentResult) -> str:
+    temps = (result.series or {}).get("temps") or {}
+    values = list(temps.values())
+    return ("Fig. 11 -- mean CPU temperature per node sensor\n  "
+            + sparkline(values)
+            + f"\n  ({len(values)} sensors, "
+              f"min {min(values):.1f}C max {max(values):.1f}C)"
+            if values else "Fig. 11 -- no telemetry")
+
+
+def _draw_fig13(result: ExperimentResult) -> str:
+    weekly = (result.series or {}).get("weekly_enhanceable") or {}
+    return bar_chart(
+        {f"W{w + 1}": frac for w, frac in sorted(weekly.items())},
+        fmt="{:.1%}",
+        title="Fig. 13 -- enhanceable-failure fraction per week",
+    )
+
+
+def _draw_fig16(result: ExperimentResult) -> str:
+    return bar_chart(
+        dict(result.measured), fmt="{:.1%}",
+        title="Fig. 16 -- failure-category breakdown",
+    )
+
+
+def _draw_fig15(result: ExperimentResult) -> str:
+    return bar_chart(
+        dict(result.measured), fmt="{:.1%}",
+        title="Fig. 15 -- per-node anomaly mix",
+    )
+
+
+def _draw_fig17(result: ExperimentResult) -> str:
+    rows = (result.series or {}).get("rows") or []
+    table_rows = [
+        {"job": r["job_id"], "overallocated": r["overallocated_nodes"],
+         "failed": r["failed_nodes"]}
+        for r in rows
+    ]
+    return ("Fig. 17 -- overallocated vs failed nodes per job\n"
+            + series_table(table_rows, ("job", "overallocated", "failed")))
+
+
+DRAWERS: dict[str, Callable[[ExperimentResult], str]] = {
+    "fig3": _draw_fig3,
+    "fig9": _draw_fig9,
+    "fig10": _draw_fig10,
+    "fig11": _draw_fig11,
+    "fig13": _draw_fig13,
+    "fig15": _draw_fig15,
+    "fig16": _draw_fig16,
+    "fig17": _draw_fig17,
+}
+
+
+def draw(result: ExperimentResult) -> str:
+    """ASCII figure for a result; tabular fallback when no drawer fits."""
+    drawer: Optional[Callable] = DRAWERS.get(result.experiment)
+    if drawer is None:
+        return result.render()
+    return drawer(result)

@@ -1,0 +1,589 @@
+"""Per-figure reproduction functions (Figs. 3-19).
+
+Each function takes a :class:`~repro.core.pipeline.HolisticDiagnosis`
+(usually built from a cached scenario store via :func:`load`) and returns
+an :class:`~repro.experiments.result.ExperimentResult` holding the
+measured values, the paper's reference numbers, and a boolean shape
+check encoding the figure's qualitative claim.
+
+Shape checks are deliberately about *structure*, not absolute agreement:
+e.g. Fig. 13's check is "external precursors extend mean lead time by
+several times for a 10-30 % minority of failures", not "the factor is
+exactly 5.0".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dominant import daily_dominance, dominance_summary
+from repro.core.errors import error_populations, mean_cpu_temperature
+from repro.core.external import (
+    correspondence,
+    faulty_component_fractions,
+    nhf_breakdown,
+    sedc_census,
+    warning_frequency_by_hour,
+)
+from repro.core.falsepos import compare_fpr
+from repro.core.jobs import exit_census, overallocation_report
+from repro.core.leadtime import (
+    compute_lead_times,
+    summarize_lead_times,
+    weekly_enhanceable_fractions,
+)
+from repro.core.pipeline import HolisticDiagnosis
+from repro.core.stacktrace import failure_breakdown, node_category_census
+from repro.core.temporal import gap_cdf, inter_failure_gaps, weekly_stats
+from repro.core.blades import blade_failure_sharing
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scenarios import materialize
+from repro.faults.model import FailureCategory
+from repro.logs.store import LogStore
+
+__all__ = [
+    "load", "diagnosis",
+    "fig3_internode_times", "fig4_dominant_cause", "fig5_nvf_nhf",
+    "fig6_nhf_breakdown", "fig7_blade_cabinet", "fig8_sedc_blades",
+    "fig9_warning_freq", "fig10_errors_vs_failures", "fig11_cpu_temp",
+    "fig12_job_exits", "fig13_leadtime", "fig14_false_positives",
+    "fig15_s5_traces", "fig16_s2_breakdown", "fig17_overallocation",
+    "fig18_blade_sharing", "fig19_job_mtbf",
+]
+
+
+@lru_cache(maxsize=16)
+def _cached_diag(root: str) -> HolisticDiagnosis:
+    return HolisticDiagnosis.from_store(LogStore(Path(root)))
+
+
+def diagnosis(store: LogStore) -> HolisticDiagnosis:
+    """Pipeline over a store, cached per directory."""
+    return _cached_diag(str(store.root))
+
+
+def load(scenario: str, seed: int = 7) -> HolisticDiagnosis:
+    """Materialise a scenario (cached) and build its pipeline."""
+    return diagnosis(materialize(scenario, seed=seed))
+
+
+# ---------------------------------------------------------------------------
+def fig3_internode_times(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 3: inter-node failure time CDFs, S1 weeks W1 and W7."""
+    weekly = weekly_stats(diag.failures)
+    by_week = {s.window: s for s in weekly}
+    w1 = by_week.get(0)
+    w7 = by_week.get(6)
+    gaps_w1 = inter_failure_gaps([f for f in diag.failures if f.week == 0])
+    cdf_w1 = gap_cdf(gaps_w1, (1, 2, 4, 8, 16, 32, 64, 128))
+    measured = {
+        "w1_frac_within_16min": w1.frac_within_16min if w1 else 0.0,
+        "w7_frac_within_16min": w7.frac_within_16min if w7 else 0.0,
+        "w1_mtbf_min": w1.tight_mtbf_minutes if w1 else float("nan"),
+        "w7_mtbf_min": w7.tight_mtbf_minutes if w7 else float("nan"),
+    }
+    paper = {
+        "w1_frac_within_16min": 0.923,
+        "w7_frac_within_16min": 0.762,
+        "w1_mtbf_min": 1.5,
+        "w7_mtbf_min": 12.1,
+    }
+    shape = (
+        w1 is not None and w7 is not None
+        and measured["w1_frac_within_16min"] > measured["w7_frac_within_16min"]
+        and measured["w1_mtbf_min"] < measured["w7_mtbf_min"]
+        and measured["w1_frac_within_16min"] > 0.7
+    )
+    return ExperimentResult(
+        experiment="fig3", title="Inter-node failure times (S1, W1 vs W7)",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="failures minutes apart; W1 tighter than W7",
+        series={"w1_cdf": cdf_w1},
+    )
+
+
+def fig4_dominant_cause(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 4: fraction of daily failures sharing the dominant cause."""
+    dominance = daily_dominance(diag.failures)
+    summary = dominance_summary(dominance[:30])
+    measured = {
+        "mean_fraction": summary["mean_fraction"],
+        "min_failures": summary["min_failures"],
+        "max_failures": summary["max_failures"],
+        "days": summary["days"],
+    }
+    paper = {
+        "mean_fraction": 0.73,  # the 65-82 % band's centre
+        "min_failures": 12,
+        "max_failures": 21,
+        "days": 30,
+    }
+    shape = (
+        summary["days"] >= 10
+        and 0.55 <= summary["mean_fraction"] <= 0.95
+        and summary["majority_recoverable_days"] > summary["days"] / 2
+    )
+    return ExperimentResult(
+        experiment="fig4", title="Daily dominant-cause fraction",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="65-82 % of a day's failures share one cause; fixing it "
+              "recovers >50 % of failures on most days",
+    )
+
+
+def fig5_nvf_nhf(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 5: NVF and NHF correspondence with failures, per month."""
+    nvf = correspondence(diag.index.nvf, diag.failures)
+    nhf = correspondence(diag.index.nhf, diag.failures)
+    nvf_total = sum(s.faults for s in nvf)
+    nhf_total = sum(s.faults for s in nhf)
+    measured = {
+        "nvf_fraction": (sum(s.corresponding for s in nvf) / nvf_total) if nvf_total else 0.0,
+        "nhf_fraction": (sum(s.corresponding for s in nhf) / nhf_total) if nhf_total else 0.0,
+        "nvf_count": nvf_total,
+        "nhf_count": nhf_total,
+    }
+    paper = {
+        "nvf_fraction": 0.82,  # 67-97 % band centre
+        "nhf_fraction": 0.43,  # "about 43 % of NHFs actually fail"
+    }
+    shape = (
+        nvf_total > 0 and nhf_total > 0
+        and measured["nvf_fraction"] >= 0.6
+        and measured["nvf_fraction"] > measured["nhf_fraction"]
+        and 0.2 <= measured["nhf_fraction"] <= 0.8
+    )
+    return ExperimentResult(
+        experiment="fig5", title="NVF/NHF failure correspondence",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="NVFs rare but strongly failure-linked; NHFs much weaker",
+        series={
+            "nvf_monthly": [(s.group, s.fraction) for s in nvf],
+            "nhf_monthly": [(s.group, s.fraction) for s in nhf],
+        },
+    )
+
+
+def fig6_nhf_breakdown(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 6: weekly NHF outcomes (failed / power-off / skipped)."""
+    weeks = nhf_breakdown(diag.index, diag.failures)
+    total = sum(w.total for w in weeks)
+    failed = sum(w.failed for w in weeks)
+    off = sum(w.power_off for w in weeks)
+    skipped = sum(w.skipped for w in weeks)
+    measured = {
+        "weeks": len(weeks),
+        "failed_fraction": failed / total if total else 0.0,
+        "power_off_fraction": off / total if total else 0.0,
+        "skipped_fraction": skipped / total if total else 0.0,
+    }
+    paper = {
+        "failed_fraction": 0.5,  # "more than 50 % of NHFs eventually fail"
+        "power_off_fraction": 0.2,
+        "skipped_fraction": 0.3,
+    }
+    majority_weeks = sum(1 for w in weeks if w.failed_fraction > 0.5)
+    shape = (
+        total > 0 and len(weeks) >= 4
+        and measured["failed_fraction"] > 0.3
+        and (off + skipped) > 0
+        and majority_weeks >= len(weeks) / 2
+    )
+    return ExperimentResult(
+        experiment="fig6", title="NHF breakdown over weeks",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="most NHFs are failures; the rest are power-offs or skips",
+        series={"weekly": [(w.week, w.failed, w.power_off, w.skipped) for w in weeks]},
+    )
+
+
+def fig7_blade_cabinet(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 7: failures on faulty blades / in faulty cabinets."""
+    groups = faulty_component_fractions(diag.failures, diag.index)
+    blade_fracs = [g["blade_fraction"] for g in groups]
+    cab_fracs = [g["cabinet_fraction"] for g in groups]
+    measured = {
+        "blade_fraction_min": min(blade_fracs) if blade_fracs else 0.0,
+        "blade_fraction_max": max(blade_fracs) if blade_fracs else 0.0,
+        "cabinet_fraction_min": min(cab_fracs) if cab_fracs else 0.0,
+        "cabinet_fraction_max": max(cab_fracs) if cab_fracs else 0.0,
+    }
+    paper = {
+        "blade_fraction_min": 0.23, "blade_fraction_max": 0.59,
+        "cabinet_fraction_min": 0.19, "cabinet_fraction_max": 0.58,
+    }
+    shape = (
+        bool(groups)
+        # weak correlation: a minority-to-moderate fraction, never ~100 %
+        and measured["blade_fraction_max"] < 0.85
+        and measured["blade_fraction_min"] >= 0.0
+    )
+    return ExperimentResult(
+        experiment="fig7", title="Failures with faulty blades/cabinets",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="weak blade/cabinet correlation (Obs. 2)",
+        series={"groups": groups},
+    )
+
+
+def fig8_sedc_blades(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 8: unique blade counts with SEDC warnings over a week (S1)."""
+    census = sedc_census(diag.index, week=0)
+    per_warning = census["unique_blades_per_warning"]
+    counts = list(per_warning.values())
+    measured = {
+        "warning_types": len(per_warning),
+        "min_unique_blades": min(counts) if counts else 0,
+        "max_unique_blades": max(counts) if counts else 0,
+        "components_with_faults": census["components_with_faults"],
+    }
+    paper = {
+        "min_unique_blades": 5,
+        "max_unique_blades": 226,
+        "components_with_faults": 132,  # 24-240 band centre
+    }
+    shape = (
+        len(per_warning) >= 2
+        and measured["max_unique_blades"] >= 5
+        and census["components_with_faults"] > 0
+    )
+    return ExperimentResult(
+        experiment="fig8", title="SEDC warning blade census (week, S1)",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="a small subset of blades floods warnings weekly",
+        series={"per_warning": per_warning},
+    )
+
+
+def fig9_warning_freq(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 9: per-blade hourly warning frequency across a day (S2)."""
+    by_blade = warning_frequency_by_hour(diag.index, day=3)
+    totals = {blade: int(c.sum()) for blade, c in by_blade.items()}
+    heavy = [b for b, t in totals.items() if t > 1400]
+    # a blade that "stops seeing warnings" after some hour
+    quiet_after = 0
+    for counts in by_blade.values():
+        nonzero = np.nonzero(counts)[0]
+        if nonzero.size and nonzero[-1] <= 14:
+            quiet_after += 1
+    measured = {
+        "noisy_blades": len(by_blade),
+        "blades_over_1400": len(heavy),
+        "max_daily_warnings": max(totals.values()) if totals else 0,
+        "blades_quiet_after_hour": quiet_after,
+    }
+    paper = {
+        "blades_over_1400": 3,  # "blades 1, 5 and 8 > 1400 mean warnings"
+        "blades_quiet_after_hour": 1,  # "7 stopped seeing them"
+    }
+    shape = (
+        measured["blades_over_1400"] >= 1
+        and measured["blades_quiet_after_hour"] >= 1
+    )
+    return ExperimentResult(
+        experiment="fig9", title="BC-CC warning frequency by hour (S2)",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="recurring benign warning floods, uncorrelated with failures",
+        series={"totals": totals},
+    )
+
+
+def fig10_errors_vs_failures(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 10: erroneous-node populations vastly exceed failed nodes.
+
+    The paper shows a representative 16-consecutive-day window with < 6
+    failures per day ("representative samples carefully chosen over
+    time-intervals"); we select the quietest 16-day window the same way.
+    """
+    all_pops = error_populations(
+        diag.internal, diag.failures, days=diag.duration_days()
+    )
+    if len(all_pops) > 16:
+        best_start = min(
+            range(len(all_pops) - 15),
+            key=lambda s: max(p.failed_nodes for p in all_pops[s:s + 16]),
+        )
+        pops = all_pops[best_start:best_start + 16]
+    else:
+        pops = all_pops
+    err_nodes = [p.hw_error_nodes + p.mce_nodes + p.lustre_io_nodes + p.page_fault_nodes
+                 for p in pops]
+    measured = {
+        "mean_erroneous_nodes_per_day": float(np.mean(err_nodes)),
+        "max_failed_nodes_per_day": max(p.failed_nodes for p in pops),
+        "days_pf_exceeds_hw": sum(
+            1 for p in pops if p.page_fault_nodes > p.hw_error_nodes
+        ),
+    }
+    paper = {
+        "max_failed_nodes_per_day": 6,
+        "days_pf_exceeds_hw": 10,  # "more nodes experience page fault locks"
+    }
+    shape = (
+        measured["mean_erroneous_nodes_per_day"]
+        > 3 * max(1, measured["max_failed_nodes_per_day"]) / 2
+        and measured["days_pf_exceeds_hw"] >= 8
+    )
+    return ExperimentResult(
+        experiment="fig10", title="Erroneous vs failed nodes over 16 days",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="most erroneous nodes never fail (Obs. 4)",
+        series={"daily": [(p.day, p.hw_error_nodes, p.mce_nodes,
+                           p.lustre_io_nodes, p.page_fault_nodes,
+                           p.failed_nodes) for p in pops]},
+    )
+
+
+def fig11_cpu_temp(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 11: mean CPU temperatures flat at ~40 C; one node at 0 C."""
+    temps = mean_cpu_temperature(diag.external, day=0)
+    values = np.array(list(temps.values()))
+    powered = values[values > 5.0]
+    measured = {
+        "node_sensors": len(temps),
+        "mean_powered_temp": float(powered.mean()) if powered.size else 0.0,
+        "std_powered_temp": float(powered.std()) if powered.size else 0.0,
+        "nodes_at_zero": int(np.sum(values <= 5.0)),
+    }
+    paper = {
+        "mean_powered_temp": 40.0,
+        "nodes_at_zero": 1,
+    }
+    shape = (
+        len(temps) >= 30
+        and 35.0 <= measured["mean_powered_temp"] <= 45.0
+        and measured["std_powered_temp"] < 5.0
+        and measured["nodes_at_zero"] == 1
+    )
+    return ExperimentResult(
+        experiment="fig11", title="Mean CPU temperature across 16 blades",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="temperature does not aid root-cause analysis (Obs. 3)",
+        series={"temps": temps},
+    )
+
+
+def fig12_job_exits(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 12: job exit-code census over three days."""
+    daily = [exit_census(diag.jobs, day=d) for d in range(3)]
+    nonzero = [d["nonzero_exit_frac"] for d in daily if d["jobs"]]
+    success = [d["success_frac"] for d in daily if d["jobs"]]
+    measured = {
+        "days": len(nonzero),
+        "nonzero_exit_min": min(nonzero) if nonzero else 0.0,
+        "nonzero_exit_max": max(nonzero) if nonzero else 0.0,
+        "success_min": min(success) if success else 0.0,
+        "success_max": max(success) if success else 0.0,
+    }
+    paper = {
+        "nonzero_exit_min": 0.0006,
+        "nonzero_exit_max": 0.0602,
+        "success_min": 0.9043,
+        "success_max": 0.9571,
+    }
+    shape = (
+        len(nonzero) == 3
+        and measured["success_min"] >= 0.85
+        and measured["nonzero_exit_max"] <= 0.12
+    )
+    return ExperimentResult(
+        experiment="fig12", title="Job exit codes over 3 days",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="the overwhelming majority of jobs succeed; few non-zero exits",
+        series={"daily": daily},
+    )
+
+
+def fig13_leadtime(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 13: lead-time enhancement via external precursors."""
+    records = compute_lead_times(diag.failures, diag.internal, diag.index)
+    summary = summarize_lead_times(records)
+    weekly = weekly_enhanceable_fractions(records)
+    app_records = [r for r in records
+                   if r.symptom in ("app_exit", "oom", "mem_exhaustion")]
+    app_enhanceable = sum(r.enhanceable for r in app_records)
+    measured = {
+        "enhanceable_fraction": summary.enhanceable_fraction,
+        "mean_enhancement_factor": summary.mean_enhancement_factor,
+        "mean_internal_lead_s": summary.mean_internal_lead,
+        "mean_external_lead_s": summary.mean_external_lead,
+        "app_triggered_enhanceable": app_enhanceable,
+    }
+    paper = {
+        "enhanceable_fraction": 0.19,  # 10-28 % band centre
+        "mean_enhancement_factor": 5.0,
+        "app_triggered_enhanceable": 0,
+    }
+    shape = (
+        0.05 <= summary.enhanceable_fraction <= 0.40
+        and summary.mean_enhancement_factor >= 3.0
+        and app_enhanceable <= max(1, len(app_records) // 20)
+    )
+    return ExperimentResult(
+        experiment="fig13", title="Lead-time enhancement (Obs. 5)",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="~5x gains for the fail-slow minority; none for "
+              "application-triggered failures",
+        series={"weekly_enhanceable": weekly},
+    )
+
+
+def fig14_false_positives(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 14: FPR with vs without external correlation."""
+    cmp = compare_fpr(diag.internal, diag.failures, diag.index)
+    measured = {
+        "internal_fpr": cmp.internal_fpr,
+        "correlated_fpr": cmp.correlated_fpr,
+        "episodes": cmp.episodes,
+    }
+    paper = {
+        "internal_fpr": 0.3077,
+        "correlated_fpr": 0.2143,
+    }
+    shape = (
+        cmp.episodes > 20
+        and cmp.correlated_fpr < cmp.internal_fpr
+        and cmp.correlated_alarms > 0
+    )
+    return ExperimentResult(
+        experiment="fig14", title="False-positive rate comparison",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="external correlation lowers the FPR",
+    )
+
+
+def fig15_s5_traces(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 15: S5 per-node anomaly mix (hung tasks dominate)."""
+    census = node_category_census(diag.internal)
+    measured = dict(census)
+    paper = {
+        "hung_task": 0.8057, "oom": 0.1059, "lustre": 0.0504,
+        "sw_error": 0.0216, "hw_error": 0.0143,
+    }
+    order = sorted(census, key=lambda k: -census[k])
+    shape = (
+        bool(census)
+        and order[:2] == ["hung_task", "oom"]
+        and census["hung_task"] > 0.6
+        and census.get("lustre", 0) >= census.get("hw_error", 0)
+    )
+    return ExperimentResult(
+        experiment="fig15", title="S5 call-trace / anomaly mix",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="hung-task timeouts dominate the institutional cluster and "
+              "do not fail nodes",
+    )
+
+
+def fig16_s2_breakdown(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 16: S2 failure-category breakdown."""
+    breakdown = failure_breakdown(diag.failures, diag.node_traces)
+    measured = {cat.value: frac for cat, frac in breakdown.items()}
+    paper = {
+        "app_exit": 0.375, "fsbug": 0.2678, "oom": 0.1607,
+        "others": 0.125, "kbug": 0.0714,
+    }
+    shape = (
+        bool(breakdown)
+        and max(breakdown, key=breakdown.get) is FailureCategory.APP_EXIT
+        and breakdown.get(FailureCategory.FSBUG, 0) > breakdown.get(FailureCategory.KBUG, 0)
+        and breakdown.get(FailureCategory.OOM, 0) > 0.05
+    )
+    return ExperimentResult(
+        experiment="fig16", title="S2 failure breakdown by category",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="app exits dominate; FS bugs beat kernel bugs (Obs. 6)",
+    )
+
+
+def fig17_overallocation(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 17: memory overallocation failures over 16 jobs."""
+    rows = overallocation_report(diag.jobs, diag.failures)
+    total_failures = sum(r["failed_nodes"] for r in rows)
+    all_fail_jobs = [r["job_id"] for r in rows
+                     if r["failed_nodes"] >= r["allocated_nodes"] and r["allocated_nodes"] > 1]
+    big_jobs = {r["job_id"]: r for r in rows if r["allocated_nodes"] >= 500}
+    measured = {
+        "jobs": len(rows),
+        "total_node_failures": total_failures,
+        "jobs_with_all_nodes_failed": len(all_fail_jobs),
+        "j1_failed_of_600": big_jobs.get(1, {}).get("failed_nodes"),
+        "j16_failed_of_683": big_jobs.get(16, {}).get("failed_nodes"),
+    }
+    paper = {
+        "jobs": 16,
+        "total_node_failures": 53,
+        "jobs_with_all_nodes_failed": 2,
+        "j1_failed_of_600": 1,
+        "j16_failed_of_683": 6,
+    }
+    shape = (
+        len(rows) == 16
+        and 35 <= total_failures <= 75
+        and len(all_fail_jobs) >= 1
+        and (big_jobs.get(1, {}).get("failed_nodes") or 0) <= 3
+    )
+    return ExperimentResult(
+        experiment="fig17", title="Overallocation-driven failures (16 jobs)",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="a subset of overallocated nodes fail; whole small jobs can "
+              "lose every node",
+        series={"rows": rows},
+    )
+
+
+def fig18_blade_sharing(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 18: blade failures share a reason, errors small."""
+    weekly = blade_failure_sharing(diag.failures)
+    fracs = [w.mean_shared_fraction for w in weekly]
+    stds = [w.std_shared_fraction for w in weekly]
+    measured = {
+        "weeks": len(weekly),
+        "mean_shared_fraction": float(np.mean(fracs)) if fracs else 0.0,
+        "max_std": float(max(stds)) if stds else 0.0,
+    }
+    paper = {
+        "mean_shared_fraction": 0.9,
+        "max_std": 0.072,  # "errors are less than +-7.2"
+    }
+    shape = (
+        len(weekly) >= 4
+        and measured["mean_shared_fraction"] > 0.75
+    )
+    return ExperimentResult(
+        experiment="fig18", title="Blade failure-reason sharing",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="whole-blade failures almost always share the root cause",
+        series={"weekly": [(w.week, w.blades, w.mean_shared_fraction) for w in weekly]},
+    )
+
+
+def fig19_job_mtbf(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Fig. 19: job-triggered failure MTBFs stay under ~32 minutes."""
+    weekly = weekly_stats(diag.failures, only_job_triggered_symptoms=True)
+    mtbfs = [s.tight_mtbf_minutes for s in weekly
+             if s.count >= 3 and not np.isnan(s.tight_mtbf_minutes)]
+    w1 = next((s for s in weekly if s.window == 0), None)
+    measured = {
+        "weeks": len(mtbfs),
+        "max_weekly_mtbf_min": max(mtbfs) if mtbfs else float("nan"),
+        "w1_frac_within_5min": w1.frac_within_5min if w1 else 0.0,
+    }
+    paper = {
+        "max_weekly_mtbf_min": 32.0,
+        "w1_frac_within_5min": 0.916,
+    }
+    shape = (
+        len(mtbfs) >= 4
+        and measured["max_weekly_mtbf_min"] <= 45.0
+        and measured["w1_frac_within_5min"] >= 0.6
+    )
+    return ExperimentResult(
+        experiment="fig19", title="Job-triggered failure MTBF (S3)",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="same-job failures cluster within minutes (Obs. 8)",
+        series={"weekly": [(s.window, s.count, s.mtbf_minutes) for s in weekly]},
+    )

@@ -1,0 +1,95 @@
+"""ASCII rendering for figures: bar charts, CDFs, sparklines, tables.
+
+The paper's figures are bar/line charts; this module draws the same
+shapes in plain text so the examples and the CLI can show them in a
+terminal without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "cdf_plot", "sparkline", "series_table"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart, one row per key, scaled to the max value."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    lines = [title] if title else []
+    if not data:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    peak = max(abs(v) for v in data.values()) or 1.0
+    label_width = max(len(str(k)) for k in data)
+    for key, value in data.items():
+        bar = "#" * max(0, round(abs(value) / peak * width))
+        lines.append(f"{str(key).rjust(label_width)} | "
+                     f"{bar.ljust(width)} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    points: Sequence[tuple[float, float]],
+    width: int = 40,
+    title: str = "",
+    x_label: str = "x",
+) -> str:
+    """CDF as rows of (threshold, cumulative-fraction) bars (Fig. 3 style)."""
+    lines = [title] if title else []
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    for x, fraction in points:
+        fraction = min(max(fraction, 0.0), 1.0)
+        bar = "#" * round(fraction * width)
+        lines.append(f"{x_label}<={x:>8.1f} | {bar.ljust(width)} {fraction:6.1%}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline (hourly warning counts, Fig. 9 style)."""
+    values = list(values)
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int((v - low) / span * (len(_SPARK) - 1)))]
+        for v in values
+    )
+
+
+def series_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    fmt: str = "{:.3g}",
+) -> str:
+    """Fixed-width table of dict rows (the per-week figure series)."""
+    if not columns:
+        raise ValueError("columns must be non-empty")
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return fmt.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(val.rjust(w) for val, w in zip(row, widths))
+        for row in rendered
+    ]
+    return "\n".join([header, sep, *body])

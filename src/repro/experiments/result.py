@@ -1,0 +1,52 @@
+"""Uniform result container for experiment reproductions.
+
+Every figure/table function returns an :class:`ExperimentResult`: the
+experiment id, what was measured, the paper's reference values, and a
+human check of whether the *shape* holds (who wins, roughly by how much).
+Absolute agreement is not expected -- the substrate is a simulator, not
+the authors' machines -- so ``shape_ok`` encodes each experiment's
+qualitative claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Measured-vs-paper record for one experiment."""
+
+    experiment: str
+    title: str
+    measured: Mapping[str, object]
+    paper: Mapping[str, object]
+    shape_ok: bool
+    notes: str = ""
+    series: Optional[Mapping[str, object]] = None
+
+    def render(self) -> str:
+        """Plain-text paper-vs-measured block."""
+        lines = [f"== {self.experiment}: {self.title} ==",
+                 f"shape holds: {'yes' if self.shape_ok else 'NO'}"]
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        keys = sorted(set(self.measured) | set(self.paper))
+        width = max((len(k) for k in keys), default=10)
+        lines.append(f"{'quantity'.ljust(width)}  {'paper':>18}  {'measured':>18}")
+        for key in keys:
+            paper_v = _fmt(self.paper.get(key))
+            meas_v = _fmt(self.measured.get(key))
+            lines.append(f"{key.ljust(width)}  {paper_v:>18}  {meas_v:>18}")
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

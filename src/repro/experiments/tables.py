@@ -1,0 +1,270 @@
+"""Per-table reproduction functions (Tables I-VI + the Sec. III-F split).
+
+Tables I and II validate the substrate's fidelity to the paper's setup
+(system catalog, log sources); Tables III and IV are vocabulary censuses
+over simulated logs; Table V runs the root-cause engine over the five
+scripted case studies; Table VI exercises the findings generator on the
+full S3 diagnosis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cluster.systems import SYSTEMS
+from repro.core.external import HEALTH_FAULT_EVENTS, SEDC_WARNING_EVENTS
+from repro.core.pipeline import HolisticDiagnosis
+from repro.core.report import generate_findings
+from repro.core.rootcause import RootCauseEngine, family_split
+from repro.core.stacktrace import module_table
+from repro.experiments.result import ExperimentResult
+from repro.faults.model import FaultFamily
+from repro.logs.store import LogStore
+
+__all__ = [
+    "table1_systems",
+    "table2_logsources",
+    "table3_fault_breakdown",
+    "table4_stack_modules",
+    "table5_case_studies",
+    "table6_findings",
+    "s3_family_split",
+]
+
+#: Table I reference rows (system -> (nodes, interconnect, scheduler))
+_TABLE1 = {
+    "S1": (5600, "Aries Dragonfly", "Slurm"),
+    "S2": (6400, "Gemini Torus", "Torque"),
+    "S3": (2100, "Aries Dragonfly", "Slurm"),
+    "S4": (1872, "Aries Dragonfly", "Torque"),
+    "S5": (520, "Infiniband", "Slurm"),
+}
+
+
+def table1_systems() -> ExperimentResult:
+    """Table I: the five-system catalog."""
+    measured = {}
+    ok = True
+    for key, (nodes, interconnect, scheduler) in _TABLE1.items():
+        spec = SYSTEMS[key]
+        measured[f"{key}_nodes"] = spec.nodes
+        ok = ok and (
+            spec.nodes == nodes
+            and spec.interconnect.value == interconnect
+            and spec.scheduler.value == scheduler
+        )
+    paper = {f"{k}_nodes": v[0] for k, v in _TABLE1.items()}
+    return ExperimentResult(
+        experiment="table1", title="HPC system details",
+        measured=measured, paper=paper, shape_ok=ok,
+        notes="catalog matches Table I (S2's 'XL6' read as the Gemini XE6 "
+              "line; S5's file system follows the prose, not the table row)",
+    )
+
+
+def table2_logsources(store: LogStore) -> ExperimentResult:
+    """Table II: the log sources a written store provides."""
+    counts = store.line_counts()
+    expected = ("console", "messages", "consumer", "controller", "erd", "sched")
+    measured = {f"{src}_lines": counts.get(src, 0) for src in expected}
+    measured["sources_present"] = sum(1 for src in expected if src in counts)
+    paper = {"sources_present": 6}
+    shape = measured["sources_present"] == 6 and counts.get("console", 0) > 0
+    return ExperimentResult(
+        experiment="table2", title="Log sources consulted",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="p0 console/messages/consumer + controller + ERD + scheduler",
+    )
+
+
+def table3_fault_breakdown(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Table III: observed health-fault and SEDC-warning vocabulary."""
+    observed = Counter(event for _t, _about, event in diag.index.events)
+    health = {e for e in observed if e in HEALTH_FAULT_EVENTS}
+    sedc = {e for e in observed if e in SEDC_WARNING_EVENTS}
+    measured = {
+        "health_fault_types": len(health),
+        "sedc_warning_types": len(sedc),
+        "nhf_seen": int("nhf" in health),
+        "nvf_seen": int("nvf" in health),
+        "sedc_seen": int("ec_sedc_warning" in sedc),
+    }
+    paper = {"nhf_seen": 1, "nvf_seen": 1, "sedc_seen": 1,
+             "health_fault_types": 6, "sedc_warning_types": 2}
+    shape = (
+        measured["health_fault_types"] >= 4
+        and measured["sedc_warning_types"] >= 1
+        and measured["nhf_seen"] and measured["nvf_seen"]
+    )
+    return ExperimentResult(
+        experiment="table3", title="Fault breakdown vocabulary",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="NHF/NVF/BCHF/ECB health faults + temperature/voltage/"
+              "velocity SEDC warnings",
+        series={"observed": dict(observed)},
+    )
+
+
+#: Table IV reference: failure symptom -> modules the paper associates
+_TABLE4_EXPECTED = {
+    "hw_mce": {"mce_log"},
+    "lustre": {"ldlm_bl"},
+    "dvs": {"dvs_ipc_mesg", "inet_map_vism"},
+    "mem_exhaustion": {"rwsem_down_failed"},
+    "oom": {"out_of_memory", "oom_kill_process"},
+}
+
+
+def table4_stack_modules(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Table IV: failure causes vs leading stack modules."""
+    table = module_table(diag.failures, diag.node_traces)
+    hits = 0
+    checked = 0
+    for symptom, expected_modules in _TABLE4_EXPECTED.items():
+        seen = table.get(symptom)
+        if seen is None:
+            continue
+        checked += 1
+        if expected_modules & set(seen):
+            hits += 1
+    measured = {
+        "symptoms_with_traces": len(table),
+        "expected_pairings_checked": checked,
+        "expected_pairings_found": hits,
+    }
+    paper = {"expected_pairings_found": len(_TABLE4_EXPECTED)}
+    shape = checked >= 3 and hits == checked
+    return ExperimentResult(
+        experiment="table4", title="Failure causes and stack modules",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="each symptom's traces lead with the paper's modules",
+        series={"table": {k: dict(v) for k, v in table.items()}},
+    )
+
+
+#: Table V reference: expected family per scripted case
+_TABLE5_EXPECTED = (
+    ("case1_l0_sysd_mce", FaultFamily.UNKNOWN),
+    ("case2_cpu_corruption", FaultFamily.HARDWARE),
+    ("case3_oom_same_job", FaultFamily.APPLICATION),
+    ("case4_lustre_app_bug", FaultFamily.APPLICATION),
+    ("case5_failslow_memory", FaultFamily.HARDWARE),
+)
+
+
+def table5_case_studies(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Table V: root-cause inference over the five scripted cases."""
+    engine = RootCauseEngine(diag.index, diag.node_traces, diag.jobs)
+    inferences = engine.infer_all(diag.failures)
+    # the cases scenario scripts: 1 L0_sysd_mce failure, 3 CPU
+    # corruptions, 6 same-job OOM failures, 1 app-triggered Lustre bug,
+    # 1 fail-slow MCE -- recover them by their symptoms
+    by_symptom: dict[str, list] = {}
+    for inf in inferences:
+        by_symptom.setdefault(inf.failure.symptom, []).append(inf)
+    measured = {}
+    checks = []
+    case1 = by_symptom.get("l0_sysd_mce", [])
+    measured["case1_unknown"] = sum(
+        1 for i in case1 if i.family is FaultFamily.UNKNOWN)
+    checks.append(len(case1) == 1 and measured["case1_unknown"] == 1)
+    case2 = [i for i in by_symptom.get("hw_mce", []) if not i.fail_slow]
+    measured["case2_hardware"] = sum(
+        1 for i in case2 if i.family is FaultFamily.HARDWARE)
+    checks.append(measured["case2_hardware"] == 3)
+    # case 3's six nodes all ran job 7001; one may surface under the
+    # app_exit symptom (the scheduler's abort message wins the priority),
+    # so recover the case by job correlation, as the paper does
+    case3 = [i for i in inferences if i.job_id is not None]
+    measured["case3_application"] = sum(
+        1 for i in case3 if i.family is FaultFamily.APPLICATION)
+    measured["case3_same_job"] = len({i.job_id for i in case3}) == 1
+    checks.append(measured["case3_application"] == 6 and measured["case3_same_job"])
+    case4 = by_symptom.get("lustre", [])
+    measured["case4_app_triggered"] = sum(
+        1 for i in case4 if i.family is FaultFamily.APPLICATION)
+    checks.append(len(case4) == 1)
+    case5 = [i for i in by_symptom.get("hw_mce", []) if i.fail_slow]
+    measured["case5_fail_slow"] = len(case5)
+    checks.append(measured["case5_fail_slow"] == 1)
+    measured["total_failures"] = len(inferences)
+    paper = {
+        "case1_unknown": 1, "case2_hardware": 3, "case3_application": 6,
+        "case4_app_triggered": 1, "case5_fail_slow": 1,
+        "total_failures": 12,
+    }
+    return ExperimentResult(
+        experiment="table5", title="Sample failure case studies",
+        measured=measured, paper=paper, shape_ok=all(checks),
+        notes="five scripted cases re-inferred from logs alone",
+        series={
+            "narratives": [
+                {
+                    "node": i.failure.node,
+                    "family": i.family.value,
+                    "cause": i.cause,
+                    "internal": i.internal_indicators,
+                    "external": i.external_indicators,
+                    "inference": i.inference,
+                }
+                for i in inferences
+            ]
+        },
+    )
+
+
+def table6_findings(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Table VI: findings and recommendations synthesis."""
+    report = diag.run()
+    findings = generate_findings(report)
+    measured = {
+        "findings": len(findings),
+        "has_dominant_cause_row": int(any("dominant" in f.finding for f in findings)),
+        "has_leadtime_row": int(any("lead time" in f.finding.lower()
+                                    or "fail-slow" in f.finding.lower()
+                                    for f in findings)),
+        "has_application_row": int(any("application" in f.finding.lower()
+                                       for f in findings)),
+    }
+    paper = {"findings": 7}
+    shape = (
+        measured["findings"] >= 4
+        and measured["has_leadtime_row"]
+        and measured["has_application_row"]
+    )
+    return ExperimentResult(
+        experiment="table6", title="Findings and recommendations",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="rows are emitted only when the measurements support them",
+        series={"findings": [f.finding for f in findings]},
+    )
+
+
+def s3_family_split(diag: HolisticDiagnosis) -> ExperimentResult:
+    """Sec. III-F: S3's hardware/software/application split."""
+    engine = RootCauseEngine(diag.index, diag.node_traces, diag.jobs)
+    inferences = engine.infer_all(diag.failures)
+    split = family_split(inferences)
+    measured = {
+        "hardware": split.get("hardware", 0.0),
+        "software": split.get("software", 0.0),
+        "application": split.get("application", 0.0)
+        + split.get("filesystem", 0.0),
+        "memory_related": split.get("memory_related", 0.0),
+    }
+    paper = {
+        "hardware": 0.37, "software": 0.32, "application": 0.31,
+        "memory_related": 0.27,
+    }
+    shape = (
+        0.2 <= measured["hardware"] <= 0.55
+        and 0.1 <= measured["software"] <= 0.5
+        and 0.15 <= measured["application"] <= 0.55
+        and measured["memory_related"] >= 0.1
+    )
+    return ExperimentResult(
+        experiment="s3_split", title="S3 root-cause family split",
+        measured=measured, paper=paper, shape_ok=shape,
+        notes="all three families contribute comparable shares; ~27 % of "
+              "failures are memory-related",
+    )

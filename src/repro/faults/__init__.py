@@ -1,0 +1,57 @@
+"""Fault taxonomy, propagation chains and injection campaigns.
+
+This subpackage drives everything that goes wrong on the simulated
+platform.  A *fault chain* is a scripted causal sequence -- fault, errors,
+(maybe) failure -- that schedules itself on the discrete-event engine and
+emits the log records a real system would have written at each step.
+Chains record their ground truth in an :class:`InjectionLedger` that the
+diagnosis pipeline never sees.
+
+Modules
+-------
+* :mod:`repro.faults.model` -- fault families, root causes, failure
+  categories, injection ground-truth records.
+* :mod:`repro.faults.chains` -- chain registry and shared emission helpers.
+* :mod:`repro.faults.hardware` -- MCE, DRAM, disk, GPU, voltage chains.
+* :mod:`repro.faults.software` -- kernel bugs, driver/firmware, CPU stalls.
+* :mod:`repro.faults.filesystem` -- Lustre / DVS chains, benign I/O floods.
+* :mod:`repro.faults.application` -- app exits, OOM, segfaults, hung tasks.
+* :mod:`repro.faults.environment` -- SEDC warning floods, controller fault
+  floods, benign NHFs.
+* :mod:`repro.faults.unknown` -- the three undiagnosable patterns (Obs. 9).
+* :mod:`repro.faults.injector` -- campaign planner: rates, bursts,
+  victim selection.
+"""
+
+from repro.faults.chains import CHAIN_BUILDERS, ChainRef, inject
+from repro.faults.injector import Campaign, CampaignSpec, ChainRate
+
+# Chain modules register their builders on import; keep these imports even
+# though nothing is referenced from them directly.
+from repro.faults import application as _application  # noqa: F401
+from repro.faults import environment as _environment  # noqa: F401
+from repro.faults import filesystem as _filesystem  # noqa: F401
+from repro.faults import hardware as _hardware  # noqa: F401
+from repro.faults import software as _software  # noqa: F401
+from repro.faults import unknown as _unknown  # noqa: F401
+from repro.faults.model import (
+    FailureCategory,
+    FaultFamily,
+    Injection,
+    InjectionLedger,
+    RootCause,
+)
+
+__all__ = [
+    "CHAIN_BUILDERS",
+    "Campaign",
+    "CampaignSpec",
+    "ChainRate",
+    "ChainRef",
+    "FailureCategory",
+    "FaultFamily",
+    "Injection",
+    "InjectionLedger",
+    "RootCause",
+    "inject",
+]

@@ -1,0 +1,243 @@
+"""Application fault chains: app exits, OOM, segfaults, hung tasks.
+
+These chains carry the paper's central finding -- "the root cause often
+lies in the application" -- into the simulator:
+
+* ``app_exit_chain`` -- an abnormal application exit failing NHC tests and
+  driving the node to *admindown* (37.5 % of S2's failures, Fig. 16).
+  Because the node keeps heartbeating, there is no NHF and no external
+  precursor: lead-time enhancement is impossible, matching Obs. 5.
+* ``oom_chain`` -- memory exhaustion; the oom-killer fires, stack traces
+  expose ``xpmem``/``dvsipc``/Lustre modules, and the node either panics
+  or is admindowned.
+* ``segfault_chain`` -- user segfaults: jobs die, nodes survive.
+* ``hung_task_chain`` -- S5's dominant pattern (80.57 % of call traces,
+  Fig. 15): slow local-FS I/O blocking tasks for 120 s; *not* fatal.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import NodeName
+from repro.faults.chains import ChainEmitter, chain, open_injection
+from repro.faults.model import FailureCategory, InjectionLedger, RootCause
+from repro.logs.record import Severity
+from repro.platform import Platform
+from repro.simul.rng import RngStream
+
+__all__ = [
+    "app_exit_chain",
+    "oom_chain",
+    "segfault_chain",
+    "hung_task_chain",
+    "mem_exhaustion_chain",
+]
+
+_APPS = ("vasp", "lammps", "namd2", "qe.x", "wrf.exe", "chroma", "mpiblast", "su3_rhmc")
+_NHC_TESTS = ("xtcheckhealth.app_exit", "Plugin_Free_Memory", "Plugin_Filesystem",
+              "Plugin_Alps_Status", "xtcheckhealth.resv")
+
+
+@chain("app_exit_chain")
+def app_exit_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    job_id: int | None = None,
+    apid: int | None = None,
+    admindown_prob: float = 1.0,
+):
+    """Abnormal app exit -> NHC suspect -> admindown (Fig. 16 APP-EXIT)."""
+    inj = open_injection(
+        ledger, "app_exit_chain", node, t0, RootCause.APP_EXIT,
+        FailureCategory.APP_EXIT, job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(admindown_prob)
+
+    def script(engine) -> None:
+        t = engine.now
+        the_apid = apid if apid is not None else rng.integer(10_000, 99_999)
+        the_job = job_id if job_id is not None else rng.integer(1000, 99_999)
+        em.messages(
+            t, "app_exit_abnormal", Severity.ERROR,
+            apid=the_apid, code=rng.choice((1, 134, 137, 139, 255)), job=the_job,
+        )
+        em.messages(
+            t + 2.0, "nhc_test_fail", Severity.ERROR,
+            test=rng.choice(_NHC_TESTS), rc=1,
+        )
+        em.suspect(t + 4.0, "abnormal application exit")
+        if will_fail:
+            em.finish(t + rng.uniform(20.0, 90.0),
+                      "nhc admindown after app exit", admindown=True,
+                      marker_event="nhc_admindown", marker_source="messages",
+                      why="suspect tests failed")
+
+    plat.engine.schedule(t0, script, label="app_exit")
+    return inj
+
+
+@chain("oom_chain")
+def oom_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    job_id: int | None = None,
+    fail_prob: float = 0.8,
+    fs_modules: bool = True,
+    app: str | None = None,
+):
+    """Out-of-memory: oom-killer, FS-tainted stack traces, likely failure."""
+    inj = open_injection(
+        ledger, "oom_chain", node, t0, RootCause.OOM, FailureCategory.OOM,
+        job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+    prog = app or rng.choice(_APPS)
+
+    def script(engine) -> None:
+        t = engine.now
+        em.console(t, "oom_invoked", Severity.WARNING, prog=prog, mask="201da",
+                   order=0, adj=0)
+        for i in range(rng.integer(1, 4)):
+            em.console(
+                t + 1.0 + i, "oom_kill", Severity.ERROR,
+                pid=rng.integer(1000, 65_000), prog=prog, score=rng.integer(700, 999),
+            )
+        em.trace(t + 5.0, "oom")
+        if fs_modules:
+            # the modules the paper reads as FS inconsistency under OOM
+            em.trace(t + 8.0, rng.choice(("xpmem", "dvs")))
+        em.console(t + 10.0, "page_alloc_fail", Severity.ERROR, prog=prog,
+                   order=4, mode="201da")
+        if will_fail:
+            if rng.bernoulli(0.5):
+                em.finish(t + rng.uniform(30.0, 120.0),
+                          "memory exhaustion panic",
+                          marker_event="kernel_panic",
+                          why="Out of memory and no killable processes")
+            else:
+                t_down = t + rng.uniform(40.0, 150.0)
+                em.messages(t_down - 5.0, "nhc_test_fail", Severity.ERROR,
+                            test="Plugin_Free_Memory", rc=1)
+                em.finish(t_down, "memory exhaustion admindown",
+                          admindown=True, marker_event="nhc_admindown",
+                          marker_source="messages", why="memory exhausted")
+
+    plat.engine.schedule(t0, script, label="oom")
+    return inj
+
+
+@chain("mem_exhaustion_chain")
+def mem_exhaustion_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    job_id: int | None = None,
+    fail_prob: float = 1.0,
+):
+    """Pure resource exhaustion without additional software bugs.
+
+    Fig. 16's 16.07 % bucket: memory pressure traces (``rwsem``), fork
+    failures, then death -- but no Lustre/driver involvement.
+    """
+    inj = open_injection(
+        ledger, "mem_exhaustion_chain", node, t0, RootCause.MEM_OVERALLOC,
+        FailureCategory.OOM, job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+
+    def script(engine) -> None:
+        t = engine.now
+        prog = rng.choice(_APPS)
+        em.console(t, "page_alloc_fail", Severity.ERROR, prog=prog, order=4, mode="201da")
+        em.console(t + 5.0, "fork_fail", Severity.ERROR, attempt=rng.integer(1, 5))
+        em.trace(t + 6.0, "memory_pressure")
+        em.console(t + 12.0, "oom_invoked", Severity.WARNING, prog=prog,
+                   mask="201da", order=0, adj=0)
+        if will_fail:
+            em.finish(t + rng.uniform(30.0, 100.0), "memory overallocation",
+                      marker_event="kernel_panic",
+                      why="Out of memory and no killable processes")
+
+    plat.engine.schedule(t0, script, label="mem_exhaustion")
+    return inj
+
+
+@chain("segfault_chain")
+def segfault_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    job_id: int | None = None,
+    apid: int | None = None,
+    fail_prob: float = 0.02,
+):
+    """User-code segfault: the job dies, the node (almost always) lives."""
+    inj = open_injection(
+        ledger, "segfault_chain", node, t0, RootCause.SEGFAULT,
+        FailureCategory.SW, job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+    prog = rng.choice(_APPS)
+
+    def script(engine) -> None:
+        t = engine.now
+        em.console(
+            t, "segfault", Severity.ERROR,
+            prog=prog, pid=rng.integer(1000, 65_000),
+            addr=f"{rng.integer(0, 2**32):08x}",
+            ip="0x400f31", sp="0x7ffc2a", code=rng.choice((4, 6, 14)),
+        )
+        the_apid = apid if apid is not None else rng.integer(10_000, 99_999)
+        the_job = job_id if job_id is not None else rng.integer(1000, 99_999)
+        em.messages(t + 1.0, "app_exit_abnormal", Severity.ERROR,
+                    apid=the_apid, code=139, job=the_job)
+        if will_fail:
+            em.finish(t + rng.uniform(30.0, 120.0), "segfault storm",
+                      admindown=True, marker_event="nhc_admindown",
+                      marker_source="messages", why="repeated segfaults")
+
+    plat.engine.schedule(t0, script, label="segfault")
+    return inj
+
+
+@chain("hung_task_chain")
+def hung_task_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    job_id: int | None = None,
+    repeats: int = 2,
+):
+    """Hung-task timeout with an I/O-wait call trace; never fatal (S5)."""
+    inj = open_injection(
+        ledger, "hung_task_chain", node, t0, RootCause.HUNG_TASK,
+        FailureCategory.HUNG_TASK, job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        prog = rng.choice(("kworker/2:0", "flush-8:0", "jbd2/sda1-8", "python"))
+        for i in range(max(1, repeats)):
+            ts = t + i * rng.uniform(120.0, 360.0)
+            em.console(ts, "hung_task", Severity.ERROR, prog=prog,
+                       pid=rng.integer(100, 65_000), secs=120)
+            em.trace(ts + 0.2, "hung_io")
+
+    plat.engine.schedule(t0, script, label="hung_task")
+    return inj

@@ -1,0 +1,346 @@
+"""Chain infrastructure: emission helper, registry, post-failure plumbing.
+
+A chain builder is a callable::
+
+    def build(plat, ledger, node, t0, rng, **params) -> Injection
+
+that registers an :class:`~repro.faults.model.Injection` in the ledger and
+schedules engine events which emit log records and (maybe) fail the node.
+Builders are registered under a chain name in :data:`CHAIN_BUILDERS` via
+the :func:`chain` decorator; :func:`inject` is the uniform entry point the
+campaign planner and the scenario scripts use.
+
+:class:`ChainEmitter` removes the boilerplate from builders: it emits into
+the right log source, stamps the injection's first-internal /
+first-external markers automatically, writes multi-line stack traces, and
+implements the *fail* step -- including the physics every fail-stop death
+shares: the blade controller notices the silent node a few heartbeats
+later and reports an NHF, and the ERD logs ``ec_heartbeat_stop`` (external
+confirmations that arrive *after* the failure, hence useless for lead
+time, exactly as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cluster.topology import NodeName
+from repro.faults.model import (
+    FailureCategory,
+    FaultFamily,
+    Injection,
+    InjectionLedger,
+    ROOT_FAMILY,
+    RootCause,
+)
+from repro.logs.record import LogRecord, LogSource, Severity
+from repro.logs.stacktraces import trace_records
+from repro.platform import Platform
+from repro.simul.rng import RngStream
+
+__all__ = ["ChainEmitter", "CHAIN_BUILDERS", "ChainRef", "chain", "inject"]
+
+#: Seconds between node death and the BC reporting the missed heartbeat.
+HEARTBEAT_DETECT_DELAY = 12.0
+
+ChainBuilder = Callable[..., Injection]
+
+CHAIN_BUILDERS: dict[str, ChainBuilder] = {}
+
+
+@dataclass(frozen=True)
+class ChainRef:
+    """A resolvable reference to a registered chain."""
+
+    name: str
+
+    def builder(self) -> ChainBuilder:
+        try:
+            return CHAIN_BUILDERS[self.name]
+        except KeyError:
+            known = ", ".join(sorted(CHAIN_BUILDERS))
+            raise KeyError(f"unknown chain {self.name!r}; known: {known}") from None
+
+
+def chain(name: str) -> Callable[[ChainBuilder], ChainBuilder]:
+    """Decorator registering a chain builder under ``name``."""
+
+    def register(builder: ChainBuilder) -> ChainBuilder:
+        if name in CHAIN_BUILDERS:
+            raise ValueError(f"duplicate chain name: {name}")
+        CHAIN_BUILDERS[name] = builder
+        return builder
+
+    return register
+
+
+_BUILDER_PARAMS: dict[str, frozenset[str]] = {}
+
+
+def _accepted_params(name: str, builder: ChainBuilder) -> frozenset[str]:
+    cached = _BUILDER_PARAMS.get(name)
+    if cached is None:
+        import inspect
+
+        cached = frozenset(inspect.signature(builder).parameters)
+        _BUILDER_PARAMS[name] = cached
+    return cached
+
+
+def inject(
+    plat: Platform,
+    ledger: InjectionLedger,
+    chain_name: str,
+    node: NodeName,
+    t0: float,
+    rng: Optional[RngStream] = None,
+    job_id: Optional[int] = None,
+    **params,
+) -> Injection:
+    """Schedule one chain instance; returns its ground-truth injection.
+
+    ``job_id`` attributes the injection to a job.  Chains that model
+    job-specific behaviour declare their own ``job_id`` parameter and get
+    it forwarded; for the rest it is recorded on the ground-truth
+    injection only, so any chain can serve as a :class:`JobBug`.
+    """
+    builder = ChainRef(chain_name).builder()
+    rng = rng or plat.rng.child("chain", chain_name, node.cname, f"{t0:.3f}")
+    if job_id is not None and "job_id" in _accepted_params(chain_name, builder):
+        params["job_id"] = job_id
+    injection = builder(plat, ledger, node, t0, rng, **params)
+    if job_id is not None and injection.job_id is None:
+        injection.job_id = job_id
+    return injection
+
+
+class ChainEmitter:
+    """Bound helper a builder uses to emit records and fail its victim."""
+
+    def __init__(self, plat: Platform, injection: Injection, rng: RngStream) -> None:
+        self.plat = plat
+        self.inj = injection
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # low-level emission with injection bookkeeping
+    # ------------------------------------------------------------------
+    def _emit(self, record: LogRecord) -> LogRecord:
+        self.plat.bus.emit(record)
+        if record.source.is_internal:
+            self.inj.note_internal(record.time)
+        elif record.source.is_external:
+            self.inj.note_external(record.time)
+        return record
+
+    def console(self, time: float, event: str, severity: Severity = Severity.ERROR, **attrs):
+        """Kernel console line on the victim node."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONSOLE,
+                component=self.inj.node.cname,
+                event=event,
+                attrs=attrs,
+                severity=severity,
+            )
+        )
+
+    def messages(self, time: float, event: str, severity: Severity = Severity.ERROR, **attrs):
+        """NHC / ALPS messages line on the victim node."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.MESSAGES,
+                component=self.inj.node.cname,
+                event=event,
+                attrs=attrs,
+                severity=severity,
+            )
+        )
+
+    def consumer(self, time: float, event: str, severity: Severity = Severity.ERROR, **attrs):
+        """Consumer (l0sysd) line on the victim node."""
+        return self._emit(
+            LogRecord(
+                time=time,
+                source=LogSource.CONSUMER,
+                component=self.inj.node.cname,
+                event=event,
+                attrs=attrs,
+                severity=severity,
+            )
+        )
+
+    def trace(self, time: float, profile: str, depth: Optional[int] = None) -> None:
+        """Multi-line kernel call trace on the victim node."""
+        for record in trace_records(
+            time, self.inj.node.cname, profile, rng=self.rng, depth=depth
+        ):
+            self._emit(record)
+
+    # ------------------------------------------------------------------
+    # external emissions
+    # ------------------------------------------------------------------
+    def erd_hw_error(self, time: float, detail: str):
+        """``ec_hw_error`` near the victim's blade (fail-slow precursor)."""
+        rec = self.plat.router.hw_error(time, self.inj.node.blade.cname, detail)
+        self.inj.note_external(rec.time)
+        return rec
+
+    def erd_link_error(self, time: float):
+        """Link error near the victim node."""
+        fabric = self.plat.fabric
+        link = fabric.pick_link(self.inj.node, self.rng)
+        rec = self.plat.router.link_error(
+            time, fabric.fabric_tag, self.inj.node.blade.cname, link.name,
+            fabric.error_detail(self.rng),
+        )
+        self.inj.note_external(rec.time)
+        return rec
+
+    def bc_nhf(self, time: float, beats: int = 3):
+        """Blade controller reports the victim's heartbeat fault."""
+        bc = self.plat.controller_for(self.inj.node)
+        rec = bc.node_heartbeat_fault(time, self.inj.node, beats_missed=beats)
+        self.inj.note_external(rec.time)
+        return rec
+
+    def bc_nvf(self, time: float):
+        """Blade controller reports a node voltage fault on the victim."""
+        bc = self.plat.controller_for(self.inj.node)
+        record = self.plat.power.nvf_record(time, self.inj.node)
+        rec = bc.node_voltage_fault(time, record)
+        self.inj.note_external(rec.time)
+        return rec
+
+    def bc_ecb(self, time: float):
+        """Blade controller reports an ECB trip for the victim."""
+        bc = self.plat.controller_for(self.inj.node)
+        rec = bc._emit(self.plat.power.ecb_record(time, self.inj.node))
+        self.inj.note_external(rec.time)
+        return rec
+
+    # ------------------------------------------------------------------
+    # the fail step
+    # ------------------------------------------------------------------
+    def victim_alive(self) -> bool:
+        """Whether the victim can still emit and die (not failed/off)."""
+        state = self.plat.machine.node(self.inj.node).state
+        return not state.is_failed and state.value != "off"
+
+    def finish(
+        self,
+        time: float,
+        cause: str,
+        admindown: bool = False,
+        marker_event: Optional[str] = None,
+        marker_source: str = "console",
+        **marker_attrs,
+    ) -> None:
+        """Schedule the guarded terminal step of a chain.
+
+        At ``time`` the victim's final failure marker (panic / admindown /
+        shutdown message) is emitted and the node is failed -- but only if
+        the node is still alive then.  Without the guard, two chains
+        racing on one node would log a second death marker on an
+        already-dead node and the pipeline would (correctly!) report a
+        phantom failure the ground truth does not contain.
+        """
+
+        def handler(engine) -> None:
+            if not self.victim_alive():
+                return
+            if marker_event is not None:
+                emit = {
+                    "console": self.console,
+                    "messages": self.messages,
+                    "consumer": self.consumer,
+                }[marker_source]
+                emit(time, marker_event, Severity.FATAL, **marker_attrs)
+            self.fail(time, cause, admindown=admindown)
+
+        self.plat.engine.schedule(
+            max(time, self.plat.engine.now), handler, label="chain-finish"
+        )
+
+    def fail(
+        self,
+        time: float,
+        cause: str,
+        admindown: bool = False,
+        heartbeat_report: Optional[bool] = None,
+    ) -> None:
+        """Kill the victim node at ``time``.
+
+        * records ground truth in the machine ledger and the injection;
+        * fail-stop deaths (DOWN) get the BC's post-mortem NHF +
+          ``ec_heartbeat_stop`` a few seconds later (unless suppressed);
+        * NHC-driven withdrawals (ADMINDOWN) do not -- the node still
+          answers heartbeats, matching the paper's observation that
+          job-caused failures often lack NHFs;
+        * any failure listeners registered by the scheduler are notified
+          so jobs on the node can be failed/requeued.
+        """
+        node_obj = self.plat.machine.node(self.inj.node)
+        if node_obj.state.is_failed or node_obj.state.value == "off":
+            return  # already dead (concurrent chain) or powered off
+        self.plat.machine.record_failure(
+            time,
+            self.inj.node,
+            cause=cause,
+            root=self.inj.root.value,
+            job_id=self.inj.job_id,
+            admindown=admindown,
+        )
+        self.inj.note_failure(time, admindown=admindown)
+        if heartbeat_report is None:
+            heartbeat_report = not admindown
+        if heartbeat_report:
+            detect = time + HEARTBEAT_DETECT_DELAY + self.rng.uniform(0.0, 6.0)
+            self.plat.engine.schedule(
+                max(detect, self.plat.engine.now), self._post_mortem_nhf, label="nhf"
+            )
+        for listener in getattr(self.plat, "failure_listeners", []):
+            listener(time, self.inj.node, self.inj.job_id)
+
+    def _post_mortem_nhf(self, engine) -> None:
+        node_obj = self.plat.machine.node(self.inj.node)
+        if not node_obj.state.is_failed:
+            return  # node was already rebooted; no fault to report
+        bc = self.plat.controller_for(self.inj.node)
+        bc.node_heartbeat_fault(engine.now, self.inj.node)
+        # post-failure confirmation: external but too late for lead time
+        self.inj.note_external(engine.now)
+
+    def suspect(self, time: float, why: str) -> None:
+        """Move the victim to NHC suspect mode (internal messages line)."""
+        node_obj = self.plat.machine.node(self.inj.node)
+        if node_obj.state.value == "up":
+            node_obj.suspect(time, why)
+        self.messages(time, "nhc_suspect", Severity.WARNING, why=why)
+
+
+def open_injection(
+    ledger: InjectionLedger,
+    chain_name: str,
+    node: NodeName,
+    t0: float,
+    root: RootCause,
+    category: Optional[FailureCategory] = None,
+    family: Optional[FaultFamily] = None,
+    job_id: Optional[int] = None,
+) -> Injection:
+    """Create and register the ground-truth record for a chain instance."""
+    return ledger.open(
+        Injection(
+            chain=chain_name,
+            node=node,
+            t0=t0,
+            root=root,
+            family=family or ROOT_FAMILY[root],
+            category=category,
+            job_id=job_id,
+        )
+    )

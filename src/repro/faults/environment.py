@@ -1,0 +1,290 @@
+"""Environmental chains: benign SEDC floods, controller faults, NHFs.
+
+Observations 2 and 3 hinge on the environment being *noisy but mostly
+harmless*: blades and cabinets log thousands of sensor warnings and
+health faults on days with no failures at all.  These chains create that
+noise floor, plus the specific NHF variants of Fig. 6:
+
+* ``sedc_flood`` -- recurring below-minimum temperature / voltage /
+  air-velocity warnings on one blade or cabinet;
+* ``controller_flood`` -- BC/CC health-fault chatter (failed sensor
+  reads, fan RPM, communication timeouts, micro-controller faults);
+* ``nhf_benign`` -- heartbeat faults from skipped beats or intentional
+  power-offs, which never fail;
+* ``bchf_chain`` -- a blade-controller heartbeat fault where only a
+  fraction of the blade's nodes actually die (Sec. III-B's "only a
+  fraction of the nodes in that blade fail, but not all").
+"""
+
+from __future__ import annotations
+
+from repro.cluster.sensors import BLADE_SENSORS, CABINET_SENSORS
+from repro.cluster.topology import NodeName
+from repro.faults.chains import ChainEmitter, chain, open_injection
+from repro.faults.model import FailureCategory, InjectionLedger, RootCause
+from repro.logs.record import Severity
+from repro.platform import Platform
+from repro.simul.rng import RngStream
+
+__all__ = ["sedc_flood", "controller_flood", "nhf_benign", "bchf_chain"]
+
+
+@chain("sedc_flood")
+def sedc_flood(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    count: int = 20,
+    window: float = 86_400.0,
+    cabinet_level: bool = False,
+):
+    """Recurring benign SEDC warnings on the victim's blade or cabinet.
+
+    The warning values sit *below the minimum threshold*, the dominant
+    pattern the paper reports for ``ec_sedc_warnings``.
+    """
+    inj = open_injection(
+        ledger, "sedc_flood", node, t0, RootCause.ENVIRONMENT,
+        FailureCategory.OTHERS,
+    )
+    src = node.cabinet.cname if cabinet_level else node.blade.cname
+    sensors = CABINET_SENSORS if cabinet_level else BLADE_SENSORS
+
+    def script(engine) -> None:
+        t = engine.now
+        spec = rng.choice(list(sensors.values()))
+        for i in range(max(1, count)):
+            ts = t + rng.uniform(0, window)
+            value = spec.warn_min - abs(rng.normal(0.0, spec.sigma * 2)) - 0.1
+            rec = plat.router.sedc_warning(
+                ts, src, spec.name, value, spec.warn_min, spec.warn_max
+            )
+            inj.note_external(rec.time)
+
+    plat.engine.schedule(t0, script, label="sedc_flood")
+    return inj
+
+
+@chain("controller_flood")
+def controller_flood(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    count: int = 8,
+    window: float = 86_400.0,
+    cabinet_level: bool = False,
+):
+    """Benign BC/CC health-fault chatter around one blade or cabinet."""
+    inj = open_injection(
+        ledger, "controller_flood", node, t0, RootCause.ENVIRONMENT,
+        FailureCategory.OTHERS,
+    )
+
+    def script(engine) -> None:
+        t = engine.now
+        if cabinet_level:
+            cc = plat.cabinet_controller(node.cabinet)
+            emitters = (
+                lambda ts: cc.fan_rpm_fault(ts, rng.integer(0, 5), rng.integer(900, 2300)),
+                lambda ts: cc.communication_fault(ts, f"bc-{rng.integer(0, 2)}"),
+                lambda ts: cc.micro_controller_fault(ts, rng.integer(10, 40)),
+                lambda ts: cc.sensor_check_anomaly(ts, rng.choice(list(CABINET_SENSORS))),
+            )
+        else:
+            bc = plat.blade_controller(node.blade)
+            emitters = (
+                lambda ts: bc.sensor_read_failure(ts, rng.choice(list(BLADE_SENSORS))),
+                lambda ts: bc.module_health_fault(ts, "voltage regulator degraded"),
+            )
+        for i in range(max(1, count)):
+            ts = t + rng.uniform(0, window)
+            rec = rng.choice(list(emitters))(ts)
+            inj.note_external(rec.time)
+
+    plat.engine.schedule(t0, script, label="ctl_flood")
+    return inj
+
+
+@chain("nhf_benign")
+def nhf_benign(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    kind: str = "skipped",
+    off_duration: float = 3600.0,
+):
+    """A heartbeat fault that does not correspond to a failure.
+
+    ``kind='skipped'`` -- the node merely skipped beats under load;
+    ``kind='power_off'`` -- an intentional power-off: the node goes OFF
+    (excluded from failure accounting) and returns later.
+    """
+    if kind not in ("skipped", "power_off"):
+        raise ValueError(f"kind must be 'skipped' or 'power_off', got {kind!r}")
+    inj = open_injection(
+        ledger, "nhf_benign", node, t0, RootCause.HEARTBEAT,
+        FailureCategory.OTHERS,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        em.bc_nhf(t, beats=rng.integer(1, 3))
+        if kind == "power_off":
+            node_obj = plat.machine.node(node)
+            if node_obj.state.value == "up":
+                node_obj.shutdown(t + 1.0, "intentional power-off")
+                bc = plat.blade_controller(node.blade)
+                bc.node_powered_off(t + 1.0, node)
+                plat.engine.schedule(
+                    t + off_duration,
+                    lambda e: node_obj.reboot(e.now) if node_obj.state.value == "off" else None,
+                    label="power-on",
+                )
+
+    plat.engine.schedule(t0, script, label="nhf_benign")
+    return inj
+
+
+@chain("maintenance_shutdown")
+def maintenance_shutdown(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    off_duration: float = 4 * 3600.0,
+):
+    """An SMW-coordinated intended shutdown: clean halt + controller
+    power-off notification, no failure.
+
+    The pipeline must *exclude* these from failure accounting (the
+    paper: "We recognize and exclude intended shutdowns"): the clean
+    halt marker coordinated with the BC's ``ec_node_info`` state change
+    is the recognisable signature.
+    """
+    inj = open_injection(
+        ledger, "maintenance_shutdown", node, t0, RootCause.OPERATOR,
+        FailureCategory.OTHERS,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        node_obj = plat.machine.node(node)
+        if node_obj.state.value != "up":
+            return
+        em.console(t, "node_halt", Severity.NOTICE, why="halt")
+        node_obj.shutdown(t + 1.0, "scheduled maintenance")
+        bc = plat.blade_controller(node.blade)
+        bc.node_powered_off(t + 2.0, node)
+        plat.engine.schedule(
+            t + off_duration,
+            lambda e: node_obj.reboot(e.now) if node_obj.state.value == "off" else None,
+            label="maint-on",
+        )
+
+    plat.engine.schedule(t0, script, label="maintenance")
+    return inj
+
+
+@chain("swo_chain")
+def swo_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    count: int = 48,
+    window: float = 300.0,
+    kind: str = "filesystem",
+):
+    """A system-wide outage: many nodes fail within minutes of a shared
+    service or file-system collapse (< 3 % of anomalous failures in the
+    paper; recognised and accounted separately from node failures).
+    """
+    if kind not in ("filesystem", "service"):
+        raise ValueError("kind must be 'filesystem' or 'service'")
+    inj = open_injection(
+        ledger, "swo_chain", node, t0, RootCause.LUSTRE_BUG
+        if kind == "filesystem" else RootCause.OPERATOR,
+        FailureCategory.FSBUG if kind == "filesystem" else FailureCategory.OTHERS,
+    )
+
+    def script(engine) -> None:
+        t = engine.now
+        pool = [n for n in plat.machine.up_nodes()]
+        victims = rng.sample(pool, min(count, len(pool)))
+        if node in plat.machine and node not in victims:
+            victims[0] = node
+        for victim in victims:
+            sub = inj if victim == node else open_injection(
+                ledger, "swo_chain", victim, t, inj.root, inj.category,
+            )
+            sub_em = ChainEmitter(plat, sub, rng.child(victim.cname))
+            ts = t + rng.uniform(0.0, window)
+            if kind == "filesystem":
+                sub_em.console(ts, "lustre_error", Severity.ERROR,
+                               code="11-0",
+                               detail="connection to service was lost")
+                sub_em.finish(ts + rng.uniform(5.0, 60.0),
+                              "system-wide outage (filesystem)",
+                              marker_event="kernel_panic",
+                              why="LustreError: service unavailable")
+            else:
+                sub_em.finish(ts + rng.uniform(5.0, 60.0),
+                              "system-wide outage (service)",
+                              marker_event="node_shutdown_msg",
+                              marker_source="consumer", why="service stop")
+
+    plat.engine.schedule(t0, script, label="swo")
+    return inj
+
+
+@chain("bchf_chain")
+def bchf_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    fail_fraction: float = 0.5,
+):
+    """Blade-controller heartbeat fault; a fraction of its nodes die."""
+    inj = open_injection(
+        ledger, "bchf_chain", node, t0, RootCause.HEARTBEAT,
+        FailureCategory.HW,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        bc = plat.blade_controller(node.blade)
+        rec = bc.bc_heartbeat_fault(t)
+        inj.note_external(rec.time)
+        if rng.bernoulli(0.5):
+            rec2 = bc.l0_failed(t + rng.uniform(5.0, 30.0))
+            inj.note_external(rec2.time)
+        peers = plat.machine.nodes_in_blade(node.blade)
+        victims = [n for n in peers if rng.bernoulli(fail_fraction)]
+        if node not in victims:
+            victims.insert(0, node)
+        for victim in victims:
+            sub = open_injection(
+                ledger, "bchf_chain", victim, t, RootCause.HEARTBEAT,
+                FailureCategory.HW,
+            ) if victim != node else inj
+            sub_em = ChainEmitter(plat, sub, rng.child(victim.cname))
+            sub_em.finish(t + rng.uniform(30.0, 240.0),
+                          "blade controller fault",
+                          marker_event="kernel_panic",
+                          why="HSS communication lost")
+
+    plat.engine.schedule(t0, script, label="bchf")
+    return inj

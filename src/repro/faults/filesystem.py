@@ -1,0 +1,190 @@
+"""File-system fault chains: Lustre bugs, DVS errors, benign I/O floods.
+
+Observation 6: file-system bugs are frequent on the Cray systems and are
+often *application-triggered* -- the failure manifests inside the OS
+(LBUG, paging-request oops) but the root lies with the job.  The chains
+here therefore accept an ``app_triggered`` flag that flips the
+ground-truth family to APPLICATION while leaving the log surface
+unchanged; the stack-trace classifier has to recover the distinction from
+the ``dvs_ipc_mesg`` / ``ldlm_bl`` leading modules (Table IV).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import NodeName
+from repro.faults.chains import ChainEmitter, chain, open_injection
+from repro.faults.model import FailureCategory, FaultFamily, InjectionLedger, RootCause
+from repro.logs.record import Severity
+from repro.platform import Platform
+from repro.simul.rng import RngStream
+
+__all__ = [
+    "lustre_bug_chain",
+    "dvs_chain",
+    "lustre_benign_flood",
+    "inode_chain",
+]
+
+_LUSTRE_DETAILS = (
+    "ldlm_cli_enqueue failed: rc = -110",
+    "osc_object_ast_clear: unexpected lock state",
+    "race in ptlrpc thread spawn detected",
+    "mdc_enqueue: ldlm reply missing lock",
+)
+
+
+@chain("lustre_bug_chain")
+def lustre_bug_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    app_triggered: bool = True,
+    job_id: int | None = None,
+    escalation: float = 90.0,
+):
+    """LustreError -> LBUG -> paging-request oops -> panic (Fig. 16 FSBUG)."""
+    inj = open_injection(
+        ledger,
+        "lustre_bug_chain",
+        node,
+        t0,
+        RootCause.LUSTRE_BUG,
+        FailureCategory.FSBUG,
+        family=FaultFamily.APPLICATION if app_triggered else FaultFamily.FILESYSTEM,
+        job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        em.console(
+            t, "lustre_error", Severity.ERROR,
+            code=f"{rng.integer(10, 39)}-{rng.integer(0, 9)}",
+            detail=rng.choice(_LUSTRE_DETAILS),
+        )
+        em.console(
+            t + escalation * 0.3, "lbug", Severity.FATAL,
+            func=rng.choice(("ldlm_lock_decref", "cl_lock_fini", "osc_extent_wait")),
+        )
+        t_oops = t + escalation * 0.6
+        em.console(t_oops, "kernel_oops", Severity.CRITICAL, addr=f"{rng.integer(0, 2**48):012x}")
+        em.trace(t_oops + 0.2, "lustre")
+        em.finish(t + escalation, "lustre bug",
+                  marker_event="kernel_panic", why="LBUG")
+
+    plat.engine.schedule(t0, script, label="lustre_bug")
+    return inj
+
+
+@chain("dvs_chain")
+def dvs_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    job_id: int | None = None,
+    fail_prob: float = 0.8,
+):
+    """DVS push errors -> dvs_ipc_mesg-led oops; app-triggered by design."""
+    inj = open_injection(
+        ledger, "dvs_chain", node, t0, RootCause.DVS, FailureCategory.FSBUG,
+        family=FaultFamily.APPLICATION, job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+
+    def script(engine) -> None:
+        t = engine.now
+        for i in range(rng.integer(1, 3)):
+            em.console(
+                t + i * 15.0, "dvs_error", Severity.ERROR,
+                path=f"/dvs/p{rng.integer(0, 3)}", errno=-5,
+            )
+        t_oops = t + rng.uniform(30.0, 120.0)
+        em.console(t_oops, "kernel_oops", Severity.CRITICAL, addr=f"{rng.integer(0, 2**48):012x}")
+        em.trace(t_oops + 0.2, "dvs")
+        if will_fail:
+            em.finish(t_oops + rng.uniform(5.0, 30.0), "dvs filesystem bug",
+                      marker_event="kernel_panic", why="DVS fatal state")
+
+    plat.engine.schedule(t0, script, label="dvs")
+    return inj
+
+
+@chain("lustre_benign_flood")
+def lustre_benign_flood(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    count: int = 5,
+    window: float = 3600.0,
+    job_id: int | None = None,
+):
+    """Lustre I/O errors and page-fault-lock contention, no failure.
+
+    Fig. 10: more nodes see page-fault locks (job-triggered I/O trouble)
+    than hardware errors, and almost none of them fail.
+    """
+    inj = open_injection(
+        ledger, "lustre_benign_flood", node, t0, RootCause.LUSTRE_BUG,
+        FailureCategory.LUSTRE, family=FaultFamily.APPLICATION, job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        target = f"OST{rng.integer(0, 63):04d}@o2ib"
+        for i in range(max(1, count)):
+            ts = t + rng.uniform(0, window)
+            if rng.bernoulli(0.5):
+                em.console(ts, "lustre_io_error", Severity.ERROR, fs="snx11023", target=target)
+            else:
+                em.console(ts, "page_fault_lock", Severity.WARNING, fs="lustre",
+                           ms=rng.integer(500, 8000))
+
+    plat.engine.schedule(t0, script, label="lustre_flood")
+    return inj
+
+
+@chain("inode_chain")
+def inode_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    fail_prob: float = 0.5,
+    job_id: int | None = None,
+):
+    """Disk/job-induced inode errors making the FS inaccessible.
+
+    Sec. III-F finding 4: failures manifest in the kernel but the finer
+    root cause is the application's I/O pattern.
+    """
+    inj = open_injection(
+        ledger, "inode_chain", node, t0, RootCause.INODE, FailureCategory.FSBUG,
+        family=FaultFamily.APPLICATION, job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+
+    def script(engine) -> None:
+        t = engine.now
+        for i in range(rng.integer(2, 5)):
+            em.console(
+                t + i * 20.0, "inode_error", Severity.ERROR,
+                ino=rng.integer(1000, 999_999), dir=2,
+            )
+        em.console(t + 120.0, "hung_task", Severity.ERROR, prog="lfs", pid=rng.integer(100, 9999), secs=120)
+        em.trace(t + 120.5, "sleep_on_page")
+        if will_fail:
+            em.finish(t + rng.uniform(180.0, 400.0), "inode corruption",
+                      marker_event="kernel_panic", why="inode table corrupt")
+
+    plat.engine.schedule(t0, script, label="inode")
+    return inj

@@ -1,0 +1,458 @@
+"""Hardware fault chains: MCE, DRAM, disk, GPU, voltage, CPU corruption.
+
+Chain shapes follow the paper's case studies and Sec. III:
+
+* ``mce_failstop`` -- machine-check exceptions escalating to a kernel
+  panic within minutes.  With ``precursor=True`` it becomes the paper's
+  *fail-slow* pattern (Table V case 5): ``ec_hw_error`` events appear in
+  the ERD stream ``precursor_lead`` seconds before the first internal
+  symptom, enabling the ~5x lead-time enhancement of Fig. 13.
+* ``mce_benign`` / ``ecc_corrected_flood`` -- error populations that never
+  fail (Fig. 10's "erroneous nodes >> failed nodes").
+* ``nvf_chain`` -- node voltage fault; fails with probability
+  ``fail_prob`` (Fig. 5 reports 67--97 % correspondence).
+* ``cpu_corruption_chain`` -- Table V case 2: link errors and temperature
+  violations *distant* from the failure plus an MCE cascade.
+* ``disk_failslow`` -- disk I/O errors degrading into inode/file-system
+  trouble.
+* ``gpu_chain`` -- S5's GPU Xid errors (rarely node-fatal).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import NodeName
+from repro.faults.chains import ChainEmitter, chain, open_injection
+from repro.faults.model import FailureCategory, InjectionLedger, RootCause
+from repro.logs.record import Severity
+from repro.platform import Platform
+from repro.simul.rng import RngStream
+
+__all__ = [
+    "mce_failstop",
+    "mce_benign",
+    "ecc_corrected_flood",
+    "ecc_ue_failure",
+    "nvf_chain",
+    "cpu_corruption_chain",
+    "disk_failslow",
+    "gpu_chain",
+]
+
+_MCE_STATUS = ("dc0000400001009f", "b200000000070005", "8c00004000010090")
+
+
+@chain("mce_failstop")
+def mce_failstop(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    precursor: bool = False,
+    precursor_lead: float = 960.0,
+    internal_window: float = 240.0,
+    fail_prob: float = 1.0,
+):
+    """MCE cascade ending in a kernel panic; optional fail-slow precursor."""
+    inj = open_injection(
+        ledger, "mce_failstop", node, t0, RootCause.MCE, FailureCategory.HW
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+
+    def script(engine) -> None:
+        t = engine.now
+        internal_start = t
+        if precursor:
+            # external hardware errors well before any internal symptom
+            internal_start = t + precursor_lead
+            reps = rng.integer(2, 4)
+            for i in range(reps):
+                em.erd_hw_error(
+                    t + i * precursor_lead / max(1, reps),
+                    "corrected mem error rate high",
+                )
+            if rng.bernoulli(0.5):
+                em.erd_link_error(t + precursor_lead * 0.3)
+        # internal escalation
+        cpu = rng.integer(0, 31)
+        em.console(internal_start, "mce_threshold", Severity.ERROR, cpu=cpu, kind="corrected")
+        n_mces = rng.integer(1, 3)
+        for i in range(n_mces):
+            em.console(
+                internal_start + (i + 1) * internal_window / (n_mces + 2),
+                "mce",
+                Severity.CRITICAL,
+                bank=rng.integer(0, 8),
+                status=rng.choice(_MCE_STATUS),
+            )
+        t_panic = internal_start + internal_window
+        if will_fail:
+            em.trace(t_panic - 0.5, "mce")
+            em.finish(t_panic, "machine check exception",
+                      marker_event="kernel_panic", why="Fatal machine check")
+
+    plat.engine.schedule(t0, script, label="mce_failstop")
+    return inj
+
+
+@chain("mce_benign")
+def mce_benign(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    count: int = 3,
+    window: float = 3600.0,
+):
+    """Correctable machine checks that never escalate (error population)."""
+    inj = open_injection(
+        ledger, "mce_benign", node, t0, RootCause.MCE, FailureCategory.HW
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        for i in range(max(1, count)):
+            em.console(
+                t + rng.uniform(0, window),
+                "mce_threshold",
+                Severity.ERROR,
+                cpu=rng.integer(0, 31),
+                kind="corrected",
+            )
+
+    plat.engine.schedule(t0, script, label="mce_benign")
+    return inj
+
+
+@chain("ecc_corrected_flood")
+def ecc_corrected_flood(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    count: int = 6,
+    window: float = 3600.0,
+):
+    """Correctable DRAM errors (EDAC CE) -- benign but noisy."""
+    inj = open_injection(
+        ledger, "ecc_corrected_flood", node, t0, RootCause.DRAM_UE, FailureCategory.HW
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        dimm = f"DIMM#{rng.integer(0, 15)}"
+        for i in range(max(1, count)):
+            em.console(
+                t + rng.uniform(0, window),
+                "ecc_corrected",
+                Severity.WARNING,
+                mc=0,
+                count=rng.integer(1, 4),
+                dimm=dimm,
+            )
+
+    plat.engine.schedule(t0, script, label="ecc_flood")
+    return inj
+
+
+@chain("ecc_ue_failure")
+def ecc_ue_failure(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    escalation: float = 120.0,
+):
+    """Uncorrectable DRAM error escalating straight to a fatal MCE."""
+    inj = open_injection(
+        ledger, "ecc_ue_failure", node, t0, RootCause.DRAM_UE, FailureCategory.HW
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        dimm = f"DIMM#{rng.integer(0, 15)}"
+        em.console(t, "ecc_uncorrected", Severity.CRITICAL, mc=0, count=1, dimm=dimm)
+        em.console(
+            t + escalation * 0.5,
+            "mce",
+            Severity.CRITICAL,
+            bank=rng.integer(0, 8),
+            status=_MCE_STATUS[1],
+        )
+        t_panic = t + escalation
+        em.trace(t_panic - 0.5, "mce")
+        em.finish(t_panic, "uncorrectable DRAM error",
+                  marker_event="kernel_panic", why="Fatal machine check")
+
+    plat.engine.schedule(t0, script, label="ecc_ue")
+    return inj
+
+
+@chain("failslow_recovery")
+def failslow_recovery(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    window: float = 1800.0,
+):
+    """Fail-slow symptoms that recover: external hw errors + corrected
+    MCEs, but the node never dies.
+
+    This is the pattern that keeps the correlated detector of Fig. 14
+    honest -- external-and-internal co-occurrence without a failure.
+    """
+    inj = open_injection(
+        ledger, "failslow_recovery", node, t0, RootCause.MCE, FailureCategory.HW
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        for i in range(rng.integer(1, 3)):
+            em.erd_hw_error(t + i * window * 0.2, "corrected mem error rate high")
+        em.console(
+            t + window * 0.5, "mce_threshold", Severity.ERROR,
+            cpu=rng.integer(0, 31), kind="corrected",
+        )
+        em.console(
+            t + window * 0.7, "ecc_corrected", Severity.WARNING,
+            mc=0, count=rng.integer(1, 4), dimm=f"DIMM#{rng.integer(0, 15)}",
+        )
+
+    plat.engine.schedule(t0, script, label="failslow_recovery")
+    return inj
+
+
+@chain("nvf_chain")
+def nvf_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    fail_prob: float = 0.85,
+    detect_window: float = 90.0,
+):
+    """Node voltage fault: the strong external indicator of Fig. 5."""
+    inj = open_injection(
+        ledger, "nvf_chain", node, t0, RootCause.VOLTAGE, FailureCategory.HW
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+
+    def script(engine) -> None:
+        t = engine.now
+        em.bc_nvf(t)
+        if rng.bernoulli(0.4):
+            em.bc_ecb(t + rng.uniform(1.0, 10.0))
+        if will_fail:
+            t_die = t + rng.uniform(5.0, detect_window)
+            em.finish(t_die, "node voltage fault",
+                      marker_event="node_halt", why="power rail fault")
+
+    plat.engine.schedule(t0, script, label="nvf")
+    return inj
+
+
+@chain("cpu_corruption_chain")
+def cpu_corruption_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    distant_external: bool = True,
+    escalation: float = 300.0,
+):
+    """CPU register corruption -> MCE -> oops (Table V case 2).
+
+    With ``distant_external`` the chain emits link errors and a
+    temperature SEDC warning *hours before* the failure -- present in the
+    logs but too distant to count as correlated precursors, exactly the
+    trap the paper's correlation window has to avoid.
+    """
+    inj = open_injection(
+        ledger, "cpu_corruption_chain", node, t0, RootCause.CPU_CORRUPTION,
+        FailureCategory.HW,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        internal_start = t
+        if distant_external:
+            # 4-8 hours before the internal cascade
+            internal_start = t + rng.uniform(4.0, 8.0) * 3600.0
+            em.erd_link_error(t)
+            blade = node.blade.cname
+            plat.router.sedc_warning(
+                t + 60.0, blade, "BC_T_NODE_CPU", 76.8, 18.0, 75.0
+            )
+            inj.note_external(t + 60.0)
+        cpu = rng.integer(0, 31)
+        em.console(internal_start, "cpu_corruption", Severity.CRITICAL, cpu=cpu)
+        em.console(
+            internal_start + escalation * 0.3,
+            "mce",
+            Severity.CRITICAL,
+            bank=rng.integer(0, 8),
+            status=_MCE_STATUS[2],
+        )
+        t_oops = internal_start + escalation * 0.8
+        em.console(t_oops, "kernel_oops", Severity.CRITICAL, addr=f"{rng.integer(0, 2**48):012x}")
+        em.trace(t_oops + 0.2, "mce")
+        t_panic = internal_start + escalation
+        em.finish(t_panic, "processor corruption",
+                  marker_event="kernel_panic", why="CPU context corrupt")
+
+    plat.engine.schedule(t0, script, label="cpu_corruption")
+    return inj
+
+
+@chain("disk_failslow")
+def disk_failslow(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    fail_prob: float = 0.5,
+    window: float = 1800.0,
+):
+    """Disk I/O errors degrading into inode trouble; sometimes fatal."""
+    inj = open_injection(
+        ledger, "disk_failslow", node, t0, RootCause.DISK, FailureCategory.HW
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+
+    def script(engine) -> None:
+        t = engine.now
+        dev = rng.choice(("sda", "sdb"))
+        for i in range(rng.integer(3, 8)):
+            em.console(
+                t + i * window / 10,
+                "disk_error",
+                Severity.ERROR,
+                dev=dev,
+                sector=rng.integer(10_000, 90_000_000),
+            )
+        em.console(
+            t + window * 0.7,
+            "inode_error",
+            Severity.ERROR,
+            ino=rng.integer(1000, 999_999),
+            dir=2,
+        )
+        if will_fail:
+            t_die = t + window
+            em.console(t_die - 10, "hung_task", Severity.ERROR, prog="kworker/3:1", pid=rng.integer(100, 9999), secs=120)
+            em.trace(t_die - 9.5, "hung_io")
+            em.finish(t_die, "disk failure",
+                      marker_event="kernel_panic", why="journal commit I/O error")
+
+    plat.engine.schedule(t0, script, label="disk")
+    return inj
+
+
+@chain("link_degrade_chain")
+def link_degrade_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    failover_ok_prob: float = 0.7,
+    fail_prob_on_bad_failover: float = 0.5,
+    window: float = 900.0,
+):
+    """Interconnect lane degrade with a failover attempt.
+
+    Background point 3 of the paper: corrective actions need work --
+    *failed* interconnect failovers delay recovery.  The chain emits
+    repeated link errors near the victim, then a failover attempt; a
+    failed failover leaves the node struggling with I/O (Lustre errors,
+    hung tasks) and sometimes dead.  A successful failover is benign.
+    """
+    inj = open_injection(
+        ledger, "link_degrade_chain", node, t0, RootCause.DRIVER_FIRMWARE,
+        FailureCategory.OTHERS,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    failover_ok = rng.bernoulli(failover_ok_prob)
+    will_fail = (not failover_ok) and rng.bernoulli(fail_prob_on_bad_failover)
+
+    def script(engine) -> None:
+        t = engine.now
+        fabric = plat.fabric
+        link = fabric.pick_link(node, rng)
+        for i in range(rng.integer(2, 5)):
+            rec = plat.router.link_error(
+                t + i * window * 0.15, fabric.fabric_tag,
+                node.blade.cname, link.name, fabric.error_detail(rng),
+            )
+            inj.note_external(rec.time)
+        t_failover = t + window * 0.6
+        rec = plat.router.link_failover(
+            t_failover, fabric.fabric_tag, node.blade.cname, link.name,
+            ok=failover_ok,
+        )
+        inj.note_external(rec.time)
+        if failover_ok:
+            return
+        # the node limps: I/O trouble while traffic reroutes by hand
+        em.console(t_failover + 30.0, "lustre_io_error", Severity.ERROR,
+                   fs="snx11023", target=f"OST{rng.integer(0, 63):04d}@o2ib")
+        em.console(t_failover + 90.0, "hung_task", Severity.ERROR,
+                   prog="ptlrpcd", pid=rng.integer(100, 9999), secs=120)
+        em.trace(t_failover + 90.5, "sleep_on_page")
+        if will_fail:
+            em.finish(t_failover + rng.uniform(200.0, 500.0),
+                      "failed interconnect failover",
+                      marker_event="kernel_panic",
+                      why="LNet network error")
+
+    plat.engine.schedule(t0, script, label="link_degrade")
+    return inj
+
+
+@chain("gpu_chain")
+def gpu_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    fail_prob: float = 0.1,
+    job_id: int | None = None,
+):
+    """GPU Xid errors (S5); kills jobs far more often than nodes."""
+    inj = open_injection(
+        ledger, "gpu_chain", node, t0, RootCause.GPU, FailureCategory.HW,
+        job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+    _XIDS = ((13, "Graphics Engine Exception"), (48, "Double Bit ECC Error"),
+             (62, "Internal micro-controller halt"), (79, "GPU has fallen off the bus"))
+
+    def script(engine) -> None:
+        t = engine.now
+        xid, detail = rng.choice(_XIDS)
+        em.console(t, "gpu_xid", Severity.ERROR, pci="0000:02:00", xid=xid, detail=detail)
+        if will_fail:
+            t_die = t + rng.uniform(30.0, 300.0)
+            em.finish(t_die, "gpu failure",
+                      marker_event="kernel_panic", why="GPU driver fatal error")
+
+    plat.engine.schedule(t0, script, label="gpu")
+    return inj

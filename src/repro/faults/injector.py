@@ -1,0 +1,242 @@
+"""Injection campaigns: turning rates and bursts into scheduled chains.
+
+A scenario describes *what goes wrong how often*; the :class:`Campaign`
+turns that into concrete chain injections on a platform:
+
+* **Poisson processes** -- independent arrivals of a chain across the
+  machine (``per_day`` arrivals system-wide), the right model for
+  background hardware faults and benign noise;
+* **bursts** -- the paper's signature pattern (Figs. 3, 4, 18, 19): many
+  nodes failing minutes apart on one day from the *same* dominant cause,
+  often because they ran the same job.  A burst picks victims either
+  uniformly, per-blade (whole-blade failures), or spatially scattered
+  (the distant-blades-same-job pattern of Obs. 8);
+* **noise floors** -- daily SEDC/controller chatter over random blades
+  and cabinets that never correlates with anything.
+
+All arrival randomness comes from the campaign's own RNG child streams,
+so adding one campaign never perturbs another's draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.topology import NodeName
+from repro.faults.chains import inject
+from repro.faults.model import Injection, InjectionLedger
+from repro.platform import Platform
+from repro.simul.clock import DAY, MINUTE
+from repro.simul.rng import RngStream
+
+__all__ = ["ChainRate", "CampaignSpec", "Campaign"]
+
+
+@dataclass(frozen=True)
+class ChainRate:
+    """A chain injected as a Poisson process, system-wide."""
+
+    chain: str
+    per_day: float
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.per_day < 0:
+            raise ValueError(f"per_day must be non-negative, got {self.per_day}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of a whole campaign."""
+
+    duration_days: float
+    rates: tuple[ChainRate, ...] = ()
+    #: blades receiving a daily benign SEDC flood
+    sedc_blades_per_day: int = 0
+    #: cabinets receiving daily controller-fault chatter
+    noisy_cabinets_per_day: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+
+
+class Campaign:
+    """Schedules chain injections on one platform."""
+
+    def __init__(
+        self,
+        plat: Platform,
+        ledger: Optional[InjectionLedger] = None,
+        name: str = "campaign",
+    ) -> None:
+        self.plat = plat
+        self.ledger = ledger if ledger is not None else InjectionLedger()
+        self.rng = plat.rng.child("campaign", name)
+        self._node_pool: list[NodeName] = sorted(plat.machine.nodes)
+        # monotonically increasing id folded into every process's RNG
+        # stream key, so two processes of the *same* chain (e.g. one with
+        # precursors and one without) never share victim/time draws
+        self._process_seq = 0
+
+    # ------------------------------------------------------------------
+    # victim selection
+    # ------------------------------------------------------------------
+    def pick_node(self, rng: Optional[RngStream] = None) -> NodeName:
+        """A uniformly random node name."""
+        return (rng or self.rng).choice(self._node_pool)
+
+    def pick_nodes(
+        self,
+        count: int,
+        policy: str = "scatter",
+        rng: Optional[RngStream] = None,
+    ) -> list[NodeName]:
+        """Choose ``count`` victims.
+
+        ``scatter`` -- uniform without replacement across the machine;
+        ``blade`` -- fill whole blades (4 nodes at a time on Cray);
+        ``cabinet`` -- concentrate within one cabinet.
+        """
+        rng = rng or self.rng
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count > len(self._node_pool):
+            raise ValueError(
+                f"cannot pick {count} victims from {len(self._node_pool)} nodes"
+            )
+        if policy == "scatter":
+            return rng.sample(self._node_pool, count)
+        if policy == "blade":
+            victims: list[NodeName] = []
+            blades = rng.shuffle(self.plat.machine.blades)
+            for blade in blades:
+                for node in self.plat.machine.nodes_in_blade(blade):
+                    victims.append(node)
+                    if len(victims) == count:
+                        return victims
+            return victims
+        if policy == "cabinet":
+            cabinet = rng.choice(self.plat.machine.cabinets)
+            pool = [
+                node
+                for blade in self.plat.machine.blades_in_cabinet(cabinet)
+                for node in self.plat.machine.nodes_in_blade(blade)
+            ]
+            if count <= len(pool):
+                return rng.sample(pool, count)
+            return pool
+        raise ValueError(f"unknown victim policy {policy!r}")
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def at(self, chain: str, node: NodeName, t0: float, **params) -> Injection:
+        """Inject one chain instance at an absolute time."""
+        return inject(self.plat, self.ledger, chain, node, t0, **params)
+
+    def poisson(
+        self,
+        chain: str,
+        per_day: float,
+        duration_days: float,
+        start_day: float = 0.0,
+        params: Optional[dict] = None,
+    ) -> list[Injection]:
+        """Poisson arrivals of a chain over a day range, scattered victims."""
+        params = params or {}
+        self._process_seq += 1
+        rng = self.rng.child("poisson", chain, f"{start_day}", str(self._process_seq))
+        t = start_day * DAY
+        end = (start_day + duration_days) * DAY
+        injections: list[Injection] = []
+        if per_day <= 0:
+            return injections
+        mean_gap = DAY / per_day
+        while True:
+            t += rng.exponential(mean_gap)
+            if t >= end:
+                break
+            node = self.pick_node(rng)
+            injections.append(self.at(chain, node, t, **params))
+        return injections
+
+    def burst(
+        self,
+        chain: str,
+        day: float,
+        count: int,
+        spread_minutes: float = 16.0,
+        start_hour: Optional[float] = None,
+        policy: str = "scatter",
+        params: Optional[dict] = None,
+        victims: Optional[Sequence[NodeName]] = None,
+    ) -> list[Injection]:
+        """A same-cause failure burst within one day.
+
+        Victims are injected at exponential gaps with mean
+        ``spread_minutes / count`` so inter-failure times land in the
+        paper's minutes-apart regime.
+        """
+        params = params or {}
+        self._process_seq += 1
+        rng = self.rng.child("burst", chain, f"{day}", f"{count}", str(self._process_seq))
+        if victims is None:
+            victims = self.pick_nodes(count, policy=policy, rng=rng)
+        hour = start_hour if start_hour is not None else rng.uniform(0.5, 22.0)
+        t = day * DAY + hour * 3600.0
+        injections: list[Injection] = []
+        mean_gap = spread_minutes * MINUTE / max(1, count)
+        for node in victims:
+            injections.append(self.at(chain, node, t, **params))
+            t += rng.exponential(mean_gap)
+        return injections
+
+    def daily_noise(
+        self,
+        duration_days: float,
+        sedc_blades_per_day: int = 0,
+        noisy_cabinets_per_day: int = 0,
+        warnings_per_blade: int = 20,
+        faults_per_cabinet: int = 12,
+    ) -> int:
+        """Benign SEDC and controller chatter; returns chains injected."""
+        rng = self.rng.child("noise")
+        total = 0
+        for day in range(int(duration_days)):
+            for _ in range(sedc_blades_per_day):
+                node = self.pick_node(rng)
+                self.at(
+                    "sedc_flood", node, day * DAY + rng.uniform(0, 1000),
+                    count=max(1, rng.poisson(warnings_per_blade)),
+                    window=DAY * 0.9,
+                    cabinet_level=rng.bernoulli(0.3),
+                )
+                total += 1
+            for _ in range(noisy_cabinets_per_day):
+                node = self.pick_node(rng)
+                self.at(
+                    "controller_flood", node, day * DAY + rng.uniform(0, 1000),
+                    count=max(1, rng.poisson(faults_per_cabinet)),
+                    window=DAY * 0.9,
+                    cabinet_level=rng.bernoulli(0.6),
+                )
+                total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    def apply(self, spec: CampaignSpec) -> list[Injection]:
+        """Apply a declarative spec: all rates plus the noise floor."""
+        injections: list[Injection] = []
+        for rate in spec.rates:
+            injections.extend(
+                self.poisson(rate.chain, rate.per_day, spec.duration_days,
+                             params=dict(rate.params))
+            )
+        self.daily_noise(
+            spec.duration_days,
+            sedc_blades_per_day=spec.sedc_blades_per_day,
+            noisy_cabinets_per_day=spec.noisy_cabinets_per_day,
+        )
+        return injections

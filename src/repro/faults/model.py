@@ -1,0 +1,223 @@
+"""Fault taxonomy and injection ground truth.
+
+Three classifications coexist in the paper and all three are needed:
+
+* :class:`FaultFamily` -- the coarse layer a fault originates in
+  (hardware / software / filesystem / application / environment /
+  unknown).  Sec. III-F reports S3's split as HW 37 %, SW 32 %, App 31 %.
+* :class:`RootCause` -- the fine-grained root the case studies infer
+  (MCE, CPU corruption, Lustre bug, OOM, ...).
+* :class:`FailureCategory` -- the kernel-oops breakdown of Fig. 16
+  (APP-EXIT / KBUG / FSBUG / OOM / OTHERS) and the S5 call-trace mix of
+  Fig. 15 (HUNG_TASK et al.).
+
+An :class:`Injection` is the simulator's ground-truth record of one chain
+instance: what was injected, on which node, what the chain emitted first
+internally and externally, and whether/when the node failed.  The
+:class:`InjectionLedger` aggregates them per scenario; the pipeline is
+scored against it but can never read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.cluster.topology import NodeName
+
+__all__ = [
+    "FaultFamily",
+    "RootCause",
+    "FailureCategory",
+    "Injection",
+    "InjectionLedger",
+]
+
+
+class FaultFamily(str, Enum):
+    """Layer in which the root cause of a chain lives."""
+
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+    FILESYSTEM = "filesystem"
+    APPLICATION = "application"
+    ENVIRONMENT = "environment"
+    UNKNOWN = "unknown"
+
+
+class RootCause(str, Enum):
+    """Fine-grained ground-truth root cause of a chain."""
+
+    # hardware
+    MCE = "mce"
+    CPU_CORRUPTION = "cpu_corruption"
+    DRAM_UE = "dram_ue"
+    DISK = "disk"
+    GPU = "gpu"
+    VOLTAGE = "voltage"
+    # software
+    KERNEL_BUG = "kernel_bug"
+    DRIVER_FIRMWARE = "driver_firmware"
+    CPU_STALL = "cpu_stall"
+    # filesystem
+    LUSTRE_BUG = "lustre_bug"
+    DVS = "dvs"
+    INODE = "inode"
+    # application
+    APP_EXIT = "app_exit"
+    OOM = "oom"
+    SEGFAULT = "segfault"
+    MEM_OVERALLOC = "mem_overalloc"
+    HUNG_TASK = "hung_task"
+    # other
+    HEARTBEAT = "heartbeat"
+    ENVIRONMENT = "environment"
+    OPERATOR = "operator"
+    UNKNOWN = "unknown"
+
+
+#: Default family for each root cause (chains may override, e.g. a Lustre
+#: bug whose true origin is the application).
+ROOT_FAMILY: dict[RootCause, FaultFamily] = {
+    RootCause.MCE: FaultFamily.HARDWARE,
+    RootCause.CPU_CORRUPTION: FaultFamily.HARDWARE,
+    RootCause.DRAM_UE: FaultFamily.HARDWARE,
+    RootCause.DISK: FaultFamily.HARDWARE,
+    RootCause.GPU: FaultFamily.HARDWARE,
+    RootCause.VOLTAGE: FaultFamily.HARDWARE,
+    RootCause.KERNEL_BUG: FaultFamily.SOFTWARE,
+    RootCause.DRIVER_FIRMWARE: FaultFamily.SOFTWARE,
+    RootCause.CPU_STALL: FaultFamily.SOFTWARE,
+    RootCause.LUSTRE_BUG: FaultFamily.FILESYSTEM,
+    RootCause.DVS: FaultFamily.FILESYSTEM,
+    RootCause.INODE: FaultFamily.FILESYSTEM,
+    RootCause.APP_EXIT: FaultFamily.APPLICATION,
+    RootCause.OOM: FaultFamily.APPLICATION,
+    RootCause.SEGFAULT: FaultFamily.APPLICATION,
+    RootCause.MEM_OVERALLOC: FaultFamily.APPLICATION,
+    RootCause.HUNG_TASK: FaultFamily.APPLICATION,
+    RootCause.HEARTBEAT: FaultFamily.ENVIRONMENT,
+    RootCause.ENVIRONMENT: FaultFamily.ENVIRONMENT,
+    RootCause.OPERATOR: FaultFamily.UNKNOWN,
+    RootCause.UNKNOWN: FaultFamily.UNKNOWN,
+}
+
+
+class FailureCategory(str, Enum):
+    """Kernel-oops / failure breakdown classes (Figs. 15 and 16)."""
+
+    APP_EXIT = "app_exit"
+    KBUG = "kbug"
+    FSBUG = "fsbug"
+    OOM = "oom"
+    HUNG_TASK = "hung_task"
+    HW = "hw"
+    SW = "sw"
+    LUSTRE = "lustre"
+    OTHERS = "others"
+
+
+@dataclass
+class Injection:
+    """Ground truth for one chain instance.
+
+    ``internal_first`` / ``external_first`` are the times of the first
+    log record the chain emitted to the internal (console/messages/
+    consumer) and external (controller/ERD) streams; None when the chain
+    wrote nothing there.  Lead-time scoring in tests compares the
+    pipeline's answer against ``fail_time - internal_first`` and
+    ``fail_time - external_first``.
+    """
+
+    chain: str
+    node: NodeName
+    t0: float
+    root: RootCause
+    family: FaultFamily
+    category: Optional[FailureCategory] = None
+    failed: bool = False
+    admindown: bool = False
+    fail_time: Optional[float] = None
+    internal_first: Optional[float] = None
+    external_first: Optional[float] = None
+    job_id: Optional[int] = None
+
+    def note_internal(self, time: float) -> None:
+        """Record the first internal emission (idempotent, keeps earliest)."""
+        if self.internal_first is None or time < self.internal_first:
+            self.internal_first = time
+
+    def note_external(self, time: float) -> None:
+        """Record the first external emission (idempotent, keeps earliest)."""
+        if self.external_first is None or time < self.external_first:
+            self.external_first = time
+
+    def note_failure(self, time: float, admindown: bool = False) -> None:
+        """Record the node failure this chain caused."""
+        self.failed = True
+        self.admindown = admindown
+        self.fail_time = time
+
+    @property
+    def internal_lead(self) -> Optional[float]:
+        """Lead time achievable from internal logs alone."""
+        if not self.failed or self.internal_first is None:
+            return None
+        return max(0.0, self.fail_time - self.internal_first)
+
+    @property
+    def external_lead(self) -> Optional[float]:
+        """Lead time achievable when external precursors are used."""
+        if not self.failed or self.external_first is None:
+            return None
+        return max(0.0, self.fail_time - self.external_first)
+
+
+class InjectionLedger:
+    """All injections of one scenario (simulator-private ground truth)."""
+
+    def __init__(self) -> None:
+        self._injections: list[Injection] = []
+
+    def open(self, injection: Injection) -> Injection:
+        """Register a new injection and return it for the chain to fill."""
+        self._injections.append(injection)
+        return injection
+
+    def __len__(self) -> int:
+        return len(self._injections)
+
+    def __iter__(self):
+        return iter(self._injections)
+
+    @property
+    def all(self) -> list[Injection]:
+        return self._injections
+
+    def failures(self) -> list[Injection]:
+        """Injections that resulted in node failures, by fail time."""
+        failed = [i for i in self._injections if i.failed]
+        failed.sort(key=lambda i: i.fail_time)
+        return failed
+
+    def by_chain(self, *chains: str) -> list[Injection]:
+        wanted = set(chains)
+        return [i for i in self._injections if i.chain in wanted]
+
+    def by_root(self, *roots: RootCause) -> list[Injection]:
+        wanted = set(roots)
+        return [i for i in self._injections if i.root in wanted]
+
+    def failure_rate(self, chain: Optional[str] = None) -> float:
+        """Fraction of (optionally chain-filtered) injections that failed."""
+        pool = self.by_chain(chain) if chain else self._injections
+        if not pool:
+            return 0.0
+        return sum(1 for i in pool if i.failed) / len(pool)
+
+    def nodes_touched(self) -> set[NodeName]:
+        return {i.node for i in self._injections}
+
+    def extend(self, other: Iterable[Injection]) -> None:
+        self._injections.extend(other)

@@ -1,0 +1,182 @@
+"""Software fault chains: kernel bugs, driver/firmware bugs, CPU stalls.
+
+The paper's Fig. 16 separates kernel-oops failures into KBUG (critical
+kernel bugs such as invalid opcodes), and an "Others" bucket of CPU
+stalls and driver/firmware bugs; its Sec. III-F notes that software traps
+generally do *not* fail nodes unless exception handling disturbs the file
+system.  These chains encode exactly that:
+
+* ``kernel_bug_chain`` -- a genuine kernel bug (invalid opcode / BUG at)
+  that panics the node.  ``job_triggered=True`` labels the ground-truth
+  family as application (the bug only manifests under the job's code
+  path) while the log surface still looks like an OS crash -- the
+  deliberate deception the stack-trace classifier has to see through.
+* ``driver_firmware_chain`` -- driver bugs following an application exit.
+* ``cpu_stall_chain`` -- RCU stalls, sometimes fatal.
+* ``sw_trap_benign`` -- traps that nodes survive.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import NodeName
+from repro.faults.chains import ChainEmitter, chain, open_injection
+from repro.faults.model import FailureCategory, FaultFamily, InjectionLedger, RootCause
+from repro.logs.record import Severity
+from repro.platform import Platform
+from repro.simul.rng import RngStream
+
+__all__ = [
+    "kernel_bug_chain",
+    "driver_firmware_chain",
+    "cpu_stall_chain",
+    "sw_trap_benign",
+]
+
+
+@chain("kernel_bug_chain")
+def kernel_bug_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    job_triggered: bool = False,
+    job_id: int | None = None,
+    escalation: float = 60.0,
+):
+    """Critical kernel bug -> oops -> panic (Fig. 16 KBUG)."""
+    inj = open_injection(
+        ledger,
+        "kernel_bug_chain",
+        node,
+        t0,
+        RootCause.KERNEL_BUG,
+        FailureCategory.KBUG,
+        family=FaultFamily.APPLICATION if job_triggered else FaultFamily.SOFTWARE,
+        job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        if rng.bernoulli(0.5):
+            em.console(t, "invalid_opcode", Severity.CRITICAL, n=1, prog="kworker/u16:2")
+        else:
+            em.console(
+                t, "kernel_bug_at", Severity.CRITICAL,
+                file=rng.choice(("fs/dcache.c", "mm/slab.c", "kernel/sched/core.c")),
+                line=rng.integer(100, 4000),
+            )
+        em.trace(t + 0.2, "kernel_generic")
+        em.finish(t + escalation, "kernel bug",
+                  marker_event="kernel_panic", why="Fatal exception")
+
+    plat.engine.schedule(t0, script, label="kernel_bug")
+    return inj
+
+
+@chain("driver_firmware_chain")
+def driver_firmware_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    fail_prob: float = 0.6,
+    job_id: int | None = None,
+    apid: int | None = None,
+):
+    """Driver/firmware bug surfacing after an application exit.
+
+    Matches Sec. III-F finding 1: driver bugs appear *after* NHC
+    application-exit messages, sometimes with ``ec_hw_error`` in the
+    external logs.
+    """
+    inj = open_injection(
+        ledger, "driver_firmware_chain", node, t0, RootCause.DRIVER_FIRMWARE,
+        FailureCategory.OTHERS, job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+
+    def script(engine) -> None:
+        t = engine.now
+        the_apid = apid if apid is not None else rng.integer(10_000, 99_999)
+        the_job = job_id if job_id is not None else rng.integer(1000, 99_999)
+        em.messages(
+            t, "app_exit_abnormal", Severity.ERROR,
+            apid=the_apid, code=rng.choice((1, 134, 137, 139)), job=the_job,
+        )
+        if rng.bernoulli(0.4):
+            em.erd_hw_error(t + rng.uniform(5.0, 40.0), "kgni subsystem error")
+        t_oops = t + rng.uniform(20.0, 90.0)
+        em.console(t_oops, "kernel_oops", Severity.CRITICAL, addr=f"{rng.integer(0, 2**48):012x}")
+        em.trace(t_oops + 0.2, "driver")
+        if will_fail:
+            em.finish(t_oops + rng.uniform(10.0, 60.0), "driver/firmware bug",
+                      marker_event="kernel_panic",
+                      why="Fatal exception in interrupt")
+
+    plat.engine.schedule(t0, script, label="driver_fw")
+    return inj
+
+
+@chain("cpu_stall_chain")
+def cpu_stall_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    fail_prob: float = 0.5,
+    job_id: int | None = None,
+    job_triggered: bool = False,
+):
+    """RCU self-detected CPU stall; half the time the node locks up."""
+    inj = open_injection(
+        ledger, "cpu_stall_chain", node, t0, RootCause.CPU_STALL,
+        FailureCategory.OTHERS,
+        family=FaultFamily.APPLICATION if job_triggered else FaultFamily.SOFTWARE,
+        job_id=job_id,
+    )
+    em = ChainEmitter(plat, inj, rng)
+    will_fail = rng.bernoulli(fail_prob)
+
+    def script(engine) -> None:
+        t = engine.now
+        cpu = rng.integer(0, 31)
+        em.console(t, "cpu_stall", Severity.ERROR, cpu=cpu, ticks=rng.integer(60_000, 180_000))
+        em.trace(t + 0.2, "driver")
+        if will_fail:
+            em.finish(t + rng.uniform(60.0, 240.0), "cpu stall lockup",
+                      marker_event="kernel_panic", why="hard lockup on CPU")
+
+    plat.engine.schedule(t0, script, label="cpu_stall")
+    return inj
+
+
+@chain("sw_trap_benign")
+def sw_trap_benign(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+):
+    """A software trap the node survives (Obs.: traps rarely fail nodes)."""
+    inj = open_injection(
+        ledger, "sw_trap_benign", node, t0, RootCause.KERNEL_BUG,
+        FailureCategory.SW,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        if rng.bernoulli(0.5):
+            em.console(t, "invalid_opcode", Severity.CRITICAL, n=1, prog="userapp")
+        else:
+            em.console(t, "general_protection", Severity.CRITICAL, n=1)
+        em.trace(t + 0.2, "kernel_generic", depth=3)
+
+    plat.engine.schedule(t0, script, label="sw_trap")
+    return inj

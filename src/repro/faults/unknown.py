@@ -1,0 +1,132 @@
+"""The undiagnosable failure patterns of Observation 9.
+
+Three patterns the paper could not attribute:
+
+* ``bios_unknown_chain`` -- the ``type:2; severity:80; class:3;
+  subclass:D; operation: 2`` HEST pattern, seen both on healthy nodes and
+  before anomalous shutdowns, with no other symptoms;
+* ``l0_sysd_mce_chain`` -- blade-controller memory-error reports before a
+  failure, with blade peers showing only benign events (Table V case 1);
+* ``operator_shutdown`` -- a node simply shuts down: operator error or,
+  speculatively, radiation-induced silent corruption.  No indicator of
+  any kind precedes it.
+
+A sound pipeline must label these UNKNOWN rather than inventing a cause;
+the root-cause tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import NodeName
+from repro.faults.chains import ChainEmitter, chain, open_injection
+from repro.faults.model import FailureCategory, InjectionLedger, RootCause
+from repro.logs.record import Severity
+from repro.platform import Platform
+from repro.simul.rng import RngStream
+
+__all__ = ["bios_unknown_chain", "l0_sysd_mce_chain", "operator_shutdown"]
+
+
+@chain("bios_unknown_chain")
+def bios_unknown_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    fails: bool = False,
+    repeats: int = 3,
+):
+    """The benign-looking HEST/BIOS pattern; occasionally fatal."""
+    inj = open_injection(
+        ledger, "bios_unknown_chain", node, t0, RootCause.UNKNOWN,
+        FailureCategory.OTHERS,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        for i in range(max(1, repeats)):
+            em.console(t + i * rng.uniform(30.0, 300.0), "bios_unknown",
+                       Severity.WARNING)
+        if fails:
+            em.finish(t + rng.uniform(400.0, 900.0),
+                      "anomalous shutdown (BIOS pattern)",
+                      marker_event="node_shutdown_msg",
+                      marker_source="consumer", why="unexpected")
+
+    plat.engine.schedule(t0, script, label="bios_unknown")
+    return inj
+
+
+@chain("l0_sysd_mce_chain")
+def l0_sysd_mce_chain(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+    lead: float = 180.0,
+):
+    """``L0_sysd_mce`` in the consumer log, then a failure; nothing else.
+
+    Table V case 1: blade peers see correctable hardware and SSID errors
+    but stay up; no environmental or job indications exist.
+    """
+    inj = open_injection(
+        ledger, "l0_sysd_mce_chain", node, t0, RootCause.UNKNOWN,
+        FailureCategory.OTHERS,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        em.consumer(t, "l0_sysd_mce", Severity.ERROR, bank=rng.integer(0, 8))
+        em.messages(t + 10.0, "nhc_test_fail", Severity.ERROR,
+                    test="xtcheckhealth.node", rc=1)
+        # benign noise on blade peers (they do NOT fail)
+        for peer in plat.machine.blade_peers(node):
+            peer_inj = open_injection(
+                ledger, "l0_sysd_mce_chain", peer, t, RootCause.UNKNOWN,
+                FailureCategory.OTHERS,
+            )
+            peer_em = ChainEmitter(plat, peer_inj, rng.child(peer.cname))
+            peer_em.console(t + rng.uniform(5.0, 60.0), "ecc_corrected",
+                            Severity.WARNING, mc=0, count=1,
+                            dimm=f"DIMM#{rng.integer(0, 15)}")
+            peer_em.consumer(t + rng.uniform(5.0, 60.0), "ssid_error",
+                             Severity.ERROR, ssid=rng.integer(1, 64))
+        # the node dies with a bare anomalous-shutdown message and nothing
+        # else -- that message is all the pipeline gets to detect it by
+        em.finish(t + lead, "failure after L0_sysd_mce",
+                  marker_event="node_shutdown_msg", marker_source="consumer",
+                  why="unexpected")
+
+    plat.engine.schedule(t0, script, label="l0_sysd_mce")
+    return inj
+
+
+@chain("operator_shutdown")
+def operator_shutdown(
+    plat: Platform,
+    ledger: InjectionLedger,
+    node: NodeName,
+    t0: float,
+    rng: RngStream,
+):
+    """A shutdown with no prior anomaly: operator error or cosmic ray."""
+    inj = open_injection(
+        ledger, "operator_shutdown", node, t0, RootCause.OPERATOR,
+        FailureCategory.OTHERS,
+    )
+    em = ChainEmitter(plat, inj, rng)
+
+    def script(engine) -> None:
+        t = engine.now
+        em.consumer(t, "node_shutdown_msg", Severity.CRITICAL,
+                    why="shutdown requested")
+        em.finish(t + 2.0, "unexplained shutdown",
+                  marker_event="node_halt", why="halt")
+
+    plat.engine.schedule(t0, script, label="operator")
+    return inj

@@ -1,0 +1,41 @@
+"""Log substrate: records, event catalog, renderers, parsers, store.
+
+This subpackage is the boundary between the platform simulator and the
+diagnosis pipeline.  The simulator emits typed :class:`LogRecord` objects
+into a :class:`LogBus`; the :class:`~repro.logs.store.LogStore` renders
+them into *text log files* laid out like the sources of Table II
+(p0 console / messages / consumer directories, controller logs, the ERD
+event stream, scheduler logs).  The pipeline then reads those text files
+back through the parsers -- it never touches simulator state.
+
+Modules
+-------
+* :mod:`repro.logs.record` -- record model, sources, severities, the bus.
+* :mod:`repro.logs.catalog` -- the event vocabulary: one
+  :class:`~repro.logs.catalog.EventSpec` per event type with a message
+  template and the regex that recovers its attributes from a log line.
+* :mod:`repro.logs.render` -- record -> text line, per source dialect.
+* :mod:`repro.logs.parsing` -- text line -> :class:`ParsedRecord`.
+* :mod:`repro.logs.store` -- on-disk layout, writers and streaming readers.
+* :mod:`repro.logs.stacktraces` -- kernel call-trace synthesis & grouping.
+"""
+
+from repro.logs.catalog import EVENTS, EventSpec, event_spec
+from repro.logs.parsing import ParsedRecord, parse_line
+from repro.logs.record import LogBus, LogRecord, LogSource, Severity
+from repro.logs.render import render_line
+from repro.logs.store import LogStore
+
+__all__ = [
+    "EVENTS",
+    "EventSpec",
+    "LogBus",
+    "LogRecord",
+    "LogSource",
+    "LogStore",
+    "ParsedRecord",
+    "Severity",
+    "event_spec",
+    "parse_line",
+    "render_line",
+]

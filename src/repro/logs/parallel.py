@@ -1,0 +1,110 @@
+"""Parallel log parsing across worker processes.
+
+Production log directories are tens of gigabytes; parsing is
+embarrassingly parallel across files (each line is independent and each
+source file is already time-ordered).  :func:`parallel_read` fans the
+store's files out over a :class:`multiprocessing.Pool` -- one task per
+physical file, so daily-rotated stores parallelise across days -- and
+reassembles the same three record streams
+:class:`~repro.core.pipeline.HolisticDiagnosis` consumes.
+
+Per the optimisation guides' discipline ("no optimisation without
+measuring"), the speed-up is benchmarked in
+``benchmarks/bench_parallel_parse.py`` rather than assumed; on small
+stores the pool overhead dominates, so ``parallel_read`` falls back to
+the serial path below :data:`MIN_PARALLEL_BYTES`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+from typing import Optional
+
+from repro.logs.parsing import LineParser, ParsedRecord
+from repro.logs.record import LogSource
+from repro.logs.store import LogStore, StoreManifest
+
+__all__ = ["parallel_read", "diagnosis_inputs", "MIN_PARALLEL_BYTES"]
+
+#: stores smaller than this parse serially (pool startup would dominate)
+MIN_PARALLEL_BYTES = 4 * 1024 * 1024
+
+
+def _parse_file(args: tuple[str, str]) -> list[ParsedRecord]:
+    """Worker: parse one log file (module-level for pickling)."""
+    path_str, epoch_iso = args
+    manifest = StoreManifest(system="?", seed=0, epoch_iso=epoch_iso,
+                             duration_seconds=0.0)
+    parser = LineParser(manifest.clock())
+    records: list[ParsedRecord] = []
+    with Path(path_str).open() as handle:
+        for line in handle:
+            rec = parser.parse(line)
+            if rec is not None:
+                records.append(rec)
+    return records
+
+
+def parallel_read(
+    store: LogStore,
+    workers: Optional[int] = None,
+    force_parallel: bool = False,
+) -> dict[LogSource, list[ParsedRecord]]:
+    """Parse every source of a store, fanned out over processes.
+
+    Returns source -> time-sorted records.  Serial fallback when the
+    store is small (see :data:`MIN_PARALLEL_BYTES`) unless
+    ``force_parallel`` insists.
+    """
+    manifest = store.manifest()
+    tasks: list[tuple[LogSource, str]] = []
+    total_bytes = 0
+    for source in LogSource:
+        for path in store._source_files(source):
+            tasks.append((source, str(path)))
+            total_bytes += path.stat().st_size
+    out: dict[LogSource, list[ParsedRecord]] = {s: [] for s in LogSource}
+    if not tasks:
+        return out
+    if total_bytes < MIN_PARALLEL_BYTES and not force_parallel:
+        for source, path in tasks:
+            out[source].extend(_parse_file((path, manifest.epoch_iso)))
+    else:
+        workers = workers or min(len(tasks), multiprocessing.cpu_count())
+        with multiprocessing.Pool(processes=max(1, workers)) as pool:
+            parsed = pool.map(
+                _parse_file,
+                [(path, manifest.epoch_iso) for _source, path in tasks],
+            )
+        for (source, _path), records in zip(tasks, parsed):
+            out[source].extend(records)
+    for records in out.values():
+        records.sort(key=lambda r: r.time)
+    return out
+
+
+def diagnosis_inputs(
+    store: LogStore,
+    workers: Optional[int] = None,
+    force_parallel: bool = False,
+) -> tuple[list[ParsedRecord], list[ParsedRecord], list[ParsedRecord]]:
+    """(internal, external, scheduler) streams, parsed in parallel.
+
+    Drop-in provider for :class:`~repro.core.pipeline.HolisticDiagnosis`::
+
+        internal, external, sched = diagnosis_inputs(store)
+        diag = HolisticDiagnosis(internal, external, sched)
+    """
+    by_source = parallel_read(store, workers=workers,
+                              force_parallel=force_parallel)
+    internal = sorted(
+        by_source[LogSource.CONSOLE] + by_source[LogSource.MESSAGES]
+        + by_source[LogSource.CONSUMER],
+        key=lambda r: r.time,
+    )
+    external = sorted(
+        by_source[LogSource.CONTROLLER] + by_source[LogSource.ERD],
+        key=lambda r: r.time,
+    )
+    return internal, external, by_source[LogSource.SCHEDULER]

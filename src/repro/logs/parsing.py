@@ -1,0 +1,165 @@
+"""Parsing text log lines back into typed records.
+
+This is the front end of the diagnosis pipeline: it sees only text.  A
+line is split into ``timestamp component daemon: body`` and the body is
+matched against the catalog patterns registered for that daemon.  Matching
+is attempted against a per-daemon dispatch table ordered so that the more
+specific patterns win; an unrecognised body yields a ``ParsedRecord`` with
+``event=None`` (production logs always contain chatter the miner ignores).
+
+Parsed timestamps are converted back to simulation seconds through the
+same :class:`~repro.simul.clock.SimClock` the writer used, so time
+arithmetic in the analysis layers is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.logs.catalog import EventSpec, events_for_daemon
+from repro.logs.record import LogSource, Severity
+from repro.simul.clock import SimClock, parse_syslog
+
+__all__ = ["ParsedRecord", "LineParser", "parse_line", "parse_lines"]
+
+
+@dataclass(frozen=True)
+class ParsedRecord:
+    """One parsed log line.
+
+    ``event`` is None when the body matched no catalog pattern; the raw
+    body is always retained for forensic display (Table V style output).
+    """
+
+    time: float
+    source: LogSource
+    component: str
+    daemon: str
+    event: Optional[str]
+    attrs: dict[str, str] = field(default_factory=dict)
+    severity: Severity = Severity.INFO
+    body: str = ""
+
+    def attr(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Attribute lookup with default."""
+        return self.attrs.get(key, default)
+
+    def attr_float(self, key: str, default: float = 0.0) -> float:
+        """Attribute as float (SEDC values and thresholds)."""
+        raw = self.attrs.get(key)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            return default
+
+    def attr_int(self, key: str, default: int = 0) -> int:
+        """Attribute as int (job ids, exit codes)."""
+        raw = self.attrs.get(key)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            return default
+
+
+class LineParser:
+    """Reusable parser bound to one clock.
+
+    Builds the per-daemon dispatch tables once; :meth:`parse` is then a
+    hot loop of (split, table lookup, regex match).
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock or SimClock()
+        self._tables: dict[str, list[EventSpec]] = {}
+
+    def _table(self, daemon: str) -> list[EventSpec]:
+        table = self._tables.get(daemon)
+        if table is None:
+            # Longer templates first: more literal text means more specific.
+            table = sorted(
+                events_for_daemon(daemon),
+                key=lambda s: -len(s.template),
+            )
+            self._tables[daemon] = table
+        return table
+
+    def parse(self, line: str) -> Optional[ParsedRecord]:
+        """Parse one line; None for blank/malformed lines."""
+        line = line.rstrip("\n")
+        if not line.strip():
+            return None
+        parts = line.split(" ", 2)
+        if len(parts) < 3:
+            return None
+        stamp, component, rest = parts
+        daemon, sep, body = rest.partition(": ")
+        if not sep:
+            return None
+        try:
+            time = self.clock.to_seconds(parse_syslog(stamp))
+        except ValueError:
+            return None
+        for spec in self._table(daemon):
+            attrs = spec.parse(body)
+            if attrs is not None:
+                return ParsedRecord(
+                    time=time,
+                    source=spec.source,
+                    component=component,
+                    daemon=daemon,
+                    event=spec.key,
+                    attrs=attrs,
+                    severity=spec.severity,
+                    body=body,
+                )
+        # Unrecognised chatter: keep it, classified by daemon only.
+        return ParsedRecord(
+            time=time,
+            source=_source_for_daemon(daemon),
+            component=component,
+            daemon=daemon,
+            event=None,
+            attrs={},
+            severity=Severity.INFO,
+            body=body,
+        )
+
+    def parse_many(self, lines: Iterable[str]) -> Iterator[ParsedRecord]:
+        """Parse an iterable of lines, skipping unparseable ones."""
+        for line in lines:
+            rec = self.parse(line)
+            if rec is not None:
+                yield rec
+
+
+_DAEMON_SOURCE = {
+    "kernel": LogSource.CONSOLE,
+    "nhc": LogSource.MESSAGES,
+    "apsys": LogSource.MESSAGES,
+    "l0sysd": LogSource.CONSUMER,
+    "bc": LogSource.CONTROLLER,
+    "cc": LogSource.CONTROLLER,
+    "erd": LogSource.ERD,
+}
+
+
+def _source_for_daemon(daemon: str) -> LogSource:
+    """Best-effort source classification for unrecognised chatter."""
+    return _DAEMON_SOURCE.get(daemon, LogSource.SCHEDULER)
+
+
+def parse_line(line: str, clock: Optional[SimClock] = None) -> Optional[ParsedRecord]:
+    """One-shot convenience wrapper around :class:`LineParser`."""
+    return LineParser(clock).parse(line)
+
+
+def parse_lines(
+    lines: Iterable[str], clock: Optional[SimClock] = None
+) -> Iterator[ParsedRecord]:
+    """One-shot convenience wrapper for many lines."""
+    return LineParser(clock).parse_many(lines)

@@ -1,0 +1,156 @@
+"""Log record model and the in-simulation log bus.
+
+A :class:`LogRecord` is the typed form of one log line: when it happened,
+which log *source* it belongs to (console, messages, consumer, controller,
+ERD, scheduler), which component reported it, the event type from the
+catalog, and the event's attributes.
+
+:class:`LogBus` collects records during a simulation.  It keeps records in
+emission order (which is time order, since the discrete-event engine is
+monotonic) and offers cheap filtered views used by tests; production
+analysis instead goes through the rendered text files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Iterator, Mapping, Optional
+
+__all__ = ["LogSource", "Severity", "LogRecord", "LogBus"]
+
+
+class LogSource(str, Enum):
+    """Which physical log file family a record belongs to (Table II)."""
+
+    CONSOLE = "console"
+    MESSAGES = "messages"
+    CONSUMER = "consumer"
+    CONTROLLER = "controller"
+    ERD = "erd"
+    SCHEDULER = "sched"
+
+    @property
+    def is_internal(self) -> bool:
+        """Node-internal logs (the paper's p0-directory sources)."""
+        return self in (LogSource.CONSOLE, LogSource.MESSAGES, LogSource.CONSUMER)
+
+    @property
+    def is_external(self) -> bool:
+        """Environmental logs (controller + event router)."""
+        return self in (LogSource.CONTROLLER, LogSource.ERD)
+
+
+class Severity(int, Enum):
+    """Syslog-style severity; higher is worse."""
+
+    DEBUG = 0
+    INFO = 1
+    NOTICE = 2
+    WARNING = 3
+    ERROR = 4
+    CRITICAL = 5
+    ALERT = 6
+    FATAL = 7
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log line in typed form.
+
+    Parameters
+    ----------
+    time:
+        Simulation time in seconds.
+    source:
+        Log family the line is written to.
+    component:
+        cname of the reporting component (node for internal logs, blade or
+        cabinet for controller logs) or a daemon name (``erd``,
+        ``slurmctld``, ``pbs_server``).
+    event:
+        Event-type key into :data:`repro.logs.catalog.EVENTS`.
+    attrs:
+        Event attributes; every value is stringified at render time.
+    """
+
+    time: float
+    source: LogSource
+    component: str
+    event: str
+    attrs: Mapping[str, object] = field(default_factory=dict)
+    severity: Severity = Severity.INFO
+
+    def attr(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Stringified attribute lookup."""
+        value = self.attrs.get(key, default)
+        return None if value is None else str(value)
+
+
+class LogBus:
+    """Sink for simulation log records.
+
+    Records are kept in emission order, which is *approximately* time
+    order: the discrete-event engine fires handlers monotonically, but a
+    handler may emit a burst whose sub-millisecond offsets overlap the
+    next event (stack-trace frames, delayed controller confirmations).
+    The on-disk writer sorts by time, so text logs are strictly ordered;
+    in-memory views that need ordering use :meth:`sorted_records`.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._listeners: list[Callable[[LogRecord], None]] = []
+
+    def emit(self, record: LogRecord) -> LogRecord:
+        """Append a record; returns it for chaining."""
+        if record.time < 0:
+            raise ValueError(f"record time must be non-negative, got {record.time}")
+        self._records.append(record)
+        for listener in self._listeners:
+            listener(record)
+        return record
+
+    def sorted_records(self) -> list[LogRecord]:
+        """All records sorted by time (stable for equal stamps)."""
+        return sorted(self._records, key=lambda r: r.time)
+
+    def subscribe(self, listener: Callable[[LogRecord], None]) -> None:
+        """Register a callback invoked for every emitted record."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[LogRecord]:
+        """All records, in emission order (do not mutate)."""
+        return self._records
+
+    def by_source(self, source: LogSource) -> list[LogRecord]:
+        """Records of one log family."""
+        return [r for r in self._records if r.source is source]
+
+    def by_event(self, *events: str) -> list[LogRecord]:
+        """Records whose event key is one of ``events``."""
+        wanted = set(events)
+        return [r for r in self._records if r.event in wanted]
+
+    def by_component(self, component: str) -> list[LogRecord]:
+        """Records reported by one component cname."""
+        return [r for r in self._records if r.component == component]
+
+    def between(self, t0: float, t1: float) -> list[LogRecord]:
+        """Records with ``t0 <= time < t1``."""
+        if t1 < t0:
+            raise ValueError(f"t1={t1} < t0={t0}")
+        return [r for r in self._records if t0 <= r.time < t1]
+
+    def extend(self, records: Iterable[LogRecord]) -> None:
+        """Emit many records (each still validated)."""
+        for record in records:
+            self.emit(record)

@@ -1,0 +1,45 @@
+"""Rendering typed log records into text lines.
+
+Every source family shares one physical line shape::
+
+    <timestamp> <component> <daemon>: <message body>
+
+e.g.::
+
+    2015-01-07T04:17:55.123456 c0-0c1s4n2 kernel: Machine Check Exception: 1 Bank 4: dc0000400001009f
+    2015-01-07T04:17:58.000113 c0-0c1s4 bc: ec_node_heartbeat_fault: node c0-0c1s4n2 missed heartbeat (3 intervals)
+    2015-01-07T04:18:02.441009 sdb slurmctld: drain_nodes: node c0-0c1s4n2 reason set to: Not responding
+
+The timestamp comes from the scenario's :class:`~repro.simul.clock.SimClock`,
+the component is the reporting cname (or daemon host), and the message body
+is produced by the event's template.  :func:`render_line` is the only place
+that composes lines, so emission and parsing cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from repro.logs.catalog import event_spec
+from repro.logs.record import LogRecord
+from repro.simul.clock import SimClock
+
+__all__ = ["render_line", "render_records"]
+
+
+def render_line(record: LogRecord, clock: SimClock) -> str:
+    """Render one record into its text log line."""
+    spec = event_spec(record.event)
+    if spec.source is not record.source:
+        raise ValueError(
+            f"record source {record.source.value!r} does not match "
+            f"event {record.event!r} source {spec.source.value!r}"
+        )
+    body = spec.format(record.attrs)
+    if "\n" in body:
+        raise ValueError(f"event {record.event!r} rendered an embedded newline")
+    return f"{clock.stamp(record.time)} {record.component} {spec.daemon}: {body}"
+
+
+def render_records(records, clock: SimClock):
+    """Yield text lines for an iterable of records."""
+    for record in records:
+        yield render_line(record, clock)

@@ -1,0 +1,250 @@
+"""Kernel call-trace synthesis and regrouping.
+
+The paper classifies kernel oops by the *leading modules* of their stack
+backtraces (Table IV): ``mce_log`` implies machine-check handling,
+``ldlm_bl``/``dvs_ipc_mesg`` implies Lustre/DVS file-system involvement,
+``sleep_on_page`` is job-triggered I/O wait, ``rwsem_down_failed`` is
+memory-pressure, and so on.
+
+The emitters write a ``Call Trace:`` head line followed by one frame line
+per stack entry (the exact multi-line structure of real console logs).
+Here we define:
+
+* :data:`TRACE_PROFILES` -- realistic frame sequences per trace kind, with
+  the paper's signature modules in the leading positions;
+* :func:`trace_records` -- turn a profile into the ordered burst of
+  :class:`LogRecord` objects an emitter writes;
+* :class:`CallTrace` and :func:`group_traces` -- the analysis-side inverse:
+  regroup parsed head+frame lines (per component, time-adjacent) into
+  whole traces ready for classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.logs.parsing import ParsedRecord
+from repro.logs.record import LogRecord, LogSource, Severity
+from repro.simul.rng import RngStream
+
+__all__ = ["TRACE_PROFILES", "trace_records", "CallTrace", "group_traces"]
+
+# Frame sequences, leading (most recent call) first -- exactly how the
+# kernel prints them.  Leading modules are the classification signals.
+TRACE_PROFILES: dict[str, tuple[str, ...]] = {
+    "oom": (
+        "oom_kill_process",
+        "out_of_memory",
+        "__alloc_pages_nodemask",
+        "alloc_pages_vma",
+        "handle_mm_fault",
+        "__do_page_fault",
+        "do_page_fault",
+        "page_fault",
+    ),
+    "memory_pressure": (
+        "rwsem_down_failed",
+        "rwsem_down_read_failed",
+        "call_rwsem_down_read_failed",
+        "__do_page_fault",
+        "do_page_fault",
+        "page_fault",
+    ),
+    "lustre": (
+        "ldlm_bl",
+        "ldlm_bl_thread_main",
+        "ldlm_cli_cancel_local",
+        "cl_lock_cancel",
+        "osc_lock_cancel",
+        "kthread",
+        "ret_from_fork",
+    ),
+    "dvs": (
+        "dvs_ipc_mesg",
+        "inet_map_vism",
+        "dvs_rq_readpage",
+        "do_generic_file_read",
+        "generic_file_aio_read",
+        "vfs_read",
+        "sys_read",
+    ),
+    "sleep_on_page": (
+        "sleep_on_page",
+        "__lock_page",
+        "wait_on_page_bit",
+        "filemap_fdatawait_range",
+        "filemap_write_and_wait_range",
+        "vfs_fsync_range",
+        "do_fsync",
+    ),
+    "mce": (
+        "mce_log",
+        "mce_reign",
+        "do_machine_check",
+        "machine_check",
+        "native_irq_return_iret",
+    ),
+    "kernel_generic": (
+        "do_invalid_op",
+        "invalid_op",
+        "exception_exit",
+        "error_exit",
+        "retint_kernel",
+    ),
+    "hung_io": (
+        "io_schedule",
+        "sleep_on_page",
+        "__wait_on_bit_lock",
+        "__lock_page",
+        "truncate_inode_pages_range",
+        "truncate_pagecache",
+        "kthread",
+    ),
+    "xpmem": (
+        "xpmem_detach",
+        "xpmem_flush",
+        "filp_close",
+        "put_files_struct",
+        "do_exit",
+        "do_group_exit",
+        "get_signal_to_deliver",
+    ),
+    "driver": (
+        "gni_dla_progress",
+        "kgni_subsys_error",
+        "interrupt_entry",
+        "handle_irq_event_percpu",
+        "handle_irq_event",
+        "do_IRQ",
+    ),
+}
+
+#: Which profiles signal which coarse root family (used by tests and the
+#: classifier's ground-truth documentation).
+PROFILE_FAMILY: dict[str, str] = {
+    "oom": "memory",
+    "memory_pressure": "memory",
+    "lustre": "filesystem",
+    "dvs": "filesystem",
+    "sleep_on_page": "job_io",
+    "mce": "hardware",
+    "kernel_generic": "kernel",
+    "hung_io": "job_io",
+    "xpmem": "filesystem",
+    "driver": "driver",
+}
+
+# Intra-burst line spacing: frames print microseconds apart.
+_FRAME_SPACING = 1e-4
+
+
+def trace_records(
+    time: float,
+    component: str,
+    profile: str,
+    rng: Optional[RngStream] = None,
+    depth: Optional[int] = None,
+) -> list[LogRecord]:
+    """Records (head + frames) for one call trace burst.
+
+    ``depth`` truncates the profile (default: full).  ``rng`` perturbs the
+    frame addresses so no two traces are byte-identical, as in real logs.
+    """
+    frames = TRACE_PROFILES.get(profile)
+    if frames is None:
+        raise KeyError(
+            f"unknown trace profile {profile!r}; known: {', '.join(sorted(TRACE_PROFILES))}"
+        )
+    if depth is not None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        frames = frames[:depth]
+    records = [
+        LogRecord(
+            time=time,
+            source=LogSource.CONSOLE,
+            component=component,
+            event="call_trace_head",
+            attrs={},
+            severity=Severity.ERROR,
+        )
+    ]
+    for i, func in enumerate(frames):
+        addr = (
+            f"ffff8{rng.integer(0, 0xFFF_FFFF_FFF):011x}"
+            if rng is not None
+            else f"ffffffff81{i:02d}af00"
+        )
+        records.append(
+            LogRecord(
+                time=time + (i + 1) * _FRAME_SPACING,
+                source=LogSource.CONSOLE,
+                component=component,
+                event="call_trace_frame",
+                attrs={"addr": addr, "func": func, "off": "1a2", "size": "4d0"},
+                severity=Severity.ERROR,
+            )
+        )
+    return records
+
+
+@dataclass
+class CallTrace:
+    """One regrouped call trace as recovered from parsed log lines."""
+
+    time: float
+    component: str
+    functions: list[str] = field(default_factory=list)
+
+    @property
+    def leading(self) -> Optional[str]:
+        """The top-of-stack function (the classification signal)."""
+        return self.functions[0] if self.functions else None
+
+    def leading_k(self, k: int) -> list[str]:
+        """The ``k`` leading functions (the paper inspects the preliminary
+        part of the trace, not its entirety)."""
+        return self.functions[: max(0, k)]
+
+    def contains(self, func: str) -> bool:
+        return func in self.functions
+
+
+def group_traces(
+    records: Iterable[ParsedRecord],
+    max_gap: float = 1.0,
+) -> list[CallTrace]:
+    """Regroup head+frame lines into whole :class:`CallTrace` objects.
+
+    Frames belong to the most recent head of the *same component* if they
+    follow within ``max_gap`` seconds; interleaved traces from different
+    nodes are separated correctly because grouping is per component.
+    Orphan frames (lost head) start a new trace, as a resilient log miner
+    must tolerate truncated logs.
+    """
+    open_traces: dict[str, CallTrace] = {}
+    done: list[CallTrace] = []
+
+    def close(component: str) -> None:
+        trace = open_traces.pop(component, None)
+        if trace is not None:
+            done.append(trace)
+
+    for rec in records:
+        if rec.event == "call_trace_head":
+            close(rec.component)
+            open_traces[rec.component] = CallTrace(time=rec.time, component=rec.component)
+        elif rec.event == "call_trace_frame":
+            trace = open_traces.get(rec.component)
+            if trace is None or rec.time - trace.time > max_gap:
+                close(rec.component)
+                trace = CallTrace(time=rec.time, component=rec.component)
+                open_traces[rec.component] = trace
+            func = rec.attr("func")
+            if func:
+                trace.functions.append(func)
+    for component in list(open_traces):
+        close(component)
+    done.sort(key=lambda t: (t.time, t.component))
+    return done

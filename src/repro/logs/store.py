@@ -1,0 +1,224 @@
+"""On-disk log store: the p0-directory layout, writers and readers.
+
+The store mirrors the paper's Table II sources::
+
+    <root>/
+      manifest.json          # system key, seed, epoch, duration
+      p0/console.log         # node-internal kernel messages
+      p0/messages.log        # node-internal NHC / ALPS messages
+      p0/consumer.log        # node-internal consumer (l0sysd) stream
+      controller/controller.log   # BC + CC health faults
+      erd/event.log          # event router stream (SEDC, ec_* events)
+      sched/sched.log        # Slurm or Torque scheduler log
+
+Writing streams a :class:`~repro.logs.record.LogBus` out through
+:func:`~repro.logs.render.render_line`; reading streams lines back through
+:class:`~repro.logs.parsing.LineParser`.  The reading side never needs the
+simulator -- only the manifest's epoch so timestamps convert back to
+simulation seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.logs.parsing import LineParser, ParsedRecord
+from repro.logs.record import LogBus, LogRecord, LogSource
+from repro.logs.render import render_line
+from repro.simul.clock import SimClock
+
+__all__ = ["LogStore", "StoreManifest"]
+
+_SOURCE_PATHS: dict[LogSource, str] = {
+    LogSource.CONSOLE: "p0/console.log",
+    LogSource.MESSAGES: "p0/messages.log",
+    LogSource.CONSUMER: "p0/consumer.log",
+    LogSource.CONTROLLER: "controller/controller.log",
+    LogSource.ERD: "erd/event.log",
+    LogSource.SCHEDULER: "sched/sched.log",
+}
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """Metadata identifying a written log directory."""
+
+    system: str
+    seed: int
+    epoch_iso: str
+    duration_seconds: float
+
+    def clock(self) -> SimClock:
+        """Reconstruct the clock the writer used."""
+        epoch = datetime.fromisoformat(self.epoch_iso)
+        if epoch.tzinfo is None:
+            epoch = epoch.replace(tzinfo=timezone.utc)
+        return SimClock(epoch=epoch)
+
+
+class LogStore:
+    """A directory of text logs for one simulated system."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        bus: LogBus,
+        clock: SimClock,
+        system: str,
+        seed: int,
+        duration_seconds: float,
+        rotate_daily: bool = False,
+    ) -> StoreManifest:
+        """Render the whole bus into the directory layout.
+
+        Existing log files are replaced, not appended, so a scenario can
+        be re-run into the same directory.  With ``rotate_daily`` each
+        source is split into per-day files (``console-20150105.log``,
+        ...), matching how production syslog directories actually look;
+        the readers handle both layouts transparently.
+        """
+        manifest = StoreManifest(
+            system=system,
+            seed=seed,
+            epoch_iso=clock.epoch.isoformat(),
+            duration_seconds=float(duration_seconds),
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "manifest.json").write_text(
+            json.dumps(manifest.__dict__, indent=2) + "\n"
+        )
+        # clear any previous layout (plain or rotated)
+        for source in _SOURCE_PATHS:
+            for old in self._source_files(source):
+                old.unlink()
+        handles: dict = {}
+        try:
+            if not rotate_daily:
+                for source, rel in _SOURCE_PATHS.items():
+                    path = self.root / rel
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    handles[source] = path.open("w")
+                for record in bus.sorted_records():
+                    handles[record.source].write(
+                        render_line(record, clock) + "\n")
+            else:
+                for record in bus.sorted_records():
+                    day = clock.to_datetime(record.time).strftime("%Y%m%d")
+                    key = (record.source, day)
+                    handle = handles.get(key)
+                    if handle is None:
+                        base = self.root / _SOURCE_PATHS[record.source]
+                        base.parent.mkdir(parents=True, exist_ok=True)
+                        path = base.with_name(f"{base.stem}-{day}.log")
+                        handle = path.open("w")
+                        handles[key] = handle
+                    handle.write(render_line(record, clock) + "\n")
+        finally:
+            for handle in handles.values():
+                handle.close()
+        return manifest
+
+    def _source_files(self, source: LogSource) -> list[Path]:
+        """All files (plain or rotated) holding one source, sorted."""
+        base = self.root / _SOURCE_PATHS[source]
+        files = []
+        if base.is_file():
+            files.append(base)
+        files.extend(sorted(base.parent.glob(f"{base.stem}-*.log")))
+        return files
+
+    def append_records(self, records: Iterable[LogRecord], clock: SimClock) -> int:
+        """Append records to an existing store; returns lines written."""
+        count = 0
+        for record in records:
+            path = self.root / _SOURCE_PATHS[record.source]
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("a") as handle:
+                handle.write(render_line(record, clock) + "\n")
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def manifest(self) -> StoreManifest:
+        """Load the manifest; raises FileNotFoundError for a bare dir."""
+        data = json.loads((self.root / "manifest.json").read_text())
+        return StoreManifest(**data)
+
+    def exists(self) -> bool:
+        """True when the directory holds a written store."""
+        return (self.root / "manifest.json").is_file()
+
+    def path_for(self, source: LogSource) -> Path:
+        """The log file path of one source family."""
+        return self.root / _SOURCE_PATHS[source]
+
+    def read_source(
+        self, source: LogSource, clock: Optional[SimClock] = None
+    ) -> Iterator[ParsedRecord]:
+        """Stream parsed records of one source family, in file order.
+
+        Handles both the plain single-file layout and daily-rotated
+        files (rotated names sort chronologically, so file order is
+        time order within a source).
+        """
+        clock = clock or self.manifest().clock()
+        parser = LineParser(clock)
+        for path in self._source_files(source):
+            with path.open() as handle:
+                for line in handle:
+                    rec = parser.parse(line)
+                    if rec is not None:
+                        yield rec
+
+    def read_internal(self, clock: Optional[SimClock] = None) -> list[ParsedRecord]:
+        """All node-internal records (console+messages+consumer), time-sorted."""
+        clock = clock or self.manifest().clock()
+        records: list[ParsedRecord] = []
+        for source in (LogSource.CONSOLE, LogSource.MESSAGES, LogSource.CONSUMER):
+            records.extend(self.read_source(source, clock))
+        records.sort(key=lambda r: r.time)
+        return records
+
+    def read_external(self, clock: Optional[SimClock] = None) -> list[ParsedRecord]:
+        """All environmental records (controller+ERD), time-sorted."""
+        clock = clock or self.manifest().clock()
+        records: list[ParsedRecord] = []
+        for source in (LogSource.CONTROLLER, LogSource.ERD):
+            records.extend(self.read_source(source, clock))
+        records.sort(key=lambda r: r.time)
+        return records
+
+    def read_scheduler(self, clock: Optional[SimClock] = None) -> list[ParsedRecord]:
+        """All scheduler records, in file order (already time-ordered)."""
+        return list(self.read_source(LogSource.SCHEDULER, clock))
+
+    def read_all(self, clock: Optional[SimClock] = None) -> list[ParsedRecord]:
+        """Every record from every source, time-sorted."""
+        clock = clock or self.manifest().clock()
+        records: list[ParsedRecord] = []
+        for source in _SOURCE_PATHS:
+            records.extend(self.read_source(source, clock))
+        records.sort(key=lambda r: r.time)
+        return records
+
+    def line_counts(self) -> dict[str, int]:
+        """Lines per source (Table II style size census, both layouts)."""
+        counts: dict[str, int] = {}
+        for source in _SOURCE_PATHS:
+            total = 0
+            for path in self._source_files(source):
+                with path.open() as handle:
+                    total += sum(1 for _ in handle)
+            counts[source.value] = total
+        return counts

@@ -1,0 +1,138 @@
+"""The assembled simulated platform: one system, ready to run.
+
+:class:`Platform` wires together everything a scenario needs:
+
+* the :class:`~repro.cluster.machine.Machine` (topology + node states),
+* the discrete-event :class:`~repro.simul.engine.SimulationEngine`,
+* the :class:`~repro.simul.clock.SimClock` and root RNG stream,
+* the :class:`~repro.logs.record.LogBus` all emitters write into,
+* the :class:`~repro.cluster.hss.EventRouter` (ERD),
+* lazily-created blade/cabinet controllers,
+* the :class:`~repro.cluster.power.PowerModel` and interconnect fabric.
+
+Typical use::
+
+    plat = Platform.build("S1", seed=7)
+    ...  # attach fault campaigns / workload (repro.faults, repro.scheduler)
+    plat.run(days=7)
+    store = plat.write_logs(tmp_path / "s1-logs")
+
+The fabric is built lazily because the dragonfly graph for a 5600-node
+system is only needed by chains that emit link errors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.controllers import BladeController, CabinetController
+from repro.cluster.hss import EventRouter
+from repro.cluster.interconnect import Fabric, build_fabric
+from repro.cluster.machine import Machine
+from repro.cluster.power import PowerModel
+from repro.cluster.systems import SystemSpec, get_system
+from repro.cluster.topology import BladeName, CabinetName, NodeName
+from repro.logs.record import LogBus
+from repro.logs.store import LogStore, StoreManifest
+from repro.simul.clock import DAY, SimClock
+from repro.simul.engine import SimulationEngine
+from repro.simul.rng import RngStream
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """A fully wired simulated HPC system."""
+
+    def __init__(self, spec: SystemSpec, seed: int, clock: Optional[SimClock] = None):
+        self.spec = spec
+        self.seed = seed
+        self.clock = clock or SimClock()
+        self.rng = RngStream(seed, (spec.key,))
+        self.machine = Machine(spec)
+        self.engine = SimulationEngine()
+        self.bus = LogBus()
+        self.router = EventRouter(self.bus)
+        self.power = PowerModel(self.rng.child("power"))
+        self._fabric: Optional[Fabric] = None
+        self._blade_controllers: dict[BladeName, BladeController] = {}
+        self._cabinet_controllers: dict[CabinetName, CabinetController] = {}
+        #: callbacks (time, node_name, job_id) invoked when a chain fails a
+        #: node; the scheduler registers here to requeue/kill affected jobs.
+        self.failure_listeners: list = []
+
+    @classmethod
+    def build(cls, system: str | SystemSpec, seed: int = 0) -> "Platform":
+        """Build a platform for a system key ('S1'..'S5') or explicit spec."""
+        spec = system if isinstance(system, SystemSpec) else get_system(system)
+        return cls(spec, seed)
+
+    # ------------------------------------------------------------------
+    # component access
+    # ------------------------------------------------------------------
+    @property
+    def fabric(self) -> Fabric:
+        """The interconnect fabric (built on first use)."""
+        if self._fabric is None:
+            self._fabric = build_fabric(self.machine)
+        return self._fabric
+
+    def blade_controller(self, blade: BladeName) -> BladeController:
+        """The BC of a blade (created on first use)."""
+        bc = self._blade_controllers.get(blade)
+        if bc is None:
+            bc = BladeController(
+                blade, self.bus, self.rng.child("bc", blade.cname), self.router
+            )
+            self._blade_controllers[blade] = bc
+        return bc
+
+    def cabinet_controller(self, cabinet: CabinetName) -> CabinetController:
+        """The CC of a cabinet (created on first use)."""
+        cc = self._cabinet_controllers.get(cabinet)
+        if cc is None:
+            cc = CabinetController(
+                cabinet, self.bus, self.rng.child("cc", cabinet.cname), self.router
+            )
+            self._cabinet_controllers[cabinet] = cc
+        return cc
+
+    def controller_for(self, node: NodeName) -> BladeController:
+        """The BC responsible for a node."""
+        return self.blade_controller(node.blade)
+
+    # ------------------------------------------------------------------
+    # running and persisting
+    # ------------------------------------------------------------------
+    def run(
+        self, until: Optional[float] = None, days: Optional[float] = None
+    ) -> float:
+        """Run the engine to an absolute time or for a number of days."""
+        if (until is None) == (days is None):
+            raise ValueError("specify exactly one of until= or days=")
+        horizon = until if until is not None else days * DAY
+        return self.engine.run(until=horizon)
+
+    def write_logs(self, root: Path | str) -> StoreManifest:
+        """Render the bus into a text log directory; returns its manifest."""
+        store = LogStore(root)
+        return store.write(
+            self.bus,
+            self.clock,
+            system=self.spec.key,
+            seed=self.seed,
+            duration_seconds=self.engine.now,
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        """Quick scenario health check used by tests and examples."""
+        return {
+            "system": self.spec.key,
+            "nodes": len(self.machine),
+            "failures": len(self.machine.ground_truth),
+            "records": len(self.bus),
+            "sim_time_days": round(self.engine.now / DAY, 3),
+            "events_processed": self.engine.processed,
+        }

@@ -1,0 +1,38 @@
+"""Job scheduling substrate: workload, schedulers, node health checker.
+
+The paper's job analysis (Figs. 12, 17, 19; Obs. 6, 8) needs a real
+scheduler in the loop: jobs are submitted, allocated to nodes, run,
+finish with exit codes (or are killed by walltime/memory limits), and --
+crucially -- *buggy* jobs trigger fault chains on their allocated nodes,
+which is how spatially-distant nodes come to fail minutes apart under the
+same job ID.
+
+Modules
+-------
+* :mod:`repro.scheduler.base` -- job model: specs, states, bugs, exits.
+* :mod:`repro.scheduler.dialects` -- Slurm vs Torque log dialects.
+* :mod:`repro.scheduler.nhc` -- the Node Health Checker and its tests.
+* :mod:`repro.scheduler.core` -- the event-driven scheduler itself.
+* :mod:`repro.scheduler.workload` -- synthetic workload generation.
+"""
+
+from repro.scheduler.base import ExitReason, Job, JobBug, JobSpec, JobState
+from repro.scheduler.core import WorkloadScheduler
+from repro.scheduler.dialects import dialect_for
+from repro.scheduler.nhc import NhcTest, NodeHealthChecker, STANDARD_TESTS
+from repro.scheduler.workload import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "ExitReason",
+    "Job",
+    "JobBug",
+    "JobSpec",
+    "JobState",
+    "NhcTest",
+    "NodeHealthChecker",
+    "STANDARD_TESTS",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WorkloadScheduler",
+    "dialect_for",
+]

@@ -1,0 +1,176 @@
+"""Job model: specs, runtime state, bugs and exit accounting.
+
+Fig. 12's exit-code census distinguishes: successful jobs, configuration
+errors (walltime/memory-limit kills, user cancellations), and the small
+residue of node-problem / application-bug failures.  :class:`ExitReason`
+carries that taxonomy; :class:`JobBug` describes the misbehaviour a job
+will exhibit at runtime (which fault chain it fires on how many of its
+nodes), and :class:`Job` tracks one job through its life.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.cluster.topology import NodeName
+
+__all__ = ["JobState", "ExitReason", "JobBug", "JobSpec", "Job"]
+
+
+class JobState(str, Enum):
+    """Lifecycle state of a job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+    NODE_FAIL = "node_fail"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self not in (JobState.PENDING, JobState.RUNNING)
+
+
+class ExitReason(str, Enum):
+    """Why a job ended; the Fig. 12 taxonomy."""
+
+    SUCCESS = "success"
+    APP_ERROR = "app_error"          # application bug (non-zero exit)
+    WALLTIME = "walltime"            # configuration: exceeded time limit
+    MEM_LIMIT = "mem_limit"          # configuration: exceeded memory limit
+    USER_CANCELLED = "user_cancelled"
+    NODE_FAILURE = "node_failure"    # a node died under the job
+
+    @property
+    def is_config_error(self) -> bool:
+        """Configuration errors in the paper's sense."""
+        return self in (ExitReason.WALLTIME, ExitReason.MEM_LIMIT,
+                        ExitReason.USER_CANCELLED)
+
+
+#: Conventional exit codes per reason (what the scheduler log shows).
+EXIT_CODES: dict[ExitReason, int] = {
+    ExitReason.SUCCESS: 0,
+    ExitReason.APP_ERROR: 1,
+    ExitReason.WALLTIME: -11,
+    ExitReason.MEM_LIMIT: -9,
+    ExitReason.USER_CANCELLED: -15,
+    ExitReason.NODE_FAILURE: -7,
+}
+
+
+@dataclass(frozen=True)
+class JobBug:
+    """Latent misbehaviour a job exhibits while running.
+
+    Parameters
+    ----------
+    chain:
+        Fault-chain name fired on affected nodes (e.g. ``oom_chain``,
+        ``lustre_bug_chain``, ``app_exit_chain``).
+    node_fraction:
+        Fraction of the job's nodes the bug touches (1.0 = all).
+    trigger_fraction:
+        When during the runtime the bug fires (0.5 = halfway).
+    spread_minutes:
+        Stagger between per-node chain firings -- this is what produces
+        the paper's minutes-apart same-job failure bursts.
+    params:
+        Extra chain parameters.
+    """
+
+    chain: str
+    node_fraction: float = 1.0
+    trigger_fraction: float = 0.5
+    spread_minutes: float = 4.0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.node_fraction <= 1.0:
+            raise ValueError("node_fraction must be in (0, 1]")
+        if not 0.0 <= self.trigger_fraction <= 1.0:
+            raise ValueError("trigger_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Immutable submission-time description of a job."""
+
+    job_id: int
+    user: str
+    app: str
+    nodes: int
+    cpus_per_node: int
+    mem_per_node_mb: int
+    runtime: float               # how long it would run unmolested (s)
+    walltime_limit: float        # requested limit (s)
+    submit_time: float
+    bug: Optional[JobBug] = None
+    cancel_after: Optional[float] = None   # user cancels this long in
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.runtime <= 0 or self.walltime_limit <= 0:
+            raise ValueError("runtime and walltime_limit must be positive")
+
+    @property
+    def exceeds_walltime(self) -> bool:
+        return self.runtime > self.walltime_limit
+
+
+@dataclass
+class Job:
+    """Runtime state of one job."""
+
+    spec: JobSpec
+    state: JobState = JobState.PENDING
+    allocated: list[NodeName] = field(default_factory=list)
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    exit_reason: Optional[ExitReason] = None
+    apid: Optional[int] = None
+    #: nodes that failed while this job held them
+    failed_nodes: list[NodeName] = field(default_factory=list)
+
+    @property
+    def job_id(self) -> int:
+        return self.spec.job_id
+
+    @property
+    def exit_code(self) -> int:
+        if self.exit_reason is None:
+            raise RuntimeError(f"job {self.job_id} has not ended")
+        return EXIT_CODES[self.exit_reason]
+
+    def begin(self, time: float, nodes: list[NodeName], apid: int) -> None:
+        """Transition PENDING -> RUNNING on an allocation."""
+        if self.state is not JobState.PENDING:
+            raise RuntimeError(f"job {self.job_id} cannot start from {self.state}")
+        if len(nodes) != self.spec.nodes:
+            raise ValueError(
+                f"job {self.job_id} needs {self.spec.nodes} nodes, got {len(nodes)}"
+            )
+        self.state = JobState.RUNNING
+        self.allocated = list(nodes)
+        self.start_time = time
+        self.apid = apid
+
+    def finish(self, time: float, reason: ExitReason) -> None:
+        """Transition RUNNING -> a terminal state."""
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(f"job {self.job_id} cannot finish from {self.state}")
+        self.end_time = time
+        self.exit_reason = reason
+        self.state = {
+            ExitReason.SUCCESS: JobState.COMPLETED,
+            ExitReason.APP_ERROR: JobState.FAILED,
+            ExitReason.WALLTIME: JobState.TIMEOUT,
+            ExitReason.MEM_LIMIT: JobState.FAILED,
+            ExitReason.USER_CANCELLED: JobState.CANCELLED,
+            ExitReason.NODE_FAILURE: JobState.NODE_FAIL,
+        }[reason]

@@ -1,0 +1,348 @@
+"""The event-driven workload scheduler.
+
+:class:`WorkloadScheduler` runs a FIFO backfill-free scheduler on a
+platform: submissions queue, allocations claim idle UP nodes, and each
+running job is booked to end by completion, walltime kill, memory-limit
+kill, or user cancellation -- whichever comes first.  Every lifecycle
+step emits the dialect-appropriate scheduler-log records, and application
+exits also emit ALPS ``apid`` lines into the node-internal messages log
+(the joint appearance the paper's job correlation relies on).
+
+Two couplings tie jobs to failures:
+
+* **buggy jobs** fire their :class:`~repro.scheduler.base.JobBug` chain on
+  a subset of their nodes partway through the run, staggered by a few
+  minutes -- producing Obs. 8's spatially-distant, temporally-local,
+  same-job failures;
+* **node failures** (from any chain) end the jobs holding those nodes
+  with ``NODE_FAILURE``, emit node-down/requeue records, and optionally
+  resubmit a clone, which is how one bad day yields Fig. 17's 53
+  failures over 16 jobs.
+
+Memory overallocation (Fig. 17) is modelled at allocation time: when a
+job's per-node demand exceeds the node's capacity, every allocated node
+logs a memory-limit violation and a random subset runs the
+``mem_exhaustion_chain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.node import NodeState
+from repro.cluster.topology import NodeName
+from repro.faults.chains import inject
+from repro.faults.model import InjectionLedger
+from repro.logs.record import LogRecord, LogSource, Severity
+from repro.platform import Platform
+from repro.scheduler.base import ExitReason, Job, JobSpec, JobState
+from repro.scheduler.dialects import Dialect, dialect_for
+from repro.scheduler.nhc import NodeHealthChecker
+from repro.simul.clock import MINUTE
+
+__all__ = ["SchedulerConfig", "WorkloadScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables for the scheduler's failure couplings."""
+
+    #: per-node memory capacity; demands above this are overallocations
+    node_mem_capacity_mb: int = 65_536
+    #: probability an overallocated node runs the exhaustion chain
+    overalloc_fault_prob: float = 0.35
+    #: probability the exhaustion chain actually kills the node
+    overalloc_fail_prob: float = 0.6
+    #: probability NHC admindowns a node after an abnormal exit
+    nhc_admindown_prob: float = 0.0
+    #: resubmit jobs whose nodes failed
+    requeue_on_node_failure: bool = False
+    #: seconds the epilogue takes
+    epilogue_seconds: float = 2.0
+
+
+class WorkloadScheduler:
+    """FIFO scheduler bound to one platform."""
+
+    def __init__(
+        self,
+        plat: Platform,
+        ledger: Optional[InjectionLedger] = None,
+        config: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.plat = plat
+        self.ledger = ledger if ledger is not None else InjectionLedger()
+        self.config = config or SchedulerConfig()
+        self.dialect: Dialect = dialect_for(plat.spec.scheduler)
+        self.nhc = NodeHealthChecker(plat)
+        self.rng = plat.rng.child("scheduler")
+        self.jobs: dict[int, Job] = {}
+        self._queue: list[int] = []
+        self._node_owner: dict[NodeName, int] = {}
+        self._next_apid = 10_000
+        self._requeue_seq = 900_000
+        plat.failure_listeners.append(self._on_node_failure)
+
+    # ------------------------------------------------------------------
+    # log emission helpers
+    # ------------------------------------------------------------------
+    def _sched(self, time: float, event: str, severity=Severity.INFO, **attrs):
+        self.plat.bus.emit(
+            LogRecord(
+                time=time,
+                source=LogSource.SCHEDULER,
+                component=self.dialect.component,
+                event=event,
+                attrs=attrs,
+                severity=severity,
+            )
+        )
+
+    def _messages(self, time: float, node: NodeName, event: str,
+                  severity=Severity.INFO, **attrs):
+        self.plat.bus.emit(
+            LogRecord(
+                time=time,
+                source=LogSource.MESSAGES,
+                component=node.cname,
+                event=event,
+                attrs=attrs,
+                severity=severity,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # submission and scheduling
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Register a job; its submit event fires at ``spec.submit_time``."""
+        if spec.job_id in self.jobs:
+            raise ValueError(f"duplicate job id {spec.job_id}")
+        job = Job(spec=spec)
+        self.jobs[spec.job_id] = job
+
+        def on_submit(engine) -> None:
+            self._sched(engine.now, self.dialect.submit, job=spec.job_id,
+                        prio=4294, usec=312)
+            self._queue.append(spec.job_id)
+            self._try_schedule(engine.now)
+
+        self.plat.engine.schedule(spec.submit_time, on_submit, label="submit")
+        return job
+
+    def submit_all(self, specs) -> list[Job]:
+        """Submit many specs; returns the job objects."""
+        return [self.submit(spec) for spec in specs]
+
+    def _allocatable(self) -> list[NodeName]:
+        return [
+            n.name
+            for n in self.plat.machine
+            if n.state is NodeState.UP and n.name not in self._node_owner
+        ]
+
+    def _try_schedule(self, time: float) -> None:
+        """FIFO pass over the queue; strict order (no backfill)."""
+        free = self._allocatable()
+        while self._queue:
+            job = self.jobs[self._queue[0]]
+            if job.spec.nodes > len(free):
+                break
+            self._queue.pop(0)
+            nodes, free = free[: job.spec.nodes], free[job.spec.nodes:]
+            self._start(time, job, nodes)
+
+    def _start(self, time: float, job: Job, nodes: list[NodeName]) -> None:
+        apid = self._next_apid
+        self._next_apid += 1
+        job.begin(time, nodes, apid)
+        for node in nodes:
+            self._node_owner[node] = job.job_id
+            self.plat.machine.node(node).job_id = job.job_id
+        self._sched(
+            time, self.dialect.start,
+            job=job.job_id,
+            nodes=",".join(n.cname for n in nodes),
+            cpus=job.spec.cpus_per_node * job.spec.nodes,
+            user=job.spec.user,
+            app=job.spec.app,
+        )
+        self._plan_end(time, job)
+        if job.spec.mem_per_node_mb > self.config.node_mem_capacity_mb:
+            self._handle_overallocation(time, job)
+        if job.spec.bug is not None:
+            self._plan_bug(time, job)
+
+    # ------------------------------------------------------------------
+    # planned endings
+    # ------------------------------------------------------------------
+    def _plan_end(self, start: float, job: Job) -> None:
+        spec = job.spec
+        endings: list[tuple[float, ExitReason]] = []
+        if spec.cancel_after is not None:
+            endings.append((spec.cancel_after, ExitReason.USER_CANCELLED))
+        if spec.exceeds_walltime:
+            endings.append((spec.walltime_limit, ExitReason.WALLTIME))
+        endings.append((spec.runtime, ExitReason.SUCCESS))
+        delay, reason = min(endings)
+
+        def on_end(engine) -> None:
+            if job.state is not JobState.RUNNING:
+                return  # already ended (node failure / mem kill)
+            self._finish(engine.now, job, reason)
+
+        self.plat.engine.schedule(start + delay, on_end, label="job-end")
+
+    def _plan_bug(self, start: float, job: Job) -> None:
+        bug = job.spec.bug
+        effective = min(job.spec.runtime, job.spec.walltime_limit)
+        t_trigger = start + bug.trigger_fraction * effective
+        rng = self.rng.child("bug", str(job.job_id))
+
+        def on_trigger(engine) -> None:
+            if job.state is not JobState.RUNNING:
+                return
+            count = max(1, round(bug.node_fraction * len(job.allocated)))
+            victims = rng.sample(job.allocated, count)
+            t = engine.now
+            gap = bug.spread_minutes * MINUTE / max(1, count)
+            for victim in victims:
+                params = dict(bug.params)
+                params.setdefault("job_id", job.job_id)
+                inject(self.plat, self.ledger, bug.chain, victim, t, **params)
+                t += rng.exponential(gap)
+            # the application itself has crashed: unless a node failure
+            # ends the job first (node-fatal bug chains typically kill
+            # within a few minutes), it exits abnormally a while later
+            def on_abort(engine2) -> None:
+                if job.state is JobState.RUNNING:
+                    self._finish(engine2.now, job, ExitReason.APP_ERROR)
+
+            self.plat.engine.schedule(
+                t + rng.uniform(400.0, 1200.0), on_abort, label="job-abort"
+            )
+
+        self.plat.engine.schedule(t_trigger, on_trigger, label="job-bug")
+
+    def _handle_overallocation(self, time: float, job: Job) -> None:
+        """Fig. 17 mechanics: per-node limit violations + exhaustion chains."""
+        rng = self.rng.child("overalloc", str(job.job_id))
+        used = job.spec.mem_per_node_mb
+        limit = self.config.node_mem_capacity_mb
+        t = time + rng.uniform(60.0, 600.0)
+        for node in job.allocated:
+            self._sched(
+                t, self.dialect.mem_exceeded,
+                job=job.job_id, used=used * 1024, limit=limit * 1024,
+            )
+            if rng.bernoulli(self.config.overalloc_fault_prob):
+                inject(
+                    self.plat, self.ledger, "mem_exhaustion_chain", node,
+                    t + rng.uniform(1.0, 30.0),
+                    job_id=job.job_id,
+                    fail_prob=self.config.overalloc_fail_prob,
+                )
+            t += rng.exponential(20.0)
+
+        # the scheduler enforces the limit: the job is killed unless a
+        # node failure ends it first
+        def on_mem_kill(engine) -> None:
+            if job.state is JobState.RUNNING:
+                self._finish(engine.now, job, ExitReason.MEM_LIMIT)
+
+        self.plat.engine.schedule(t + 60.0, on_mem_kill, label="mem-kill")
+
+    # ------------------------------------------------------------------
+    # endings
+    # ------------------------------------------------------------------
+    def _finish(self, time: float, job: Job, reason: ExitReason) -> None:
+        job.finish(time, reason)
+        head = job.allocated[0]
+        if reason is ExitReason.USER_CANCELLED:
+            self._sched(time, self.dialect.cancel, job=job.job_id, uid=1001,
+                        host="login1", severity=Severity.NOTICE)
+        elif reason is ExitReason.WALLTIME:
+            self._sched(time, self.dialect.timeout, job=job.job_id,
+                        used=int(time - job.start_time),
+                        limit=int(job.spec.walltime_limit),
+                        severity=Severity.NOTICE)
+        self._sched(time + 0.5, self.dialect.complete, job=job.job_id,
+                    code=job.exit_code)
+        # ALPS application exit on the head node
+        abnormal = reason not in (ExitReason.SUCCESS,)
+        if abnormal:
+            self._messages(time + 0.2, head, "app_exit_abnormal",
+                           Severity.ERROR, apid=job.apid,
+                           code=job.exit_code or 1, job=job.job_id)
+        else:
+            self._messages(time + 0.2, head, "app_exit_normal",
+                           Severity.INFO, apid=job.apid, job=job.job_id)
+        self._release(time, job, abnormal=abnormal)
+
+    def _release(self, time: float, job: Job, abnormal: bool) -> None:
+        t_epi = time + self.config.epilogue_seconds
+        self._sched(t_epi, self.dialect.epilog, job=job.job_id,
+                    secs=int(self.config.epilogue_seconds))
+        for node in job.allocated:
+            self._node_owner.pop(node, None)
+            node_obj = self.plat.machine.node(node)
+            if node_obj.job_id == job.job_id:
+                node_obj.job_id = None
+            if abnormal and self.config.nhc_admindown_prob > 0:
+                self.nhc.check_after_exit(
+                    t_epi, node, job.apid or 0, abnormal=True,
+                    admindown_prob=self.config.nhc_admindown_prob,
+                )
+        def kick(engine) -> None:
+            self._try_schedule(engine.now)
+        self.plat.engine.schedule(t_epi + 0.1, kick, label="sched-kick")
+
+    # ------------------------------------------------------------------
+    # node-failure coupling (registered as a platform failure listener)
+    # ------------------------------------------------------------------
+    def _on_node_failure(self, time: float, node: NodeName, job_id) -> None:
+        self._sched(time + 1.0, self.dialect.node_down, node=node.cname,
+                    severity=Severity.ERROR)
+        if self.dialect.drain is not None:
+            self._sched(time + 1.2, self.dialect.drain, node=node.cname,
+                        reason="Not responding", severity=Severity.WARNING)
+        owner = self._node_owner.get(node)
+        if owner is None:
+            return
+        job = self.jobs[owner]
+        if job.state is not JobState.RUNNING:
+            return
+        job.failed_nodes.append(node)
+        self._sched(time + 1.5, self.dialect.requeue, job=job.job_id,
+                    node=node.cname, severity=Severity.NOTICE)
+        self._finish(time + 2.0, job, ExitReason.NODE_FAILURE)
+        if self.config.requeue_on_node_failure:
+            self._requeue_seq += 1
+            clone = JobSpec(
+                job_id=self._requeue_seq,
+                user=job.spec.user,
+                app=job.spec.app,
+                nodes=job.spec.nodes,
+                cpus_per_node=job.spec.cpus_per_node,
+                mem_per_node_mb=job.spec.mem_per_node_mb,
+                runtime=job.spec.runtime,
+                walltime_limit=job.spec.walltime_limit,
+                submit_time=time + 60.0,
+                bug=None,  # the clone runs clean (node problem, not code)
+            )
+            self.submit(clone)
+
+    # ------------------------------------------------------------------
+    def finished_jobs(self) -> list[Job]:
+        """Jobs in a terminal state, by end time."""
+        done = [j for j in self.jobs.values() if j.state.is_terminal]
+        done.sort(key=lambda j: j.end_time)
+        return done
+
+    def exit_census(self) -> dict[ExitReason, int]:
+        """Counts per exit reason (Fig. 12 input)."""
+        census: dict[ExitReason, int] = {}
+        for job in self.finished_jobs():
+            census[job.exit_reason] = census.get(job.exit_reason, 0) + 1
+        return census

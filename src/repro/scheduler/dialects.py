@@ -1,0 +1,77 @@
+"""Scheduler log dialects: Slurm vs Torque event vocabularies.
+
+The two dialects log the same lifecycle with different daemons and line
+shapes (both defined in :mod:`repro.logs.catalog`).  A :class:`Dialect`
+maps abstract scheduler actions to catalog event keys plus the component
+name the daemon logs under, so :class:`~repro.scheduler.core.WorkloadScheduler`
+is dialect-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.systems import SchedulerKind
+
+__all__ = ["Dialect", "SLURM", "TORQUE", "dialect_for"]
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Event keys for one scheduler family."""
+
+    kind: SchedulerKind
+    component: str
+    submit: str
+    start: str
+    complete: str
+    cancel: str
+    timeout: str
+    mem_exceeded: str
+    node_down: str
+    requeue: str
+    epilog: str
+    #: event present only in the Slurm dialect (oom detection in stepd)
+    oom: str | None = None
+    #: event present only in the Slurm dialect (drain with reason)
+    drain: str | None = None
+
+
+SLURM = Dialect(
+    kind=SchedulerKind.SLURM,
+    component="sdb",
+    submit="slurm_submit",
+    start="slurm_start",
+    complete="slurm_complete",
+    cancel="slurm_cancel",
+    timeout="slurm_timeout",
+    mem_exceeded="slurm_mem_exceeded",
+    node_down="slurm_node_down",
+    requeue="slurm_requeue",
+    epilog="slurm_epilog",
+    oom="slurm_oom",
+    drain="slurm_drain",
+)
+
+TORQUE = Dialect(
+    kind=SchedulerKind.TORQUE,
+    component="sdb",
+    submit="torque_submit",
+    start="torque_start",
+    complete="torque_complete",
+    cancel="torque_cancel",
+    timeout="torque_timeout",
+    mem_exceeded="torque_mem_exceeded",
+    node_down="torque_node_down",
+    requeue="torque_requeue",
+    epilog="torque_epilog",
+)
+
+
+def dialect_for(kind: SchedulerKind) -> Dialect:
+    """The dialect of a scheduler family."""
+    if kind is SchedulerKind.SLURM:
+        return SLURM
+    if kind is SchedulerKind.TORQUE:
+        return TORQUE
+    raise ValueError(f"unknown scheduler kind {kind!r}")  # pragma: no cover

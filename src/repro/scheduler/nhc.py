@@ -1,0 +1,145 @@
+"""Node Health Checker (NHC) model.
+
+Cray's NHC runs a test suite against a node after application exits and
+on demand; a node failing tests is placed in *suspect mode* and, if the
+suspect-window tests keep failing, set to *admindown* -- which is how
+application misbehaviour turns into a node failure without the node ever
+missing a heartbeat (Sec. III-B).
+
+Table VI's recommendation row ("System administrators can incorporate
+additional health tests ... to track the buggy APID") is implemented as
+:meth:`NodeHealthChecker.register_test` plus the APID tracking ledger --
+the extension hook the paper proposes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cluster.node import NodeState
+from repro.cluster.topology import NodeName
+from repro.logs.record import LogRecord, LogSource, Severity
+from repro.platform import Platform
+from repro.simul.rng import RngStream
+
+__all__ = ["NhcTest", "STANDARD_TESTS", "NodeHealthChecker"]
+
+
+@dataclass(frozen=True)
+class NhcTest:
+    """One NHC test.
+
+    ``probe`` receives (platform, node_name) and returns True when the
+    node passes.  Tests must be cheap and side-effect free.
+    """
+
+    name: str
+    probe: Callable[[Platform, NodeName], bool]
+    critical: bool = True  # failing a critical test can admindown a node
+
+
+def _alive(plat: Platform, name: NodeName) -> bool:
+    return plat.machine.node(name).state in (NodeState.UP, NodeState.SUSPECT)
+
+
+def _has_no_job_residue(plat: Platform, name: NodeName) -> bool:
+    # after epilogue the node must not still be claimed by a job
+    return plat.machine.node(name).job_id is None
+
+
+STANDARD_TESTS: tuple[NhcTest, ...] = (
+    NhcTest("xtcheckhealth.node", _alive, critical=True),
+    NhcTest("Plugin_Alps_Status", _has_no_job_residue, critical=False),
+)
+
+
+class NodeHealthChecker:
+    """Suspect-mode state machine plus the buggy-APID ledger."""
+
+    def __init__(self, plat: Platform, rng: Optional[RngStream] = None) -> None:
+        self.plat = plat
+        self.rng = rng or plat.rng.child("nhc")
+        self.tests: list[NhcTest] = list(STANDARD_TESTS)
+        #: abnormal-exit counts per APID (Table VI recommendation hook)
+        self.apid_abnormal_exits: Counter[int] = Counter()
+        #: APIDs blocked after too many abnormal exits
+        self.blocked_apids: set[int] = set()
+        self.block_threshold = 5
+
+    def register_test(self, test: NhcTest) -> None:
+        """Add a site-specific health test."""
+        if any(t.name == test.name for t in self.tests):
+            raise ValueError(f"duplicate NHC test name: {test.name}")
+        self.tests.append(test)
+
+    # ------------------------------------------------------------------
+    def _emit(self, time: float, node: NodeName, event: str,
+              severity: Severity, **attrs) -> LogRecord:
+        return self.plat.bus.emit(
+            LogRecord(
+                time=time,
+                source=LogSource.MESSAGES,
+                component=node.cname,
+                event=event,
+                attrs=attrs,
+                severity=severity,
+            )
+        )
+
+    def run_tests(self, time: float, node: NodeName) -> list[str]:
+        """Run all tests; returns names of failed tests (logged)."""
+        failed = []
+        for test in self.tests:
+            if not test.probe(self.plat, node):
+                failed.append(test.name)
+                self._emit(time, node, "nhc_test_fail", Severity.ERROR,
+                           test=test.name, rc=1)
+        return failed
+
+    def check_after_exit(
+        self,
+        time: float,
+        node: NodeName,
+        apid: int,
+        abnormal: bool,
+        admindown_prob: float = 0.5,
+    ) -> bool:
+        """Post-application health check.
+
+        On an abnormal exit the node is suspected; with probability
+        ``admindown_prob`` the suspect tests fail and the node goes
+        admindown (counted as a failure).  Returns True when the node was
+        taken down.
+        """
+        if abnormal:
+            self.apid_abnormal_exits[apid] += 1
+            if self.apid_abnormal_exits[apid] >= self.block_threshold:
+                self.blocked_apids.add(apid)
+        node_obj = self.plat.machine.node(node)
+        if node_obj.state is not NodeState.UP:
+            return False
+        failed_tests = self.run_tests(time, node)
+        if not abnormal and not failed_tests:
+            return False
+        self._emit(time + 1.0, node, "nhc_suspect", Severity.WARNING,
+                   why="abnormal application exit" if abnormal else
+                   f"failed {len(failed_tests)} tests")
+        node_obj.suspect(time + 1.0, "nhc suspect mode")
+        if self.rng.bernoulli(admindown_prob):
+            t_down = time + 1.0 + self.rng.uniform(10.0, 60.0)
+            self._emit(t_down, node, "nhc_admindown", Severity.CRITICAL,
+                       why="suspect tests failed")
+            self.plat.machine.record_failure(
+                t_down, node, cause="nhc admindown after app exit",
+                root="app_exit", admindown=True,
+            )
+            return True
+        # node recovers from suspect mode
+        node_obj.reboot(time + 60.0, "suspect cleared")
+        return False
+
+    def is_blocked(self, apid: int) -> bool:
+        """Whether NHC has blocked this application id."""
+        return apid in self.blocked_apids

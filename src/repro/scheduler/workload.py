@@ -1,0 +1,218 @@
+"""Synthetic workload generation.
+
+Produces job streams with the statistical shape of production HPC
+workloads: Poisson submissions, heavy-tailed node counts (most jobs are
+small; a few span hundreds of nodes), log-normal runtimes, and the
+Fig. 12 exit mix -- a small fraction of configuration errors (walltime /
+memory-limit / user-cancel) and an even smaller fraction of genuinely
+buggy applications that will trigger fault chains on their nodes.
+
+The generator is deliberately declarative (:class:`WorkloadConfig`) so
+each figure's scenario can dial exactly the knob it studies: Fig. 12
+raises ``config_error_frac``; Fig. 17 submits hand-built overallocating
+jobs; Fig. 19's same-job failure bursts raise ``buggy_frac`` with
+multi-node bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.scheduler.base import JobBug, JobSpec
+from repro.simul.clock import HOUR, MINUTE
+from repro.simul.rng import RngStream
+
+__all__ = ["WorkloadConfig", "WorkloadGenerator", "APPLICATIONS"]
+
+APPLICATIONS: tuple[str, ...] = (
+    "vasp", "lammps", "namd2", "qe.x", "wrf.exe", "chroma", "mpiblast",
+    "su3_rhmc", "gromacs", "cp2k.popt", "nwchem", "matlab",
+)
+
+USERS: tuple[str, ...] = tuple(f"u{1000 + i}" for i in range(40))
+
+#: default mix of bug kinds for buggy jobs: (chain, params, weight)
+DEFAULT_BUG_MIX: tuple[tuple[str, dict, float], ...] = (
+    ("oom_chain", {"fail_prob": 0.8}, 0.30),
+    ("app_exit_chain", {}, 0.25),
+    ("lustre_bug_chain", {"app_triggered": True}, 0.20),
+    ("segfault_chain", {}, 0.15),
+    ("dvs_chain", {}, 0.10),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs for a generated workload."""
+
+    jobs_per_day: float = 400.0
+    duration_days: float = 1.0
+    start_day: float = 0.0
+    #: bounded-Pareto node counts
+    min_nodes: int = 1
+    max_nodes: int = 256
+    pareto_shape: float = 1.4
+    #: log-normal runtime (of underlying normal, in log-seconds)
+    runtime_log_mean: float = 7.6   # ~ 2000 s median
+    runtime_log_sigma: float = 1.1
+    max_runtime: float = 24 * HOUR
+    #: exit-mix fractions (rest complete successfully)
+    walltime_frac: float = 0.015
+    cancel_frac: float = 0.02
+    overalloc_frac: float = 0.0
+    buggy_frac: float = 0.01
+    #: memory demand
+    mem_mean_mb: int = 24_000
+    mem_sigma_mb: int = 9_000
+    node_capacity_mb: int = 65_536
+    cpus_per_node: int = 32
+    #: diurnal arrival modulation: 0 = flat, 0.5 = mid-day rate is 3x the
+    #: overnight rate (submission peaks at 14:00, as production queues do)
+    diurnal_amplitude: float = 0.0
+    bug_mix: tuple[tuple[str, dict, float], ...] = DEFAULT_BUG_MIX
+    #: restrict apps (e.g. a campaign where everyone runs the same code)
+    apps: tuple[str, ...] = APPLICATIONS
+
+    def __post_init__(self) -> None:
+        if self.jobs_per_day <= 0:
+            raise ValueError("jobs_per_day must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ValueError("need 1 <= min_nodes <= max_nodes")
+        total = self.walltime_frac + self.cancel_frac + self.overalloc_frac + self.buggy_frac
+        if total > 1.0:
+            raise ValueError(f"exit-mix fractions sum to {total} > 1")
+
+
+class WorkloadGenerator:
+    """Deterministic job-stream generator."""
+
+    def __init__(self, rng: RngStream, first_job_id: int = 1000) -> None:
+        self.rng = rng
+        self._next_id = first_job_id
+
+    def _job_id(self) -> int:
+        jid = self._next_id
+        self._next_id += 1
+        return jid
+
+    def _nodes(self, cfg: WorkloadConfig) -> int:
+        if cfg.min_nodes == cfg.max_nodes:
+            return cfg.min_nodes
+        return int(round(self.rng.pareto_bounded(
+            cfg.pareto_shape, cfg.min_nodes, cfg.max_nodes)))
+
+    def _runtime(self, cfg: WorkloadConfig) -> float:
+        return min(cfg.max_runtime,
+                   max(MINUTE, self.rng.lognormal(cfg.runtime_log_mean,
+                                                  cfg.runtime_log_sigma)))
+
+    def _pick_bug(self, cfg: WorkloadConfig) -> JobBug:
+        chains = [c for c, _, _ in cfg.bug_mix]
+        weights = [w for _, _, w in cfg.bug_mix]
+        chain = self.rng.choice(chains, weights)
+        params = dict(next(p for c, p, _ in cfg.bug_mix if c == chain))
+        return JobBug(
+            chain=chain,
+            node_fraction=self.rng.uniform(0.4, 1.0),
+            trigger_fraction=self.rng.uniform(0.2, 0.9),
+            spread_minutes=self.rng.uniform(1.0, 6.0),
+            params=params,
+        )
+
+    def generate(self, cfg: WorkloadConfig) -> list[JobSpec]:
+        """One job stream for the config (sorted by submit time).
+
+        Diurnal modulation uses thinning: candidate arrivals are drawn at
+        the peak rate and accepted with the time-of-day intensity, which
+        keeps the process exactly Poisson with the shaped rate.
+        """
+        import math
+
+        specs: list[JobSpec] = []
+        t = cfg.start_day * 86_400.0
+        end = (cfg.start_day + cfg.duration_days) * 86_400.0
+        amp = cfg.diurnal_amplitude
+        peak_rate = cfg.jobs_per_day * (1.0 + amp)
+        mean_gap = 86_400.0 / peak_rate
+        while True:
+            t += self.rng.exponential(mean_gap)
+            if t >= end:
+                break
+            if amp > 0.0:
+                hour = (t % 86_400.0) / 3600.0
+                # intensity peaks at 14:00 local
+                intensity = 1.0 + amp * math.cos((hour - 14.0) / 24.0 * 2 * math.pi)
+                if not self.rng.bernoulli(intensity / (1.0 + amp)):
+                    continue
+            specs.append(self._one(cfg, t))
+        return specs
+
+    def _one(self, cfg: WorkloadConfig, submit_time: float) -> JobSpec:
+        runtime = self._runtime(cfg)
+        fate = self.rng.random()
+        walltime = runtime * self.rng.uniform(1.2, 3.0)
+        cancel_after: Optional[float] = None
+        bug: Optional[JobBug] = None
+        mem = int(max(1024, self.rng.normal(cfg.mem_mean_mb, cfg.mem_sigma_mb)))
+        if fate < cfg.walltime_frac:
+            walltime = runtime * self.rng.uniform(0.3, 0.9)  # will time out
+        elif fate < cfg.walltime_frac + cfg.cancel_frac:
+            cancel_after = runtime * self.rng.uniform(0.1, 0.8)
+        elif fate < cfg.walltime_frac + cfg.cancel_frac + cfg.overalloc_frac:
+            mem = int(cfg.node_capacity_mb * self.rng.uniform(1.1, 1.8))
+        elif fate < (cfg.walltime_frac + cfg.cancel_frac + cfg.overalloc_frac
+                     + cfg.buggy_frac):
+            bug = self._pick_bug(cfg)
+        return JobSpec(
+            job_id=self._job_id(),
+            user=self.rng.choice(USERS),
+            app=self.rng.choice(cfg.apps),
+            nodes=self._nodes(cfg),
+            cpus_per_node=cfg.cpus_per_node,
+            mem_per_node_mb=min(mem, cfg.node_capacity_mb * 2),
+            runtime=runtime,
+            walltime_limit=walltime,
+            submit_time=submit_time,
+            bug=bug,
+            cancel_after=cancel_after,
+        )
+
+    def buggy_burst_jobs(
+        self,
+        cfg: WorkloadConfig,
+        submit_time: float,
+        count: int,
+        chain: str,
+        nodes_per_job: int,
+        app: Optional[str] = None,
+        params: Optional[dict] = None,
+    ) -> list[JobSpec]:
+        """Hand-built same-app buggy jobs (Obs. 8 / Fig. 19 scenarios)."""
+        the_app = app or self.rng.choice(cfg.apps)
+        specs = []
+        for i in range(count):
+            runtime = self._runtime(cfg)
+            specs.append(
+                JobSpec(
+                    job_id=self._job_id(),
+                    user=self.rng.choice(USERS),
+                    app=the_app,
+                    nodes=nodes_per_job,
+                    cpus_per_node=cfg.cpus_per_node,
+                    mem_per_node_mb=cfg.mem_mean_mb,
+                    runtime=runtime,
+                    walltime_limit=runtime * 2,
+                    submit_time=submit_time + i * self.rng.uniform(10.0, 120.0),
+                    bug=JobBug(
+                        chain=chain,
+                        node_fraction=1.0,
+                        trigger_fraction=self.rng.uniform(0.3, 0.7),
+                        spread_minutes=self.rng.uniform(1.0, 5.0),
+                        params=dict(params or {}),
+                    ),
+                )
+            )
+        return specs

@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation substrate.
+
+This subpackage provides the simulation kernel on which the HPC platform
+model is built:
+
+* :mod:`repro.simul.engine` -- a priority-queue discrete-event engine with
+  stable tie-breaking and process-style helpers.
+* :mod:`repro.simul.rng` -- named, splittable deterministic random streams
+  so that every subsystem draws from its own independent generator.
+* :mod:`repro.simul.clock` -- simulated wall-clock time, conversion between
+  simulation seconds and datetime stamps, and the syslog-style timestamp
+  formats used by the log emitters.
+
+The engine is intentionally free of any HPC-specific knowledge; the cluster,
+fault and scheduler models register plain callables as events.
+"""
+
+from repro.simul.clock import SimClock, format_syslog, parse_syslog
+from repro.simul.engine import Event, SimulationEngine, StopSimulation
+from repro.simul.rng import RngStream
+
+__all__ = [
+    "Event",
+    "RngStream",
+    "SimClock",
+    "SimulationEngine",
+    "StopSimulation",
+    "format_syslog",
+    "parse_syslog",
+]

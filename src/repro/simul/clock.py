@@ -1,0 +1,104 @@
+"""Simulated wall-clock time and log timestamp formats.
+
+Simulation time is a float number of seconds since the *epoch* of the
+simulated trace (the paper's logs span 2014--2016; we anchor each scenario
+at a configurable UTC datetime).  The log emitters need two real formats:
+
+* the classic syslog format used in Cray console/messages logs, e.g.
+  ``2015-03-12T04:17:55.123456``  (ISO-like, microsecond precision), and
+* the compact epoch-style stamps found in ERD event records.
+
+Parsing is the exact inverse of formatting so round trips are lossless to
+microsecond resolution, which matters because the lead-time analysis
+computes differences between stamps parsed back out of text logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+
+__all__ = [
+    "SimClock",
+    "format_syslog",
+    "parse_syslog",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+]
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+_SYSLOG_FMT = "%Y-%m-%dT%H:%M:%S.%f"
+
+
+def format_syslog(dt: datetime) -> str:
+    """Format a datetime as the ISO-like syslog stamp used in the logs."""
+    return dt.strftime(_SYSLOG_FMT)
+
+
+def parse_syslog(text: str) -> datetime:
+    """Parse a stamp produced by :func:`format_syslog`.
+
+    Stamps without fractional seconds are accepted too, since some log
+    sources (scheduler accounting lines) omit them.
+    """
+    try:
+        return datetime.strptime(text, _SYSLOG_FMT)
+    except ValueError:
+        return datetime.strptime(text, "%Y-%m-%dT%H:%M:%S")
+
+
+@dataclass
+class SimClock:
+    """Map simulation seconds to simulated wall-clock datetimes.
+
+    Parameters
+    ----------
+    epoch:
+        The datetime corresponding to simulation time ``0.0``.  Defaults to
+        2015-01-05 00:00 UTC, a Monday inside the paper's 2014--2016 span so
+        week boundaries in scenarios align with calendar weeks.
+    """
+
+    epoch: datetime = field(
+        default_factory=lambda: datetime(2015, 1, 5, 0, 0, 0, tzinfo=timezone.utc)
+    )
+
+    def __post_init__(self) -> None:
+        if self.epoch.tzinfo is None:
+            self.epoch = self.epoch.replace(tzinfo=timezone.utc)
+
+    def to_datetime(self, sim_seconds: float) -> datetime:
+        """Datetime for a simulation time."""
+        return self.epoch + timedelta(seconds=float(sim_seconds))
+
+    def to_seconds(self, dt: datetime) -> float:
+        """Simulation time for a datetime (inverse of :meth:`to_datetime`)."""
+        if dt.tzinfo is None:
+            dt = dt.replace(tzinfo=timezone.utc)
+        return (dt - self.epoch).total_seconds()
+
+    def stamp(self, sim_seconds: float) -> str:
+        """Syslog-format timestamp for a simulation time."""
+        return format_syslog(self.to_datetime(sim_seconds).replace(tzinfo=None))
+
+    def unstamp(self, text: str) -> float:
+        """Simulation time for a syslog-format timestamp."""
+        return self.to_seconds(parse_syslog(text))
+
+    def day_of(self, sim_seconds: float) -> int:
+        """Zero-based day index of a simulation time."""
+        return int(sim_seconds // DAY)
+
+    def week_of(self, sim_seconds: float) -> int:
+        """Zero-based week index of a simulation time."""
+        return int(sim_seconds // WEEK)
+
+    def hour_of_day(self, sim_seconds: float) -> int:
+        """Hour of day (0-23) of a simulation time."""
+        return int((sim_seconds % DAY) // HOUR)

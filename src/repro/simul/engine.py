@@ -1,0 +1,170 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, fast kernel: a binary-heap event queue with stable
+FIFO tie-breaking for simultaneous events, cancellation tokens, periodic
+event helpers, and a hard event-count guard against runaway models.
+
+Event callbacks receive the engine itself, so a handler can schedule
+follow-up events::
+
+    eng = SimulationEngine()
+    def tick(engine):
+        engine.schedule(engine.now + 1.0, tick)
+    eng.schedule(0.0, tick)
+    eng.run(until=10.0)
+
+The engine knows nothing about nodes, faults or jobs; those layers register
+plain callables.  Determinism is guaranteed because (a) the heap pops in
+``(time, sequence-number)`` order and (b) all randomness lives in
+:class:`repro.simul.rng.RngStream` instances owned by the models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "SimulationEngine", "StopSimulation"]
+
+Handler = Callable[["SimulationEngine"], None]
+
+
+class StopSimulation(Exception):
+    """Raised by a handler to end the simulation immediately."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event: fires ``handler`` at simulation ``time``.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
+    insertion counter so simultaneous events run FIFO.
+    """
+
+    time: float
+    seq: int
+    handler: Handler = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Binary-heap discrete-event engine with deterministic ordering."""
+
+    def __init__(self, max_events: int = 50_000_000) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self.max_events = max_events
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, handler: Handler, label: str = "") -> Event:
+        """Schedule ``handler`` at absolute simulation ``time``.
+
+        Scheduling in the past is an error -- the engine never rewinds.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+            )
+        ev = Event(time=float(time), seq=next(self._counter), handler=handler, label=label)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_after(self, delay: float, handler: Handler, label: str = "") -> Event:
+        """Schedule ``handler`` after a relative ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, handler, label)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        handler: Handler,
+        start: Optional[float] = None,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``handler`` every ``period`` seconds, starting at ``start``.
+
+        Returns the first :class:`Event`; cancelling it stops only the next
+        firing, so periodic processes that must be stoppable should check
+        their own flag inside ``handler``.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        first = self._now if start is None else start
+
+        def tick(engine: "SimulationEngine") -> None:
+            handler(engine)
+            engine.schedule(engine.now + period, tick, label)
+
+        return self.schedule(first, tick, label)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Events scheduled exactly at ``until`` are executed.  Returns the
+        final simulation time (``until`` if given, else the time of the
+        last executed event).
+        """
+        q = self._queue
+        while q:
+            ev = q[0]
+            if until is not None and ev.time > until:
+                break
+            heapq.heappop(q)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._processed += 1
+            if self._processed > self.max_events:
+                raise RuntimeError(
+                    f"event budget exceeded ({self.max_events}); "
+                    "a model is probably rescheduling itself in a tight loop"
+                )
+            try:
+                ev.handler(self)
+            except StopSimulation:
+                break
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def step(self) -> Optional[Event]:
+        """Execute exactly one (non-cancelled) event; return it, or None."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._processed += 1
+            ev.handler(self)
+            return ev
+        return None
+
+    def clear(self) -> None:
+        """Drop all pending events (time does not rewind)."""
+        self._queue.clear()

@@ -1,0 +1,200 @@
+"""Named, splittable deterministic random streams.
+
+Every stochastic component of the simulator (each fault generator, each
+scheduler, each sensor) draws from its own :class:`RngStream`.  A stream is
+identified by a *path* of names rooted at a single integer seed, e.g.::
+
+    root = RngStream(seed=42)
+    mce = root.child("faults", "mce")
+    temp = root.child("sensors", "temperature")
+
+Two properties make this suitable for reproducible experiments:
+
+1. **Determinism** -- the same seed and the same path always yield the same
+   sequence, regardless of the order in which sibling streams are created
+   or consumed.
+2. **Independence** -- child streams are derived by hashing the path into
+   a :class:`numpy.random.SeedSequence` spawn key, so sequences do not
+   overlap in practice.
+
+The class wraps :class:`numpy.random.Generator` and exposes the handful of
+distributions the simulator needs, plus a few convenience samplers
+(truncated normal, bounded Pareto for heavy-tailed job sizes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["RngStream"]
+
+
+def _path_entropy(path: tuple[str, ...]) -> list[int]:
+    """Hash a stream path into 32-bit words for SeedSequence entropy."""
+    digest = hashlib.sha256("/".join(path).encode("utf-8")).digest()
+    return [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+
+
+class RngStream:
+    """A named deterministic random stream.
+
+    Parameters
+    ----------
+    seed:
+        Root integer seed shared by the whole simulation.
+    path:
+        Tuple of names identifying this stream.  The root stream has an
+        empty path; children extend it.
+    """
+
+    __slots__ = ("seed", "path", "_gen")
+
+    def __init__(self, seed: int, path: tuple[str, ...] = ()) -> None:
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self.seed = int(seed)
+        self.path = tuple(str(p) for p in path)
+        ss = np.random.SeedSequence([self.seed, *_path_entropy(self.path)])
+        self._gen = np.random.Generator(np.random.PCG64(ss))
+
+    # ------------------------------------------------------------------
+    # stream management
+    # ------------------------------------------------------------------
+    def child(self, *names: str) -> "RngStream":
+        """Return the child stream at ``self.path + names``."""
+        if not names:
+            raise ValueError("child() requires at least one name")
+        return RngStream(self.seed, self.path + tuple(names))
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying :class:`numpy.random.Generator`."""
+        return self._gen
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngStream(seed={self.seed}, path={'/'.join(self.path) or '<root>'})"
+
+    # ------------------------------------------------------------------
+    # scalar draws
+    # ------------------------------------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """One uniform draw in ``[low, high)``."""
+        return float(self._gen.uniform(low, high))
+
+    def random(self) -> float:
+        """One uniform draw in ``[0, 1)``."""
+        return float(self._gen.random())
+
+    def exponential(self, mean: float) -> float:
+        """One exponential draw with the given mean (seconds, usually)."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return float(self._gen.exponential(mean))
+
+    def normal(self, loc: float, scale: float) -> float:
+        """One normal draw."""
+        return float(self._gen.normal(loc, scale))
+
+    def truncated_normal(
+        self, loc: float, scale: float, low: float, high: float
+    ) -> float:
+        """Normal draw clipped by rejection into ``[low, high]``.
+
+        Falls back to clipping after 64 rejections so pathological bounds
+        cannot loop forever.
+        """
+        if low > high:
+            raise ValueError(f"low={low} > high={high}")
+        for _ in range(64):
+            x = self._gen.normal(loc, scale)
+            if low <= x <= high:
+                return float(x)
+        return float(min(max(self._gen.normal(loc, scale), low), high))
+
+    def lognormal(self, mean: float, sigma: float) -> float:
+        """One log-normal draw (``mean``/``sigma`` of underlying normal)."""
+        return float(self._gen.lognormal(mean, sigma))
+
+    def pareto_bounded(self, shape: float, low: float, high: float) -> float:
+        """Bounded Pareto draw in ``[low, high]`` (heavy-tailed sizes)."""
+        if not (0 < low < high):
+            raise ValueError(f"need 0 < low < high, got low={low} high={high}")
+        u = self._gen.random()
+        ha, la = high**shape, low**shape
+        x = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / shape)
+        return float(min(max(x, low), high))
+
+    def integer(self, low: int, high: int) -> int:
+        """One integer draw in ``[low, high]`` inclusive."""
+        if low > high:
+            raise ValueError(f"low={low} > high={high}")
+        return int(self._gen.integers(low, high + 1))
+
+    def poisson(self, lam: float) -> int:
+        """One Poisson draw."""
+        if lam < 0:
+            raise ValueError(f"lam must be non-negative, got {lam}")
+        return int(self._gen.poisson(lam))
+
+    def geometric(self, p: float) -> int:
+        """One geometric draw (number of trials until first success)."""
+        if not 0 < p <= 1:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        return int(self._gen.geometric(p))
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        return bool(self._gen.random() < p)
+
+    # ------------------------------------------------------------------
+    # collection draws
+    # ------------------------------------------------------------------
+    def choice(self, items: Sequence, weights: Iterable[float] | None = None):
+        """Choose one item, optionally with relative weights."""
+        seq = list(items)
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        if weights is None:
+            return seq[int(self._gen.integers(len(seq)))]
+        w = np.asarray(list(weights), dtype=float)
+        if w.shape[0] != len(seq):
+            raise ValueError(
+                f"{len(seq)} items but {w.shape[0]} weights were supplied"
+            )
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum to > 0")
+        idx = int(self._gen.choice(len(seq), p=w / w.sum()))
+        return seq[idx]
+
+    def sample(self, items: Sequence, k: int) -> list:
+        """Choose ``k`` distinct items without replacement."""
+        seq = list(items)
+        if k > len(seq):
+            raise ValueError(f"cannot sample {k} from {len(seq)} items")
+        idx = self._gen.choice(len(seq), size=k, replace=False)
+        return [seq[int(i)] for i in idx]
+
+    def shuffle(self, items: Sequence) -> list:
+        """Return a shuffled copy of ``items``."""
+        seq = list(items)
+        self._gen.shuffle(seq)
+        return seq
+
+    def exponential_array(self, mean: float, size: int) -> np.ndarray:
+        """Vector of exponential draws (hot path for arrival processes)."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return self._gen.exponential(mean, size=size)
+
+    def uniform_array(self, low: float, high: float, size: int) -> np.ndarray:
+        """Vector of uniform draws."""
+        return self._gen.uniform(low, high, size=size)
+
+    def normal_array(self, loc: float, scale: float, size: int) -> np.ndarray:
+        """Vector of normal draws (hot path for sensor traces)."""
+        return self._gen.normal(loc, scale, size=size)

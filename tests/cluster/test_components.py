@@ -1,0 +1,167 @@
+"""Tests for power, controllers, HSS router and interconnect models."""
+
+import pytest
+
+from repro.cluster.controllers import BladeController, CabinetController
+from repro.cluster.hss import EventRouter
+from repro.cluster.interconnect import build_fabric
+from repro.cluster.machine import Machine
+from repro.cluster.power import PowerModel, RAILS
+from repro.cluster.systems import Interconnect, get_system
+from repro.logs.record import LogBus, LogSource
+from repro.simul.rng import RngStream
+
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture
+def bus():
+    return LogBus()
+
+
+@pytest.fixture
+def rng():
+    return RngStream(3).child("comp")
+
+
+class TestPower:
+    def test_rails_well_formed(self):
+        for rail in RAILS:
+            assert rail.low < rail.nominal < rail.high
+
+    def test_sag_is_below_low(self, rng):
+        power = PowerModel(rng)
+        for rail in RAILS:
+            assert power.sag_voltage(rail) < rail.low
+
+    def test_nvf_record_names_node_and_blade(self, rng, tiny_platform):
+        power = PowerModel(rng)
+        node = tiny_platform.machine.blades[0].node(2)
+        rec = power.nvf_record(5.0, node)
+        assert rec.event == "nvf"
+        assert rec.component == node.blade.cname
+        assert rec.attrs["node"] == node.cname
+
+    def test_ecb_record(self, rng, tiny_platform):
+        power = PowerModel(rng)
+        node = tiny_platform.machine.blades[0].node(0)
+        rec = power.ecb_record(5.0, node)
+        assert rec.event == "ecb_fault"
+        assert rec.source is LogSource.CONTROLLER
+
+
+class TestBladeController:
+    def test_nhf_emission(self, bus, rng, tiny_platform):
+        blade = tiny_platform.machine.blades[0]
+        bc = BladeController(blade, bus, rng)
+        rec = bc.node_heartbeat_fault(10.0, blade.node(1))
+        assert rec.event == "nhf"
+        assert rec.attrs["node"] == blade.node(1).cname
+        assert len(bus) == 1
+
+    def test_nhf_rejects_foreign_node(self, bus, rng, tiny_platform):
+        blades = tiny_platform.machine.blades
+        bc = BladeController(blades[0], bus, rng)
+        with pytest.raises(ValueError):
+            bc.node_heartbeat_fault(10.0, blades[1].node(0))
+
+    def test_nhf_forwards_to_router(self, bus, rng, tiny_platform):
+        blade = tiny_platform.machine.blades[0]
+        bc = BladeController(blade, bus, rng, router=EventRouter(bus))
+        bc.node_heartbeat_fault(10.0, blade.node(0))
+        events = [r.event for r in bus]
+        assert events == ["nhf", "ec_heartbeat_stop"]
+
+    def test_nvf_requires_nvf_record(self, bus, rng, tiny_platform):
+        blade = tiny_platform.machine.blades[0]
+        bc = BladeController(blade, bus, rng)
+        from repro.logs.record import LogRecord
+        bad = LogRecord(1.0, LogSource.CONTROLLER, blade.cname, "bchf", {})
+        with pytest.raises(ValueError):
+            bc.node_voltage_fault(1.0, bad)
+
+    def test_blade_health_events(self, bus, rng, tiny_platform):
+        blade = tiny_platform.machine.blades[0]
+        bc = BladeController(blade, bus, rng)
+        bc.bc_heartbeat_fault(1.0)
+        bc.l0_failed(2.0)
+        bc.sensor_read_failure(3.0, "BC_T_NODE_CPU")
+        bc.module_health_fault(4.0, "vrm degraded")
+        bc.node_powered_off(5.0, blade.node(0))
+        assert [r.event for r in bus] == [
+            "bchf", "ec_l0_failed", "sensor_read_fail",
+            "module_health_fault", "ec_node_info_off",
+        ]
+        assert all(r.component == blade.cname for r in bus)
+
+
+class TestCabinetController:
+    def test_cabinet_events(self, bus, rng, tiny_platform):
+        cab = tiny_platform.machine.cabinets[0]
+        cc = CabinetController(cab, bus, rng)
+        cc.power_fault(1.0, "rectifier")
+        cc.micro_controller_fault(2.0)
+        cc.communication_fault(3.0, "bc-0")
+        cc.fan_rpm_fault(4.0, fan=2, rpm=1100)
+        cc.sensor_check_anomaly(5.0, "CC_T_CAB_AIR_IN")
+        assert len(bus) == 5
+        assert all(r.component == cab.cname for r in bus)
+
+
+class TestEventRouter:
+    def test_all_erd_events_parse(self, bus):
+        from repro.logs.catalog import event_spec
+        router = EventRouter(bus)
+        router.sedc_warning(1.0, "c0-0c0s0", "BC_T_NODE_CPU", 80.2, 18.0, 75.0)
+        router.sedc_data(2.0, "c0-0c0s0", "BC_T_NODE_CPU", 41.0)
+        router.hw_error(3.0, "c0-0c0s0", "corrected mem err")
+        router.heartbeat_stop(4.0, "c0-0c0s0n1")
+        router.environment(5.0, "c0-0", "fan_speed", 2100.0)
+        router.link_error(6.0, "aries", "c0-0c0s0", "r0:r1", "lane degrade")
+        router.link_failover(7.0, "aries", "c0-0c0s0", "r0:r1", ok=False)
+        assert len(bus) == 7
+        for rec in bus:
+            spec = event_spec(rec.event)
+            body = spec.format(rec.attrs)
+            assert spec.parse(body) is not None
+            assert rec.source is LogSource.ERD
+
+
+class TestInterconnect:
+    @pytest.mark.parametrize("kind", list(Interconnect))
+    def test_fabric_covers_all_nodes(self, kind):
+        machine = Machine(make_tiny_spec(nodes=64, interconnect=kind))
+        fabric = build_fabric(machine)
+        for node in machine.nodes:
+            assert node in fabric.router_of
+            links = fabric.links_near(node)
+            assert links, f"no links near {node.cname}"
+
+    def test_fabric_tags(self):
+        for kind, tag in [
+            (Interconnect.ARIES_DRAGONFLY, "aries"),
+            (Interconnect.GEMINI_TORUS, "gemini"),
+            (Interconnect.INFINIBAND, "ib"),
+        ]:
+            machine = Machine(make_tiny_spec(nodes=16, interconnect=kind))
+            assert build_fabric(machine).fabric_tag == tag
+
+    def test_links_near_unknown_node(self):
+        machine = Machine(make_tiny_spec(nodes=16))
+        fabric = build_fabric(machine)
+        from repro.cluster.topology import NodeName
+        with pytest.raises(KeyError):
+            fabric.links_near(NodeName(9, 9, 9, 9, 9))
+
+    def test_pick_link_and_detail(self, rng):
+        machine = Machine(make_tiny_spec(nodes=16))
+        fabric = build_fabric(machine)
+        node = machine.blades[0].node(0)
+        link = fabric.pick_link(node, rng)
+        assert ":" in link.name or link.name
+        assert isinstance(fabric.error_detail(rng), str)
+
+    def test_big_system_fabric_builds(self):
+        machine = Machine(get_system("S3"))
+        fabric = build_fabric(machine)
+        assert len(fabric.router_of) == 2100

@@ -1,0 +1,114 @@
+"""Tests for the assembled machine and its ground-truth ledger."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import NodeState
+from repro.cluster.topology import NodeName
+
+
+@pytest.fixture
+def machine(tiny_spec):
+    return Machine(tiny_spec)
+
+
+class TestStructure:
+    def test_node_count(self, machine, tiny_spec):
+        assert len(machine) == tiny_spec.nodes
+
+    def test_blade_count(self, machine):
+        # 32 nodes at 4 per blade
+        assert len(machine.blades) == 8
+
+    def test_lookup_by_cname_and_name(self, machine):
+        name = machine.blades[0].node(0)
+        assert machine.node(name) is machine.node(name.cname)
+
+    def test_lookup_missing(self, machine):
+        with pytest.raises(KeyError):
+            machine.node("c9-9c9s9n9")
+        with pytest.raises(KeyError):
+            machine.node(NodeName(9, 9, 9, 9, 9))
+
+    def test_contains(self, machine):
+        name = machine.blades[0].node(0)
+        assert name in machine
+        assert name.cname in machine
+        assert "c9-9c0s0n0" not in machine
+        assert 42 not in machine
+
+    def test_nodes_in_blade(self, machine):
+        blade = machine.blades[0]
+        nodes = machine.nodes_in_blade(blade)
+        assert len(nodes) == 4
+        assert all(n.blade == blade for n in nodes)
+
+    def test_nodes_in_unknown_blade(self, machine):
+        from repro.cluster.topology import BladeName
+        with pytest.raises(KeyError):
+            machine.nodes_in_blade(BladeName(9, 9, 9, 9))
+
+    def test_blades_in_cabinet(self, machine):
+        cab = machine.cabinets[0]
+        blades = machine.blades_in_cabinet(cab)
+        assert len(blades) == 8
+        assert all(b.cabinet == cab for b in blades)
+
+    def test_blade_peers(self, machine):
+        name = machine.blades[0].node(1)
+        peers = machine.blade_peers(name)
+        assert len(peers) == 3
+        assert name not in peers
+
+
+class TestStateQueries:
+    def test_all_up_initially(self, machine):
+        assert len(machine.up_nodes()) == len(machine)
+        assert machine.failed_nodes() == []
+
+    def test_idle_excludes_busy(self, machine):
+        name = machine.blades[0].node(0)
+        machine.node(name).job_id = 17
+        assert name not in machine.idle_up_nodes()
+        assert name in machine.up_nodes()
+
+
+class TestGroundTruth:
+    def test_record_failure(self, machine):
+        name = machine.blades[0].node(0)
+        machine.record_failure(100.0, name, cause="panic", root="mce")
+        assert machine.node(name).state is NodeState.DOWN
+        assert len(machine.ground_truth) == 1
+        gt = machine.ground_truth[0]
+        assert gt.node == name and gt.root == "mce"
+        assert gt.blade == name.blade and gt.cabinet == name.cabinet
+
+    def test_record_admindown(self, machine):
+        name = machine.blades[1].node(2)
+        machine.record_failure(50.0, name, cause="nhc", root="app_exit",
+                               admindown=True, job_id=9)
+        assert machine.node(name).state is NodeState.ADMINDOWN
+        assert machine.ground_truth[0].job_id == 9
+
+    def test_failures_between(self, machine):
+        for i, blade in enumerate(machine.blades[:4]):
+            machine.record_failure(float(i * 10), blade.node(0), "x", "y")
+        assert len(machine.failures_between(5.0, 25.0)) == 2
+        with pytest.raises(ValueError):
+            machine.failures_between(10.0, 5.0)
+
+    def test_failures_of_nodes(self, machine):
+        a = machine.blades[0].node(0)
+        b = machine.blades[1].node(0)
+        machine.record_failure(1.0, a, "x", "y")
+        machine.record_failure(2.0, b, "x", "y")
+        assert len(machine.failures_of_nodes([a])) == 1
+
+    def test_reboot_failed(self, machine):
+        a = machine.blades[0].node(0)
+        machine.record_failure(1.0, a, "x", "y")
+        machine.node(a).job_id = 3
+        assert machine.reboot_failed(10.0) == 1
+        assert machine.node(a).state is NodeState.UP
+        assert machine.node(a).job_id is None
+        assert machine.reboot_failed(11.0) == 0

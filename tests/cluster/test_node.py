@@ -1,0 +1,121 @@
+"""Tests for the per-node state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.node import Node, NodeState, _ALLOWED
+from repro.cluster.topology import NodeName
+
+NAME = NodeName(0, 0, 0, 0, 0)
+
+
+@pytest.fixture
+def node():
+    return Node(NAME)
+
+
+class TestStates:
+    def test_starts_up(self, node):
+        assert node.state is NodeState.UP
+        assert node.state.in_service
+
+    def test_failed_states(self):
+        assert NodeState.DOWN.is_failed
+        assert NodeState.ADMINDOWN.is_failed
+        assert not NodeState.UP.is_failed
+        assert not NodeState.OFF.is_failed
+        assert not NodeState.SUSPECT.is_failed
+
+
+class TestTransitions:
+    def test_fail_down(self, node):
+        tr = node.fail(10.0, "panic")
+        assert node.state is NodeState.DOWN
+        assert tr.is_failure
+        assert tr.time == 10.0
+
+    def test_fail_admindown(self, node):
+        tr = node.fail(10.0, "nhc", admindown=True)
+        assert node.state is NodeState.ADMINDOWN
+        assert tr.is_failure
+
+    def test_intended_shutdown_not_failure(self, node):
+        tr = node.shutdown(5.0)
+        assert node.state is NodeState.OFF
+        assert not tr.is_failure
+
+    def test_suspect_then_down(self, node):
+        node.suspect(1.0, "bad exit")
+        assert node.state is NodeState.SUSPECT
+        node.fail(2.0, "tests failed", admindown=True)
+        assert node.state is NodeState.ADMINDOWN
+
+    def test_reboot_returns_to_up(self, node):
+        node.fail(1.0, "x")
+        node.reboot(2.0)
+        assert node.state is NodeState.UP
+        assert node.powered_on_at == 2.0
+
+    def test_off_to_down_illegal(self, node):
+        node.shutdown(1.0)
+        with pytest.raises(ValueError, match="illegal transition"):
+            node.fail(2.0, "x")
+
+    def test_up_to_up_illegal(self, node):
+        with pytest.raises(ValueError):
+            node.reboot(1.0)
+
+    def test_down_to_suspect_illegal(self, node):
+        node.fail(1.0, "x")
+        with pytest.raises(ValueError):
+            node.suspect(2.0, "y")
+
+
+class TestHistory:
+    def test_failures_recorded(self, node):
+        node.fail(1.0, "a")
+        node.reboot(2.0)
+        node.fail(3.0, "b", admindown=True)
+        assert [t.time for t in node.failures] == [1.0, 3.0]
+
+    def test_intended_excluded_from_failures(self, node):
+        node.shutdown(1.0)
+        node.reboot(2.0)
+        assert node.failures == []
+
+    def test_state_at(self, node):
+        node.fail(10.0, "x")
+        node.reboot(20.0)
+        assert node.state_at(5.0) is NodeState.UP
+        assert node.state_at(10.0) is NodeState.DOWN
+        assert node.state_at(15.0) is NodeState.DOWN
+        assert node.state_at(25.0) is NodeState.UP
+
+    def test_uptime_since_last_return(self, node):
+        node.fail(10.0, "x")
+        node.reboot(20.0)
+        assert node.uptime_since_last_return(50.0) == pytest.approx(30.0)
+
+
+class TestStateMachineProperty:
+    @given(steps=st.lists(st.sampled_from(list(NodeState)), max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_random_walk_respects_allowed_map(self, steps):
+        """Applying arbitrary target states either succeeds along an
+        allowed edge or raises; state is never corrupted."""
+        node = Node(NAME)
+        t = 0.0
+        for target in steps:
+            t += 1.0
+            before = node.state
+            if target in _ALLOWED[before]:
+                node.transition(t, target, "walk")
+                assert node.state is target
+            else:
+                with pytest.raises(ValueError):
+                    node.transition(t, target, "walk")
+                assert node.state is before
+        # history times strictly increase
+        times = [tr.time for tr in node.history]
+        assert times == sorted(times)

@@ -1,0 +1,70 @@
+"""Tests for the reboot/repair service."""
+
+import pytest
+
+from repro.cluster.node import NodeState
+from repro.cluster.reboot import RebootService
+from repro.faults import Campaign, InjectionLedger, inject
+from repro.platform import Platform
+
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture
+def plat():
+    return Platform(make_tiny_spec(nodes=64), seed=44)
+
+
+class TestRebootService:
+    def test_crashed_node_returns(self, plat):
+        service = RebootService(plat, mean_repair=600.0)
+        node = plat.machine.blades[0].node(0)
+        inject(plat, InjectionLedger(), "mce_failstop", node, 100.0)
+        plat.run(days=2)
+        assert plat.machine.node(node).state is NodeState.UP
+        assert service.reboots == 1
+        # the reboot left a boot banner in the console log
+        boots = plat.bus.by_event("node_boot")
+        assert len(boots) == 1 and boots[0].component == node.cname
+
+    def test_admindown_clears_faster_on_average(self, plat):
+        RebootService(plat, mean_repair=50_000.0,
+                      mean_admindown_clear=300.0)
+        node = plat.machine.blades[1].node(0)
+        inject(plat, InjectionLedger(), "app_exit_chain", node, 100.0)
+        plat.run(days=1)
+        assert plat.machine.node(node).state is NodeState.UP
+
+    def test_node_can_fail_again_after_repair(self, plat):
+        RebootService(plat, mean_repair=600.0)
+        ledger = InjectionLedger()
+        node = plat.machine.blades[2].node(0)
+        inject(plat, ledger, "mce_failstop", node, 100.0)
+        inject(plat, ledger, "mce_failstop", node, 40_000.0)
+        plat.run(days=2)
+        assert len(plat.machine.ground_truth) == 2
+
+    def test_manual_reboot_not_double_handled(self, plat):
+        service = RebootService(plat, mean_repair=10_000.0)
+        node = plat.machine.blades[0].node(1)
+        inject(plat, InjectionLedger(), "mce_failstop", node, 100.0)
+        # the panic lands at t0 + 240; repair cannot fire before +60 more
+        plat.run(until=350.0)
+        assert plat.machine.node(node).state.is_failed
+        plat.machine.node(node).reboot(plat.engine.now)
+        plat.run(days=1)
+        assert service.reboots == 0
+        assert plat.machine.node(node).state is NodeState.UP
+
+    def test_validation(self, plat):
+        with pytest.raises(ValueError):
+            RebootService(plat, mean_repair=0.0)
+
+    def test_capacity_preserved_under_failures(self, plat):
+        """With repair in the loop, long campaigns keep the machine up."""
+        RebootService(plat, mean_repair=3600.0)
+        camp = Campaign(plat)
+        camp.poisson("mce_failstop", per_day=8.0, duration_days=5)
+        plat.run(days=6)
+        up = len(plat.machine.up_nodes())
+        assert up >= len(plat.machine) - 5

@@ -1,0 +1,95 @@
+"""Tests for SEDC sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.sensors import (
+    BLADE_SENSORS,
+    CABINET_SENSORS,
+    SensorModel,
+    SensorSpec,
+    ar1_trace,
+    cpu_temperature_trace,
+)
+from repro.simul.rng import RngStream
+
+
+@pytest.fixture
+def rng():
+    return RngStream(77).child("sensors")
+
+
+class TestSpecs:
+    def test_standard_sensors_well_formed(self):
+        for spec in list(BLADE_SENSORS.values()) + list(CABINET_SENSORS.values()):
+            assert spec.warn_min < spec.nominal < spec.warn_max
+            assert 0 <= spec.phi < 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SensorSpec("x", "C", 40, 1, 50, 40)
+        with pytest.raises(ValueError):
+            SensorSpec("x", "C", 40, 1, 10, 80, phi=1.0)
+
+
+class TestTraces:
+    def test_ar1_length_and_locality(self, rng):
+        spec = BLADE_SENSORS["BC_T_NODE_CPU"]
+        trace = ar1_trace(spec, rng, 500)
+        assert trace.shape == (500,)
+        # stays in a sane band around nominal
+        assert abs(trace.mean() - spec.nominal) < 5.0
+
+    def test_ar1_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            ar1_trace(BLADE_SENSORS["BC_T_NODE_CPU"], rng, 0)
+
+    def test_ar1_matches_iterative_model(self, rng):
+        """Vectorised trace equals the step-by-step recursion."""
+        spec = SensorSpec("t", "C", 40.0, 1.0, 0.0, 100.0, phi=0.9)
+        vec = ar1_trace(spec, RngStream(5).child("a"), 200)
+        rng2 = RngStream(5).child("a")
+        eps = rng2.normal_array(0.0, spec.sigma, 200)
+        acc, manual = 0.0, []
+        for e in eps:
+            acc = spec.phi * acc + e
+            manual.append(spec.nominal + acc)
+        np.testing.assert_allclose(vec, manual, rtol=1e-8)
+
+    def test_long_trace_finite(self, rng):
+        spec = SensorSpec("t", "C", 40.0, 1.0, 0.0, 100.0, phi=0.5)
+        trace = ar1_trace(spec, rng, 5000)
+        assert np.all(np.isfinite(trace))
+
+    def test_cpu_trace_powered_off_is_zero(self, rng):
+        assert np.all(cpu_temperature_trace(rng, 50, powered=False) == 0.0)
+
+    def test_cpu_trace_near_nominal(self, rng):
+        trace = cpu_temperature_trace(rng, 500, nominal=40.0)
+        assert 35.0 < trace.mean() < 45.0
+
+
+class TestSensorModel:
+    def test_step_and_value(self, rng):
+        model = SensorModel(BLADE_SENSORS["BC_T_NODE_CPU"], "c0-0c0s0", rng)
+        v = model.step()
+        assert v == model.value
+
+    def test_violation_detection(self, rng):
+        model = SensorModel(BLADE_SENSORS["BC_T_NODE_CPU"], "c0-0c0s0", rng)
+        assert not model.violates()
+        model.force(90.0)
+        assert model.violates()
+        model.force(10.0)
+        assert model.violates()
+
+    def test_records_roundtrip_through_catalog(self, rng):
+        from repro.logs.catalog import event_spec
+        model = SensorModel(CABINET_SENSORS["CC_T_CAB_AIR_IN"], "c0-0", rng)
+        model.force(15.0)
+        data = model.data_record(10.0)
+        warn = model.warning_record(10.0)
+        assert event_spec(data.event).parse(event_spec(data.event).format(data.attrs))
+        attrs = event_spec(warn.event).parse(event_spec(warn.event).format(warn.attrs))
+        assert attrs["src"] == "c0-0"
+        assert float(attrs["value"]) == pytest.approx(15.0)

@@ -1,0 +1,76 @@
+"""Tests for the Table I system catalog."""
+
+import pytest
+
+from repro.cluster.systems import (
+    SYSTEMS,
+    Family,
+    FileSystemKind,
+    Interconnect,
+    SchedulerKind,
+    get_system,
+)
+
+
+class TestCatalog:
+    def test_five_systems(self):
+        assert sorted(SYSTEMS) == ["S1", "S2", "S3", "S4", "S5"]
+
+    @pytest.mark.parametrize(
+        "key,nodes", [("S1", 5600), ("S2", 6400), ("S3", 2100), ("S4", 1872), ("S5", 520)]
+    )
+    def test_node_counts(self, key, nodes):
+        assert SYSTEMS[key].nodes == nodes
+
+    def test_s2_is_gemini_torque(self):
+        s2 = SYSTEMS["S2"]
+        assert s2.interconnect is Interconnect.GEMINI_TORUS
+        assert s2.scheduler is SchedulerKind.TORQUE
+
+    def test_s5_is_institutional(self):
+        s5 = SYSTEMS["S5"]
+        assert s5.family is Family.INSTITUTIONAL
+        assert s5.interconnect is Interconnect.INFINIBAND
+        assert s5.filesystem is FileSystemKind.LOCAL
+        assert s5.gpus
+        assert not s5.is_cray
+        assert not s5.has_external_logs
+
+    def test_cray_systems_have_external_logs(self):
+        for key in ("S1", "S2", "S3", "S4"):
+            assert SYSTEMS[key].has_external_logs
+
+    def test_burst_buffers(self):
+        assert SYSTEMS["S3"].burst_buffer
+        assert SYSTEMS["S4"].burst_buffer
+        assert not SYSTEMS["S1"].burst_buffer
+
+    def test_durations(self):
+        assert SYSTEMS["S2"].duration_months == 12
+        assert SYSTEMS["S5"].duration_months == 1
+
+    def test_describe_matches_table1_columns(self):
+        row = SYSTEMS["S1"].describe()
+        assert row["System"] == "S1"
+        assert row["Nodes"] == "5600"
+        assert row["Interconnect"] == "Aries Dragonfly"
+        assert row["GPUs/Burst Buffer"] == "x"
+        assert SYSTEMS["S5"].describe()["GPUs/Burst Buffer"] == "GPUs"
+        assert SYSTEMS["S3"].describe()["GPUs/Burst Buffer"] == "Burst Buffer"
+
+    def test_s5_geometry_smaller(self):
+        assert SYSTEMS["S5"].geometry.nodes_per_cabinet < 192
+
+
+class TestLookup:
+    def test_get_system_case_insensitive(self):
+        assert get_system("s3") is SYSTEMS["S3"]
+
+    def test_get_system_unknown(self):
+        with pytest.raises(KeyError, match="S1"):
+            get_system("S9")
+
+    def test_spec_validation(self):
+        import dataclasses
+        with pytest.raises(ValueError):
+            dataclasses.replace(SYSTEMS["S1"], nodes=0)

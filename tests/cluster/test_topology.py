@@ -1,0 +1,131 @@
+"""Tests for Cray-style component naming and geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import (
+    BladeName,
+    CabinetName,
+    ChassisName,
+    Geometry,
+    NodeName,
+    parse_component,
+)
+
+
+class TestNames:
+    def test_node_cname(self):
+        assert NodeName(1, 0, 2, 7, 3).cname == "c1-0c2s7n3"
+
+    def test_blade_cname(self):
+        assert BladeName(1, 0, 2, 7).cname == "c1-0c2s7"
+
+    def test_chassis_cname(self):
+        assert ChassisName(1, 0, 2).cname == "c1-0c2"
+
+    def test_cabinet_cname(self):
+        assert CabinetName(1, 0).cname == "c1-0"
+
+    def test_node_projections(self):
+        node = NodeName(1, 2, 0, 5, 3)
+        assert node.blade == BladeName(1, 2, 0, 5)
+        assert node.chassis_name == ChassisName(1, 2, 0)
+        assert node.cabinet == CabinetName(1, 2)
+
+    def test_blade_node_accessor(self):
+        blade = BladeName(0, 0, 1, 4)
+        assert blade.node(2) == NodeName(0, 0, 1, 4, 2)
+
+    def test_names_are_ordered(self):
+        assert NodeName(0, 0, 0, 0, 0) < NodeName(0, 0, 0, 0, 1)
+        assert BladeName(0, 0, 0, 1) < BladeName(0, 0, 1, 0)
+
+    def test_names_hashable(self):
+        assert len({NodeName(0, 0, 0, 0, 0), NodeName(0, 0, 0, 0, 0)}) == 1
+
+    def test_str_is_cname(self):
+        assert str(NodeName(1, 0, 2, 7, 3)) == "c1-0c2s7n3"
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("c1-0c2s7n3", NodeName(1, 0, 2, 7, 3)),
+            ("c1-0c2s7", BladeName(1, 0, 2, 7)),
+            ("c1-0c2", ChassisName(1, 0, 2)),
+            ("c1-0", CabinetName(1, 0)),
+            ("c12-11c0s15n0", NodeName(12, 11, 0, 15, 0)),
+        ],
+    )
+    def test_parse_levels(self, text, expected):
+        assert parse_component(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "n3", "c1", "c1-0x3", "blade7", "c-0", "erd"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_component(bad)
+
+    def test_parse_strips_whitespace(self):
+        assert parse_component(" c1-0c2s7n3 ") == NodeName(1, 0, 2, 7, 3)
+
+    @given(
+        col=st.integers(0, 99), row=st.integers(0, 99),
+        chassis=st.integers(0, 9), slot=st.integers(0, 30),
+        node=st.integers(0, 7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, col, row, chassis, slot, node):
+        name = NodeName(col, row, chassis, slot, node)
+        assert parse_component(name.cname) == name
+
+
+class TestGeometry:
+    def test_cray_defaults(self):
+        geo = Geometry()
+        assert geo.nodes_per_cabinet == 192
+        assert geo.blades_per_cabinet == 48
+
+    def test_rejects_zero_fanout(self):
+        with pytest.raises(ValueError):
+            Geometry(nodes_per_blade=0)
+
+    def test_cabinets_for(self):
+        geo = Geometry()
+        assert geo.cabinets_for(1) == 1
+        assert geo.cabinets_for(192) == 1
+        assert geo.cabinets_for(193) == 2
+        assert geo.cabinets_for(5600) == 30
+
+    def test_cabinets_for_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Geometry().cabinets_for(0)
+
+    def test_grid_is_near_square(self):
+        cols, rows = Geometry().cabinet_grid(5600)
+        assert cols * rows >= 30
+        assert abs(cols - rows) <= 2
+
+    def test_iter_nodes_count_and_uniqueness(self):
+        geo = Geometry()
+        nodes = list(geo.iter_nodes(400))
+        assert len(nodes) == 400
+        assert len(set(nodes)) == 400
+
+    def test_iter_nodes_fills_blades_first(self):
+        nodes = list(Geometry().iter_nodes(8))
+        assert [n.cname for n in nodes[:4]] == [
+            "c0-0c0s0n0", "c0-0c0s0n1", "c0-0c0s0n2", "c0-0c0s0n3",
+        ]
+        assert nodes[4].blade.cname == "c0-0c0s1"
+
+    def test_iter_blades(self):
+        blades = list(Geometry().iter_blades(9))
+        assert len(blades) == 3  # 4 + 4 + 1 nodes
+
+    def test_custom_geometry(self):
+        geo = Geometry(chassis_per_cabinet=2, slots_per_chassis=13, nodes_per_blade=2)
+        assert geo.nodes_per_cabinet == 52
+        nodes = list(geo.iter_nodes(52))
+        assert nodes[-1].cname == "c0-0c1s12n1"

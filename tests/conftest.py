@@ -1,0 +1,86 @@
+"""Shared fixtures: small platforms and a fully-diagnosed scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.systems import (
+    Family,
+    FileSystemKind,
+    Interconnect,
+    SchedulerKind,
+    SystemSpec,
+)
+from repro.cluster.topology import Geometry
+from repro.faults import Campaign
+from repro.logs.store import LogStore
+from repro.platform import Platform
+
+
+def make_tiny_spec(
+    nodes: int = 32,
+    interconnect: Interconnect = Interconnect.ARIES_DRAGONFLY,
+    scheduler: SchedulerKind = SchedulerKind.SLURM,
+    gpus: bool = False,
+) -> SystemSpec:
+    """A small Cray-like system for fast unit tests."""
+    return SystemSpec(
+        key="TT",
+        family=Family.CRAY_XC40,
+        nodes=nodes,
+        interconnect=interconnect,
+        scheduler=scheduler,
+        filesystem=FileSystemKind.LUSTRE,
+        os_name="SuSE",
+        processors="Haswell",
+        duration_months=1,
+        log_size_gb=0.1,
+        gpus=gpus,
+        geometry=Geometry(),
+    )
+
+
+@pytest.fixture
+def tiny_spec() -> SystemSpec:
+    return make_tiny_spec()
+
+
+@pytest.fixture
+def tiny_platform(tiny_spec) -> Platform:
+    """A 32-node platform with a fixed seed."""
+    return Platform(tiny_spec, seed=1234)
+
+
+@pytest.fixture
+def platform_factory():
+    """Factory for platforms with custom size/seed."""
+
+    def build(nodes: int = 32, seed: int = 1234, **kwargs) -> Platform:
+        return Platform(make_tiny_spec(nodes=nodes, **kwargs), seed=seed)
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def diagnosed_scenario(tmp_path_factory):
+    """A small but rich scenario, simulated, written, and re-parsed.
+
+    Session-scoped: many integration tests share it read-only.
+    Returns (platform, campaign, store).
+    """
+    plat = Platform(make_tiny_spec(nodes=192), seed=99)
+    camp = Campaign(plat)
+    camp.burst("mce_failstop", day=0, count=5, spread_minutes=10.0,
+               params={"precursor": True})
+    camp.burst("app_exit_chain", day=1, count=6, spread_minutes=8.0)
+    camp.burst("lustre_bug_chain", day=2, count=4, spread_minutes=12.0)
+    camp.poisson("nvf_chain", per_day=1.0, duration_days=3,
+                 params={"fail_prob": 0.9})
+    camp.poisson("nhf_benign", per_day=3.0, duration_days=3)
+    camp.poisson("mce_benign", per_day=5.0, duration_days=3)
+    camp.poisson("lustre_benign_flood", per_day=4.0, duration_days=3)
+    camp.daily_noise(3, sedc_blades_per_day=4, noisy_cabinets_per_day=2)
+    plat.run(days=4)
+    root = tmp_path_factory.mktemp("diagnosed") / "logs"
+    plat.write_logs(root)
+    return plat, camp, LogStore(root)

@@ -1,0 +1,51 @@
+"""Helpers for building synthetic ParsedRecord streams in core tests.
+
+Building records directly (rather than via the simulator) lets each
+analysis test state its input exactly; the integration tests in
+test_pipeline.py cover the simulator-to-pipeline path.
+"""
+
+from __future__ import annotations
+
+from repro.core.failure_detection import DetectedFailure, FailureMode
+from repro.logs.parsing import ParsedRecord
+from repro.logs.record import LogSource, Severity
+
+
+def console(t, node, event, **attrs):
+    return ParsedRecord(time=t, source=LogSource.CONSOLE, component=node,
+                        daemon="kernel", event=event,
+                        attrs={k: str(v) for k, v in attrs.items()},
+                        severity=Severity.ERROR, body="")
+
+
+def messages(t, node, event, **attrs):
+    return ParsedRecord(time=t, source=LogSource.MESSAGES, component=node,
+                        daemon="nhc", event=event,
+                        attrs={k: str(v) for k, v in attrs.items()},
+                        severity=Severity.ERROR, body="")
+
+
+def controller(t, blade, event, **attrs):
+    return ParsedRecord(time=t, source=LogSource.CONTROLLER, component=blade,
+                        daemon="bc", event=event,
+                        attrs={k: str(v) for k, v in attrs.items()},
+                        severity=Severity.ERROR, body="")
+
+
+def erd(t, event, **attrs):
+    return ParsedRecord(time=t, source=LogSource.ERD, component="erd",
+                        daemon="erd", event=event,
+                        attrs={k: str(v) for k, v in attrs.items()},
+                        severity=Severity.WARNING, body="")
+
+
+def sched(t, event, **attrs):
+    return ParsedRecord(time=t, source=LogSource.SCHEDULER, component="sdb",
+                        daemon="slurmctld", event=event,
+                        attrs={k: str(v) for k, v in attrs.items()},
+                        severity=Severity.INFO, body="")
+
+
+def failure(t, node, symptom="hw_mce", mode=FailureMode.DOWN):
+    return DetectedFailure(time=t, node=node, mode=mode, symptom=symptom)

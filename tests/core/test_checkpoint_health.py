@@ -1,0 +1,163 @@
+"""Tests for the checkpoint advisor and mitigation advisor."""
+
+import math
+
+import pytest
+
+from repro.core.checkpointing import (
+    CheckpointAdvisor,
+    expected_waste_fraction,
+    young_daly_interval,
+)
+from repro.core.external import ExternalIndex
+from repro.core.health import Action, MitigationAdvisor
+from repro.core.prediction import Alarm
+from repro.core.rootcause import RootCauseEngine
+from repro.faults.model import FaultFamily
+from repro.simul.clock import HOUR
+
+from tests.core.helpers import failure, sched
+
+
+class TestYoungDaly:
+    def test_formula(self):
+        assert young_daly_interval(10_000.0, 50.0) == pytest.approx(
+            math.sqrt(2 * 50.0 * 10_000.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_daly_interval(0, 50)
+        with pytest.raises(ValueError):
+            young_daly_interval(100, 0)
+
+    def test_optimality(self):
+        """The Young/Daly interval minimises the waste model."""
+        mtbf, cost = 8 * HOUR, 300.0
+        opt = young_daly_interval(mtbf, cost)
+        w_opt = expected_waste_fraction(opt, mtbf, cost)
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            assert w_opt <= expected_waste_fraction(opt * factor, mtbf, cost) + 1e-12
+
+    def test_waste_clamped(self):
+        assert expected_waste_fraction(10.0, 20.0, 50.0) == 1.0
+
+    def test_waste_validation(self):
+        with pytest.raises(ValueError):
+            expected_waste_fraction(0, 100, 1)
+        with pytest.raises(ValueError):
+            expected_waste_fraction(10, 0, 1)
+
+
+class TestAdvisor:
+    def _failures(self, n=10, gap=1800.0):
+        return [failure(i * gap, f"c0-0c0s{i % 16}n0") for i in range(n)]
+
+    def test_mtbf_from_history(self):
+        advisor = CheckpointAdvisor(self._failures(gap=1800.0))
+        assert advisor.system_mtbf() == pytest.approx(1800.0)
+
+    def test_mtbf_needs_two_failures(self):
+        with pytest.raises(ValueError):
+            CheckpointAdvisor([failure(0.0, "n")]).system_mtbf()
+
+    def test_plan_without_alarms(self):
+        plan = CheckpointAdvisor(self._failures()).plan(checkpoint_cost=60.0)
+        assert plan.interval == pytest.approx(young_daly_interval(1800.0, 60.0))
+        assert plan.prediction_recall == 0.0
+        assert plan.predicted_waste_fraction == pytest.approx(
+            plan.blind_waste_fraction)
+
+    def test_plan_with_perfect_alarms(self):
+        fails = self._failures()
+        alarms = [Alarm(f.time - 600.0, f.node, "x", 3, True)
+                  for f in fails if f.time >= 600.0]
+        plan = CheckpointAdvisor(fails).plan(checkpoint_cost=60.0,
+                                             alarms=alarms)
+        assert plan.prediction_recall > 0.8
+        assert plan.predicted_waste_fraction < plan.blind_waste_fraction
+        assert plan.waste_reduction > 0.0
+
+    def test_short_warnings_unusable(self):
+        fails = self._failures()
+        # warnings shorter than the checkpoint cost cannot be used
+        alarms = [Alarm(f.time - 10.0, f.node, "x", 3, True) for f in fails]
+        plan = CheckpointAdvisor(fails).plan(checkpoint_cost=60.0,
+                                             alarms=alarms)
+        assert plan.prediction_recall == 0.0
+
+
+def _inferences(symptoms_jobs):
+    """Build inferences from (symptom, job_id) pairs through the engine.
+
+    Pairs sharing a job id become one multi-node job holding all their
+    nodes, so repeat-offender accounting can be exercised.
+    """
+    nodes_by_job: dict[int, list[str]] = {}
+    for i, (_symptom, job_id) in enumerate(symptoms_jobs):
+        if job_id is not None:
+            nodes_by_job.setdefault(job_id, []).append(f"c0-0c0s{i}n0")
+    records = []
+    for job_id, nodes in nodes_by_job.items():
+        records += [
+            sched(10.0, "slurm_start", job=job_id, nodes=",".join(nodes),
+                  cpus=32, user="u1", app="a"),
+            sched(9000.0, "slurm_complete", job=job_id, code=-7),
+        ]
+    from repro.core.jobs import parse_jobs
+    engine = RootCauseEngine(ExternalIndex.build([]), {},
+                             parse_jobs(sorted(records, key=lambda r: r.time)))
+    return [
+        engine.infer(failure(100.0, f"c0-0c0s{i}n0", symptom=symptom))
+        for i, (symptom, job_id) in enumerate(symptoms_jobs)
+    ]
+
+
+class TestMitigationAdvisor:
+    def test_app_triggered_returns_to_service(self):
+        inferences = _inferences([("oom", 5)])
+        mitigations = MitigationAdvisor().advise(inferences)
+        assert mitigations[0].action is Action.NOTIFY_USER
+        assert "do not quarantine" in mitigations[0].rationale
+
+    def test_repeat_offender_apid_blocked(self):
+        inferences = _inferences([("oom", 9), ("oom", 9), ("oom", 9)])
+        # same job id failing three nodes crosses the block threshold
+        mitigations = MitigationAdvisor(block_threshold=3).advise(inferences)
+        assert all(m.action is Action.BLOCK_APID for m in mitigations)
+
+    def test_hardware_actions(self):
+        infs = _inferences([("hw_mce", None)])
+        assert MitigationAdvisor().advise(infs)[0].action is Action.REPLACE_COMPONENT
+
+    def test_fail_slow_maintenance(self):
+        from tests.core.helpers import erd
+        index = ExternalIndex.build(
+            [erd(50.0, "ec_hw_error", src="c0-0c0s0", detail="x")])
+        engine = RootCauseEngine(index, {}, {})
+        inf = engine.infer(failure(100.0, "c0-0c0s0n0", symptom="hw_mce"))
+        assert inf.fail_slow
+        action = MitigationAdvisor().advise([inf])[0].action
+        assert action is Action.SCHEDULE_MAINTENANCE
+
+    def test_software_and_unknown(self):
+        infs = _inferences([("kernel_bug", None), ("bios_unknown", None)])
+        actions = [m.action for m in MitigationAdvisor().advise(infs)]
+        assert actions == [Action.PATCH_SOFTWARE, Action.ESCALATE_VENDOR]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            MitigationAdvisor(block_threshold=0)
+
+    def test_node_health_ranking(self):
+        infs = _inferences([("hw_mce", None), ("hw_mce", None), ("oom", 3)])
+        # move the two hardware failures onto one node
+        object.__setattr__(infs[1].failure, "node", infs[0].failure.node)
+        health = MitigationAdvisor.node_health(infs)
+        assert health[0].hardware_failures == 2
+        assert health[0].repeat_offender
+        assert not health[-1].repeat_offender
+
+    def test_action_census(self):
+        infs = _inferences([("oom", 1), ("hw_mce", None)])
+        census = MitigationAdvisor.action_census(MitigationAdvisor().advise(infs))
+        assert sum(census.values()) == 2

@@ -1,0 +1,83 @@
+"""Tests for error concentration and figure drawing."""
+
+import pytest
+
+from repro.core.errors import error_concentration
+from repro.experiments.draw import DRAWERS, draw
+from repro.experiments.result import ExperimentResult
+
+from tests.core.helpers import console
+
+
+class TestErrorConcentration:
+    def test_empty(self):
+        out = error_concentration([])
+        assert out["nodes"] == 0 and out["gini"] == 0.0
+
+    def test_uniform_distribution_low_gini(self):
+        records = [console(float(i), f"c0-0c0s{i}n0", "mce", bank=1, status="f")
+                   for i in range(10)]
+        out = error_concentration(records)
+        assert out["nodes"] == 10
+        assert out["gini"] == pytest.approx(0.0, abs=1e-9)
+        assert out["top10_share"] == pytest.approx(0.1)
+
+    def test_concentrated_distribution_high_gini(self):
+        records = [console(float(i), "c0-0c0s0n0", "mce", bank=1, status="f")
+                   for i in range(91)]
+        records += [console(1000.0 + i, f"c0-0c0s{1 + i}n0", "mce",
+                            bank=1, status="f") for i in range(9)]
+        out = error_concentration(records)
+        assert out["gini"] > 0.6
+        assert out["top10_share"] > 0.8
+        assert out["total_errors"] == 100
+
+    def test_non_error_events_ignored(self):
+        records = [console(1.0, "n", "kernel_panic", why="x")]
+        assert error_concentration(records)["nodes"] == 0
+
+
+class TestDraw:
+    def _result(self, exp, measured=None, series=None):
+        return ExperimentResult(experiment=exp, title="t",
+                                measured=measured or {}, paper={},
+                                shape_ok=True, series=series)
+
+    def test_fallback_renders_table(self):
+        out = draw(self._result("fig4", {"a": 1.0}))
+        assert "quantity" in out
+
+    def test_fig3_cdf(self):
+        out = draw(self._result("fig3", series={"w1_cdf": [(1.0, 0.5), (16.0, 0.9)]}))
+        assert "CDF" in out and "90.0%" in out
+
+    def test_fig16_bars(self):
+        out = draw(self._result("fig16", measured={"app_exit": 0.4, "fsbug": 0.2}))
+        assert "app_exit" in out and "#" in out
+
+    def test_fig9_totals(self):
+        out = draw(self._result("fig9", series={"totals": {"c0-0c0s0": 1500}}))
+        assert "1500" in out
+
+    def test_fig10_table(self):
+        out = draw(self._result(
+            "fig10", series={"daily": [(0, 5, 3, 2, 8, 1)]}))
+        assert "pagefault" in out
+
+    def test_fig11_sparkline(self):
+        out = draw(self._result("fig11", series={"temps": {"a": 40.0, "b": 0.0}}))
+        assert "2 sensors" in out
+
+    def test_fig13_weekly(self):
+        out = draw(self._result("fig13", series={"weekly_enhanceable": {0: 0.2}}))
+        assert "W1" in out
+
+    def test_fig17_rows(self):
+        out = draw(self._result("fig17", series={"rows": [
+            {"job_id": 1, "overallocated_nodes": 600, "failed_nodes": 1}]}))
+        assert "600" in out
+
+    def test_every_registered_drawer_handles_empty_series(self):
+        for exp in DRAWERS:
+            out = draw(self._result(exp, measured={}, series={}))
+            assert isinstance(out, str) and out

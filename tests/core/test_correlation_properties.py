@@ -1,0 +1,100 @@
+"""Property-based tests on the correlation analyses' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.external import correspondence
+from repro.core.falsepos import build_episodes
+from repro.core.leadtime import compute_lead_times
+from repro.core.external import ExternalIndex
+from repro.simul.clock import DAY, HOUR
+
+from tests.core.helpers import console, erd, failure
+
+NODES = [f"c0-0c0s{s}n{n}" for s in range(4) for n in range(4)]
+
+
+class TestCorrespondenceProperties:
+    @given(
+        faults=st.lists(
+            st.tuples(st.floats(0.0, 30 * DAY, allow_nan=False),
+                      st.sampled_from(NODES)),
+            max_size=40),
+        fails=st.lists(
+            st.tuples(st.floats(0.0, 30 * DAY, allow_nan=False),
+                      st.sampled_from(NODES)),
+            max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fractions_bounded_and_counts_conserved(self, faults, fails):
+        failures = [failure(t, n) for t, n in fails]
+        stats = correspondence(sorted(faults), failures, window=HOUR)
+        assert sum(s.faults for s in stats) == len(faults)
+        for s in stats:
+            assert 0 <= s.corresponding <= s.faults
+            assert 0.0 <= s.fraction <= 1.0
+
+    @given(
+        faults=st.lists(
+            st.tuples(st.floats(0.0, 5 * DAY, allow_nan=False),
+                      st.sampled_from(NODES)),
+            min_size=1, max_size=30),
+        fails=st.lists(
+            st.tuples(st.floats(0.0, 5 * DAY, allow_nan=False),
+                      st.sampled_from(NODES)),
+            min_size=1, max_size=15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_wider_window_never_loses_hits(self, faults, fails):
+        failures = [failure(t, n) for t, n in fails]
+        narrow = sum(s.corresponding
+                     for s in correspondence(sorted(faults), failures,
+                                             window=10 * 60.0))
+        wide = sum(s.corresponding
+                   for s in correspondence(sorted(faults), failures,
+                                           window=2 * HOUR))
+        assert wide >= narrow
+
+
+class TestLeadTimeProperties:
+    @given(
+        offsets=st.lists(st.floats(1.0, 3000.0, allow_nan=False),
+                         min_size=1, max_size=10),
+        precursor_gap=st.floats(10.0, 5000.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_external_lead_never_negative_or_late(self, offsets, precursor_gap):
+        """Whatever the event layout, computed leads are non-negative and
+        the external lead (when present) is at least the internal one."""
+        node = NODES[0]
+        fail_t = 100_000.0
+        internal = sorted(
+            (console(fail_t - off, node, "mce", bank=1, status="ff")
+             for off in offsets),
+            key=lambda r: r.time,
+        )
+        index = ExternalIndex.build(
+            [erd(fail_t - max(offsets) - precursor_gap, "ec_hw_error",
+                 src="c0-0c0s0", detail="x")])
+        rec = compute_lead_times([failure(fail_t, node)], internal, index)[0]
+        assert rec.internal_lead is None or rec.internal_lead >= 0
+        if rec.external_lead is not None:
+            assert rec.external_lead >= (rec.internal_lead or 0.0)
+
+
+class TestEpisodeProperties:
+    @given(times=st.lists(st.floats(0.0, 10 * DAY, allow_nan=False),
+                          min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_episode_partition(self, times):
+        """Episodes partition a node's indicative events: counts add up,
+        intervals are disjoint and separated by more than the gap."""
+        node = NODES[0]
+        internal = [console(t, node, "mce", bank=1, status="ff")
+                    for t in sorted(times)]
+        gap = 1800.0
+        episodes = build_episodes(internal, episode_gap=gap)
+        assert sum(e.events for e in episodes) == len(times)
+        for a, b in zip(episodes, episodes[1:]):
+            assert a.end <= b.start
+            assert b.start - a.end > gap

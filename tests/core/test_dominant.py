@@ -1,0 +1,58 @@
+"""Tests for daily dominant-cause analysis."""
+
+import pytest
+
+from repro.core.dominant import daily_dominance, dominance_summary
+from repro.simul.clock import DAY
+
+from tests.core.helpers import failure
+
+
+def day_failures(day, symptoms):
+    return [failure(day * DAY + i * 60.0, f"c0-0c0s{i}n0", symptom=s)
+            for i, s in enumerate(symptoms)]
+
+
+class TestDailyDominance:
+    def test_single_dominant_day(self):
+        fails = day_failures(0, ["hw_mce"] * 7 + ["lustre"] * 3)
+        records = daily_dominance(fails)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.dominant_symptom == "hw_mce"
+        assert rec.dominant_count == 7
+        assert rec.fraction == pytest.approx(0.7)
+        assert rec.recoverable_majority
+
+    def test_tie_picks_one(self):
+        fails = day_failures(0, ["a", "a", "b", "b"])
+        rec = daily_dominance(fails)[0]
+        assert rec.dominant_count == 2
+        assert not rec.recoverable_majority
+
+    def test_min_failures_filter(self):
+        fails = day_failures(0, ["a"]) + day_failures(1, ["b", "b", "c"])
+        records = daily_dominance(fails, min_failures=2)
+        assert [r.day for r in records] == [1]
+
+    def test_days_sorted(self):
+        fails = day_failures(3, ["a", "a"]) + day_failures(1, ["b", "b"])
+        assert [r.day for r in daily_dominance(fails)] == [1, 3]
+
+
+class TestSummary:
+    def test_empty(self):
+        summary = dominance_summary([])
+        assert summary["days"] == 0
+        assert summary["mean_fraction"] == 0.0
+
+    def test_aggregates(self):
+        fails = (day_failures(0, ["a"] * 8 + ["b"] * 2)
+                 + day_failures(1, ["c"] * 6 + ["d"] * 4))
+        summary = dominance_summary(daily_dominance(fails))
+        assert summary["days"] == 2
+        assert summary["mean_fraction"] == pytest.approx(0.7)
+        assert summary["min_fraction"] == pytest.approx(0.6)
+        assert summary["max_fraction"] == pytest.approx(0.8)
+        assert summary["mean_failures"] == pytest.approx(10.0)
+        assert summary["majority_recoverable_days"] == 2

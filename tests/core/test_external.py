@@ -1,0 +1,203 @@
+"""Tests for step 2: external correlation analysis."""
+
+import pytest
+
+from repro.core.external import (
+    ExternalIndex,
+    correspondence,
+    faulty_component_fractions,
+    nhf_breakdown,
+    sedc_census,
+    warning_frequency_by_hour,
+)
+from repro.simul.clock import DAY, HOUR
+
+from tests.core.helpers import controller, erd, failure
+
+NODE = "c0-0c0s0n0"
+BLADE = "c0-0c0s0"
+PEER = "c0-0c0s0n1"
+
+
+class TestIndexBuild:
+    def test_nhf_nvf_indexed_by_named_node(self):
+        records = [
+            controller(10.0, BLADE, "nhf", node=NODE, beats=3),
+            controller(20.0, BLADE, "nvf", node=PEER, rail="V", volts="0.7"),
+        ]
+        idx = ExternalIndex.build(records)
+        assert idx.nhf == [(10.0, NODE)]
+        assert idx.nvf == [(20.0, PEER)]
+
+    def test_blade_and_cabinet_fault_tables(self):
+        idx = ExternalIndex.build([controller(10.0, BLADE, "bchf")])
+        assert BLADE in idx.blade_faults
+        assert "c0-0" in idx.cabinet_faults
+
+    def test_erd_src_attribution(self):
+        idx = ExternalIndex.build([
+            erd(5.0, "ec_hw_error", src=BLADE, detail="x"),
+            erd(6.0, "ec_sedc_warning", src=BLADE, sensor="BC_T",
+                value="10.0", min="18.0", max="75.0"),
+        ])
+        assert BLADE in idx.blade_faults  # hw_error counted as fault
+        assert BLADE in idx.sedc
+        assert idx.sedc_events[0][2] == "BC_T"
+
+    def test_node_off_events(self):
+        idx = ExternalIndex.build([controller(9.0, BLADE, "ec_node_info_off",
+                                              node=NODE)])
+        assert idx.node_off == [(9.0, NODE)]
+
+    def test_unparsed_records_skipped(self):
+        rec = controller(5.0, BLADE, "bchf")
+        null = type(rec)(time=1.0, source=rec.source, component=BLADE,
+                         daemon="bc", event=None, attrs={}, body="x")
+        idx = ExternalIndex.build([null, rec])
+        assert len(idx.events) == 1
+
+    def test_component_had_event_near(self):
+        idx = ExternalIndex.build([controller(100.0, BLADE, "bchf")])
+        assert idx.component_had_event_near(idx.blade_faults, BLADE, 110.0, 60.0)
+        assert not idx.component_had_event_near(idx.blade_faults, BLADE, 500.0, 60.0)
+        assert not idx.component_had_event_near(idx.blade_faults, "c9-9c0s0", 100.0, 60.0)
+
+
+class TestCorrespondence:
+    def test_fault_followed_by_failure_counts(self):
+        stats = correspondence(
+            [(100.0, NODE)], [failure(200.0, NODE)], window=HOUR)
+        assert stats[0].faults == 1
+        assert stats[0].corresponding == 1
+        assert stats[0].fraction == 1.0
+
+    def test_fault_without_failure(self):
+        stats = correspondence([(100.0, NODE)], [], window=HOUR)
+        assert stats[0].fraction == 0.0
+
+    def test_failure_on_other_node_does_not_count(self):
+        stats = correspondence([(100.0, NODE)], [failure(150.0, PEER)],
+                               window=HOUR)
+        assert stats[0].fraction == 0.0
+
+    def test_post_mortem_slack(self):
+        # NHF 60 s after the crash still corresponds (within the 120 s slack)
+        stats = correspondence([(260.0, NODE)], [failure(200.0, NODE)],
+                               window=HOUR)
+        assert stats[0].fraction == 1.0
+
+    def test_failure_too_late_does_not_count(self):
+        stats = correspondence([(100.0, NODE)], [failure(100.0 + 2 * HOUR, NODE)],
+                               window=HOUR)
+        assert stats[0].fraction == 0.0
+
+    def test_grouping_by_month(self):
+        faults = [(10.0, NODE), (40 * DAY, NODE)]
+        stats = correspondence(faults, [failure(20.0, NODE)],
+                               window=HOUR, group_seconds=30 * DAY)
+        assert [s.group for s in stats] == [0, 1]
+        assert stats[0].fraction == 1.0
+        assert stats[1].fraction == 0.0
+
+
+class TestNhfBreakdown:
+    def test_three_outcomes(self):
+        idx = ExternalIndex.build([
+            controller(100.0, BLADE, "nhf", node=NODE),     # -> failure
+            controller(200.0, BLADE, "nhf", node=PEER),     # -> power off
+            controller(300.0, BLADE, "nhf", node="c0-0c0s1n0"),  # skipped
+            controller(201.0, BLADE, "ec_node_info_off", node=PEER),
+        ])
+        weeks = nhf_breakdown(idx, [failure(150.0, NODE)])
+        assert len(weeks) == 1
+        week = weeks[0]
+        assert (week.failed, week.power_off, week.skipped) == (1, 1, 1)
+        assert week.total == 3
+        assert week.failed_fraction == pytest.approx(1 / 3)
+
+    def test_failure_outranks_power_off(self):
+        idx = ExternalIndex.build([
+            controller(100.0, BLADE, "nhf", node=NODE),
+            controller(101.0, BLADE, "ec_node_info_off", node=NODE),
+        ])
+        week = nhf_breakdown(idx, [failure(150.0, NODE)])[0]
+        assert week.failed == 1 and week.power_off == 0
+
+
+class TestFaultyFractions:
+    def test_nearby_peer_fault_counts(self):
+        idx = ExternalIndex.build([
+            controller(100.0, BLADE, "nvf", node=PEER, rail="V", volts="0.7"),
+        ])
+        groups = faulty_component_fractions([failure(200.0, NODE)], idx,
+                                            window=HOUR)
+        assert groups[0]["blade_fraction"] == 1.0
+        assert groups[0]["cabinet_fraction"] == 1.0
+
+    def test_own_post_mortem_excluded(self):
+        # the only blade fault is the failed node's own NHF after death
+        idx = ExternalIndex.build([
+            controller(212.0, BLADE, "nhf", node=NODE),
+        ])
+        groups = faulty_component_fractions([failure(200.0, NODE)], idx,
+                                            window=HOUR)
+        assert groups[0]["blade_fraction"] == 0.0
+
+    def test_own_fault_before_failure_counts(self):
+        # an NVF on the node *before* it fails is a genuine indicator
+        idx = ExternalIndex.build([
+            controller(150.0, BLADE, "nvf", node=NODE, rail="V", volts="0.7"),
+        ])
+        groups = faulty_component_fractions([failure(200.0, NODE)], idx,
+                                            window=HOUR)
+        assert groups[0]["blade_fraction"] == 1.0
+
+    def test_distant_fault_ignored(self):
+        idx = ExternalIndex.build([controller(100.0, BLADE, "bchf")])
+        groups = faulty_component_fractions([failure(100.0 + 3 * HOUR, NODE)],
+                                            idx, window=HOUR)
+        assert groups[0]["blade_fraction"] == 0.0
+
+
+class TestCensuses:
+    def test_sedc_census_counts_unique_blades(self):
+        records = [
+            erd(10.0, "ec_sedc_warning", src=BLADE, sensor="T",
+                value="1", min="2", max="3"),
+            erd(20.0, "ec_sedc_warning", src=BLADE, sensor="T",
+                value="1", min="2", max="3"),
+            erd(30.0, "ec_sedc_warning", src="c0-0c0s1", sensor="T",
+                value="1", min="2", max="3"),
+            controller(40.0, BLADE, "bchf"),
+        ]
+        census = sedc_census(ExternalIndex.build(records), week=0)
+        assert census["unique_blades_per_warning"]["T"] == 2
+        assert census["components_with_faults"] == 1
+
+    def test_sedc_census_week_filter(self):
+        records = [erd(8 * DAY, "ec_sedc_warning", src=BLADE, sensor="T",
+                       value="1", min="2", max="3")]
+        census = sedc_census(ExternalIndex.build(records), week=0)
+        assert census["unique_blades_per_warning"] == {}
+
+    def test_warning_frequency_by_hour(self):
+        records = [erd(3 * HOUR + i * 60.0, "ec_sedc_warning", src=BLADE,
+                       sensor="T", value="1", min="2", max="3")
+                   for i in range(5)]
+        freq = warning_frequency_by_hour(ExternalIndex.build(records), day=0)
+        assert freq[BLADE][3] == 5
+        assert freq[BLADE].sum() == 5
+
+    def test_warning_frequency_top_blades(self):
+        records = []
+        for b in range(12):
+            for i in range(b + 1):
+                records.append(erd(HOUR + i, "ec_sedc_warning",
+                                   src=f"c0-0c0s{b}", sensor="T",
+                                   value="1", min="2", max="3"))
+        freq = warning_frequency_by_hour(
+            ExternalIndex.build(sorted(records, key=lambda r: r.time)),
+            day=0, top_blades=3)
+        assert len(freq) == 3
+        totals = [c.sum() for c in freq.values()]
+        assert totals == sorted(totals, reverse=True)

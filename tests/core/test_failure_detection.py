@@ -1,0 +1,151 @@
+"""Tests for step 1: confirmed failure detection."""
+
+import pytest
+
+from repro.core.failure_detection import (
+    DEDUP_WINDOW,
+    FailureDetector,
+    FailureMode,
+    SYMPTOM_PRIORITY,
+)
+
+from tests.core.helpers import console, messages
+
+NODE = "c0-0c0s0n0"
+OTHER = "c0-0c0s1n2"
+
+
+@pytest.fixture
+def detector():
+    return FailureDetector()
+
+
+class TestMarkers:
+    def test_kernel_panic_is_down(self, detector):
+        fails = detector.detect([console(100.0, NODE, "kernel_panic", why="x")])
+        assert len(fails) == 1
+        assert fails[0].mode is FailureMode.DOWN
+        assert fails[0].time == 100.0
+        assert fails[0].node == NODE
+
+    def test_admindown_is_admindown(self, detector):
+        fails = detector.detect([messages(50.0, NODE, "nhc_admindown", why="x")])
+        assert fails[0].mode is FailureMode.ADMINDOWN
+
+    def test_halt_and_shutdown_markers(self, detector):
+        fails = detector.detect([console(10.0, NODE, "node_halt", why="halt")])
+        assert len(fails) == 1
+
+    def test_non_marker_events_ignored(self, detector):
+        records = [console(10.0, NODE, "mce", bank=1, status="ff"),
+                   console(20.0, NODE, "lustre_error", code="11-0", detail="x")]
+        assert detector.detect(records) == []
+
+    def test_unparsed_records_ignored(self, detector):
+        from tests.core.helpers import console as c
+        rec = c(10.0, NODE, "kernel_panic", why="x")
+        unknown = type(rec)(time=5.0, source=rec.source, component=NODE,
+                            daemon="kernel", event=None, attrs={}, body="noise")
+        assert len(detector.detect([unknown, rec])) == 1
+
+
+class TestDedup:
+    def test_markers_within_window_merge(self, detector):
+        records = [
+            messages(100.0, NODE, "nhc_admindown", why="x"),
+            console(100.0 + DEDUP_WINDOW / 2, NODE, "kernel_panic", why="y"),
+        ]
+        fails = detector.detect(records)
+        assert len(fails) == 1
+        # crash marker upgrades the admindown classification
+        assert fails[0].mode is FailureMode.DOWN
+        assert fails[0].markers == ["nhc_admindown", "kernel_panic"]
+
+    def test_markers_beyond_window_separate(self, detector):
+        records = [
+            console(100.0, NODE, "kernel_panic", why="x"),
+            console(100.0 + DEDUP_WINDOW + 1, NODE, "kernel_panic", why="y"),
+        ]
+        assert len(detector.detect(records)) == 2
+
+    def test_different_nodes_never_merge(self, detector):
+        records = sorted(
+            [console(100.0, NODE, "kernel_panic", why="x"),
+             console(101.0, OTHER, "kernel_panic", why="y")],
+            key=lambda r: r.time,
+        )
+        assert len(detector.detect(records)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureDetector(dedup_window=0)
+
+
+class TestSymptoms:
+    def test_mce_labels_hw(self, detector):
+        records = [console(90.0, NODE, "mce", bank=1, status="ff"),
+                   console(100.0, NODE, "kernel_panic", why="mc")]
+        assert detector.detect(records)[0].symptom == "hw_mce"
+
+    def test_lustre_labels(self, detector):
+        records = [console(90.0, NODE, "lbug", func="f"),
+                   console(100.0, NODE, "kernel_panic", why="LBUG")]
+        assert detector.detect(records)[0].symptom == "lustre"
+
+    def test_app_exit_outranks_oom(self, detector):
+        records = [messages(80.0, NODE, "app_exit_abnormal", apid=1, code=1, job=2),
+                   console(90.0, NODE, "oom_kill", pid=1, prog="a", score=5),
+                   messages(100.0, NODE, "nhc_admindown", why="x")]
+        assert detector.detect(records)[0].symptom == "app_exit"
+
+    def test_evidence_outside_lookback_ignored(self, detector):
+        records = [console(100.0, NODE, "mce", bank=1, status="ff"),
+                   console(100.0 + detector.lookback + 100.0, NODE,
+                           "kernel_panic", why="x")]
+        fails = detector.detect(records)
+        assert fails[0].symptom == "unknown"
+
+    def test_unknown_without_evidence(self, detector):
+        fails = detector.detect([console(100.0, NODE, "kernel_panic", why="x")])
+        assert fails[0].symptom == "unknown"
+
+    def test_priority_table_is_consistent(self):
+        seen = set()
+        for label, events in SYMPTOM_PRIORITY:
+            assert label not in seen
+            seen.add(label)
+            assert events
+
+    def test_evidence_events_accessor(self, detector):
+        records = [console(90.0, NODE, "mce", bank=1, status="ff"),
+                   console(100.0, NODE, "kernel_panic", why="x")]
+        f = detector.detect(records)[0]
+        assert "mce" in f.evidence_events()
+        assert "kernel_panic" in f.evidence_events()
+
+
+class TestGrouping:
+    def test_day_week_properties(self, detector):
+        f = detector.detect([console(3 * 86_400 + 5, NODE, "kernel_panic", why="x")])[0]
+        assert f.day == 3 and f.week == 0
+
+    def test_failures_by_day_and_week(self, detector):
+        records = sorted(
+            [console(100.0, NODE, "kernel_panic", why="a"),
+             console(86_400 + 100.0, OTHER, "kernel_panic", why="b")],
+            key=lambda r: r.time,
+        )
+        fails = detector.detect(records)
+        by_day = FailureDetector.failures_by_day(fails)
+        assert sorted(by_day) == [0, 1]
+        by_week = FailureDetector.failures_by_week(fails)
+        assert sorted(by_week) == [0]
+
+    def test_output_sorted_by_time(self, detector):
+        records = sorted(
+            [console(500.0, OTHER, "kernel_panic", why="b"),
+             console(100.0, NODE, "kernel_panic", why="a")],
+            key=lambda r: r.time,
+        )
+        fails = detector.detect(records)
+        assert [f.time for f in fails] == [100.0, 500.0]

@@ -1,0 +1,127 @@
+"""Integration tests: simulator -> text logs -> full pipeline.
+
+These are the honest end-to-end checks: the pipeline sees only the
+written log files, and its conclusions are validated against the
+simulator's private ground truth.
+"""
+
+import pytest
+
+from repro.core.failure_detection import FailureMode
+from repro.core.pipeline import DiagnosisReport, HolisticDiagnosis
+from repro.faults.model import FailureCategory
+
+
+@pytest.fixture(scope="module")
+def report_and_truth(diagnosed_scenario):
+    plat, camp, store = diagnosed_scenario
+    diag = HolisticDiagnosis.from_store(store)
+    return diag, diag.run(), plat, camp
+
+
+class TestDetectionAgainstGroundTruth:
+    def test_every_ground_truth_failure_detected(self, report_and_truth):
+        diag, report, plat, _ = report_and_truth
+        truth = {(g.node.cname) for g in plat.machine.ground_truth}
+        detected = {f.node for f in report.failures}
+        assert truth <= detected
+
+    def test_no_phantom_failures(self, report_and_truth):
+        """Every detected failure corresponds to a real one (node+time)."""
+        diag, report, plat, _ = report_and_truth
+        truth_times = {}
+        for g in plat.machine.ground_truth:
+            truth_times.setdefault(g.node.cname, []).append(g.time)
+        for f in report.failures:
+            times = truth_times.get(f.node, [])
+            assert any(abs(f.time - t) < 700.0 for t in times), (
+                f"phantom failure {f.node}@{f.time}"
+            )
+
+    def test_failure_count_matches(self, report_and_truth):
+        _, report, plat, _ = report_and_truth
+        assert report.failure_count == len(plat.machine.ground_truth)
+
+    def test_admindown_mode_recovered(self, report_and_truth):
+        _, report, plat, _ = report_and_truth
+        truth_admindown = {g.node.cname for g in plat.machine.ground_truth
+                           if "admindown" in g.cause}
+        detected_admindown = {f.node for f in report.failures
+                              if f.mode is FailureMode.ADMINDOWN}
+        assert truth_admindown <= detected_admindown
+
+
+class TestLeadTimesAgainstLedger:
+    def test_enhanceable_failures_are_precursor_chains(self, report_and_truth):
+        _, report, plat, camp = report_and_truth
+        precursor_nodes = {
+            i.node.cname for i in camp.ledger
+            if i.chain == "mce_failstop" and i.failed
+            and i.external_first is not None
+            and i.external_first < i.internal_first
+        }
+        enhanced_nodes = {r.node for r in report.lead_time_records
+                          if r.enhanceable}
+        # every truly fail-slow node the pipeline enhanced is justified
+        assert enhanced_nodes <= precursor_nodes | set()
+        # and it found most of them
+        if precursor_nodes:
+            assert len(enhanced_nodes & precursor_nodes) >= len(precursor_nodes) // 2
+
+    def test_enhancement_factor_matches_injected_structure(self, report_and_truth):
+        _, report, _, _ = report_and_truth
+        if report.lead_times.enhanceable:
+            assert report.lead_times.mean_enhancement_factor > 2.0
+
+
+class TestReportShape:
+    def test_report_type_and_sections(self, report_and_truth):
+        _, report, _, _ = report_and_truth
+        assert isinstance(report, DiagnosisReport)
+        assert report.weekly_inter_failure
+        assert report.dominance
+        assert isinstance(report.job_census, dict)
+        assert report.root_causes
+        assert len(report.root_causes) == report.failure_count
+
+    def test_category_breakdown_sums_to_one(self, report_and_truth):
+        _, report, _, _ = report_and_truth
+        total = sum(report.category_breakdown.values())
+        assert total == pytest.approx(1.0)
+        assert FailureCategory.APP_EXIT in report.category_breakdown
+
+    def test_family_split_covers_failures(self, report_and_truth):
+        _, report, _, _ = report_and_truth
+        families = ("hardware", "software", "filesystem", "application",
+                    "environment", "unknown")
+        assert sum(report.family_split[f] for f in families) == pytest.approx(1.0)
+
+    def test_nvf_correspondence_strong(self, report_and_truth):
+        _, report, _, _ = report_and_truth
+        total = sum(s.faults for s in report.nvf_correspondence)
+        hits = sum(s.corresponding for s in report.nvf_correspondence)
+        assert total > 0
+        assert hits / total >= 0.5
+
+    def test_duration_days(self, report_and_truth):
+        diag, _, _, _ = report_and_truth
+        assert diag.duration_days() >= 3
+
+
+class TestConstruction:
+    def test_from_store_equals_manual(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        a = HolisticDiagnosis.from_store(store)
+        clock = store.manifest().clock()
+        b = HolisticDiagnosis(
+            internal=store.read_internal(clock),
+            external=store.read_external(clock),
+            scheduler=store.read_scheduler(clock),
+        )
+        assert len(a.failures) == len(b.failures)
+        assert len(a.internal) == len(b.internal)
+
+    def test_node_traces_cached(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        diag = HolisticDiagnosis.from_store(store)
+        assert diag.node_traces is diag.node_traces

@@ -1,0 +1,173 @@
+"""Tests for the online failure predictor."""
+
+import pytest
+
+from repro.core.prediction import (
+    Alarm,
+    OnlinePredictor,
+    PredictorConfig,
+    evaluate,
+)
+from repro.simul.clock import HOUR, MINUTE
+
+from tests.core.helpers import console, erd, failure
+
+NODE = "c0-0c0s0n0"
+BLADE = "c0-0c0s0"
+
+
+def mce(t, node=NODE):
+    return console(t, node, "mce_threshold", cpu=1, kind="corrected")
+
+
+def critical(t, node=NODE):
+    return console(t, node, "mce", bank=1, status="ff")
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(window=0)
+        with pytest.raises(ValueError):
+            PredictorConfig(min_events=0)
+        with pytest.raises(ValueError):
+            PredictorConfig(cooldown=-1)
+
+
+class TestAlarming:
+    def test_threshold_alarm(self):
+        pred = OnlinePredictor(PredictorConfig(min_events=3))
+        assert pred.observe(mce(10.0)) is None
+        assert pred.observe(mce(20.0)) is None
+        alarm = pred.observe(mce(30.0))
+        assert alarm is not None
+        assert alarm.node == NODE
+        assert alarm.events_in_window == 3
+
+    def test_critical_event_alarms_immediately(self):
+        pred = OnlinePredictor()
+        alarm = pred.observe(critical(10.0))
+        assert alarm is not None
+        assert alarm.reason == "mce"
+
+    def test_window_expiry(self):
+        pred = OnlinePredictor(PredictorConfig(min_events=3, window=100.0))
+        pred.observe(mce(0.0))
+        pred.observe(mce(50.0))
+        # first event fell out of the window by now
+        assert pred.observe(mce(200.0)) is None
+
+    def test_cooldown_suppresses_repeat_alarms(self):
+        pred = OnlinePredictor(PredictorConfig(cooldown=HOUR))
+        assert pred.observe(critical(10.0)) is not None
+        assert pred.observe(critical(20.0)) is None
+        assert pred.observe(critical(10.0 + HOUR + 1)) is not None
+
+    def test_per_node_isolation(self):
+        pred = OnlinePredictor()
+        assert pred.observe(critical(10.0, NODE)) is not None
+        assert pred.observe(critical(11.0, "c0-0c0s1n0")) is not None
+
+    def test_non_indicative_ignored(self):
+        pred = OnlinePredictor()
+        boot = console(5.0, NODE, "node_boot", version="v", gcc="g")
+        assert pred.observe(boot) is None
+
+    def test_unparsed_ignored(self):
+        pred = OnlinePredictor()
+        rec = console(5.0, NODE, "mce", bank=1, status="ff")
+        null = type(rec)(time=5.0, source=rec.source, component=NODE,
+                         daemon="kernel", event=None, attrs={}, body="x")
+        assert pred.observe(null) is None
+
+
+class TestExternalGating:
+    def test_external_corroboration_flag(self):
+        pred = OnlinePredictor()
+        pred.observe(erd(5.0, "ec_hw_error", src=BLADE, detail="x"))
+        alarm = pred.observe(critical(10.0))
+        assert alarm.external_corroborated
+
+    def test_require_external_blocks_uncorroborated(self):
+        pred = OnlinePredictor(PredictorConfig(require_external=True))
+        assert pred.observe(critical(10.0)) is None
+
+    def test_require_external_passes_corroborated(self):
+        pred = OnlinePredictor(PredictorConfig(require_external=True))
+        pred.observe(erd(5.0, "ec_hw_error", src=BLADE, detail="x"))
+        assert pred.observe(critical(10.0)) is not None
+
+    def test_external_window_expiry(self):
+        pred = OnlinePredictor(PredictorConfig(require_external=True,
+                                               external_window=100.0))
+        pred.observe(erd(5.0, "ec_hw_error", src=BLADE, detail="x"))
+        assert pred.observe(critical(500.0)) is None
+
+    def test_sedc_warning_not_a_precursor(self):
+        pred = OnlinePredictor(PredictorConfig(require_external=True))
+        pred.observe(erd(5.0, "ec_sedc_warning", src=BLADE, sensor="T",
+                         value="1", min="2", max="3"))
+        assert pred.observe(critical(10.0)) is None
+
+    def test_observe_all(self):
+        pred = OnlinePredictor()
+        alarms = pred.observe_all([critical(10.0), critical(20.0)])
+        assert len(alarms) == 1  # cooldown
+
+
+class TestEvaluate:
+    def test_perfect_prediction(self):
+        alarms = [Alarm(90.0, NODE, "x", 3, True)]
+        score = evaluate(alarms, [failure(100.0, NODE)], horizon=HOUR)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.mean_lead_time == pytest.approx(10.0)
+        assert score.false_alarm_rate == 0.0
+
+    def test_false_alarm(self):
+        alarms = [Alarm(90.0, NODE, "x", 3, False)]
+        score = evaluate(alarms, [], horizon=HOUR)
+        assert score.precision == 0.0
+        assert score.false_alarm_rate == 1.0
+
+    def test_missed_failure(self):
+        score = evaluate([], [failure(100.0, NODE)], horizon=HOUR)
+        assert score.recall == 0.0
+        assert score.alarms == 0
+
+    def test_earliest_alarm_gives_lead_time(self):
+        alarms = [Alarm(50.0, NODE, "a", 1, False),
+                  Alarm(90.0, NODE, "b", 2, False)]
+        score = evaluate(alarms, [failure(100.0, NODE)], horizon=HOUR)
+        assert score.true_alarms == 2
+        assert score.predicted_failures == 1
+        assert score.mean_lead_time == pytest.approx(50.0)
+
+    def test_horizon_bound(self):
+        alarms = [Alarm(0.0, NODE, "x", 1, False)]
+        score = evaluate(alarms, [failure(3 * HOUR, NODE)], horizon=HOUR)
+        assert score.true_alarms == 0
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            evaluate([], [], horizon=0)
+
+    def test_wrong_node_no_credit(self):
+        alarms = [Alarm(90.0, "c0-0c0s1n0", "x", 1, False)]
+        score = evaluate(alarms, [failure(100.0, NODE)], horizon=HOUR)
+        assert score.true_alarms == 0 and score.recall == 0.0
+
+
+class TestEndToEnd:
+    def test_external_gating_tradeoff_on_real_logs(self, diagnosed_scenario):
+        """The paper's tradeoff: correlation buys precision, costs recall."""
+        from repro.core.pipeline import HolisticDiagnosis
+        _, _, store = diagnosed_scenario
+        diag = HolisticDiagnosis.from_store(store)
+        stream = sorted(diag.internal + diag.external, key=lambda r: r.time)
+        plain = OnlinePredictor(PredictorConfig())
+        gated = OnlinePredictor(PredictorConfig(require_external=True))
+        score_plain = evaluate(plain.observe_all(stream), diag.failures)
+        score_gated = evaluate(gated.observe_all(list(stream)), diag.failures)
+        assert score_plain.alarms > score_gated.alarms
+        assert score_gated.precision >= score_plain.precision

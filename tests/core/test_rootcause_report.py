@@ -1,0 +1,149 @@
+"""Tests for root-cause inference and the findings generator."""
+
+import pytest
+
+from repro.core.external import ExternalIndex
+from repro.core.failure_detection import FailureMode
+from repro.core.jobs import parse_jobs
+from repro.core.rootcause import RootCauseEngine, family_split
+from repro.faults.model import FaultFamily
+from repro.logs.stacktraces import CallTrace, TRACE_PROFILES
+
+from tests.core.helpers import controller, erd, failure, sched
+
+NODE = "c0-0c0s0n0"
+BLADE = "c0-0c0s0"
+
+
+def engine(index_records=(), traces=None, job_records=()):
+    index = ExternalIndex.build(list(index_records))
+    jobs = parse_jobs(sorted(job_records, key=lambda r: r.time))
+    return RootCauseEngine(index, traces or {}, jobs)
+
+
+def running_job(job=1, nodes=(NODE,), start=50.0, end=5000.0, app="vasp"):
+    return [
+        sched(start, "slurm_start", job=job, nodes=",".join(nodes), cpus=32,
+              user="u1", app=app),
+        sched(end, "slurm_complete", job=job, code=-7),
+    ]
+
+
+def fs_trace(t=95.0):
+    return {NODE: [CallTrace(time=t, component=NODE,
+                             functions=list(TRACE_PROFILES["lustre"]))]}
+
+
+class TestInferenceRules:
+    def test_unknown_symptoms_stay_unknown(self):
+        eng = engine()
+        for symptom in ("bios_unknown", "l0_sysd_mce"):
+            inf = eng.infer(failure(100.0, NODE, symptom=symptom))
+            assert inf.family is FaultFamily.UNKNOWN
+            assert inf.confidence < 0.5
+
+    def test_bare_shutdown_unknown(self):
+        inf = engine().infer(failure(100.0, NODE, symptom="unknown"))
+        assert inf.family is FaultFamily.UNKNOWN
+        assert "operator" in inf.inference
+
+    def test_app_exit(self):
+        inf = engine().infer(
+            failure(100.0, NODE, symptom="app_exit", mode=FailureMode.ADMINDOWN))
+        assert inf.family is FaultFamily.APPLICATION
+        assert inf.cause == "app_exit"
+        assert inf.confidence >= 0.8
+
+    def test_memory_exhaustion_flag(self):
+        inf = engine().infer(failure(100.0, NODE, symptom="oom"))
+        assert inf.family is FaultFamily.APPLICATION
+        assert inf.memory_related
+
+    def test_lustre_with_job_is_app_triggered(self):
+        eng = engine(job_records=running_job())
+        inf = eng.infer(failure(100.0, NODE, symptom="lustre"))
+        assert inf.family is FaultFamily.APPLICATION
+        assert inf.job_id == 1
+        assert "file system bug" in inf.inference
+
+    def test_lustre_without_job_is_filesystem(self):
+        inf = engine().infer(failure(100.0, NODE, symptom="lustre"))
+        assert inf.family is FaultFamily.FILESYSTEM
+
+    def test_mce_with_precursor_is_fail_slow(self):
+        eng = engine(index_records=[
+            erd(3000.0, "ec_hw_error", src=BLADE, detail="x")])
+        inf = eng.infer(failure(4000.0, NODE, symptom="hw_mce"))
+        assert inf.family is FaultFamily.HARDWARE
+        assert inf.fail_slow
+
+    def test_mce_without_precursor_not_fail_slow(self):
+        inf = engine().infer(failure(4000.0, NODE, symptom="hw_mce"))
+        assert inf.family is FaultFamily.HARDWARE
+        assert not inf.fail_slow
+
+    def test_kernel_bug_with_fs_trace_is_app(self):
+        eng = engine(traces=fs_trace())
+        inf = eng.infer(failure(100.0, NODE, symptom="kernel_bug"))
+        assert inf.family is FaultFamily.APPLICATION
+        assert "file" in inf.inference
+
+    def test_kernel_bug_plain_is_software(self):
+        inf = engine().infer(failure(100.0, NODE, symptom="kernel_bug"))
+        assert inf.family is FaultFamily.SOFTWARE
+
+    def test_cpu_stall_software(self):
+        inf = engine().infer(failure(100.0, NODE, symptom="cpu_stall"))
+        assert inf.family is FaultFamily.SOFTWARE
+
+    def test_narrative_fields_filled(self):
+        eng = engine(index_records=[
+            erd(3000.0, "ec_hw_error", src=BLADE, detail="x")])
+        f = failure(4000.0, NODE, symptom="hw_mce")
+        f.evidence = []
+        inf = eng.infer(f)
+        assert inf.internal_indicators
+        assert "ec_hw_error" in inf.external_indicators
+        assert inf.inference
+
+    def test_infer_all_ordering(self):
+        eng = engine()
+        fails = [failure(200.0, NODE, symptom="oom"),
+                 failure(100.0, "n2", symptom="hw_mce")]
+        out = eng.infer_all(sorted(fails, key=lambda f: f.time))
+        assert [i.failure.time for i in out] == [100.0, 200.0]
+
+
+class TestFamilySplit:
+    def test_split_fractions(self):
+        eng = engine()
+        fails = [failure(100.0, NODE, symptom="hw_mce"),
+                 failure(200.0, "n2", symptom="oom"),
+                 failure(300.0, "n3", symptom="kernel_bug"),
+                 failure(400.0, "n4", symptom="bios_unknown")]
+        split = family_split(eng.infer_all(fails))
+        assert split["hardware"] == pytest.approx(0.25)
+        assert split["application"] == pytest.approx(0.25)
+        assert split["software"] == pytest.approx(0.25)
+        assert split["unknown"] == pytest.approx(0.25)
+        assert split["memory_related"] == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert family_split([]) == {}
+
+
+class TestFindingsGenerator:
+    def test_findings_from_diagnosed_scenario(self, diagnosed_scenario):
+        from repro.core.pipeline import HolisticDiagnosis
+        from repro.core.report import generate_findings, render_findings
+        _plat, _camp, store = diagnosed_scenario
+        report = HolisticDiagnosis.from_store(store).run()
+        findings = generate_findings(report)
+        assert len(findings) >= 3
+        text = render_findings(findings)
+        assert "Recommendation:" in text
+        assert "Evidence:" in text
+
+    def test_render_empty(self):
+        from repro.core.report import render_findings
+        assert "no findings" in render_findings([])

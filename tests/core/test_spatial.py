@@ -1,0 +1,192 @@
+"""Tests for spatial correlation, SWO recognition and intended exclusion."""
+
+import pytest
+
+from repro.core.external import ExternalIndex
+from repro.core.failure_detection import FailureMode
+from repro.core.spatial import (
+    detect_swos,
+    exclude_intended,
+    spatio_temporal_groups,
+    topology_distance,
+)
+from repro.simul.clock import MINUTE
+
+from tests.core.helpers import controller, failure
+
+NODE = "c0-0c0s0n0"
+BLADE = "c0-0c0s0"
+
+
+def clean_shutdown(t, node=NODE):
+    f = failure(t, node, symptom="unknown")
+    f.markers = ["node_halt"]
+    return f
+
+
+def panic(t, node=NODE):
+    f = failure(t, node, symptom="hw_mce")
+    f.markers = ["kernel_panic"]
+    return f
+
+
+class TestExcludeIntended:
+    def test_coordinated_clean_shutdown_excluded(self):
+        index = ExternalIndex.build(
+            [controller(95.0, BLADE, "ec_node_info_off", node=NODE)])
+        anomalous, intended = exclude_intended([clean_shutdown(100.0)], index)
+        assert anomalous == [] and len(intended) == 1
+
+    def test_uncoordinated_shutdown_stays_anomalous(self):
+        anomalous, intended = exclude_intended(
+            [clean_shutdown(100.0)], ExternalIndex.build([]))
+        assert len(anomalous) == 1 and intended == []
+
+    def test_panic_never_intended_even_with_off_event(self):
+        index = ExternalIndex.build(
+            [controller(95.0, BLADE, "ec_node_info_off", node=NODE)])
+        anomalous, intended = exclude_intended([panic(100.0)], index)
+        assert len(anomalous) == 1 and intended == []
+
+    def test_off_event_outside_window_ignored(self):
+        index = ExternalIndex.build(
+            [controller(5000.0, BLADE, "ec_node_info_off", node=NODE)])
+        anomalous, intended = exclude_intended(
+            [clean_shutdown(100.0)], index, window=600.0)
+        assert len(anomalous) == 1
+
+
+class TestDetectSwos:
+    def _burst(self, count, t0=0.0, gap=5.0, symptom="lustre"):
+        return [failure(t0 + i * gap, f"c{i // 192}-0c{(i // 64) % 3}s{(i // 4) % 16}n{i % 4}",
+                        symptom=symptom)
+                for i in range(count)]
+
+    def test_large_cluster_is_swo(self):
+        fails = self._burst(60)
+        swos, remaining = detect_swos(fails, total_nodes=1000)
+        assert len(swos) == 1
+        assert swos[0].nodes == 60
+        assert swos[0].dominant_symptom == "lustre"
+        assert remaining == []
+
+    def test_small_cluster_stays_node_failures(self):
+        fails = self._burst(10)
+        swos, remaining = detect_swos(fails, total_nodes=1000)
+        assert swos == [] and len(remaining) == 10
+
+    def test_mixed_stream(self):
+        swo = self._burst(60, t0=0.0)
+        later = self._burst(5, t0=50_000.0, symptom="oom")
+        swos, remaining = detect_swos(swo + later, total_nodes=1000)
+        assert len(swos) == 1 and len(remaining) == 5
+
+    def test_fraction_threshold_scales(self):
+        fails = self._burst(40)
+        # 40 nodes is 40 % of an 100-node machine but min_nodes=32 binds
+        swos, _ = detect_swos(fails, total_nodes=100)
+        assert len(swos) == 1
+        # on a giant machine 40 nodes is below the 5 % bar
+        swos2, rem2 = detect_swos(fails, total_nodes=5000)
+        assert swos2 == [] and len(rem2) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_swos([], total_nodes=0)
+
+
+class TestTopologyDistance:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("c0-0c0s0n0", "c0-0c0s0n3", 0),
+        ("c0-0c0s0n0", "c0-0c0s5n0", 1),
+        ("c0-0c0s0n0", "c0-0c2s0n0", 2),
+        ("c0-0c0s0n0", "c1-0c0s0n0", 3),
+    ])
+    def test_distances(self, a, b, expected):
+        assert topology_distance(a, b) == expected
+        assert topology_distance(b, a) == expected
+
+    def test_rejects_non_node(self):
+        with pytest.raises(ValueError):
+            topology_distance("c0-0c0s0", "c0-0c0s0n0")
+
+
+class TestGroups:
+    def test_same_blade_group(self):
+        fails = [failure(100.0 + i, f"c0-0c0s0n{i}") for i in range(4)]
+        groups = spatio_temporal_groups(fails)
+        assert len(groups) == 1
+        g = groups[0]
+        assert g.failures == 4
+        assert g.distinct_blades == 1
+        assert g.max_distance == 0
+        assert not g.spatially_distant
+        assert g.same_cause
+
+    def test_cross_cabinet_group_is_distant(self):
+        fails = [failure(100.0, "c0-0c0s0n0"), failure(130.0, "c3-1c0s0n0")]
+        g = spatio_temporal_groups(fails)[0]
+        assert g.max_distance == 3
+        assert g.spatially_distant
+        assert g.distinct_cabinets == 2
+
+    def test_time_gap_splits(self):
+        fails = [failure(0.0, "c0-0c0s0n0"), failure(1.0, "c0-0c0s0n1"),
+                 failure(5000.0, "c0-0c0s1n0"), failure(5001.0, "c0-0c0s1n1")]
+        groups = spatio_temporal_groups(fails, window=10 * MINUTE)
+        assert len(groups) == 2
+
+    def test_singletons_dropped(self):
+        assert spatio_temporal_groups([failure(0.0, NODE)]) == []
+
+    def test_shared_fraction(self):
+        fails = [failure(0.0, "c0-0c0s0n0", symptom="a"),
+                 failure(1.0, "c0-0c0s0n1", symptom="a"),
+                 failure(2.0, "c0-0c0s0n2", symptom="b")]
+        g = spatio_temporal_groups(fails)[0]
+        assert g.shared_symptom_fraction == pytest.approx(2 / 3)
+        assert g.dominant_symptom == "a"
+
+
+class TestChainsEndToEnd:
+    def test_maintenance_shutdown_excluded_by_pipeline(self, platform_factory, tmp_path):
+        from repro.core.pipeline import HolisticDiagnosis
+        from repro.faults import Campaign
+        from repro.logs.store import LogStore
+        plat = platform_factory(nodes=64, seed=77)
+        camp = Campaign(plat)
+        node = plat.machine.blades[0].node(0)
+        camp.at("maintenance_shutdown", node, 3600.0)
+        camp.at("mce_failstop", plat.machine.blades[2].node(1), 7200.0)
+        plat.run(days=1)
+        plat.write_logs(tmp_path / "logs")
+        diag = HolisticDiagnosis.from_store(LogStore(tmp_path / "logs"))
+        assert len(diag.failures) == 1          # only the MCE crash
+        assert len(diag.intended_shutdowns) == 1
+        assert diag.intended_shutdowns[0].node == node.cname
+        # and the simulator agrees: no ground truth for the maintenance
+        assert len(plat.machine.ground_truth) == 1
+
+    def test_swo_chain_recognised(self, platform_factory, tmp_path):
+        from repro.core.pipeline import HolisticDiagnosis
+        from repro.faults import Campaign
+        from repro.logs.store import LogStore
+        plat = platform_factory(nodes=192, seed=78)
+        camp = Campaign(plat)
+        camp.at("swo_chain", plat.machine.blades[0].node(0), 3600.0,
+                count=48, window=120.0)
+        plat.run(days=1)
+        plat.write_logs(tmp_path / "logs")
+        diag = HolisticDiagnosis.from_store(
+            LogStore(tmp_path / "logs"), total_nodes=192)
+        assert len(diag.swos) == 1
+        assert diag.swos[0].nodes == 48
+        assert diag.failures == []  # all accounted to the SWO
+
+    def test_swo_chain_kind_validation(self, platform_factory):
+        from repro.faults import Campaign
+        plat = platform_factory(nodes=32)
+        camp = Campaign(plat)
+        with pytest.raises(ValueError):
+            camp.at("swo_chain", plat.machine.blades[0].node(0), 10.0,
+                    kind="bogus")

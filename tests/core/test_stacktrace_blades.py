@@ -1,0 +1,171 @@
+"""Tests for stack-trace classification and blade-sharing analysis."""
+
+import pytest
+
+from repro.core.blades import blade_failure_sharing
+from repro.core.failure_detection import FailureMode
+from repro.core.stacktrace import (
+    classify_trace,
+    failure_breakdown,
+    module_table,
+    node_category_census,
+    traces_by_node,
+)
+from repro.faults.model import FailureCategory
+from repro.logs.stacktraces import CallTrace, TRACE_PROFILES, trace_records
+from repro.logs.parsing import LineParser
+from repro.logs.render import render_line
+from repro.simul.clock import DAY, SimClock
+
+from tests.core.helpers import console, failure
+
+NODE = "c0-0c0s0n0"
+CLOCK = SimClock()
+
+
+def trace(profile, t=100.0, component=NODE):
+    return CallTrace(time=t, component=component,
+                     functions=list(TRACE_PROFILES[profile]))
+
+
+class TestClassifyTrace:
+    @pytest.mark.parametrize("profile,expected", [
+        ("oom", FailureCategory.OOM),
+        ("memory_pressure", FailureCategory.OOM),
+        ("lustre", FailureCategory.FSBUG),
+        ("dvs", FailureCategory.FSBUG),
+        ("xpmem", FailureCategory.FSBUG),
+        ("mce", FailureCategory.HW),
+        ("kernel_generic", FailureCategory.KBUG),
+        ("sleep_on_page", FailureCategory.HUNG_TASK),
+        ("hung_io", FailureCategory.HUNG_TASK),
+        ("driver", FailureCategory.OTHERS),
+    ])
+    def test_profiles_classify(self, profile, expected):
+        assert classify_trace(trace(profile)) is expected
+
+    def test_depth_limits_signal(self):
+        deep = CallTrace(time=0.0, component=NODE,
+                         functions=["aaa", "bbb", "ccc", "mce_log"])
+        assert classify_trace(deep, depth=3) is None
+        assert classify_trace(deep, depth=4) is FailureCategory.HW
+
+    def test_unknown_functions_none(self):
+        assert classify_trace(CallTrace(0.0, NODE, ["foo", "bar"])) is None
+
+
+class TestTracesByNode:
+    def test_grouping_from_parsed_lines(self):
+        parser = LineParser(CLOCK)
+        records = []
+        for rec in (trace_records(10.0, NODE, "oom")
+                    + trace_records(50.0, "c0-0c0s0n1", "mce")):
+            records.append(parser.parse(render_line(rec, CLOCK)))
+        by_node = traces_by_node(records)
+        assert set(by_node) == {NODE, "c0-0c0s0n1"}
+        assert by_node[NODE][0].leading == "oom_kill_process"
+
+
+class TestFailureBreakdown:
+    def test_app_exit_symptom_wins(self):
+        f = failure(100.0, NODE, symptom="app_exit",
+                    mode=FailureMode.ADMINDOWN)
+        breakdown = failure_breakdown([f], {NODE: [trace("lustre")]})
+        assert breakdown == {FailureCategory.APP_EXIT: 1.0}
+
+    def test_oom_symptom(self):
+        f = failure(100.0, NODE, symptom="mem_exhaustion")
+        assert failure_breakdown([f], {}) == {FailureCategory.OOM: 1.0}
+
+    def test_trace_decides_fsbug(self):
+        f = failure(100.0, NODE, symptom="kernel_bug")
+        breakdown = failure_breakdown([f], {NODE: [trace("dvs")]})
+        assert breakdown == {FailureCategory.FSBUG: 1.0}
+
+    def test_hw_trace_lands_in_others(self):
+        f = failure(100.0, NODE, symptom="unknown")
+        breakdown = failure_breakdown([f], {NODE: [trace("mce")]})
+        assert breakdown == {FailureCategory.OTHERS: 1.0}
+
+    def test_symptom_fallbacks(self):
+        fs = [failure(100.0, NODE, symptom="lustre"),
+              failure(200.0, "n2", symptom="kernel_bug"),
+              failure(300.0, "n3", symptom="cpu_stall")]
+        breakdown = failure_breakdown(fs, {})
+        assert breakdown[FailureCategory.FSBUG] == pytest.approx(1 / 3)
+        assert breakdown[FailureCategory.KBUG] == pytest.approx(1 / 3)
+        assert breakdown[FailureCategory.OTHERS] == pytest.approx(1 / 3)
+
+    def test_far_trace_ignored(self):
+        f = failure(100.0, NODE, symptom="kernel_bug")
+        breakdown = failure_breakdown([f], {NODE: [trace("dvs", t=90_000.0)]})
+        assert breakdown == {FailureCategory.KBUG: 1.0}
+
+    def test_empty(self):
+        assert failure_breakdown([], {}) == {}
+
+
+class TestNodeCensus:
+    def test_priority_assignment(self):
+        records = [
+            console(1.0, "n1", "hung_task", prog="p", pid=1, secs=120),
+            console(2.0, "n1", "oom_kill", pid=1, prog="p", score=9),  # n1 stays hung
+            console(3.0, "n2", "oom_invoked", prog="p", mask="0", order=0, adj=0),
+            console(4.0, "n3", "lustre_error", code="11-0", detail="x"),
+            console(5.0, "n4", "segfault", prog="p", pid=1, addr="0",
+                    ip="0", sp="0", code=4),
+            console(6.0, "n5", "gpu_xid", pci="0", xid=62, detail="x"),
+        ]
+        census = node_category_census(records)
+        assert census["hung_task"] == pytest.approx(0.2)
+        assert census["oom"] == pytest.approx(0.2)
+        assert census["lustre"] == pytest.approx(0.2)
+        assert census["sw_error"] == pytest.approx(0.2)
+        assert census["hw_error"] == pytest.approx(0.2)
+
+    def test_empty(self):
+        assert node_category_census([]) == {}
+
+
+class TestModuleTable:
+    def test_symptom_module_pairs(self):
+        f = failure(100.0, NODE, symptom="hw_mce")
+        table = module_table([f], {NODE: [trace("mce")]})
+        assert table["hw_mce"]["mce_log"] == 1
+
+    def test_no_trace_no_row(self):
+        f = failure(100.0, NODE, symptom="hw_mce")
+        assert module_table([f], {}) == {}
+
+
+class TestBladeSharing:
+    def test_full_blade_same_reason(self):
+        fails = [failure(100.0 + i, f"c0-0c0s0n{i}", symptom="hw_mce")
+                 for i in range(4)]
+        weekly = blade_failure_sharing(fails)
+        assert len(weekly) == 1
+        assert weekly[0].blades == 1
+        assert weekly[0].mean_shared_fraction == 1.0
+
+    def test_mixed_reasons_fraction(self):
+        fails = [failure(100.0, "c0-0c0s0n0", symptom="hw_mce"),
+                 failure(101.0, "c0-0c0s0n1", symptom="hw_mce"),
+                 failure(102.0, "c0-0c0s0n2", symptom="lustre"),
+                 failure(103.0, "c0-0c0s0n3", symptom="lustre")]
+        weekly = blade_failure_sharing(fails)
+        assert weekly[0].mean_shared_fraction == pytest.approx(0.5)
+
+    def test_single_failure_blades_excluded(self):
+        fails = [failure(100.0, "c0-0c0s0n0"), failure(200.0, "c0-0c0s1n0")]
+        assert blade_failure_sharing(fails) == []
+
+    def test_different_days_not_grouped(self):
+        fails = [failure(100.0, "c0-0c0s0n0"),
+                 failure(DAY + 100.0, "c0-0c0s0n1")]
+        assert blade_failure_sharing(fails) == []
+
+    def test_weeks_separated(self):
+        week0 = [failure(100.0 + i, f"c0-0c0s0n{i}") for i in range(2)]
+        week1 = [failure(7 * DAY + 100.0 + i, f"c0-0c0s1n{i}") for i in range(2)]
+        weekly = blade_failure_sharing(week0 + week1)
+        assert [w.week for w in weekly] == [0, 1]

@@ -1,0 +1,112 @@
+"""Tests for inter-failure time analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.temporal import (
+    TIGHT_GAP_CAP,
+    analyze_window,
+    gap_cdf,
+    inter_failure_gaps,
+    weekly_stats,
+)
+from repro.simul.clock import DAY, MINUTE, WEEK
+
+from tests.core.helpers import failure
+
+
+class TestGaps:
+    def test_gaps_from_sorted_times(self):
+        fails = [failure(t, "n") for t in (10.0, 70.0, 100.0)]
+        np.testing.assert_allclose(inter_failure_gaps(fails), [60.0, 30.0])
+
+    def test_gaps_sorts_input(self):
+        fails = [failure(100.0, "a"), failure(10.0, "b")]
+        np.testing.assert_allclose(inter_failure_gaps(fails), [90.0])
+
+    def test_fewer_than_two_failures(self):
+        assert inter_failure_gaps([]).size == 0
+        assert inter_failure_gaps([failure(1.0, "n")]).size == 0
+
+
+class TestCdf:
+    def test_cdf_fractions(self):
+        gaps = np.array([30.0, 90.0, 300.0, 3000.0])  # 0.5, 1.5, 5, 50 min
+        cdf = dict(gap_cdf(gaps, (1, 2, 16, 64)))
+        assert cdf[1] == 0.25
+        assert cdf[2] == 0.5
+        assert cdf[16] == 0.75
+        assert cdf[64] == 1.0
+
+    def test_cdf_empty(self):
+        assert gap_cdf(np.empty(0), (1, 2)) == [(1.0, 0.0), (2.0, 0.0)]
+
+    def test_cdf_monotone(self):
+        gaps = np.random.default_rng(1).exponential(120.0, 500)
+        values = [f for _, f in gap_cdf(gaps, range(1, 30))]
+        assert values == sorted(values)
+
+
+class TestAnalyzeWindow:
+    def test_tight_mtbf_excludes_idle_stretches(self):
+        # three tight failures then a 6-hour idle gap then two more
+        times = [0.0, 60.0, 120.0, 6 * 3600 + 120.0, 6 * 3600 + 180.0]
+        stats = analyze_window([failure(t, "n") for t in times])
+        assert stats.count == 5
+        assert stats.tight_mtbf_minutes == pytest.approx(1.0)
+        assert stats.mtbf_minutes > stats.tight_mtbf_minutes
+
+    def test_fractions_over_tight_gaps(self):
+        times = [0.0, 60.0, 120.0, 10 * 3600.0]
+        stats = analyze_window([failure(t, "n") for t in times])
+        assert stats.frac_within_2min == pytest.approx(1.0)
+
+    def test_empty_window(self):
+        stats = analyze_window([])
+        assert stats.count == 0
+        assert np.isnan(stats.mtbf_minutes)
+        assert stats.frac_within_16min == 0.0
+
+    def test_all_gaps_wide_falls_back_to_raw(self):
+        times = [0.0, 3 * 3600.0, 7 * 3600.0]
+        stats = analyze_window([failure(t, "n") for t in times])
+        assert np.isnan(stats.tight_mtbf_minutes)
+        assert stats.frac_within_32min == 0.0
+
+    def test_cap_constant_is_two_hours(self):
+        assert TIGHT_GAP_CAP == 2 * 3600.0
+
+
+class TestWeeklyStats:
+    def test_groups_by_week(self):
+        fails = [failure(10.0, "a"), failure(70.0, "b"),
+                 failure(WEEK + 10.0, "c"), failure(WEEK + 100.0, "d")]
+        stats = weekly_stats(fails)
+        assert [s.window for s in stats] == [0, 1]
+        assert [s.count for s in stats] == [2, 2]
+
+    def test_job_triggered_filter(self):
+        fails = [failure(10.0, "a", symptom="hw_mce"),
+                 failure(20.0, "b", symptom="app_exit"),
+                 failure(30.0, "c", symptom="oom")]
+        stats = weekly_stats(fails, only_job_triggered_symptoms=True)
+        assert stats[0].count == 2
+
+    @given(
+        base=st.floats(min_value=0, max_value=5 * DAY),
+        gaps=st.lists(st.floats(min_value=1.0, max_value=15 * MINUTE),
+                      min_size=2, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tight_cluster_mtbf_bounded_property(self, base, gaps):
+        """A cluster of failures all within 15-minute gaps has tight MTBF
+        <= 15 minutes and all gaps within the 16-minute CDF bucket."""
+        times, t = [], base
+        for g in gaps:
+            times.append(t)
+            t += g
+        stats = analyze_window([failure(x, "n") for x in times])
+        assert stats.tight_mtbf_minutes <= 15.0 + 1e-9
+        assert stats.frac_within_16min >= 0.99

@@ -1,0 +1,131 @@
+"""Tests for the per-node forensic timeline."""
+
+import pytest
+
+from repro.core.jobs import parse_jobs
+from repro.core.timeline import node_timeline, render_timeline
+from repro.simul.clock import HOUR
+
+from tests.core.helpers import console, controller, erd, failure, sched
+
+NODE = "c0-0c0s0n0"
+BLADE = "c0-0c0s0"
+PEER = "c0-0c0s0n1"
+FAR = "c3-1c2s9n0"
+
+
+@pytest.fixture
+def streams():
+    internal = [
+        console(1000.0, NODE, "mce", bank=1, status="ff"),
+        console(1500.0, NODE, "call_trace_head"),
+        console(1500.1, NODE, "call_trace_frame", addr="ff", func="mce_log",
+                off="1", size="2"),
+        console(2000.0, NODE, "kernel_panic", why="x"),
+        console(1200.0, PEER, "mce", bank=2, status="aa"),   # other node
+        console(1300.0, FAR, "kernel_panic", why="y"),       # far away
+    ]
+    external = [
+        erd(500.0, "ec_hw_error", src=BLADE, detail="d"),
+        controller(2012.0, BLADE, "nhf", node=NODE),
+        erd(800.0, "ec_hw_error", src="c3-1c2s9", detail="other blade"),
+    ]
+    return sorted(internal, key=lambda r: r.time), sorted(external,
+                                                          key=lambda r: r.time)
+
+
+class TestNodeTimeline:
+    def test_window_and_scope(self, streams):
+        internal, external = streams
+        entries = node_timeline(NODE, 2000.0, internal, external,
+                                before=HOUR, after=60.0)
+        events = [(e.lane, e.event) for e in entries]
+        assert ("console", "mce") in events
+        assert ("console", "kernel_panic") in events
+        assert ("erd", "ec_hw_error") in events       # own blade
+        assert ("controller", "nhf") in events        # post-mortem
+        # the peer node's internal events and far blades are excluded
+        assert all(e.detail != "src=c3-1c2s9 detail=other blade"
+                   for e in entries)
+        assert len([e for e in events if e == ("console", "mce")]) == 1
+
+    def test_trace_frames_folded_by_default(self, streams):
+        internal, external = streams
+        entries = node_timeline(NODE, 2000.0, internal, external)
+        events = [e.event for e in entries]
+        assert "call_trace_head" in events
+        assert "call_trace_frame" not in events
+        full = node_timeline(NODE, 2000.0, internal, external,
+                             include_trace_frames=True)
+        assert "call_trace_frame" in [e.event for e in full]
+
+    def test_offsets_sorted_and_signed(self, streams):
+        internal, external = streams
+        entries = node_timeline(NODE, 2000.0, internal, external)
+        offsets = [e.offset for e in entries]
+        assert offsets == sorted(offsets)
+        assert offsets[0] < 0 and offsets[-1] > 0
+
+    def test_anchor_flagged(self, streams):
+        internal, external = streams
+        entries = node_timeline(NODE, 2000.0, internal, external)
+        anchors = [e for e in entries if e.is_anchor]
+        assert len(anchors) == 1 and anchors[0].event == "kernel_panic"
+
+    def test_job_lane(self, streams):
+        internal, external = streams
+        jobs = parse_jobs([
+            sched(900.0, "slurm_start", job=9, nodes=NODE, cpus=32,
+                  user="u", app="vasp"),
+            sched(2005.0, "slurm_complete", job=9, code=-7),
+        ])
+        entries = node_timeline(NODE, 2000.0, internal, external, jobs)
+        job_events = [e for e in entries if e.lane == "job"]
+        assert [e.event for e in job_events] == ["job_start", "job_end"]
+        assert "app=vasp" in job_events[0].detail
+
+    def test_window_validation(self, streams):
+        internal, external = streams
+        with pytest.raises(ValueError):
+            node_timeline(NODE, 2000.0, internal, external, before=-1.0)
+
+
+class TestRender:
+    def test_render_format(self, streams):
+        internal, external = streams
+        entries = node_timeline(NODE, 2000.0, internal, external)
+        text = render_timeline(entries, failure(2000.0, NODE))
+        assert text.startswith(f"node {NODE}: down")
+        assert "<<< FAILURE MARKER" in text
+        assert "-00:25:00" in text  # the hw_error 1500 s before
+
+    def test_render_empty(self):
+        assert "(no events in window)" in render_timeline([])
+
+
+class TestCliTimeline:
+    def test_cli_timeline(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.faults import Campaign, InjectionLedger, inject
+        from repro.platform import Platform
+        from tests.conftest import make_tiny_spec
+        plat = Platform(make_tiny_spec(nodes=32), seed=61)
+        node = plat.machine.blades[1].node(0)
+        inject(plat, InjectionLedger(), "mce_failstop", node, 3600.0,
+               precursor=True)
+        plat.run(days=1)
+        plat.write_logs(tmp_path / "logs")
+        assert main(["timeline", str(tmp_path / "logs"), node.cname]) == 0
+        out = capsys.readouterr().out
+        assert "FAILURE MARKER" in out
+        assert "ec_hw_error" in out
+
+    def test_cli_timeline_unknown_node(self, tmp_path):
+        from repro.cli import main
+        from repro.platform import Platform
+        from tests.conftest import make_tiny_spec
+        plat = Platform(make_tiny_spec(nodes=32), seed=61)
+        plat.run(days=0.01)
+        plat.write_logs(tmp_path / "logs")
+        with pytest.raises(SystemExit, match="no detected failure"):
+            main(["timeline", str(tmp_path / "logs"), "c0-0c0s0n0"])

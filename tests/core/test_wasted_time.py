@@ -1,0 +1,79 @@
+"""Tests for diurnal workload modulation and lost-core-hours analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.jobs import lost_core_hours, parse_jobs
+from repro.scheduler.workload import WorkloadConfig, WorkloadGenerator
+from repro.simul.rng import RngStream
+
+from tests.core.helpers import failure, sched
+
+
+class TestDiurnal:
+    def test_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(diurnal_amplitude=-0.1)
+
+    def test_flat_when_zero(self):
+        gen = WorkloadGenerator(RngStream(2).child("wl"))
+        cfg = WorkloadConfig(jobs_per_day=600, duration_days=4)
+        specs = gen.generate(cfg)
+        hours = np.array([(s.submit_time % 86_400) / 3600 for s in specs])
+        day = np.sum((hours >= 8) & (hours < 20))
+        night = len(hours) - day
+        assert abs(day - night) < 0.2 * len(hours)
+
+    def test_daytime_peak_with_amplitude(self):
+        gen = WorkloadGenerator(RngStream(2).child("wl"))
+        cfg = WorkloadConfig(jobs_per_day=600, duration_days=6,
+                             diurnal_amplitude=0.8)
+        specs = gen.generate(cfg)
+        hours = np.array([(s.submit_time % 86_400) / 3600 for s in specs])
+        day = np.sum((hours >= 8) & (hours < 20))
+        night = len(hours) - day
+        assert day > 1.5 * night
+
+    def test_mean_rate_preserved(self):
+        gen = WorkloadGenerator(RngStream(2).child("wl"))
+        cfg = WorkloadConfig(jobs_per_day=400, duration_days=6,
+                             diurnal_amplitude=0.6)
+        specs = gen.generate(cfg)
+        per_day = len(specs) / 6
+        assert abs(per_day - 400) < 80
+
+
+def job_views(*rows):
+    """rows: (job, nodes, start, end, code, extra_events)"""
+    records = []
+    for job, nodes, start, end, code, extra in rows:
+        records += [
+            sched(start, "slurm_start", job=job, nodes=",".join(nodes),
+                  cpus=32 * len(nodes), user="u", app="a"),
+            sched(end, "slurm_complete", job=job, code=code),
+        ]
+        records += extra
+    return parse_jobs(sorted(records, key=lambda r: r.time))
+
+
+class TestLostCoreHours:
+    def test_classification(self):
+        n0, n1 = "c0-0c0s0n0", "c0-0c0s0n1"
+        jobs = job_views(
+            (1, [n0], 0.0, 3600.0, 0, []),                       # delivered
+            (2, [n1], 0.0, 3600.0, -7,
+             [sched(3599.0, "slurm_requeue", job=2, node=n1)]),  # node fail
+            (3, ["c0-0c0s1n0"], 0.0, 7200.0, -11,
+             [sched(7199.0, "slurm_timeout", job=3)]),           # config
+        )
+        out = lost_core_hours(jobs, [failure(3599.0, n1)])
+        assert out["delivered_core_hours"] == pytest.approx(32.0)
+        assert out["node_failure_core_hours"] == pytest.approx(32.0)
+        assert out["config_error_core_hours"] == pytest.approx(64.0 * 2 / 2)
+        assert 0 < out["node_failure_fraction"] < 1
+
+    def test_empty(self):
+        out = lost_core_hours({}, [])
+        assert out["node_failure_fraction"] == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the experiment layer: results, scenarios, small figures.
+
+The large scenarios (s1..s5) are exercised by the benchmark suite; here
+we keep to the fast scenarios plus the machinery itself, using a
+temporary cache directory so test runs never touch a developer's cache.
+"""
+
+import pytest
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.scenarios import SCENARIOS, materialize
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return tmp_path / "cache"
+
+
+class TestResult:
+    def test_render_contains_both_columns(self):
+        res = ExperimentResult(
+            experiment="figX", title="demo",
+            measured={"a": 1.23456, "b": 2},
+            paper={"a": 1.0, "c": "x"},
+            shape_ok=True, notes="note",
+        )
+        text = res.render()
+        assert "figX" in text and "demo" in text
+        assert "shape holds: yes" in text
+        assert "1.235" in text  # float formatting
+        assert "note" in text
+        # union of keys appears
+        for key in ("a", "b", "c"):
+            assert key in text
+
+    def test_render_flags_failure(self):
+        res = ExperimentResult("f", "t", {}, {}, shape_ok=False)
+        assert "NO" in res.render()
+
+
+class TestScenarioRegistry:
+    def test_known_scenarios(self):
+        assert {"s1", "s2", "s3", "s4", "s5", "fig11", "fig12", "fig17",
+                "cases"} <= set(SCENARIOS)
+
+    def test_unknown_scenario(self, cache):
+        with pytest.raises(KeyError, match="known:"):
+            materialize("nope", root=cache)
+
+
+class TestMaterialize:
+    def test_builds_and_caches(self, cache):
+        store1 = materialize("cases", seed=5, root=cache)
+        assert store1.exists()
+        mtime = store1.path_for(
+            __import__("repro.logs.record", fromlist=["LogSource"]).LogSource.CONSOLE
+        ).stat().st_mtime_ns
+        store2 = materialize("cases", seed=5, root=cache)
+        mtime2 = store2.path_for(
+            __import__("repro.logs.record", fromlist=["LogSource"]).LogSource.CONSOLE
+        ).stat().st_mtime_ns
+        assert mtime == mtime2  # reused, not rebuilt
+
+    def test_different_seeds_different_dirs(self, cache):
+        a = materialize("cases", seed=5, root=cache)
+        b = materialize("cases", seed=6, root=cache)
+        assert a.root != b.root
+
+    def test_force_rebuilds(self, cache):
+        store = materialize("cases", seed=5, root=cache)
+        first = store.line_counts()
+        store2 = materialize("cases", seed=5, root=cache, force=True)
+        assert store2.line_counts() == first  # deterministic rebuild
+
+    def test_deterministic_content(self, tmp_path):
+        a = materialize("cases", seed=5, root=tmp_path / "a")
+        b = materialize("cases", seed=5, root=tmp_path / "b")
+        text_a = (a.root / "p0" / "console.log").read_text()
+        text_b = (b.root / "p0" / "console.log").read_text()
+        assert text_a == text_b
+
+
+class TestSmallFigures:
+    def test_fig11_on_fresh_cache(self, cache, monkeypatch):
+        from repro.experiments import figures as F
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        F._cached_diag.cache_clear()
+        diag = F.load("fig11")
+        res = F.fig11_cpu_temp(diag)
+        assert res.shape_ok
+        assert res.measured["nodes_at_zero"] == 1
+
+    def test_fig17_on_fresh_cache(self, cache, monkeypatch):
+        from repro.experiments import figures as F
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        F._cached_diag.cache_clear()
+        res = F.fig17_overallocation(F.load("fig17"))
+        assert res.shape_ok
+        assert res.measured["jobs"] == 16
+
+    def test_table5_on_fresh_cache(self, cache, monkeypatch):
+        from repro.experiments import figures as F
+        from repro.experiments import tables as T
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        F._cached_diag.cache_clear()
+        res = T.table5_case_studies(F.load("cases"))
+        assert res.shape_ok
+        narratives = res.series["narratives"]
+        assert len(narratives) == res.measured["total_failures"]
+        assert all(n["inference"] for n in narratives)
+
+    def test_table1_static(self):
+        from repro.experiments.tables import table1_systems
+        assert table1_systems().shape_ok

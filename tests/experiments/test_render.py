@@ -1,0 +1,72 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments.render import bar_chart, cdf_plot, series_table, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_and_empty(self):
+        assert bar_chart({}, title="t").splitlines() == ["t", "(no data)"]
+
+    def test_zero_values_no_crash(self):
+        text = bar_chart({"a": 0.0})
+        assert "a" in text
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_custom_format(self):
+        assert "50.0%" in bar_chart({"a": 0.5}, fmt="{:.1%}")
+
+
+class TestCdfPlot:
+    def test_rows_and_clamping(self):
+        text = cdf_plot([(1.0, 0.25), (2.0, 1.5)], width=8)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 2
+        assert lines[1].count("#") == 8  # clamped to 1.0
+        assert "100.0%" in lines[1]
+
+    def test_empty(self):
+        assert "(no data)" in cdf_plot([])
+
+
+class TestSparkline:
+    def test_monotone_values(self):
+        spark = sparkline([0, 1, 2, 3])
+        assert len(spark) == 4
+        assert spark[0] < spark[-1]
+
+    def test_flat_values(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestSeriesTable:
+    def test_alignment_and_rows(self):
+        text = series_table(
+            [{"week": 1, "mtbf": 1.2345}, {"week": 2, "mtbf": 10.0}],
+            columns=("week", "mtbf"),
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "week" in lines[0] and "mtbf" in lines[0]
+        assert "1.23" in lines[2]
+
+    def test_missing_cells_blank(self):
+        text = series_table([{"a": 1}], columns=("a", "b"))
+        assert text.splitlines()[2].strip().startswith("1")
+
+    def test_columns_required(self):
+        with pytest.raises(ValueError):
+            series_table([], columns=())

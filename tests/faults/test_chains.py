@@ -1,0 +1,260 @@
+"""Tests for the fault-chain library.
+
+Covers generic invariants over every registered chain, plus the specific
+causal semantics each chain family encodes (fail-slow precursors,
+admindown-vs-down, benign populations, blade-peer effects).
+"""
+
+import pytest
+
+from repro.cluster.node import NodeState
+from repro.faults import CHAIN_BUILDERS, InjectionLedger, inject
+from repro.faults.chains import ChainRef, HEARTBEAT_DETECT_DELAY
+from repro.faults.model import FailureCategory, FaultFamily, RootCause
+from repro.logs.record import LogSource
+from repro.platform import Platform
+
+from tests.conftest import make_tiny_spec
+
+
+def run_chain(chain, seed=5, gpus=False, **params):
+    """Inject one chain on a fresh tiny platform and run to quiescence."""
+    plat = Platform(make_tiny_spec(nodes=32, gpus=gpus), seed=seed)
+    ledger = InjectionLedger()
+    node = plat.machine.blades[2].node(1)
+    inj = inject(plat, ledger, chain, node, 100.0, **params)
+    plat.engine.run()
+    return plat, ledger, inj, node
+
+
+ALL_CHAINS = sorted(CHAIN_BUILDERS)
+
+# chains that always (or with prob 1 params) fail their victim
+ALWAYS_FAIL = {
+    "swo_chain": {"count": 4},
+    "link_degrade_chain": {"failover_ok_prob": 0.0,
+                           "fail_prob_on_bad_failover": 1.0},
+    "mce_failstop": {},
+    "ecc_ue_failure": {},
+    "app_exit_chain": {},
+    "kernel_bug_chain": {},
+    "lustre_bug_chain": {},
+    "operator_shutdown": {},
+    "l0_sysd_mce_chain": {},
+    "mem_exhaustion_chain": {"fail_prob": 1.0},
+    "oom_chain": {"fail_prob": 1.0},
+    "dvs_chain": {"fail_prob": 1.0},
+    "cpu_stall_chain": {"fail_prob": 1.0},
+    "nvf_chain": {"fail_prob": 1.0},
+    "cpu_corruption_chain": {},
+    "bios_unknown_chain": {"fails": True},
+}
+
+# chains that never fail their victim
+NEVER_FAIL = {
+    "maintenance_shutdown": {},
+    "link_degrade_chain": {"failover_ok_prob": 1.0},
+    "mce_benign": {},
+    "ecc_corrected_flood": {},
+    "sw_trap_benign": {},
+    "lustre_benign_flood": {},
+    "hung_task_chain": {},
+    "sedc_flood": {},
+    "controller_flood": {},
+    "nhf_benign": {},
+    "failslow_recovery": {},
+    "segfault_chain": {"fail_prob": 0.0},
+    "bios_unknown_chain": {"fails": False},
+}
+
+
+class TestGenericInvariants:
+    @pytest.mark.parametrize("chain", ALL_CHAINS)
+    def test_chain_registers_injection(self, chain):
+        plat, ledger, inj, node = run_chain(chain, gpus=(chain == "gpu_chain"))
+        assert len(ledger) >= 1
+        assert inj.chain == chain
+        assert inj.node == node
+        assert inj.t0 == 100.0
+
+    @pytest.mark.parametrize("chain", ALL_CHAINS)
+    def test_chain_emits_records(self, chain):
+        plat, *_ = run_chain(chain, gpus=(chain == "gpu_chain"))
+        assert len(plat.bus) >= 1
+
+    @pytest.mark.parametrize("chain,params", sorted(ALWAYS_FAIL.items()))
+    def test_failing_chains_fail(self, chain, params):
+        plat, ledger, inj, node = run_chain(chain, **params)
+        assert inj.failed
+        assert inj.fail_time >= inj.t0
+        assert plat.machine.node(node).state.is_failed
+        assert len(plat.machine.ground_truth) >= 1
+
+    @pytest.mark.parametrize("chain,params", sorted(NEVER_FAIL.items()))
+    def test_benign_chains_do_not_fail(self, chain, params):
+        plat, ledger, inj, node = run_chain(chain, **params)
+        assert not inj.failed
+        assert not plat.machine.node(node).state.is_failed
+        assert plat.machine.ground_truth == []
+
+    @pytest.mark.parametrize("chain,params", sorted(ALWAYS_FAIL.items()))
+    def test_internal_first_precedes_failure(self, chain, params):
+        if chain == "nvf_chain":
+            pytest.skip("power-cut failures may log only at death")
+        _, _, inj, _ = run_chain(chain, **params)
+        assert inj.internal_first is not None
+        assert inj.internal_first <= inj.fail_time
+
+    def test_unknown_chain_raises(self):
+        with pytest.raises(KeyError, match="known:"):
+            ChainRef("nope").builder()
+
+
+class TestFailStopPhysics:
+    def test_failstop_gets_post_mortem_nhf(self):
+        plat, _, inj, node = run_chain("mce_failstop")
+        nhfs = [r for r in plat.bus.by_event("nhf")
+                if r.attrs.get("node") == node.cname]
+        assert len(nhfs) == 1
+        assert nhfs[0].time >= inj.fail_time + HEARTBEAT_DETECT_DELAY
+        # ... and the ERD heartbeat-stop confirmation
+        stops = [r for r in plat.bus.by_event("ec_heartbeat_stop")]
+        assert any(r.attrs.get("src") == node.cname for r in stops)
+
+    def test_admindown_gets_no_nhf(self):
+        plat, _, inj, node = run_chain("app_exit_chain")
+        assert inj.admindown
+        assert plat.machine.node(node).state is NodeState.ADMINDOWN
+        assert plat.bus.by_event("nhf") == []
+
+    def test_double_failure_suppressed(self):
+        plat = Platform(make_tiny_spec(), seed=5)
+        ledger = InjectionLedger()
+        node = plat.machine.blades[0].node(0)
+        inject(plat, ledger, "mce_failstop", node, 100.0)
+        inject(plat, ledger, "kernel_bug_chain", node, 110.0)
+        plat.engine.run()
+        assert len(plat.machine.ground_truth) == 1
+
+
+class TestFailSlow:
+    def test_precursor_extends_external_lead(self):
+        _, _, slow, _ = run_chain("mce_failstop", precursor=True,
+                                  precursor_lead=900.0, internal_window=200.0)
+        assert slow.external_first is not None
+        assert slow.external_first < slow.internal_first
+        assert slow.external_lead > slow.internal_lead
+        # roughly the configured 5-6x structure
+        assert slow.external_lead / slow.internal_lead > 3.0
+
+    def test_failstop_without_precursor_has_no_early_external(self):
+        _, _, fast, _ = run_chain("mce_failstop", precursor=False)
+        # only post-mortem external confirmation
+        assert fast.external_first is None or fast.external_first >= fast.fail_time
+
+    def test_failslow_recovery_emits_both_sides_but_no_failure(self):
+        plat, _, inj, _ = run_chain("failslow_recovery")
+        assert inj.internal_first is not None
+        assert inj.external_first is not None
+        assert not inj.failed
+
+
+class TestApplicationChains:
+    def test_app_exit_sequence(self):
+        plat, _, inj, node = run_chain("app_exit_chain", job_id=77)
+        events = [r.event for r in plat.bus.by_component(node.cname)]
+        assert "app_exit_abnormal" in events
+        assert "nhc_test_fail" in events
+        assert "nhc_suspect" in events
+        assert "nhc_admindown" in events
+        assert inj.job_id == 77
+        assert inj.category is FailureCategory.APP_EXIT
+
+    def test_oom_emits_traces_with_fs_modules(self):
+        plat, _, inj, node = run_chain("oom_chain", fail_prob=1.0,
+                                       fs_modules=True)
+        funcs = [r.attrs.get("func") for r in plat.bus.by_event("call_trace_frame")]
+        assert "oom_kill_process" in funcs
+        assert any(f in funcs for f in ("xpmem_detach", "dvs_ipc_mesg"))
+
+    def test_hung_task_repeats(self):
+        plat, _, inj, node = run_chain("hung_task_chain", repeats=3)
+        assert len(plat.bus.by_event("hung_task")) == 3
+
+    def test_nhf_benign_kinds(self):
+        with pytest.raises(ValueError):
+            run_chain("nhf_benign", kind="bogus")
+        plat, _, _, node = run_chain("nhf_benign", kind="power_off",
+                                     off_duration=50.0)
+        # node went OFF (intended) and came back
+        node_obj = plat.machine.node(node)
+        states = [t.new.value for t in node_obj.history]
+        assert "off" in states and node_obj.state is NodeState.UP
+        assert len(plat.bus.by_event("ec_node_info_off")) == 1
+
+
+class TestEnvironmentChains:
+    def test_sedc_flood_values_below_minimum(self):
+        plat, _, _, node = run_chain("sedc_flood", count=10)
+        warnings = plat.bus.by_event("ec_sedc_warning")
+        assert len(warnings) == 10
+        for rec in warnings:
+            assert float(rec.attrs["value"]) < float(rec.attrs["min"])
+
+    def test_sedc_flood_cabinet_level(self):
+        plat, _, _, node = run_chain("sedc_flood", count=5, cabinet_level=True)
+        assert all(r.attrs["src"] == node.cabinet.cname
+                   for r in plat.bus.by_event("ec_sedc_warning"))
+
+    def test_controller_flood_stays_external(self):
+        plat, _, _, _ = run_chain("controller_flood", count=6)
+        assert all(r.source.is_external for r in plat.bus)
+
+    def test_bchf_fails_fraction_of_blade(self):
+        plat, ledger, inj, node = run_chain("bchf_chain", fail_fraction=1.0)
+        blade_nodes = plat.machine.nodes_in_blade(node.blade)
+        failed = [n for n in blade_nodes if plat.machine.node(n).state.is_failed]
+        assert len(failed) == len(blade_nodes)
+        plat2, ledger2, inj2, node2 = run_chain("bchf_chain", fail_fraction=0.0)
+        failed2 = [n for n in plat2.machine.nodes_in_blade(node2.blade)
+                   if plat2.machine.node(n).state.is_failed]
+        assert failed2 == [node2]  # the primary victim always dies
+
+
+class TestUnknownChains:
+    def test_l0_sysd_mce_peers_survive(self):
+        plat, ledger, inj, node = run_chain("l0_sysd_mce_chain")
+        assert inj.failed
+        for peer in plat.machine.blade_peers(node):
+            assert not plat.machine.node(peer).state.is_failed
+        # peers produced benign noise
+        assert len(plat.bus.by_event("ssid_error")) == 3
+
+    def test_operator_shutdown_minimal_evidence(self):
+        plat, _, inj, node = run_chain("operator_shutdown")
+        events = {r.event for r in plat.bus.by_component(node.cname)}
+        assert events <= {"node_shutdown_msg", "node_halt"}
+        assert inj.root is RootCause.OPERATOR
+
+    def test_bios_pattern_repeats(self):
+        plat, _, _, _ = run_chain("bios_unknown_chain", fails=False, repeats=4)
+        assert len(plat.bus.by_event("bios_unknown")) == 4
+
+
+class TestFamilies:
+    def test_job_triggered_flag_changes_family(self):
+        _, _, sw, _ = run_chain("kernel_bug_chain", job_triggered=False)
+        _, _, app, _ = run_chain("kernel_bug_chain", job_triggered=True)
+        assert sw.family is FaultFamily.SOFTWARE
+        assert app.family is FaultFamily.APPLICATION
+
+    def test_lustre_app_triggered_default(self):
+        _, _, inj, _ = run_chain("lustre_bug_chain")
+        assert inj.family is FaultFamily.APPLICATION
+        _, _, fs, _ = run_chain("lustre_bug_chain", app_triggered=False)
+        assert fs.family is FaultFamily.FILESYSTEM
+
+    def test_gpu_chain_on_gpu_system(self):
+        plat, _, inj, _ = run_chain("gpu_chain", gpus=True, fail_prob=0.0)
+        assert len(plat.bus.by_event("gpu_xid")) == 1
+        assert not inj.failed

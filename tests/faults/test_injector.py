@@ -1,0 +1,140 @@
+"""Tests for the injection campaign planner."""
+
+import pytest
+
+from repro.faults import Campaign, CampaignSpec, ChainRate, InjectionLedger
+from repro.platform import Platform
+from repro.simul.clock import DAY, MINUTE
+
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture
+def plat():
+    return Platform(make_tiny_spec(nodes=64), seed=21)
+
+
+@pytest.fixture
+def camp(plat):
+    return Campaign(plat)
+
+
+class TestVictimSelection:
+    def test_pick_node_in_machine(self, camp, plat):
+        for _ in range(10):
+            assert camp.pick_node() in plat.machine
+
+    def test_scatter_distinct(self, camp):
+        victims = camp.pick_nodes(10, policy="scatter")
+        assert len(set(victims)) == 10
+
+    def test_blade_policy_fills_blades(self, camp):
+        victims = camp.pick_nodes(8, policy="blade")
+        blades = {v.blade for v in victims}
+        assert len(blades) == 2  # 8 nodes = 2 whole blades
+
+    def test_cabinet_policy_single_cabinet(self, camp):
+        victims = camp.pick_nodes(12, policy="cabinet")
+        assert len({v.cabinet for v in victims}) == 1
+
+    def test_count_validation(self, camp):
+        with pytest.raises(ValueError):
+            camp.pick_nodes(0)
+        with pytest.raises(ValueError):
+            camp.pick_nodes(1000)
+        with pytest.raises(ValueError):
+            camp.pick_nodes(3, policy="bogus")
+
+
+class TestPoisson:
+    def test_rate_approximately_met(self, plat):
+        camp = Campaign(plat)
+        injections = camp.poisson("mce_benign", per_day=10.0, duration_days=20)
+        # 200 expected; allow generous tolerance
+        assert 120 <= len(injections) <= 280
+        times = [i.t0 for i in injections]
+        assert all(0 <= t < 20 * DAY for t in times)
+
+    def test_zero_rate_empty(self, camp):
+        assert camp.poisson("mce_benign", per_day=0.0, duration_days=5) == []
+
+    def test_start_day_offset(self, camp):
+        injections = camp.poisson("mce_benign", per_day=5.0, duration_days=2,
+                                  start_day=3.0)
+        assert all(3 * DAY <= i.t0 < 5 * DAY for i in injections)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            plat = Platform(make_tiny_spec(nodes=64), seed=seed)
+            camp = Campaign(plat)
+            return [(i.t0, i.node.cname)
+                    for i in camp.poisson("mce_benign", per_day=5.0, duration_days=3)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestBurst:
+    def test_burst_count_and_day(self, camp):
+        injections = camp.burst("mce_benign", day=2, count=6,
+                                spread_minutes=10.0)
+        assert len(injections) == 6
+        assert all(2 * DAY <= i.t0 < 3 * DAY + 30 * MINUTE for i in injections)
+
+    def test_burst_times_increase(self, camp):
+        injections = camp.burst("mce_benign", day=0, count=8)
+        times = [i.t0 for i in injections]
+        assert times == sorted(times)
+
+    def test_burst_spread_tightness(self, camp):
+        tight = camp.burst("mce_benign", day=0, count=20, spread_minutes=2.0)
+        span = tight[-1].t0 - tight[0].t0
+        assert span < 30 * MINUTE
+
+    def test_burst_explicit_victims(self, camp, plat):
+        victims = plat.machine.nodes_in_blade(plat.machine.blades[0])
+        injections = camp.burst("mce_benign", day=0, count=4, victims=victims)
+        assert [i.node for i in injections] == victims
+
+    def test_burst_start_hour(self, camp):
+        injections = camp.burst("mce_benign", day=1, count=3, start_hour=6.0)
+        assert injections[0].t0 == pytest.approx(1 * DAY + 6 * 3600.0)
+
+    def test_blade_policy_burst(self, camp):
+        injections = camp.burst("mce_benign", day=0, count=4, policy="blade")
+        assert len({i.node.blade for i in injections}) == 1
+
+
+class TestNoiseAndSpec:
+    def test_daily_noise_counts(self, plat):
+        camp = Campaign(plat)
+        total = camp.daily_noise(3, sedc_blades_per_day=2, noisy_cabinets_per_day=1)
+        assert total == 9
+        plat.run(days=4)
+        assert len(plat.bus) > 0
+
+    def test_campaign_spec_applies_rates(self, plat):
+        camp = Campaign(plat)
+        spec = CampaignSpec(
+            duration_days=5,
+            rates=(ChainRate("mce_benign", per_day=4.0),
+                   ChainRate("sw_trap_benign", per_day=2.0)),
+            sedc_blades_per_day=1,
+        )
+        injections = camp.apply(spec)
+        chains = {i.chain for i in injections}
+        assert chains == {"mce_benign", "sw_trap_benign"}
+        # noise chains are in the ledger too
+        assert len(camp.ledger.by_chain("sedc_flood")) == 5
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(duration_days=0)
+        with pytest.raises(ValueError):
+            ChainRate("x", per_day=-1.0)
+
+    def test_shared_ledger(self, plat):
+        ledger = InjectionLedger()
+        camp = Campaign(plat, ledger=ledger)
+        camp.burst("mce_benign", day=0, count=3)
+        assert len(ledger) == 3

@@ -1,0 +1,90 @@
+"""Tests for the interconnect link-degrade/failover chain + census."""
+
+import pytest
+
+from repro.core.external import ExternalIndex, failover_census
+from repro.core.failure_detection import FailureDetector
+from repro.faults import Campaign, InjectionLedger, inject
+from repro.platform import Platform
+
+from tests.conftest import make_tiny_spec
+
+from tests.core.helpers import failure
+
+
+def run(seed=5, **params):
+    plat = Platform(make_tiny_spec(nodes=32), seed=seed)
+    ledger = InjectionLedger()
+    node = plat.machine.blades[1].node(2)
+    inj = inject(plat, ledger, "link_degrade_chain", node, 100.0, **params)
+    plat.engine.run()
+    return plat, inj, node
+
+
+class TestChain:
+    def test_successful_failover_is_benign(self):
+        plat, inj, node = run(failover_ok_prob=1.0)
+        assert not inj.failed
+        failovers = plat.bus.by_event("link_failover")
+        assert len(failovers) == 1
+        assert failovers[0].attrs["status"] == "ok"
+        # no internal trouble at all
+        assert all(not r.source.is_internal for r in plat.bus)
+
+    def test_failed_failover_degrades_node(self):
+        plat, inj, node = run(failover_ok_prob=0.0,
+                              fail_prob_on_bad_failover=0.0)
+        assert not inj.failed
+        internal = [r.event for r in plat.bus if r.source.is_internal]
+        assert "lustre_io_error" in internal
+        assert "hung_task" in internal
+
+    def test_failed_failover_can_kill(self):
+        plat, inj, node = run(failover_ok_prob=0.0,
+                              fail_prob_on_bad_failover=1.0)
+        assert inj.failed
+        assert plat.machine.node(node).state.is_failed
+
+    def test_link_errors_precede_failover(self):
+        plat, inj, _ = run(failover_ok_prob=0.0,
+                           fail_prob_on_bad_failover=1.0)
+        errors = [r.time for r in plat.bus.by_event("link_error")]
+        failover = plat.bus.by_event("link_failover")[0].time
+        assert errors and max(errors) <= failover
+        # external precursors recorded for lead-time ground truth
+        assert inj.external_first is not None
+        assert inj.external_first < inj.internal_first
+
+
+class TestFailoverCensus:
+    def _index_from(self, plat):
+        from repro.logs.parsing import LineParser
+        from repro.logs.render import render_line
+        parser = LineParser(plat.clock)
+        recs = [parser.parse(render_line(r, plat.clock))
+                for r in plat.bus.sorted_records()]
+        return ExternalIndex.build([r for r in recs if r and r.source.is_external])
+
+    def test_census_counts(self):
+        plat, inj, node = run(failover_ok_prob=0.0,
+                              fail_prob_on_bad_failover=1.0)
+        index = self._index_from(plat)
+        internal = []
+        from repro.logs.parsing import LineParser
+        from repro.logs.render import render_line
+        parser = LineParser(plat.clock)
+        for r in plat.bus.sorted_records():
+            parsed = parser.parse(render_line(r, plat.clock))
+            if parsed and parsed.source.is_internal:
+                internal.append(parsed)
+        failures = FailureDetector().detect(internal)
+        census = failover_census(index, failures)
+        assert census["attempts"] == 1
+        assert census["failed"] == 1
+        assert census["failed_followed_by_failure"] == 1
+        assert census["harm_fraction"] == 1.0
+
+    def test_census_with_no_failovers(self):
+        census = failover_census(ExternalIndex.build([]), [])
+        assert census["attempts"] == 0
+        assert census["harm_fraction"] == 0.0

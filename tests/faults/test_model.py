@@ -1,0 +1,116 @@
+"""Tests for the fault taxonomy and injection ledger."""
+
+import pytest
+
+from repro.cluster.topology import NodeName
+from repro.faults.model import (
+    FailureCategory,
+    FaultFamily,
+    Injection,
+    InjectionLedger,
+    ROOT_FAMILY,
+    RootCause,
+)
+
+NODE = NodeName(0, 0, 0, 0, 0)
+
+
+def make_injection(chain="x", root=RootCause.MCE, t0=0.0):
+    return Injection(chain=chain, node=NODE, t0=t0, root=root,
+                     family=ROOT_FAMILY[root])
+
+
+class TestTaxonomy:
+    def test_every_root_has_family(self):
+        assert set(ROOT_FAMILY) == set(RootCause)
+
+    def test_family_assignments(self):
+        assert ROOT_FAMILY[RootCause.MCE] is FaultFamily.HARDWARE
+        assert ROOT_FAMILY[RootCause.LUSTRE_BUG] is FaultFamily.FILESYSTEM
+        assert ROOT_FAMILY[RootCause.OOM] is FaultFamily.APPLICATION
+        assert ROOT_FAMILY[RootCause.KERNEL_BUG] is FaultFamily.SOFTWARE
+        assert ROOT_FAMILY[RootCause.OPERATOR] is FaultFamily.UNKNOWN
+
+
+class TestInjection:
+    def test_note_internal_keeps_earliest(self):
+        inj = make_injection()
+        inj.note_internal(10.0)
+        inj.note_internal(5.0)
+        inj.note_internal(20.0)
+        assert inj.internal_first == 5.0
+
+    def test_note_external_keeps_earliest(self):
+        inj = make_injection()
+        inj.note_external(8.0)
+        inj.note_external(12.0)
+        assert inj.external_first == 8.0
+
+    def test_note_failure(self):
+        inj = make_injection()
+        inj.note_failure(100.0, admindown=True)
+        assert inj.failed and inj.admindown and inj.fail_time == 100.0
+
+    def test_leads_none_without_failure(self):
+        inj = make_injection()
+        inj.note_internal(5.0)
+        assert inj.internal_lead is None
+        assert inj.external_lead is None
+
+    def test_leads_computed(self):
+        inj = make_injection()
+        inj.note_internal(80.0)
+        inj.note_external(20.0)
+        inj.note_failure(100.0)
+        assert inj.internal_lead == pytest.approx(20.0)
+        assert inj.external_lead == pytest.approx(80.0)
+
+    def test_post_failure_external_gives_zero_lead(self):
+        inj = make_injection()
+        inj.note_external(150.0)
+        inj.note_failure(100.0)
+        assert inj.external_lead == 0.0
+
+
+class TestLedger:
+    def test_open_and_iterate(self):
+        ledger = InjectionLedger()
+        a = ledger.open(make_injection("a"))
+        b = ledger.open(make_injection("b"))
+        assert len(ledger) == 2
+        assert list(ledger) == [a, b]
+        assert ledger.all == [a, b]
+
+    def test_failures_sorted_by_time(self):
+        ledger = InjectionLedger()
+        a = ledger.open(make_injection("a"))
+        b = ledger.open(make_injection("b"))
+        ledger.open(make_injection("c"))  # never fails
+        b.note_failure(10.0)
+        a.note_failure(20.0)
+        assert ledger.failures() == [b, a]
+
+    def test_by_chain_and_root(self):
+        ledger = InjectionLedger()
+        ledger.open(make_injection("a", RootCause.MCE))
+        ledger.open(make_injection("b", RootCause.OOM))
+        assert len(ledger.by_chain("a")) == 1
+        assert len(ledger.by_root(RootCause.OOM)) == 1
+        assert len(ledger.by_root(RootCause.MCE, RootCause.OOM)) == 2
+
+    def test_failure_rate(self):
+        ledger = InjectionLedger()
+        a = ledger.open(make_injection("a"))
+        ledger.open(make_injection("a"))
+        a.note_failure(1.0)
+        assert ledger.failure_rate("a") == pytest.approx(0.5)
+        assert ledger.failure_rate() == pytest.approx(0.5)
+        assert InjectionLedger().failure_rate() == 0.0
+
+    def test_nodes_touched_and_extend(self):
+        ledger = InjectionLedger()
+        ledger.open(make_injection())
+        assert ledger.nodes_touched() == {NODE}
+        other = InjectionLedger()
+        other.extend(ledger)
+        assert len(other) == 1

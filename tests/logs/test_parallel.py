@@ -1,0 +1,60 @@
+"""Tests for parallel log parsing."""
+
+import pytest
+
+from repro.logs.parallel import diagnosis_inputs, parallel_read
+from repro.logs.record import LogSource
+
+
+class TestParallelRead:
+    def test_matches_serial(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        by_source = parallel_read(store)
+        clock = store.manifest().clock()
+        for source in LogSource:
+            serial = list(store.read_source(source, clock))
+            parallel = by_source[source]
+            assert len(parallel) == len(serial)
+            assert [r.event for r in parallel] == [
+                r.event for r in sorted(serial, key=lambda r: r.time)]
+
+    def test_forced_pool_matches_serial(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        serial = parallel_read(store)  # below threshold -> serial path
+        pooled = parallel_read(store, workers=2, force_parallel=True)
+        for source in LogSource:
+            assert [(r.time, r.event) for r in pooled[source]] == [
+                (r.time, r.event) for r in serial[source]]
+
+    def test_diagnosis_inputs_feed_pipeline(self, diagnosed_scenario):
+        from repro.core.pipeline import HolisticDiagnosis
+        plat, _, store = diagnosed_scenario
+        internal, external, sched = diagnosis_inputs(store)
+        diag = HolisticDiagnosis(internal, external, sched)
+        assert len(diag.failures) == len(plat.machine.ground_truth)
+
+    def test_streams_time_sorted(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        internal, external, sched = diagnosis_inputs(store)
+        for stream in (internal, external, sched):
+            times = [r.time for r in stream]
+            assert times == sorted(times)
+
+    def test_empty_store(self, tmp_path):
+        from repro.logs.record import LogBus
+        from repro.logs.store import LogStore
+        from repro.simul.clock import SimClock
+        store = LogStore(tmp_path / "empty")
+        store.write(LogBus(), SimClock(), "TT", 0, 0.0)
+        by_source = parallel_read(store)
+        assert all(records == [] for records in by_source.values())
+
+    def test_rotated_store_parallelises_per_day(self, tmp_path):
+        from tests.logs.test_rotation import bus_over_days
+        from repro.logs.store import LogStore
+        from repro.simul.clock import DAY, SimClock
+        store = LogStore(tmp_path / "rot")
+        store.write(bus_over_days(4), SimClock(), "TT", 1, 4 * DAY,
+                    rotate_daily=True)
+        by_source = parallel_read(store, workers=2, force_parallel=True)
+        assert len(by_source[LogSource.CONSOLE]) == 16

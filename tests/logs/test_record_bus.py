@@ -1,0 +1,87 @@
+"""Tests for the log record model and bus."""
+
+import pytest
+
+from repro.logs.record import LogBus, LogRecord, LogSource, Severity
+
+
+def rec(t, source=LogSource.CONSOLE, component="c0-0c0s0n0", event="mce", **attrs):
+    return LogRecord(time=t, source=source, component=component, event=event,
+                     attrs=attrs)
+
+
+class TestSources:
+    def test_internal_external_split(self):
+        assert LogSource.CONSOLE.is_internal
+        assert LogSource.MESSAGES.is_internal
+        assert LogSource.CONSUMER.is_internal
+        assert LogSource.CONTROLLER.is_external
+        assert LogSource.ERD.is_external
+        assert not LogSource.SCHEDULER.is_internal
+        assert not LogSource.SCHEDULER.is_external
+
+    def test_severity_ordering(self):
+        assert Severity.FATAL > Severity.WARNING > Severity.DEBUG
+
+
+class TestRecord:
+    def test_attr_stringifies(self):
+        r = rec(1.0, bank=4)
+        assert r.attr("bank") == "4"
+        assert r.attr("missing") is None
+        assert r.attr("missing", "d") == "d"
+
+
+class TestBus:
+    def test_emit_and_len(self):
+        bus = LogBus()
+        bus.emit(rec(1.0))
+        bus.emit(rec(2.0))
+        assert len(bus) == 2
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            LogBus().emit(rec(-1.0))
+
+    def test_out_of_order_allowed_and_sorted_view(self):
+        bus = LogBus()
+        bus.emit(rec(5.0))
+        bus.emit(rec(2.0))
+        assert [r.time for r in bus.sorted_records()] == [2.0, 5.0]
+        assert [r.time for r in bus.records] == [5.0, 2.0]
+
+    def test_by_source(self):
+        bus = LogBus()
+        bus.emit(rec(1.0))
+        bus.emit(rec(2.0, source=LogSource.ERD, component="erd",
+                     event="ec_heartbeat_stop", src="x"))
+        assert len(bus.by_source(LogSource.ERD)) == 1
+
+    def test_by_event_and_component(self):
+        bus = LogBus()
+        bus.emit(rec(1.0, event="mce"))
+        bus.emit(rec(2.0, event="kernel_panic", component="c0-0c0s1n0"))
+        assert len(bus.by_event("mce")) == 1
+        assert len(bus.by_event("mce", "kernel_panic")) == 2
+        assert len(bus.by_component("c0-0c0s1n0")) == 1
+
+    def test_between(self):
+        bus = LogBus()
+        for t in (1.0, 2.0, 3.0):
+            bus.emit(rec(t))
+        assert [r.time for r in bus.between(2.0, 3.0)] == [2.0]
+        with pytest.raises(ValueError):
+            bus.between(3.0, 2.0)
+
+    def test_listener(self):
+        bus = LogBus()
+        seen = []
+        bus.subscribe(seen.append)
+        r = rec(1.0)
+        bus.emit(r)
+        assert seen == [r]
+
+    def test_extend(self):
+        bus = LogBus()
+        bus.extend([rec(1.0), rec(2.0)])
+        assert len(bus) == 2

@@ -1,0 +1,68 @@
+"""Tests for daily log rotation in the store."""
+
+import pytest
+
+from repro.logs.record import LogBus, LogRecord, LogSource
+from repro.logs.store import LogStore
+from repro.simul.clock import DAY, SimClock
+
+
+def bus_over_days(days=3, per_day=4):
+    bus = LogBus()
+    for day in range(days):
+        for i in range(per_day):
+            bus.emit(LogRecord(
+                time=day * DAY + 3600.0 * (i + 1),
+                source=LogSource.CONSOLE,
+                component=f"c0-0c0s{i}n0",
+                event="mce",
+                attrs={"bank": 1, "status": "ff"},
+            ))
+    return bus
+
+
+class TestRotation:
+    def test_one_file_per_day(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(bus_over_days(3), SimClock(), "TT", 1, 3 * DAY,
+                    rotate_daily=True)
+        files = sorted((tmp_path / "logs" / "p0").glob("console-*.log"))
+        assert len(files) == 3
+        assert files[0].name == "console-20150105.log"  # epoch is a Monday
+        assert not (tmp_path / "logs" / "p0" / "console.log").exists()
+
+    def test_rotated_reads_identical_to_plain(self, tmp_path):
+        plain = LogStore(tmp_path / "plain")
+        plain.write(bus_over_days(), SimClock(), "TT", 1, 3 * DAY)
+        rotated = LogStore(tmp_path / "rot")
+        rotated.write(bus_over_days(), SimClock(), "TT", 1, 3 * DAY,
+                      rotate_daily=True)
+        a = [(r.time, r.event, r.component) for r in plain.read_internal()]
+        b = [(r.time, r.event, r.component) for r in rotated.read_internal()]
+        assert a == b
+
+    def test_line_counts_sum_rotated_files(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(bus_over_days(3, per_day=5), SimClock(), "TT", 1,
+                    3 * DAY, rotate_daily=True)
+        assert store.line_counts()["console"] == 15
+
+    def test_rewrite_switches_layout_cleanly(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(bus_over_days(), SimClock(), "TT", 1, 3 * DAY,
+                    rotate_daily=True)
+        store.write(bus_over_days(), SimClock(), "TT", 1, 3 * DAY)
+        # rotated files from the first write must be gone
+        assert not list((tmp_path / "logs" / "p0").glob("console-*.log"))
+        assert store.line_counts()["console"] == 12
+
+    def test_pipeline_reads_rotated_store(self, tmp_path):
+        from repro.core.pipeline import HolisticDiagnosis
+        bus = bus_over_days()
+        bus.emit(LogRecord(time=2 * DAY + 100.0, source=LogSource.CONSOLE,
+                           component="c0-0c0s0n0", event="kernel_panic",
+                           attrs={"why": "x"}))
+        store = LogStore(tmp_path / "logs")
+        store.write(bus, SimClock(), "TT", 1, 3 * DAY, rotate_daily=True)
+        diag = HolisticDiagnosis.from_store(store)
+        assert len(diag.failures) == 1

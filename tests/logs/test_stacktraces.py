@@ -1,0 +1,138 @@
+"""Tests for call-trace synthesis and regrouping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs.parsing import LineParser
+from repro.logs.record import LogSource
+from repro.logs.render import render_line
+from repro.logs.stacktraces import (
+    PROFILE_FAMILY,
+    TRACE_PROFILES,
+    CallTrace,
+    group_traces,
+    trace_records,
+)
+from repro.simul.clock import SimClock
+from repro.simul.rng import RngStream
+
+CLOCK = SimClock()
+
+
+class TestProfiles:
+    def test_every_profile_has_family(self):
+        assert set(TRACE_PROFILES) == set(PROFILE_FAMILY)
+
+    def test_signature_modules_present(self):
+        assert TRACE_PROFILES["mce"][0] == "mce_log"
+        assert TRACE_PROFILES["lustre"][0] == "ldlm_bl"
+        assert TRACE_PROFILES["dvs"][0] == "dvs_ipc_mesg"
+        assert TRACE_PROFILES["memory_pressure"][0] == "rwsem_down_failed"
+        assert TRACE_PROFILES["sleep_on_page"][0] == "sleep_on_page"
+
+
+class TestTraceRecords:
+    def test_head_plus_frames(self):
+        records = trace_records(10.0, "c0-0c0s0n0", "oom")
+        assert records[0].event == "call_trace_head"
+        assert all(r.event == "call_trace_frame" for r in records[1:])
+        assert len(records) == len(TRACE_PROFILES["oom"]) + 1
+
+    def test_times_strictly_increase(self):
+        records = trace_records(10.0, "c0-0c0s0n0", "lustre")
+        times = [r.time for r in records]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_depth_truncation(self):
+        records = trace_records(10.0, "n", "oom", depth=3)
+        assert len(records) == 4
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            trace_records(10.0, "n", "oom", depth=0)
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="known:"):
+            trace_records(10.0, "n", "nope")
+
+    def test_rng_randomises_addresses(self):
+        a = trace_records(10.0, "n", "mce", rng=RngStream(1).child("a"))
+        b = trace_records(10.0, "n", "mce", rng=RngStream(2).child("a"))
+        assert a[1].attrs["addr"] != b[1].attrs["addr"]
+
+    def test_records_render_and_parse(self):
+        parser = LineParser(CLOCK)
+        for record in trace_records(10.0, "c0-0c0s0n0", "dvs",
+                                    rng=RngStream(1).child("x")):
+            parsed = parser.parse(render_line(record, CLOCK))
+            assert parsed is not None and parsed.event == record.event
+
+
+def roundtrip(records):
+    """Render records to lines and parse them back (the honest path)."""
+    parser = LineParser(CLOCK)
+    parsed = [parser.parse(render_line(r, CLOCK)) for r in records]
+    return [p for p in parsed if p is not None]
+
+
+class TestGrouping:
+    def test_single_trace_recovered(self):
+        records = roundtrip(trace_records(10.0, "c0-0c0s0n0", "oom"))
+        traces = group_traces(records)
+        assert len(traces) == 1
+        assert traces[0].functions == list(TRACE_PROFILES["oom"])
+        assert traces[0].leading == "oom_kill_process"
+
+    def test_interleaved_components_separate(self):
+        a = trace_records(10.0, "c0-0c0s0n0", "oom")
+        b = trace_records(10.0, "c0-0c0s0n1", "mce")
+        interleaved = [r for pair in zip(a, b) for r in pair]
+        traces = group_traces(roundtrip(interleaved))
+        assert len(traces) == 2
+        by_comp = {t.component: t for t in traces}
+        assert by_comp["c0-0c0s0n0"].leading == "oom_kill_process"
+        assert by_comp["c0-0c0s0n1"].leading == "mce_log"
+
+    def test_sequential_traces_same_component(self):
+        records = roundtrip(
+            trace_records(10.0, "n0", "oom") + trace_records(20.0, "n0", "mce")
+        )
+        traces = group_traces(records)
+        assert len(traces) == 2
+        assert traces[0].leading == "oom_kill_process"
+        assert traces[1].leading == "mce_log"
+
+    def test_orphan_frames_start_new_trace(self):
+        records = roundtrip(trace_records(10.0, "n0", "oom")[1:])  # drop head
+        traces = group_traces(records)
+        assert len(traces) == 1
+        assert traces[0].functions == list(TRACE_PROFILES["oom"])
+
+    def test_gap_splits_traces(self):
+        records = roundtrip(trace_records(10.0, "n0", "oom"))
+        late_frame = roundtrip(trace_records(100.0, "n0", "mce"))[1:2]
+        traces = group_traces(records + late_frame, max_gap=1.0)
+        assert len(traces) == 2
+
+    def test_leading_k(self):
+        trace = CallTrace(time=0.0, component="n", functions=["a", "b", "c"])
+        assert trace.leading_k(2) == ["a", "b"]
+        assert trace.leading_k(0) == []
+        assert trace.contains("c")
+        assert not trace.contains("z")
+
+    def test_empty_trace_leading_none(self):
+        assert CallTrace(time=0.0, component="n").leading is None
+
+    @given(profiles=st.lists(st.sampled_from(sorted(TRACE_PROFILES)), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_many_traces_all_recovered(self, profiles):
+        records = []
+        for i, profile in enumerate(profiles):
+            records.extend(trace_records(10.0 + i * 100.0, "n0", profile))
+        traces = group_traces(roundtrip(records))
+        assert len(traces) == len(profiles)
+        for trace, profile in zip(traces, profiles):
+            assert trace.functions == list(TRACE_PROFILES[profile])

@@ -1,0 +1,109 @@
+"""Tests for the on-disk log store."""
+
+import pytest
+
+from repro.logs.record import LogBus, LogRecord, LogSource
+from repro.logs.store import LogStore, StoreManifest
+from repro.simul.clock import SimClock
+
+
+def filled_bus():
+    bus = LogBus()
+    bus.emit(LogRecord(5.0, LogSource.CONSOLE, "c0-0c0s0n0", "mce",
+                       {"bank": 1, "status": "ff"}))
+    bus.emit(LogRecord(2.0, LogSource.ERD, "erd", "ec_heartbeat_stop",
+                       {"src": "c0-0c0s0n1"}))
+    bus.emit(LogRecord(3.0, LogSource.SCHEDULER, "sdb", "slurm_submit",
+                       {"job": 7}))
+    bus.emit(LogRecord(4.0, LogSource.CONTROLLER, "c0-0c0s0", "bchf", {}))
+    bus.emit(LogRecord(1.0, LogSource.MESSAGES, "c0-0c0s0n0", "nhc_suspect",
+                       {"why": "test"}))
+    return bus
+
+
+class TestWriteRead:
+    def test_write_creates_layout(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), system="TT", seed=1,
+                    duration_seconds=10.0)
+        assert store.exists()
+        for rel in ("p0/console.log", "p0/messages.log", "p0/consumer.log",
+                    "controller/controller.log", "erd/event.log",
+                    "sched/sched.log", "manifest.json"):
+            assert (tmp_path / "logs" / rel).exists()
+
+    def test_manifest_roundtrip(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        written = store.write(filled_bus(), SimClock(), "TT", 42, 10.0)
+        loaded = store.manifest()
+        assert loaded == written
+        assert loaded.seed == 42
+        assert isinstance(loaded.clock(), SimClock)
+
+    def test_missing_manifest(self, tmp_path):
+        store = LogStore(tmp_path / "empty")
+        assert not store.exists()
+        with pytest.raises(FileNotFoundError):
+            store.manifest()
+
+    def test_records_sorted_in_files(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        bus = LogBus()
+        for t in (5.0, 1.0, 3.0):
+            bus.emit(LogRecord(t, LogSource.CONSOLE, "c0-0c0s0n0", "mce",
+                               {"bank": 1, "status": "ff"}))
+        store.write(bus, SimClock(), "TT", 1, 10.0)
+        recs = list(store.read_source(LogSource.CONSOLE))
+        assert [r.time for r in recs] == [1.0, 3.0, 5.0]
+
+    def test_read_internal_merges_sources(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        internal = store.read_internal()
+        assert [r.event for r in internal] == ["nhc_suspect", "mce"]
+
+    def test_read_external(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        external = store.read_external()
+        assert {r.event for r in external} == {"ec_heartbeat_stop", "bchf"}
+        assert [r.time for r in external] == sorted(r.time for r in external)
+
+    def test_read_scheduler(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        assert [r.event for r in store.read_scheduler()] == ["slurm_submit"]
+
+    def test_read_all_time_sorted(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        times = [r.time for r in store.read_all()]
+        assert times == sorted(times)
+        assert len(times) == 5
+
+    def test_line_counts(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        counts = store.line_counts()
+        assert counts["console"] == 1
+        assert counts["consumer"] == 0
+
+    def test_rewrite_replaces(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        assert store.line_counts()["console"] == 1
+
+    def test_append_records(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        extra = LogRecord(9.0, LogSource.CONSOLE, "c0-0c0s0n1", "kernel_panic",
+                          {"why": "test"})
+        assert store.append_records([extra], SimClock()) == 1
+        assert store.line_counts()["console"] == 2
+
+    def test_read_missing_source_empty(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        (tmp_path / "logs" / "p0" / "consumer.log").unlink()
+        assert list(store.read_source(LogSource.CONSUMER)) == []

@@ -1,0 +1,120 @@
+"""Tests for the job model."""
+
+import pytest
+
+from repro.cluster.topology import NodeName
+from repro.scheduler.base import (
+    EXIT_CODES,
+    ExitReason,
+    Job,
+    JobBug,
+    JobSpec,
+    JobState,
+)
+
+
+def spec(**overrides):
+    base = dict(
+        job_id=1, user="u1", app="vasp", nodes=2, cpus_per_node=32,
+        mem_per_node_mb=16_000, runtime=1000.0, walltime_limit=2000.0,
+        submit_time=0.0,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+NODES = [NodeName(0, 0, 0, 0, 0), NodeName(0, 0, 0, 0, 1)]
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spec(nodes=0)
+        with pytest.raises(ValueError):
+            spec(runtime=0.0)
+        with pytest.raises(ValueError):
+            spec(walltime_limit=-1.0)
+
+    def test_exceeds_walltime(self):
+        assert spec(runtime=3000.0).exceeds_walltime
+        assert not spec().exceeds_walltime
+
+
+class TestBug:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobBug(chain="oom_chain", node_fraction=0.0)
+        with pytest.raises(ValueError):
+            JobBug(chain="oom_chain", node_fraction=1.5)
+        with pytest.raises(ValueError):
+            JobBug(chain="oom_chain", trigger_fraction=2.0)
+
+    def test_defaults(self):
+        bug = JobBug(chain="oom_chain")
+        assert bug.node_fraction == 1.0
+        assert bug.params == {}
+
+
+class TestStates:
+    def test_terminal_classification(self):
+        assert not JobState.PENDING.is_terminal
+        assert not JobState.RUNNING.is_terminal
+        for state in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED,
+                      JobState.TIMEOUT, JobState.NODE_FAIL):
+            assert state.is_terminal
+
+    def test_config_error_reasons(self):
+        assert ExitReason.WALLTIME.is_config_error
+        assert ExitReason.MEM_LIMIT.is_config_error
+        assert ExitReason.USER_CANCELLED.is_config_error
+        assert not ExitReason.SUCCESS.is_config_error
+        assert not ExitReason.NODE_FAILURE.is_config_error
+
+    def test_exit_codes_cover_reasons(self):
+        assert set(EXIT_CODES) == set(ExitReason)
+        assert EXIT_CODES[ExitReason.SUCCESS] == 0
+
+
+class TestLifecycle:
+    def test_begin_finish_success(self):
+        job = Job(spec=spec())
+        job.begin(10.0, NODES, apid=555)
+        assert job.state is JobState.RUNNING
+        assert job.apid == 555
+        job.finish(100.0, ExitReason.SUCCESS)
+        assert job.state is JobState.COMPLETED
+        assert job.exit_code == 0
+        assert job.end_time == 100.0
+
+    def test_begin_requires_exact_nodes(self):
+        job = Job(spec=spec(nodes=3))
+        with pytest.raises(ValueError):
+            job.begin(0.0, NODES, apid=1)
+
+    def test_begin_twice_rejected(self):
+        job = Job(spec=spec())
+        job.begin(0.0, NODES, apid=1)
+        with pytest.raises(RuntimeError):
+            job.begin(1.0, NODES, apid=2)
+
+    def test_finish_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            Job(spec=spec()).finish(1.0, ExitReason.SUCCESS)
+
+    def test_exit_code_before_end_rejected(self):
+        with pytest.raises(RuntimeError):
+            Job(spec=spec()).exit_code
+
+    @pytest.mark.parametrize("reason,state", [
+        (ExitReason.APP_ERROR, JobState.FAILED),
+        (ExitReason.WALLTIME, JobState.TIMEOUT),
+        (ExitReason.MEM_LIMIT, JobState.FAILED),
+        (ExitReason.USER_CANCELLED, JobState.CANCELLED),
+        (ExitReason.NODE_FAILURE, JobState.NODE_FAIL),
+    ])
+    def test_reason_state_mapping(self, reason, state):
+        job = Job(spec=spec())
+        job.begin(0.0, NODES, apid=1)
+        job.finish(10.0, reason)
+        assert job.state is state
+        assert job.exit_code == EXIT_CODES[reason]

@@ -1,0 +1,211 @@
+"""Tests for the event-driven workload scheduler."""
+
+import pytest
+
+from repro.cluster.node import NodeState
+from repro.faults import inject
+from repro.platform import Platform
+from repro.scheduler.base import ExitReason, JobBug, JobSpec, JobState
+from repro.scheduler.core import SchedulerConfig, WorkloadScheduler
+from repro.simul.clock import HOUR
+
+from tests.conftest import make_tiny_spec
+
+
+def make_sched(nodes=32, seed=9, scheduler=None, config=None):
+    kwargs = {}
+    if scheduler is not None:
+        kwargs["scheduler"] = scheduler
+    plat = Platform(make_tiny_spec(nodes=nodes, **kwargs), seed=seed)
+    return plat, WorkloadScheduler(plat, config=config)
+
+
+def job_spec(job_id, nodes=2, runtime=1000.0, submit=10.0, **overrides):
+    base = dict(
+        job_id=job_id, user="u1", app="vasp", nodes=nodes, cpus_per_node=32,
+        mem_per_node_mb=16_000, runtime=runtime, walltime_limit=runtime * 2,
+        submit_time=submit,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestLifecycle:
+    def test_successful_job(self):
+        plat, sched = make_sched()
+        job = sched.submit(job_spec(1))
+        plat.run(days=1)
+        assert job.state is JobState.COMPLETED
+        assert job.exit_reason is ExitReason.SUCCESS
+        assert job.start_time == pytest.approx(10.0)
+        assert job.end_time == pytest.approx(1010.0)
+        events = [r.event for r in plat.bus]
+        for expected in ("slurm_submit", "slurm_start", "slurm_complete",
+                         "slurm_epilog", "app_exit_normal"):
+            assert expected in events
+
+    def test_duplicate_job_id_rejected(self):
+        _, sched = make_sched()
+        sched.submit(job_spec(1))
+        with pytest.raises(ValueError):
+            sched.submit(job_spec(1))
+
+    def test_torque_dialect(self):
+        plat, sched = make_sched(scheduler=__import__(
+            "repro.cluster.systems", fromlist=["SchedulerKind"]).SchedulerKind.TORQUE)
+        sched.submit(job_spec(1))
+        plat.run(days=1)
+        events = {r.event for r in plat.bus}
+        assert "torque_submit" in events and "torque_complete" in events
+        assert not any(e.startswith("slurm") for e in events)
+
+    def test_walltime_kill(self):
+        plat, sched = make_sched()
+        job = sched.submit(job_spec(1, runtime=1000.0, walltime_limit=500.0))
+        plat.run(days=1)
+        assert job.state is JobState.TIMEOUT
+        assert "slurm_timeout" in {r.event for r in plat.bus}
+
+    def test_user_cancel(self):
+        plat, sched = make_sched()
+        job = sched.submit(job_spec(1, cancel_after=200.0))
+        plat.run(days=1)
+        assert job.state is JobState.CANCELLED
+        assert job.end_time == pytest.approx(210.0)
+        assert "slurm_cancel" in {r.event for r in plat.bus}
+
+    def test_abnormal_exit_logged_on_head_node(self):
+        plat, sched = make_sched()
+        job = sched.submit(job_spec(1, cancel_after=100.0))
+        plat.run(days=1)
+        head = job.allocated[0].cname
+        msgs = [r for r in plat.bus.by_event("app_exit_abnormal")]
+        assert len(msgs) == 1 and msgs[0].component == head
+
+
+class TestAllocation:
+    def test_fifo_order(self):
+        plat, sched = make_sched(nodes=32)
+        big = sched.submit(job_spec(1, nodes=32, runtime=500.0, submit=10.0))
+        small = sched.submit(job_spec(2, nodes=2, runtime=100.0, submit=20.0))
+        plat.run(days=1)
+        # strict FIFO: the small job waits for the big one to finish
+        assert small.start_time > big.end_time
+
+    def test_nodes_marked_busy_and_released(self):
+        plat, sched = make_sched()
+        job = sched.submit(job_spec(1, nodes=4, runtime=500.0))
+        plat.run(until=100.0)
+        busy = [n for n in plat.machine if n.job_id == 1]
+        assert len(busy) == 4
+        plat.run(until=2000.0)
+        assert all(n.job_id is None for n in plat.machine)
+
+    def test_queue_drains_after_completion(self):
+        plat, sched = make_sched(nodes=32)
+        jobs = [sched.submit(job_spec(i, nodes=16, runtime=300.0, submit=10.0))
+                for i in range(1, 4)]
+        plat.run(days=1)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        starts = [j.start_time for j in jobs]
+        assert starts == sorted(starts)
+
+
+class TestBugCoupling:
+    def test_buggy_job_fails_nodes_and_ends(self):
+        plat, sched = make_sched()
+        bug = JobBug(chain="mce_failstop", node_fraction=1.0,
+                     trigger_fraction=0.1, spread_minutes=1.0)
+        job = sched.submit(job_spec(1, nodes=3, runtime=2 * HOUR, bug=bug))
+        plat.run(days=1)
+        assert job.state is JobState.NODE_FAIL
+        assert len(job.failed_nodes) >= 1
+        assert len(plat.machine.ground_truth) == 3
+        assert all(g.job_id == 1 for g in plat.machine.ground_truth)
+        events = {r.event for r in plat.bus}
+        assert "slurm_node_down" in events and "slurm_requeue" in events
+
+    def test_benign_bug_aborts_job_without_node_failure(self):
+        plat, sched = make_sched()
+        bug = JobBug(chain="segfault_chain", node_fraction=1.0,
+                     trigger_fraction=0.1, params={"fail_prob": 0.0})
+        job = sched.submit(job_spec(1, nodes=2, runtime=2 * HOUR, bug=bug))
+        plat.run(days=1)
+        assert job.state is JobState.FAILED
+        assert job.exit_reason is ExitReason.APP_ERROR
+        assert plat.machine.ground_truth == []
+
+    def test_requeue_on_node_failure(self):
+        plat, sched = make_sched(
+            config=SchedulerConfig(requeue_on_node_failure=True))
+        bug = JobBug(chain="mce_failstop", node_fraction=1.0,
+                     trigger_fraction=0.1)
+        sched.submit(job_spec(1, nodes=2, runtime=2 * HOUR, bug=bug))
+        plat.run(days=1)
+        # at least one clean clone; a clone may itself land on a node the
+        # original bug chain is still killing and be requeued again
+        clones = [j for j in sched.jobs.values() if j.job_id >= 900_000]
+        assert clones
+        assert all(c.spec.bug is None for c in clones)
+        assert clones[-1].state is JobState.COMPLETED
+
+    def test_unrelated_node_failure_kills_holder(self):
+        plat, sched = make_sched()
+        job = sched.submit(job_spec(1, nodes=2, runtime=4 * HOUR))
+        plat.run(until=100.0)
+        victim = job.allocated[0]
+        from repro.faults import InjectionLedger
+        inject(plat, InjectionLedger(), "mce_failstop", victim, 200.0)
+        plat.run(days=1)
+        assert job.state is JobState.NODE_FAIL
+
+
+class TestOverallocation:
+    def test_violations_logged_and_job_killed(self):
+        plat, sched = make_sched(
+            config=SchedulerConfig(overalloc_fault_prob=0.0))
+        cap = sched.config.node_mem_capacity_mb
+        job = sched.submit(job_spec(1, nodes=4, runtime=6 * HOUR,
+                                    mem_per_node_mb=int(cap * 1.5)))
+        plat.run(days=1)
+        assert job.state is JobState.FAILED
+        assert job.exit_reason is ExitReason.MEM_LIMIT
+        assert len(plat.bus.by_event("slurm_mem_exceeded")) == 4
+
+    def test_overalloc_faults_can_fail_nodes(self):
+        plat, sched = make_sched(
+            config=SchedulerConfig(overalloc_fault_prob=1.0,
+                                   overalloc_fail_prob=1.0))
+        cap = sched.config.node_mem_capacity_mb
+        sched.submit(job_spec(1, nodes=4, runtime=6 * HOUR,
+                              mem_per_node_mb=int(cap * 1.5)))
+        plat.run(days=1)
+        assert len(plat.machine.ground_truth) >= 1
+
+    def test_within_capacity_not_flagged(self):
+        plat, sched = make_sched()
+        job = sched.submit(job_spec(1, nodes=2))
+        plat.run(days=1)
+        assert job.state is JobState.COMPLETED
+        assert plat.bus.by_event("slurm_mem_exceeded") == []
+
+
+class TestCensus:
+    def test_exit_census(self):
+        plat, sched = make_sched(nodes=64)
+        sched.submit(job_spec(1, runtime=100.0))
+        sched.submit(job_spec(2, runtime=1000.0, walltime_limit=300.0))
+        sched.submit(job_spec(3, cancel_after=50.0))
+        plat.run(days=1)
+        census = sched.exit_census()
+        assert census[ExitReason.SUCCESS] == 1
+        assert census[ExitReason.WALLTIME] == 1
+        assert census[ExitReason.USER_CANCELLED] == 1
+
+    def test_finished_jobs_sorted(self):
+        plat, sched = make_sched(nodes=64)
+        sched.submit(job_spec(1, runtime=500.0))
+        sched.submit(job_spec(2, runtime=100.0))
+        plat.run(days=1)
+        done = sched.finished_jobs()
+        assert [j.job_id for j in done] == [2, 1]

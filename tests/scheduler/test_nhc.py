@@ -1,0 +1,90 @@
+"""Tests for the Node Health Checker."""
+
+import pytest
+
+from repro.cluster.node import NodeState
+from repro.platform import Platform
+from repro.scheduler.nhc import NhcTest, NodeHealthChecker, STANDARD_TESTS
+
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture
+def plat():
+    return Platform(make_tiny_spec(), seed=13)
+
+
+@pytest.fixture
+def nhc(plat):
+    return NodeHealthChecker(plat)
+
+
+class TestTests:
+    def test_standard_tests_pass_on_healthy_node(self, plat, nhc):
+        node = plat.machine.blades[0].node(0)
+        assert nhc.run_tests(10.0, node) == []
+        assert len(plat.bus) == 0
+
+    def test_failed_node_fails_liveness(self, plat, nhc):
+        node = plat.machine.blades[0].node(0)
+        plat.machine.node(node).fail(5.0, "x")
+        failed = nhc.run_tests(10.0, node)
+        assert "xtcheckhealth.node" in failed
+        assert len(plat.bus.by_event("nhc_test_fail")) == 1
+
+    def test_job_residue_fails_alps_test(self, plat, nhc):
+        node = plat.machine.blades[0].node(0)
+        plat.machine.node(node).job_id = 99
+        assert "Plugin_Alps_Status" in nhc.run_tests(10.0, node)
+
+    def test_register_custom_test(self, plat, nhc):
+        nhc.register_test(NhcTest("site.always_fail", lambda p, n: False))
+        node = plat.machine.blades[0].node(0)
+        assert "site.always_fail" in nhc.run_tests(10.0, node)
+
+    def test_duplicate_test_name_rejected(self, nhc):
+        with pytest.raises(ValueError):
+            nhc.register_test(STANDARD_TESTS[0])
+
+
+class TestSuspectFlow:
+    def test_clean_exit_no_action(self, plat, nhc):
+        node = plat.machine.blades[0].node(0)
+        assert not nhc.check_after_exit(10.0, node, apid=1, abnormal=False)
+        assert plat.machine.node(node).state is NodeState.UP
+
+    def test_abnormal_exit_admindown(self, plat, nhc):
+        node = plat.machine.blades[0].node(0)
+        down = nhc.check_after_exit(10.0, node, apid=1, abnormal=True,
+                                    admindown_prob=1.0)
+        assert down
+        assert plat.machine.node(node).state is NodeState.ADMINDOWN
+        assert len(plat.machine.ground_truth) == 1
+        events = [r.event for r in plat.bus]
+        assert "nhc_suspect" in events and "nhc_admindown" in events
+
+    def test_abnormal_exit_recovery(self, plat, nhc):
+        node = plat.machine.blades[0].node(0)
+        down = nhc.check_after_exit(10.0, node, apid=1, abnormal=True,
+                                    admindown_prob=0.0)
+        assert not down
+        assert plat.machine.node(node).state is NodeState.UP
+        assert plat.machine.ground_truth == []
+
+    def test_non_up_node_skipped(self, plat, nhc):
+        node = plat.machine.blades[0].node(0)
+        plat.machine.node(node).fail(5.0, "x")
+        assert not nhc.check_after_exit(10.0, node, apid=1, abnormal=True,
+                                        admindown_prob=1.0)
+
+
+class TestApidTracking:
+    def test_blocking_after_threshold(self, plat, nhc):
+        node = plat.machine.blades[0].node(0)
+        nhc.block_threshold = 3
+        for i in range(3):
+            nhc.check_after_exit(10.0 + i * 100, node, apid=42, abnormal=True,
+                                 admindown_prob=0.0)
+        assert nhc.is_blocked(42)
+        assert not nhc.is_blocked(43)
+        assert nhc.apid_abnormal_exits[42] == 3

@@ -1,0 +1,89 @@
+"""Property-based tests on scheduler invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform import Platform
+from repro.scheduler.base import JobSpec, JobState
+from repro.scheduler.core import WorkloadScheduler
+from repro.simul.clock import HOUR
+
+from tests.conftest import make_tiny_spec
+
+
+def job_specs(max_nodes=8):
+    """Strategy: a list of valid job specs with distinct ids."""
+
+    def build(params):
+        specs = []
+        for i, (nodes, runtime, submit) in enumerate(params):
+            specs.append(JobSpec(
+                job_id=1000 + i, user="u1", app="a", nodes=nodes,
+                cpus_per_node=32, mem_per_node_mb=8000,
+                runtime=runtime, walltime_limit=runtime * 2,
+                submit_time=submit,
+            ))
+        return specs
+
+    return st.lists(
+        st.tuples(
+            st.integers(1, max_nodes),
+            st.floats(60.0, 4 * HOUR),
+            st.floats(0.0, 12 * HOUR),
+        ),
+        min_size=1, max_size=12,
+    ).map(build)
+
+
+class TestInvariants:
+    @given(specs=job_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_every_job_terminates_and_nodes_release(self, specs):
+        plat = Platform(make_tiny_spec(nodes=32), seed=11)
+        sched = WorkloadScheduler(plat)
+        sched.submit_all(specs)
+        plat.run(days=3)
+        for job in sched.jobs.values():
+            assert job.state.is_terminal, f"job {job.job_id} stuck in {job.state}"
+            assert job.state is JobState.COMPLETED
+        assert all(n.job_id is None for n in plat.machine)
+        assert sched._node_owner == {}
+
+    @given(specs=job_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_no_node_double_allocation(self, specs):
+        """At every allocation instant, each node belongs to <= 1 job."""
+        plat = Platform(make_tiny_spec(nodes=32), seed=12)
+        sched = WorkloadScheduler(plat)
+        overlaps = []
+        original_start = sched._start
+
+        def checked_start(time, job, nodes):
+            for node in nodes:
+                if node in sched._node_owner:
+                    overlaps.append((job.job_id, node))
+            original_start(time, job, nodes)
+
+        sched._start = checked_start
+        sched.submit_all(specs)
+        plat.run(days=3)
+        assert overlaps == []
+
+    @given(specs=job_specs(max_nodes=4))
+    @settings(max_examples=20, deadline=None)
+    def test_log_reconstruction_matches_scheduler_state(self, specs, tmp_path_factory):
+        """Jobs parsed back from the written log equal the live objects."""
+        from repro.core.jobs import parse_jobs
+        from repro.logs.store import LogStore
+        plat = Platform(make_tiny_spec(nodes=32), seed=13)
+        sched = WorkloadScheduler(plat)
+        sched.submit_all(specs)
+        plat.run(days=3)
+        root = tmp_path_factory.mktemp("wl") / "logs"
+        plat.write_logs(root)
+        views = parse_jobs(LogStore(root).read_scheduler())
+        assert set(views) == set(sched.jobs)
+        for job_id, view in views.items():
+            live = sched.jobs[job_id]
+            assert view.exit_code == live.exit_code
+            assert view.nodes == [n.cname for n in live.allocated]

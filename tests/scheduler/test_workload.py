@@ -1,0 +1,123 @@
+"""Tests for the synthetic workload generator and scheduler dialects."""
+
+import pytest
+
+from repro.cluster.systems import SchedulerKind
+from repro.scheduler.dialects import SLURM, TORQUE, dialect_for
+from repro.scheduler.workload import APPLICATIONS, WorkloadConfig, WorkloadGenerator
+from repro.simul.clock import DAY
+from repro.simul.rng import RngStream
+
+
+def gen(seed=3):
+    return WorkloadGenerator(RngStream(seed).child("wl"))
+
+
+class TestDialects:
+    def test_dialect_for(self):
+        assert dialect_for(SchedulerKind.SLURM) is SLURM
+        assert dialect_for(SchedulerKind.TORQUE) is TORQUE
+
+    def test_slurm_extras(self):
+        assert SLURM.oom is not None and SLURM.drain is not None
+        assert TORQUE.oom is None and TORQUE.drain is None
+
+    def test_event_keys_exist_in_catalog(self):
+        from repro.logs.catalog import EVENTS
+        for dialect in (SLURM, TORQUE):
+            for field in ("submit", "start", "complete", "cancel", "timeout",
+                          "mem_exceeded", "node_down", "requeue", "epilog"):
+                assert getattr(dialect, field) in EVENTS
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(jobs_per_day=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(min_nodes=5, max_nodes=2)
+        with pytest.raises(ValueError):
+            WorkloadConfig(walltime_frac=0.5, cancel_frac=0.4, buggy_frac=0.3)
+
+
+class TestGeneration:
+    def test_count_tracks_rate(self):
+        specs = gen().generate(WorkloadConfig(jobs_per_day=100, duration_days=5))
+        assert 350 <= len(specs) <= 650
+
+    def test_sorted_by_submit_time(self):
+        specs = gen().generate(WorkloadConfig(jobs_per_day=50, duration_days=2))
+        times = [s.submit_time for s in specs]
+        assert times == sorted(times)
+        assert all(0 <= t < 2 * DAY for t in times)
+
+    def test_unique_ids(self):
+        specs = gen().generate(WorkloadConfig(jobs_per_day=100, duration_days=3))
+        ids = [s.job_id for s in specs]
+        assert len(set(ids)) == len(ids)
+
+    def test_node_counts_bounded_and_heavy_tailed(self):
+        specs = gen().generate(WorkloadConfig(jobs_per_day=400, duration_days=3,
+                                              max_nodes=128))
+        sizes = [s.nodes for s in specs]
+        assert all(1 <= n <= 128 for n in sizes)
+        # most jobs are small
+        assert sum(1 for n in sizes if n <= 8) > len(sizes) / 2
+        assert max(sizes) > 16
+
+    def test_start_day(self):
+        specs = gen().generate(WorkloadConfig(jobs_per_day=50, duration_days=1,
+                                              start_day=4.0))
+        assert all(4 * DAY <= s.submit_time < 5 * DAY for s in specs)
+
+    def test_fate_fractions_roughly_respected(self):
+        cfg = WorkloadConfig(jobs_per_day=2000, duration_days=1,
+                             walltime_frac=0.1, cancel_frac=0.1,
+                             buggy_frac=0.05)
+        specs = gen().generate(cfg)
+        n = len(specs)
+        timeouts = sum(1 for s in specs if s.exceeds_walltime)
+        cancels = sum(1 for s in specs if s.cancel_after is not None)
+        buggy = sum(1 for s in specs if s.bug is not None)
+        assert abs(timeouts / n - 0.1) < 0.04
+        assert abs(cancels / n - 0.1) < 0.04
+        assert abs(buggy / n - 0.05) < 0.03
+
+    def test_overalloc_fraction(self):
+        cfg = WorkloadConfig(jobs_per_day=1000, duration_days=1,
+                             overalloc_frac=0.2)
+        specs = gen().generate(cfg)
+        over = [s for s in specs if s.mem_per_node_mb > cfg.node_capacity_mb]
+        assert abs(len(over) / len(specs) - 0.2) < 0.06
+
+    def test_apps_restricted(self):
+        cfg = WorkloadConfig(jobs_per_day=200, duration_days=1, apps=("vasp",))
+        assert all(s.app == "vasp" for s in gen().generate(cfg))
+
+    def test_deterministic(self):
+        cfg = WorkloadConfig(jobs_per_day=100, duration_days=2)
+        a = [(s.job_id, s.submit_time, s.nodes) for s in gen(9).generate(cfg)]
+        b = [(s.job_id, s.submit_time, s.nodes) for s in gen(9).generate(cfg)]
+        assert a == b
+
+    def test_bug_mix_weights(self):
+        cfg = WorkloadConfig(jobs_per_day=3000, duration_days=1, buggy_frac=0.3,
+                             bug_mix=(("oom_chain", {}, 1.0),))
+        specs = gen().generate(cfg)
+        bugs = [s.bug for s in specs if s.bug is not None]
+        assert bugs and all(b.chain == "oom_chain" for b in bugs)
+
+
+class TestBuggyBurstJobs:
+    def test_same_app_and_bugs(self):
+        cfg = WorkloadConfig(jobs_per_day=10, duration_days=1)
+        specs = gen().buggy_burst_jobs(cfg, submit_time=100.0, count=4,
+                                       chain="lustre_bug_chain",
+                                       nodes_per_job=6)
+        assert len(specs) == 4
+        assert len({s.app for s in specs}) == 1
+        assert all(s.nodes == 6 for s in specs)
+        assert all(s.bug is not None and s.bug.chain == "lustre_bug_chain"
+                   for s in specs)
+        times = [s.submit_time for s in specs]
+        assert times == sorted(times) and times[0] == 100.0

@@ -1,0 +1,102 @@
+"""Tests for the simulated clock and timestamp formats."""
+
+from datetime import datetime, timezone
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simul.clock import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    SimClock,
+    format_syslog,
+    parse_syslog,
+)
+
+
+class TestConstants:
+    def test_units(self):
+        assert MINUTE == 60.0
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+
+class TestFormatParse:
+    def test_roundtrip_microseconds(self):
+        dt = datetime(2015, 3, 12, 4, 17, 55, 123456)
+        assert parse_syslog(format_syslog(dt)) == dt
+
+    def test_parse_without_fraction(self):
+        assert parse_syslog("2015-03-12T04:17:55") == datetime(2015, 3, 12, 4, 17, 55)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_syslog("not a timestamp")
+
+    @given(us=st.integers(0, 999_999), s=st.integers(0, 59))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, us, s):
+        dt = datetime(2015, 6, 1, 12, 30, s, us)
+        assert parse_syslog(format_syslog(dt)) == dt
+
+
+class TestSimClock:
+    def test_epoch_default_is_monday(self):
+        clock = SimClock()
+        assert clock.epoch.weekday() == 0
+
+    def test_to_datetime_zero_is_epoch(self):
+        clock = SimClock()
+        assert clock.to_datetime(0.0) == clock.epoch
+
+    def test_seconds_roundtrip(self):
+        clock = SimClock()
+        t = 3 * DAY + 5 * HOUR + 12.5
+        assert clock.to_seconds(clock.to_datetime(t)) == pytest.approx(t)
+
+    def test_stamp_unstamp_roundtrip(self):
+        clock = SimClock()
+        t = 123456.789012
+        assert clock.unstamp(clock.stamp(t)) == pytest.approx(t, abs=1e-6)
+
+    def test_naive_datetime_treated_as_utc(self):
+        clock = SimClock()
+        naive = clock.to_datetime(100.0).replace(tzinfo=None)
+        assert clock.to_seconds(naive) == pytest.approx(100.0)
+
+    def test_custom_epoch(self):
+        epoch = datetime(2014, 1, 1, tzinfo=timezone.utc)
+        clock = SimClock(epoch=epoch)
+        assert clock.to_datetime(DAY).day == 2
+
+    def test_naive_epoch_gets_utc(self):
+        clock = SimClock(epoch=datetime(2014, 1, 1))
+        assert clock.epoch.tzinfo is not None
+
+    def test_day_of(self):
+        clock = SimClock()
+        assert clock.day_of(0.0) == 0
+        assert clock.day_of(DAY - 1) == 0
+        assert clock.day_of(DAY) == 1
+        assert clock.day_of(10 * DAY + 5) == 10
+
+    def test_week_of(self):
+        clock = SimClock()
+        assert clock.week_of(6 * DAY) == 0
+        assert clock.week_of(7 * DAY) == 1
+
+    def test_hour_of_day(self):
+        clock = SimClock()
+        assert clock.hour_of_day(0.0) == 0
+        assert clock.hour_of_day(DAY + 3 * HOUR + 59) == 3
+        assert clock.hour_of_day(23 * HOUR + 3599) == 23
+
+    @given(t=st.floats(min_value=0, max_value=400 * DAY, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_stamp_roundtrip_property(self, t):
+        clock = SimClock()
+        assert clock.unstamp(clock.stamp(t)) == pytest.approx(t, abs=1e-5)

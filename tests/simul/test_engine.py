@@ -1,0 +1,196 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.simul.engine import SimulationEngine, StopSimulation
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        eng = SimulationEngine()
+        order = []
+        eng.schedule(3.0, lambda e: order.append("c"))
+        eng.schedule(1.0, lambda e: order.append("a"))
+        eng.schedule(2.0, lambda e: order.append("b"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        eng = SimulationEngine()
+        order = []
+        for tag in "abcde":
+            eng.schedule(5.0, lambda e, t=tag: order.append(t))
+        eng.run()
+        assert order == list("abcde")
+
+    def test_now_advances(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule(2.5, lambda e: seen.append(e.now))
+        eng.run()
+        assert seen == [2.5]
+        assert eng.now == 2.5
+
+    def test_cannot_schedule_in_past(self):
+        eng = SimulationEngine()
+        eng.schedule(10.0, lambda e: e.schedule(5.0, lambda e2: None))
+        with pytest.raises(ValueError, match="before now"):
+            eng.run()
+
+    def test_schedule_after(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule(1.0, lambda e: e.schedule_after(2.0, lambda e2: seen.append(e2.now)))
+        eng.run()
+        assert seen == [3.0]
+
+    def test_schedule_after_negative_rejected(self):
+        eng = SimulationEngine()
+        with pytest.raises(ValueError):
+            eng.schedule_after(-1.0, lambda e: None)
+
+    def test_handler_schedules_more_events(self):
+        eng = SimulationEngine()
+        count = []
+
+        def chain(e):
+            count.append(e.now)
+            if len(count) < 5:
+                e.schedule(e.now + 1.0, chain)
+
+        eng.schedule(0.0, chain)
+        eng.run()
+        assert count == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestRunUntil:
+    def test_until_executes_boundary_events(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule(10.0, lambda e: seen.append("boundary"))
+        eng.schedule(10.1, lambda e: seen.append("beyond"))
+        eng.run(until=10.0)
+        assert seen == ["boundary"]
+
+    def test_until_advances_clock_even_without_events(self):
+        eng = SimulationEngine()
+        eng.run(until=100.0)
+        assert eng.now == 100.0
+
+    def test_resume_after_until(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule(5.0, lambda e: seen.append(5))
+        eng.schedule(15.0, lambda e: seen.append(15))
+        eng.run(until=10.0)
+        assert seen == [5]
+        eng.run()
+        assert seen == [5, 15]
+
+    def test_pending_counts_queue(self):
+        eng = SimulationEngine()
+        eng.schedule(1.0, lambda e: None)
+        eng.schedule(2.0, lambda e: None)
+        assert eng.pending() == 2
+        eng.run()
+        assert eng.pending() == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = SimulationEngine()
+        seen = []
+        ev = eng.schedule(1.0, lambda e: seen.append("x"))
+        ev.cancel()
+        eng.run()
+        assert seen == []
+
+    def test_cancel_from_handler(self):
+        eng = SimulationEngine()
+        seen = []
+        later = eng.schedule(2.0, lambda e: seen.append("later"))
+        eng.schedule(1.0, lambda e: later.cancel())
+        eng.run()
+        assert seen == []
+
+    def test_processed_excludes_cancelled(self):
+        eng = SimulationEngine()
+        ev = eng.schedule(1.0, lambda e: None)
+        ev.cancel()
+        eng.schedule(2.0, lambda e: None)
+        eng.run()
+        assert eng.processed == 1
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self):
+        eng = SimulationEngine()
+        ticks = []
+        eng.schedule_periodic(10.0, lambda e: ticks.append(e.now), start=0.0)
+        eng.run(until=35.0)
+        assert ticks == [0.0, 10.0, 20.0, 30.0]
+
+    def test_periodic_rejects_nonpositive_period(self):
+        eng = SimulationEngine()
+        with pytest.raises(ValueError):
+            eng.schedule_periodic(0.0, lambda e: None)
+
+    def test_periodic_default_start_is_now(self):
+        eng = SimulationEngine()
+        ticks = []
+        eng.schedule_periodic(5.0, lambda e: ticks.append(e.now))
+        eng.run(until=11.0)
+        assert ticks == [0.0, 5.0, 10.0]
+
+
+class TestStopAndStep:
+    def test_stop_simulation(self):
+        eng = SimulationEngine()
+        seen = []
+
+        def stopper(e):
+            seen.append("stop")
+            raise StopSimulation
+
+        eng.schedule(1.0, stopper)
+        eng.schedule(2.0, lambda e: seen.append("after"))
+        eng.run()
+        assert seen == ["stop"]
+
+    def test_step_executes_one(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule(1.0, lambda e: seen.append(1))
+        eng.schedule(2.0, lambda e: seen.append(2))
+        ev = eng.step()
+        assert seen == [1]
+        assert ev is not None and ev.time == 1.0
+
+    def test_step_empty_returns_none(self):
+        assert SimulationEngine().step() is None
+
+    def test_clear_drops_pending(self):
+        eng = SimulationEngine()
+        eng.schedule(1.0, lambda e: None)
+        eng.clear()
+        assert eng.pending() == 0
+
+    def test_event_budget_guard(self):
+        eng = SimulationEngine(max_events=10)
+
+        def forever(e):
+            e.schedule(e.now + 1.0, forever)
+
+        eng.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="event budget"):
+            eng.run()
+
+    def test_exception_propagates(self):
+        eng = SimulationEngine()
+
+        def boom(e):
+            raise RuntimeError("boom")
+
+        eng.schedule(1.0, boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            eng.run()

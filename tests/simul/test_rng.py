@@ -1,0 +1,206 @@
+"""Tests for the named deterministic RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simul.rng import RngStream
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(42).child("x")
+        b = RngStream(42).child("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RngStream(1).child("x")
+        b = RngStream(2).child("x")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_sibling_streams_independent_of_creation_order(self):
+        root1 = RngStream(7)
+        x_first = root1.child("x")
+        _y = root1.child("y")
+        root2 = RngStream(7)
+        _y2 = root2.child("y")
+        x_second = root2.child("x")
+        assert [x_first.random() for _ in range(5)] == [
+            x_second.random() for _ in range(5)
+        ]
+
+    def test_different_paths_differ(self):
+        root = RngStream(7)
+        assert root.child("a").random() != root.child("b").random()
+
+    def test_nested_children(self):
+        root = RngStream(3)
+        assert root.child("a", "b").path == ("a", "b")
+        assert root.child("a").child("b").path == ("a", "b")
+        v1 = root.child("a", "b").random()
+        v2 = root.child("a").child("b").random()
+        assert v1 == v2
+
+    def test_consuming_parent_does_not_affect_child(self):
+        root = RngStream(11)
+        child_before = root.child("c").random()
+        root2 = RngStream(11)
+        root2.random()
+        assert root2.child("c").random() == child_before
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(-1)
+
+    def test_child_requires_name(self):
+        with pytest.raises(ValueError):
+            RngStream(0).child()
+
+
+class TestScalarDraws:
+    def test_uniform_bounds(self):
+        rng = RngStream(5).child("u")
+        for _ in range(100):
+            x = rng.uniform(2.0, 3.0)
+            assert 2.0 <= x < 3.0
+
+    def test_exponential_positive(self):
+        rng = RngStream(5).child("e")
+        assert all(rng.exponential(10.0) > 0 for _ in range(100))
+
+    def test_exponential_mean(self):
+        rng = RngStream(5).child("em")
+        xs = rng.exponential_array(100.0, 20_000)
+        assert abs(xs.mean() - 100.0) < 5.0
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            RngStream(0).exponential(0.0)
+
+    def test_truncated_normal_within_bounds(self):
+        rng = RngStream(5).child("t")
+        for _ in range(200):
+            x = rng.truncated_normal(0.0, 5.0, -1.0, 1.0)
+            assert -1.0 <= x <= 1.0
+
+    def test_truncated_normal_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            RngStream(0).truncated_normal(0, 1, 2.0, 1.0)
+
+    def test_pareto_bounded_within(self):
+        rng = RngStream(5).child("p")
+        for _ in range(200):
+            x = rng.pareto_bounded(1.5, 1.0, 100.0)
+            assert 1.0 <= x <= 100.0
+
+    def test_pareto_bounded_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            RngStream(0).pareto_bounded(1.5, 10.0, 1.0)
+
+    def test_pareto_heavy_tail(self):
+        rng = RngStream(5).child("ph")
+        xs = [rng.pareto_bounded(1.2, 1.0, 1000.0) for _ in range(5000)]
+        # most draws small, a few large: median far below mean
+        assert float(np.median(xs)) < float(np.mean(xs))
+
+    def test_integer_inclusive(self):
+        rng = RngStream(5).child("i")
+        values = {rng.integer(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_integer_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            RngStream(0).integer(3, 1)
+
+    def test_poisson_nonnegative(self):
+        rng = RngStream(5).child("po")
+        assert all(rng.poisson(2.0) >= 0 for _ in range(100))
+
+    def test_poisson_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RngStream(0).poisson(-1.0)
+
+    def test_geometric_at_least_one(self):
+        rng = RngStream(5).child("g")
+        assert all(rng.geometric(0.3) >= 1 for _ in range(100))
+
+    def test_geometric_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            RngStream(0).geometric(0.0)
+
+    def test_bernoulli_probabilities(self):
+        rng = RngStream(5).child("b")
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_bernoulli_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            RngStream(0).bernoulli(1.5)
+
+    def test_lognormal_positive(self):
+        rng = RngStream(5).child("ln")
+        assert all(rng.lognormal(1.0, 0.5) > 0 for _ in range(100))
+
+
+class TestCollections:
+    def test_choice_uniform(self):
+        rng = RngStream(5).child("c")
+        items = ["a", "b", "c"]
+        seen = {rng.choice(items) for _ in range(200)}
+        assert seen == set(items)
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(0).choice([])
+
+    def test_choice_weights_respected(self):
+        rng = RngStream(5).child("cw")
+        picks = [rng.choice(["x", "y"], [1.0, 0.0]) for _ in range(50)]
+        assert picks == ["x"] * 50
+
+    def test_choice_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RngStream(0).choice(["a", "b"], [1.0])
+
+    def test_choice_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(0).choice(["a", "b"], [1.0, -0.5])
+
+    def test_sample_distinct(self):
+        rng = RngStream(5).child("s")
+        picked = rng.sample(list(range(20)), 10)
+        assert len(set(picked)) == 10
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(0).sample([1, 2], 3)
+
+    def test_shuffle_is_permutation(self):
+        rng = RngStream(5).child("sh")
+        items = list(range(30))
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(30))  # original untouched
+
+    def test_array_draws_shapes(self):
+        rng = RngStream(5).child("arr")
+        assert rng.exponential_array(1.0, 7).shape == (7,)
+        assert rng.uniform_array(0, 1, 7).shape == (7,)
+        assert rng.normal_array(0, 1, 7).shape == (7,)
+
+
+class TestProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31), name=st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_any_path_reproducible(self, seed, name):
+        a = RngStream(seed).child(name)
+        b = RngStream(seed).child(name)
+        assert a.random() == b.random()
+
+    @given(low=st.integers(-1000, 1000), span=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_integer_always_in_range(self, low, span):
+        rng = RngStream(1).child("prop")
+        x = rng.integer(low, low + span)
+        assert low <= x <= low + span

@@ -1,0 +1,49 @@
+"""Public API surface tests: the README quickstart must work as written."""
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self, tmp_path):
+        """The exact flow advertised in the package docstring."""
+        plat = repro.Platform.build("S1", seed=7)
+        camp = repro.Campaign(plat)
+        camp.burst("mce_failstop", day=0, count=8,
+                   params={"precursor": True})
+        plat.run(days=1)
+        plat.write_logs(tmp_path / "s1")
+
+        diag = repro.HolisticDiagnosis.from_store(repro.LogStore(tmp_path / "s1"))
+        report = diag.run()
+        assert report.failure_count == 8
+        assert report.lead_times.mean_enhancement_factor > 3.0
+
+    def test_docstrings_everywhere(self):
+        """Every public module and public callable carries a docstring."""
+        import importlib
+        import inspect
+        import pkgutil
+
+        missing = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not module.__doc__:
+                missing.append(info.name)
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if getattr(obj, "__module__", None) != info.name:
+                    continue
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not inspect.getdoc(obj):
+                        missing.append(f"{info.name}.{name}")
+        assert not missing, f"missing docstrings: {missing}"

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def logdir(tmp_path_factory):
+    """A tiny diagnosable log directory for CLI commands."""
+    from repro.faults import Campaign
+    from repro.platform import Platform
+    from repro.scheduler import WorkloadConfig, WorkloadGenerator, WorkloadScheduler
+    from tests.conftest import make_tiny_spec
+
+    plat = Platform(make_tiny_spec(nodes=64), seed=31)
+    camp = Campaign(plat)
+    camp.burst("mce_failstop", day=0, count=4, params={"precursor": True})
+    camp.burst("app_exit_chain", day=0, count=3, start_hour=16.0)
+    sched = WorkloadScheduler(plat, ledger=camp.ledger)
+    gen = WorkloadGenerator(plat.rng.child("wl"))
+    sched.submit_all(gen.generate(WorkloadConfig(jobs_per_day=30,
+                                                 duration_days=1,
+                                                 max_nodes=4)))
+    plat.run(days=2)
+    root = tmp_path_factory.mktemp("cli") / "logs"
+    plat.write_logs(root)
+    return root
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "bogus"])
+
+    def test_all_subcommands_parse(self, tmp_path):
+        parser = build_parser()
+        assert parser.parse_args(["simulate", "cases"]).command == "simulate"
+        assert parser.parse_args(["diagnose", "x"]).command == "diagnose"
+        assert parser.parse_args(["predict", "x"]).command == "predict"
+        assert parser.parse_args(["checkpoint", "x"]).command == "checkpoint"
+        assert parser.parse_args(["experiments"]).command == "experiments"
+
+
+class TestCommands:
+    def test_diagnose(self, logdir, capsys):
+        assert main(["diagnose", str(logdir)]) == 0
+        out = capsys.readouterr().out
+        assert "failures detected: 7" in out
+        assert "failure categories" in out
+
+    def test_diagnose_findings_and_cases(self, logdir, capsys):
+        assert main(["diagnose", str(logdir), "--findings", "--cases"]) == 0
+        out = capsys.readouterr().out
+        assert "inference:" in out
+        assert "Recommendation:" in out or "no findings" in out
+
+    def test_predict(self, logdir, capsys):
+        assert main(["predict", str(logdir)]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out and "recall" in out
+
+    def test_predict_require_external(self, logdir, capsys):
+        assert main(["predict", str(logdir), "--require-external"]) == 0
+        assert "alarms:" in capsys.readouterr().out
+
+    def test_checkpoint(self, logdir, capsys):
+        assert main(["checkpoint", str(logdir), "--cost", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "Young/Daly interval" in out
+        assert "expected waste" in out
+
+    def test_simulate_into_tmp(self, tmp_path, capsys):
+        assert main(["simulate", "cases", "--seed", "3",
+                     "--out", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "log lines per source" in out
+        assert (tmp_path / "cache" / "cases-seed3" / "manifest.json").exists()
+
+    def test_diagnose_missing_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a log store"):
+            main(["diagnose", str(tmp_path / "nowhere")])
+
+    def test_experiments_command_reports(self, capsys, monkeypatch):
+        """The experiments subcommand prints per-experiment status and
+        returns non-zero when any shape fails (run_all is stubbed so the
+        test stays fast)."""
+        from repro.experiments.result import ExperimentResult
+        import repro.experiments.registry as registry
+
+        def fake_run_all(seed):
+            yield "figX", "s9", ExperimentResult("figX", "good", {}, {}, True)
+            yield "figY", None, ExperimentResult("figY", "bad", {}, {}, False)
+
+        monkeypatch.setattr(registry, "run_all", fake_run_all)
+        assert main(["experiments"]) == 1
+        out = capsys.readouterr().out
+        assert "ok   figX" in out
+        assert "FAIL figY" in out
+        assert "1/2 experiment shapes hold" in out
+
+    def test_experiments_command_draw(self, capsys, monkeypatch):
+        from repro.experiments.result import ExperimentResult
+        import repro.experiments.registry as registry
+
+        def fake_run_all(seed):
+            yield "fig16", "s2", ExperimentResult(
+                "fig16", "t", {"app_exit": 0.4}, {}, True)
+
+        monkeypatch.setattr(registry, "run_all", fake_run_all)
+        assert main(["experiments", "--draw"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 16" in out and "#" in out

@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped examples must stay runnable.
+
+Only the fast examples run here (the multi-system studies are exercised
+manually / by benches); each is executed in-process with output captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "detected failures:" in out
+        assert "lead times:" in out
+        assert "failure categories:" in out
+
+    def test_operator_daily_report(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        out = run_example("operator_daily_report.py", capsys)
+        assert "NODE FAILURE CASE REPORT" in out
+        assert "FINDINGS AND RECOMMENDATIONS" in out
+        assert "inference:" in out
+
+
+class TestRegistry:
+    def test_experiment_ids_unique(self):
+        from repro.experiments.registry import EXPERIMENT_SPECS
+        ids = [exp_id for exp_id, _, _ in EXPERIMENT_SPECS]
+        assert len(ids) == len(set(ids))
+        assert len(ids) == 24
+
+    def test_scenarios_referenced_exist(self):
+        from repro.experiments.registry import EXPERIMENT_SPECS
+        from repro.experiments.scenarios import SCENARIOS
+        for _exp_id, scenario, _producer in EXPERIMENT_SPECS:
+            assert scenario is None or scenario in SCENARIOS

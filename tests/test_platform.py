@@ -1,0 +1,73 @@
+"""Tests for the assembled Platform object."""
+
+import pytest
+
+from repro.cluster.systems import get_system
+from repro.platform import Platform
+
+
+class TestBuild:
+    def test_build_by_key(self):
+        plat = Platform.build("S5", seed=3)
+        assert plat.spec.key == "S5"
+        assert len(plat.machine) == 520
+
+    def test_build_by_spec(self, tiny_spec):
+        plat = Platform.build(tiny_spec, seed=1)
+        assert plat.spec is tiny_spec
+
+    def test_determinism_same_seed(self, tiny_spec):
+        a = Platform(tiny_spec, seed=5).rng.child("x").random()
+        b = Platform(tiny_spec, seed=5).rng.child("x").random()
+        assert a == b
+
+    def test_different_systems_different_streams(self):
+        a = Platform.build("S1", seed=5).rng.child("x").random()
+        b = Platform.build("S3", seed=5).rng.child("x").random()
+        assert a != b
+
+
+class TestComponents:
+    def test_controllers_cached(self, tiny_platform):
+        blade = tiny_platform.machine.blades[0]
+        assert tiny_platform.blade_controller(blade) is tiny_platform.blade_controller(blade)
+        cab = tiny_platform.machine.cabinets[0]
+        assert tiny_platform.cabinet_controller(cab) is tiny_platform.cabinet_controller(cab)
+
+    def test_controller_for_node(self, tiny_platform):
+        node = tiny_platform.machine.blades[2].node(1)
+        bc = tiny_platform.controller_for(node)
+        assert bc.blade == node.blade
+
+    def test_fabric_lazy_and_cached(self, tiny_platform):
+        assert tiny_platform._fabric is None
+        fabric = tiny_platform.fabric
+        assert tiny_platform.fabric is fabric
+
+
+class TestRun:
+    def test_run_days(self, tiny_platform):
+        assert tiny_platform.run(days=2) == pytest.approx(2 * 86_400)
+
+    def test_run_until(self, tiny_platform):
+        assert tiny_platform.run(until=500.0) == pytest.approx(500.0)
+
+    def test_run_requires_exactly_one(self, tiny_platform):
+        with pytest.raises(ValueError):
+            tiny_platform.run()
+        with pytest.raises(ValueError):
+            tiny_platform.run(until=1.0, days=1.0)
+
+    def test_summary(self, tiny_platform):
+        tiny_platform.run(days=1)
+        summary = tiny_platform.summary()
+        assert summary["system"] == "TT"
+        assert summary["nodes"] == 32
+        assert summary["sim_time_days"] == pytest.approx(1.0)
+
+    def test_write_logs(self, tiny_platform, tmp_path):
+        from repro.logs.store import LogStore
+        tiny_platform.run(days=1)
+        manifest = tiny_platform.write_logs(tmp_path / "out")
+        assert manifest.system == "TT"
+        assert LogStore(tmp_path / "out").exists()
