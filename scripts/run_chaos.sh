@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-2 chaos gate: corruption campaigns against the full pipeline.
+#
+# Runs the `chaos`-marked tests (excluded from the default pytest run)
+# plus the tolerant-parse overhead benchmark in check mode.  Usage:
+#
+#   scripts/run_chaos.sh            # full gate
+#   scripts/run_chaos.sh -k cli    # extra args forwarded to pytest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}$PWD/src"
+
+echo "== chaos campaign (tests/chaos, -m chaos) =="
+python -m pytest tests/chaos -m chaos -q "$@"
+
+echo "== tolerant-parse overhead (benchmarks/bench_tolerant_parse.py) =="
+python -m pytest benchmarks/bench_tolerant_parse.py \
+    -m 'not chaos' --benchmark-disable -q -s

@@ -28,6 +28,7 @@ from repro.core.report import generate_findings, render_findings
 from repro.core.rootcause import RootCauseEngine
 from repro.experiments.render import bar_chart
 from repro.experiments.scenarios import SCENARIOS, materialize
+from repro.logs.health import ErrorPolicy, IngestionError
 from repro.logs.store import LogStore
 
 __all__ = ["main", "build_parser"]
@@ -48,15 +49,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--out", type=Path, default=None,
                        help="directory root (default: scenario cache)")
 
+    policy_kwargs = dict(
+        choices=[p.value for p in ErrorPolicy],
+        default=ErrorPolicy.SKIP.value,
+        help="what to do with unparseable log lines (default: skip; "
+             "quarantine also writes them to <logdir>/quarantine/)",
+    )
+
     p_diag = sub.add_parser("diagnose", help="run the pipeline over a log dir")
     p_diag.add_argument("logdir", type=Path)
+    p_diag.add_argument("--error-policy", **policy_kwargs)
     p_diag.add_argument("--findings", action="store_true",
                         help="print Table VI style findings")
     p_diag.add_argument("--cases", action="store_true",
                         help="print per-failure case narratives")
+    p_diag.add_argument("--health", action="store_true",
+                        help="print per-source ingestion accounting")
 
     p_pred = sub.add_parser("predict", help="online failure prediction")
     p_pred.add_argument("logdir", type=Path)
+    p_pred.add_argument("--error-policy", **policy_kwargs)
     p_pred.add_argument("--require-external", action="store_true")
     p_pred.add_argument("--min-events", type=int, default=3)
     p_pred.add_argument("--horizon", type=float, default=7200.0,
@@ -64,11 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ckpt = sub.add_parser("checkpoint", help="checkpoint interval advice")
     p_ckpt.add_argument("logdir", type=Path)
+    p_ckpt.add_argument("--error-policy", **policy_kwargs)
     p_ckpt.add_argument("--cost", type=float, default=360.0,
                         help="checkpoint cost in seconds")
 
     p_tl = sub.add_parser("timeline", help="forensic timeline for one node")
     p_tl.add_argument("logdir", type=Path)
+    p_tl.add_argument("--error-policy", **policy_kwargs)
     p_tl.add_argument("node", help="node cname, e.g. c0-0c1s4n2")
     p_tl.add_argument("--at", type=float, default=None,
                       help="anchor sim-time (default: the node's first "
@@ -83,12 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load(logdir: Path) -> HolisticDiagnosis:
+def _load(logdir: Path, error_policy: str = "skip") -> HolisticDiagnosis:
     store = LogStore(logdir)
     if not store.exists():
         raise SystemExit(f"error: {logdir} is not a log store "
                          "(no manifest.json)")
-    return HolisticDiagnosis.from_store(store)
+    return HolisticDiagnosis.from_store(store, error_policy=error_policy)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -101,8 +115,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
-    diag = _load(args.logdir)
+    diag = _load(args.logdir, args.error_policy)
     report = diag.run()
+    if report.degraded:
+        print(f"DEGRADED diagnosis ({len(report.degraded_reasons)} reasons):")
+        for reason in report.degraded_reasons:
+            print(f"  - {reason}")
+        if report.skipped_analyses:
+            print(f"  skipped analyses: {', '.join(report.skipped_analyses)}")
+    if args.health and report.ingestion_health is not None:
+        print(report.ingestion_health.render())
     print(f"failures detected: {report.failure_count}")
     lt = report.lead_times
     print(f"lead times: {lt.enhanceable_fraction:.0%} enhanceable, "
@@ -150,7 +172,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    diag = _load(args.logdir)
+    diag = _load(args.logdir, args.error_policy)
     config = PredictorConfig(
         require_external=args.require_external,
         min_events=args.min_events,
@@ -166,7 +188,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
-    diag = _load(args.logdir)
+    diag = _load(args.logdir, args.error_policy)
     advisor = CheckpointAdvisor(diag.failures)
     predictor = OnlinePredictor()
     stream = sorted(diag.internal + diag.external, key=lambda r: r.time)
@@ -185,7 +207,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.core.timeline import node_timeline, render_timeline
 
-    diag = _load(args.logdir)
+    diag = _load(args.logdir, args.error_policy)
     anchor = args.at
     failure = None
     if anchor is None:
@@ -235,7 +257,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "timeline": _cmd_timeline,
         "experiments": _cmd_experiments,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except IngestionError as exc:
+        # strict-policy refusal: a clean diagnostic, not a traceback
+        print(f"error: {exc}\n(rerun with --error-policy=skip or "
+              "quarantine to ingest around the damage)", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - module runner below

@@ -11,12 +11,21 @@ analysis, returning a :class:`DiagnosisReport` -- the single object the
 benchmarks, the examples and the report generator consume.  Individual
 analyses are also exposed as methods so a caller can pay for exactly
 what it needs (the benches for single figures do this).
+
+Robustness: production log sets are incomplete and dirty, so ``run()``
+degrades instead of dying.  Every per-question analysis executes under
+error capture (a crash in one analysis yields its neutral result and an
+entry in ``report.analysis_errors``); a missing source stream skips only
+the analyses that depend on it (``report.skipped_analyses``) and the
+report carries ``degraded=True`` with human-readable reasons plus the
+:class:`~repro.logs.health.IngestionHealth` accounting of what the
+readers saw.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.core.blades import BladeSharing, blade_failure_sharing
 from repro.core.dominant import DailyDominance, daily_dominance, dominance_summary
@@ -43,11 +52,32 @@ from repro.core.spatial import SwoEvent, detect_swos, exclude_intended
 from repro.core.stacktrace import failure_breakdown, traces_by_node
 from repro.core.temporal import InterFailureStats, weekly_stats
 from repro.faults.model import FailureCategory
+from repro.logs.health import ErrorPolicy, IngestionHealth
 from repro.logs.parsing import ParsedRecord
+from repro.logs.record import LogSource
 from repro.logs.store import LogStore
 from repro.simul.clock import DAY
 
-__all__ = ["DiagnosisReport", "HolisticDiagnosis"]
+__all__ = ["DiagnosisReport", "HolisticDiagnosis", "SOURCE_DEPENDENT_ANALYSES"]
+
+#: analyses that are *skipped* (not merely emptier) when a source stream
+#: is absent -- the degradation contract the CLI and tests rely on
+SOURCE_DEPENDENT_ANALYSES: dict[LogSource, tuple[str, ...]] = {
+    LogSource.SCHEDULER: ("job_census", "same_job_groups"),
+    LogSource.CONTROLLER: (
+        "nvf_correspondence",
+        "nhf_correspondence",
+        "nhf_breakdown",
+        "faulty_fractions",
+    ),
+    LogSource.ERD: ("nhf_breakdown",),
+}
+
+#: internal sources never skip analyses outright, but their absence is
+#: still a degradation worth flagging (detection may undercount)
+_INTERNAL_SOURCES = (LogSource.CONSOLE, LogSource.MESSAGES, LogSource.CONSUMER)
+
+T = TypeVar("T")
 
 
 @dataclass
@@ -76,6 +106,17 @@ class DiagnosisReport:
     blade_sharing: list[BladeSharing]
     root_causes: list[RootCauseInference]
     family_split: dict[str, float]
+    #: True when anything below is non-empty / non-None
+    degraded: bool = False
+    #: human-readable degradation reasons (missing streams, quarantines)
+    degraded_reasons: list[str] = field(default_factory=list)
+    #: analyses skipped because their source stream was absent
+    skipped_analyses: list[str] = field(default_factory=list)
+    #: analysis name -> captured exception (the analysis returned its
+    #: neutral result instead of killing the run)
+    analysis_errors: dict[str, str] = field(default_factory=dict)
+    #: what the hardened readers saw, when the caller asked for it
+    ingestion_health: Optional[IngestionHealth] = None
 
     @property
     def failure_count(self) -> int:
@@ -92,11 +133,19 @@ class HolisticDiagnosis:
         scheduler: Sequence[ParsedRecord],
         detector: Optional[FailureDetector] = None,
         total_nodes: Optional[int] = None,
+        missing_sources: Sequence[LogSource] = (),
+        ingestion_health: Optional[IngestionHealth] = None,
     ) -> None:
         self.internal = list(internal)
         self.external = list(external)
         self.scheduler = list(scheduler)
         self.detector = detector or FailureDetector()
+        self.ingestion_health = ingestion_health
+        self.missing_sources = list(missing_sources)
+        if ingestion_health is not None:
+            for source in ingestion_health.missing_sources():
+                if source not in self.missing_sources:
+                    self.missing_sources.append(source)
         # step 2 (built first -- step 1's accounting needs the power-off
         # notifications): external index
         self.index: ExternalIndex = ExternalIndex.build(self.external)
@@ -114,14 +163,27 @@ class HolisticDiagnosis:
         self._node_traces = None
 
     @classmethod
-    def from_store(cls, store: LogStore, **kwargs) -> "HolisticDiagnosis":
+    def from_store(
+        cls,
+        store: LogStore,
+        error_policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+        health: Optional[IngestionHealth] = None,
+        **kwargs,
+    ) -> "HolisticDiagnosis":
         """Build the pipeline from an on-disk log directory.
 
         The manifest's system key sizes the machine for SWO recognition
-        (unknown keys simply skip SWO separation).
+        (unknown keys simply skip SWO separation).  ``error_policy``
+        governs the readers (see :class:`~repro.logs.health.ErrorPolicy`);
+        the resulting :class:`~repro.logs.health.IngestionHealth` rides
+        on the pipeline and the report.  Under ``strict`` a single
+        malformed line raises; the tolerant policies always produce a
+        (possibly degraded) pipeline.
         """
         manifest = store.manifest()
         clock = manifest.clock()
+        policy = ErrorPolicy.coerce(error_policy)
+        health = health if health is not None else IngestionHealth()
         if "total_nodes" not in kwargs:
             try:
                 from repro.cluster.systems import get_system
@@ -129,10 +191,13 @@ class HolisticDiagnosis:
                 kwargs["total_nodes"] = get_system(manifest.system).nodes
             except KeyError:
                 pass
+        missing = [s for s in LogSource if not store.source_files(s)]
         return cls(
-            internal=store.read_internal(clock),
-            external=store.read_external(clock),
-            scheduler=store.read_scheduler(clock),
+            internal=store.read_internal(clock, policy, health),
+            external=store.read_external(clock, policy, health),
+            scheduler=store.read_scheduler(clock, policy, health),
+            missing_sources=missing,
+            ingestion_health=health,
             **kwargs,
         )
 
@@ -153,33 +218,138 @@ class HolisticDiagnosis:
         return max(1, int(last // DAY) + 1)
 
     # ------------------------------------------------------------------
+    def skipped_analyses(self) -> list[str]:
+        """Analyses the degradation contract skips for missing streams."""
+        skipped: list[str] = []
+        for source in self.missing_sources:
+            for name in SOURCE_DEPENDENT_ANALYSES.get(source, ()):
+                if name not in skipped:
+                    skipped.append(name)
+        return skipped
+
+    def degradation_reasons(self) -> list[str]:
+        """Human-readable reasons the report will be marked degraded."""
+        reasons: list[str] = []
+        for source in self.missing_sources:
+            dependents = SOURCE_DEPENDENT_ANALYSES.get(source, ())
+            if dependents:
+                reasons.append(
+                    f"{source.value} stream missing: skipped "
+                    + ", ".join(dependents)
+                )
+            elif source in _INTERNAL_SOURCES:
+                reasons.append(
+                    f"internal source {source.value} missing: failure "
+                    "detection may undercount"
+                )
+        health = self.ingestion_health
+        if health is not None:
+            if health.total_quarantined:
+                reasons.append(
+                    f"{health.total_quarantined} unparseable lines "
+                    "quarantined during ingestion"
+                )
+            if health.total_recovered:
+                reasons.append(
+                    f"{health.total_recovered} damaged lines recovered "
+                    "during ingestion"
+                )
+            for note in health.notes:
+                if note not in reasons:
+                    reasons.append(note)
+        return reasons
+
+    # ------------------------------------------------------------------
     def run(self) -> DiagnosisReport:
-        """Execute every analysis and assemble the report."""
-        dominance = daily_dominance(self.failures)
-        lead_records = compute_lead_times(self.failures, self.internal, self.index)
-        engine = RootCauseEngine(self.index, self.node_traces, self.jobs)
-        inferences = engine.infer_all(self.failures)
-        return DiagnosisReport(
+        """Execute every analysis and assemble the report.
+
+        Each analysis runs under error capture: a crash produces the
+        analysis's neutral result and an ``analysis_errors`` entry
+        instead of an unhandled exception, so one pathological stream
+        never costs the operator the rest of the diagnosis.
+        """
+        skipped = self.skipped_analyses()
+        errors: dict[str, str] = {}
+
+        def safe(name: str, fn: Callable[[], T], default: T) -> T:
+            if name in skipped:
+                return default
+            try:
+                return fn()
+            except Exception as exc:  # capture, degrade, carry on
+                errors[name] = f"{type(exc).__name__}: {exc}"
+                return default
+
+        dominance = safe("dominance", lambda: daily_dominance(self.failures), [])
+        lead_records = safe(
+            "lead_times",
+            lambda: compute_lead_times(self.failures, self.internal, self.index),
+            [],
+        )
+        inferences = safe(
+            "root_causes",
+            lambda: RootCauseEngine(
+                self.index, self.node_traces, self.jobs
+            ).infer_all(self.failures),
+            [],
+        )
+        report = DiagnosisReport(
             failures=self.failures,
             intended_shutdowns=self.intended_shutdowns,
             swos=self.swos,
-            weekly_inter_failure=weekly_stats(self.failures),
+            weekly_inter_failure=safe(
+                "weekly_inter_failure", lambda: weekly_stats(self.failures), []),
             dominance=dominance,
-            dominance_summary=dominance_summary(dominance),
-            nvf_correspondence=correspondence(self.index.nvf, self.failures),
-            nhf_correspondence=correspondence(self.index.nhf, self.failures),
-            nhf_breakdown=nhf_breakdown(self.index, self.failures),
-            faulty_fractions=faulty_component_fractions(self.failures, self.index),
-            error_populations=error_populations(
-                self.internal, self.failures, self.duration_days()
-            ),
-            job_census=exit_census(self.jobs),
-            same_job_groups=same_job_locality(self.jobs, self.failures),
+            dominance_summary=safe(
+                "dominance_summary", lambda: dominance_summary(dominance), {}),
+            nvf_correspondence=safe(
+                "nvf_correspondence",
+                lambda: correspondence(self.index.nvf, self.failures), []),
+            nhf_correspondence=safe(
+                "nhf_correspondence",
+                lambda: correspondence(self.index.nhf, self.failures), []),
+            nhf_breakdown=safe(
+                "nhf_breakdown",
+                lambda: nhf_breakdown(self.index, self.failures), []),
+            faulty_fractions=safe(
+                "faulty_fractions",
+                lambda: faulty_component_fractions(self.failures, self.index),
+                []),
+            error_populations=safe(
+                "error_populations",
+                lambda: error_populations(
+                    self.internal, self.failures, self.duration_days()), []),
+            job_census=safe(
+                "job_census", lambda: exit_census(self.jobs), exit_census({})),
+            same_job_groups=safe(
+                "same_job_groups",
+                lambda: same_job_locality(self.jobs, self.failures), []),
             lead_times=summarize_lead_times(lead_records),
             lead_time_records=lead_records,
-            false_positives=compare_fpr(self.internal, self.failures, self.index),
-            category_breakdown=failure_breakdown(self.failures, self.node_traces),
-            blade_sharing=blade_failure_sharing(self.failures),
+            false_positives=safe(
+                "false_positives",
+                lambda: compare_fpr(self.internal, self.failures, self.index),
+                compare_fpr([], [], ExternalIndex()),
+            ),
+            category_breakdown=safe(
+                "category_breakdown",
+                lambda: failure_breakdown(self.failures, self.node_traces), {}),
+            blade_sharing=safe(
+                "blade_sharing",
+                lambda: blade_failure_sharing(self.failures), []),
             root_causes=inferences,
-            family_split=family_split(inferences),
+            family_split=safe(
+                "family_split", lambda: family_split(inferences), {}),
         )
+        report.skipped_analyses = skipped
+        report.analysis_errors = errors
+        report.degraded_reasons = self.degradation_reasons()
+        for name, message in errors.items():
+            report.degraded_reasons.append(f"analysis {name} failed: {message}")
+        report.ingestion_health = self.ingestion_health
+        report.degraded = bool(
+            skipped or errors or report.degraded_reasons
+            or (self.ingestion_health is not None
+                and self.ingestion_health.degraded)
+        )
+        return report

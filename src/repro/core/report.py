@@ -171,6 +171,29 @@ def generate_findings(report: DiagnosisReport) -> list[Finding]:
             )
         )
 
+    if report.degraded:
+        skipped = ", ".join(report.skipped_analyses) or "none"
+        health = report.ingestion_health
+        quarantined = health.total_quarantined if health is not None else 0
+        findings.append(
+            Finding(
+                finding=(
+                    "This diagnosis ran degraded: parts of the log set were "
+                    "missing or unparseable, so some conclusions are partial."
+                ),
+                recommendation=(
+                    "Re-ingest after restoring the missing sources (or "
+                    "inspect the quarantine directory) before acting on "
+                    "absent analyses."
+                ),
+                evidence=(
+                    f"skipped analyses: {skipped}; "
+                    f"{quarantined} lines quarantined; "
+                    f"{len(report.degraded_reasons)} degradation reasons"
+                ),
+            )
+        )
+
     unknown = report.family_split.get("unknown", 0.0)
     if unknown > 0.0 and report.failure_count:
         findings.append(

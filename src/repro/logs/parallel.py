@@ -8,6 +8,15 @@ physical file, so daily-rotated stores parallelise across days -- and
 reassembles the same three record streams
 :class:`~repro.core.pipeline.HolisticDiagnosis` consumes.
 
+Robustness: workers never kill the pool.  A worker that fails on a file
+(corrupt gzip segment, vanished file, decode explosion) returns an error
+marker instead of raising; the parent then re-parses that file serially
+once, and only if the serial pass also fails is the file recorded as
+lost in the :class:`~repro.logs.health.IngestionHealth` notes.  Under
+the ``strict`` error policy, malformed *lines* still raise
+:class:`~repro.logs.health.IngestionError` in the parent, as they do on
+the serial path.
+
 Per the optimisation guides' discipline ("no optimisation without
 measuring"), the speed-up is benchmarked in
 ``benchmarks/bench_parallel_parse.py`` rather than assumed; on small
@@ -21,64 +30,108 @@ import multiprocessing
 from pathlib import Path
 from typing import Optional
 
+from repro.logs.health import (
+    ErrorPolicy,
+    IngestionError,
+    IngestionHealth,
+    SourceHealth,
+)
 from repro.logs.parsing import LineParser, ParsedRecord
 from repro.logs.record import LogSource
-from repro.logs.store import LogStore, StoreManifest
+from repro.logs.store import LogStore, parse_log_file
+from repro.simul.clock import SimClock
 
 __all__ = ["parallel_read", "diagnosis_inputs", "MIN_PARALLEL_BYTES"]
 
 #: stores smaller than this parse serially (pool startup would dominate)
 MIN_PARALLEL_BYTES = 4 * 1024 * 1024
 
+#: result tuple a worker sends home: (records, health-dict, quarantined
+#: raw lines, error string or None)
+_WorkerResult = tuple[list[ParsedRecord], dict[str, int], list[str], Optional[str]]
 
-def _parse_file(args: tuple[str, str]) -> list[ParsedRecord]:
-    """Worker: parse one log file (module-level for pickling)."""
-    path_str, epoch_iso = args
-    manifest = StoreManifest(system="?", seed=0, epoch_iso=epoch_iso,
-                             duration_seconds=0.0)
-    parser = LineParser(manifest.clock())
-    records: list[ParsedRecord] = []
-    with Path(path_str).open() as handle:
-        for line in handle:
-            rec = parser.parse(line)
-            if rec is not None:
-                records.append(rec)
-    return records
+
+def _parse_file(args: tuple[str, str, str]) -> _WorkerResult:
+    """Worker: parse one log file (module-level for pickling).
+
+    The clock is rebuilt directly from the manifest's epoch string --
+    no throwaway manifest needed.  Errors other than strict-policy
+    violations are captured and reported, never raised, so one bad file
+    cannot take down the whole pool.
+    """
+    path_str, epoch_iso, policy_value = args
+    policy = ErrorPolicy(policy_value)
+    parser = LineParser(SimClock.from_iso(epoch_iso))
+    try:
+        records, health, quarantined = parse_log_file(
+            Path(path_str), parser, policy)
+        return records, health.as_dict(), quarantined, None
+    except IngestionError:
+        if policy is ErrorPolicy.STRICT:
+            raise  # strict means strict: propagate through the pool
+        return [], {}, [], f"unreadable: {path_str}"
+    except Exception as exc:  # worker crash -> marker, not pool death
+        return [], {}, [], f"{type(exc).__name__}: {exc}"
 
 
 def parallel_read(
     store: LogStore,
     workers: Optional[int] = None,
     force_parallel: bool = False,
+    policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+    health: Optional[IngestionHealth] = None,
 ) -> dict[LogSource, list[ParsedRecord]]:
     """Parse every source of a store, fanned out over processes.
 
     Returns source -> time-sorted records.  Serial fallback when the
     store is small (see :data:`MIN_PARALLEL_BYTES`) unless
-    ``force_parallel`` insists.
+    ``force_parallel`` insists.  ``policy`` and ``health`` behave as in
+    :meth:`~repro.logs.store.LogStore.read_source`.
     """
+    policy = ErrorPolicy.coerce(policy)
     manifest = store.manifest()
     tasks: list[tuple[LogSource, str]] = []
     total_bytes = 0
     for source in LogSource:
-        for path in store._source_files(source):
+        if policy is ErrorPolicy.QUARANTINE:
+            store._reset_quarantine(source)
+        paths = store.source_files(source)
+        if not paths and health is not None:
+            health.source(source)
+            health.note(f"source {source.value!r} has no log files")
+        for path in paths:
             tasks.append((source, str(path)))
             total_bytes += path.stat().st_size
     out: dict[LogSource, list[ParsedRecord]] = {s: [] for s in LogSource}
     if not tasks:
         return out
+    worker_args = [(path, manifest.epoch_iso, policy.value)
+                   for _source, path in tasks]
     if total_bytes < MIN_PARALLEL_BYTES and not force_parallel:
-        for source, path in tasks:
-            out[source].extend(_parse_file((path, manifest.epoch_iso)))
+        parsed = [_parse_file(args) for args in worker_args]
     else:
         workers = workers or min(len(tasks), multiprocessing.cpu_count())
         with multiprocessing.Pool(processes=max(1, workers)) as pool:
-            parsed = pool.map(
-                _parse_file,
-                [(path, manifest.epoch_iso) for _source, path in tasks],
-            )
-        for (source, _path), records in zip(tasks, parsed):
-            out[source].extend(records)
+            parsed = pool.map(_parse_file, worker_args)
+    for (source, path), result in zip(tasks, parsed):
+        records, counts, quarantined, error = result
+        if error is not None:
+            # one serial retry in the parent before declaring the file lost
+            records, counts, quarantined, error = _parse_file(
+                (path, manifest.epoch_iso, policy.value))
+            if error is None:
+                counts["retried_files"] = counts.get("retried_files", 0) + 1
+        if error is not None:
+            if health is not None:
+                bucket = health.source(source)
+                bucket.files += 1
+                bucket.retried_files += 1
+                health.note(f"file lost after retry: {Path(path).name} ({error})")
+            continue
+        store._write_quarantine(source, quarantined)
+        if health is not None:
+            health.source(source).merge(SourceHealth.from_dict(counts))
+        out[source].extend(records)
     for records in out.values():
         records.sort(key=lambda r: r.time)
     return out
@@ -88,6 +141,8 @@ def diagnosis_inputs(
     store: LogStore,
     workers: Optional[int] = None,
     force_parallel: bool = False,
+    policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+    health: Optional[IngestionHealth] = None,
 ) -> tuple[list[ParsedRecord], list[ParsedRecord], list[ParsedRecord]]:
     """(internal, external, scheduler) streams, parsed in parallel.
 
@@ -97,7 +152,8 @@ def diagnosis_inputs(
         diag = HolisticDiagnosis(internal, external, sched)
     """
     by_source = parallel_read(store, workers=workers,
-                              force_parallel=force_parallel)
+                              force_parallel=force_parallel,
+                              policy=policy, health=health)
     internal = sorted(
         by_source[LogSource.CONSOLE] + by_source[LogSource.MESSAGES]
         + by_source[LogSource.CONSUMER],

@@ -15,13 +15,30 @@ arithmetic in the analysis layers is exact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, NamedTuple, Optional
 
 from repro.logs.catalog import EventSpec, events_for_daemon
 from repro.logs.record import LogSource, Severity
 from repro.simul.clock import SimClock, parse_syslog
 
-__all__ = ["ParsedRecord", "LineParser", "parse_line", "parse_lines"]
+__all__ = [
+    "ParsedRecord",
+    "ParseOutcome",
+    "LineParser",
+    "parse_line",
+    "parse_lines",
+    "DEFAULT_MAX_SKEW",
+    "REPLACEMENT_CHAR",
+]
+
+#: largest backwards timestamp jump (seconds) treated as clock skew and
+#: clamped; larger jumps usually mean daily rotation, which file order
+#: already handles, so the bound is deliberately generous
+DEFAULT_MAX_SKEW = 3600.0
+
+#: the substitution character ``errors="replace"`` decoding leaves behind
+REPLACEMENT_CHAR = "�"
+_REPLACEMENT = REPLACEMENT_CHAR
 
 
 @dataclass(frozen=True)
@@ -66,16 +83,54 @@ class ParsedRecord:
             return default
 
 
+class ParseOutcome(NamedTuple):
+    """Classified result of one hardened parse attempt.
+
+    ``status`` is one of ``"parsed"`` (a record came out, possibly after
+    repair -- see ``recovered``), ``"blank"`` (empty line, ignorable by
+    construction) or ``"malformed"`` (nothing salvageable; the error
+    policy decides its fate).  A NamedTuple, not a dataclass: one is
+    allocated per log line, so construction cost is on the hot path.
+    """
+
+    record: Optional[ParsedRecord]
+    status: str
+    recovered: bool = False
+
+
+#: shared outcomes for the two record-less cases (hot-path allocation)
+_BLANK = ParseOutcome(None, "blank")
+_MALFORMED = ParseOutcome(None, "malformed")
+
+
 class LineParser:
     """Reusable parser bound to one clock.
 
     Builds the per-daemon dispatch tables once; :meth:`parse` is then a
     hot loop of (split, table lookup, regex match).
+
+    :meth:`parse` keeps the seed semantics (None for anything it cannot
+    handle); :meth:`parse_ex` is the hardened entry point used by the
+    resilient readers -- it classifies every line and repairs what it
+    can: bounded clock-skew clamping for out-of-order stamps, last-known
+    time substitution for lines whose stamp was destroyed by a torn
+    write, and accounting of mojibake survivors.  Call :meth:`reset`
+    between files so skew tracking never bleeds across file boundaries.
     """
 
-    def __init__(self, clock: Optional[SimClock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        max_skew: float = DEFAULT_MAX_SKEW,
+    ) -> None:
         self.clock = clock or SimClock()
+        self.max_skew = float(max_skew)
         self._tables: dict[str, list[EventSpec]] = {}
+        self._last_time: Optional[float] = None
+
+    def reset(self) -> None:
+        """Forget skew state (call at each file boundary)."""
+        self._last_time = None
 
     def _table(self, daemon: str) -> list[EventSpec]:
         table = self._tables.get(daemon)
@@ -88,11 +143,9 @@ class LineParser:
             self._tables[daemon] = table
         return table
 
-    def parse(self, line: str) -> Optional[ParsedRecord]:
-        """Parse one line; None for blank/malformed lines."""
-        line = line.rstrip("\n")
-        if not line.strip():
-            return None
+    @staticmethod
+    def _structure(line: str) -> Optional[tuple[str, str, str, str]]:
+        """Split ``stamp component daemon: body``; None when torn apart."""
         parts = line.split(" ", 2)
         if len(parts) < 3:
             return None
@@ -100,10 +153,12 @@ class LineParser:
         daemon, sep, body = rest.partition(": ")
         if not sep:
             return None
-        try:
-            time = self.clock.to_seconds(parse_syslog(stamp))
-        except ValueError:
-            return None
+        return stamp, component, daemon, body
+
+    def _build(
+        self, time: float, component: str, daemon: str, body: str
+    ) -> ParsedRecord:
+        """Match the body against the daemon's catalog table."""
         for spec in self._table(daemon):
             attrs = spec.parse(body)
             if attrs is not None:
@@ -128,6 +183,63 @@ class LineParser:
             severity=Severity.INFO,
             body=body,
         )
+
+    def parse(self, line: str) -> Optional[ParsedRecord]:
+        """Parse one line; None for blank/malformed lines."""
+        line = line.rstrip("\n")
+        if not line.strip():
+            return None
+        structure = self._structure(line)
+        if structure is None:
+            return None
+        stamp, component, daemon, body = structure
+        try:
+            time = self.clock.to_seconds(parse_syslog(stamp))
+        except ValueError:
+            return None
+        return self._build(time, component, daemon, body)
+
+    def parse_ex(self, line: str, scan_mojibake: bool = True) -> ParseOutcome:
+        """Hardened parse: classify and, where possible, repair a line.
+
+        Repairs (all counted as ``recovered``):
+
+        * **clock skew** -- a stamp more than :attr:`max_skew` seconds
+          behind the last good one is clamped forward to it (bounded
+          skew correction; small jitter is left for downstream sorting);
+        * **destroyed stamp** -- a line whose stamp no longer parses but
+          whose ``daemon: body`` structure survived inherits the last
+          good time (torn writes shear mostly at line starts);
+        * **mojibake survivors** -- lines that decoded with replacement
+          characters yet still parsed.
+
+        ``scan_mojibake=False`` skips the per-line replacement-character
+        scan; the file reader passes it when one whole-file scan already
+        proved the file clean (the overwhelmingly common case).
+        """
+        line = line.rstrip("\n")
+        if not line.strip():
+            return _BLANK
+        structure = self._structure(line)
+        if structure is None:
+            return _MALFORMED
+        stamp, component, daemon, body = structure
+        recovered = scan_mojibake and _REPLACEMENT in line
+        last = self._last_time
+        try:
+            time = self.clock.to_seconds(parse_syslog(stamp))
+        except ValueError:
+            if last is None:
+                return _MALFORMED
+            time = last
+            recovered = True
+        if last is None or time > last:
+            self._last_time = time
+        elif time < last - self.max_skew:
+            time = last
+            recovered = True
+        record = self._build(time, component, daemon, body)
+        return ParseOutcome(record, "parsed", recovered)
 
     def parse_many(self, lines: Iterable[str]) -> Iterator[ParsedRecord]:
         """Parse an iterable of lines, skipping unparseable ones."""

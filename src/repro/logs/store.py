@@ -20,18 +20,33 @@ simulation seconds.
 
 from __future__ import annotations
 
+import gzip
 import json
+import time as _time
 from dataclasses import dataclass
-from datetime import datetime, timezone
 from pathlib import Path
-from typing import Iterable, Iterator, Optional
+from typing import IO, Iterable, Iterator, Optional
 
-from repro.logs.parsing import LineParser, ParsedRecord
+from repro.logs.health import ErrorPolicy, IngestionError, IngestionHealth, SourceHealth
+from repro.logs.parsing import REPLACEMENT_CHAR, LineParser, ParsedRecord
 from repro.logs.record import LogBus, LogRecord, LogSource
 from repro.logs.render import render_line
 from repro.simul.clock import SimClock
 
-__all__ = ["LogStore", "StoreManifest"]
+__all__ = [
+    "LogStore",
+    "StoreManifest",
+    "parse_log_file",
+    "open_log_text",
+    "QUARANTINE_DIR",
+]
+
+#: subdirectory (under the store root) collecting quarantined raw lines
+QUARANTINE_DIR = "quarantine"
+
+#: bounded retry for transient I/O errors (NFS hiccups, rotation races)
+_IO_RETRIES = 3
+_IO_BACKOFF = 0.05
 
 _SOURCE_PATHS: dict[LogSource, str] = {
     LogSource.CONSOLE: "p0/console.log",
@@ -54,10 +69,86 @@ class StoreManifest:
 
     def clock(self) -> SimClock:
         """Reconstruct the clock the writer used."""
-        epoch = datetime.fromisoformat(self.epoch_iso)
-        if epoch.tzinfo is None:
-            epoch = epoch.replace(tzinfo=timezone.utc)
-        return SimClock(epoch=epoch)
+        return SimClock.from_iso(self.epoch_iso)
+
+
+def open_log_text(path: Path) -> IO[str]:
+    """Open a log file for tolerant text reading.
+
+    ``.gz`` segments are decompressed transparently; decoding never
+    raises -- undecodable bytes become replacement characters, which the
+    hardened parser counts as recovered lines.
+    """
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8", errors="replace")
+    return path.open("r", encoding="utf-8", errors="replace")
+
+
+def parse_log_file(
+    path: Path,
+    parser: LineParser,
+    policy: ErrorPolicy = ErrorPolicy.SKIP,
+) -> tuple[list[ParsedRecord], SourceHealth, list[str]]:
+    """Parse one physical log file under an error policy.
+
+    Returns ``(records, health, quarantined_lines)``.  The function is
+    process-safe (no writes); quarantine persistence is the caller's job
+    so parallel workers stay pure.  Transient ``OSError`` during the
+    read is retried from scratch up to :data:`_IO_RETRIES` times with
+    the partial accounting discarded, so the conservation law holds even
+    across retries.
+
+    The file is read whole (daily-rotated segments keep sizes modest) so
+    the mojibake scan runs once over the buffer instead of once per
+    line; the per-line scan is re-enabled only for the rare file that
+    actually contains replacement characters.
+    """
+    last_error: Optional[OSError] = None
+    for attempt in range(_IO_RETRIES):
+        records: list[ParsedRecord] = []
+        quarantined: list[str] = []
+        # local counters: attribute increments per line would dominate
+        # the hot loop (measured in benchmarks/bench_tolerant_parse.py)
+        read = parsed = recovered = ignored = 0
+        parser.reset()
+        parse_ex = parser.parse_ex
+        append = records.append
+        try:
+            with open_log_text(path) as handle:
+                text = handle.read()
+            scan = REPLACEMENT_CHAR in text
+            for line in text.splitlines():
+                read += 1
+                record, status, repaired = parse_ex(line, scan)
+                if record is not None:
+                    parsed += 1
+                    recovered += repaired
+                    append(record)
+                elif status == "blank":
+                    ignored += 1
+                else:  # malformed
+                    if policy is ErrorPolicy.STRICT:
+                        raise IngestionError(
+                            f"malformed line in {path}: {line[:120]!r}",
+                            path=str(path), line=line,
+                        )
+                    if policy is ErrorPolicy.QUARANTINE:
+                        quarantined.append(line)
+                    else:
+                        ignored += 1
+            health = SourceHealth(
+                read=read, parsed=parsed, quarantined=len(quarantined),
+                ignored=ignored, recovered=recovered, files=1,
+                retried_files=1 if attempt else 0,
+            )
+            return records, health, quarantined
+        except OSError as exc:
+            last_error = exc
+            _time.sleep(_IO_BACKOFF * (attempt + 1))
+    raise IngestionError(
+        f"unreadable after {_IO_RETRIES} attempts: {path}: {last_error}",
+        path=str(path),
+    )
 
 
 class LogStore:
@@ -96,10 +187,14 @@ class LogStore:
         (self.root / "manifest.json").write_text(
             json.dumps(manifest.__dict__, indent=2) + "\n"
         )
-        # clear any previous layout (plain or rotated)
+        # clear any previous layout (plain, rotated, or gzipped), plus
+        # any quarantine left over from reading a corrupted predecessor
         for source in _SOURCE_PATHS:
-            for old in self._source_files(source):
+            for old in self.source_files(source):
                 old.unlink()
+            quarantine = self.quarantine_path(source)
+            if quarantine.is_file():
+                quarantine.unlink()
         handles: dict = {}
         try:
             if not rotate_daily:
@@ -127,14 +222,52 @@ class LogStore:
                 handle.close()
         return manifest
 
-    def _source_files(self, source: LogSource) -> list[Path]:
-        """All files (plain or rotated) holding one source, sorted."""
+    def source_files(self, source: LogSource) -> list[Path]:
+        """All files (plain, rotated, or gzipped) holding one source.
+
+        Public API: the parallel reader and the corruption injector use
+        it to enumerate the physical files of a source family.  Rotated
+        names sort chronologically (``console-20150105.log`` ...), and a
+        gzipped segment sorts exactly where its plain twin would, so
+        file order is time order within a source.
+        """
         base = self.root / _SOURCE_PATHS[source]
         files = []
-        if base.is_file():
-            files.append(base)
-        files.extend(sorted(base.parent.glob(f"{base.stem}-*.log")))
+        for candidate in (base, base.with_name(base.name + ".gz")):
+            if candidate.is_file():
+                files.append(candidate)
+        rotated = list(base.parent.glob(f"{base.stem}-*.log"))
+        rotated.extend(base.parent.glob(f"{base.stem}-*.log.gz"))
+        files.extend(sorted(rotated, key=lambda p: p.name.removesuffix(".gz")))
         return files
+
+    # backwards-compatible alias (pre-hardening private spelling)
+    _source_files = source_files
+
+    def quarantine_path(self, source: LogSource) -> Path:
+        """Where quarantined raw lines of one source are collected."""
+        return self.root / QUARANTINE_DIR / f"{source.value}.quarantine.log"
+
+    def _reset_quarantine(self, source: LogSource) -> None:
+        """Start a fresh quarantine pass: drop the previous run's file.
+
+        Called at the start of every quarantine-policy read so the
+        on-disk file always mirrors exactly one ingestion pass and never
+        accumulates duplicates across repeated diagnoses.
+        """
+        path = self.quarantine_path(source)
+        if path.is_file():
+            path.unlink()
+
+    def _write_quarantine(self, source: LogSource, lines: list[str]) -> None:
+        """Append quarantined raw lines for later forensics."""
+        if not lines:
+            return
+        path = self.quarantine_path(source)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
 
     def append_records(self, records: Iterable[LogRecord], clock: SimClock) -> int:
         """Append records to an existing store; returns lines written."""
@@ -164,51 +297,94 @@ class LogStore:
         return self.root / _SOURCE_PATHS[source]
 
     def read_source(
-        self, source: LogSource, clock: Optional[SimClock] = None
+        self,
+        source: LogSource,
+        clock: Optional[SimClock] = None,
+        policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+        health: Optional[IngestionHealth] = None,
     ) -> Iterator[ParsedRecord]:
         """Stream parsed records of one source family, in file order.
 
-        Handles both the plain single-file layout and daily-rotated
-        files (rotated names sort chronologically, so file order is
-        time order within a source).
+        Handles the plain single-file layout, daily-rotated files and
+        gzipped segments transparently.  ``policy`` decides the fate of
+        unparseable lines (see :class:`~repro.logs.health.ErrorPolicy`);
+        ``health`` accumulates the per-source line accounting when the
+        caller wants it.
         """
+        policy = ErrorPolicy.coerce(policy)
         clock = clock or self.manifest().clock()
         parser = LineParser(clock)
-        for path in self._source_files(source):
-            with path.open() as handle:
-                for line in handle:
-                    rec = parser.parse(line)
-                    if rec is not None:
-                        yield rec
+        bucket = health.source(source) if health is not None else None
+        if policy is ErrorPolicy.QUARANTINE:
+            self._reset_quarantine(source)
+        files = self.source_files(source)
+        if not files and health is not None:
+            health.note(f"source {source.value!r} has no log files")
+        for path in files:
+            try:
+                records, file_health, quarantined = parse_log_file(
+                    path, parser, policy)
+            except IngestionError:
+                if policy is ErrorPolicy.STRICT:
+                    raise
+                if health is not None:
+                    bucket.files += 1
+                    bucket.retried_files += 1
+                    health.note(f"unreadable file skipped: {path.name}")
+                continue
+            self._write_quarantine(source, quarantined)
+            if bucket is not None:
+                bucket.merge(file_health)
+            yield from records
 
-    def read_internal(self, clock: Optional[SimClock] = None) -> list[ParsedRecord]:
+    def read_internal(
+        self,
+        clock: Optional[SimClock] = None,
+        policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+        health: Optional[IngestionHealth] = None,
+    ) -> list[ParsedRecord]:
         """All node-internal records (console+messages+consumer), time-sorted."""
         clock = clock or self.manifest().clock()
         records: list[ParsedRecord] = []
         for source in (LogSource.CONSOLE, LogSource.MESSAGES, LogSource.CONSUMER):
-            records.extend(self.read_source(source, clock))
+            records.extend(self.read_source(source, clock, policy, health))
         records.sort(key=lambda r: r.time)
         return records
 
-    def read_external(self, clock: Optional[SimClock] = None) -> list[ParsedRecord]:
+    def read_external(
+        self,
+        clock: Optional[SimClock] = None,
+        policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+        health: Optional[IngestionHealth] = None,
+    ) -> list[ParsedRecord]:
         """All environmental records (controller+ERD), time-sorted."""
         clock = clock or self.manifest().clock()
         records: list[ParsedRecord] = []
         for source in (LogSource.CONTROLLER, LogSource.ERD):
-            records.extend(self.read_source(source, clock))
+            records.extend(self.read_source(source, clock, policy, health))
         records.sort(key=lambda r: r.time)
         return records
 
-    def read_scheduler(self, clock: Optional[SimClock] = None) -> list[ParsedRecord]:
+    def read_scheduler(
+        self,
+        clock: Optional[SimClock] = None,
+        policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+        health: Optional[IngestionHealth] = None,
+    ) -> list[ParsedRecord]:
         """All scheduler records, in file order (already time-ordered)."""
-        return list(self.read_source(LogSource.SCHEDULER, clock))
+        return list(self.read_source(LogSource.SCHEDULER, clock, policy, health))
 
-    def read_all(self, clock: Optional[SimClock] = None) -> list[ParsedRecord]:
+    def read_all(
+        self,
+        clock: Optional[SimClock] = None,
+        policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+        health: Optional[IngestionHealth] = None,
+    ) -> list[ParsedRecord]:
         """Every record from every source, time-sorted."""
         clock = clock or self.manifest().clock()
         records: list[ParsedRecord] = []
         for source in _SOURCE_PATHS:
-            records.extend(self.read_source(source, clock))
+            records.extend(self.read_source(source, clock, policy, health))
         records.sort(key=lambda r: r.time)
         return records
 
@@ -217,8 +393,8 @@ class LogStore:
         counts: dict[str, int] = {}
         for source in _SOURCE_PATHS:
             total = 0
-            for path in self._source_files(source):
-                with path.open() as handle:
+            for path in self.source_files(source):
+                with open_log_text(path) as handle:
                     total += sum(1 for _ in handle)
             counts[source.value] = total
         return counts

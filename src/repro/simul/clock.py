@@ -73,6 +73,16 @@ class SimClock:
         if self.epoch.tzinfo is None:
             self.epoch = self.epoch.replace(tzinfo=timezone.utc)
 
+    @classmethod
+    def from_iso(cls, epoch_iso: str) -> "SimClock":
+        """Clock anchored at an ISO-format epoch string.
+
+        This is the canonical way to rebuild a writer's clock from a
+        store manifest (or across process boundaries, where only the
+        string travels).
+        """
+        return cls(epoch=datetime.fromisoformat(epoch_iso))
+
     def to_datetime(self, sim_seconds: float) -> datetime:
         """Datetime for a simulation time."""
         return self.epoch + timedelta(seconds=float(sim_seconds))

@@ -1,0 +1,93 @@
+"""Chaos gate (tier-2): corruption campaigns against the full pipeline.
+
+Heavier than the tier-1 round-trip tests: full-spectrum corruption at
+escalating rates across several seeds, both error policies, repeated
+ingestion determinism, and an end-to-end CLI run.  Everything here is
+marked ``chaos`` and excluded from the default pytest run; invoke it
+with ``scripts/run_chaos.sh`` (or ``pytest -m chaos``).
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import HolisticDiagnosis
+from repro.logs.corruption import ALL_MODES, CorruptionInjector, CorruptionSpec
+from repro.logs.health import ErrorPolicy, IngestionHealth, conservation_violations
+from repro.logs.store import LogStore
+
+pytestmark = pytest.mark.chaos
+
+SEEDS = (101, 202, 303)
+RATES = (0.02, 0.1, 0.3)
+
+
+def _corrupted_copy(store, tmp_path, seed, rate, tag):
+    dst = tmp_path / f"chaos-{tag}"
+    shutil.copytree(store.root, dst)
+    copy = LogStore(dst)
+    CorruptionInjector(copy, seed=seed).apply(
+        CorruptionSpec(modes=ALL_MODES, rate=rate))
+    return copy
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("rate", RATES)
+def test_campaign_survives_and_conserves(
+        diagnosed_scenario, tmp_path, seed, rate):
+    _, _, store = diagnosed_scenario
+    copy = _corrupted_copy(store, tmp_path, seed, rate, f"{seed}-{rate}")
+    health = IngestionHealth()
+    report = HolisticDiagnosis.from_store(
+        copy, error_policy=ErrorPolicy.QUARANTINE, health=health).run()
+    assert report.failure_count >= 0
+    assert health.conserved, conservation_violations(health)
+
+
+@pytest.mark.parametrize("policy", [ErrorPolicy.SKIP, ErrorPolicy.QUARANTINE])
+def test_policies_agree_on_parsed_records(
+        diagnosed_scenario, tmp_path, policy):
+    """Skip and quarantine differ only in bookkeeping, never in records."""
+    _, _, store = diagnosed_scenario
+    copy = _corrupted_copy(store, tmp_path, 77, 0.15, f"policy-{policy.value}")
+    health = IngestionHealth()
+    records = copy.read_all(policy=policy, health=health)
+    assert health.conserved, conservation_violations(health)
+    key = [(r.time, r.source, r.component, r.body) for r in records]
+    reference = copy.read_all(policy=ErrorPolicy.SKIP)
+    assert key == [(r.time, r.source, r.component, r.body)
+                   for r in reference]
+
+
+def test_repeated_ingestion_is_deterministic(diagnosed_scenario, tmp_path):
+    _, _, store = diagnosed_scenario
+    copy = _corrupted_copy(store, tmp_path, 55, 0.2, "repeat")
+    accounts = []
+    for _ in range(2):
+        health = IngestionHealth()
+        HolisticDiagnosis.from_store(
+            copy, error_policy=ErrorPolicy.SKIP, health=health).run()
+        accounts.append({s.value: b.as_dict()
+                         for s, b in health.sources.items()})
+    assert accounts[0] == accounts[1]
+
+
+def test_cli_diagnose_quarantine_end_to_end(diagnosed_scenario, tmp_path):
+    """The documented chaos workflow: corrupt, then diagnose via the CLI."""
+    _, _, store = diagnosed_scenario
+    copy = _corrupted_copy(store, tmp_path, 909, 0.1, "cli")
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(src), env.get("PYTHONPATH", "")]))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "diagnose", str(copy.root),
+         "--error-policy=quarantine", "--health"],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stderr
+    assert "DEGRADED diagnosis" in proc.stdout
+    assert "failures detected:" in proc.stdout

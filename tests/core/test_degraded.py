@@ -1,0 +1,109 @@
+"""Graceful degradation: missing streams skip only dependent analyses.
+
+Satellite contract (ISSUE 1): delete each :class:`LogSource` in turn
+from a cached scenario store; the pipeline must still produce a report,
+``DiagnosisReport.degraded`` must name the skipped analyses, and the
+analyses that do not depend on the deleted stream must match the clean
+run exactly.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.pipeline import SOURCE_DEPENDENT_ANALYSES, HolisticDiagnosis
+from repro.logs.health import IngestionHealth
+from repro.logs.record import LogSource
+from repro.logs.store import LogStore
+
+
+@pytest.fixture(scope="module")
+def clean_report(diagnosed_scenario):
+    _, _, store = diagnosed_scenario
+    return HolisticDiagnosis.from_store(store).run()
+
+
+def _without_source(store, source, tmp_path):
+    dst = tmp_path / f"no-{source.value}"
+    shutil.copytree(store.root, dst)
+    crippled = LogStore(dst)
+    for path in crippled.source_files(source):
+        path.unlink()
+    return crippled
+
+
+def _failure_key(report):
+    return [(f.node, f.time) for f in report.failures]
+
+
+class TestPerSourceDeletion:
+    @pytest.mark.parametrize("source", list(LogSource))
+    def test_degraded_names_skipped_analyses(
+            self, diagnosed_scenario, tmp_path, source, clean_report):
+        _, _, store = diagnosed_scenario
+        crippled = _without_source(store, source, tmp_path)
+        health = IngestionHealth()
+        report = HolisticDiagnosis.from_store(crippled, health=health).run()
+
+        assert report.degraded
+        assert source in health.missing_sources()
+        expected_skips = SOURCE_DEPENDENT_ANALYSES.get(source, ())
+        for name in expected_skips:
+            assert name in report.skipped_analyses
+            assert any(name in reason for reason in report.degraded_reasons)
+        if not expected_skips:  # internal sources degrade, never skip
+            assert any(source.value in reason
+                       for reason in report.degraded_reasons)
+        assert not report.analysis_errors  # degradation, not crashes
+
+    def test_missing_scheduler_leaves_failure_analyses_intact(
+            self, diagnosed_scenario, tmp_path, clean_report):
+        _, _, store = diagnosed_scenario
+        crippled = _without_source(store, LogSource.SCHEDULER, tmp_path)
+        report = HolisticDiagnosis.from_store(crippled).run()
+        assert report.job_census["jobs"] == 0
+        assert report.same_job_groups == []
+        assert _failure_key(report) == _failure_key(clean_report)
+        assert report.dominance_summary == clean_report.dominance_summary
+        assert report.category_breakdown == clean_report.category_breakdown
+        assert report.lead_times == clean_report.lead_times
+
+    def test_missing_controller_leaves_internal_analyses_intact(
+            self, diagnosed_scenario, tmp_path, clean_report):
+        _, _, store = diagnosed_scenario
+        crippled = _without_source(store, LogSource.CONTROLLER, tmp_path)
+        report = HolisticDiagnosis.from_store(crippled).run()
+        assert report.nvf_correspondence == []
+        assert report.nhf_correspondence == []
+        assert report.nhf_breakdown == []
+        assert report.faulty_fractions == []
+        assert _failure_key(report) == _failure_key(clean_report)
+        assert report.job_census == clean_report.job_census
+        assert report.category_breakdown == clean_report.category_breakdown
+
+    def test_missing_erd_keeps_failures_when_no_shutdowns(
+            self, diagnosed_scenario, tmp_path, clean_report):
+        _, _, store = diagnosed_scenario
+        # precondition of this comparison: the scenario has no intended
+        # shutdowns for the ERD power-off stream to exclude
+        assert clean_report.intended_shutdowns == []
+        crippled = _without_source(store, LogSource.ERD, tmp_path)
+        report = HolisticDiagnosis.from_store(crippled).run()
+        assert "nhf_breakdown" in report.skipped_analyses
+        assert _failure_key(report) == _failure_key(clean_report)
+        assert report.job_census == clean_report.job_census
+
+    def test_missing_internal_source_still_completes(
+            self, diagnosed_scenario, tmp_path):
+        _, _, store = diagnosed_scenario
+        crippled = _without_source(store, LogSource.CONSOLE, tmp_path)
+        report = HolisticDiagnosis.from_store(crippled).run()
+        assert report.degraded
+        assert report.failure_count >= 0
+        assert report.job_census is not None
+
+    def test_clean_run_is_not_degraded(self, clean_report):
+        assert not clean_report.degraded
+        assert clean_report.skipped_analyses == []
+        assert clean_report.degraded_reasons == []
+        assert clean_report.analysis_errors == {}

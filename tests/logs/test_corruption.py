@@ -1,0 +1,141 @@
+"""Corruption injector + quarantine accounting round-trip properties.
+
+The contract under test (ISSUE 1 acceptance): for every corruption mode
+and seed, the hardened pipeline completes without an unhandled
+exception and the ingestion accounting conserves line counts --
+``read == parsed + quarantined + ignored`` for every source.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.pipeline import HolisticDiagnosis
+from repro.logs.corruption import (
+    ALL_MODES,
+    CorruptionInjector,
+    CorruptionMode,
+    CorruptionSpec,
+)
+from repro.logs.health import ErrorPolicy, IngestionHealth, conservation_violations
+from repro.logs.record import LogSource
+from repro.logs.store import LogStore
+
+SEEDS = (3, 11)
+
+
+@pytest.fixture()
+def store_copy(diagnosed_scenario, tmp_path):
+    """A disposable copy of the rich session store, ready to damage."""
+    _, _, store = diagnosed_scenario
+    dst = tmp_path / "corrupt"
+    shutil.copytree(store.root, dst)
+    return LogStore(dst)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_pipeline_survives_and_conserves(self, store_copy, mode, seed):
+        injector = CorruptionInjector(store_copy, seed=seed)
+        injector.apply(CorruptionSpec(modes=(mode,), rate=0.08))
+        health = IngestionHealth()
+        diag = HolisticDiagnosis.from_store(
+            store_copy, error_policy=ErrorPolicy.QUARANTINE, health=health)
+        report = diag.run()  # must not raise
+        assert report.failure_count >= 0
+        assert health.conserved, conservation_violations(health)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_modes_at_once(self, store_copy, seed):
+        injector = CorruptionInjector(store_copy, seed=seed)
+        injector.apply(CorruptionSpec(modes=ALL_MODES, rate=0.05))
+        health = IngestionHealth()
+        report = HolisticDiagnosis.from_store(
+            store_copy, error_policy=ErrorPolicy.QUARANTINE, health=health
+        ).run()
+        assert health.conserved, conservation_violations(health)
+        # a full-spectrum campaign always leaves visible scars
+        assert report.degraded
+
+    def test_skip_policy_also_conserves(self, store_copy):
+        CorruptionInjector(store_copy, seed=5).apply(
+            CorruptionSpec(modes=ALL_MODES, rate=0.05))
+        health = IngestionHealth()
+        HolisticDiagnosis.from_store(
+            store_copy, error_policy=ErrorPolicy.SKIP, health=health).run()
+        assert health.conserved, conservation_violations(health)
+        assert health.total_quarantined == 0  # skip never quarantines
+
+
+class TestInjector:
+    def test_deterministic_across_runs(self, diagnosed_scenario, tmp_path):
+        _, _, store = diagnosed_scenario
+        reports = []
+        snapshots = []
+        for run in range(2):
+            dst = tmp_path / f"copy{run}"
+            shutil.copytree(store.root, dst)
+            copy = LogStore(dst)
+            report = CorruptionInjector(copy, seed=42).apply(
+                CorruptionSpec(modes=ALL_MODES, rate=0.1))
+            reports.append(report)
+            snapshots.append({
+                p.relative_to(dst).as_posix(): p.read_bytes()
+                for p in sorted(dst.rglob("*")) if p.is_file()
+            })
+        assert reports[0].mutated_lines == reports[1].mutated_lines
+        assert reports[0].dropped_sources == reports[1].dropped_sources
+        assert snapshots[0] == snapshots[1]
+
+    def test_seeds_differ(self, diagnosed_scenario, tmp_path):
+        _, _, store = diagnosed_scenario
+        digests = []
+        for seed in (1, 2):
+            dst = tmp_path / f"seed{seed}"
+            shutil.copytree(store.root, dst)
+            CorruptionInjector(LogStore(dst), seed=seed).apply(
+                CorruptionSpec(modes=(CorruptionMode.MOJIBAKE,), rate=0.2))
+            digests.append(b"".join(
+                p.read_bytes() for p in sorted(dst.rglob("*.log"))))
+        assert digests[0] != digests[1]
+
+    def test_gzip_rotation_is_lossless(self, store_copy):
+        before = store_copy.line_counts()
+        report = CorruptionInjector(store_copy, seed=9).apply(
+            CorruptionSpec(modes=(CorruptionMode.GZIP_ROTATE,),
+                           gzip_fraction=1.0))
+        assert report.gzipped_files  # something actually rotated
+        assert store_copy.line_counts() == before
+
+    def test_drop_source_empties_a_family(self, store_copy):
+        report = CorruptionInjector(store_copy, seed=4).apply(
+            CorruptionSpec(modes=(CorruptionMode.DROP_SOURCE,), drop_count=2))
+        assert len(report.dropped_sources) == 2
+        for value in report.dropped_sources:
+            source = LogSource(value)
+            for path in store_copy.source_files(source):
+                assert path.stat().st_size == 0
+
+    def test_duplicate_grows_line_count(self, store_copy):
+        before = sum(store_copy.line_counts().values())
+        report = CorruptionInjector(store_copy, seed=8).apply(
+            CorruptionSpec(modes=(CorruptionMode.DUPLICATE,), rate=0.3))
+        after = sum(store_copy.line_counts().values())
+        assert after == before + report.count(CorruptionMode.DUPLICATE)
+
+    def test_quarantine_file_collects_raw_lines(self, store_copy):
+        CorruptionInjector(store_copy, seed=13).apply(
+            CorruptionSpec(modes=(CorruptionMode.TRUNCATE,
+                                  CorruptionMode.INTERLEAVE), rate=0.2))
+        health = IngestionHealth()
+        list(store_copy.read_source(LogSource.CONSOLE,
+                                    policy=ErrorPolicy.QUARANTINE,
+                                    health=health))
+        bucket = health.source(LogSource.CONSOLE)
+        quarantine = store_copy.quarantine_path(LogSource.CONSOLE)
+        if bucket.quarantined:
+            lines = quarantine.read_text().splitlines()
+            assert len(lines) == bucket.quarantined
+        else:
+            assert not quarantine.exists()

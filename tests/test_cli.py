@@ -85,6 +85,24 @@ class TestCommands:
         with pytest.raises(SystemExit, match="not a log store"):
             main(["diagnose", str(tmp_path / "nowhere")])
 
+    def test_diagnose_strict_fails_cleanly(self, logdir, tmp_path, capsys):
+        """Strict policy on a damaged store: exit 2 + diagnostic, no
+        traceback leaking out of main()."""
+        import shutil
+
+        from repro.logs.record import LogSource
+        from repro.logs.store import LogStore
+
+        damaged = tmp_path / "damaged"
+        shutil.copytree(logdir, damaged)
+        with LogStore(damaged).path_for(LogSource.CONSOLE).open("a") as fh:
+            fh.write("complete garbage\n")
+        assert main(["diagnose", str(damaged),
+                     "--error-policy=strict"]) == 2
+        err = capsys.readouterr().err
+        assert "malformed line" in err
+        assert "--error-policy=skip" in err
+
     def test_experiments_command_reports(self, capsys, monkeypatch):
         """The experiments subcommand prints per-experiment status and
         returns non-zero when any shape fails (run_all is stubbed so the
