@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full local CI: every gate the repo defines, in escalating order.
+#
+#   1. tier-1: the default pytest run (fast unit + integration tests;
+#      chaos-marked tests excluded via pyproject addopts)
+#   2. supervision smoke: the process-level supervisor tests alone, as
+#      a focused re-run (they are part of tier-1 too; this isolates
+#      worker/fork behaviour when debugging an environment)
+#   3. tier-2 chaos gate: corruption + supervision campaigns and the
+#      overhead benchmarks (scripts/run_chaos.sh)
+#
+# Usage:
+#   scripts/run_ci.sh           # everything
+#   scripts/run_ci.sh --fast    # tier-1 + supervision smoke only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}$PWD/src"
+
+echo "== tier-1 (default pytest run) =="
+python -m pytest -q
+
+echo "== supervision smoke (pytest -m supervision) =="
+python -m pytest tests/runtime -m supervision -q
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "== skipping tier-2 chaos gate (--fast) =="
+    exit 0
+fi
+
+echo "== tier-2 chaos gate (scripts/run_chaos.sh) =="
+scripts/run_chaos.sh
+
+echo "== supervision overhead (benchmarks/bench_supervisor.py) =="
+python -m pytest benchmarks/bench_supervisor.py \
+    -m 'not chaos' --benchmark-disable -q -s
+
+echo "CI green"

@@ -7,6 +7,7 @@ Usage (installed as a module runner)::
     python -m repro predict logs/s3 --require-external
     python -m repro checkpoint logs/s3 --cost 360
     python -m repro experiments
+    python -m repro run-all --out campaign --resume
 
 The CLI is a thin layer: each subcommand maps onto one public API call,
 so everything it prints is reproducible from a notebook with the same
@@ -94,6 +95,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--seed", type=int, default=7)
     p_exp.add_argument("--draw", action="store_true",
                        help="render each figure's ASCII shape")
+
+    p_run = sub.add_parser(
+        "run-all",
+        help="supervised campaign: isolated workers, retries, resume")
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--out", type=Path, default=Path("campaign"),
+                       help="campaign directory (journal + artifacts; "
+                            "default: ./campaign)")
+    p_run.add_argument("--resume", action="store_true",
+                       help="skip experiments the journal proves complete")
+    p_run.add_argument("--only", nargs="+", metavar="EXP", default=None,
+                       help="restrict the campaign to these experiment ids")
+    p_run.add_argument("--deadline", type=float, default=1800.0,
+                       help="per-experiment wall-clock deadline in seconds")
+    p_run.add_argument("--max-attempts", type=int, default=3)
+    p_run.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failures before a scenario's "
+                            "circuit opens")
+    p_run.add_argument("--no-isolation", action="store_true",
+                       help="run experiments in-process (no worker "
+                            "processes; exception capture only)")
     return parser
 
 
@@ -233,17 +255,66 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     failures = 0
     total = 0
-    for exp_id, scenario, result in run_all(args.seed):
-        flag = "ok  " if result.shape_ok else "FAIL"
-        tag = f" ({scenario})" if scenario else ""
-        print(f"{flag} {exp_id:<9} {result.title}{tag}")
-        if args.draw:
-            print(draw(result))
-            print()
-        failures += not result.shape_ok
+    for run in run_all(args.seed):
+        tag = f" ({run.scenario})" if run.scenario else ""
+        if run.result is None:
+            print(f"ERR  {run.experiment:<9} {run.error}{tag}")
+        else:
+            flag = "ok  " if run.result.shape_ok else "FAIL"
+            print(f"{flag} {run.experiment:<9} {run.result.title}{tag}")
+            if args.draw:
+                print(draw(run.result))
+                print()
+        failures += not run.ok
         total += 1
     print(f"\n{total - failures}/{total} experiment shapes hold")
     return 1 if failures else 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.core.report import generate_campaign_findings
+    from repro.runtime import (
+        CampaignSupervisor,
+        JournalError,
+        RetryPolicy,
+        SupervisorConfig,
+    )
+
+    config = SupervisorConfig(
+        deadline=args.deadline,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        breaker_threshold=args.breaker_threshold,
+        isolated=not args.no_isolation,
+    )
+    try:
+        supervisor = CampaignSupervisor(
+            args.out, seed=args.seed, config=config, only=args.only)
+        report = supervisor.run(resume=args.resume)
+    except (JournalError, KeyError) as exc:
+        raise SystemExit(f"error: {exc}")
+    for outcome in report.outcomes:
+        tag = f" ({outcome.scenario})" if outcome.scenario else ""
+        if outcome.completed:
+            flag = "ok  " if outcome.shape_ok else "FAIL"
+            origin = " [journal]" if outcome.from_journal else (
+                f" [attempt {outcome.attempts}]" if outcome.attempts > 1 else "")
+            print(f"{flag} {outcome.experiment:<9} "
+                  f"{outcome.result.title}{tag}{origin}")
+        else:
+            print(f"{outcome.status.upper():<4} {outcome.experiment:<9} "
+                  f"{outcome.reason}{tag}")
+    completed = report.by_status("completed")
+    shapes = sum(1 for o in completed if o.shape_ok)
+    print(f"\n{len(completed)}/{len(report.outcomes)} experiments completed; "
+          f"{shapes}/{len(completed)} shapes hold")
+    print(f"journal: {supervisor.journal.path}")
+    for note in report.notes:
+        print(f"note: {note}")
+    if report.degraded:
+        print("\nDEGRADED campaign:")
+        print(render_findings(generate_campaign_findings(report.outcomes)))
+        print("\nre-run with --resume to retry failed/skipped experiments")
+    return report.exit_code()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -256,6 +327,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "checkpoint": _cmd_checkpoint,
         "timeline": _cmd_timeline,
         "experiments": _cmd_experiments,
+        "run-all": _cmd_run_all,
     }
     try:
         return handlers[args.command](args)

@@ -58,7 +58,32 @@ from repro.logs.record import LogSource
 from repro.logs.store import LogStore
 from repro.simul.clock import DAY
 
-__all__ = ["DiagnosisReport", "HolisticDiagnosis", "SOURCE_DEPENDENT_ANALYSES"]
+__all__ = ["DiagnosisReport", "HolisticDiagnosis", "SOURCE_DEPENDENT_ANALYSES",
+           "guarded"]
+
+
+def guarded(
+    name: str,
+    fn: Callable[[], T],
+    default: T,
+    errors: dict[str, str],
+    skipped: Sequence[str] = (),
+) -> T:
+    """Run one analysis under error capture.
+
+    The degradation primitive shared by :meth:`HolisticDiagnosis.run`
+    and the campaign runtime's in-process fallback: a crash in ``fn``
+    records ``name -> message`` in ``errors`` and returns ``default``
+    instead of propagating, and a ``name`` listed in ``skipped`` never
+    runs at all.
+    """
+    if name in skipped:
+        return default
+    try:
+        return fn()
+    except Exception as exc:  # capture, degrade, carry on
+        errors[name] = f"{type(exc).__name__}: {exc}"
+        return default
 
 #: analyses that are *skipped* (not merely emptier) when a source stream
 #: is absent -- the degradation contract the CLI and tests rely on
@@ -272,13 +297,7 @@ class HolisticDiagnosis:
         errors: dict[str, str] = {}
 
         def safe(name: str, fn: Callable[[], T], default: T) -> T:
-            if name in skipped:
-                return default
-            try:
-                return fn()
-            except Exception as exc:  # capture, degrade, carry on
-                errors[name] = f"{type(exc).__name__}: {exc}"
-                return default
+            return guarded(name, fn, default, errors, skipped)
 
         dominance = safe("dominance", lambda: daily_dominance(self.failures), [])
         lead_records = safe(

@@ -10,11 +10,13 @@ pipeline an operator would read.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.pipeline import DiagnosisReport
 from repro.faults.model import FailureCategory
 
-__all__ = ["Finding", "generate_findings", "render_findings"]
+__all__ = ["Finding", "generate_findings", "generate_campaign_findings",
+           "render_findings"]
 
 
 @dataclass(frozen=True)
@@ -207,6 +209,63 @@ def generate_findings(report: DiagnosisReport) -> list[Finding]:
                     "deeper investigation."
                 ),
                 evidence="BIOS/HEST patterns, L0_sysd_mce, bare shutdowns",
+            )
+        )
+    return findings
+
+
+def generate_campaign_findings(outcomes: Sequence[object]) -> list[Finding]:
+    """Degradation findings for a supervised experiment *campaign*.
+
+    The campaign analogue of the degraded-diagnosis finding above:
+    experiments that were skipped (circuit breaker) or failed (retries
+    exhausted) become explicit findings so an operator reading the
+    campaign summary knows which conclusions are missing and why.
+
+    ``outcomes`` is duck-typed (``experiment``/``scenario``/``status``/
+    ``reason``/``attempts`` attributes, as on
+    :class:`repro.runtime.ExperimentOutcome`) so this module never
+    imports the runtime layer.
+    """
+    findings: list[Finding] = []
+    skipped = [o for o in outcomes if o.status == "skipped"]
+    failed = [o for o in outcomes if o.status == "failed"]
+    if skipped:
+        scenarios = sorted({o.scenario or o.experiment for o in skipped})
+        findings.append(
+            Finding(
+                finding=(
+                    f"{len(skipped)} experiment(s) were skipped because "
+                    "their scenario's circuit breaker opened: "
+                    + ", ".join(o.experiment for o in skipped) + "."
+                ),
+                recommendation=(
+                    "Investigate the repeated crashes in the affected "
+                    "scenario(s) before trusting campaign-level "
+                    "conclusions; re-run with --resume once fixed."
+                ),
+                evidence="; ".join(
+                    f"{s}: {next(o.reason for o in skipped if (o.scenario or o.experiment) == s)}"
+                    for s in scenarios
+                ),
+            )
+        )
+    if failed:
+        findings.append(
+            Finding(
+                finding=(
+                    f"{len(failed)} experiment(s) exhausted their retries: "
+                    + ", ".join(o.experiment for o in failed) + "."
+                ),
+                recommendation=(
+                    "Check the campaign journal for the per-attempt "
+                    "failure reasons; the rest of the campaign remains "
+                    "valid and resumable."
+                ),
+                evidence="; ".join(
+                    f"{o.experiment} ({o.attempts} attempts): {o.reason}"
+                    for o in failed
+                ),
             )
         )
     return findings

@@ -1,51 +1,105 @@
 """The canonical list of paper experiments, runnable as one sweep.
 
-Shared by the CLI (``python -m repro experiments``), the
-EXPERIMENTS.md generator script and any notebook that wants the whole
-reproduction in one call.
+Shared by the CLI (``python -m repro experiments`` and ``python -m
+repro run-all``), the EXPERIMENTS.md generator script, the supervised
+campaign runtime (:mod:`repro.runtime.supervisor`) and any notebook
+that wants the whole reproduction in one call.
+
+:data:`EXPERIMENT_SPECS` rows are :class:`ExperimentSpec` named tuples
+(they still unpack as ``(id, scenario, produce)``).  :func:`run_all`
+*yields* per-experiment errors instead of raising out of the generator,
+so one broken experiment can never abort iteration for downstream
+callers -- the serial equivalent of the supervisor's isolation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from dataclasses import dataclass
+from typing import Callable, Iterator, NamedTuple, Optional
 
 from repro.experiments import figures as F
 from repro.experiments import tables as T
 from repro.experiments.result import ExperimentResult
 from repro.experiments.scenarios import materialize
 
-__all__ = ["EXPERIMENT_SPECS", "run_all"]
+__all__ = ["EXPERIMENT_SPECS", "ExperimentSpec", "ExperimentRun",
+           "run_all", "spec_for"]
+
+
+class ExperimentSpec(NamedTuple):
+    """One runnable experiment: id, backing scenario, producer."""
+
+    experiment: str
+    scenario: Optional[str]
+    produce: Callable[[int], ExperimentResult]
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One :func:`run_all` step: a result *or* a captured error."""
+
+    experiment: str
+    scenario: Optional[str]
+    result: Optional[ExperimentResult]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Produced a result whose shape check holds."""
+        return self.result is not None and self.result.shape_ok
+
 
 #: experiment id -> (scenario name or None, producer taking a seed)
-EXPERIMENT_SPECS: tuple[tuple[str, str | None, Callable[[int], ExperimentResult]], ...] = (
-    ("table1", None, lambda seed: T.table1_systems()),
-    ("table2", "s3", lambda seed: T.table2_logsources(materialize("s3", seed=seed))),
-    ("fig3", "s1", lambda seed: F.fig3_internode_times(F.load("s1", seed))),
-    ("fig4", "s2", lambda seed: F.fig4_dominant_cause(F.load("s2", seed))),
-    ("fig5", "s3", lambda seed: F.fig5_nvf_nhf(F.load("s3", seed))),
-    ("fig6", "s3", lambda seed: F.fig6_nhf_breakdown(F.load("s3", seed))),
-    ("fig7", "s3", lambda seed: F.fig7_blade_cabinet(F.load("s3", seed))),
-    ("fig8", "s1", lambda seed: F.fig8_sedc_blades(F.load("s1", seed))),
-    ("fig9", "s2", lambda seed: F.fig9_warning_freq(F.load("s2", seed))),
-    ("fig10", "s3", lambda seed: F.fig10_errors_vs_failures(F.load("s3", seed))),
-    ("fig11", "fig11", lambda seed: F.fig11_cpu_temp(F.load("fig11", seed))),
-    ("fig12", "fig12", lambda seed: F.fig12_job_exits(F.load("fig12", seed))),
-    ("fig13", "s3", lambda seed: F.fig13_leadtime(F.load("s3", seed))),
-    ("fig14", "s4", lambda seed: F.fig14_false_positives(F.load("s4", seed))),
-    ("fig15", "s5", lambda seed: F.fig15_s5_traces(F.load("s5", seed))),
-    ("fig16", "s2", lambda seed: F.fig16_s2_breakdown(F.load("s2", seed))),
-    ("fig17", "fig17", lambda seed: F.fig17_overallocation(F.load("fig17", seed))),
-    ("fig18", "s1", lambda seed: F.fig18_blade_sharing(F.load("s1", seed))),
-    ("fig19", "s3", lambda seed: F.fig19_job_mtbf(F.load("s3", seed))),
-    ("table3", "s3", lambda seed: T.table3_fault_breakdown(F.load("s3", seed))),
-    ("table4", "s2", lambda seed: T.table4_stack_modules(F.load("s2", seed))),
-    ("table5", "cases", lambda seed: T.table5_case_studies(F.load("cases", seed))),
-    ("table6", "s3", lambda seed: T.table6_findings(F.load("s3", seed))),
-    ("s3_split", "s3", lambda seed: T.s3_family_split(F.load("s3", seed))),
+EXPERIMENT_SPECS: tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("table1", None, lambda seed: T.table1_systems()),
+    ExperimentSpec("table2", "s3", lambda seed: T.table2_logsources(materialize("s3", seed=seed))),
+    ExperimentSpec("fig3", "s1", lambda seed: F.fig3_internode_times(F.load("s1", seed))),
+    ExperimentSpec("fig4", "s2", lambda seed: F.fig4_dominant_cause(F.load("s2", seed))),
+    ExperimentSpec("fig5", "s3", lambda seed: F.fig5_nvf_nhf(F.load("s3", seed))),
+    ExperimentSpec("fig6", "s3", lambda seed: F.fig6_nhf_breakdown(F.load("s3", seed))),
+    ExperimentSpec("fig7", "s3", lambda seed: F.fig7_blade_cabinet(F.load("s3", seed))),
+    ExperimentSpec("fig8", "s1", lambda seed: F.fig8_sedc_blades(F.load("s1", seed))),
+    ExperimentSpec("fig9", "s2", lambda seed: F.fig9_warning_freq(F.load("s2", seed))),
+    ExperimentSpec("fig10", "s3", lambda seed: F.fig10_errors_vs_failures(F.load("s3", seed))),
+    ExperimentSpec("fig11", "fig11", lambda seed: F.fig11_cpu_temp(F.load("fig11", seed))),
+    ExperimentSpec("fig12", "fig12", lambda seed: F.fig12_job_exits(F.load("fig12", seed))),
+    ExperimentSpec("fig13", "s3", lambda seed: F.fig13_leadtime(F.load("s3", seed))),
+    ExperimentSpec("fig14", "s4", lambda seed: F.fig14_false_positives(F.load("s4", seed))),
+    ExperimentSpec("fig15", "s5", lambda seed: F.fig15_s5_traces(F.load("s5", seed))),
+    ExperimentSpec("fig16", "s2", lambda seed: F.fig16_s2_breakdown(F.load("s2", seed))),
+    ExperimentSpec("fig17", "fig17", lambda seed: F.fig17_overallocation(F.load("fig17", seed))),
+    ExperimentSpec("fig18", "s1", lambda seed: F.fig18_blade_sharing(F.load("s1", seed))),
+    ExperimentSpec("fig19", "s3", lambda seed: F.fig19_job_mtbf(F.load("s3", seed))),
+    ExperimentSpec("table3", "s3", lambda seed: T.table3_fault_breakdown(F.load("s3", seed))),
+    ExperimentSpec("table4", "s2", lambda seed: T.table4_stack_modules(F.load("s2", seed))),
+    ExperimentSpec("table5", "cases", lambda seed: T.table5_case_studies(F.load("cases", seed))),
+    ExperimentSpec("table6", "s3", lambda seed: T.table6_findings(F.load("s3", seed))),
+    ExperimentSpec("s3_split", "s3", lambda seed: T.s3_family_split(F.load("s3", seed))),
 )
 
 
-def run_all(seed: int = 7) -> Iterator[tuple[str, str | None, ExperimentResult]]:
-    """Run every experiment in order, yielding (id, scenario, result)."""
-    for exp_id, scenario, produce in EXPERIMENT_SPECS:
-        yield exp_id, scenario, produce(seed)
+def spec_for(experiment: str) -> ExperimentSpec:
+    """Look up one spec by experiment id."""
+    for spec in EXPERIMENT_SPECS:
+        if spec.experiment == experiment:
+            return spec
+    known = ", ".join(s.experiment for s in EXPERIMENT_SPECS)
+    raise KeyError(f"unknown experiment {experiment!r}; known: {known}")
+
+
+def run_all(seed: int = 7) -> Iterator[ExperimentRun]:
+    """Run every experiment in order, yielding an :class:`ExperimentRun`.
+
+    A crashing experiment yields its error string in place of a result;
+    iteration always covers every spec.  Callers needing process-level
+    isolation, retries and resume should use
+    :class:`repro.runtime.CampaignSupervisor` instead.
+    """
+    for spec in EXPERIMENT_SPECS:
+        try:
+            result = spec.produce(seed)
+        except Exception as exc:  # yield, don't abort the sweep
+            yield ExperimentRun(spec.experiment, spec.scenario, None,
+                                f"{type(exc).__name__}: {exc}")
+        else:
+            yield ExperimentRun(spec.experiment, spec.scenario, result)

@@ -6,14 +6,45 @@ human check of whether the *shape* holds (who wins, roughly by how much).
 Absolute agreement is not expected -- the substrate is a simulator, not
 the authors' machines -- so ``shape_ok`` encodes each experiment's
 qualitative claim.
+
+Results also serialize to canonical JSON (:meth:`ExperimentResult.to_json`)
+so the campaign runtime can persist byte-identical artifacts across
+interrupted and resumed runs: keys are sorted, numpy scalars/arrays are
+converted to plain Python values, and the rendering is independent of
+when or in which process the experiment ran.
 """
 
 from __future__ import annotations
 
+import enum
+import json
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Any, Mapping, Optional
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "to_jsonable"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert a measured value into canonical JSON-ready form.
+
+    Handles numpy scalars and arrays (without importing numpy -- duck
+    typing via ``item()``/``tolist()``), mappings (keys coerced to str)
+    and sequences.  Deterministic: equal inputs produce equal outputs.
+    """
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [to_jsonable(v) for v in items]
+    if hasattr(value, "tolist"):  # numpy array
+        return to_jsonable(value.tolist())
+    if hasattr(value, "item"):  # numpy scalar
+        return to_jsonable(value.item())
+    return str(value)
 
 
 @dataclass
@@ -27,6 +58,43 @@ class ExperimentResult:
     shape_ok: bool
     notes: str = ""
     series: Optional[Mapping[str, object]] = None
+
+    def to_jsonable(self) -> dict:
+        """Canonical dict form: plain Python values, str keys."""
+        data = {
+            "experiment": self.experiment,
+            "title": self.title,
+            "measured": to_jsonable(self.measured),
+            "paper": to_jsonable(self.paper),
+            "shape_ok": bool(self.shape_ok),
+            "notes": self.notes,
+        }
+        if self.series is not None:
+            data["series"] = to_jsonable(self.series)
+        return data
+
+    def to_json(self) -> str:
+        """Canonical JSON artifact text (sorted keys, stable layout).
+
+        Two runs of the same experiment at the same seed produce
+        byte-identical text, which is what the campaign journal's
+        resume guarantee is checked against.
+        """
+        return json.dumps(self.to_jsonable(), sort_keys=True, indent=2,
+                          ensure_ascii=False) + "\n"
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        return cls(
+            experiment=data["experiment"],
+            title=data["title"],
+            measured=data["measured"],
+            paper=data["paper"],
+            shape_ok=bool(data["shape_ok"]),
+            notes=data.get("notes", ""),
+            series=data.get("series"),
+        )
 
     def render(self) -> str:
         """Plain-text paper-vs-measured block."""

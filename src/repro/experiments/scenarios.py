@@ -15,6 +15,7 @@ re-simulating.
 from __future__ import annotations
 
 import os
+import shutil
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -463,6 +464,13 @@ def materialize(
 
     The cache key is ``<root>/<name>-seed<seed>``; a cached store is only
     reused when its manifest's seed matches.
+
+    Materialisation is *interruptible*: logs are written into a hidden
+    sibling build directory and published with an atomic directory
+    rename, so a SIGKILL mid-write can never leave a half-written cache
+    entry that later runs would mistake for a valid store.  A cache
+    entry with a missing or unreadable manifest (e.g. left behind by a
+    pre-atomic build) is treated as absent and rebuilt.
     """
     try:
         system, builder = SCENARIOS[name]
@@ -472,10 +480,24 @@ def materialize(
     root = root or scenario_cache_root()
     store = LogStore(root / f"{name}-seed{seed}")
     if not force and store.exists():
-        manifest = store.manifest()
-        if manifest.seed == seed and manifest.system == system:
-            return store
+        try:
+            manifest = store.manifest()
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # damaged cache entry: fall through and rebuild
+        else:
+            if manifest.seed == seed and manifest.system == system:
+                return store
     plat = Platform.build(system, seed=seed)
     builder(plat)
-    plat.write_logs(store.root)
+    build_dir = root / f".building-{name}-seed{seed}-{os.getpid()}"
+    if build_dir.exists():
+        shutil.rmtree(build_dir)
+    try:
+        plat.write_logs(build_dir)
+        if store.root.exists():  # stale or damaged predecessor
+            shutil.rmtree(store.root)
+        os.replace(build_dir, store.root)
+    finally:
+        if build_dir.exists():
+            shutil.rmtree(build_dir)
     return store

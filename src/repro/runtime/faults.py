@@ -1,0 +1,151 @@
+"""Process-level fault injection for the supervision chaos harness.
+
+PR 1's :mod:`repro.logs.corruption` attacks the *data*; this module
+attacks the *execution*: a worker process consults the fault plan at
+the start of every experiment attempt and, when the plan names that
+``(experiment, attempt)``, dies mid-flight (SIGKILL), hangs past its
+deadline, crashes with an exception, or merely runs slow.  The plan
+rides in a JSON file referenced by the ``REPRO_FAULT_PLAN`` environment
+variable so it crosses the fork boundary (and the CLI boundary in the
+chaos tests) without any supervisor cooperation -- exactly like real
+faults.
+
+Plan file format::
+
+    {"fig4": [{"action": "sigkill", "attempts": [1]}],
+     "table3": [{"action": "hang", "attempts": [1, 2]},
+                {"action": "slow", "attempts": [3], "delay": 0.2}]}
+
+Actions: ``sigkill`` (uncatchable death), ``hang`` (sleep forever, in
+small slices so nothing can interrupt it early by accident), ``crash``
+(raise RuntimeError), ``slow`` (sleep ``delay`` seconds, then proceed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["FAULT_PLAN_ENV", "FaultSpec", "FaultPlan", "inject"]
+
+#: environment variable naming the active fault-plan file
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: nominal duration of an injected hang; the supervisor's deadline is
+#: expected to fire long before this drains
+_HANG_SECONDS = 3600.0
+
+_ACTIONS = ("sigkill", "hang", "crash", "slow")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: what to do and on which attempt numbers."""
+
+    action: str
+    attempts: tuple[int, ...] = (1,)
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; known: {_ACTIONS}")
+        if not self.attempts:
+            raise ValueError("attempts must name at least one attempt")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    def matches(self, attempt: int) -> bool:
+        return attempt in self.attempts
+
+    def fire(self) -> None:
+        """Execute the fault in the current process."""
+        if self.delay:
+            time.sleep(self.delay)
+        if self.action == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.action == "hang":
+            deadline = time.monotonic() + _HANG_SECONDS
+            while time.monotonic() < deadline:
+                time.sleep(0.05)
+        elif self.action == "crash":
+            raise RuntimeError("injected crash (fault plan)")
+        # "slow" is just the delay above
+
+
+class FaultPlan:
+    """The full plan: experiment id -> planned faults."""
+
+    def __init__(self, faults: Mapping[str, Sequence[FaultSpec]]) -> None:
+        self.faults = {k: tuple(v) for k, v in faults.items()}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, object]) -> "FaultPlan":
+        faults = {}
+        for exp_id, specs in data.items():
+            faults[exp_id] = [
+                FaultSpec(
+                    action=spec["action"],
+                    attempts=tuple(spec.get("attempts", [1])),
+                    delay=float(spec.get("delay", 0.0)),
+                )
+                for spec in specs
+            ]
+        return cls(faults)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "FaultPlan":
+        return cls.from_jsonable(json.loads(Path(path).read_text("utf-8")))
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The active plan, or None when no plan is installed."""
+        path = os.environ.get(FAULT_PLAN_ENV)
+        if not path:
+            return None
+        return cls.load(path)
+
+    def dump(self, path: Path | str) -> Path:
+        path = Path(path)
+        data = {
+            exp_id: [
+                {"action": s.action, "attempts": list(s.attempts),
+                 "delay": s.delay}
+                for s in specs
+            ]
+            for exp_id, specs in self.faults.items()
+        }
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    def spec_for(self, exp_id: str, attempt: int) -> Optional[FaultSpec]:
+        for spec in self.faults.get(exp_id, ()):
+            if spec.matches(attempt):
+                return spec
+        return None
+
+
+def inject(exp_id: str, attempt: int) -> None:
+    """Fire the planned fault for this (experiment, attempt), if any.
+
+    Called by worker processes at the start of every attempt.  A broken
+    plan file is a no-op rather than a new failure mode: fault injection
+    must never corrupt a production campaign that forgot to unset the
+    environment variable.
+    """
+    try:
+        plan = FaultPlan.from_env()
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        return
+    if plan is None:
+        return
+    spec = plan.spec_for(exp_id, attempt)
+    if spec is not None:
+        spec.fire()

@@ -1,0 +1,182 @@
+"""Crash-safe campaign journal: append-only JSONL + atomic artifacts.
+
+The journal is the supervisor's source of truth for what a campaign has
+done.  Two kinds of state live under one campaign directory::
+
+    <root>/
+      journal.jsonl            # append-only event log (flushed per event)
+      artifacts/<exp_id>.json  # canonical per-experiment results
+
+Crash-safety contract:
+
+* events are appended and flushed one line at a time, so the journal
+  never contains a *reordered* history and a process kill (the threat
+  model: SIGKILL, crash, OOM) loses nothing already appended.  Only an
+  OS-level crash can drop a tail of events -- which merely re-runs
+  those experiments on resume -- or truncate the final line, and
+  :meth:`CampaignJournal.events` tolerates (and reports) exactly that:
+  a trailing partial line is dropped, never misparsed.  Events skip the
+  per-line ``fsync`` deliberately; it buys nothing against process
+  death and costs milliseconds per event (see
+  ``benchmarks/bench_supervisor.py``);
+* artifacts are written to a temp file and published with
+  ``os.replace``, so an artifact either exists completely or not at
+  all, and each artifact's bytes are canonical
+  (:meth:`~repro.experiments.result.ExperimentResult.to_json`) --
+  independent of attempt counts, wall clock, or which process produced
+  them.  That is what makes interrupted-then-resumed campaigns
+  byte-identical to uninterrupted ones;
+* an experiment counts as *completed* only when both its ``complete``
+  event and a parseable artifact exist (:meth:`completed_results`), so
+  a crash between the two is re-run, never silently trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["CampaignJournal", "JournalError", "atomic_write_text"]
+
+#: journal file name under the campaign root
+JOURNAL_NAME = "journal.jsonl"
+#: artifact directory name under the campaign root
+ARTIFACTS_DIR = "artifacts"
+
+
+class JournalError(RuntimeError):
+    """A journal is unusable for the requested operation (e.g. resuming
+    with a different seed than the one the campaign started with)."""
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives next to the destination so the replace never
+    crosses a filesystem boundary; it is fsynced before publication so
+    a crash cannot publish an empty or partial file.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class CampaignJournal:
+    """One campaign directory: the event log plus its artifacts."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.path = self.root / JOURNAL_NAME
+        self.artifacts = self.root / ARTIFACTS_DIR
+        self._truncated_tail = False
+
+    # ------------------------------------------------------------------
+    # event log
+    # ------------------------------------------------------------------
+    def append(self, event: str, **fields: Any) -> dict:
+        """Append one event line (flushed before returning)."""
+        record = {"event": event, **fields, "wall": time.time()}
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+        return record
+
+    def events(self) -> list[dict]:
+        """Replay the event log, tolerating a crash-truncated tail.
+
+        Only a *final* damaged line is forgiven (that is the one a
+        SIGKILL can produce); damage earlier in the file means the
+        journal was edited or corrupted and raises :class:`JournalError`.
+        """
+        self._truncated_tail = False
+        if not self.path.is_file():
+            return []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        parsed: list[dict] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    self._truncated_tail = True
+                    break
+                raise JournalError(
+                    f"corrupt journal line {i + 1} in {self.path}: "
+                    f"{line[:80]!r}"
+                ) from None
+        return parsed
+
+    @property
+    def truncated_tail(self) -> bool:
+        """True when the last :meth:`events` call dropped a partial line."""
+        return self._truncated_tail
+
+    def reset(self) -> None:
+        """Start a fresh campaign: drop the event log and all artifacts."""
+        if self.path.is_file():
+            self.path.unlink()
+        if self.artifacts.is_dir():
+            for artifact in self.artifacts.glob("*.json"):
+                artifact.unlink()
+
+    # ------------------------------------------------------------------
+    # campaign-level helpers
+    # ------------------------------------------------------------------
+    def campaign_seed(self) -> Optional[int]:
+        """Seed of the recorded campaign (None for an empty journal)."""
+        for record in self.events():
+            if record["event"] == "campaign-start":
+                return int(record["seed"])
+        return None
+
+    def start(self, seed: int, experiments: Iterable[str],
+              resumed: bool = False) -> None:
+        """Record the campaign start (or a resume of an existing one)."""
+        self.append("campaign-resume" if resumed else "campaign-start",
+                    seed=seed, experiments=list(experiments))
+
+    def completed_results(self) -> dict[str, ExperimentResult]:
+        """Experiments proven done: ``complete`` event + intact artifact.
+
+        The artifact is re-read and re-parsed; a missing or damaged
+        file demotes the experiment back to pending.  Failure and skip
+        events never mask an earlier completion (completion is final).
+        """
+        done: dict[str, ExperimentResult] = {}
+        for record in self.events():
+            if record["event"] != "complete":
+                continue
+            exp_id = record["experiment"]
+            try:
+                done[exp_id] = self.read_artifact(exp_id)
+            except (OSError, json.JSONDecodeError, KeyError):
+                done.pop(exp_id, None)
+        return done
+
+    # ------------------------------------------------------------------
+    # artifacts
+    # ------------------------------------------------------------------
+    def artifact_path(self, exp_id: str) -> Path:
+        return self.artifacts / f"{exp_id}.json"
+
+    def write_artifact(self, result: ExperimentResult) -> Path:
+        """Atomically publish one experiment's canonical artifact."""
+        path = self.artifact_path(result.experiment)
+        atomic_write_text(path, result.to_json())
+        return path
+
+    def read_artifact(self, exp_id: str) -> ExperimentResult:
+        data = json.loads(self.artifact_path(exp_id).read_text("utf-8"))
+        return ExperimentResult.from_jsonable(data)

@@ -3,6 +3,10 @@
 A deliberately small, fast kernel: a binary-heap event queue with stable
 FIFO tie-breaking for simultaneous events, cancellation tokens, periodic
 event helpers, and a hard event-count guard against runaway models.
+For supervised scenario builds the engine is also interruptible: ``run``
+takes an optional wall-clock budget and the dynamic state can be
+checkpointed and resumed in-process (:meth:`SimulationEngine.snapshot`
+/ :meth:`SimulationEngine.restore`).
 
 Event callbacks receive the engine itself, so a handler can schedule
 follow-up events::
@@ -22,17 +26,38 @@ plain callables.  Determinism is guaranteed because (a) the heap pops in
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+import time as _time
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
-__all__ = ["Event", "SimulationEngine", "StopSimulation"]
+__all__ = [
+    "Event",
+    "EngineSnapshot",
+    "SimulationEngine",
+    "StopSimulation",
+    "WallDeadlineExceeded",
+]
 
 Handler = Callable[["SimulationEngine"], None]
 
 
 class StopSimulation(Exception):
     """Raised by a handler to end the simulation immediately."""
+
+
+class WallDeadlineExceeded(RuntimeError):
+    """`run()` hit its wall-clock budget; the engine state stays valid.
+
+    The queue is intact and time does not rewind, so the caller can
+    snapshot, yield to a supervisor, and resume with another ``run()``.
+    """
+
+    def __init__(self, now: float, budget: float) -> None:
+        super().__init__(
+            f"wall-clock budget of {budget:.3f}s exhausted at sim time "
+            f"{now:.3f}s; engine remains resumable")
+        self.now = now
+        self.budget = budget
 
 
 @dataclass(order=True)
@@ -54,15 +79,36 @@ class Event:
         self.cancelled = True
 
 
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """A resumable copy of the engine's dynamic state.
+
+    Events are copied (the cancellation flags are independent of the
+    live queue) but handlers are shared by reference, so a snapshot is
+    an in-process checkpoint for interruptible scenario builds -- not a
+    serialisation format.
+    """
+
+    now: float
+    processed: int
+    seq: int
+    queue: tuple[Event, ...]
+
+
 class SimulationEngine:
     """Binary-heap discrete-event engine with deterministic ordering."""
 
     def __init__(self, max_events: int = 50_000_000) -> None:
         self._queue: list[Event] = []
-        self._counter = itertools.count()
+        self._seq = 0
         self._now = 0.0
         self._processed = 0
         self.max_events = max_events
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
 
     # ------------------------------------------------------------------
     @property
@@ -89,7 +135,7 @@ class SimulationEngine:
             raise ValueError(
                 f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
             )
-        ev = Event(time=float(time), seq=next(self._counter), handler=handler, label=label)
+        ev = Event(time=float(time), seq=self._next_seq(), handler=handler, label=label)
         heapq.heappush(self._queue, ev)
         return ev
 
@@ -123,18 +169,61 @@ class SimulationEngine:
         return self.schedule(first, tick, label)
 
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> float:
+    def snapshot(self) -> EngineSnapshot:
+        """Capture the dynamic state for an in-process resume point.
+
+        The pending events are copied (so later ``cancel()`` calls on
+        live events don't rewrite history) but their handlers are shared
+        by reference.  Pair with :meth:`restore`.
+        """
+        return EngineSnapshot(
+            now=self._now,
+            processed=self._processed,
+            seq=self._seq,
+            queue=tuple(replace(ev) for ev in self._queue),
+        )
+
+    def restore(self, snap: EngineSnapshot) -> None:
+        """Rewind the engine to a previously-captured snapshot."""
+        self._now = snap.now
+        self._processed = snap.processed
+        self._seq = snap.seq
+        self._queue = [replace(ev) for ev in snap.queue]
+        heapq.heapify(self._queue)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_wall_seconds: Optional[float] = None,
+        wall_check_every: int = 1024,
+    ) -> float:
         """Execute events until the queue drains or ``until`` is reached.
 
         Events scheduled exactly at ``until`` are executed.  Returns the
         final simulation time (``until`` if given, else the time of the
         last executed event).
+
+        ``max_wall_seconds`` makes the run interruptible: once the real
+        clock exceeds the budget (checked every ``wall_check_every``
+        events, so the hot loop stays hot) the engine raises
+        :class:`WallDeadlineExceeded` *between* events, leaving the
+        queue valid so a supervisor can snapshot and resume the build
+        later with another ``run()`` call.
         """
         q = self._queue
+        wall_start = _time.monotonic() if max_wall_seconds is not None else 0.0
+        since_check = 0
         while q:
             ev = q[0]
             if until is not None and ev.time > until:
                 break
+            if max_wall_seconds is not None:
+                since_check += 1
+                if since_check >= wall_check_every:
+                    since_check = 0
+                    if _time.monotonic() - wall_start > max_wall_seconds:
+                        raise WallDeadlineExceeded(self._now, max_wall_seconds)
             heapq.heappop(q)
             if ev.cancelled:
                 continue

@@ -1,0 +1,129 @@
+"""Edge cases of the checkpoint waste model and advisor.
+
+test_checkpoint_health.py covers the happy paths; this file pins the
+boundary behaviour: degenerate MTBF/cost combinations, the [0, 1] waste
+bound, and advisors built from histories too thin to estimate from.
+"""
+
+import math
+
+import pytest
+
+from repro.core.checkpointing import (
+    CheckpointAdvisor,
+    expected_waste_fraction,
+    young_daly_interval,
+)
+from repro.core.prediction import Alarm
+from repro.simul.clock import HOUR
+
+from tests.core.helpers import failure
+
+
+class TestYoungDalyEdges:
+    @pytest.mark.parametrize("mtbf, cost", [
+        (0.0, 50.0),
+        (-1.0, 50.0),
+        (100.0, 0.0),
+        (100.0, -5.0),
+    ])
+    def test_non_positive_inputs_rejected(self, mtbf, cost):
+        with pytest.raises(ValueError, match="must be positive"):
+            young_daly_interval(mtbf, cost)
+
+    def test_interval_scales_with_sqrt(self):
+        base = young_daly_interval(1 * HOUR, 60.0)
+        assert young_daly_interval(4 * HOUR, 60.0) == pytest.approx(2 * base)
+        assert young_daly_interval(1 * HOUR, 240.0) == pytest.approx(2 * base)
+
+    def test_tiny_but_positive_inputs(self):
+        assert young_daly_interval(1e-9, 1e-9) == pytest.approx(
+            math.sqrt(2) * 1e-9)
+
+
+class TestWasteFractionEdges:
+    @pytest.mark.parametrize("interval, mtbf, cost, match", [
+        (0.0, 100.0, 1.0, "interval"),
+        (-10.0, 100.0, 1.0, "interval"),
+        (10.0, 0.0, 1.0, "mtbf"),
+        (10.0, -1.0, 1.0, "mtbf"),
+        (10.0, 100.0, -0.1, "non-negative"),
+    ])
+    def test_invalid_inputs_rejected(self, interval, mtbf, cost, match):
+        with pytest.raises(ValueError, match=match):
+            expected_waste_fraction(interval, mtbf, cost)
+
+    def test_zero_cost_is_pure_recomputation(self):
+        # free checkpoints: only the half-segment recomputation term left
+        assert expected_waste_fraction(100.0, 1000.0, 0.0) == pytest.approx(
+            100.0 / (2.0 * 1000.0))
+
+    def test_cost_at_or_above_mtbf_saturates(self):
+        """When a checkpoint costs as much as the MTBF, everything is
+        waste -- the model must clamp rather than exceed 1."""
+        assert expected_waste_fraction(50.0, 100.0, 100.0) == 1.0
+        assert expected_waste_fraction(50.0, 100.0, 500.0) == 1.0
+
+    def test_waste_bounded_on_a_grid(self):
+        for interval in (1.0, 60.0, 600.0, 2 * HOUR):
+            for mtbf in (30.0, 1 * HOUR, 100 * HOUR):
+                for cost in (0.0, 10.0, 600.0, 2 * HOUR):
+                    waste = expected_waste_fraction(interval, mtbf, cost)
+                    assert 0.0 <= waste <= 1.0, (interval, mtbf, cost)
+
+    def test_waste_at_optimum_well_below_one_for_sane_inputs(self):
+        mtbf, cost = 24 * HOUR, 300.0
+        interval = young_daly_interval(mtbf, cost)
+        assert expected_waste_fraction(interval, mtbf, cost) < 0.2
+
+
+class TestAdvisorEdges:
+    def test_zero_failures_cannot_estimate(self):
+        with pytest.raises(ValueError, match="at least two failures"):
+            CheckpointAdvisor([]).system_mtbf()
+
+    def test_zero_failures_plan_propagates(self):
+        with pytest.raises(ValueError, match="at least two failures"):
+            CheckpointAdvisor([]).plan()
+
+    def test_one_failure_cannot_estimate(self):
+        with pytest.raises(ValueError, match="at least two failures"):
+            CheckpointAdvisor([failure(100.0, "c0-0c0s0n0")]).system_mtbf()
+
+    def test_simultaneous_failures_give_zero_mtbf(self):
+        """A burst at one instant yields MTBF 0, which the interval
+        formula must then refuse rather than emit interval 0."""
+        burst = [failure(500.0, f"c0-0c0s{i}n0") for i in range(3)]
+        advisor = CheckpointAdvisor(burst)
+        assert advisor.system_mtbf() == 0.0
+        with pytest.raises(ValueError, match="must be positive"):
+            advisor.plan()
+
+    def test_alarms_without_failures_recall_zero(self):
+        fails = [failure(t, "c0-0c0s0n0") for t in (0.0, 3600.0)]
+        plan = CheckpointAdvisor(fails).plan(
+            checkpoint_cost=60.0,
+            alarms=[Alarm(10_000.0, "c0-0c0s9n0", "x", 3, True)])
+        assert plan.prediction_recall == 0.0
+        assert plan.predicted_waste_fraction == pytest.approx(
+            plan.blind_waste_fraction)
+
+    def test_full_recall_leaves_only_overhead(self):
+        gap = 2 * HOUR
+        fails = [failure(i * gap, f"c0-0c0s{i}n0") for i in range(1, 8)]
+        cost = 60.0
+        alarms = [Alarm(f.time - 1800.0, f.node, "x", 3, True) for f in fails]
+        plan = CheckpointAdvisor(fails).plan(checkpoint_cost=cost,
+                                             alarms=alarms)
+        assert plan.prediction_recall == pytest.approx(1.0)
+        assert plan.predicted_waste_fraction == pytest.approx(
+            cost / plan.interval)
+        assert 0.0 < plan.waste_reduction < 1.0
+
+    def test_waste_reduction_zero_when_blind_waste_zero(self):
+        from repro.core.checkpointing import CheckpointPlan
+        plan = CheckpointPlan(mtbf=1.0, checkpoint_cost=1.0, interval=1.0,
+                              blind_waste_fraction=0.0,
+                              predicted_waste_fraction=0.0,
+                              prediction_recall=0.0)
+        assert plan.waste_reduction == 0.0

@@ -5,9 +5,12 @@ we keep to the fast scenarios plus the machinery itself, using a
 temporary cache directory so test runs never touch a developer's cache.
 """
 
+import enum
+import json
+
 import pytest
 
-from repro.experiments.result import ExperimentResult
+from repro.experiments.result import ExperimentResult, to_jsonable
 from repro.experiments.scenarios import SCENARIOS, materialize
 
 
@@ -36,6 +39,73 @@ class TestResult:
     def test_render_flags_failure(self):
         res = ExperimentResult("f", "t", {}, {}, shape_ok=False)
         assert "NO" in res.render()
+
+
+class TestJsonable:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert to_jsonable(value) == value
+
+    def test_numpy_values_become_plain(self):
+        np = pytest.importorskip("numpy")
+        assert to_jsonable(np.float64(0.25)) == 0.25
+        assert to_jsonable(np.int32(4)) == 4
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_mappings_get_string_keys(self):
+        out = to_jsonable({1: {"a": (1, 2)}})
+        assert out == {"1": {"a": [1, 2]}}
+
+    def test_sets_are_sorted(self):
+        assert to_jsonable({"b", "a", "c"}) == ["a", "b", "c"]
+
+    def test_enums_collapse_to_value(self):
+        class Color(enum.Enum):
+            RED = "red"
+        assert to_jsonable(Color.RED) == "red"
+        assert to_jsonable({Color.RED: 1}) == {"Color.RED": 1}
+
+    def test_unknown_objects_stringify(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+        assert to_jsonable(Opaque()) == "<opaque>"
+
+
+class TestResultSerialization:
+    def _result(self):
+        return ExperimentResult(
+            experiment="figX", title="demo",
+            measured={"a": 1.25, "counts": [3, 4]},
+            paper={"a": 1.0},
+            shape_ok=True, notes="n",
+            series={"xs": [0.0, 1.0]},
+        )
+
+    def test_round_trip(self):
+        res = self._result()
+        back = ExperimentResult.from_jsonable(
+            json.loads(res.to_json()))
+        assert back == res
+
+    def test_series_omitted_when_absent(self):
+        res = ExperimentResult("f", "t", {}, {}, True)
+        assert "series" not in res.to_jsonable()
+        assert ExperimentResult.from_jsonable(res.to_jsonable()).series is None
+
+    def test_json_is_canonical(self):
+        """Key order of the input dicts must not leak into the bytes."""
+        a = ExperimentResult("f", "t", {"x": 1, "y": 2}, {}, True)
+        b = ExperimentResult("f", "t", {"y": 2, "x": 1}, {}, True)
+        assert a.to_json() == b.to_json()
+        assert a.to_json().endswith("\n")
+
+    def test_numpy_measured_round_trips(self):
+        np = pytest.importorskip("numpy")
+        res = ExperimentResult(
+            "f", "t", {"m": np.float64(0.5), "v": np.arange(3)}, {}, True)
+        back = ExperimentResult.from_jsonable(json.loads(res.to_json()))
+        assert back.measured == {"m": 0.5, "v": [0, 1, 2]}
 
 
 class TestScenarioRegistry:
@@ -78,6 +148,56 @@ class TestMaterialize:
         text_a = (a.root / "p0" / "console.log").read_text()
         text_b = (b.root / "p0" / "console.log").read_text()
         assert text_a == text_b
+
+    def test_no_build_directories_left_behind(self, cache):
+        materialize("cases", seed=5, root=cache)
+        leftovers = [p.name for p in cache.iterdir()
+                     if p.name.startswith(".building-")]
+        assert leftovers == []
+
+    def test_damaged_manifest_triggers_rebuild(self, cache):
+        """A store whose manifest was half-written (e.g. a kill during a
+        pre-atomic build) must be rebuilt, not trusted or crashed on."""
+        store = materialize("cases", seed=5, root=cache)
+        manifest = store.root / "manifest.json"
+        manifest.write_text("{truncated")
+        store2 = materialize("cases", seed=5, root=cache)
+        assert store2.manifest().seed == 5  # parses again
+
+    def test_rebuild_of_damaged_store_is_deterministic(self, cache,
+                                                       tmp_path):
+        store = materialize("cases", seed=5, root=cache)
+        reference = (store.root / "p0" / "console.log").read_text()
+        (store.root / "manifest.json").write_text("garbage")
+        rebuilt = materialize("cases", seed=5, root=cache)
+        assert (rebuilt.root / "p0" / "console.log").read_text() == reference
+
+
+class TestRunAllErrorCapture:
+    def test_errors_are_yielded_not_raised(self, monkeypatch):
+        """A crashing experiment becomes an errored ExperimentRun; the
+        generator keeps going and later experiments still run."""
+        import repro.experiments.registry as registry
+        from repro.experiments.registry import ExperimentSpec, run_all
+
+        def boom(seed):
+            raise RuntimeError("spec exploded")
+
+        specs = (
+            ExperimentSpec("good1", None, lambda seed: ExperimentResult(
+                "good1", "t", {"seed": seed}, {}, True)),
+            ExperimentSpec("bad", None, boom),
+            ExperimentSpec("good2", None, lambda seed: ExperimentResult(
+                "good2", "t", {}, {}, True)),
+        )
+        monkeypatch.setattr(registry, "EXPERIMENT_SPECS", specs)
+        runs = list(run_all(seed=3))
+        assert [r.experiment for r in runs] == ["good1", "bad", "good2"]
+        assert runs[0].ok and runs[0].result.measured == {"seed": 3}
+        assert not runs[1].ok
+        assert runs[1].result is None
+        assert "spec exploded" in runs[1].error
+        assert runs[2].ok
 
 
 class TestSmallFigures:

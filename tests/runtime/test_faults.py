@@ -1,0 +1,90 @@
+"""The process-fault plan: format, env plumbing, and the benign actions.
+
+The lethal actions (sigkill, hang) are exercised end-to-end through the
+supervisor in ``test_supervisor.py`` and the chaos gate; here we cover
+the plan mechanics and the actions that return.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec, inject
+
+
+class TestFaultSpec:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec("explode")
+
+    def test_matches_attempts(self):
+        spec = FaultSpec("crash", attempts=(2, 3))
+        assert not spec.matches(1)
+        assert spec.matches(2) and spec.matches(3)
+
+    def test_crash_fires(self):
+        with pytest.raises(RuntimeError, match="injected crash"):
+            FaultSpec("crash").fire()
+
+    def test_slow_returns_after_delay(self):
+        start = time.monotonic()
+        FaultSpec("slow", delay=0.05).fire()
+        assert time.monotonic() - start >= 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one attempt"):
+            FaultSpec("crash", attempts=())
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSpec("slow", delay=-1.0)
+
+
+class TestFaultPlan:
+    def test_dump_load_round_trip(self, tmp_path):
+        plan = FaultPlan({
+            "fig4": [FaultSpec("sigkill", attempts=(1,))],
+            "table3": [FaultSpec("hang", attempts=(1, 2)),
+                       FaultSpec("slow", attempts=(3,), delay=0.2)],
+        })
+        path = plan.dump(tmp_path / "plan.json")
+        back = FaultPlan.load(path)
+        assert back.spec_for("fig4", 1).action == "sigkill"
+        assert back.spec_for("table3", 2).action == "hang"
+        assert back.spec_for("table3", 3).delay == 0.2
+        assert back.spec_for("table3", 4) is None
+        assert back.spec_for("unplanned", 1) is None
+
+    def test_from_env_absent(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+
+    def test_from_env_loads(self, tmp_path, monkeypatch):
+        path = FaultPlan({"a": [FaultSpec("crash")]}).dump(tmp_path / "p.json")
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        plan = FaultPlan.from_env()
+        assert plan.spec_for("a", 1).action == "crash"
+
+
+class TestInject:
+    def test_noop_without_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        inject("fig4", 1)  # must not raise
+
+    def test_noop_on_broken_plan_file(self, tmp_path, monkeypatch):
+        """A damaged plan must never become a new failure mode."""
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(broken))
+        inject("fig4", 1)  # must not raise
+
+    def test_noop_on_missing_plan_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(tmp_path / "gone.json"))
+        inject("fig4", 1)  # must not raise
+
+    def test_planned_crash_fires(self, tmp_path, monkeypatch):
+        path = FaultPlan(
+            {"fig4": [FaultSpec("crash", attempts=(2,))]}
+        ).dump(tmp_path / "p.json")
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        inject("fig4", 1)  # attempt 1 unplanned
+        with pytest.raises(RuntimeError, match="injected crash"):
+            inject("fig4", 2)

@@ -1,0 +1,79 @@
+"""Retry policy and circuit breaker semantics."""
+
+import pytest
+
+from repro.runtime.retry import CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_delay=1.0, factor=2.0, max_delay=100.0,
+                             jitter=0.0)
+        assert policy.backoff(1) == 1.0
+        assert policy.backoff(2) == 2.0
+        assert policy.backoff(3) == 4.0
+
+    def test_backoff_clamped_to_max(self):
+        policy = RetryPolicy(base_delay=1.0, factor=10.0, max_delay=5.0,
+                             jitter=0.0)
+        assert policy.backoff(4) == 5.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, factor=1.0, jitter=0.25)
+        a = policy.backoff(1, key="s3")
+        assert a == policy.backoff(1, key="s3")  # same inputs, same delay
+        assert 0.75 <= a <= 1.25
+        assert a != policy.backoff(1, key="s4")  # keys de-synchronise
+
+    def test_allows_is_one_based(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.allows(1) and policy.allows(2)
+        assert not policy.allows(3)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().backoff(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"factor": 0.5},
+        {"jitter": 1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert not breaker.record_failure("s1", "crash 1")
+        assert not breaker.record_failure("s1", "crash 2")
+        assert breaker.record_failure("s1", "crash 3")  # opened now
+        assert breaker.is_open("s1")
+        assert "crash 3" in breaker.reason("s1")
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("s1", "crash")
+        breaker.record_success("s1")
+        assert not breaker.record_failure("s1", "crash")
+        assert not breaker.is_open("s1")
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("s1", "crash")
+        assert breaker.is_open("s1")
+        assert not breaker.is_open("s2")
+        assert breaker.reason("s2") is None
+
+    def test_open_circuit_absorbs_further_failures(self):
+        breaker = CircuitBreaker(threshold=1)
+        assert breaker.record_failure("s1", "first")
+        assert not breaker.record_failure("s1", "second")
+        assert "first" in breaker.reason("s1")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

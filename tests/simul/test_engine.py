@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.simul.engine import SimulationEngine, StopSimulation
+from repro.simul.engine import (
+    SimulationEngine,
+    StopSimulation,
+    WallDeadlineExceeded,
+)
 
 
 class TestScheduling:
@@ -194,3 +198,118 @@ class TestStopAndStep:
         eng.schedule(1.0, boom)
         with pytest.raises(RuntimeError, match="boom"):
             eng.run()
+
+
+class TestSnapshotRestore:
+    def _chain(self, eng, order, n=5):
+        def tick(e):
+            order.append(e.now)
+            if len(order) < n:
+                e.schedule(e.now + 1.0, tick)
+        eng.schedule(0.0, tick)
+
+    def test_restore_replays_identically(self):
+        eng = SimulationEngine()
+        order = []
+        self._chain(eng, order)
+        eng.run(until=2.0)
+        snap = eng.snapshot()
+        eng.run()
+        full = list(order)
+        del order[3:]
+        eng.restore(snap)
+        eng.run()
+        assert order == full
+        assert eng.now == full[-1]
+
+    def test_snapshot_preserves_counters(self):
+        eng = SimulationEngine()
+        eng.schedule(1.0, lambda e: None)
+        eng.schedule(2.0, lambda e: None)
+        eng.run(until=1.0)
+        snap = eng.snapshot()
+        assert snap.now == 1.0 and snap.processed == 1
+        other = SimulationEngine()
+        other.restore(snap)
+        assert other.now == 1.0 and other.processed == 1
+        assert other.pending() == 1
+
+    def test_snapshot_isolated_from_later_cancellation(self):
+        """Cancelling a live event after snapshotting must not rewrite
+        the checkpoint -- restore still runs it."""
+        eng = SimulationEngine()
+        seen = []
+        ev = eng.schedule(1.0, lambda e: seen.append("x"))
+        snap = eng.snapshot()
+        ev.cancel()
+        eng.run()
+        assert seen == []
+        eng.restore(snap)
+        eng.run()
+        assert seen == ["x"]
+
+    def test_restored_engine_keeps_fifo_order(self):
+        eng = SimulationEngine()
+        order = []
+        for tag in "abc":
+            eng.schedule(5.0, lambda e, t=tag: order.append(t))
+        eng.restore(eng.snapshot())
+        eng.run()
+        assert order == list("abc")
+
+    def test_seq_continues_after_restore(self):
+        """New events scheduled after a restore must still order after
+        the snapshotted ones at equal times."""
+        eng = SimulationEngine()
+        order = []
+        eng.schedule(5.0, lambda e: order.append("old"))
+        snap = eng.snapshot()
+        eng = SimulationEngine()
+        eng.restore(snap)
+        eng.schedule(5.0, lambda e: order.append("new"))
+        eng.run()
+        assert order == ["old", "new"]
+
+
+class TestWallDeadline:
+    def test_budget_exhaustion_raises_resumable(self):
+        eng = SimulationEngine()
+        order = []
+
+        def tick(e):
+            order.append(e.now)
+            e.schedule(e.now + 1.0, tick)
+
+        eng.schedule(0.0, tick)
+        with pytest.raises(WallDeadlineExceeded) as err:
+            eng.run(max_wall_seconds=0.05, wall_check_every=1)
+        assert err.value.budget == 0.05
+        assert "resumable" in str(err.value)
+        assert eng.pending() > 0  # queue intact, not drained
+
+    def test_resume_after_deadline_loses_nothing(self):
+        eng = SimulationEngine()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            eng.schedule(t, lambda e: seen.append(e.now))
+
+        real = [0.0, 0.0, 10.0]  # third check is over budget
+
+        def fake_monotonic():
+            return real.pop(0)
+
+        import repro.simul.engine as engine_mod
+        orig = engine_mod._time.monotonic
+        engine_mod._time.monotonic = fake_monotonic
+        try:
+            with pytest.raises(WallDeadlineExceeded):
+                eng.run(max_wall_seconds=1.0, wall_check_every=1)
+        finally:
+            engine_mod._time.monotonic = orig
+        eng.run()  # resume without a budget
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_no_budget_means_no_clock_reads(self):
+        eng = SimulationEngine()
+        eng.schedule(1.0, lambda e: None)
+        assert eng.run() == 1.0

@@ -44,6 +44,23 @@ class TestParser:
         assert parser.parse_args(["predict", "x"]).command == "predict"
         assert parser.parse_args(["checkpoint", "x"]).command == "checkpoint"
         assert parser.parse_args(["experiments"]).command == "experiments"
+        assert parser.parse_args(["run-all"]).command == "run-all"
+
+    def test_run_all_defaults(self):
+        args = build_parser().parse_args(["run-all"])
+        assert args.seed == 7
+        assert str(args.out) == "campaign"
+        assert not args.resume and args.only is None
+        assert args.max_attempts == 3 and args.breaker_threshold == 3
+
+    def test_run_all_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run-all", "--out", str(tmp_path), "--resume",
+             "--only", "fig4", "table3", "--deadline", "60",
+             "--no-isolation"])
+        assert args.resume and args.no_isolation
+        assert args.only == ["fig4", "table3"]
+        assert args.deadline == 60.0
 
 
 class TestCommands:
@@ -107,29 +124,99 @@ class TestCommands:
         """The experiments subcommand prints per-experiment status and
         returns non-zero when any shape fails (run_all is stubbed so the
         test stays fast)."""
+        from repro.experiments.registry import ExperimentRun
         from repro.experiments.result import ExperimentResult
         import repro.experiments.registry as registry
 
         def fake_run_all(seed):
-            yield "figX", "s9", ExperimentResult("figX", "good", {}, {}, True)
-            yield "figY", None, ExperimentResult("figY", "bad", {}, {}, False)
+            yield ExperimentRun(
+                "figX", "s9", ExperimentResult("figX", "good", {}, {}, True))
+            yield ExperimentRun(
+                "figY", None, ExperimentResult("figY", "bad", {}, {}, False))
+            yield ExperimentRun("figZ", None, None, error="scenario exploded")
 
         monkeypatch.setattr(registry, "run_all", fake_run_all)
         assert main(["experiments"]) == 1
         out = capsys.readouterr().out
         assert "ok   figX" in out
         assert "FAIL figY" in out
-        assert "1/2 experiment shapes hold" in out
+        assert "ERR  figZ" in out and "scenario exploded" in out
+        assert "1/3 experiment shapes hold" in out
 
     def test_experiments_command_draw(self, capsys, monkeypatch):
+        from repro.experiments.registry import ExperimentRun
         from repro.experiments.result import ExperimentResult
         import repro.experiments.registry as registry
 
         def fake_run_all(seed):
-            yield "fig16", "s2", ExperimentResult(
-                "fig16", "t", {"app_exit": 0.4}, {}, True)
+            yield ExperimentRun("fig16", "s2", ExperimentResult(
+                "fig16", "t", {"app_exit": 0.4}, {}, True))
 
         monkeypatch.setattr(registry, "run_all", fake_run_all)
         assert main(["experiments", "--draw"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 16" in out and "#" in out
+
+
+class TestRunAllCommand:
+    """run-all against a stubbed experiment table (in-process mode so
+    the stubs' closures need no fork; the real worker path is covered in
+    tests/runtime/ and the chaos gate)."""
+
+    @pytest.fixture
+    def stub_specs(self, monkeypatch):
+        from repro.experiments.registry import ExperimentSpec
+        from repro.experiments.result import ExperimentResult
+        import repro.runtime.supervisor as supervisor
+
+        def make(exp, scenario, ok=True):
+            def produce(seed):
+                return ExperimentResult(exp, f"title {exp}",
+                                        {"seed": seed}, {}, ok)
+            return ExperimentSpec(exp, scenario, produce)
+
+        specs = (make("figX", "s9"), make("figY", None, ok=False))
+        monkeypatch.setattr(supervisor, "EXPERIMENT_SPECS", specs)
+        return specs
+
+    def test_clean_campaign(self, stub_specs, tmp_path, capsys):
+        out_dir = tmp_path / "camp"
+        code = main(["run-all", "--out", str(out_dir), "--no-isolation",
+                     "--only", "figX"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok   figX" in out
+        assert "1/1 experiments completed" in out
+        assert "journal:" in out
+        assert (out_dir / "journal.jsonl").is_file()
+        assert (out_dir / "artifacts" / "figX.json").is_file()
+
+    def test_shape_failure_exit_code(self, stub_specs, tmp_path, capsys):
+        code = main(["run-all", "--out", str(tmp_path / "c"),
+                     "--no-isolation"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL figY" in out
+        assert "1/2 shapes hold" in out
+
+    def test_resume_replays_journal(self, stub_specs, tmp_path, capsys):
+        out_dir = str(tmp_path / "camp")
+        assert main(["run-all", "--out", out_dir, "--no-isolation",
+                     "--only", "figX"]) == 0
+        capsys.readouterr()
+        assert main(["run-all", "--out", out_dir, "--no-isolation",
+                     "--only", "figX", "--resume"]) == 0
+        assert "[journal]" in capsys.readouterr().out
+
+    def test_seed_mismatch_is_clean_error(self, stub_specs, tmp_path, capsys):
+        out_dir = str(tmp_path / "camp")
+        assert main(["run-all", "--out", out_dir, "--no-isolation",
+                     "--only", "figX"]) == 0
+        with pytest.raises(SystemExit, match="seed"):
+            main(["run-all", "--out", out_dir, "--no-isolation",
+                  "--only", "figX", "--resume", "--seed", "8"])
+
+    def test_unknown_only_is_clean_error(self, stub_specs, tmp_path):
+        with pytest.raises(SystemExit, match="unknown experiments"):
+            main(["run-all", "--out", str(tmp_path / "c"),
+                  "--no-isolation", "--only", "nope"])
