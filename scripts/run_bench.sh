@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Benchmark gate for the ingestion + analysis perf engine (PR 3).
+#
+# Runs the three perf-target benchmark files with pytest-benchmark and
+# refreshes the "after" column of BENCH_pr3.json.  The "before" column
+# is a committed baseline captured from the pre-PR revision; pass a
+# pytest-benchmark JSON via BENCH_BEFORE to re-baseline (run the same
+# three files from a worktree at the old revision):
+#
+#   scripts/run_bench.sh                      # refresh after numbers
+#   BENCH_BEFORE=/tmp/old.json scripts/run_bench.sh   # re-baseline too
+#
+# Numbers are min-of-rounds in milliseconds; see docs/PERFORMANCE.md
+# for how to read them (and why test_parse_parallel is hardware-bound
+# on single-core runners).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}$PWD/src"
+
+RAW="$(mktemp --suffix=.json)"
+trap 'rm -f "$RAW"' EXIT
+
+python -m pytest \
+    benchmarks/bench_tolerant_parse.py \
+    benchmarks/bench_parallel_parse.py \
+    benchmarks/bench_full_pipeline.py \
+    -q --benchmark-only --benchmark-json="$RAW"
+
+python - "$RAW" <<'EOF'
+import json
+import os
+import sys
+
+OUT = "BENCH_pr3.json"
+
+
+def mins(path):
+    data = json.load(open(path))
+    return {
+        b["fullname"].split("/")[-1]: b["stats"]["min"] * 1000
+        for b in data["benchmarks"]
+    }
+
+
+doc = json.load(open(OUT))
+after = mins(sys.argv[1])
+before_path = os.environ.get("BENCH_BEFORE")
+before = mins(before_path) if before_path else None
+
+for name, ms in sorted(after.items()):
+    entry = doc["results"].setdefault(name, {"before_ms": None})
+    if before is not None:
+        entry["before_ms"] = round(before[name], 2)
+    entry["after_ms"] = round(ms, 2)
+    old = entry.get("before_ms")
+    entry["speedup"] = round(old / ms, 2) if old else None
+
+json.dump(doc, open(OUT, "w"), indent=2)
+print(f"\n{OUT} updated:")
+for name, entry in doc["results"].items():
+    print(f"  {name}: {entry['before_ms']} -> {entry['after_ms']} ms "
+          f"({entry['speedup']}x)")
+EOF

@@ -22,6 +22,9 @@ python -m pytest -q
 echo "== supervision smoke (pytest -m supervision) =="
 python -m pytest tests/runtime -m supervision -q
 
+echo "== benchmark shape smoke (--benchmark-disable) =="
+python -m pytest benchmarks/ -m 'not chaos' --benchmark-disable -q
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== skipping tier-2 chaos gate (--fast) =="
     exit 0

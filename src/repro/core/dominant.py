@@ -41,11 +41,19 @@ class DailyDominance:
 
 
 def daily_dominance(
-    failures: Iterable[DetectedFailure], min_failures: int = 2
+    failures: Iterable[DetectedFailure],
+    min_failures: int = 2,
+    by_day: dict[int, list[DetectedFailure]] | None = None,
 ) -> list[DailyDominance]:
-    """Per-day dominance records for days with >= ``min_failures``."""
+    """Per-day dominance records for days with >= ``min_failures``.
+
+    ``by_day`` lets the pipeline pass its shared day grouping instead
+    of re-deriving it here.
+    """
+    if by_day is None:
+        by_day = FailureDetector.failures_by_day(failures)
     out: list[DailyDominance] = []
-    for day, day_failures in sorted(FailureDetector.failures_by_day(failures).items()):
+    for day, day_failures in sorted(by_day.items()):
         if len(day_failures) < min_failures:
             continue
         counts = Counter(f.symptom for f in day_failures)

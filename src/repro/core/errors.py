@@ -15,13 +15,16 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.failure_detection import DetectedFailure
 from repro.logs.parsing import ParsedRecord
 from repro.simul.clock import DAY
+
+if TYPE_CHECKING:
+    from repro.core.index import StreamIndex
 
 __all__ = [
     "DailyErrorPopulation",
@@ -50,19 +53,31 @@ class DailyErrorPopulation:
     failed_nodes: int
 
 
+#: union vocabulary the Fig. 10 populations are counted over
+_POPULATION_EVENTS = (HW_ERROR_EVENTS | MCE_EVENTS | LUSTRE_IO_EVENTS
+                      | PAGE_FAULT_EVENTS)
+
+
 def error_populations(
     internal: Iterable[ParsedRecord],
     failures: Sequence[DetectedFailure],
     days: int,
+    stream: Optional["StreamIndex"] = None,
 ) -> list[DailyErrorPopulation]:
-    """Per-day node populations for each error class (Fig. 10)."""
+    """Per-day node populations for each error class (Fig. 10).
+
+    With a ``stream`` index, only the error-class event buckets are
+    scanned instead of the full internal stream.
+    """
     if days < 1:
         raise ValueError("days must be >= 1")
     hw: dict[int, set[str]] = defaultdict(set)
     mce: dict[int, set[str]] = defaultdict(set)
     lustre: dict[int, set[str]] = defaultdict(set)
     pf: dict[int, set[str]] = defaultdict(set)
-    for rec in internal:
+    source = (stream.select(_POPULATION_EVENTS) if stream is not None
+              else internal)
+    for rec in source:
         if rec.event is None:
             continue
         day = int(rec.time // DAY)

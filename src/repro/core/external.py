@@ -24,14 +24,19 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from functools import lru_cache
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.topology import BladeName, NodeName, parse_component
 from repro.core.failure_detection import DetectedFailure
+from repro.core.index import failure_times_by_node
 from repro.logs.parsing import ParsedRecord
 from repro.simul.clock import DAY, HOUR
+
+if TYPE_CHECKING:
+    from repro.core.index import StreamIndex
 
 __all__ = [
     "ExternalIndex",
@@ -42,6 +47,9 @@ __all__ = [
     "faulty_component_fractions",
     "sedc_census",
     "warning_frequency_by_hour",
+    "EXTERNAL_PRECURSOR_EVENTS",
+    "NODE_SCOPED_PRECURSORS",
+    "INDEXED_EVENTS",
 ]
 
 #: 30-day "months" and 7-day weeks, matching the scenario groupings
@@ -58,7 +66,27 @@ HEALTH_FAULT_EVENTS = frozenset({
 #: external events counted as *SEDC warnings* (Table III col 2)
 SEDC_WARNING_EVENTS = frozenset({"ec_sedc_warning", "ec_environment"})
 
+#: external events usable as *early* failure indicators (Fig. 13's
+#: vocabulary).  Defined here -- rather than in the lead-time module
+#: that popularised it -- because the index's cached precursor tables
+#: are keyed on it; :mod:`repro.core.leadtime` re-exports both names.
+EXTERNAL_PRECURSOR_EVENTS = frozenset({
+    "ec_hw_error", "nvf", "link_error", "ecb_fault", "bchf",
+    "ec_l0_failed", "nhf",
+})
 
+#: precursor events that must be about the failing node itself; a blade
+#: peer's heartbeat or voltage fault says nothing about *this* node and
+#: would otherwise leak lead time from unrelated co-located failures
+NODE_SCOPED_PRECURSORS = frozenset({"nvf", "nhf", "ecb_fault"})
+
+#: every event key :meth:`ExternalIndex.build` acts on -- the selection
+#: :meth:`ExternalIndex.from_stream` pulls from a shared stream index
+INDEXED_EVENTS = (HEALTH_FAULT_EVENTS | SEDC_WARNING_EVENTS
+                  | frozenset({"ec_node_info_off", "link_failover"}))
+
+
+@lru_cache(maxsize=8192)
 def _blade_of(cname: str) -> Optional[str]:
     """Blade cname of a node/blade cname; None for cabinets/daemons."""
     try:
@@ -72,6 +100,7 @@ def _blade_of(cname: str) -> Optional[str]:
     return None
 
 
+@lru_cache(maxsize=8192)
 def _cabinet_of(cname: str) -> Optional[str]:
     """Cabinet cname of any component cname; None for daemons."""
     try:
@@ -110,6 +139,17 @@ class ExternalIndex:
     events: list[tuple[float, str, str]] = field(default_factory=list)
     #: (time, src, link, ok) per interconnect failover attempt
     failovers: list[tuple[float, str, str, bool]] = field(default_factory=list)
+
+    @classmethod
+    def from_stream(cls, stream: "StreamIndex") -> "ExternalIndex":
+        """Index the external stream via a shared :class:`StreamIndex`.
+
+        Pulls only the event keys the index acts on (chatter and
+        telemetry records skip the whole build loop), which is exactly
+        equivalent to :meth:`build` because the selection preserves
+        stream order.
+        """
+        return cls.build(stream.select(INDEXED_EVENTS))
 
     @classmethod
     def build(cls, external: Iterable[ParsedRecord]) -> "ExternalIndex":
@@ -164,6 +204,81 @@ class ExternalIndex:
         idx.events.sort()
         return idx
 
+    # -- cached derived tables -----------------------------------------
+    @property
+    def off_times_by_node(self) -> dict[str, np.ndarray]:
+        """Node -> sorted power-off notification times (built once).
+
+        Shared by intended-shutdown exclusion and the NHF breakdown,
+        which each used to rebuild it from :attr:`node_off`.
+        """
+        cached = self.__dict__.get("_off_times_by_node")
+        if cached is None:
+            grouped: dict[str, list[float]] = defaultdict(list)
+            for t, node in self.node_off:
+                grouped[node].append(t)
+            cached = {node: np.sort(np.asarray(times))
+                      for node, times in grouped.items()}
+            self.__dict__["_off_times_by_node"] = cached
+        return cached
+
+    @property
+    def precursor_candidates(
+        self,
+    ) -> tuple[dict[str, list[tuple[float, str]]],
+               dict[str, list[tuple[float, str]]]]:
+        """Precursor events keyed by node (node-scoped) and blade.
+
+        ``(by_node, by_blade)`` with sorted ``(time, event)`` entries --
+        the split the lead-time and false-positive analyses both need.
+        """
+        cached = self.__dict__.get("_precursor_candidates")
+        if cached is None:
+            by_node: dict[str, list[tuple[float, str]]] = defaultdict(list)
+            by_blade: dict[str, list[tuple[float, str]]] = defaultdict(list)
+            for t, about, event in self.events:
+                if event not in EXTERNAL_PRECURSOR_EVENTS:
+                    continue
+                if event in NODE_SCOPED_PRECURSORS:
+                    by_node[about].append((t, event))
+                else:
+                    blade = _blade_of(about)
+                    if blade is not None:
+                        by_blade[blade].append((t, event))
+            for table in (by_node, by_blade):
+                for entries in table.values():
+                    entries.sort()
+            cached = (dict(by_node), dict(by_blade))
+            self.__dict__["_precursor_candidates"] = cached
+        return cached
+
+    @property
+    def blade_precursors(self) -> dict[str, tuple[np.ndarray, tuple[str, ...]]]:
+        """Blade -> (sorted precursor times, matching event keys).
+
+        Every precursor-class event whose subject projects onto the
+        blade, regardless of node scoping -- the root-cause engine's
+        window query, which used to rescan :attr:`events` per failure.
+        """
+        cached = self.__dict__.get("_blade_precursors")
+        if cached is None:
+            grouped: dict[str, list[tuple[float, str]]] = defaultdict(list)
+            for t, about, event in self.events:
+                if event not in EXTERNAL_PRECURSOR_EVENTS:
+                    continue
+                blade = _blade_of(about)
+                if blade is not None:
+                    grouped[blade].append((t, event))
+            cached = {}
+            for blade, entries in grouped.items():
+                entries.sort()
+                cached[blade] = (
+                    np.asarray([t for t, _ in entries]),
+                    tuple(event for _, event in entries),
+                )
+            self.__dict__["_blade_precursors"] = cached
+        return cached
+
     # ------------------------------------------------------------------
     def component_had_event_near(
         self, table: dict[str, list[float]], cname: str, time: float, window: float
@@ -196,6 +311,7 @@ def correspondence(
     failures: Sequence[DetectedFailure],
     window: float = HOUR,
     group_seconds: float = MONTH,
+    fail_times: Optional[dict[str, np.ndarray]] = None,
 ) -> list[CorrespondenceStats]:
     """Fraction of fault events followed by the named node failing.
 
@@ -203,14 +319,11 @@ def correspondence(
     ``[t_fault - 120, t_fault + window]`` -- the small negative slack
     absorbs the post-mortem NHFs that trail a crash by seconds.
     Results are grouped into ``group_seconds`` buckets (months for
-    Fig. 5, weeks for Fig. 6).
+    Fig. 5, weeks for Fig. 6).  ``fail_times`` lets the pipeline share
+    one per-node failure-time table across analyses.
     """
-    fail_times: dict[str, np.ndarray] = {}
-    by_node: dict[str, list[float]] = defaultdict(list)
-    for f in failures:
-        by_node[f.node].append(f.time)
-    for node, times in by_node.items():
-        fail_times[node] = np.sort(np.asarray(times))
+    if fail_times is None:
+        fail_times = failure_times_by_node(failures)
     grouped: dict[int, list[bool]] = defaultdict(list)
     for t, node in fault_events:
         times = fail_times.get(node)
@@ -245,20 +358,12 @@ def nhf_breakdown(
     index: ExternalIndex,
     failures: Sequence[DetectedFailure],
     window: float = HOUR,
+    fail_times: Optional[dict[str, np.ndarray]] = None,
 ) -> list[NhfBreakdown]:
     """Weekly NHF outcome breakdown (failed / power-off / skipped)."""
-    fail_by_node: dict[str, np.ndarray] = {}
-    tmp: dict[str, list[float]] = defaultdict(list)
-    for f in failures:
-        tmp[f.node].append(f.time)
-    for node, times in tmp.items():
-        fail_by_node[node] = np.sort(np.asarray(times))
-    off_by_node: dict[str, np.ndarray] = {}
-    tmp2: dict[str, list[float]] = defaultdict(list)
-    for t, node in index.node_off:
-        tmp2[node].append(t)
-    for node, times in tmp2.items():
-        off_by_node[node] = np.sort(np.asarray(times))
+    fail_by_node = (fail_times if fail_times is not None
+                    else failure_times_by_node(failures))
+    off_by_node = index.off_times_by_node
 
     def _near(table: dict[str, np.ndarray], node: str, t: float, w: float) -> bool:
         times = table.get(node)

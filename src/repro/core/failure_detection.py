@@ -126,11 +126,21 @@ class FailureDetector:
         self.lookback = lookback
 
     # ------------------------------------------------------------------
-    def detect(self, internal: Sequence[ParsedRecord]) -> list[DetectedFailure]:
-        """Detect failures in time-sorted internal records."""
-        by_node: dict[str, list[ParsedRecord]] = defaultdict(list)
-        for rec in internal:
-            by_node[rec.component].append(rec)
+    def detect(
+        self,
+        internal: Sequence[ParsedRecord],
+        by_node: Optional[dict[str, list[ParsedRecord]]] = None,
+    ) -> list[DetectedFailure]:
+        """Detect failures in time-sorted internal records.
+
+        ``by_node`` accepts a pre-built per-component grouping (e.g.
+        :attr:`repro.core.index.StreamIndex.by_node`); it must list each
+        node's records in stream order, as the default grouping does.
+        """
+        if by_node is None:
+            by_node = defaultdict(list)
+            for rec in internal:
+                by_node[rec.component].append(rec)
         failures: list[DetectedFailure] = []
         for node, records in by_node.items():
             failures.extend(self._detect_node(node, records))

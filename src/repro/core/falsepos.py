@@ -25,19 +25,24 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.external import ExternalIndex, _blade_of
 from repro.core.failure_detection import DetectedFailure
+from repro.core.index import failure_times_by_node
 from repro.core.leadtime import (
     EXTERNAL_PRECURSOR_EVENTS,
     INTERNAL_INDICATIVE,
     NODE_SCOPED_PRECURSORS,
+    indicative_times_by_node,
 )
 from repro.logs.parsing import ParsedRecord
 from repro.simul.clock import HOUR
+
+if TYPE_CHECKING:
+    from repro.core.index import StreamIndex
 
 __all__ = ["AlarmEpisode", "FprComparison", "build_episodes", "compare_fpr"]
 
@@ -80,15 +85,12 @@ class FprComparison:
 def build_episodes(
     internal: Iterable[ParsedRecord],
     episode_gap: float = 1800.0,
+    stream: Optional["StreamIndex"] = None,
 ) -> list[AlarmEpisode]:
     """Cluster indicative internal events into per-node episodes."""
-    by_node: dict[str, list[float]] = defaultdict(list)
-    for rec in internal:
-        if rec.event in INTERNAL_INDICATIVE:
-            by_node[rec.component].append(rec.time)
+    by_node = indicative_times_by_node(internal, stream)
     episodes: list[AlarmEpisode] = []
     for node, times in by_node.items():
-        times.sort()
         start = times[0]
         last = times[0]
         count = 1
@@ -110,34 +112,22 @@ def compare_fpr(
     horizon: float = HOUR,
     correlation_window: float = HOUR,
     episode_gap: float = 1800.0,
+    stream: Optional["StreamIndex"] = None,
+    fail_times: Optional[dict[str, np.ndarray]] = None,
 ) -> FprComparison:
     """Score the internal-only and correlated detectors on one log set."""
-    episodes = build_episodes(internal, episode_gap=episode_gap)
+    episodes = build_episodes(internal, episode_gap=episode_gap, stream=stream)
 
-    fail_by_node: dict[str, np.ndarray] = {}
-    tmp: dict[str, list[float]] = defaultdict(list)
-    for f in failures:
-        tmp[f.node].append(f.time)
-    for node, times in tmp.items():
-        fail_by_node[node] = np.sort(np.asarray(times))
+    fail_by_node = (fail_times if fail_times is not None
+                    else failure_times_by_node(failures))
 
-    ext_by_blade: dict[str, np.ndarray] = {}
-    ext_by_node: dict[str, np.ndarray] = {}
-    tmp2: dict[str, list[float]] = defaultdict(list)
-    tmp3: dict[str, list[float]] = defaultdict(list)
-    for t, about, event in index.events:
-        if event not in EXTERNAL_PRECURSOR_EVENTS:
-            continue
-        if event in NODE_SCOPED_PRECURSORS:
-            tmp3[about].append(t)
-        else:
-            blade = _blade_of(about)
-            if blade is not None:
-                tmp2[blade].append(t)
-    for blade, times in tmp2.items():
-        ext_by_blade[blade] = np.sort(np.asarray(times))
-    for node, times in tmp3.items():
-        ext_by_node[node] = np.sort(np.asarray(times))
+    # precursor times from the index's cached node/blade split (the
+    # entries are (time, event) pairs sorted by time)
+    cand_by_node, cand_by_blade = index.precursor_candidates
+    ext_by_node = {node: np.asarray([t for t, _ in entries])
+                   for node, entries in cand_by_node.items()}
+    ext_by_blade = {blade: np.asarray([t for t, _ in entries])
+                    for blade, entries in cand_by_blade.items()}
 
     def _hit(arr: Optional[np.ndarray], lo_t: float, hi_t: float) -> bool:
         if arr is None:

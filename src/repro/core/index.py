@@ -1,0 +1,195 @@
+"""Shared record index: build once per pipeline, query everywhere.
+
+The ~18 analyses behind :meth:`HolisticDiagnosis.run` used to rescan the
+full internal/external/scheduler record lists from scratch -- each one
+re-deriving the same per-node, per-day and per-event groupings.  A
+:class:`RecordIndex` is built once, right after ingestion, and hands the
+analyses pre-bucketed views instead:
+
+* **per-event buckets** (:attr:`StreamIndex.by_event`) and cached
+  event-set selections (:meth:`StreamIndex.select`) -- an analysis that
+  cares about a vocabulary of event keys touches only those records;
+* **per-node buckets** (:attr:`StreamIndex.by_node`) in stream order,
+  the grouping failure detection and episode building start from;
+* **numpy time arrays** (:attr:`StreamIndex.times`,
+  :meth:`StreamIndex.node_times`) for bisect-style window queries
+  (:meth:`StreamIndex.window`).
+
+Every bucket preserves *stream order* (the streams are time-sorted by
+construction, see :func:`repro.logs.store.parse_log_file` and the k-way
+merges in :mod:`repro.logs.parallel`), so an analysis that switches from
+scanning the raw list to scanning a bucket sees the records in exactly
+the order it used to -- the refactor is output-identical by design.
+
+:func:`failure_times_by_node` is the same idea for the *derived* failure
+population: four analyses used to independently rebuild the per-node
+sorted failure-time arrays; the pipeline now builds them once and passes
+them down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.logs.parsing import ParsedRecord
+
+__all__ = ["StreamIndex", "RecordIndex", "failure_times_by_node"]
+
+
+def failure_times_by_node(failures: Iterable) -> dict[str, np.ndarray]:
+    """Sorted per-node failure-time arrays for window correspondence.
+
+    Accepts anything with ``.node`` and ``.time`` (detected failures).
+    """
+    grouped: dict[str, list[float]] = {}
+    for f in failures:
+        grouped.setdefault(f.node, []).append(f.time)
+    return {node: np.sort(np.asarray(times))
+            for node, times in grouped.items()}
+
+
+class StreamIndex:
+    """Lazily bucketed view over one time-sorted record stream.
+
+    All buckets are built on first use and cached; every bucket lists
+    records in stream order, so iterating a bucket is equivalent to
+    filtering the stream.
+    """
+
+    __slots__ = ("records", "_by_event", "_by_node", "_times",
+                 "_selections", "_node_times")
+
+    def __init__(self, records: Sequence[ParsedRecord]) -> None:
+        self.records = records
+        self._by_event: Optional[dict[Optional[str], list[ParsedRecord]]] = None
+        self._by_node: Optional[dict[str, list[ParsedRecord]]] = None
+        self._times: Optional[np.ndarray] = None
+        self._selections: dict[frozenset, list[ParsedRecord]] = {}
+        self._node_times: dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- event buckets -------------------------------------------------
+    @property
+    def by_event(self) -> dict[Optional[str], list[ParsedRecord]]:
+        """Event key -> records (chatter under the ``None`` key)."""
+        buckets = self._by_event
+        if buckets is None:
+            buckets = {}
+            for rec in self.records:
+                bucket = buckets.get(rec.event)
+                if bucket is None:
+                    buckets[rec.event] = [rec]
+                else:
+                    bucket.append(rec)
+            self._by_event = buckets
+        return buckets
+
+    def select(self, events: frozenset[str]) -> list[ParsedRecord]:
+        """Records whose event is in ``events``, in stream order (cached).
+
+        Equivalent to ``[r for r in records if r.event in events]``; the
+        result is cached per event set, so the analyses sharing a
+        vocabulary (e.g. the fault-indicative events used by both the
+        lead-time and false-positive analyses) share one pass.
+        """
+        cached = self._selections.get(events)
+        if cached is None:
+            by_event = self.by_event
+            if len(events) < len(by_event):
+                hits = [key for key in events if key in by_event]
+            else:
+                hits = [key for key in by_event if key in events]
+            if not hits:
+                cached = []
+            elif len(hits) == 1:
+                cached = by_event[hits[0]]
+            else:
+                cached = [r for r in self.records if r.event in events]
+            self._selections[events] = cached
+        return cached
+
+    # -- node buckets --------------------------------------------------
+    @property
+    def by_node(self) -> dict[str, list[ParsedRecord]]:
+        """Reporting component -> records, in stream order."""
+        buckets = self._by_node
+        if buckets is None:
+            buckets = {}
+            for rec in self.records:
+                bucket = buckets.get(rec.component)
+                if bucket is None:
+                    buckets[rec.component] = [rec]
+                else:
+                    bucket.append(rec)
+            self._by_node = buckets
+        return buckets
+
+    def node_times(self, node: str) -> np.ndarray:
+        """Sorted times of one component's records (cached ndarray)."""
+        times = self._node_times.get(node)
+        if times is None:
+            bucket = self.by_node.get(node, ())
+            times = np.asarray([r.time for r in bucket], dtype=float)
+            self._node_times[node] = times
+        return times
+
+    # -- time windows --------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """The stream's (sorted) time axis as a float array."""
+        times = self._times
+        if times is None:
+            times = np.asarray([r.time for r in self.records], dtype=float)
+            self._times = times
+        return times
+
+    def window(self, t0: float, t1: float) -> Sequence[ParsedRecord]:
+        """Records with ``t0 <= time < t1`` (bisect on the time axis)."""
+        times = self.times
+        lo = int(np.searchsorted(times, t0, side="left"))
+        hi = int(np.searchsorted(times, t1, side="left"))
+        return self.records[lo:hi]
+
+
+class RecordIndex:
+    """The pipeline's three streams, indexed once."""
+
+    __slots__ = ("internal", "external", "scheduler")
+
+    def __init__(
+        self,
+        internal: StreamIndex,
+        external: StreamIndex,
+        scheduler: StreamIndex,
+    ) -> None:
+        self.internal = internal
+        self.external = external
+        self.scheduler = scheduler
+
+    @classmethod
+    def build(
+        cls,
+        internal: Sequence[ParsedRecord],
+        external: Sequence[ParsedRecord],
+        scheduler: Sequence[ParsedRecord],
+    ) -> "RecordIndex":
+        """Index the three diagnosis input streams."""
+        return cls(StreamIndex(internal), StreamIndex(external),
+                   StreamIndex(scheduler))
+
+    def last_time(self) -> float:
+        """Latest record time across all streams (0.0 when empty).
+
+        Constant-time because every stream is time-sorted end to end --
+        the k-way merges guarantee the last element is the maximum.
+        """
+        last = 0.0
+        for stream in (self.internal, self.external, self.scheduler):
+            records = stream.records
+            if records:
+                last = max(last, records[-1].time)
+        return last

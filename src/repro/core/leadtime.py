@@ -20,14 +20,22 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.external import ExternalIndex, _blade_of
+from repro.core.external import (
+    EXTERNAL_PRECURSOR_EVENTS,
+    NODE_SCOPED_PRECURSORS,
+    ExternalIndex,
+    _blade_of,
+)
 from repro.core.failure_detection import DetectedFailure
 from repro.logs.parsing import ParsedRecord
 from repro.simul.clock import HOUR, WEEK
+
+if TYPE_CHECKING:
+    from repro.core.index import StreamIndex
 
 __all__ = [
     "LeadTimeRecord",
@@ -35,6 +43,8 @@ __all__ = [
     "compute_lead_times",
     "summarize_lead_times",
     "weekly_enhanceable_fractions",
+    "EXTERNAL_PRECURSOR_EVENTS",
+    "NODE_SCOPED_PRECURSORS",
 ]
 
 #: internal events that count as fault-indicative precursors
@@ -48,16 +58,9 @@ INTERNAL_INDICATIVE = frozenset({
     "l0_sysd_mce", "buffer_overflow", "bios_unknown",
 })
 
-#: external events usable as *early* indicators (Fig. 13's vocabulary)
-EXTERNAL_PRECURSOR_EVENTS = frozenset({
-    "ec_hw_error", "nvf", "link_error", "ecb_fault", "bchf",
-    "ec_l0_failed", "nhf",
-})
-
-#: precursor events that must be about the failing node itself; a blade
-#: peer's heartbeat or voltage fault says nothing about *this* node and
-#: would otherwise leak lead time from unrelated co-located failures
-NODE_SCOPED_PRECURSORS = frozenset({"nvf", "nhf", "ecb_fault"})
+# EXTERNAL_PRECURSOR_EVENTS / NODE_SCOPED_PRECURSORS now live in
+# repro.core.external (next to the index tables keyed on them) and are
+# re-exported above for compatibility.
 
 #: symptoms the paper calls application-triggered (no enhancement expected)
 APP_TRIGGERED_SYMPTOMS = frozenset({
@@ -113,22 +116,37 @@ class LeadTimeSummary:
 def _external_candidates(
     index: ExternalIndex,
 ) -> tuple[dict[str, list[tuple[float, str]]], dict[str, list[tuple[float, str]]]]:
-    """Precursor events keyed by node (node-scoped) and blade (blade-wide)."""
-    by_node: dict[str, list[tuple[float, str]]] = defaultdict(list)
-    by_blade: dict[str, list[tuple[float, str]]] = defaultdict(list)
-    for t, about, event in index.events:
-        if event not in EXTERNAL_PRECURSOR_EVENTS:
-            continue
-        if event in NODE_SCOPED_PRECURSORS:
-            by_node[about].append((t, event))
-        else:
-            blade = _blade_of(about)
-            if blade is not None:
-                by_blade[blade].append((t, event))
-    for table in (by_node, by_blade):
-        for entries in table.values():
-            entries.sort()
-    return by_node, by_blade
+    """Precursor events keyed by node (node-scoped) and blade (blade-wide).
+
+    Thin wrapper kept for compatibility -- the split itself is cached on
+    the index (:attr:`ExternalIndex.precursor_candidates`).
+    """
+    return index.precursor_candidates
+
+
+def indicative_times_by_node(
+    internal: Iterable[ParsedRecord],
+    stream: Optional["StreamIndex"] = None,
+) -> dict[str, list[float]]:
+    """Node -> sorted times of fault-indicative internal events.
+
+    The grouping both the lead-time and false-positive analyses start
+    from.  With a ``stream`` index, only the indicative-event buckets
+    are touched instead of the full internal list.
+    """
+    source = (stream.select(INTERNAL_INDICATIVE) if stream is not None
+              else internal)
+    by_node: dict[str, list[float]] = defaultdict(list)
+    if stream is not None:
+        for rec in source:
+            by_node[rec.component].append(rec.time)
+    else:
+        for rec in source:
+            if rec.event in INTERNAL_INDICATIVE:
+                by_node[rec.component].append(rec.time)
+    for times in by_node.values():
+        times.sort()
+    return by_node
 
 
 def compute_lead_times(
@@ -137,15 +155,11 @@ def compute_lead_times(
     index: ExternalIndex,
     precursor_window: float = 2 * HOUR,
     internal_lookback: float = HOUR,
+    stream: Optional["StreamIndex"] = None,
 ) -> list[LeadTimeRecord]:
     """Per-failure internal and external lead times."""
-    indicative_by_node: dict[str, list[float]] = defaultdict(list)
-    for rec in internal:
-        if rec.event in INTERNAL_INDICATIVE:
-            indicative_by_node[rec.component].append(rec.time)
-    for times in indicative_by_node.values():
-        times.sort()
-    by_node, by_blade = _external_candidates(index)
+    indicative_by_node = indicative_times_by_node(internal, stream)
+    by_node, by_blade = index.precursor_candidates
 
     out: list[LeadTimeRecord] = []
     for f in failures:

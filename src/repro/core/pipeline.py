@@ -40,6 +40,7 @@ from repro.core.external import (
 )
 from repro.core.failure_detection import DetectedFailure, FailureDetector
 from repro.core.falsepos import FprComparison, compare_fpr
+from repro.core.index import RecordIndex, failure_times_by_node
 from repro.core.jobs import JobView, exit_census, parse_jobs, same_job_locality
 from repro.core.leadtime import (
     LeadTimeRecord,
@@ -171,18 +172,28 @@ class HolisticDiagnosis:
             for source in ingestion_health.missing_sources():
                 if source not in self.missing_sources:
                     self.missing_sources.append(source)
+        # the shared record index: every stream bucketed once, queried
+        # by all downstream analyses
+        self.records: RecordIndex = RecordIndex.build(
+            self.internal, self.external, self.scheduler)
         # step 2 (built first -- step 1's accounting needs the power-off
         # notifications): external index
-        self.index: ExternalIndex = ExternalIndex.build(self.external)
+        self.index: ExternalIndex = ExternalIndex.from_stream(
+            self.records.external)
         # step 1: confirmed failures from internal logs, with the paper's
         # accounting -- intended shutdowns excluded, SWOs set aside
-        candidates = self.detector.detect(self.internal)
+        candidates = self.detector.detect(
+            self.internal, by_node=self.records.internal.by_node)
         anomalous, self.intended_shutdowns = exclude_intended(
             candidates, self.index)
         if total_nodes is not None:
             self.swos, self.failures = detect_swos(anomalous, total_nodes)
         else:
             self.swos, self.failures = [], anomalous
+        # derived failure groupings shared across analyses
+        self.failure_times: dict = failure_times_by_node(self.failures)
+        self.failures_by_day: dict[int, list[DetectedFailure]] = (
+            FailureDetector.failures_by_day(self.failures))
         # step 3: job views
         self.jobs: dict[int, JobView] = parse_jobs(self.scheduler)
         self._node_traces = None
@@ -231,16 +242,18 @@ class HolisticDiagnosis:
     def node_traces(self):
         """Regrouped call traces per node (computed once)."""
         if self._node_traces is None:
-            self._node_traces = traces_by_node(self.internal)
+            self._node_traces = traces_by_node(
+                self.internal, stream=self.records.internal)
         return self._node_traces
 
     def duration_days(self) -> int:
-        """Span of the log set in whole days (>= 1)."""
-        last = 0.0
-        for recs in (self.internal, self.external, self.scheduler):
-            if recs:
-                last = max(last, recs[-1].time)
-        return max(1, int(last // DAY) + 1)
+        """Span of the log set in whole days (>= 1).
+
+        Relies on each stream being time-sorted end to end (the k-way
+        merges guarantee the last element is the maximum -- see the
+        regression test in ``tests/core/test_pipeline_duration.py``).
+        """
+        return max(1, int(self.records.last_time() // DAY) + 1)
 
     # ------------------------------------------------------------------
     def skipped_analyses(self) -> list[str]:
@@ -299,10 +312,14 @@ class HolisticDiagnosis:
         def safe(name: str, fn: Callable[[], T], default: T) -> T:
             return guarded(name, fn, default, errors, skipped)
 
-        dominance = safe("dominance", lambda: daily_dominance(self.failures), [])
+        dominance = safe(
+            "dominance",
+            lambda: daily_dominance(self.failures, by_day=self.failures_by_day),
+            [])
         lead_records = safe(
             "lead_times",
-            lambda: compute_lead_times(self.failures, self.internal, self.index),
+            lambda: compute_lead_times(self.failures, self.internal, self.index,
+                                       stream=self.records.internal),
             [],
         )
         inferences = safe(
@@ -323,13 +340,16 @@ class HolisticDiagnosis:
                 "dominance_summary", lambda: dominance_summary(dominance), {}),
             nvf_correspondence=safe(
                 "nvf_correspondence",
-                lambda: correspondence(self.index.nvf, self.failures), []),
+                lambda: correspondence(self.index.nvf, self.failures,
+                                       fail_times=self.failure_times), []),
             nhf_correspondence=safe(
                 "nhf_correspondence",
-                lambda: correspondence(self.index.nhf, self.failures), []),
+                lambda: correspondence(self.index.nhf, self.failures,
+                                       fail_times=self.failure_times), []),
             nhf_breakdown=safe(
                 "nhf_breakdown",
-                lambda: nhf_breakdown(self.index, self.failures), []),
+                lambda: nhf_breakdown(self.index, self.failures,
+                                      fail_times=self.failure_times), []),
             faulty_fractions=safe(
                 "faulty_fractions",
                 lambda: faulty_component_fractions(self.failures, self.index),
@@ -337,7 +357,8 @@ class HolisticDiagnosis:
             error_populations=safe(
                 "error_populations",
                 lambda: error_populations(
-                    self.internal, self.failures, self.duration_days()), []),
+                    self.internal, self.failures, self.duration_days(),
+                    stream=self.records.internal), []),
             job_census=safe(
                 "job_census", lambda: exit_census(self.jobs), exit_census({})),
             same_job_groups=safe(
@@ -347,7 +368,9 @@ class HolisticDiagnosis:
             lead_time_records=lead_records,
             false_positives=safe(
                 "false_positives",
-                lambda: compare_fpr(self.internal, self.failures, self.index),
+                lambda: compare_fpr(self.internal, self.failures, self.index,
+                                    stream=self.records.internal,
+                                    fail_times=self.failure_times),
                 compare_fpr([], [], ExternalIndex()),
             ),
             category_breakdown=safe(

@@ -19,6 +19,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.external import ExternalIndex, _blade_of
 from repro.core.failure_detection import DetectedFailure
 from repro.core.jobs import JobView
@@ -63,19 +65,28 @@ class RootCauseEngine:
         self.node_traces = node_traces
         self.jobs = jobs
         self.precursor_window = precursor_window
-        self._job_by_node: dict[str, list[JobView]] = {}
+        # node -> (start, end, job) spans of started jobs: _holding_job
+        # is called once per failure and jv.held_node_at would re-scan
+        # the job's (possibly huge) node list for membership each time
+        self._job_spans_by_node: dict[
+            str, list[tuple[float, float, JobView]]] = {}
         for jv in jobs.values():
+            if jv.start_time is None:
+                continue
+            end = jv.end_time if jv.end_time is not None else float("inf")
             for node in jv.nodes:
-                self._job_by_node.setdefault(node, []).append(jv)
+                self._job_spans_by_node.setdefault(node, []).append(
+                    (jv.start_time, end, jv))
 
     # ------------------------------------------------------------------
     def _holding_job(self, failure: DetectedFailure) -> Optional[JobView]:
         # grace past the job's end: a buggy job's later victims die after
         # the scheduler has already aborted it (same convention as
         # job_failure_correlation)
+        t = failure.time
         holders = [
-            jv for jv in self._job_by_node.get(failure.node, ())
-            if jv.held_node_at(failure.node, failure.time, grace=900.0)
+            jv for start, end, jv in self._job_spans_by_node.get(failure.node, ())
+            if start <= t <= end + 900.0
         ]
         if not holders:
             return None
@@ -90,18 +101,24 @@ class RootCauseEngine:
         return best
 
     def _external_precursors(self, failure: DetectedFailure) -> list[str]:
+        """Precursor-class events on the failure's blade, shortly before.
+
+        A bisect window over the index's cached per-blade precursor
+        table -- semantically the scan over every external event this
+        used to be, at a per-failure cost of one dict lookup and two
+        searchsorted calls.
+        """
         blade = _blade_of(failure.node)
         if blade is None:
             return []
-        out = []
-        for t, about, event in self.index.events:
-            if event not in EXTERNAL_PRECURSOR_EVENTS:
-                continue
-            if not (failure.time - self.precursor_window <= t < failure.time):
-                continue
-            if _blade_of(about) == blade:
-                out.append(event)
-        return out
+        entry = self.index.blade_precursors.get(blade)
+        if entry is None:
+            return []
+        times, events = entry
+        lo = int(np.searchsorted(
+            times, failure.time - self.precursor_window, side="left"))
+        hi = int(np.searchsorted(times, failure.time, side="left"))
+        return list(events[lo:hi])
 
     # ------------------------------------------------------------------
     def infer(self, failure: DetectedFailure) -> RootCauseInference:

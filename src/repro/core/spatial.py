@@ -60,12 +60,7 @@ def exclude_intended(
     shutdown lacks the controller notification and stays anomalous
     (Obs. 9's third pattern).
     """
-    off_by_node: dict[str, np.ndarray] = {}
-    grouped: dict[str, list[float]] = {}
-    for t, node in index.node_off:
-        grouped.setdefault(node, []).append(t)
-    for node, times in grouped.items():
-        off_by_node[node] = np.sort(np.asarray(times))
+    off_by_node = index.off_times_by_node
     anomalous: list[DetectedFailure] = []
     intended: list[DetectedFailure] = []
     for f in failures:

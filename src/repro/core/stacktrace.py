@@ -20,15 +20,19 @@ file-system- or hardware-caused ones.  This module provides:
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.core.failure_detection import DetectedFailure
 from repro.faults.model import FailureCategory
 from repro.logs.parsing import ParsedRecord
 from repro.logs.stacktraces import CallTrace, group_traces
 
+if TYPE_CHECKING:
+    from repro.core.index import StreamIndex
+
 __all__ = [
     "MODULE_SIGNALS",
+    "TRACE_EVENTS",
     "classify_trace",
     "traces_by_node",
     "failure_breakdown",
@@ -72,11 +76,21 @@ def classify_trace(trace: CallTrace, depth: int = 3) -> Optional[FailureCategory
     return None
 
 
+#: the only event keys trace regrouping consumes
+TRACE_EVENTS = frozenset({"call_trace_head", "call_trace_frame"})
+
+
 def traces_by_node(
     internal: Iterable[ParsedRecord],
+    stream: Optional["StreamIndex"] = None,
 ) -> dict[str, list[CallTrace]]:
-    """Regroup call traces and bucket them per node."""
-    grouped = group_traces(internal)
+    """Regroup call traces and bucket them per node.
+
+    With a ``stream`` index, regrouping runs over just the head/frame
+    buckets (stream order preserved, so grouping is unchanged).
+    """
+    source = stream.select(TRACE_EVENTS) if stream is not None else internal
+    grouped = group_traces(source)
     out: dict[str, list[CallTrace]] = defaultdict(list)
     for trace in grouped:
         out[trace.component].append(trace)

@@ -31,7 +31,16 @@ from typing import Mapping
 
 from repro.logs.record import LogSource, Severity
 
-__all__ = ["EventSpec", "EVENTS", "event_spec", "events_for_daemon"]
+__all__ = [
+    "EventSpec",
+    "EVENTS",
+    "event_spec",
+    "events_for_daemon",
+    "DaemonDispatcher",
+    "DISPATCHERS",
+    "compile_dispatchers",
+    "dispatcher_for_daemon",
+]
 
 
 @dataclass(frozen=True)
@@ -891,3 +900,190 @@ _register(
     required=("job",),
     defaults={"secs": 2},
 )
+
+
+# ---------------------------------------------------------------------------
+# Compiled per-daemon dispatch
+# ---------------------------------------------------------------------------
+
+#: pattern of a named-group *definition* (used to rename inner groups when
+#: folding many spec patterns into one alternation)
+_GROUP_DEF = re.compile(r"\(\?P<([A-Za-z_]\w*)>")
+
+#: regex metacharacters that terminate a guaranteed literal prefix
+_META_CHARS = frozenset("([{?*+|.$^\\")
+
+#: quantifiers that make the *preceding* literal optional/repeated
+_QUANTIFIERS = frozenset("?*+{")
+
+
+def _literal_prefix(pattern: str) -> str:
+    """Longest body prefix every match of ``pattern`` must start with.
+
+    Walks the (``^``-anchored) pattern source, accepting plain literals
+    and escaped punctuation, and stops at the first construct that is not
+    a mandatory literal character.  Used as a C-level ``str.startswith``
+    pre-filter, so it must be *sound* (never reject a matchable body) but
+    need not be complete.
+    """
+    i = 1 if pattern.startswith("^") else 0
+    out: list[str] = []
+    n = len(pattern)
+    while i < n:
+        ch = pattern[i]
+        if ch == "\\":
+            if i + 1 < n and not pattern[i + 1].isalnum():
+                ch, i = pattern[i + 1], i + 1  # escaped literal punctuation
+            else:
+                break  # character class like \d -- not a fixed literal
+        elif ch in _META_CHARS:
+            break
+        if i + 1 < n and pattern[i + 1] in _QUANTIFIERS:
+            break  # quantified -> this char is not mandatory
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class DaemonDispatcher:
+    """Single-pass matcher over all of one daemon's event patterns.
+
+    Instead of trying each :class:`EventSpec` pattern in turn, a
+    daemon's patterns are folded into alternation regexes, each
+    alternative wrapped in a sentinel group::
+
+        (?P<e0>pat0)|(?P<e1>pat1)|...
+
+    Inner named groups are renamed ``g{i}_{name}`` so they stay unique
+    across alternatives; the winning alternative is recovered from
+    ``match.lastindex`` (the sentinel group closes last, so its group
+    number *is* ``lastindex``) and the original attribute names are
+    restored through a precomputed ``(name, group_number)`` table.
+
+    Alternatives are ordered longest-template-first with a stable sort --
+    exactly the order the old per-spec linear scan probed them in -- and
+    every pattern is ``^``-anchored, so an alternation picks the same
+    winner the linear scan did (leftmost matchable alternative).
+
+    On top of that sits a literal-prefix dispatch table: with ``k`` the
+    shortest mandatory literal prefix over the daemon's prefixed
+    patterns, ``body[:k]`` keys a dict of small per-bucket alternations.
+    A pattern whose prefix disagrees with the body on those first ``k``
+    characters cannot match, so restricting the alternation to the
+    bucket (plus the patterns with *no* mandatory prefix, interleaved in
+    order) is exact.  A key miss falls back to the no-prefix-only
+    alternation -- chatter lines therefore do near-zero regex work --
+    and daemons with no prefixed pattern at all keep one full
+    alternation.
+    """
+
+    __slots__ = ("daemon", "specs", "_klen", "_buckets", "_miss", "_all")
+
+    #: match-table entry: (regex, {sentinel group number: spec position},
+    #: {spec position: ((attr name, group number), ...)})
+    _Entry = tuple  # documentation alias; entries are plain tuples
+
+    def __init__(self, daemon: str, specs: list[EventSpec]) -> None:
+        self.daemon = daemon
+        # Longer templates first: more literal text means more specific.
+        # Stable sort keeps registration order among equal lengths, like
+        # the linear scan's dispatch table did.
+        self.specs = tuple(sorted(specs, key=lambda s: -len(s.template)))
+
+        def combine(positions: list[int]):
+            """Alternation entry over ``positions`` (in ``specs`` order)."""
+            if not positions:
+                return None
+            parts = []
+            for i in positions:
+                inner = _GROUP_DEF.sub(
+                    lambda m, i=i: f"(?P<g{i}_{m.group(1)}>",
+                    self.specs[i].pattern.pattern)
+                parts.append(f"(?P<e{i}>{inner})")
+            regex = re.compile("|".join(parts))
+            index = regex.groupindex
+            spec_index = {index[f"e{i}"]: i for i in positions}
+            # attribute extraction tables: names and combined group
+            # numbers, separated so all values come out of one C-level
+            # ``match.group(*numbers)`` call
+            groups = {
+                i: (
+                    tuple(self.specs[i].pattern.groupindex),
+                    tuple(index[f"g{i}_{name}"]
+                          for name in self.specs[i].pattern.groupindex),
+                )
+                for i in positions
+            }
+            return regex, spec_index, groups
+
+        prefixes = [_literal_prefix(s.pattern.pattern) for s in self.specs]
+        bare = [i for i, p in enumerate(prefixes) if not p]
+        prefixed = [i for i, p in enumerate(prefixes) if p]
+        if not prefixed:
+            self._klen = 0
+            self._buckets = None
+            self._miss = None
+            self._all = combine(list(range(len(self.specs))))
+            return
+        self._all = None
+        self._klen = min(len(prefixes[i]) for i in prefixed)
+        keys: dict[str, list[int]] = {}
+        for i in prefixed:
+            keys.setdefault(prefixes[i][:self._klen], []).append(i)
+        self._buckets = {
+            key: combine(sorted(members + bare))
+            for key, members in keys.items()
+        }
+        self._miss = combine(bare)
+
+    def match(self, body: str) -> tuple[EventSpec, dict[str, str]] | None:
+        """(spec, attrs) for the winning pattern, or None for chatter."""
+        buckets = self._buckets
+        if buckets is None:
+            entry = self._all
+        else:
+            entry = buckets.get(body[: self._klen], self._miss)
+            if entry is None:
+                return None
+        regex, spec_index, groups = entry
+        m = regex.match(body)
+        if m is None:
+            return None
+        i = spec_index[m.lastindex]
+        names, numbers = groups[i]
+        if len(numbers) > 1:
+            values = m.group(*numbers)
+            if None in values:  # optional group that did not participate
+                attrs = {n: v for n, v in zip(names, values) if v is not None}
+            else:
+                attrs = dict(zip(names, values))
+        elif numbers:
+            value = m.group(numbers[0])
+            attrs = {} if value is None else {names[0]: value}
+        else:
+            attrs = {}
+        return self.specs[i], attrs
+
+
+#: daemon tag -> compiled dispatcher, built once at import so every
+#: LineParser (and every pool worker importing this module) shares them
+DISPATCHERS: dict[str, DaemonDispatcher] = {}
+
+
+def compile_dispatchers() -> dict[str, DaemonDispatcher]:
+    """(Re)build :data:`DISPATCHERS` from the current :data:`EVENTS`."""
+    by_daemon: dict[str, list[EventSpec]] = {}
+    for spec in EVENTS.values():
+        by_daemon.setdefault(spec.daemon, []).append(spec)
+    DISPATCHERS.clear()
+    for daemon, specs in by_daemon.items():
+        DISPATCHERS[daemon] = DaemonDispatcher(daemon, specs)
+    return DISPATCHERS
+
+
+def dispatcher_for_daemon(daemon: str) -> DaemonDispatcher | None:
+    """Compiled dispatcher for a daemon tag (None for unknown daemons)."""
+    return DISPATCHERS.get(daemon)
+
+
+compile_dispatchers()

@@ -14,10 +14,12 @@ arithmetic in the analysis layers is exact.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
+from datetime import datetime
 from typing import Iterable, Iterator, NamedTuple, Optional
 
-from repro.logs.catalog import EventSpec, events_for_daemon
+from repro.logs.catalog import DISPATCHERS
 from repro.logs.record import LogSource, Severity
 from repro.simul.clock import SimClock, parse_syslog
 
@@ -41,12 +43,18 @@ REPLACEMENT_CHAR = "�"
 _REPLACEMENT = REPLACEMENT_CHAR
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class ParsedRecord:
     """One parsed log line.
 
     ``event`` is None when the body matched no catalog pattern; the raw
     body is always retained for forensic display (Table V style output).
+
+    Slotted and built with a plain (non-frozen) ``__init__`` because
+    millions are allocated per ingestion pass; ``unsafe_hash`` keeps the
+    field-based hash the previously frozen class had.  Records are
+    value objects by convention: never mutate one after construction --
+    chatter records share a single empty ``attrs`` dict.
     """
 
     time: float
@@ -57,6 +65,18 @@ class ParsedRecord:
     attrs: dict[str, str] = field(default_factory=dict)
     severity: Severity = Severity.INFO
     body: str = ""
+
+    def __reduce__(self):
+        """Compact pickling: rebuild through ``__init__`` positionally.
+
+        The default slots-dataclass reduction (class + state dict) costs
+        several microseconds per record, which dominates the parallel
+        ingestion path where every worker ships its records back through
+        a pipe.
+        """
+        return (ParsedRecord, (self.time, self.source, self.component,
+                               self.daemon, self.event, self.attrs,
+                               self.severity, self.body))
 
     def attr(self, key: str, default: Optional[str] = None) -> Optional[str]:
         """Attribute lookup with default."""
@@ -102,12 +122,23 @@ class ParseOutcome(NamedTuple):
 _BLANK = ParseOutcome(None, "blank")
 _MALFORMED = ParseOutcome(None, "malformed")
 
+#: shared attrs sentinel for chatter records -- most production lines are
+#: unrecognised chatter, so skipping the per-line dict allocation matters
+_EMPTY_ATTRS: dict[str, str] = {}
+
+#: whole-second stamp prefix eligible for the memoised fast path; ASCII
+#: digits only so exotic stamps keep the exact strptime semantics
+_STAMP_HEAD = re.compile(
+    r"[0-9]{4}-[0-9]{2}-[0-9]{2}T[0-9]{2}:[0-9]{2}:[0-9]{2}$")
+
 
 class LineParser:
     """Reusable parser bound to one clock.
 
-    Builds the per-daemon dispatch tables once; :meth:`parse` is then a
-    hot loop of (split, table lookup, regex match).
+    Matching goes through the compiled per-daemon dispatchers built once
+    at :mod:`repro.logs.catalog` import (one alternation regex per daemon
+    plus a literal-prefix pre-filter); :meth:`parse` is then a hot loop
+    of (split, dispatcher lookup, single regex match).
 
     :meth:`parse` keeps the seed semantics (None for anything it cannot
     handle); :meth:`parse_ex` is the hardened entry point used by the
@@ -125,23 +156,42 @@ class LineParser:
     ) -> None:
         self.clock = clock or SimClock()
         self.max_skew = float(max_skew)
-        self._tables: dict[str, list[EventSpec]] = {}
         self._last_time: Optional[float] = None
+        #: whole-second stamp prefix -> integer microseconds since epoch
+        self._prefix_us: dict[str, int] = {}
 
     def reset(self) -> None:
         """Forget skew state (call at each file boundary)."""
         self._last_time = None
 
-    def _table(self, daemon: str) -> list[EventSpec]:
-        table = self._tables.get(daemon)
-        if table is None:
-            # Longer templates first: more literal text means more specific.
-            table = sorted(
-                events_for_daemon(daemon),
-                key=lambda s: -len(s.template),
-            )
-            self._tables[daemon] = table
-        return table
+    def _stamp_seconds(self, stamp: str) -> float:
+        """Simulation seconds for a stamp (raises ValueError when torn).
+
+        Consecutive log lines overwhelmingly share their whole-second
+        prefix, so the prefix's microseconds-since-epoch is memoised and
+        only the fractional part is parsed per line.  All arithmetic is
+        integer microseconds divided once at the end -- the exact formula
+        ``timedelta.total_seconds`` uses -- so results are bit-identical
+        to the ``parse_syslog``/``to_seconds`` slow path, which remains
+        the fallback for every stamp shape the fast path cannot prove.
+        """
+        head = stamp[:19]
+        us = self._prefix_us.get(head)
+        if us is None:
+            if _STAMP_HEAD.match(head) is None:
+                return self.clock.to_seconds(parse_syslog(stamp))
+            delta = datetime.fromisoformat(head) - self.clock._epoch_naive
+            us = (delta.days * 86400 + delta.seconds) * 1_000_000 \
+                + delta.microseconds
+            self._prefix_us[head] = us
+        rest = stamp[19:]
+        if not rest:
+            return us / 1_000_000
+        frac = rest[1:]
+        if rest[0] == "." and 0 < len(frac) <= 6 and frac.isascii() \
+                and frac.isdigit():
+            return (us + int(frac.ljust(6, "0"))) / 1_000_000
+        return self.clock.to_seconds(parse_syslog(stamp))
 
     @staticmethod
     def _structure(line: str) -> Optional[tuple[str, str, str, str]]:
@@ -158,46 +208,45 @@ class LineParser:
     def _build(
         self, time: float, component: str, daemon: str, body: str
     ) -> ParsedRecord:
-        """Match the body against the daemon's catalog table."""
-        for spec in self._table(daemon):
-            attrs = spec.parse(body)
-            if attrs is not None:
-                return ParsedRecord(
-                    time=time,
-                    source=spec.source,
-                    component=component,
-                    daemon=daemon,
-                    event=spec.key,
-                    attrs=attrs,
-                    severity=spec.severity,
-                    body=body,
-                )
+        """Match the body against the daemon's compiled dispatcher."""
+        dispatcher = DISPATCHERS.get(daemon)
+        if dispatcher is not None:
+            hit = dispatcher.match(body)
+            if hit is not None:
+                spec, attrs = hit
+                return ParsedRecord(time, spec.source, component, daemon,
+                                    spec.key, attrs, spec.severity, body)
         # Unrecognised chatter: keep it, classified by daemon only.
-        return ParsedRecord(
-            time=time,
-            source=_source_for_daemon(daemon),
-            component=component,
-            daemon=daemon,
-            event=None,
-            attrs={},
-            severity=Severity.INFO,
-            body=body,
-        )
+        return ParsedRecord(time, _source_for_daemon(daemon), component,
+                            daemon, None, _EMPTY_ATTRS, Severity.INFO, body)
 
     def parse(self, line: str) -> Optional[ParsedRecord]:
         """Parse one line; None for blank/malformed lines."""
         line = line.rstrip("\n")
-        if not line.strip():
+        if not line or line.isspace():
             return None
-        structure = self._structure(line)
-        if structure is None:
+        # _structure(), inlined: this is the hottest loop in ingestion
+        parts = line.split(" ", 2)
+        if len(parts) < 3:
             return None
-        stamp, component, daemon, body = structure
+        stamp, component, rest = parts
+        daemon, sep, body = rest.partition(": ")
+        if not sep:
+            return None
         try:
-            time = self.clock.to_seconds(parse_syslog(stamp))
+            time = self._stamp_seconds(stamp)
         except ValueError:
             return None
-        return self._build(time, component, daemon, body)
+        # _build(), inlined
+        dispatcher = DISPATCHERS.get(daemon)
+        if dispatcher is not None:
+            hit = dispatcher.match(body)
+            if hit is not None:
+                spec, attrs = hit
+                return ParsedRecord(time, spec.source, component, daemon,
+                                    spec.key, attrs, spec.severity, body)
+        return ParsedRecord(time, _source_for_daemon(daemon), component,
+                            daemon, None, _EMPTY_ATTRS, Severity.INFO, body)
 
     def parse_ex(self, line: str, scan_mojibake: bool = True) -> ParseOutcome:
         """Hardened parse: classify and, where possible, repair a line.
@@ -218,16 +267,20 @@ class LineParser:
         proved the file clean (the overwhelmingly common case).
         """
         line = line.rstrip("\n")
-        if not line.strip():
+        if not line or line.isspace():
             return _BLANK
-        structure = self._structure(line)
-        if structure is None:
+        # _structure(), inlined (hot loop; see parse())
+        parts = line.split(" ", 2)
+        if len(parts) < 3:
             return _MALFORMED
-        stamp, component, daemon, body = structure
+        stamp, component, rest = parts
+        daemon, sep, body = rest.partition(": ")
+        if not sep:
+            return _MALFORMED
         recovered = scan_mojibake and _REPLACEMENT in line
         last = self._last_time
         try:
-            time = self.clock.to_seconds(parse_syslog(stamp))
+            time = self._stamp_seconds(stamp)
         except ValueError:
             if last is None:
                 return _MALFORMED
@@ -238,7 +291,17 @@ class LineParser:
         elif time < last - self.max_skew:
             time = last
             recovered = True
-        record = self._build(time, component, daemon, body)
+        # _build(), inlined
+        dispatcher = DISPATCHERS.get(daemon)
+        if dispatcher is not None:
+            hit = dispatcher.match(body)
+            if hit is not None:
+                spec, attrs = hit
+                record = ParsedRecord(time, spec.source, component, daemon,
+                                      spec.key, attrs, spec.severity, body)
+                return ParseOutcome(record, "parsed", recovered)
+        record = ParsedRecord(time, _source_for_daemon(daemon), component,
+                              daemon, None, _EMPTY_ATTRS, Severity.INFO, body)
         return ParseOutcome(record, "parsed", recovered)
 
     def parse_many(self, lines: Iterable[str]) -> Iterator[ParsedRecord]:

@@ -24,6 +24,8 @@ import gzip
 import json
 import time as _time
 from dataclasses import dataclass
+from heapq import merge as _heapq_merge
+from operator import attrgetter
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Optional
 
@@ -47,6 +49,26 @@ QUARANTINE_DIR = "quarantine"
 #: bounded retry for transient I/O errors (NFS hiccups, rotation races)
 _IO_RETRIES = 3
 _IO_BACKOFF = 0.05
+
+#: sort/merge key for record streams
+_TIME_KEY = attrgetter("time")
+
+
+def _merge_records(lists: list[list[ParsedRecord]]) -> list[ParsedRecord]:
+    """Merge per-file record lists that are each already time-sorted.
+
+    ``heapq.merge`` is O(n log k) over k files instead of the O(n log n)
+    full re-sort the readers used to do, and ties resolve to the
+    earliest input list -- exactly the order concatenation followed by a
+    stable sort produced, so downstream output is byte-identical.
+    """
+    lists = [records for records in lists if records]
+    if not lists:
+        return []
+    if len(lists) == 1:
+        return lists[0]
+    return list(_heapq_merge(*lists, key=_TIME_KEY))
+
 
 _SOURCE_PATHS: dict[LogSource, str] = {
     LogSource.CONSOLE: "p0/console.log",
@@ -102,6 +124,13 @@ def parse_log_file(
     the mojibake scan runs once over the buffer instead of once per
     line; the per-line scan is re-enabled only for the rare file that
     actually contains replacement characters.
+
+    The returned records are guaranteed time-sorted.  Writers emit in
+    order, so this is normally a free pass over an already-ordered list;
+    only a file whose stamps carry sub-``max_skew`` backwards jitter
+    (small skew is deliberately left for downstream sorting) pays one
+    stable sort.  The guarantee is what lets the stream assemblers use
+    ``heapq.merge`` instead of re-sorting whole sources.
     """
     last_error: Optional[OSError] = None
     for attempt in range(_IO_RETRIES):
@@ -110,6 +139,8 @@ def parse_log_file(
         # local counters: attribute increments per line would dominate
         # the hot loop (measured in benchmarks/bench_tolerant_parse.py)
         read = parsed = recovered = ignored = 0
+        last_time = float("-inf")
+        in_order = True
         parser.reset()
         parse_ex = parser.parse_ex
         append = records.append
@@ -124,6 +155,11 @@ def parse_log_file(
                     parsed += 1
                     recovered += repaired
                     append(record)
+                    t = record.time
+                    if t < last_time:
+                        in_order = False
+                    else:
+                        last_time = t
                 elif status == "blank":
                     ignored += 1
                 else:  # malformed
@@ -136,6 +172,8 @@ def parse_log_file(
                         quarantined.append(line)
                     else:
                         ignored += 1
+            if not in_order:
+                records.sort(key=_TIME_KEY)
             health = SourceHealth(
                 read=read, parsed=parsed, quarantined=len(quarantined),
                 ignored=ignored, recovered=recovered, files=1,
@@ -296,20 +334,18 @@ class LogStore:
         """The log file path of one source family."""
         return self.root / _SOURCE_PATHS[source]
 
-    def read_source(
+    def _read_source_lists(
         self,
         source: LogSource,
         clock: Optional[SimClock] = None,
         policy: ErrorPolicy | str = ErrorPolicy.SKIP,
         health: Optional[IngestionHealth] = None,
-    ) -> Iterator[ParsedRecord]:
-        """Stream parsed records of one source family, in file order.
+    ) -> Iterator[list[ParsedRecord]]:
+        """One time-sorted record list per physical file of a source.
 
-        Handles the plain single-file layout, daily-rotated files and
-        gzipped segments transparently.  ``policy`` decides the fate of
-        unparseable lines (see :class:`~repro.logs.health.ErrorPolicy`);
-        ``health`` accumulates the per-source line accounting when the
-        caller wants it.
+        The per-file granularity is what the stream assemblers feed to
+        ``heapq.merge``; :meth:`read_source` flattens it for callers who
+        want a single stream.
         """
         policy = ErrorPolicy.coerce(policy)
         clock = clock or self.manifest().clock()
@@ -335,6 +371,25 @@ class LogStore:
             self._write_quarantine(source, quarantined)
             if bucket is not None:
                 bucket.merge(file_health)
+            yield records
+
+    def read_source(
+        self,
+        source: LogSource,
+        clock: Optional[SimClock] = None,
+        policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+        health: Optional[IngestionHealth] = None,
+    ) -> Iterator[ParsedRecord]:
+        """Stream parsed records of one source family, in file order.
+
+        Handles the plain single-file layout, daily-rotated files and
+        gzipped segments transparently.  ``policy`` decides the fate of
+        unparseable lines (see :class:`~repro.logs.health.ErrorPolicy`);
+        ``health`` accumulates the per-source line accounting when the
+        caller wants it.  Each file's records come out time-sorted (see
+        :func:`parse_log_file`).
+        """
+        for records in self._read_source_lists(source, clock, policy, health):
             yield from records
 
     def read_internal(
@@ -345,11 +400,10 @@ class LogStore:
     ) -> list[ParsedRecord]:
         """All node-internal records (console+messages+consumer), time-sorted."""
         clock = clock or self.manifest().clock()
-        records: list[ParsedRecord] = []
+        lists: list[list[ParsedRecord]] = []
         for source in (LogSource.CONSOLE, LogSource.MESSAGES, LogSource.CONSUMER):
-            records.extend(self.read_source(source, clock, policy, health))
-        records.sort(key=lambda r: r.time)
-        return records
+            lists.extend(self._read_source_lists(source, clock, policy, health))
+        return _merge_records(lists)
 
     def read_external(
         self,
@@ -359,11 +413,10 @@ class LogStore:
     ) -> list[ParsedRecord]:
         """All environmental records (controller+ERD), time-sorted."""
         clock = clock or self.manifest().clock()
-        records: list[ParsedRecord] = []
+        lists: list[list[ParsedRecord]] = []
         for source in (LogSource.CONTROLLER, LogSource.ERD):
-            records.extend(self.read_source(source, clock, policy, health))
-        records.sort(key=lambda r: r.time)
-        return records
+            lists.extend(self._read_source_lists(source, clock, policy, health))
+        return _merge_records(lists)
 
     def read_scheduler(
         self,
@@ -382,11 +435,10 @@ class LogStore:
     ) -> list[ParsedRecord]:
         """Every record from every source, time-sorted."""
         clock = clock or self.manifest().clock()
-        records: list[ParsedRecord] = []
+        lists: list[list[ParsedRecord]] = []
         for source in _SOURCE_PATHS:
-            records.extend(self.read_source(source, clock, policy, health))
-        records.sort(key=lambda r: r.time)
-        return records
+            lists.extend(self._read_source_lists(source, clock, policy, health))
+        return _merge_records(lists)
 
     def line_counts(self) -> dict[str, int]:
         """Lines per source (Table II style size census, both layouts)."""

@@ -15,6 +15,7 @@ computes differences between stamps parsed back out of text logs.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta, timezone
 
@@ -41,12 +42,26 @@ def format_syslog(dt: datetime) -> str:
     return dt.strftime(_SYSLOG_FMT)
 
 
+#: exact shape of the two accepted stamp forms.  The guard keeps the
+#: C-level ``fromisoformat`` fast path *semantically identical* to the
+#: strptime calls below: bare ``fromisoformat`` would also accept
+#: date-only, basic-format and timezone-suffixed strings, which the
+#: corruption-handling paths rely on being rejected.  ``[0-9]`` rather
+#: than ``\d`` on purpose: non-ASCII digits must keep taking the
+#: strptime path, whose locale machinery accepts them.
+_STAMP_SHAPE = re.compile(
+    r"[0-9]{4}-[0-9]{2}-[0-9]{2}T[0-9]{2}:[0-9]{2}:[0-9]{2}"
+    r"(?:\.[0-9]{1,6})?$")
+
+
 def parse_syslog(text: str) -> datetime:
     """Parse a stamp produced by :func:`format_syslog`.
 
     Stamps without fractional seconds are accepted too, since some log
     sources (scheduler accounting lines) omit them.
     """
+    if _STAMP_SHAPE.match(text):
+        return datetime.fromisoformat(text)
     try:
         return datetime.strptime(text, _SYSLOG_FMT)
     except ValueError:
@@ -72,6 +87,10 @@ class SimClock:
     def __post_init__(self) -> None:
         if self.epoch.tzinfo is None:
             self.epoch = self.epoch.replace(tzinfo=timezone.utc)
+        # Naive twin of the epoch: parsed log stamps are naive, and
+        # naive-minus-naive yields the exact same timedelta as making the
+        # stamp aware first, without a per-line ``datetime.replace``.
+        self._epoch_naive = self.epoch.replace(tzinfo=None)
 
     @classmethod
     def from_iso(cls, epoch_iso: str) -> "SimClock":
@@ -90,7 +109,7 @@ class SimClock:
     def to_seconds(self, dt: datetime) -> float:
         """Simulation time for a datetime (inverse of :meth:`to_datetime`)."""
         if dt.tzinfo is None:
-            dt = dt.replace(tzinfo=timezone.utc)
+            return (dt - self._epoch_naive).total_seconds()
         return (dt - self.epoch).total_seconds()
 
     def stamp(self, sim_seconds: float) -> str:

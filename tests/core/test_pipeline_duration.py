@@ -1,0 +1,81 @@
+"""Regression: ``duration_days`` trusts the last element of each stream.
+
+:meth:`HolisticDiagnosis.duration_days` reads
+:meth:`RecordIndex.last_time`, which looks only at ``records[-1]`` of
+each stream -- valid *only* while the readers keep every stream
+time-sorted end to end.  Raw log files are not sorted: bounded clock
+skew leaves backwards-jittered stamps in place (downstream sorting's
+job), and beyond-bound skew is clamped forward to the last good time.
+These tests append such lines *after* the latest-stamped line of a file
+and then check that the merged streams still end on their maximum, so
+the day count never shrinks because a skewed line happened to be
+written last.
+"""
+
+from repro.core.pipeline import HolisticDiagnosis
+from repro.logs.record import LogBus, LogRecord, LogSource
+from repro.logs.render import render_line
+from repro.logs.store import LogStore
+from repro.simul.clock import DAY, SimClock
+
+T_MAX = 2 * DAY + 5000.0  # latest genuine stamp -> span of 3 days
+
+
+def _mce(t):
+    return LogRecord(t, LogSource.CONSOLE, "c0-0c0s0n0", "mce",
+                     {"bank": 1, "status": "ff"})
+
+
+def _skewed_store(tmp_path):
+    """A store whose console file *ends* on skewed, non-maximal lines."""
+    clock = SimClock()
+    bus = LogBus()
+    bus.emit(_mce(100.0))
+    bus.emit(_mce(T_MAX))
+    bus.emit(LogRecord(200.0, LogSource.MESSAGES, "c0-0c0s0n0",
+                       "nhc_suspect", {"why": "t"}))
+    bus.emit(LogRecord(300.0, LogSource.CONTROLLER, "c0-0c0s0", "bchf", {}))
+    bus.emit(LogRecord(400.0, LogSource.ERD, "erd", "ec_heartbeat_stop",
+                       {"src": "c0-0c0s0n1"}))
+    bus.emit(LogRecord(500.0, LogSource.SCHEDULER, "sdb", "slurm_submit",
+                       {"job": 7}))
+    store = LogStore(tmp_path / "logs")
+    store.write(bus, clock, "TT", 1, 3 * DAY)
+    console = store.root / "p0/console.log"
+    with console.open("a") as fh:
+        # within max_skew behind T_MAX: kept at its own (earlier) time,
+        # so the raw file's last line is NOT the stream maximum
+        fh.write(render_line(_mce(T_MAX - 600.0), clock) + "\n")
+        # beyond max_skew behind: clamped forward onto T_MAX, a tie for
+        # the maximum arriving as the very last raw line
+        fh.write(render_line(_mce(T_MAX - 50_000.0), clock) + "\n")
+    return store
+
+
+def test_duration_days_covers_skewed_tail(tmp_path):
+    diag = HolisticDiagnosis.from_store(_skewed_store(tmp_path))
+    assert diag.duration_days() == 3
+
+
+def test_streams_end_on_their_maximum(tmp_path):
+    diag = HolisticDiagnosis.from_store(_skewed_store(tmp_path))
+    for stream in (diag.records.internal, diag.records.external,
+                   diag.records.scheduler):
+        times = [r.time for r in stream.records]
+        assert times, "stream unexpectedly empty"
+        assert times[-1] == max(times)
+        assert times == sorted(times)
+
+
+def test_skew_handling_preserved(tmp_path):
+    """The jittered line keeps its stamp; the torn one is clamped."""
+    diag = HolisticDiagnosis.from_store(_skewed_store(tmp_path))
+    times = [r.time for r in diag.records.internal.records]
+    assert times.count(T_MAX) == 2          # genuine max + clamped line
+    assert T_MAX - 600.0 in times           # jitter left for the sort
+    assert diag.records.last_time() == T_MAX
+
+
+def test_duration_days_floor_is_one():
+    diag = HolisticDiagnosis(internal=[], external=[], scheduler=[])
+    assert diag.duration_days() == 1

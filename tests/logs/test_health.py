@@ -163,6 +163,32 @@ class TestParallelFallback:
             parallel_read(store, workers=2, force_parallel=True,
                           policy="strict")
 
+    def test_strict_raises_only_after_draining_siblings(self, tmp_path):
+        """A strict violation in one file must not orphan the others:
+        every healthy file's accounting lands in ``health`` before the
+        parent re-raises the (typed, not retried) violation."""
+        bus = LogBus()
+        for t in (10.0, 20.0):
+            bus.emit(LogRecord(t, LogSource.CONSOLE, "c0-0c0s0n0", "mce",
+                               {"bank": 1, "status": "ff"}))
+        bus.emit(LogRecord(15.0, LogSource.ERD, "erd", "ec_heartbeat_stop",
+                           {"src": "c0-0c0s0n1"}))
+        bus.emit(LogRecord(25.0, LogSource.SCHEDULER, "sdb", "slurm_submit",
+                           {"job": 7}))
+        store = LogStore(tmp_path / "logs")
+        store.write(bus, SimClock(), "TT", 1, 60.0)
+        with store.path_for(LogSource.CONSOLE).open("a") as handle:
+            handle.write("complete garbage\n")
+        health = IngestionHealth()
+        with pytest.raises(IngestionError):
+            parallel_read(store, workers=2, force_parallel=True,
+                          policy="strict", health=health)
+        for source, expected in ((LogSource.ERD, 1),
+                                 (LogSource.SCHEDULER, 1)):
+            bucket = health.source(source)
+            assert bucket.read == expected
+            assert bucket.parsed == expected
+
     def test_health_matches_serial_accounting(self, tmp_path):
         store = small_store(tmp_path, ["complete garbage"])
         serial = IngestionHealth()
