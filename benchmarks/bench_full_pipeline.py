@@ -14,6 +14,18 @@ def test_full_pipeline_run(benchmark, diag_s3):
     assert report.false_positives.improved
 
 
+def test_pipeline_run_windowed(benchmark, diag_s3):
+    """The windowed driver over 14-day tumbling windows: per-window
+    sub-pipeline construction + registry dispatch on the same log set.
+    Tracked so registry dispatch overhead stays visible next to
+    test_full_pipeline_run (the batch number)."""
+    def run_windowed():
+        return list(diag_s3.run_windowed(window_days=14))
+
+    windows = benchmark(run_windowed)
+    assert sum(w.report.failure_count for w in windows) > 100
+
+
 def test_pipeline_construction(benchmark, store_s3):
     def build():
         return HolisticDiagnosis.from_store(store_s3)

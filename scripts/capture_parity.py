@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Capture (or verify) the registry parity goldens on scenarios s1-s5.
+
+The refactor from the hand-wired ``HolisticDiagnosis.run()`` to the
+declarative analysis registry must be *output-identical*: the report a
+scenario produces before and after the refactor must have byte-identical
+canonical JSON.  This script fingerprints the report of every paper
+scenario and stores the digests in ``tests/data/parity_goldens.json``;
+``tests/core/test_parity_gate.py`` re-computes them on the current tree
+and compares.
+
+Usage::
+
+    PYTHONPATH=src python scripts/capture_parity.py            # verify
+    PYTHONPATH=src python scripts/capture_parity.py --capture  # rewrite
+
+Goldens were first captured at the pre-registry revision (PR 3 HEAD,
+0be823f), so a green parity gate proves the registry driver reproduces
+the hand-wired pipeline bit for bit.  Re-capture only when an
+*intentional* output change lands, and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.pipeline import HolisticDiagnosis  # noqa: E402
+from repro.core.serialize import canonical_json, report_digest  # noqa: E402
+from repro.experiments.scenarios import materialize  # noqa: E402
+
+SCENARIOS = ("s1", "s2", "s3", "s4", "s5")
+SEED = 7
+GOLDENS = REPO / "tests" / "data" / "parity_goldens.json"
+
+
+def fingerprint(scenario: str) -> dict:
+    store = materialize(scenario, seed=SEED)
+    report = HolisticDiagnosis.from_store(store).run()
+    text = canonical_json(report)
+    return {
+        "sha256": report_digest(report),
+        "bytes": len(text.encode("utf-8")),
+        "failures": report.failure_count,
+    }
+
+
+def main(argv: list[str]) -> int:
+    capture = "--capture" in argv
+    current = {"seed": SEED,
+               "scenarios": {s: fingerprint(s) for s in SCENARIOS}}
+    if capture:
+        GOLDENS.parent.mkdir(parents=True, exist_ok=True)
+        GOLDENS.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"captured -> {GOLDENS}")
+        for name, entry in current["scenarios"].items():
+            print(f"  {name}: {entry['sha256'][:16]}…  "
+                  f"{entry['bytes']} bytes, {entry['failures']} failures")
+        return 0
+    golden = json.loads(GOLDENS.read_text())
+    ok = True
+    for name, entry in current["scenarios"].items():
+        want = golden["scenarios"].get(name)
+        match = want is not None and want["sha256"] == entry["sha256"]
+        ok = ok and match
+        flag = "ok  " if match else "DIFF"
+        print(f"{flag} {name}: {entry['sha256'][:16]}…  "
+              f"{entry['failures']} failures")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

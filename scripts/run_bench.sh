@@ -13,6 +13,11 @@
 # Numbers are min-of-rounds in milliseconds; see docs/PERFORMANCE.md
 # for how to read them (and why test_parse_parallel is hardware-bound
 # on single-core runners).
+#
+# test_pipeline_run_windowed (registry-era addition) has no pre-PR
+# baseline by construction; compare it against test_full_pipeline_run
+# to read the registry-dispatch + window-slicing overhead.  The batch
+# number itself is the <3% regression gate vs the committed before_ms.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}$PWD/src"

@@ -6,7 +6,11 @@
 #   2. supervision smoke: the process-level supervisor tests alone, as
 #      a focused re-run (they are part of tier-1 too; this isolates
 #      worker/fork behaviour when debugging an environment)
-#   3. tier-2 chaos gate: corruption + supervision campaigns and the
+#   3. parity gate: the registry-driver report must stay byte-identical
+#      (canonical JSON) to the committed pre-refactor goldens on s1-s5,
+#      and one full-span window must equal the batch run (windowed
+#      consistency); see tests/core/test_parity_gate.py
+#   4. tier-2 chaos gate: corruption + supervision campaigns and the
 #      overhead benchmarks (scripts/run_chaos.sh)
 #
 # Usage:
@@ -21,6 +25,9 @@ python -m pytest -q
 
 echo "== supervision smoke (pytest -m supervision) =="
 python -m pytest tests/runtime -m supervision -q
+
+echo "== parity + windowed-consistency gate (pytest -m parity) =="
+python -m pytest tests/core/test_parity_gate.py -m parity -q
 
 echo "== benchmark shape smoke (--benchmark-disable) =="
 python -m pytest benchmarks/ -m 'not chaos' --benchmark-disable -q

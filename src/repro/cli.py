@@ -17,6 +17,7 @@ few lines.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -58,7 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_diag = sub.add_parser("diagnose", help="run the pipeline over a log dir")
-    p_diag.add_argument("logdir", type=Path)
+    p_diag.add_argument("logdir", type=Path, nargs="?", default=None)
     p_diag.add_argument("--error-policy", **policy_kwargs)
     p_diag.add_argument("--findings", action="store_true",
                         help="print Table VI style findings")
@@ -66,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print per-failure case narratives")
     p_diag.add_argument("--health", action="store_true",
                         help="print per-source ingestion accounting")
+    p_diag.add_argument("--only", type=str, default=None, metavar="NAME[,NAME]",
+                        help="run only these registered analyses (plus their "
+                             "dependencies); see --list-analyses")
+    p_diag.add_argument("--list-analyses", action="store_true",
+                        help="print the analysis registry and exit")
+    p_diag.add_argument("--window-days", type=int, default=None, metavar="N",
+                        help="windowed mode: diagnose sliding N-day windows "
+                             "instead of the whole span")
+    p_diag.add_argument("--stride-days", type=int, default=None, metavar="M",
+                        help="window advance in days (default: --window-days, "
+                             "i.e. tumbling windows)")
 
     p_pred = sub.add_parser("predict", help="online failure prediction")
     p_pred.add_argument("logdir", type=Path)
@@ -136,9 +148,70 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_diagnose(args: argparse.Namespace) -> int:
+def _list_analyses() -> int:
+    from repro.core.analysis import REGISTRY
+
+    width = max(len(name) for name in REGISTRY.names())
+    print(f"{'analysis':<{width}}  requires    depends on        -> report field")
+    for spec in REGISTRY:
+        requires = ",".join(s.value for s in spec.required_sources) or "-"
+        depends = ",".join(spec.depends_on) or "-"
+        print(f"{spec.name:<{width}}  {requires:<10}  {depends:<16}  "
+              f"-> {spec.report_field}")
+        if spec.doc:
+            print(f"{'':<{width}}    {spec.doc}")
+    return 0
+
+
+def _parse_only(raw: Optional[str]) -> Optional[list[str]]:
+    """Validate a comma-separated ``--only`` list against the registry."""
+    if raw is None:
+        return None
+    from repro.core.analysis import REGISTRY
+
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("error: --only needs at least one analysis name")
+    try:
+        REGISTRY.closure(names)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    return names
+
+
+def _cmd_diagnose_windowed(args: argparse.Namespace,
+                           only: Optional[list[str]]) -> int:
     diag = _load(args.logdir, args.error_policy)
-    report = diag.run()
+    try:
+        windows = diag.run_windowed(args.window_days,
+                                    stride_days=args.stride_days, only=only)
+        for win in windows:
+            report = win.report
+            lt = report.lead_times
+            summary = report.dominance_summary
+            dom = (f"dominant-cause {summary['mean_fraction']:.0%}"
+                   if summary.get("days") else "dominant-cause n/a")
+            flags = " DEGRADED" if report.degraded else ""
+            print(f"days {win.start_day:>3}-{win.end_day:<3} "
+                  f"failures {report.failure_count:>4}  {dom}  "
+                  f"enhanceable {lt.enhanceable_fraction:.0%}{flags}")
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    if args.list_analyses:
+        return _list_analyses()
+    if args.logdir is None:
+        raise SystemExit("error: logdir is required (or pass --list-analyses)")
+    only = _parse_only(args.only)
+    if args.window_days is not None:
+        return _cmd_diagnose_windowed(args, only)
+    if args.stride_days is not None:
+        raise SystemExit("error: --stride-days needs --window-days")
+    diag = _load(args.logdir, args.error_policy)
+    report = diag.run(only=only)
     if report.degraded:
         print(f"DEGRADED diagnosis ({len(report.degraded_reasons)} reasons):")
         for reason in report.degraded_reasons:
@@ -336,6 +409,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}\n(rerun with --error-policy=skip or "
               "quarantine to ingest around the damage)", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # e.g. `repro diagnose ... | head`: the reader went away, which
+        # is not an error worth a traceback
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - module runner below

@@ -19,15 +19,26 @@ times, Figs. 3/19), :mod:`dominant` (daily dominant causes, Fig. 4),
 (Fig. 13), :mod:`falsepos` (Fig. 14), :mod:`stacktrace` (Figs. 15/16,
 Table IV), :mod:`blades` (Fig. 18), :mod:`rootcause` (Table V) and the
 :mod:`pipeline` orchestrator plus :mod:`report` synthesis (Table VI).
+
+Each per-question analysis registers itself as an
+:class:`~repro.core.analysis.AnalysisSpec` in the declarative registry
+(:mod:`repro.core.analysis`); the pipeline drivers -- batch and windowed
+-- are thin loops over that registry.  See ``docs/ARCHITECTURE.md`` for
+the layer map and how to add a new analysis.
 """
 
+from repro.core.analysis import REGISTRY, AnalysisRegistry, AnalysisSpec
 from repro.core.failure_detection import DetectedFailure, FailureDetector, FailureMode
-from repro.core.pipeline import DiagnosisReport, HolisticDiagnosis
+from repro.core.pipeline import DiagnosisReport, DiagnosisWindow, HolisticDiagnosis
 
 __all__ = [
+    "AnalysisRegistry",
+    "AnalysisSpec",
     "DetectedFailure",
     "DiagnosisReport",
+    "DiagnosisWindow",
     "FailureDetector",
     "FailureMode",
     "HolisticDiagnosis",
+    "REGISTRY",
 ]

@@ -65,3 +65,15 @@ def blade_failure_sharing(
             )
         )
     return out
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+
+register(AnalysisSpec(
+    name="blade_sharing",
+    inputs=("failures",),
+    compute=blade_failure_sharing,
+    neutral=list,
+    doc="Obs. 7: whole-blade failures share a root cause (Fig. 18)",
+))

@@ -90,3 +90,23 @@ def dominance_summary(records: Sequence[DailyDominance]) -> dict[str, float]:
         "max_failures": int(counts.max()),
         "majority_recoverable_days": int(sum(r.recoverable_majority for r in records)),
     }
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+
+register(AnalysisSpec(
+    name="dominance",
+    inputs=("failures", "failures_by_day"),
+    compute=lambda failures, by_day: daily_dominance(failures, by_day=by_day),
+    neutral=list,
+    doc="Obs. 2: per-day dominant-cause fractions (Fig. 4)",
+))
+
+register(AnalysisSpec(
+    name="dominance_summary",
+    depends_on=("dominance",),
+    compute=dominance_summary,
+    neutral=dict,
+    doc="aggregate dominance picture over the daily records",
+))

@@ -171,3 +171,16 @@ def mean_cpu_temperature(
         sums[key] += rec.attr_float("value")
         counts[key] += 1
     return {key: sums[key] / counts[key] for key in sorted(sums)}
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+
+register(AnalysisSpec(
+    name="error_populations",
+    inputs=("internal", "failures", "duration_days", "records"),
+    compute=lambda internal, failures, days, records: error_populations(
+        internal, failures, days, stream=records.internal),
+    neutral=list,
+    doc="Obs. 4: daily error populations vs failures (Fig. 10)",
+))

@@ -528,3 +528,47 @@ def warning_frequency_by_hour(
             counts[blade][int((t - t0) // HOUR)] += 1
     ranked = sorted(counts.items(), key=lambda kv: -int(kv[1].sum()))
     return dict(ranked[:top_blades])
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+from repro.logs.record import LogSource  # noqa: E402
+
+register(AnalysisSpec(
+    name="nvf_correspondence",
+    inputs=("index", "failures", "failure_times"),
+    compute=lambda index, failures, fail_times: correspondence(
+        index.nvf, failures, fail_times=fail_times),
+    neutral=list,
+    required_sources=(LogSource.CONTROLLER,),
+    doc="Obs. 3: node-voltage-fault / failure correspondence (Fig. 5)",
+))
+
+register(AnalysisSpec(
+    name="nhf_correspondence",
+    inputs=("index", "failures", "failure_times"),
+    compute=lambda index, failures, fail_times: correspondence(
+        index.nhf, failures, fail_times=fail_times),
+    neutral=list,
+    required_sources=(LogSource.CONTROLLER,),
+    doc="Obs. 3: node-heartbeat-fault / failure correspondence (Fig. 5)",
+))
+
+register(AnalysisSpec(
+    name="nhf_breakdown",
+    inputs=("index", "failures", "failure_times"),
+    compute=lambda index, failures, fail_times: nhf_breakdown(
+        index, failures, fail_times=fail_times),
+    neutral=list,
+    required_sources=(LogSource.CONTROLLER, LogSource.ERD),
+    doc="Obs. 3: monthly NHF split into failure/power-off/other (Fig. 6)",
+))
+
+register(AnalysisSpec(
+    name="faulty_fractions",
+    inputs=("failures", "index"),
+    compute=faulty_component_fractions,
+    neutral=list,
+    required_sources=(LogSource.CONTROLLER,),
+    doc="monthly faulty-component fractions from health faults (Fig. 7)",
+))

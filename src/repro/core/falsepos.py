@@ -162,3 +162,17 @@ def compare_fpr(
         correlated_alarms=len(correlated),
         correlated_false=correlated_false,
     )
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+
+register(AnalysisSpec(
+    name="false_positives",
+    inputs=("internal", "failures", "index", "records", "failure_times"),
+    compute=lambda internal, failures, index, records, fail_times: compare_fpr(
+        internal, failures, index, stream=records.internal,
+        fail_times=fail_times),
+    neutral=lambda: compare_fpr([], [], ExternalIndex()),
+    doc="Obs. 6: internal-only vs externally-correlated FPR (Fig. 14)",
+))

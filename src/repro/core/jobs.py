@@ -284,3 +284,26 @@ def overallocation_report(
             }
         )
     return out
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+from repro.logs.record import LogSource  # noqa: E402
+
+register(AnalysisSpec(
+    name="job_census",
+    inputs=("jobs",),
+    compute=exit_census,
+    neutral=lambda: exit_census({}),
+    required_sources=(LogSource.SCHEDULER,),
+    doc="Obs. 8: job exit-status census over the scheduler log (Fig. 12)",
+))
+
+register(AnalysisSpec(
+    name="same_job_groups",
+    inputs=("jobs", "failures"),
+    compute=same_job_locality,
+    neutral=list,
+    required_sources=(LogSource.SCHEDULER,),
+    doc="Obs. 8: co-failing nodes grouped by shared job",
+))

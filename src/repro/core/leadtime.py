@@ -226,3 +226,26 @@ def weekly_enhanceable_fractions(
         w: sum(r.enhanceable for r in rs) / len(rs)
         for w, rs in sorted(by_week.items())
     }
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+
+register(AnalysisSpec(
+    name="lead_times",
+    field="lead_time_records",
+    inputs=("failures", "internal", "index", "records"),
+    compute=lambda failures, internal, index, records: compute_lead_times(
+        failures, internal, index, stream=records.internal),
+    neutral=list,
+    doc="Obs. 5: per-failure internal/external lead times (Fig. 13)",
+))
+
+register(AnalysisSpec(
+    name="lead_time_summary",
+    field="lead_times",
+    depends_on=("lead_times",),
+    compute=summarize_lead_times,
+    neutral=lambda: summarize_lead_times([]),
+    doc="aggregate lead-time enhancement picture over the records",
+))

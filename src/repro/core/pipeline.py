@@ -6,18 +6,25 @@
     report = diag.run()
     print(report.lead_times.mean_enhancement_factor)
 
-``run()`` executes the three methodology steps and every per-question
-analysis, returning a :class:`DiagnosisReport` -- the single object the
-benchmarks, the examples and the report generator consume.  Individual
-analyses are also exposed as methods so a caller can pay for exactly
-what it needs (the benches for single figures do this).
+``run()`` is a thin driver over the declarative analysis registry
+(:mod:`repro.core.analysis`): every per-question analysis is a
+registered :class:`~repro.core.analysis.AnalysisSpec` whose inputs are
+resolved from this pipeline object, and the report is assembled by
+field name.  ``run(only=...)`` executes a registry subset (plus its
+dependencies); :meth:`HolisticDiagnosis.compute` runs a single named
+analysis unguarded for callers that want exactly one answer (the
+per-figure benches do this).  :meth:`HolisticDiagnosis.run_windowed`
+is the incremental driver: it slides a day-granular window over the
+shared :class:`~repro.core.index.StreamIndex` and yields one
+:class:`DiagnosisReport` per window.
 
 Robustness: production log sets are incomplete and dirty, so ``run()``
 degrades instead of dying.  Every per-question analysis executes under
 error capture (a crash in one analysis yields its neutral result and an
 entry in ``report.analysis_errors``); a missing source stream skips only
-the analyses that depend on it (``report.skipped_analyses``) and the
-report carries ``degraded=True`` with human-readable reasons plus the
+the analyses that declare it in ``required_sources``
+(``report.skipped_analyses``) and the report carries ``degraded=True``
+with human-readable reasons plus the
 :class:`~repro.logs.health.IngestionHealth` accounting of what the
 readers saw.
 """
@@ -25,33 +32,22 @@ readers saw.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, TypeVar
+from typing import Iterable, Iterator, Optional, Sequence
 
-from repro.core.blades import BladeSharing, blade_failure_sharing
-from repro.core.dominant import DailyDominance, daily_dominance, dominance_summary
-from repro.core.errors import DailyErrorPopulation, error_populations
-from repro.core.external import (
-    CorrespondenceStats,
-    ExternalIndex,
-    NhfBreakdown,
-    correspondence,
-    faulty_component_fractions,
-    nhf_breakdown,
-)
+from repro.core.analysis import REGISTRY, execute, guarded, resolve_input
+from repro.core.blades import BladeSharing
+from repro.core.dominant import DailyDominance
+from repro.core.errors import DailyErrorPopulation
+from repro.core.external import CorrespondenceStats, ExternalIndex, NhfBreakdown
 from repro.core.failure_detection import DetectedFailure, FailureDetector
-from repro.core.falsepos import FprComparison, compare_fpr
+from repro.core.falsepos import FprComparison
 from repro.core.index import RecordIndex, failure_times_by_node
-from repro.core.jobs import JobView, exit_census, parse_jobs, same_job_locality
-from repro.core.leadtime import (
-    LeadTimeRecord,
-    LeadTimeSummary,
-    compute_lead_times,
-    summarize_lead_times,
-)
-from repro.core.rootcause import RootCauseEngine, RootCauseInference, family_split
+from repro.core.jobs import JobView, parse_jobs
+from repro.core.leadtime import LeadTimeRecord, LeadTimeSummary
+from repro.core.rootcause import RootCauseInference
 from repro.core.spatial import SwoEvent, detect_swos, exclude_intended
-from repro.core.stacktrace import failure_breakdown, traces_by_node
-from repro.core.temporal import InterFailureStats, weekly_stats
+from repro.core.stacktrace import traces_by_node
+from repro.core.temporal import InterFailureStats
 from repro.faults.model import FailureCategory
 from repro.logs.health import ErrorPolicy, IngestionHealth
 from repro.logs.parsing import ParsedRecord
@@ -59,51 +55,21 @@ from repro.logs.record import LogSource
 from repro.logs.store import LogStore
 from repro.simul.clock import DAY
 
-__all__ = ["DiagnosisReport", "HolisticDiagnosis", "SOURCE_DEPENDENT_ANALYSES",
-           "guarded"]
+__all__ = ["DiagnosisReport", "DiagnosisWindow", "HolisticDiagnosis",
+           "SOURCE_DEPENDENT_ANALYSES", "guarded"]
 
 
-def guarded(
-    name: str,
-    fn: Callable[[], T],
-    default: T,
-    errors: dict[str, str],
-    skipped: Sequence[str] = (),
-) -> T:
-    """Run one analysis under error capture.
+def __getattr__(name: str):
+    # the old hardcoded source -> dependent-analyses table, kept as a
+    # compatibility alias derived from the registry's declarations
+    if name == "SOURCE_DEPENDENT_ANALYSES":
+        return REGISTRY.source_dependents()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    The degradation primitive shared by :meth:`HolisticDiagnosis.run`
-    and the campaign runtime's in-process fallback: a crash in ``fn``
-    records ``name -> message`` in ``errors`` and returns ``default``
-    instead of propagating, and a ``name`` listed in ``skipped`` never
-    runs at all.
-    """
-    if name in skipped:
-        return default
-    try:
-        return fn()
-    except Exception as exc:  # capture, degrade, carry on
-        errors[name] = f"{type(exc).__name__}: {exc}"
-        return default
-
-#: analyses that are *skipped* (not merely emptier) when a source stream
-#: is absent -- the degradation contract the CLI and tests rely on
-SOURCE_DEPENDENT_ANALYSES: dict[LogSource, tuple[str, ...]] = {
-    LogSource.SCHEDULER: ("job_census", "same_job_groups"),
-    LogSource.CONTROLLER: (
-        "nvf_correspondence",
-        "nhf_correspondence",
-        "nhf_breakdown",
-        "faulty_fractions",
-    ),
-    LogSource.ERD: ("nhf_breakdown",),
-}
 
 #: internal sources never skip analyses outright, but their absence is
 #: still a degradation worth flagging (detection may undercount)
 _INTERNAL_SOURCES = (LogSource.CONSOLE, LogSource.MESSAGES, LogSource.CONSUMER)
-
-T = TypeVar("T")
 
 
 @dataclass
@@ -149,6 +115,21 @@ class DiagnosisReport:
         return len(self.failures)
 
 
+@dataclass
+class DiagnosisWindow:
+    """One sliding-window slice of a diagnosis (see ``run_windowed``)."""
+
+    #: first day covered (inclusive, 0-based)
+    start_day: int
+    #: last day covered (exclusive)
+    end_day: int
+    report: DiagnosisReport
+
+    @property
+    def days(self) -> int:
+        return self.end_day - self.start_day
+
+
 class HolisticDiagnosis:
     """The pipeline, bound to one set of parsed logs."""
 
@@ -166,6 +147,7 @@ class HolisticDiagnosis:
         self.external = list(external)
         self.scheduler = list(scheduler)
         self.detector = detector or FailureDetector()
+        self.total_nodes = total_nodes
         self.ingestion_health = ingestion_health
         self.missing_sources = list(missing_sources)
         if ingestion_health is not None:
@@ -197,6 +179,8 @@ class HolisticDiagnosis:
         # step 3: job views
         self.jobs: dict[int, JobView] = parse_jobs(self.scheduler)
         self._node_traces = None
+        # memo for compute(): single-analysis results shared across calls
+        self._analysis_cache: dict[str, object] = {}
 
     @classmethod
     def from_store(
@@ -256,136 +240,101 @@ class HolisticDiagnosis:
         return max(1, int(self.records.last_time() // DAY) + 1)
 
     # ------------------------------------------------------------------
-    def skipped_analyses(self) -> list[str]:
-        """Analyses the degradation contract skips for missing streams."""
+    def degradation(self) -> tuple[list[str], list[str]]:
+        """The degradation contract, derived from one registry query.
+
+        Returns ``(skipped, reasons)``: the analyses whose declared
+        ``required_sources`` are missing, and the human-readable
+        reasons the report will be marked degraded.  Reasons are
+        deduplicated in first-seen order.
+        """
         skipped: list[str] = []
+        reasons: list[str] = []
+        seen: set[str] = set()
+
+        def note(reason: str) -> None:
+            if reason not in seen:
+                seen.add(reason)
+                reasons.append(reason)
+
         for source in self.missing_sources:
-            for name in SOURCE_DEPENDENT_ANALYSES.get(source, ()):
+            dependents = REGISTRY.dependents(source)
+            for name in dependents:
                 if name not in skipped:
                     skipped.append(name)
-        return skipped
-
-    def degradation_reasons(self) -> list[str]:
-        """Human-readable reasons the report will be marked degraded."""
-        reasons: list[str] = []
-        for source in self.missing_sources:
-            dependents = SOURCE_DEPENDENT_ANALYSES.get(source, ())
             if dependents:
-                reasons.append(
-                    f"{source.value} stream missing: skipped "
-                    + ", ".join(dependents)
-                )
+                note(f"{source.value} stream missing: skipped "
+                     + ", ".join(dependents))
             elif source in _INTERNAL_SOURCES:
-                reasons.append(
-                    f"internal source {source.value} missing: failure "
-                    "detection may undercount"
-                )
+                note(f"internal source {source.value} missing: failure "
+                     "detection may undercount")
         health = self.ingestion_health
         if health is not None:
             if health.total_quarantined:
-                reasons.append(
-                    f"{health.total_quarantined} unparseable lines "
-                    "quarantined during ingestion"
-                )
+                note(f"{health.total_quarantined} unparseable lines "
+                     "quarantined during ingestion")
             if health.total_recovered:
-                reasons.append(
-                    f"{health.total_recovered} damaged lines recovered "
-                    "during ingestion"
-                )
-            for note in health.notes:
-                if note not in reasons:
-                    reasons.append(note)
-        return reasons
+                note(f"{health.total_recovered} damaged lines recovered "
+                     "during ingestion")
+            for entry in health.notes:
+                note(entry)
+        return skipped, reasons
+
+    def skipped_analyses(self) -> list[str]:
+        """Analyses the degradation contract skips for missing streams."""
+        return self.degradation()[0]
+
+    def degradation_reasons(self) -> list[str]:
+        """Human-readable reasons the report will be marked degraded."""
+        return self.degradation()[1]
 
     # ------------------------------------------------------------------
-    def run(self) -> DiagnosisReport:
-        """Execute every analysis and assemble the report.
+    def compute(self, name: str):
+        """Run one registered analysis (plus dependencies), unguarded.
+
+        The pay-for-what-you-ask entry point: no error capture, no
+        degradation bookkeeping, results memoised per pipeline so a
+        caller assembling several figures shares the work.  Raises
+        ``KeyError`` (naming the registered analyses) for unknown
+        names and propagates analysis exceptions.
+        """
+        cache = self._analysis_cache
+        if name in cache:
+            return cache[name]
+        spec = REGISTRY.get(name)
+        args = [resolve_input(self, inp) for inp in spec.inputs]
+        args.extend(self.compute(dep) for dep in spec.depends_on)
+        cache[name] = value = spec.compute(*args)
+        return value
+
+    # ------------------------------------------------------------------
+    def run(self, only: Optional[Iterable[str]] = None) -> DiagnosisReport:
+        """Execute the registered analyses and assemble the report.
 
         Each analysis runs under error capture: a crash produces the
         analysis's neutral result and an ``analysis_errors`` entry
         instead of an unhandled exception, so one pathological stream
         never costs the operator the rest of the diagnosis.
+
+        ``only`` restricts execution to the named analyses plus their
+        declared dependencies; everything else lands in the report as
+        its (lazily built) neutral result.  Unknown names raise
+        ``KeyError`` listing the registered analyses.
         """
-        skipped = self.skipped_analyses()
+        skipped, reasons = self.degradation()
         errors: dict[str, str] = {}
-
-        def safe(name: str, fn: Callable[[], T], default: T) -> T:
-            return guarded(name, fn, default, errors, skipped)
-
-        dominance = safe(
-            "dominance",
-            lambda: daily_dominance(self.failures, by_day=self.failures_by_day),
-            [])
-        lead_records = safe(
-            "lead_times",
-            lambda: compute_lead_times(self.failures, self.internal, self.index,
-                                       stream=self.records.internal),
-            [],
-        )
-        inferences = safe(
-            "root_causes",
-            lambda: RootCauseEngine(
-                self.index, self.node_traces, self.jobs
-            ).infer_all(self.failures),
-            [],
-        )
+        results = execute(self, skipped=skipped, errors=errors, only=only)
+        fields = {REGISTRY.get(name).report_field: value
+                  for name, value in results.items()}
         report = DiagnosisReport(
             failures=self.failures,
             intended_shutdowns=self.intended_shutdowns,
             swos=self.swos,
-            weekly_inter_failure=safe(
-                "weekly_inter_failure", lambda: weekly_stats(self.failures), []),
-            dominance=dominance,
-            dominance_summary=safe(
-                "dominance_summary", lambda: dominance_summary(dominance), {}),
-            nvf_correspondence=safe(
-                "nvf_correspondence",
-                lambda: correspondence(self.index.nvf, self.failures,
-                                       fail_times=self.failure_times), []),
-            nhf_correspondence=safe(
-                "nhf_correspondence",
-                lambda: correspondence(self.index.nhf, self.failures,
-                                       fail_times=self.failure_times), []),
-            nhf_breakdown=safe(
-                "nhf_breakdown",
-                lambda: nhf_breakdown(self.index, self.failures,
-                                      fail_times=self.failure_times), []),
-            faulty_fractions=safe(
-                "faulty_fractions",
-                lambda: faulty_component_fractions(self.failures, self.index),
-                []),
-            error_populations=safe(
-                "error_populations",
-                lambda: error_populations(
-                    self.internal, self.failures, self.duration_days(),
-                    stream=self.records.internal), []),
-            job_census=safe(
-                "job_census", lambda: exit_census(self.jobs), exit_census({})),
-            same_job_groups=safe(
-                "same_job_groups",
-                lambda: same_job_locality(self.jobs, self.failures), []),
-            lead_times=summarize_lead_times(lead_records),
-            lead_time_records=lead_records,
-            false_positives=safe(
-                "false_positives",
-                lambda: compare_fpr(self.internal, self.failures, self.index,
-                                    stream=self.records.internal,
-                                    fail_times=self.failure_times),
-                compare_fpr([], [], ExternalIndex()),
-            ),
-            category_breakdown=safe(
-                "category_breakdown",
-                lambda: failure_breakdown(self.failures, self.node_traces), {}),
-            blade_sharing=safe(
-                "blade_sharing",
-                lambda: blade_failure_sharing(self.failures), []),
-            root_causes=inferences,
-            family_split=safe(
-                "family_split", lambda: family_split(inferences), {}),
+            **fields,
         )
         report.skipped_analyses = skipped
         report.analysis_errors = errors
-        report.degraded_reasons = self.degradation_reasons()
+        report.degraded_reasons = reasons
         for name, message in errors.items():
             report.degraded_reasons.append(f"analysis {name} failed: {message}")
         report.ingestion_health = self.ingestion_health
@@ -395,3 +344,46 @@ class HolisticDiagnosis:
                 and self.ingestion_health.degraded)
         )
         return report
+
+    # ------------------------------------------------------------------
+    def run_windowed(
+        self,
+        window_days: int,
+        stride_days: Optional[int] = None,
+        only: Optional[Iterable[str]] = None,
+    ) -> Iterator["DiagnosisWindow"]:
+        """Slide a day-granular window over the logs; yield per-window reports.
+
+        Windows are ``[start, start + window_days)`` days, advancing by
+        ``stride_days`` (default: ``window_days``, i.e. tumbling).  Each
+        window's records are selected with the shared
+        :class:`~repro.core.index.StreamIndex` bisect queries -- no raw
+        list rescans -- and diagnosed by the same registry driver as the
+        batch path, so a single window spanning the whole log set
+        reproduces the batch report exactly.
+
+        Note the windows are *independent* diagnoses: a failure episode
+        straddling a window edge is attributed to the window holding its
+        triggering records, which is the operator-facing sliding-view
+        semantics, not a partition proof.
+        """
+        if window_days <= 0:
+            raise ValueError("window_days must be positive")
+        stride = window_days if stride_days is None else stride_days
+        if stride <= 0:
+            raise ValueError("stride_days must be positive")
+        total = self.duration_days()
+        for start in range(0, total, stride):
+            end = min(start + window_days, total)
+            t0, t1 = start * DAY, end * DAY
+            sub = HolisticDiagnosis(
+                internal=self.records.internal.window(t0, t1),
+                external=self.records.external.window(t0, t1),
+                scheduler=self.records.scheduler.window(t0, t1),
+                detector=self.detector,
+                total_nodes=self.total_nodes,
+                missing_sources=self.missing_sources,
+                ingestion_health=self.ingestion_health,
+            )
+            yield DiagnosisWindow(start_day=start, end_day=end,
+                                  report=sub.run(only=only))

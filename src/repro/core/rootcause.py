@@ -228,3 +228,24 @@ def family_split(
     out["memory_related"] = sum(i.memory_related for i in inferences) / total
     out["fail_slow"] = sum(i.fail_slow for i in inferences) / total
     return out
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+
+register(AnalysisSpec(
+    name="root_causes",
+    inputs=("index", "node_traces", "jobs", "failures"),
+    compute=lambda index, traces, jobs, failures: RootCauseEngine(
+        index, traces, jobs).infer_all(failures),
+    neutral=list,
+    doc="Obs. 9: per-failure root-cause inference (Table V)",
+))
+
+register(AnalysisSpec(
+    name="family_split",
+    depends_on=("root_causes",),
+    compute=family_split,
+    neutral=dict,
+    doc="Sec. III-F: failure fractions per fault family",
+))

@@ -1,0 +1,88 @@
+"""Canonical JSON serialization for diagnosis reports.
+
+The parity gate (``tests/core/test_parity_gate.py``) and the windowed
+consistency check compare whole :class:`~repro.core.pipeline.DiagnosisReport`
+objects by *bytes*: two reports are equal iff their canonical JSON is
+identical.  Canonical means:
+
+* dataclasses become ``{field: value}`` objects in field order, then the
+  JSON encoder sorts keys -- so equality is insensitive to field order;
+* enums collapse to their ``.value``;
+* numpy scalars/arrays collapse to the matching Python scalars/lists
+  (``float`` repr round-trips, so byte-comparison is exact);
+* dict keys are stringified (enum keys via ``.value``) and sorted.
+
+Anything this module cannot encode raises ``TypeError`` loudly instead of
+guessing -- a new report field must be taught here before the parity gate
+can vouch for it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "canonical_json", "report_digest"]
+
+
+def _key(key: Any) -> str:
+    """A dict key as a canonical string."""
+    if isinstance(key, Enum):
+        key = key.value
+    if isinstance(key, str):
+        return key
+    if isinstance(key, bool):
+        return "true" if key else "false"
+    if isinstance(key, (int, np.integer)):
+        return str(int(key))
+    if isinstance(key, (float, np.floating)):
+        return repr(float(key))
+    if key is None:
+        return "null"
+    raise TypeError(f"unencodable dict key {key!r} ({type(key).__name__})")
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into plain JSON-encodable data."""
+    if obj is None or isinstance(obj, (str, bool)):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        if value != value:  # NaN: JSON has no spelling, tag it
+            return "__nan__"
+        if value in (float("inf"), float("-inf")):
+            return "__inf__" if value > 0 else "__-inf__"
+        return value
+    if isinstance(obj, Enum):
+        return to_jsonable(obj.value)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {_key(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = [to_jsonable(x) for x in obj]
+        if isinstance(obj, (set, frozenset)):  # canonical order
+            items.sort(key=lambda x: json.dumps(x, sort_keys=True))
+        return items
+    raise TypeError(f"unencodable object {obj!r} ({type(obj).__name__})")
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON text of any report-shaped object."""
+    return json.dumps(to_jsonable(obj), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def report_digest(obj: Any) -> str:
+    """sha256 hex digest of the canonical JSON (the parity fingerprint)."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

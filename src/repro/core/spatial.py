@@ -17,6 +17,14 @@ spatial half of Obs. 8:
 * :func:`spatio_temporal_groups` -- time-clustered failure groups with
   their spatial diversity and shared-symptom fraction, the generalised
   form of the paper's "spatially distant nodes with temporal locality".
+
+Unlike the per-question analyses, this module registers nothing in the
+analysis registry (:mod:`repro.core.analysis`): SWO separation and
+intended-shutdown exclusion are *accounting rules* that shape the
+failure population itself, so the pipeline applies them at construction
+time, before any registered analysis runs -- the report's ``failures``,
+``intended_shutdowns`` and ``swos`` fields are structural, not analysis
+outputs.
 """
 
 from __future__ import annotations

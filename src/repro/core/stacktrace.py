@@ -222,3 +222,15 @@ def module_table(
             if func in MODULE_SIGNALS:
                 table[f.symptom][func] += 1
     return dict(table)
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+
+register(AnalysisSpec(
+    name="category_breakdown",
+    inputs=("failures", "node_traces"),
+    compute=failure_breakdown,
+    neutral=dict,
+    doc="failure-category fractions from per-node call traces (Fig. 16)",
+))

@@ -129,3 +129,15 @@ def weekly_stats(
             continue
         by_week.setdefault(f.week, []).append(f)
     return [analyze_window(by_week[w], window=w) for w in sorted(by_week)]
+
+
+# -- registry declaration (see repro.core.analysis) -------------------------
+from repro.core.analysis import AnalysisSpec, register  # noqa: E402
+
+register(AnalysisSpec(
+    name="weekly_inter_failure",
+    inputs=("failures",),
+    compute=weekly_stats,
+    neutral=list,
+    doc="Obs. 1: weekly inter-failure time statistics (Fig. 3)",
+))

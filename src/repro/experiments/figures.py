@@ -19,26 +19,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.dominant import daily_dominance, dominance_summary
-from repro.core.errors import error_populations, mean_cpu_temperature
-from repro.core.external import (
-    correspondence,
-    faulty_component_fractions,
-    nhf_breakdown,
-    sedc_census,
-    warning_frequency_by_hour,
-)
-from repro.core.falsepos import compare_fpr
+from repro.core.dominant import dominance_summary
+from repro.core.errors import mean_cpu_temperature
+from repro.core.external import sedc_census, warning_frequency_by_hour
 from repro.core.jobs import exit_census, overallocation_report
-from repro.core.leadtime import (
-    compute_lead_times,
-    summarize_lead_times,
-    weekly_enhanceable_fractions,
-)
+from repro.core.leadtime import summarize_lead_times, weekly_enhanceable_fractions
 from repro.core.pipeline import HolisticDiagnosis
-from repro.core.stacktrace import failure_breakdown, node_category_census
+from repro.core.stacktrace import node_category_census
 from repro.core.temporal import gap_cdf, inter_failure_gaps, weekly_stats
-from repro.core.blades import blade_failure_sharing
 from repro.experiments.result import ExperimentResult
 from repro.experiments.scenarios import materialize
 from repro.faults.model import FailureCategory
@@ -73,7 +61,7 @@ def load(scenario: str, seed: int = 7) -> HolisticDiagnosis:
 # ---------------------------------------------------------------------------
 def fig3_internode_times(diag: HolisticDiagnosis) -> ExperimentResult:
     """Fig. 3: inter-node failure time CDFs, S1 weeks W1 and W7."""
-    weekly = weekly_stats(diag.failures)
+    weekly = diag.compute("weekly_inter_failure")
     by_week = {s.window: s for s in weekly}
     w1 = by_week.get(0)
     w7 = by_week.get(6)
@@ -107,7 +95,7 @@ def fig3_internode_times(diag: HolisticDiagnosis) -> ExperimentResult:
 
 def fig4_dominant_cause(diag: HolisticDiagnosis) -> ExperimentResult:
     """Fig. 4: fraction of daily failures sharing the dominant cause."""
-    dominance = daily_dominance(diag.failures)
+    dominance = diag.compute("dominance")
     summary = dominance_summary(dominance[:30])
     measured = {
         "mean_fraction": summary["mean_fraction"],
@@ -136,8 +124,8 @@ def fig4_dominant_cause(diag: HolisticDiagnosis) -> ExperimentResult:
 
 def fig5_nvf_nhf(diag: HolisticDiagnosis) -> ExperimentResult:
     """Fig. 5: NVF and NHF correspondence with failures, per month."""
-    nvf = correspondence(diag.index.nvf, diag.failures)
-    nhf = correspondence(diag.index.nhf, diag.failures)
+    nvf = diag.compute("nvf_correspondence")
+    nhf = diag.compute("nhf_correspondence")
     nvf_total = sum(s.faults for s in nvf)
     nhf_total = sum(s.faults for s in nhf)
     measured = {
@@ -169,7 +157,7 @@ def fig5_nvf_nhf(diag: HolisticDiagnosis) -> ExperimentResult:
 
 def fig6_nhf_breakdown(diag: HolisticDiagnosis) -> ExperimentResult:
     """Fig. 6: weekly NHF outcomes (failed / power-off / skipped)."""
-    weeks = nhf_breakdown(diag.index, diag.failures)
+    weeks = diag.compute("nhf_breakdown")
     total = sum(w.total for w in weeks)
     failed = sum(w.failed for w in weeks)
     off = sum(w.power_off for w in weeks)
@@ -202,7 +190,7 @@ def fig6_nhf_breakdown(diag: HolisticDiagnosis) -> ExperimentResult:
 
 def fig7_blade_cabinet(diag: HolisticDiagnosis) -> ExperimentResult:
     """Fig. 7: failures on faulty blades / in faulty cabinets."""
-    groups = faulty_component_fractions(diag.failures, diag.index)
+    groups = diag.compute("faulty_fractions")
     blade_fracs = [g["blade_fraction"] for g in groups]
     cab_fracs = [g["cabinet_fraction"] for g in groups]
     measured = {
@@ -298,9 +286,7 @@ def fig10_errors_vs_failures(diag: HolisticDiagnosis) -> ExperimentResult:
     failures per day ("representative samples carefully chosen over
     time-intervals"); we select the quietest 16-day window the same way.
     """
-    all_pops = error_populations(
-        diag.internal, diag.failures, days=diag.duration_days()
-    )
+    all_pops = diag.compute("error_populations")
     if len(all_pops) > 16:
         best_start = min(
             range(len(all_pops) - 15),
@@ -399,7 +385,7 @@ def fig12_job_exits(diag: HolisticDiagnosis) -> ExperimentResult:
 
 def fig13_leadtime(diag: HolisticDiagnosis) -> ExperimentResult:
     """Fig. 13: lead-time enhancement via external precursors."""
-    records = compute_lead_times(diag.failures, diag.internal, diag.index)
+    records = diag.compute("lead_times")
     summary = summarize_lead_times(records)
     weekly = weekly_enhanceable_fractions(records)
     app_records = [r for r in records
@@ -433,7 +419,7 @@ def fig13_leadtime(diag: HolisticDiagnosis) -> ExperimentResult:
 
 def fig14_false_positives(diag: HolisticDiagnosis) -> ExperimentResult:
     """Fig. 14: FPR with vs without external correlation."""
-    cmp = compare_fpr(diag.internal, diag.failures, diag.index)
+    cmp = diag.compute("false_positives")
     measured = {
         "internal_fpr": cmp.internal_fpr,
         "correlated_fpr": cmp.correlated_fpr,
@@ -480,7 +466,7 @@ def fig15_s5_traces(diag: HolisticDiagnosis) -> ExperimentResult:
 
 def fig16_s2_breakdown(diag: HolisticDiagnosis) -> ExperimentResult:
     """Fig. 16: S2 failure-category breakdown."""
-    breakdown = failure_breakdown(diag.failures, diag.node_traces)
+    breakdown = diag.compute("category_breakdown")
     measured = {cat.value: frac for cat, frac in breakdown.items()}
     paper = {
         "app_exit": 0.375, "fsbug": 0.2678, "oom": 0.1607,
@@ -537,7 +523,7 @@ def fig17_overallocation(diag: HolisticDiagnosis) -> ExperimentResult:
 
 def fig18_blade_sharing(diag: HolisticDiagnosis) -> ExperimentResult:
     """Fig. 18: blade failures share a reason, errors small."""
-    weekly = blade_failure_sharing(diag.failures)
+    weekly = diag.compute("blade_sharing")
     fracs = [w.mean_shared_fraction for w in weekly]
     stds = [w.std_shared_fraction for w in weekly]
     measured = {

@@ -15,7 +15,6 @@ from repro.cluster.systems import SYSTEMS
 from repro.core.external import HEALTH_FAULT_EVENTS, SEDC_WARNING_EVENTS
 from repro.core.pipeline import HolisticDiagnosis
 from repro.core.report import generate_findings
-from repro.core.rootcause import RootCauseEngine, family_split
 from repro.core.stacktrace import module_table
 from repro.experiments.result import ExperimentResult
 from repro.faults.model import FaultFamily
@@ -154,8 +153,7 @@ _TABLE5_EXPECTED = (
 
 def table5_case_studies(diag: HolisticDiagnosis) -> ExperimentResult:
     """Table V: root-cause inference over the five scripted cases."""
-    engine = RootCauseEngine(diag.index, diag.node_traces, diag.jobs)
-    inferences = engine.infer_all(diag.failures)
+    inferences = diag.compute("root_causes")
     # the cases scenario scripts: 1 L0_sysd_mce failure, 3 CPU
     # corruptions, 6 same-job OOM failures, 1 app-triggered Lustre bug,
     # 1 fail-slow MCE -- recover them by their symptoms
@@ -242,9 +240,7 @@ def table6_findings(diag: HolisticDiagnosis) -> ExperimentResult:
 
 def s3_family_split(diag: HolisticDiagnosis) -> ExperimentResult:
     """Sec. III-F: S3's hardware/software/application split."""
-    engine = RootCauseEngine(diag.index, diag.node_traces, diag.jobs)
-    inferences = engine.infer_all(diag.failures)
-    split = family_split(inferences)
+    split = diag.compute("family_split")
     measured = {
         "hardware": split.get("hardware", 0.0),
         "software": split.get("software", 0.0),

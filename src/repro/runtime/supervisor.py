@@ -400,7 +400,15 @@ class CampaignSupervisor:
         breaker: CircuitBreaker,
         outcomes: dict[str, ExperimentOutcome],
     ) -> None:
-        """Degraded mode: exception capture without process isolation."""
+        """Degraded mode: exception capture without process isolation.
+
+        Reuses :func:`repro.core.analysis.guarded` -- the same
+        capture-and-degrade primitive the diagnosis driver runs every
+        analysis under -- so inline experiments and analyses share one
+        error-capture contract.
+        """
+        from repro.core.analysis import guarded
+
         for spec in batch:
             if breaker.is_open(group_key):
                 return
@@ -408,12 +416,12 @@ class CampaignSupervisor:
             self.journal.append("start", experiment=spec.experiment,
                                 attempt=attempts[spec.experiment],
                                 isolated=False)
-            try:
-                result = spec.produce(self.seed)
-            except Exception as exc:
-                self._attempt_failed(
-                    spec, f"{type(exc).__name__}: {exc}", attempts,
-                    last_error, breaker, group_key)
+            errors: dict[str, str] = {}
+            result = guarded(spec.experiment,
+                             lambda: spec.produce(self.seed), None, errors)
+            if spec.experiment in errors:
+                self._attempt_failed(spec, errors[spec.experiment], attempts,
+                                     last_error, breaker, group_key)
                 continue
             self._complete(spec, result.to_jsonable(), attempts, breaker,
                            group_key, outcomes)

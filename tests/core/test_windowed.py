@@ -1,0 +1,89 @@
+"""The windowed incremental driver vs the batch pipeline.
+
+The contract (ISSUE 4 acceptance): a single window spanning the whole
+log set must reproduce the batch report -- not just roughly, but with
+byte-identical canonical JSON -- and multi-window runs must honor the
+window/stride geometry while keeping every failure inside its window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import HolisticDiagnosis
+from repro.core.serialize import canonical_json
+from repro.simul.clock import DAY
+
+
+@pytest.fixture(scope="module")
+def diag(diagnosed_scenario):
+    _, _, store = diagnosed_scenario
+    return HolisticDiagnosis.from_store(store)
+
+
+@pytest.fixture(scope="module")
+def batch_report(diag):
+    return diag.run()
+
+
+class TestFullSpanWindow:
+    def test_single_window_is_byte_identical_to_batch(self, diag, batch_report):
+        windows = list(diag.run_windowed(window_days=diag.duration_days()))
+        assert len(windows) == 1
+        win = windows[0]
+        assert win.start_day == 0
+        assert win.end_day == diag.duration_days()
+        assert canonical_json(win.report) == canonical_json(batch_report)
+
+    def test_oversized_window_clamps_and_still_matches(self, diag, batch_report):
+        windows = list(diag.run_windowed(window_days=10_000))
+        assert len(windows) == 1
+        assert canonical_json(windows[0].report) == canonical_json(batch_report)
+
+
+class TestWindowGeometry:
+    def test_tumbling_windows_cover_the_span(self, diag):
+        total = diag.duration_days()
+        windows = list(diag.run_windowed(window_days=1))
+        assert len(windows) == total
+        assert [w.start_day for w in windows] == list(range(total))
+        assert all(w.days == 1 for w in windows)
+
+    def test_sliding_stride_overlaps(self, diag):
+        total = diag.duration_days()
+        windows = list(diag.run_windowed(window_days=2, stride_days=1))
+        assert len(windows) == total
+        assert windows[0].end_day == min(2, total)
+
+    def test_failures_stay_inside_their_window(self, diag):
+        for win in diag.run_windowed(window_days=1):
+            t0, t1 = win.start_day * DAY, win.end_day * DAY
+            for failure in win.report.failures:
+                assert t0 <= failure.time < t1
+
+    def test_tumbling_failure_totals_match_batch(self, diag, batch_report):
+        """Daily tumbling windows see every batch failure day-for-day
+        (detection episodes in this scenario never straddle midnight)."""
+        batch_by_day: dict[int, int] = {}
+        for failure in batch_report.failures:
+            batch_by_day[failure.day] = batch_by_day.get(failure.day, 0) + 1
+        windowed_by_day = {
+            w.start_day: w.report.failure_count
+            for w in diag.run_windowed(window_days=1)
+            if w.report.failure_count
+        }
+        assert windowed_by_day == batch_by_day
+
+    def test_invalid_geometry_rejected(self, diag):
+        with pytest.raises(ValueError):
+            next(diag.run_windowed(window_days=0))
+        with pytest.raises(ValueError):
+            next(diag.run_windowed(window_days=1, stride_days=0))
+
+
+class TestWindowedOnly:
+    def test_only_subset_applies_per_window(self, diag):
+        for win in diag.run_windowed(window_days=2, only=["dominance_summary"]):
+            assert win.report.root_causes == []
+            if win.report.failure_count:
+                assert win.report.dominance

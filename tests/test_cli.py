@@ -120,6 +120,37 @@ class TestCommands:
         assert "malformed line" in err
         assert "--error-policy=skip" in err
 
+    def test_diagnose_list_analyses(self, capsys):
+        """--list-analyses needs no logdir and prints the registry."""
+        assert main(["diagnose", "--list-analyses"]) == 0
+        out = capsys.readouterr().out
+        assert "dominance_summary" in out
+        assert "scheduler" in out  # required-source column
+
+    def test_diagnose_requires_logdir_without_list(self):
+        with pytest.raises(SystemExit, match="logdir is required"):
+            main(["diagnose"])
+
+    def test_diagnose_only_subset(self, logdir, capsys):
+        assert main(["diagnose", str(logdir),
+                     "--only", "dominance_summary"]) == 0
+        out = capsys.readouterr().out
+        assert "failures detected: 7" in out
+
+    def test_diagnose_only_unknown_name(self, logdir):
+        with pytest.raises(SystemExit, match="registered"):
+            main(["diagnose", str(logdir), "--only", "bogus_analysis"])
+
+    def test_diagnose_windowed(self, logdir, capsys):
+        assert main(["diagnose", str(logdir), "--window-days", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2  # two one-day windows
+        assert lines[0].startswith("days") and "failures" in lines[0]
+
+    def test_diagnose_stride_needs_window(self, logdir):
+        with pytest.raises(SystemExit, match="--window-days"):
+            main(["diagnose", str(logdir), "--stride-days", "1"])
+
     def test_experiments_command_reports(self, capsys, monkeypatch):
         """The experiments subcommand prints per-experiment status and
         returns non-zero when any shape fails (run_all is stubbed so the
