@@ -1,0 +1,29 @@
+"""Bench: observability overhead on the full S3 diagnosis.
+
+Two legs bracket the ISSUE 5 acceptance gate.  The *disabled* leg is
+the default-mode pipeline -- every instrumentation site pays one
+attribute check and a shared no-op context manager -- and must stay
+within 3% of the pre-obs baseline (the comparison recorded in
+``BENCH_pr5.json``).  The *enabled* leg prices a full tracing session,
+so ``docs/OBSERVABILITY.md`` can quote the cost of switching it on.
+"""
+
+from repro.obs import OBS, ObsConfig, configure
+
+
+def test_full_pipeline_obs_disabled(benchmark, diag_s3):
+    assert OBS.enabled is False
+    report = benchmark(diag_s3.run)
+    assert report.failure_count > 100
+    assert OBS.spans() == []  # truly off: nothing recorded
+
+
+def test_full_pipeline_obs_enabled(benchmark, diag_s3):
+    configure(ObsConfig(enabled=True))
+    try:
+        report = benchmark(diag_s3.run)
+        assert any(s.name == "pipeline.run" for s in OBS.spans())
+    finally:
+        configure(ObsConfig(enabled=False))
+        OBS.reset()
+    assert report.failure_count > 100

@@ -24,11 +24,10 @@ from pathlib import Path
 
 from repro import (
     Campaign,
-    HolisticDiagnosis,
     JobBug,
     JobSpec,
-    LogStore,
     Platform,
+    api,
     WorkloadConfig,
     WorkloadGenerator,
     WorkloadScheduler,
@@ -75,7 +74,7 @@ def main() -> None:
     # --- rediscover everything from the logs -------------------------
     root = Path(tempfile.mkdtemp(prefix="repro-apps-"))
     plat.write_logs(root)
-    diag = HolisticDiagnosis.from_store(LogStore(root))
+    diag = api.load_system(root)
 
     print(f"\ndetected failures: {len(diag.failures)}")
     groups = same_job_locality(diag.jobs, diag.failures)

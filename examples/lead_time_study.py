@@ -24,7 +24,8 @@ import dataclasses
 import tempfile
 from pathlib import Path
 
-from repro import Campaign, HolisticDiagnosis, LogStore, Platform, get_system
+from repro import Campaign, Platform, api, get_system
+from repro.core.pipeline import HolisticDiagnosis
 from repro.core.falsepos import compare_fpr
 from repro.core.leadtime import compute_lead_times, summarize_lead_times
 
@@ -51,7 +52,7 @@ def build_system(key: str, seed: int) -> HolisticDiagnosis:
     plat.run(days=DAYS + 1)
     root = Path(tempfile.mkdtemp(prefix=f"repro-leadtime-{key}-"))
     plat.write_logs(root)
-    return HolisticDiagnosis.from_store(LogStore(root))
+    return api.load_system(root)
 
 
 def main() -> None:

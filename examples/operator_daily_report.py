@@ -15,7 +15,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import HolisticDiagnosis, LogStore
+from repro import api
 from repro.core.report import generate_findings, render_findings
 from repro.core.rootcause import RootCauseEngine, family_split
 from repro.experiments.scenarios import materialize
@@ -24,7 +24,7 @@ from repro.experiments.scenarios import materialize
 def main() -> None:
     cache = Path(tempfile.mkdtemp(prefix="repro-operator-"))
     store = materialize("cases", seed=7, root=cache)
-    diag = HolisticDiagnosis.from_store(store)
+    diag = api.load_system(store.root)
     engine = RootCauseEngine(diag.index, diag.node_traces, diag.jobs)
     inferences = engine.infer_all(diag.failures)
 

@@ -23,7 +23,8 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import Campaign, HolisticDiagnosis, LogStore, Platform
+from repro import Campaign, Platform, api
+from repro.core.pipeline import HolisticDiagnosis
 from repro.core.checkpointing import CheckpointAdvisor
 from repro.core.health import MitigationAdvisor
 from repro.core.prediction import OnlinePredictor, PredictorConfig, evaluate
@@ -52,7 +53,7 @@ def simulate() -> HolisticDiagnosis:
     plat.run(days=DAYS + 1)
     root = Path(tempfile.mkdtemp(prefix="repro-proactive-"))
     plat.write_logs(root)
-    return HolisticDiagnosis.from_store(LogStore(root))
+    return api.load_system(root)
 
 
 def main() -> None:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import Campaign, HolisticDiagnosis, LogStore, Platform
+from repro import Campaign, Platform, api
 
 
 def main() -> None:
@@ -40,8 +40,7 @@ def main() -> None:
     plat.write_logs(workdir)
     print(f"logs written to {workdir}")
 
-    diag = HolisticDiagnosis.from_store(LogStore(workdir))
-    report = diag.run()
+    report = api.diagnose(workdir)
 
     # --- headline numbers --------------------------------------------
     print(f"\ndetected failures: {report.failure_count} "

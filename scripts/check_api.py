@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Guard the blessed public API surface against undeclared drift.
+
+The stable surface (``repro``, ``repro.api``, ``repro.obs`` -- every
+name in each module's ``__all__``, with call signatures) is snapshotted
+into ``tests/data/api_surface.json``.  This script recomputes the
+surface and diffs it against the snapshot:
+
+* **verify** (default) -- exit non-zero listing every addition, removal
+  or signature change that was not captured.  Run by ``run_ci.sh`` and
+  the tier-1 test ``tests/test_api_surface.py``.
+* **--capture** -- rewrite the snapshot (do this deliberately, in the
+  same commit as the API change, per the policy in ``docs/API.md``).
+
+The same gate exercises the trace-file schema end to end: it records a
+tiny span tree on a private recorder and validates the resulting Chrome
+trace with :func:`repro.obs.validate_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO / "tests" / "data" / "api_surface.json"
+
+#: the modules whose ``__all__`` is the stability contract
+MODULES = ("repro", "repro.api", "repro.obs")
+
+
+def _signature(obj) -> str | None:
+    """A stable signature string, or None where Python cannot provide one
+    (enums, data objects, C-level callables)."""
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return None
+
+
+def _describe(obj) -> dict:
+    """One exported name's shape: kind plus whatever signature it has."""
+    if inspect.isclass(obj):
+        entry: dict = {"kind": "class"}
+        init = _signature(obj)
+        if init is not None:
+            entry["signature"] = init
+        return entry
+    if callable(obj):
+        entry = {"kind": "function"}
+        sig = _signature(obj)
+        if sig is not None:
+            entry["signature"] = sig
+        return entry
+    return {"kind": "data", "type": type(obj).__name__}
+
+
+def build_surface() -> dict:
+    """The live surface: module -> exported name -> description."""
+    surface: dict[str, dict] = {}
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            raise SystemExit(f"{module_name} has no __all__; the stable "
+                             "surface must be explicit")
+        surface[module_name] = {
+            name: _describe(getattr(module, name))
+            for name in sorted(set(exported))
+        }
+    return surface
+
+
+def diff_surface(snapshot: dict, live: dict) -> list[str]:
+    """Human-readable drift between the committed and live surfaces."""
+    problems: list[str] = []
+    for module in sorted(set(snapshot) | set(live)):
+        if module not in live:
+            problems.append(f"{module}: module vanished from the surface")
+            continue
+        if module not in snapshot:
+            problems.append(f"{module}: new module not in snapshot")
+            continue
+        old, new = snapshot[module], live[module]
+        for name in sorted(set(old) - set(new)):
+            problems.append(f"{module}.{name}: removed from __all__")
+        for name in sorted(set(new) - set(old)):
+            problems.append(f"{module}.{name}: added but not captured")
+        for name in sorted(set(old) & set(new)):
+            if old[name] != new[name]:
+                problems.append(
+                    f"{module}.{name}: changed "
+                    f"{old[name]} -> {new[name]}")
+    return problems
+
+
+def check_trace_schema() -> list[str]:
+    """Record a tiny span tree and validate the exported Chrome trace."""
+    from repro.obs import chrome_trace, validate_chrome_trace
+    from repro.obs.recorder import Recorder
+
+    recorder = Recorder()
+    recorder.enabled = True
+    with recorder.span("check.outer", "check") as outer:
+        outer.tag(mode="gate")
+        with recorder.span("check.inner", "check", file="x.log") as inner:
+            inner.add(records=3, bytes=120)
+    trace = chrome_trace(recorder.spans())
+    problems = validate_chrome_trace(trace)
+    events = trace["traceEvents"]
+    if len(events) != 2:
+        problems.append(f"expected 2 trace events, got {len(events)}")
+    inner_ev = next((e for e in events if e["name"] == "check.inner"), None)
+    outer_ev = next((e for e in events if e["name"] == "check.outer"), None)
+    if inner_ev is None or outer_ev is None:
+        problems.append("span names missing from trace")
+    elif inner_ev["args"].get("parent_id") != outer_ev["args"]["span_id"]:
+        problems.append("nested span lost its parent linkage")
+    return problems
+
+
+def main(argv=None) -> int:
+    """Entry point: verify by default, ``--capture`` to rewrite."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--capture", action="store_true",
+                        help="rewrite the snapshot from the live surface")
+    args = parser.parse_args(argv)
+
+    live = build_surface()
+    if args.capture:
+        SNAPSHOT.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT.write_text(json.dumps(live, indent=2, sort_keys=True) + "\n")
+        print(f"captured {sum(len(v) for v in live.values())} names "
+              f"across {len(live)} modules -> {SNAPSHOT}")
+        return 0
+
+    if not SNAPSHOT.exists():
+        print(f"error: {SNAPSHOT} missing; run scripts/check_api.py "
+              "--capture", file=sys.stderr)
+        return 2
+    snapshot = json.loads(SNAPSHOT.read_text())
+    problems = diff_surface(snapshot, live)
+    problems += [f"trace schema: {p}" for p in check_trace_schema()]
+    if problems:
+        print("public API surface drifted (re-run with --capture if "
+              "intentional, and update docs/API.md):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"API surface stable: {sum(len(v) for v in live.values())} names "
+          f"across {len(live)} modules; trace schema valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}$PWD/src"
 
+echo "== API surface + trace schema gate (scripts/check_api.py) =="
+python scripts/check_api.py
+
 echo "== tier-1 (default pytest run) =="
 python -m pytest -q
 

@@ -1,0 +1,161 @@
+"""The blessed public surface: stable names, keyword-only options.
+
+Everything an operator or notebook needs lives here under four verbs
+and one config object::
+
+    from repro import api
+
+    report = api.diagnose("logs/s1")                    # whole span
+    windows = api.diagnose_windowed("logs/s1", window_days=7)
+    campaign = api.run_campaign("campaign", seed=7)
+    diag = api.load_system("logs/s1")                   # the pipeline itself
+
+    # observability: pass an ObsConfig and artifacts are written for you
+    report = api.diagnose("logs/s1",
+                          obs=api.ObsConfig(trace_path="out.trace.json"))
+
+Stability contract (see ``docs/API.md``):
+
+* every function takes one positional argument (the log directory or
+  campaign directory) -- all options are keyword-only;
+* option names are shared across the whole package: ``error_policy``
+  (never ``policy``), ``window_days``, ``stride_days``, ``only``,
+  ``seed``, ``obs``;
+* results are the typed report objects re-exported below, never bare
+  dicts;
+* the surface is snapshotted in ``tests/data/api_surface.json`` and
+  guarded by ``scripts/check_api.py`` -- changing a signature without
+  re-capturing the snapshot fails CI;
+* renamed or moved entry points keep working for one release behind
+  :class:`DeprecationWarning` shims.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.core.pipeline import (
+    DiagnosisReport,
+    DiagnosisWindow,
+    HolisticDiagnosis,
+)
+from repro.logs.health import ErrorPolicy, IngestionHealth
+from repro.logs.store import LogStore
+from repro.obs import ObsConfig, session
+
+__all__ = [
+    "load_system",
+    "diagnose",
+    "diagnose_windowed",
+    "run_campaign",
+    "ObsConfig",
+    "ErrorPolicy",
+    "DiagnosisReport",
+    "DiagnosisWindow",
+    "HolisticDiagnosis",
+    "IngestionHealth",
+    "LogStore",
+]
+
+
+def _store(logdir: Union[Path, str]) -> LogStore:
+    """Open an on-disk log store, failing with a useful message."""
+    store = LogStore(Path(logdir))
+    if not store.exists():
+        raise FileNotFoundError(
+            f"{logdir} is not a log store (no manifest.json)")
+    return store
+
+
+def _maybe_session(obs: Optional[ObsConfig]):
+    """An observability session when asked for one, else a no-op scope."""
+    return contextlib.nullcontext() if obs is None else session(obs)
+
+
+def load_system(
+    logdir: Union[Path, str],
+    *,
+    error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
+    health: Optional[IngestionHealth] = None,
+) -> HolisticDiagnosis:
+    """Ingest a log directory and return the bound diagnosis pipeline.
+
+    The pipeline object exposes the full power surface (``run``,
+    ``run_windowed``, ``compute``, the shared record index); the
+    ``diagnose*`` helpers below cover the common cases in one call.
+    ``error_policy`` governs the hardened readers -- ``"strict"``
+    raises on the first malformed line, ``"skip"`` and ``"quarantine"``
+    ingest around damage and account for it in the report's
+    :class:`IngestionHealth`.
+    """
+    return HolisticDiagnosis.from_store(
+        _store(logdir), error_policy=error_policy, health=health)
+
+
+def diagnose(
+    logdir: Union[Path, str],
+    *,
+    error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
+    only: Optional[Sequence[str]] = None,
+    obs: Optional[ObsConfig] = None,
+) -> DiagnosisReport:
+    """One call from a log directory to the paper's full diagnosis.
+
+    ``only`` restricts the run to the named registry analyses (plus
+    their dependencies); a requested analysis whose required source
+    stream is missing is reported in ``degraded_reasons`` rather than
+    silently returning its neutral result.  ``obs`` scopes the call in
+    an observability session and writes the artifacts its paths name.
+    """
+    with _maybe_session(obs):
+        return load_system(logdir, error_policy=error_policy).run(only=only)
+
+
+def diagnose_windowed(
+    logdir: Union[Path, str],
+    *,
+    window_days: int,
+    stride_days: Optional[int] = None,
+    error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
+    only: Optional[Sequence[str]] = None,
+    obs: Optional[ObsConfig] = None,
+) -> list[DiagnosisWindow]:
+    """Sliding-window diagnosis: one report per ``window_days`` slice.
+
+    Windows advance by ``stride_days`` (default: tumbling).  With
+    observability enabled (an ``obs`` config, or a surrounding
+    :func:`repro.obs.session`) each window carries a per-analysis cost
+    profile in :attr:`DiagnosisWindow.profile`.
+    """
+    with _maybe_session(obs):
+        diag = load_system(logdir, error_policy=error_policy)
+        return list(diag.run_windowed(window_days, stride_days=stride_days,
+                                      only=only))
+
+
+def run_campaign(
+    out: Union[Path, str],
+    *,
+    seed: int = 7,
+    resume: bool = False,
+    only: Optional[Sequence[str]] = None,
+    config=None,
+    obs: Optional[ObsConfig] = None,
+):
+    """Run the paper's experiment campaign under supervision.
+
+    Thin facade over :class:`repro.runtime.CampaignSupervisor`: isolated
+    workers, retries, circuit breakers and a crash-safe journal under
+    ``out`` (``resume=True`` re-runs only what is not proven complete).
+    Returns the :class:`repro.runtime.CampaignReport`.  ``config`` is an
+    optional :class:`repro.runtime.SupervisorConfig`.
+    """
+    # imported lazily: the campaign registry materialises scenarios and
+    # is far heavier than the diagnosis-only surface above
+    from repro.runtime import CampaignSupervisor
+
+    supervisor = CampaignSupervisor(out, seed=seed, config=config, only=only)
+    with _maybe_session(obs):
+        return supervisor.run(resume=resume)

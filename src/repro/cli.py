@@ -17,6 +17,7 @@ few lines.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from pathlib import Path
@@ -78,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_diag.add_argument("--stride-days", type=int, default=None, metavar="M",
                         help="window advance in days (default: --window-days, "
                              "i.e. tumbling windows)")
+    p_diag.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="record the run and write a Chrome trace-event "
+                             "JSON file (open with Perfetto)")
+    p_diag.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                        help="record the run and write a canonical-JSON "
+                             "metrics snapshot")
 
     p_pred = sub.add_parser("predict", help="online failure prediction")
     p_pred.add_argument("logdir", type=Path)
@@ -128,7 +135,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-isolation", action="store_true",
                        help="run experiments in-process (no worker "
                             "processes; exception capture only)")
+    p_run.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                       help="record the campaign and write a Chrome "
+                            "trace-event JSON file")
+    p_run.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                       help="record the campaign and write a canonical-JSON "
+                            "metrics snapshot")
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect observability artifacts")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_osum = obs_sub.add_parser(
+        "summary",
+        help="human summary of a --trace / --metrics JSON file")
+    p_osum.add_argument("file", type=Path,
+                        help="a Chrome trace or metrics snapshot file")
     return parser
+
+
+def _obs_session(args: argparse.Namespace):
+    """The CLI's observability scope: a real session when ``--trace`` or
+    ``--metrics`` was passed, a no-op context otherwise."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    if trace is None and metrics is None:
+        return contextlib.nullcontext()
+    from repro.obs import ObsConfig, session
+
+    return session(ObsConfig(trace_path=trace, metrics_path=metrics))
+
+
+def _note_obs_outputs(args: argparse.Namespace) -> None:
+    """Tell the operator where the session's artifacts landed."""
+    if getattr(args, "trace", None) is not None:
+        print(f"trace written: {args.trace}")
+    if getattr(args, "metrics", None) is not None:
+        print(f"metrics written: {args.metrics}")
 
 
 def _load(logdir: Path, error_policy: str = "skip") -> HolisticDiagnosis:
@@ -185,8 +227,17 @@ def _cmd_diagnose_windowed(args: argparse.Namespace,
     try:
         windows = diag.run_windowed(args.window_days,
                                     stride_days=args.stride_days, only=only)
+        reasons_shown = False
         for win in windows:
             report = win.report
+            if report.degraded and not reasons_shown:
+                # the reasons are structural (missing streams, ingestion
+                # damage), so one header covers every window
+                reasons_shown = True
+                print(f"DEGRADED windows "
+                      f"({len(report.degraded_reasons)} reasons):")
+                for reason in report.degraded_reasons:
+                    print(f"  - {reason}")
             lt = report.lead_times
             summary = report.dominance_summary
             dom = (f"dominant-cause {summary['mean_fraction']:.0%}"
@@ -206,10 +257,20 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     if args.logdir is None:
         raise SystemExit("error: logdir is required (or pass --list-analyses)")
     only = _parse_only(args.only)
-    if args.window_days is not None:
-        return _cmd_diagnose_windowed(args, only)
-    if args.stride_days is not None:
+    if args.window_days is None and args.stride_days is not None:
         raise SystemExit("error: --stride-days needs --window-days")
+    with _obs_session(args):
+        if args.window_days is not None:
+            code = _cmd_diagnose_windowed(args, only)
+        else:
+            code = _diagnose_batch(args, only)
+    _note_obs_outputs(args)
+    return code
+
+
+def _diagnose_batch(args: argparse.Namespace,
+                    only: Optional[list[str]]) -> int:
+    """The whole-span diagnosis body (``diagnose`` without windows)."""
     diag = _load(args.logdir, args.error_policy)
     report = diag.run(only=only)
     if report.degraded:
@@ -362,7 +423,9 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     try:
         supervisor = CampaignSupervisor(
             args.out, seed=args.seed, config=config, only=args.only)
-        report = supervisor.run(resume=args.resume)
+        with _obs_session(args):
+            report = supervisor.run(resume=args.resume)
+        _note_obs_outputs(args)
     except (JournalError, KeyError) as exc:
         raise SystemExit(f"error: {exc}")
     for outcome in report.outcomes:
@@ -390,6 +453,19 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import summarize_file
+
+    try:
+        text = summarize_file(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"error: {args.file} does not exist")
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(text)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -401,6 +477,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "timeline": _cmd_timeline,
         "experiments": _cmd_experiments,
         "run-all": _cmd_run_all,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)

@@ -51,10 +51,12 @@ around it.
 from __future__ import annotations
 
 import inspect
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.logs.record import LogSource
+from repro.obs import OBS
 
 __all__ = [
     "AnalysisSpec",
@@ -241,6 +243,7 @@ def execute(
     skipped: Sequence[str] = (),
     errors: Optional[dict[str, str]] = None,
     only: Optional[Iterable[str]] = None,
+    profile: Optional[dict[str, float]] = None,
 ) -> dict[str, Any]:
     """Run registered analyses over ``ctx``; returns ``name -> result``.
 
@@ -250,6 +253,11 @@ def execute(
     any analysis outside ``only``'s dependency closure never runs and
     yields its neutral result -- the neutral factory is invoked *only*
     on those paths, never on success.
+
+    With observability enabled every executed analysis runs under an
+    ``analysis.<name>`` span; passing a ``profile`` dict additionally
+    collects ``name -> wall seconds`` for the analyses that ran (the
+    windowed driver uses this for per-window cost profiles).
     """
     registry = REGISTRY if registry is None else registry
     if errors is None:
@@ -262,11 +270,16 @@ def execute(
         if spec.name not in selected or spec.name in skipped_set:
             results[spec.name] = spec.neutral()
             continue
-        try:
-            args = [resolve_input(ctx, name) for name in spec.inputs]
-            args.extend(results[dep] for dep in spec.depends_on)
-            results[spec.name] = spec.compute(*args)
-        except Exception as exc:  # capture, degrade, carry on
-            errors[spec.name] = f"{type(exc).__name__}: {exc}"
-            results[spec.name] = spec.neutral()
+        started = time.perf_counter() if profile is not None else 0.0
+        with OBS.span("analysis." + spec.name, "analysis") as span:
+            try:
+                args = [resolve_input(ctx, name) for name in spec.inputs]
+                args.extend(results[dep] for dep in spec.depends_on)
+                results[spec.name] = spec.compute(*args)
+            except Exception as exc:  # capture, degrade, carry on
+                errors[spec.name] = f"{type(exc).__name__}: {exc}"
+                results[spec.name] = spec.neutral()
+                span.tag(error=type(exc).__name__)
+        if profile is not None:
+            profile[spec.name] = time.perf_counter() - started
     return results

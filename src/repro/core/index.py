@@ -34,6 +34,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro.logs.parsing import ParsedRecord
+from repro.obs import OBS
 
 __all__ = ["StreamIndex", "RecordIndex", "failure_times_by_node"]
 
@@ -97,6 +98,10 @@ class StreamIndex:
         lead-time and false-positive analyses) share one pass.
         """
         cached = self._selections.get(events)
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "index.select.hit" if cached is not None
+                else "index.select.miss").inc()
         if cached is None:
             by_event = self.by_event
             if len(events) < len(by_event):
@@ -131,6 +136,10 @@ class StreamIndex:
     def node_times(self, node: str) -> np.ndarray:
         """Sorted times of one component's records (cached ndarray)."""
         times = self._node_times.get(node)
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "index.node_times.hit" if times is not None
+                else "index.node_times.miss").inc()
         if times is None:
             bucket = self.by_node.get(node, ())
             times = np.asarray([r.time for r in bucket], dtype=float)
@@ -152,6 +161,11 @@ class StreamIndex:
         times = self.times
         lo = int(np.searchsorted(times, t0, side="left"))
         hi = int(np.searchsorted(times, t1, side="left"))
+        if OBS.enabled:
+            OBS.metrics.counter("index.window_queries").inc()
+            OBS.metrics.histogram(
+                "index.window_records",
+                (10.0, 100.0, 1000.0, 10000.0, 100000.0)).observe(hi - lo)
         return self.records[lo:hi]
 
 

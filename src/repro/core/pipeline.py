@@ -31,6 +31,7 @@ readers saw.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
@@ -53,6 +54,7 @@ from repro.logs.health import ErrorPolicy, IngestionHealth
 from repro.logs.parsing import ParsedRecord
 from repro.logs.record import LogSource
 from repro.logs.store import LogStore
+from repro.obs import OBS
 from repro.simul.clock import DAY
 
 __all__ = ["DiagnosisReport", "DiagnosisWindow", "HolisticDiagnosis",
@@ -61,8 +63,12 @@ __all__ = ["DiagnosisReport", "DiagnosisWindow", "HolisticDiagnosis",
 
 def __getattr__(name: str):
     # the old hardcoded source -> dependent-analyses table, kept as a
-    # compatibility alias derived from the registry's declarations
+    # deprecated alias derived from the registry's declarations
     if name == "SOURCE_DEPENDENT_ANALYSES":
+        warnings.warn(
+            "SOURCE_DEPENDENT_ANALYSES is deprecated; use "
+            "repro.core.analysis.REGISTRY.source_dependents()",
+            DeprecationWarning, stacklevel=2)
         return REGISTRY.source_dependents()
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
@@ -124,6 +130,9 @@ class DiagnosisWindow:
     #: last day covered (exclusive)
     end_day: int
     report: DiagnosisReport
+    #: per-analysis wall seconds for this window (observability enabled
+    #: only; empty otherwise) -- the window's cost profile
+    profile: dict[str, float] = field(default_factory=dict)
 
     @property
     def days(self) -> int:
@@ -154,33 +163,39 @@ class HolisticDiagnosis:
             for source in ingestion_health.missing_sources():
                 if source not in self.missing_sources:
                     self.missing_sources.append(source)
-        # the shared record index: every stream bucketed once, queried
-        # by all downstream analyses
-        self.records: RecordIndex = RecordIndex.build(
-            self.internal, self.external, self.scheduler)
-        # step 2 (built first -- step 1's accounting needs the power-off
-        # notifications): external index
-        self.index: ExternalIndex = ExternalIndex.from_stream(
-            self.records.external)
-        # step 1: confirmed failures from internal logs, with the paper's
-        # accounting -- intended shutdowns excluded, SWOs set aside
-        candidates = self.detector.detect(
-            self.internal, by_node=self.records.internal.by_node)
-        anomalous, self.intended_shutdowns = exclude_intended(
-            candidates, self.index)
-        if total_nodes is not None:
-            self.swos, self.failures = detect_swos(anomalous, total_nodes)
-        else:
-            self.swos, self.failures = [], anomalous
-        # derived failure groupings shared across analyses
-        self.failure_times: dict = failure_times_by_node(self.failures)
-        self.failures_by_day: dict[int, list[DetectedFailure]] = (
-            FailureDetector.failures_by_day(self.failures))
-        # step 3: job views
-        self.jobs: dict[int, JobView] = parse_jobs(self.scheduler)
-        self._node_traces = None
-        # memo for compute(): single-analysis results shared across calls
-        self._analysis_cache: dict[str, object] = {}
+        with OBS.span("pipeline.build", "pipeline") as span:
+            # the shared record index: every stream bucketed once,
+            # queried by all downstream analyses
+            self.records: RecordIndex = RecordIndex.build(
+                self.internal, self.external, self.scheduler)
+            # step 2 (built first -- step 1's accounting needs the
+            # power-off notifications): external index
+            self.index: ExternalIndex = ExternalIndex.from_stream(
+                self.records.external)
+            # step 1: confirmed failures from internal logs, with the
+            # paper's accounting -- intended shutdowns excluded, SWOs
+            # set aside
+            candidates = self.detector.detect(
+                self.internal, by_node=self.records.internal.by_node)
+            anomalous, self.intended_shutdowns = exclude_intended(
+                candidates, self.index)
+            if total_nodes is not None:
+                self.swos, self.failures = detect_swos(anomalous, total_nodes)
+            else:
+                self.swos, self.failures = [], anomalous
+            # derived failure groupings shared across analyses
+            self.failure_times: dict = failure_times_by_node(self.failures)
+            self.failures_by_day: dict[int, list[DetectedFailure]] = (
+                FailureDetector.failures_by_day(self.failures))
+            # step 3: job views
+            self.jobs: dict[int, JobView] = parse_jobs(self.scheduler)
+            self._node_traces = None
+            # memo for compute(): single-analysis results shared across
+            # calls
+            self._analysis_cache: dict[str, object] = {}
+            span.tag(records=len(self.internal) + len(self.external)
+                     + len(self.scheduler),
+                     failures=len(self.failures))
 
     @classmethod
     def from_store(
@@ -198,8 +213,15 @@ class HolisticDiagnosis:
         the resulting :class:`~repro.logs.health.IngestionHealth` rides
         on the pipeline and the report.  Under ``strict`` a single
         malformed line raises; the tolerant policies always produce a
-        (possibly degraded) pipeline.
+        (possibly degraded) pipeline.  ``policy`` is accepted as a
+        deprecated spelling of ``error_policy``.
         """
+        if "policy" in kwargs:
+            warnings.warn(
+                "from_store(policy=...) is deprecated; use error_policy=... "
+                "(the spelling every public entry point shares)",
+                DeprecationWarning, stacklevel=2)
+            error_policy = kwargs.pop("policy")
         manifest = store.manifest()
         clock = manifest.clock()
         policy = ErrorPolicy.coerce(error_policy)
@@ -212,10 +234,14 @@ class HolisticDiagnosis:
             except KeyError:
                 pass
         missing = [s for s in LogSource if not store.source_files(s)]
+        with OBS.span("pipeline.ingest", "ingest", policy=policy.value):
+            internal = store.read_internal(clock, policy, health)
+            external = store.read_external(clock, policy, health)
+            scheduler = store.read_scheduler(clock, policy, health)
         return cls(
-            internal=store.read_internal(clock, policy, health),
-            external=store.read_external(clock, policy, health),
-            scheduler=store.read_scheduler(clock, policy, health),
+            internal=internal,
+            external=external,
+            scheduler=scheduler,
             missing_sources=missing,
             ingestion_health=health,
             **kwargs,
@@ -288,6 +314,21 @@ class HolisticDiagnosis:
         """Human-readable reasons the report will be marked degraded."""
         return self.degradation()[1]
 
+    def skip_reasons(self) -> dict[str, str]:
+        """Per-analysis explanation of why it cannot run (if it cannot).
+
+        Maps analysis name -> human-readable reason, covering exactly the
+        analyses the missing-source contract will skip.  Used by ``run``
+        to attribute a ``--only`` selection that lands on a skipped
+        analysis instead of silently returning its neutral result.
+        """
+        reasons: dict[str, str] = {}
+        for source in self.missing_sources:
+            for name in REGISTRY.dependents(source):
+                reasons.setdefault(
+                    name, f"required source {source.value!r} missing")
+        return reasons
+
     # ------------------------------------------------------------------
     def compute(self, name: str):
         """Run one registered analysis (plus dependencies), unguarded.
@@ -308,7 +349,12 @@ class HolisticDiagnosis:
         return value
 
     # ------------------------------------------------------------------
-    def run(self, only: Optional[Iterable[str]] = None) -> DiagnosisReport:
+    def run(
+        self,
+        only: Optional[Iterable[str]] = None,
+        *,
+        profile: Optional[dict[str, float]] = None,
+    ) -> DiagnosisReport:
         """Execute the registered analyses and assemble the report.
 
         Each analysis runs under error capture: a crash produces the
@@ -319,30 +365,51 @@ class HolisticDiagnosis:
         ``only`` restricts execution to the named analyses plus their
         declared dependencies; everything else lands in the report as
         its (lazily built) neutral result.  Unknown names raise
-        ``KeyError`` listing the registered analyses.
+        ``KeyError`` listing the registered analyses.  When a requested
+        analysis is itself skipped by the missing-source contract, the
+        report's ``degraded_reasons`` say so explicitly (rather than
+        silently handing back the neutral result).
+
+        ``profile``, when given, collects ``name -> wall seconds`` for
+        every analysis that actually executed (the windowed driver's
+        per-window cost profile).
         """
-        skipped, reasons = self.degradation()
-        errors: dict[str, str] = {}
-        results = execute(self, skipped=skipped, errors=errors, only=only)
-        fields = {REGISTRY.get(name).report_field: value
-                  for name, value in results.items()}
-        report = DiagnosisReport(
-            failures=self.failures,
-            intended_shutdowns=self.intended_shutdowns,
-            swos=self.swos,
-            **fields,
-        )
-        report.skipped_analyses = skipped
-        report.analysis_errors = errors
-        report.degraded_reasons = reasons
-        for name, message in errors.items():
-            report.degraded_reasons.append(f"analysis {name} failed: {message}")
-        report.ingestion_health = self.ingestion_health
-        report.degraded = bool(
-            skipped or errors or report.degraded_reasons
-            or (self.ingestion_health is not None
-                and self.ingestion_health.degraded)
-        )
+        if only is not None:
+            only = list(only)
+        with OBS.span("pipeline.run", "pipeline") as span:
+            skipped, reasons = self.degradation()
+            selected = (REGISTRY.names() if only is None
+                        else REGISTRY.closure(only))
+            if only is not None and skipped:
+                not_run = self.skip_reasons()
+                for name in selected:
+                    if name in not_run:
+                        reasons.append(f"requested analysis {name!r} "
+                                       f"not run: {not_run[name]}")
+            errors: dict[str, str] = {}
+            results = execute(self, skipped=skipped, errors=errors,
+                              only=only, profile=profile)
+            span.add(analyses=len(set(selected) - set(skipped)))
+            fields = {REGISTRY.get(name).report_field: value
+                      for name, value in results.items()}
+            report = DiagnosisReport(
+                failures=self.failures,
+                intended_shutdowns=self.intended_shutdowns,
+                swos=self.swos,
+                **fields,
+            )
+            report.skipped_analyses = skipped
+            report.analysis_errors = errors
+            report.degraded_reasons = reasons
+            for name, message in errors.items():
+                report.degraded_reasons.append(
+                    f"analysis {name} failed: {message}")
+            report.ingestion_health = self.ingestion_health
+            report.degraded = bool(
+                skipped or errors or report.degraded_reasons
+                or (self.ingestion_health is not None
+                    and self.ingestion_health.degraded)
+            )
         return report
 
     # ------------------------------------------------------------------
@@ -376,14 +443,19 @@ class HolisticDiagnosis:
         for start in range(0, total, stride):
             end = min(start + window_days, total)
             t0, t1 = start * DAY, end * DAY
-            sub = HolisticDiagnosis(
-                internal=self.records.internal.window(t0, t1),
-                external=self.records.external.window(t0, t1),
-                scheduler=self.records.scheduler.window(t0, t1),
-                detector=self.detector,
-                total_nodes=self.total_nodes,
-                missing_sources=self.missing_sources,
-                ingestion_health=self.ingestion_health,
-            )
+            with OBS.span("pipeline.window", "pipeline",
+                          start_day=start, end_day=end):
+                sub = HolisticDiagnosis(
+                    internal=self.records.internal.window(t0, t1),
+                    external=self.records.external.window(t0, t1),
+                    scheduler=self.records.scheduler.window(t0, t1),
+                    detector=self.detector,
+                    total_nodes=self.total_nodes,
+                    missing_sources=self.missing_sources,
+                    ingestion_health=self.ingestion_health,
+                )
+                profile: Optional[dict[str, float]] = (
+                    {} if OBS.enabled else None)
+                report = sub.run(only=only, profile=profile)
             yield DiagnosisWindow(start_day=start, end_day=end,
-                                  report=sub.run(only=only))
+                                  report=report, profile=profile or {})

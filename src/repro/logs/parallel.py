@@ -29,6 +29,7 @@ the serial path below :data:`MIN_PARALLEL_BYTES`.
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -41,6 +42,7 @@ from repro.logs.health import (
 from repro.logs.parsing import LineParser, ParsedRecord
 from repro.logs.record import LogSource
 from repro.logs.store import LogStore, _merge_records, parse_log_file
+from repro.obs import OBS
 from repro.simul.clock import SimClock
 
 __all__ = ["parallel_read", "diagnosis_inputs", "MIN_PARALLEL_BYTES"]
@@ -123,18 +125,45 @@ def _unpack_records(columns: _RecordColumns) -> list[ParsedRecord]:
 
 def _parse_file_packed(
     args: tuple[str, str, str]
-) -> tuple[_RecordColumns, dict[str, int], list[str], Optional[_ErrorMarker]]:
-    """Pool-side wrapper of :func:`_parse_file` with columnar results."""
+) -> tuple[_RecordColumns, dict[str, int], list[str],
+           Optional[_ErrorMarker], Optional[dict]]:
+    """Pool-side wrapper of :func:`_parse_file` with columnar results.
+
+    The fifth element is the worker's buffered observability payload
+    (spans + metrics, see :meth:`repro.obs.Recorder.drain_payload`) --
+    ``None`` when recording is disabled.  Workers are forked, so they
+    inherit the parent's enabled flag and open-span context; their
+    spans come home through the result pipe and are absorbed at drain,
+    never written concurrently.
+    """
     records, counts, quarantined, error = _parse_file(args)
-    return _pack_records(records), counts, quarantined, error
+    payload = OBS.drain_payload() if OBS.enabled else None
+    return _pack_records(records), counts, quarantined, error, payload
+
+
+def _coerce_legacy_policy(
+    error_policy: ErrorPolicy | str,
+    policy: Optional[ErrorPolicy | str],
+    where: str,
+) -> ErrorPolicy:
+    """Resolve the renamed ``error_policy`` kwarg against legacy ``policy``."""
+    if policy is not None:
+        warnings.warn(
+            f"{where}(policy=...) is deprecated; use error_policy=... "
+            "(the spelling every public entry point shares)",
+            DeprecationWarning, stacklevel=3)
+        error_policy = policy
+    return ErrorPolicy.coerce(error_policy)
 
 
 def parallel_read(
     store: LogStore,
     workers: Optional[int] = None,
     force_parallel: bool = False,
-    policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+    error_policy: ErrorPolicy | str = ErrorPolicy.SKIP,
     health: Optional[IngestionHealth] = None,
+    *,
+    policy: Optional[ErrorPolicy | str] = None,
 ) -> dict[LogSource, list[ParsedRecord]]:
     """Parse every source of a store, fanned out over processes.
 
@@ -142,13 +171,33 @@ def parallel_read(
     of the per-file streams (each file comes back time-sorted, see
     :func:`~repro.logs.store.parse_log_file`).  Serial fallback when the
     store is small (see :data:`MIN_PARALLEL_BYTES`) unless
-    ``force_parallel`` insists.  ``policy`` and ``health`` behave as in
-    :meth:`~repro.logs.store.LogStore.read_source`.  Under the strict
+    ``force_parallel`` insists.  ``error_policy`` and ``health`` behave
+    as in :meth:`~repro.logs.store.LogStore.read_source` (``policy`` is
+    the deprecated spelling of ``error_policy``).  Under the strict
     policy a violating file raises :class:`IngestionError` here in the
     parent -- but only after every worker result has been drained, so
     the health accounting of the other files survives.
+
+    With observability enabled the whole read runs under a
+    ``logs.parallel_read`` span (tags: file count, byte total, mode),
+    and pool workers' buffered spans/metrics are merged at drain.
     """
-    policy = ErrorPolicy.coerce(policy)
+    policy = _coerce_legacy_policy(error_policy, policy, "parallel_read")
+    with OBS.span("logs.parallel_read", "ingest") as read_span:
+        result = _parallel_read(store, workers, force_parallel, policy,
+                                health, read_span)
+    return result
+
+
+def _parallel_read(
+    store: LogStore,
+    workers: Optional[int],
+    force_parallel: bool,
+    policy: ErrorPolicy,
+    health: Optional[IngestionHealth],
+    read_span,
+) -> dict[LogSource, list[ParsedRecord]]:
+    """The fan-out body of :func:`parallel_read` (span already open)."""
     manifest = store.manifest()
     tasks: list[tuple[LogSource, str]] = []
     total_bytes = 0
@@ -168,13 +217,18 @@ def parallel_read(
     worker_args = [(path, manifest.epoch_iso, policy.value)
                    for _source, path in tasks]
     if total_bytes < MIN_PARALLEL_BYTES and not force_parallel:
+        read_span.tag(mode="serial", files=len(tasks), bytes=total_bytes)
         parsed = [_parse_file(args) for args in worker_args]
     else:
+        read_span.tag(mode="pool", files=len(tasks), bytes=total_bytes)
         workers = workers or min(len(tasks), multiprocessing.cpu_count())
         with multiprocessing.Pool(processes=max(1, workers)) as pool:
             packed = pool.map(_parse_file_packed, worker_args)
-        parsed = [(_unpack_records(columns), counts, quarantined, error)
-                  for columns, counts, quarantined, error in packed]
+        parsed = []
+        for columns, counts, quarantined, error, payload in packed:
+            OBS.absorb(payload)
+            parsed.append((_unpack_records(columns), counts, quarantined,
+                           error))
     lists: dict[LogSource, list[list[ParsedRecord]]] = {s: [] for s in LogSource}
     strict_violation: Optional[str] = None
     for (source, path), result in zip(tasks, parsed):
@@ -214,8 +268,10 @@ def diagnosis_inputs(
     store: LogStore,
     workers: Optional[int] = None,
     force_parallel: bool = False,
-    policy: ErrorPolicy | str = ErrorPolicy.SKIP,
+    error_policy: ErrorPolicy | str = ErrorPolicy.SKIP,
     health: Optional[IngestionHealth] = None,
+    *,
+    policy: Optional[ErrorPolicy | str] = None,
 ) -> tuple[list[ParsedRecord], list[ParsedRecord], list[ParsedRecord]]:
     """(internal, external, scheduler) streams, parsed in parallel.
 
@@ -227,9 +283,10 @@ def diagnosis_inputs(
     The per-source streams come back already time-sorted, so the
     combined streams are k-way merges, not re-sorts.
     """
+    resolved = _coerce_legacy_policy(error_policy, policy, "diagnosis_inputs")
     by_source = parallel_read(store, workers=workers,
                               force_parallel=force_parallel,
-                              policy=policy, health=health)
+                              error_policy=resolved, health=health)
     internal = _merge_records([
         by_source[LogSource.CONSOLE],
         by_source[LogSource.MESSAGES],

@@ -23,6 +23,7 @@ from __future__ import annotations
 import gzip
 import json
 import time as _time
+import warnings
 from dataclasses import dataclass
 from heapq import merge as _heapq_merge
 from operator import attrgetter
@@ -33,6 +34,7 @@ from repro.logs.health import ErrorPolicy, IngestionError, IngestionHealth, Sour
 from repro.logs.parsing import REPLACEMENT_CHAR, LineParser, ParsedRecord
 from repro.logs.record import LogBus, LogRecord, LogSource
 from repro.logs.render import render_line
+from repro.obs import OBS
 from repro.simul.clock import SimClock
 
 __all__ = [
@@ -111,7 +113,38 @@ def parse_log_file(
     parser: LineParser,
     policy: ErrorPolicy = ErrorPolicy.SKIP,
 ) -> tuple[list[ParsedRecord], SourceHealth, list[str]]:
-    """Parse one physical log file under an error policy.
+    """Parse one physical log file under an error policy (traced).
+
+    When observability is enabled (:mod:`repro.obs`) every call records
+    one ``logs.parse_file`` span carrying the file name plus line/byte
+    accounting, and the ``ingest.*`` counters advance -- in the pool
+    workers just as in-process, buffered and merged at drain.
+    """
+    if not OBS.enabled:
+        return _parse_log_file(path, parser, policy)
+    with OBS.span("logs.parse_file", "ingest", file=path.name) as span:
+        records, health, quarantined = _parse_log_file(path, parser, policy)
+        span.add(records=health.parsed, read=health.read,
+                 quarantined=health.quarantined, recovered=health.recovered,
+                 bytes=path.stat().st_size)
+        metrics = OBS.metrics
+        metrics.counter("ingest.files_parsed").inc()
+        metrics.counter("ingest.lines_read").inc(health.read)
+        metrics.counter("ingest.lines_parsed").inc(health.parsed)
+        metrics.counter("ingest.lines_quarantined").inc(health.quarantined)
+        metrics.counter("ingest.lines_ignored").inc(health.ignored)
+        metrics.counter("ingest.lines_recovered").inc(health.recovered)
+        if health.retried_files:
+            metrics.counter("ingest.io_retries").inc(health.retried_files)
+        return records, health, quarantined
+
+
+def _parse_log_file(
+    path: Path,
+    parser: LineParser,
+    policy: ErrorPolicy,
+) -> tuple[list[ParsedRecord], SourceHealth, list[str]]:
+    """The untraced parse (see :func:`parse_log_file` for the contract).
 
     Returns ``(records, health, quarantined_lines)``.  The function is
     process-safe (no writes); quarantine persistence is the caller's job
@@ -279,8 +312,13 @@ class LogStore:
         files.extend(sorted(rotated, key=lambda p: p.name.removesuffix(".gz")))
         return files
 
-    # backwards-compatible alias (pre-hardening private spelling)
-    _source_files = source_files
+    def _source_files(self, source: LogSource) -> list[Path]:
+        """Deprecated pre-hardening spelling of :meth:`source_files`."""
+        warnings.warn(
+            "LogStore._source_files is deprecated; use "
+            "LogStore.source_files",
+            DeprecationWarning, stacklevel=2)
+        return self.source_files(source)
 
     def quarantine_path(self, source: LogSource) -> Path:
         """Where quarantined raw lines of one source are collected."""
@@ -367,6 +405,8 @@ class LogStore:
                     bucket.files += 1
                     bucket.retried_files += 1
                     health.note(f"unreadable file skipped: {path.name}")
+                if OBS.enabled:
+                    OBS.metrics.counter("ingest.files_lost").inc()
                 continue
             self._write_quarantine(source, quarantined)
             if bucket is not None:

@@ -1,0 +1,81 @@
+"""Observability for the reproduction's own pipeline: spans + metrics.
+
+The paper's diagnosis method is itself a monitoring pipeline, and a
+production-scale deployment of it needs first-class instrumentation of
+its own processing.  This package provides exactly that, with zero
+external dependencies:
+
+* **hierarchical tracing spans** (:mod:`repro.obs.recorder`) -- wall
+  time, CPU time, record/byte counts and arbitrary tags, recorded by a
+  thread- and process-safe recorder that merges forked workers'
+  buffered spans back into the parent;
+* **a metrics registry** (:mod:`repro.obs.metrics`) -- counters, gauges
+  and fixed-bucket histograms with the same drain-and-merge worker
+  discipline;
+* **exporters** (:mod:`repro.obs.export`) -- Chrome trace-event JSON
+  (loadable in Perfetto / ``chrome://tracing``), canonical-JSON metrics
+  snapshots, and the human ``repro obs summary`` view.
+
+Everything ships *disabled* and is no-op cheap that way (the <3%
+overhead gate on the full pipeline benchmark is recorded in
+``BENCH_pr5.json``).  Enable per scope::
+
+    from repro.obs import ObsConfig, session
+
+    with session(ObsConfig(trace_path="trace.json")) as obs:
+        report = diagnose("logs/s3")
+    # trace.json now opens in Perfetto
+
+or from the CLI with ``repro diagnose <logdir> --trace trace.json
+--metrics metrics.json``.  See ``docs/OBSERVABILITY.md`` for the span
+taxonomy and metric names.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    OBS,
+    NOOP_SPAN,
+    ObsConfig,
+    Recorder,
+    SpanRecord,
+    configure,
+    session,
+)
+
+__all__ = [
+    "OBS",
+    "NOOP_SPAN",
+    "ObsConfig",
+    "Recorder",
+    "SpanRecord",
+    "configure",
+    "session",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_trace",
+    "write_metrics",
+    "metrics_snapshot_json",
+    "render_summary",
+    "summarize_file",
+]
+
+from repro.obs.export import (  # noqa: E402  (export imports serialize)
+    chrome_trace,
+    metrics_snapshot_json,
+    render_summary,
+    summarize_file,
+    validate_chrome_trace,
+    write_metrics,
+    write_trace,
+)

@@ -1,0 +1,238 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The diagnosis pipeline is itself a monitoring system, so it gets the
+same observability primitives it would expect of the platforms it
+studies.  Three instrument kinds, deliberately minimal:
+
+* :class:`Counter` -- a monotonically increasing total (lines parsed,
+  cache misses, worker retries);
+* :class:`Gauge` -- a last-write-wins level (records held, bytes read);
+* :class:`Histogram` -- a fixed-boundary distribution with Prometheus
+  ``le`` semantics: a value lands in the first bucket whose upper bound
+  is **>= value**, values above every boundary land in the overflow
+  bucket.  Boundaries are frozen at creation so worker snapshots merge
+  bucket-by-bucket without renegotiation.
+
+All instruments are thread-safe (one lock per registry; every
+instrumentation site in this codebase is file-, analysis- or
+worker-granular, never per-line, so contention is negligible) and
+**process-mergeable**: :meth:`MetricsRegistry.snapshot` produces plain
+JSON-ready data and :meth:`MetricsRegistry.merge` folds a worker's
+snapshot back into the parent, the same drain-and-merge discipline the
+ingestion health accounting uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram boundaries (seconds-ish scale; callers that measure
+#: counts pass their own)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (>= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-boundary distribution (``le`` bucket semantics).
+
+    ``counts[i]`` counts observations ``<= boundaries[i]``; the final
+    extra slot counts overflow observations above every boundary.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "sum",
+                 "min", "max", "_lock")
+
+    def __init__(self, name: str, boundaries: Sequence[float],
+                 lock: threading.Lock) -> None:
+        if not boundaries:
+            raise ValueError(f"histogram {name!r} needs >= 1 boundary")
+        bounds = tuple(float(b) for b in boundaries)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name!r} boundaries must strictly increase")
+        self.name = name
+        self.boundaries = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        idx = bisect_left(self.boundaries, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.total += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    An instrument name maps to exactly one kind: asking for the same
+    name with a different kind (or a histogram with different
+    boundaries) raises ``ValueError`` instead of silently splitting the
+    series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------
+    def _claim(self, name: str, kind: str) -> None:
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms}
+        for other, table in owners.items():
+            if other != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other}")
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._claim(name, "counter")
+                instrument = self._counters[name] = Counter(name, self._lock)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._claim(name, "gauge")
+                instrument = self._gauges[name] = Gauge(name, self._lock)
+        return instrument
+
+    def histogram(self, name: str,
+                  boundaries: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._claim(name, "histogram")
+                instrument = self._histograms[name] = Histogram(
+                    name, boundaries, self._lock)
+            elif instrument.boundaries != tuple(float(b) for b in boundaries):
+                raise ValueError(
+                    f"histogram {name!r} already registered with "
+                    f"boundaries {instrument.boundaries}")
+        return instrument
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain JSON-ready view of every instrument (sorted names)."""
+        with self._lock:
+            return {
+                "counters": {name: c.value
+                             for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value
+                           for name, g in sorted(self._gauges.items())},
+                "histograms": {
+                    name: {
+                        "boundaries": list(h.boundaries),
+                        "counts": list(h.counts),
+                        "total": h.total,
+                        "sum": h.sum,
+                        "min": h.min,
+                        "max": h.max,
+                    }
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a worker's :meth:`snapshot` into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last writer wins, as within one process).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, data["boundaries"])
+            with self._lock:
+                for i, count in enumerate(data["counts"]):
+                    hist.counts[i] += count
+                hist.total += data["total"]
+                hist.sum += data["sum"]
+                for bound, incoming in (("min", data["min"]),
+                                        ("max", data["max"])):
+                    if incoming is None:
+                        continue
+                    current = getattr(hist, bound)
+                    if current is None:
+                        setattr(hist, bound, incoming)
+                    elif bound == "min":
+                        hist.min = min(current, incoming)
+                    else:
+                        hist.max = max(current, incoming)
+
+    def reset(self) -> None:
+        """Drop every instrument (a new observation session starts)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

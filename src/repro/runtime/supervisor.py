@@ -41,6 +41,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.experiments.registry import EXPERIMENT_SPECS, ExperimentSpec
 from repro.experiments.result import ExperimentResult
+from repro.obs import OBS
 from repro.runtime import faults
 from repro.runtime.journal import CampaignJournal, JournalError
 from repro.runtime.retry import CircuitBreaker, RetryPolicy
@@ -165,12 +166,20 @@ def _worker_main(
             attempt = attempts.get(spec.experiment, 1)
             send("start", spec.experiment, attempt)
             try:
-                faults.inject(spec.experiment, attempt)
-                result = spec.produce(seed)
+                with OBS.span("campaign.experiment", "campaign",
+                              experiment=spec.experiment, attempt=attempt):
+                    faults.inject(spec.experiment, attempt)
+                    result = spec.produce(seed)
                 send("done", spec.experiment, result.to_jsonable())
             except Exception as exc:  # isolate the experiment, not the batch
                 send("error", spec.experiment,
                      f"{type(exc).__name__}: {exc}")
+        # the worker is forked, so its recorder inherited the parent's
+        # enabled flag and open-span stack: buffered spans/metrics go
+        # home over the result pipe and are absorbed supervisor-side
+        # (a killed worker loses only its unsent buffer)
+        if OBS.enabled:
+            send("obs", OBS.drain_payload())
         send("exit",)
     finally:
         done.set()
@@ -220,7 +229,25 @@ class CampaignSupervisor:
 
     # ------------------------------------------------------------------
     def run(self, resume: bool = False) -> CampaignReport:
-        """Execute (or finish) the campaign; returns the summary report."""
+        """Execute (or finish) the campaign; returns the summary report.
+
+        With observability enabled the whole campaign runs under a
+        ``campaign.run`` span; worker-side spans ship home over the
+        result pipes and nest under it (fork-inherited context), and
+        the registry collects lifecycle counters (``campaign.retries``,
+        ``campaign.worker_lost``, ``campaign.breaker_open``, per-status
+        totals).
+        """
+        with OBS.span("campaign.run", "campaign", seed=self.seed,
+                      resumed=resume) as span:
+            report = self._run(resume)
+            span.add(completed=len(report.by_status("completed")),
+                     failed=len(report.by_status("failed")),
+                     skipped=len(report.by_status("skipped")))
+        return report
+
+    def _run(self, resume: bool) -> CampaignReport:
+        """The campaign body (``run`` wraps it in the root span)."""
         outcomes: dict[str, ExperimentOutcome] = {}
         if resume:
             recorded = self.journal.campaign_seed()
@@ -259,6 +286,10 @@ class CampaignSupervisor:
             failed=len(report.by_status("failed")),
             skipped=len(report.by_status("skipped")),
         )
+        if OBS.enabled:
+            for status in ("completed", "failed", "skipped"):
+                OBS.metrics.counter(f"campaign.{status}").inc(
+                    len(report.by_status(status)))
         return report
 
     # ------------------------------------------------------------------
@@ -387,8 +418,12 @@ class CampaignSupervisor:
         self.journal.append("attempt-failed", experiment=spec.experiment,
                             attempt=attempts.get(spec.experiment, 1),
                             reason=reason)
+        if OBS.enabled:
+            OBS.metrics.counter("campaign.retries").inc()
         if breaker.record_failure(group_key, reason):
             self.journal.append("breaker-open", key=group_key, reason=reason)
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.breaker_open").inc()
 
     # ------------------------------------------------------------------
     def _run_batch_inline(
@@ -490,6 +525,8 @@ class CampaignSupervisor:
                             specs_by_id[exp_id], reason, attempts,
                             last_error, breaker, group_key)
                         current = None
+                    elif kind == "obs":
+                        OBS.absorb(message[1])
                     elif kind == "exit":
                         break
                     continue
@@ -521,6 +558,10 @@ class CampaignSupervisor:
             # experiment -- the round cap bounds repeat offenders
             self.journal.append("worker-lost", group=group_key,
                                 reason=kill_reason)
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.worker_lost").inc()
             if breaker.record_failure(group_key, kill_reason):
                 self.journal.append("breaker-open", key=group_key,
                                     reason=kill_reason)
+                if OBS.enabled:
+                    OBS.metrics.counter("campaign.breaker_open").inc()

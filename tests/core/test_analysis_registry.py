@@ -22,7 +22,7 @@ import pytest
 
 from repro.core import analysis as analysis_mod
 from repro.core.analysis import REGISTRY, AnalysisRegistry, AnalysisSpec
-from repro.core.pipeline import SOURCE_DEPENDENT_ANALYSES, HolisticDiagnosis
+from repro.core.pipeline import HolisticDiagnosis
 from repro.logs.record import LogSource
 from repro.logs.store import LogStore
 
@@ -62,7 +62,11 @@ class TestRegistryContents:
         assert REGISTRY.source_dependents() == LEGACY_TABLE
 
     def test_module_alias_is_derived_from_registry(self):
-        assert SOURCE_DEPENDENT_ANALYSES == REGISTRY.source_dependents()
+        from repro.core import pipeline
+
+        with pytest.warns(DeprecationWarning, match="SOURCE_DEPENDENT"):
+            table = pipeline.SOURCE_DEPENDENT_ANALYSES
+        assert table == REGISTRY.source_dependents()
 
     def test_registration_order_is_execution_order(self):
         seen: set[str] = set()

@@ -11,7 +11,8 @@ import shutil
 
 import pytest
 
-from repro.core.pipeline import SOURCE_DEPENDENT_ANALYSES, HolisticDiagnosis
+from repro.core.analysis import REGISTRY
+from repro.core.pipeline import HolisticDiagnosis
 from repro.logs.health import IngestionHealth
 from repro.logs.record import LogSource
 from repro.logs.store import LogStore
@@ -47,7 +48,7 @@ class TestPerSourceDeletion:
 
         assert report.degraded
         assert source in health.missing_sources()
-        expected_skips = SOURCE_DEPENDENT_ANALYSES.get(source, ())
+        expected_skips = REGISTRY.source_dependents().get(source, ())
         for name in expected_skips:
             assert name in report.skipped_analyses
             assert any(name in reason for reason in report.degraded_reasons)
@@ -107,3 +108,39 @@ class TestPerSourceDeletion:
         assert clean_report.skipped_analyses == []
         assert clean_report.degraded_reasons == []
         assert clean_report.analysis_errors == {}
+
+
+class TestOnlySelectionAgainstMissingSources:
+    """Regression (ISSUE 5 satellite): ``--only`` names an analysis whose
+    required source is missing -- the report must say *why* it did not
+    run instead of returning a silently neutral value."""
+
+    def test_requested_but_skipped_analysis_is_explained(
+            self, diagnosed_scenario, tmp_path):
+        _, _, store = diagnosed_scenario
+        crippled = _without_source(store, LogSource.SCHEDULER, tmp_path)
+        report = HolisticDiagnosis.from_store(crippled).run(
+            only=["job_census"])
+        assert "job_census" in report.skipped_analyses
+        assert any(
+            "requested analysis 'job_census' not run" in reason
+            and "required source 'sched' missing" in reason
+            for reason in report.degraded_reasons), report.degraded_reasons
+
+    def test_unselected_skips_are_not_reported_as_requested(
+            self, diagnosed_scenario, tmp_path):
+        _, _, store = diagnosed_scenario
+        crippled = _without_source(store, LogSource.SCHEDULER, tmp_path)
+        report = HolisticDiagnosis.from_store(crippled).run(
+            only=["dominance_summary"])
+        assert not any("requested analysis" in reason
+                       for reason in report.degraded_reasons)
+
+    def test_full_run_keeps_plain_missing_source_reasons(
+            self, diagnosed_scenario, tmp_path):
+        _, _, store = diagnosed_scenario
+        crippled = _without_source(store, LogSource.SCHEDULER, tmp_path)
+        report = HolisticDiagnosis.from_store(crippled).run()
+        assert report.degraded
+        assert not any("requested analysis" in reason
+                       for reason in report.degraded_reasons)

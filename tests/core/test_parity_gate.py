@@ -33,10 +33,25 @@ def goldens():
     return json.loads(GOLDENS.read_text())
 
 
+@pytest.mark.parametrize("obs_enabled", [False, True],
+                         ids=["obs-off", "obs-on"])
 @pytest.mark.parametrize("scenario", ["s1", "s2", "s3", "s4", "s5"])
-def test_registry_report_matches_pre_refactor_bytes(scenario, goldens):
+def test_registry_report_matches_pre_refactor_bytes(
+        scenario, goldens, obs_enabled):
+    """Byte parity must hold with observability off *and* on.
+
+    The obs-on leg is the no-observer-effect guarantee of ISSUE 5:
+    recording spans and metrics may never change a single report byte.
+    """
+    from repro.obs import ObsConfig, session
+
     store = materialize(scenario, seed=goldens["seed"])
-    report = HolisticDiagnosis.from_store(store).run()
+    if obs_enabled:
+        with session(ObsConfig()) as recorder:
+            report = HolisticDiagnosis.from_store(store).run()
+            assert recorder.spans(), "observability session recorded nothing"
+    else:
+        report = HolisticDiagnosis.from_store(store).run()
     want = goldens["scenarios"][scenario]
     assert report.failure_count == want["failures"]
     assert report_digest(report) == want["sha256"], (

@@ -161,7 +161,7 @@ class TestParallelFallback:
         store = small_store(tmp_path, ["complete garbage"])
         with pytest.raises(IngestionError):
             parallel_read(store, workers=2, force_parallel=True,
-                          policy="strict")
+                          error_policy="strict")
 
     def test_strict_raises_only_after_draining_siblings(self, tmp_path):
         """A strict violation in one file must not orphan the others:
@@ -182,7 +182,7 @@ class TestParallelFallback:
         health = IngestionHealth()
         with pytest.raises(IngestionError):
             parallel_read(store, workers=2, force_parallel=True,
-                          policy="strict", health=health)
+                          error_policy="strict", health=health)
         for source, expected in ((LogSource.ERD, 1),
                                  (LogSource.SCHEDULER, 1)):
             bucket = health.source(source)
@@ -196,7 +196,7 @@ class TestParallelFallback:
                                health=serial))
         # fresh quarantine-free copy of the accounting via parallel_read
         pooled = IngestionHealth()
-        parallel_read(store, policy="skip", health=pooled)
+        parallel_read(store, error_policy="skip", health=pooled)
         assert (serial.source(LogSource.CONSOLE).as_dict()
                 == pooled.source(LogSource.CONSOLE).as_dict())
 

@@ -1,0 +1,19 @@
+"""Shared obs-test hygiene: the global recorder never leaks state.
+
+Observability ships disabled; a test that enables :data:`repro.obs.OBS`
+(directly or through ``session``) must not bleed spans or an enabled
+flag into the rest of the suite, where the parity and no-op tests
+assume a cold recorder.
+"""
+
+import pytest
+
+from repro.obs import OBS, ObsConfig, configure
+
+
+@pytest.fixture(autouse=True)
+def pristine_global_recorder():
+    """Force the global recorder back to factory state after each test."""
+    yield
+    configure(ObsConfig(enabled=False))
+    OBS.reset()

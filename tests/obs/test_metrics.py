@@ -1,0 +1,161 @@
+"""Metrics registry semantics: instruments, bucket edges, merge.
+
+The histogram tests pin the Prometheus ``le`` contract exactly at the
+boundaries (a value equal to a bucket's upper bound lands *in* that
+bucket), because the index-layer window histogram depends on it and a
+drifted ``bisect`` call would silently shift every distribution.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("ingest.lines")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_same_name_returns_same_instrument(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self, registry):
+        gauge = registry.gauge("records.held")
+        gauge.set(10.0)
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_boundary_lands_in_that_bucket(self, registry):
+        hist = registry.histogram("h", boundaries=(1.0, 10.0))
+        hist.observe(1.0)           # == first boundary -> first bucket (le)
+        assert hist.counts == [1, 0, 0]
+        hist.observe(10.0)          # == last boundary -> second bucket
+        assert hist.counts == [1, 1, 0]
+
+    def test_just_above_boundary_spills_to_next_bucket(self, registry):
+        hist = registry.histogram("h", boundaries=(1.0, 10.0))
+        hist.observe(1.0000001)
+        assert hist.counts == [0, 1, 0]
+
+    def test_overflow_bucket_catches_values_above_every_boundary(
+            self, registry):
+        hist = registry.histogram("h", boundaries=(1.0, 10.0))
+        hist.observe(10.5)
+        hist.observe(1e9)
+        assert hist.counts == [0, 0, 2]
+
+    def test_stats_track_min_max_sum_mean(self, registry):
+        hist = registry.histogram("h", boundaries=(1.0,))
+        assert hist.mean == 0.0  # empty histogram reads as zero
+        for value in (0.5, 2.0, 3.5):
+            hist.observe(value)
+        assert hist.total == 3
+        assert hist.min == 0.5 and hist.max == 3.5
+        assert hist.sum == pytest.approx(6.0)
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+class TestRegistryContracts:
+    def test_empty_boundaries_rejected(self, registry):
+        with pytest.raises(ValueError, match="needs >= 1 boundary"):
+            registry.histogram("h", boundaries=())
+
+    def test_unsorted_boundaries_rejected(self, registry):
+        with pytest.raises(ValueError, match="strictly increase"):
+            registry.histogram("h", boundaries=(10.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increase"):
+            registry.histogram("h2", boundaries=(1.0, 1.0))
+
+    def test_kind_collision_rejected(self, registry):
+        registry.counter("taken")
+        with pytest.raises(ValueError, match="already registered as a"):
+            registry.gauge("taken")
+        with pytest.raises(ValueError, match="already registered as a"):
+            registry.histogram("taken")
+
+    def test_histogram_boundary_mismatch_rejected(self, registry):
+        registry.histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered with"):
+            registry.histogram("h", boundaries=(1.0, 3.0))
+        # asking again with the same boundaries is fine
+        assert registry.histogram("h", boundaries=(1.0, 2.0)) is not None
+
+
+class TestSnapshotAndMerge:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(2.5)
+        hist = registry.histogram("h", boundaries=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(50.0)
+        return registry
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        registry = self._populated()
+        registry.counter("a").inc()
+        snap = registry.snapshot()
+        json.dumps(snap)  # plain data, no custom types
+        assert list(snap["counters"]) == ["a", "c"]
+        assert snap["histograms"]["h"] == {
+            "boundaries": [1.0, 10.0], "counts": [1, 0, 1],
+            "total": 2, "sum": 50.5, "min": 0.5, "max": 50.0,
+        }
+
+    def test_merge_into_empty_registry_recreates_instruments(self):
+        worker = self._populated()
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot())
+        assert parent.snapshot() == worker.snapshot()
+
+    def test_merge_adds_counters_and_buckets_overwrites_gauges(self):
+        parent = self._populated()
+        worker = MetricsRegistry()
+        worker.counter("c").inc(3)
+        worker.gauge("g").set(9.0)
+        hist = worker.histogram("h", boundaries=(1.0, 10.0))
+        hist.observe(0.25)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["c"] == 8
+        assert snap["gauges"]["g"] == 9.0
+        assert snap["histograms"]["h"]["counts"] == [2, 0, 1]
+        assert snap["histograms"]["h"]["total"] == 3
+        assert snap["histograms"]["h"]["min"] == 0.25  # folded min
+        assert snap["histograms"]["h"]["max"] == 50.0  # kept max
+
+    def test_merge_empty_histogram_keeps_none_bounds(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.histogram("h", boundaries=(1.0,))
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()["histograms"]["h"]
+        assert snap["total"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_reset_drops_everything(self):
+        registry = self._populated()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}

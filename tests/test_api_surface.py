@@ -1,0 +1,56 @@
+"""The API-surface gate as a tier-1 test (same check as run_ci.sh).
+
+``scripts/check_api.py`` is the source of truth; these tests import it
+and run verification in-process so plain ``pytest`` catches undeclared
+drift without needing the shell gate.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _check_api():
+    spec = importlib.util.spec_from_file_location(
+        "check_api", REPO / "scripts" / "check_api.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestApiSurface:
+    def test_snapshot_exists_and_matches_live_surface(self):
+        check_api = _check_api()
+        assert check_api.SNAPSHOT.exists(), \
+            "run scripts/check_api.py --capture"
+        snapshot = json.loads(check_api.SNAPSHOT.read_text())
+        problems = check_api.diff_surface(snapshot, check_api.build_surface())
+        assert problems == []
+
+    def test_every_blessed_module_has_explicit_all(self):
+        check_api = _check_api()
+        surface = check_api.build_surface()
+        assert set(surface) == set(check_api.MODULES)
+        for module, names in surface.items():
+            assert names, f"{module} exports nothing"
+
+    def test_trace_schema_gate_passes(self):
+        check_api = _check_api()
+        assert check_api.check_trace_schema() == []
+
+    def test_drift_is_detected(self):
+        check_api = _check_api()
+        live = check_api.build_surface()
+        mutated = json.loads(json.dumps(live))
+        mutated["repro.api"]["diagnose"]["signature"] = "(oops)"
+        del mutated["repro.obs"]["OBS"]
+        mutated["repro"]["brand_new"] = {"kind": "function"}
+        problems = check_api.diff_surface(live, mutated)
+        assert any("diagnose" in p and "changed" in p for p in problems)
+        assert any("OBS" in p and "removed" in p for p in problems)
+        assert any("brand_new" in p and "not captured" in p
+                   for p in problems)

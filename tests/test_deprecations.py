@@ -1,0 +1,71 @@
+"""Deprecation shims: every legacy spelling warns *and* forwards.
+
+API redesign contract (ISSUE 5): renamed or moved entry points keep
+working for one release behind :class:`DeprecationWarning` shims --
+``policy=`` kwargs (now ``error_policy=`` everywhere), the
+``SOURCE_DEPENDENT_ANALYSES`` module constant (now derived from the
+registry) and the pre-hardening ``LogStore._source_files`` spelling.
+Each test asserts both halves: the warning fires, and the result is
+identical to the modern spelling's.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.pipeline import HolisticDiagnosis
+from repro.logs.health import ErrorPolicy
+from repro.logs.parallel import diagnosis_inputs, parallel_read
+from repro.logs.record import LogSource
+
+
+class TestLegacyPolicyKwarg:
+    def test_parallel_read_policy_warns_and_forwards(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with pytest.warns(DeprecationWarning, match="parallel_read"):
+            legacy = parallel_read(store, policy="skip")
+        modern = parallel_read(store, error_policy=ErrorPolicy.SKIP)
+        assert {s: len(records) for s, records in legacy.items()} \
+            == {s: len(records) for s, records in modern.items()}
+
+    def test_diagnosis_inputs_policy_warns_and_forwards(
+            self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with pytest.warns(DeprecationWarning, match="diagnosis_inputs"):
+            internal, external, sched = diagnosis_inputs(store, policy="skip")
+        modern = diagnosis_inputs(store, error_policy="skip")
+        assert (len(internal), len(external), len(sched)) \
+            == tuple(len(stream) for stream in modern)
+        assert internal and external
+
+    def test_from_store_policy_warns_and_forwards(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with pytest.warns(DeprecationWarning, match="from_store"):
+            legacy = HolisticDiagnosis.from_store(store, policy="skip")
+        modern = HolisticDiagnosis.from_store(store, error_policy="skip")
+        assert len(legacy.failures) == len(modern.failures)
+
+    def test_modern_spellings_never_warn(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            parallel_read(store, error_policy="skip")
+            HolisticDiagnosis.from_store(store, error_policy="skip")
+
+
+class TestModuleAliases:
+    def test_source_dependent_analyses_warns_and_forwards(self):
+        from repro.core import analysis, pipeline
+
+        with pytest.warns(DeprecationWarning,
+                          match="SOURCE_DEPENDENT_ANALYSES"):
+            table = pipeline.SOURCE_DEPENDENT_ANALYSES
+        assert table == analysis.REGISTRY.source_dependents()
+
+    def test_store_source_files_warns_and_forwards(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with pytest.warns(DeprecationWarning, match="_source_files"):
+            legacy = store._source_files(LogSource.CONSOLE)
+        assert legacy == store.source_files(LogSource.CONSOLE)
