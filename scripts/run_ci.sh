@@ -6,11 +6,16 @@
 #   2. supervision smoke: the process-level supervisor tests alone, as
 #      a focused re-run (they are part of tier-1 too; this isolates
 #      worker/fork behaviour when debugging an environment)
-#   3. parity gate: the registry-driver report must stay byte-identical
+#   3. streaming smoke: a real `repro watch` subprocess tails a live
+#      directory, alerts on a fed increment, and finalizes cleanly on
+#      SIGTERM (tests/stream/test_cli_smoke.py, -m streaming); the
+#      streamed-vs-batch replay-parity and SIGKILL-resume gates run in
+#      the chaos tier below (tests/chaos/test_stream_chaos.py)
+#   4. parity gate: the registry-driver report must stay byte-identical
 #      (canonical JSON) to the committed pre-refactor goldens on s1-s5,
 #      and one full-span window must equal the batch run (windowed
 #      consistency); see tests/core/test_parity_gate.py
-#   4. tier-2 chaos gate: corruption + supervision campaigns and the
+#   5. tier-2 chaos gate: corruption + supervision campaigns and the
 #      overhead benchmarks (scripts/run_chaos.sh)
 #
 # Usage:
@@ -28,6 +33,9 @@ python -m pytest -q
 
 echo "== supervision smoke (pytest -m supervision) =="
 python -m pytest tests/runtime -m supervision -q
+
+echo "== streaming smoke (pytest -m streaming) =="
+python -m pytest tests/stream -m streaming -q
 
 echo "== parity + windowed-consistency gate (pytest -m parity) =="
 python -m pytest tests/core/test_parity_gate.py -m parity -q

@@ -50,6 +50,7 @@ __all__ = [
     "diagnose",
     "diagnose_windowed",
     "run_campaign",
+    "watch",
     "ObsConfig",
     "ErrorPolicy",
     "DiagnosisReport",
@@ -133,6 +134,49 @@ def diagnose_windowed(
         diag = load_system(logdir, error_policy=error_policy)
         return list(diag.run_windowed(window_days, stride_days=stride_days,
                                       only=only))
+
+
+def watch(
+    logdir: Union[Path, str],
+    *,
+    out: Union[Path, str],
+    window_days: int = 1,
+    poll_interval: float = 0.5,
+    error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
+    resume: bool = False,
+    max_polls: Optional[int] = None,
+    idle_polls: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
+):
+    """Stream-diagnose a live log directory until it goes quiet.
+
+    Long-running counterpart of :func:`diagnose_windowed`: tails the
+    directory's log files (surviving rotation, copy-truncate, gzip
+    compression and torn writes), emits early-warning alerts to
+    ``out/alerts.jsonl`` the moment a failure-precursor line lands, and
+    closes a diagnosis window whenever the stream passes a
+    ``window_days`` boundary.  The final artifact (``out/report.json``)
+    is byte-identical to a batch :func:`diagnose_windowed` over the
+    finished directory.
+
+    Crash safety: progress is checkpointed under ``out``; after a hard
+    kill, ``resume=True`` continues exactly-once (no duplicate alerts,
+    no lost windows, same final bytes).  Stops after ``idle_polls``
+    consecutive empty polls or ``max_polls`` total (each ``None`` means
+    unbounded -- then it runs until SIGTERM/SIGINT, which finalize
+    gracefully).  Returns a :class:`repro.stream.WatchReport`.
+    """
+    # imported lazily, like run_campaign: the streaming subsystem is
+    # not needed by the batch-only surface above
+    from repro.stream import WatchConfig, WatchDaemon
+
+    _store(logdir)  # fail early with the shared useful message
+    config = WatchConfig(
+        logdir=Path(logdir), out=Path(out), window_days=window_days,
+        poll_interval=poll_interval, error_policy=error_policy,
+        resume=resume, max_polls=max_polls, idle_polls=idle_polls)
+    with _maybe_session(obs):
+        return WatchDaemon(config).run()
 
 
 def run_campaign(

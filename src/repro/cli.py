@@ -8,6 +8,7 @@ Usage (installed as a module runner)::
     python -m repro checkpoint logs/s3 --cost 360
     python -m repro experiments
     python -m repro run-all --out campaign --resume
+    python -m repro watch logs/live --out watch --idle-polls 10
 
 The CLI is a thin layer: each subcommand maps onto one public API call,
 so everything it prints is reproducible from a notebook with the same
@@ -141,6 +142,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--metrics", type=Path, default=None, metavar="PATH",
                        help="record the campaign and write a canonical-JSON "
                             "metrics snapshot")
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="stream-diagnose a live log dir (tail, alert, window)")
+    p_watch.add_argument("logdir", type=Path)
+    p_watch.add_argument("--out", type=Path, required=True,
+                         help="watch output directory (alerts.jsonl, "
+                              "checkpoint.jsonl, report.json)")
+    p_watch.add_argument("--error-policy", **policy_kwargs)
+    p_watch.add_argument("--window-days", type=int, default=1, metavar="N",
+                         help="diagnosis window size in days (default: 1)")
+    p_watch.add_argument("--poll-interval", type=float, default=0.5,
+                         metavar="SECONDS",
+                         help="sleep between polls (default: 0.5)")
+    p_watch.add_argument("--resume", action="store_true",
+                         help="continue from the checkpoint in --out "
+                              "(exactly-once after a crash)")
+    p_watch.add_argument("--max-polls", type=int, default=None, metavar="N",
+                         help="finalize after N polls total")
+    p_watch.add_argument("--idle-polls", type=int, default=None, metavar="N",
+                         help="finalize after N consecutive polls with no "
+                              "new data (default: run until SIGTERM)")
+    p_watch.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                         help="record the run and write a Chrome trace-event "
+                              "JSON file")
+    p_watch.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                         help="record the run and write a canonical-JSON "
+                              "metrics snapshot")
 
     p_obs = sub.add_parser(
         "obs", help="inspect observability artifacts")
@@ -453,6 +482,42 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.stream import CheckpointError, WatchConfig, WatchDaemon
+
+    store = LogStore(args.logdir)
+    if not store.exists():
+        raise SystemExit(f"error: {args.logdir} is not a log store "
+                         "(no manifest.json)")
+    config = WatchConfig(
+        logdir=args.logdir, out=args.out, window_days=args.window_days,
+        poll_interval=args.poll_interval, error_policy=args.error_policy,
+        resume=args.resume, max_polls=args.max_polls,
+        idle_polls=args.idle_polls)
+    try:
+        with _obs_session(args):
+            daemon = WatchDaemon(config)
+            print(f"watching {args.logdir} (window {args.window_days}d, "
+                  f"poll every {args.poll_interval}s); alerts -> "
+                  f"{args.out / 'alerts.jsonl'}", flush=True)
+            report = daemon.run()
+    except CheckpointError as exc:
+        raise SystemExit(f"error: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    stats = report.tail_stats
+    print(f"{'resumed' if report.resumed else 'watched'}: "
+          f"{report.polls} polls, {report.records} records, "
+          f"{stats.get('rotations', 0)} rotations survived")
+    print(f"windows: {report.window_count} "
+          f"(report sha256 {report.digest[:16]})")
+    print(f"alerts emitted: {report.alerts_emitted} "
+          f"-> {report.alerts_path}")
+    print(f"report written: {report.report_path}")
+    _note_obs_outputs(args)
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import summarize_file
 
@@ -477,6 +542,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "timeline": _cmd_timeline,
         "experiments": _cmd_experiments,
         "run-all": _cmd_run_all,
+        "watch": _cmd_watch,
         "obs": _cmd_obs,
     }
     try:

@@ -58,7 +58,7 @@ from repro.obs import OBS
 from repro.simul.clock import DAY
 
 __all__ = ["DiagnosisReport", "DiagnosisWindow", "HolisticDiagnosis",
-           "SOURCE_DEPENDENT_ANALYSES", "guarded"]
+           "SOURCE_DEPENDENT_ANALYSES", "degradation_for", "guarded"]
 
 
 def __getattr__(name: str):
@@ -76,6 +76,54 @@ def __getattr__(name: str):
 #: internal sources never skip analyses outright, but their absence is
 #: still a degradation worth flagging (detection may undercount)
 _INTERNAL_SOURCES = (LogSource.CONSOLE, LogSource.MESSAGES, LogSource.CONSUMER)
+
+
+def degradation_for(
+    missing_sources: Sequence[LogSource],
+    ingestion_health: Optional[IngestionHealth],
+) -> tuple[list[str], list[str]]:
+    """The degradation contract as a pure function of its inputs.
+
+    Returns ``(skipped, reasons)`` exactly as
+    :meth:`HolisticDiagnosis.degradation` would for a pipeline carrying
+    these missing sources and this health.  Factored out so the
+    streaming daemon (:mod:`repro.stream.daemon`) can re-derive a
+    window report's health-dependent reasons against the *final*
+    ingestion health -- which is what a batch ``run_windowed`` over the
+    finished directory bakes into every window -- without duplicating
+    the reason wording.
+    """
+    skipped: list[str] = []
+    reasons: list[str] = []
+    seen: set[str] = set()
+
+    def note(reason: str) -> None:
+        if reason not in seen:
+            seen.add(reason)
+            reasons.append(reason)
+
+    for source in missing_sources:
+        dependents = REGISTRY.dependents(source)
+        for name in dependents:
+            if name not in skipped:
+                skipped.append(name)
+        if dependents:
+            note(f"{source.value} stream missing: skipped "
+                 + ", ".join(dependents))
+        elif source in _INTERNAL_SOURCES:
+            note(f"internal source {source.value} missing: failure "
+                 "detection may undercount")
+    health = ingestion_health
+    if health is not None:
+        if health.total_quarantined:
+            note(f"{health.total_quarantined} unparseable lines "
+                 "quarantined during ingestion")
+        if health.total_recovered:
+            note(f"{health.total_recovered} damaged lines recovered "
+                 "during ingestion")
+        for entry in health.notes:
+            note(entry)
+    return skipped, reasons
 
 
 @dataclass
@@ -272,39 +320,10 @@ class HolisticDiagnosis:
         Returns ``(skipped, reasons)``: the analyses whose declared
         ``required_sources`` are missing, and the human-readable
         reasons the report will be marked degraded.  Reasons are
-        deduplicated in first-seen order.
+        deduplicated in first-seen order.  Delegates to
+        :func:`degradation_for` (shared with the streaming daemon).
         """
-        skipped: list[str] = []
-        reasons: list[str] = []
-        seen: set[str] = set()
-
-        def note(reason: str) -> None:
-            if reason not in seen:
-                seen.add(reason)
-                reasons.append(reason)
-
-        for source in self.missing_sources:
-            dependents = REGISTRY.dependents(source)
-            for name in dependents:
-                if name not in skipped:
-                    skipped.append(name)
-            if dependents:
-                note(f"{source.value} stream missing: skipped "
-                     + ", ".join(dependents))
-            elif source in _INTERNAL_SOURCES:
-                note(f"internal source {source.value} missing: failure "
-                     "detection may undercount")
-        health = self.ingestion_health
-        if health is not None:
-            if health.total_quarantined:
-                note(f"{health.total_quarantined} unparseable lines "
-                     "quarantined during ingestion")
-            if health.total_recovered:
-                note(f"{health.total_recovered} damaged lines recovered "
-                     "during ingestion")
-            for entry in health.notes:
-                note(entry)
-        return skipped, reasons
+        return degradation_for(self.missing_sources, self.ingestion_health)
 
     def skipped_analyses(self) -> list[str]:
         """Analyses the degradation contract skips for missing streams."""

@@ -41,6 +41,7 @@ __all__ = [
     "CorruptionReport",
     "CorruptionInjector",
     "ALL_MODES",
+    "LIFECYCLE_MODES",
 ]
 
 #: invalid-UTF-8 byte sequences sprinkled by the mojibake mode (lone
@@ -65,9 +66,39 @@ class CorruptionMode(str, Enum):
     DROP_SOURCE = "drop_source"
     #: some files gzip-compressed in place (rotation mid-ingest)
     GZIP_ROTATE = "gzip_rotate"
+    # -- file-lifecycle faults (the streaming tailer's chaos diet) -----
+    #: active file renamed to a rotated segment, fresh active created
+    ROTATE = "rotate"
+    #: copytruncate rotation: content copied out, active truncated to 0
+    #: (``truncate`` at the line level is taken by :attr:`TRUNCATE`)
+    TRUNCATE_FILE = "truncate_file"
+    #: the final line caught mid-append (tail bytes present, no newline)
+    PARTIAL_APPEND = "partial_append"
+    #: file deleted and rewritten with identical content (new inode)
+    REAPPEAR = "reappear"
 
 
-ALL_MODES: tuple[CorruptionMode, ...] = tuple(CorruptionMode)
+#: the original content-damage campaign (line + file *content* modes);
+#: deliberately excludes the lifecycle modes below so existing chaos
+#: campaigns keep their exact historical fault mix
+ALL_MODES: tuple[CorruptionMode, ...] = (
+    CorruptionMode.TRUNCATE,
+    CorruptionMode.INTERLEAVE,
+    CorruptionMode.DUPLICATE,
+    CorruptionMode.MOJIBAKE,
+    CorruptionMode.REORDER,
+    CorruptionMode.DROP_SOURCE,
+    CorruptionMode.GZIP_ROTATE,
+)
+
+#: file-lifecycle faults: what a live, rotating log directory does to a
+#: tailer (see ``docs/STREAMING.md``); usable standalone or mid-replay
+LIFECYCLE_MODES: tuple[CorruptionMode, ...] = (
+    CorruptionMode.ROTATE,
+    CorruptionMode.TRUNCATE_FILE,
+    CorruptionMode.PARTIAL_APPEND,
+    CorruptionMode.REAPPEAR,
+)
 
 
 @dataclass(frozen=True)
@@ -81,6 +112,8 @@ class CorruptionSpec:
     drop_count: int = 1
     #: fraction of files gzipped by :attr:`CorruptionMode.GZIP_ROTATE`
     gzip_fraction: float = 0.5
+    #: fraction of files hit by each file-lifecycle mode
+    file_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
@@ -89,6 +122,8 @@ class CorruptionSpec:
             raise ValueError("drop_count must be non-negative")
         if not 0.0 <= self.gzip_fraction <= 1.0:
             raise ValueError("gzip_fraction must be in [0, 1]")
+        if not 0.0 <= self.file_fraction <= 1.0:
+            raise ValueError("file_fraction must be in [0, 1]")
 
 
 @dataclass
@@ -295,6 +330,106 @@ class CorruptionInjector:
             report.dropped_sources.append(source.value)
         return victims
 
+    # ------------------------------------------------------------------
+    # file-lifecycle modes (what live log directories do to a tailer)
+    # ------------------------------------------------------------------
+    def _rotated_name(self, path: Path) -> Path:
+        """Next free ``<stem>-rN.log`` segment name next to ``path``."""
+        n = 0
+        while True:
+            candidate = path.with_name(f"{path.stem}-r{n}.log")
+            if not candidate.exists():
+                return candidate
+            n += 1
+
+    def rotate_file(self, path: Path, report: Optional[CorruptionReport] = None) -> Path:
+        """Classic rotation: rename the active file, recreate it empty.
+
+        The renamed segment keeps its inode (a tailer identifies it by
+        that) and the fresh active file starts at offset 0.
+        """
+        target = self._rotated_name(path)
+        path.rename(target)
+        path.write_bytes(b"")
+        if report is not None:
+            self._touch(report, path)
+            self._touch(report, target)
+        return target
+
+    def truncate_file(self, path: Path, report: Optional[CorruptionReport] = None) -> Path:
+        """Copytruncate rotation: copy content out, truncate in place.
+
+        The active file keeps its inode but shrinks to zero -- the
+        shrink is what a tailer must recognise; the copied segment is
+        found again by its content prefix.
+        """
+        target = self._rotated_name(path)
+        target.write_bytes(path.read_bytes())
+        with path.open("wb"):
+            pass  # truncate, same inode
+        if report is not None:
+            self._touch(report, path)
+            self._touch(report, target)
+        return target
+
+    def partial_append(self, path: Path, report: Optional[CorruptionReport] = None) -> int:
+        """Leave the file looking caught mid-append: shear the final
+        newline plus the tail half of the last line.
+
+        Returns the number of bytes sheared (0 when the file is empty).
+        The sheared bytes are *gone* from this snapshot -- a later
+        append (or the replay harness) may complete the line again.
+        """
+        data = path.read_bytes()
+        if not data.endswith(b"\n"):
+            return 0
+        body = data[:-1]
+        cut = body.rfind(b"\n") + 1
+        last = body[cut:]
+        if len(last) < 2:
+            return 0
+        keep = len(last) // 2
+        path.write_bytes(body[:cut] + last[:keep])
+        if report is not None:
+            self._touch(report, path)
+        return len(last) - keep + 1
+
+    def reappear_file(self, path: Path, report: Optional[CorruptionReport] = None) -> None:
+        """Delete and rewrite the file with identical bytes (new inode).
+
+        A tailer that tracks only inodes re-reads everything; one that
+        also matches content prefixes resumes at its old offset.
+        """
+        data = path.read_bytes()
+        path.unlink()
+        path.write_bytes(data)
+        if report is not None:
+            self._touch(report, path)
+
+    def _apply_lifecycle(
+        self,
+        mode: CorruptionMode,
+        fraction: float,
+        report: CorruptionReport,
+    ) -> int:
+        """Run one lifecycle mode over a sampled fraction of files."""
+        count = 0
+        for path in self._files():
+            rng = self._stream(mode, path)
+            if not rng.bernoulli(fraction):
+                continue
+            if mode is CorruptionMode.ROTATE:
+                self.rotate_file(path, report)
+            elif mode is CorruptionMode.TRUNCATE_FILE:
+                self.truncate_file(path, report)
+            elif mode is CorruptionMode.PARTIAL_APPEND:
+                if not self.partial_append(path, report):
+                    continue
+            else:  # REAPPEAR
+                self.reappear_file(path, report)
+            count += 1
+        return count
+
     def gzip_rotate(self, fraction: float, report: CorruptionReport) -> int:
         """Compress a fraction of plain files in place (``.log.gz``)."""
         rotated = 0
@@ -335,6 +470,8 @@ class CorruptionInjector:
                 count = len(self.drop_sources(spec.drop_count, report))
             elif mode is CorruptionMode.GZIP_ROTATE:
                 count = self.gzip_rotate(spec.gzip_fraction, report)
+            elif mode in LIFECYCLE_MODES:
+                count = self._apply_lifecycle(mode, spec.file_fraction, report)
             else:  # pragma: no cover - exhaustive over the enum
                 raise ValueError(f"unknown corruption mode {mode!r}")
             report.mutated_lines[mode.value] = (

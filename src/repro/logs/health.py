@@ -84,6 +84,11 @@ class SourceHealth:
     files: int = 0
     #: worker/file level failures that were retried serially
     retried_files: int = 0
+    #: files whose final line had no newline at read time (a mid-write
+    #: snapshot); the torn line is *held back*, never parsed or
+    #: quarantined -- it is not damage, just data still arriving, so it
+    #: participates in neither the conservation law nor ``degraded``
+    partial_tail: int = 0
 
     @property
     def conserved(self) -> bool:
@@ -99,6 +104,7 @@ class SourceHealth:
         self.recovered += other.recovered
         self.files += other.files
         self.retried_files += other.retried_files
+        self.partial_tail += other.partial_tail
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view (pickles cheaply across process boundaries)."""
@@ -110,6 +116,7 @@ class SourceHealth:
             "recovered": self.recovered,
             "files": self.files,
             "retried_files": self.retried_files,
+            "partial_tail": self.partial_tail,
         }
 
     @classmethod
@@ -164,6 +171,15 @@ class IngestionHealth:
         return sum(s.recovered for s in self.sources.values())
 
     @property
+    def partial_tails(self) -> int:
+        """Files whose final line was held back as a mid-write snapshot.
+
+        Deliberately *not* part of :attr:`degraded`: a growing log's
+        unterminated last line is normal operation, not corruption.
+        """
+        return sum(s.partial_tail for s in self.sources.values())
+
+    @property
     def degraded(self) -> bool:
         """Anything worth flagging on the report?"""
         return bool(
@@ -204,6 +220,8 @@ class IngestionHealth:
                 extras.append(f"{bucket.recovered} recovered")
             if bucket.retried_files:
                 extras.append(f"{bucket.retried_files} files retried")
+            if bucket.partial_tail:
+                extras.append(f"{bucket.partial_tail} partial tail held back")
             tail = f" ({', '.join(extras)})" if extras else ""
             lines.append(
                 f"{source.value:<11} {bucket.parsed}/{bucket.read} "

@@ -136,6 +136,8 @@ def parse_log_file(
         metrics.counter("ingest.lines_recovered").inc(health.recovered)
         if health.retried_files:
             metrics.counter("ingest.io_retries").inc(health.retried_files)
+        if health.partial_tail:
+            metrics.counter("ingest.partial_tails").inc(health.partial_tail)
         return records, health, quarantined
 
 
@@ -180,6 +182,16 @@ def _parse_log_file(
         try:
             with open_log_text(path) as handle:
                 text = handle.read()
+            # a file whose last line has no newline is a mid-write
+            # snapshot, not corruption: hold the torn tail back (it is
+            # neither read nor parsed nor quarantined -- the writer will
+            # finish it) and flag it so operators see data is arriving
+            partial_tail = 0
+            if text and not text.endswith("\n"):
+                cut = text.rfind("\n") + 1
+                if text[cut:].strip():
+                    partial_tail = 1
+                text = text[:cut]
             scan = REPLACEMENT_CHAR in text
             for line in text.splitlines():
                 read += 1
@@ -211,6 +223,7 @@ def _parse_log_file(
                 read=read, parsed=parsed, quarantined=len(quarantined),
                 ignored=ignored, recovered=recovered, files=1,
                 retried_files=1 if attempt else 0,
+                partial_tail=partial_tail,
             )
             return records, health, quarantined
         except OSError as exc:

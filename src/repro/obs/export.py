@@ -177,6 +177,11 @@ def render_summary(trace: Optional[dict] = None,
             lines.append(
                 f"  {name}: n={data['total']} mean={mean:.4g} "
                 f"min={data['min']} max={data['max']}")
+        truncated = counters.get("journal.truncated_tail", 0)
+        if truncated:
+            lines.append(
+                f"  ! {truncated} crash-truncated journal tail(s) "
+                "recovered -- a run was killed mid-append and resumed")
     return "\n".join(lines)
 
 

@@ -40,8 +40,10 @@ from pathlib import Path
 from typing import Any, Iterable, Optional
 
 from repro.experiments.result import ExperimentResult
+from repro.obs import OBS
 
-__all__ = ["CampaignJournal", "JournalError", "atomic_write_text"]
+__all__ = ["CampaignJournal", "JournalError", "atomic_write_text",
+           "read_jsonl_tolerant"]
 
 #: journal file name under the campaign root
 JOURNAL_NAME = "journal.jsonl"
@@ -68,6 +70,42 @@ def atomic_write_text(path: Path, text: str) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+
+
+def read_jsonl_tolerant(path: Path) -> tuple[list[dict], bool]:
+    """Replay an append-only JSONL file, tolerating a crash-torn tail.
+
+    Returns ``(events, truncated_tail)``.  Only a *final* damaged line
+    is forgiven (that is the one a SIGKILL can produce); damage earlier
+    in the file means the journal was edited or corrupted and raises
+    :class:`JournalError`.  Every forgiven tail increments the
+    ``journal.truncated_tail`` observability counter so silent
+    crash-recoveries become visible in ``repro obs summary``.
+
+    Shared by :class:`CampaignJournal` and the streaming watch
+    checkpoint (:mod:`repro.stream.checkpoint`), which make the same
+    append-then-flush crash-safety promise.
+    """
+    if not path.is_file():
+        return [], False
+    lines = path.read_text(encoding="utf-8").splitlines()
+    parsed: list[dict] = []
+    truncated = False
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                truncated = True
+                break
+            raise JournalError(
+                f"corrupt journal line {i + 1} in {path}: {line[:80]!r}"
+            ) from None
+    if truncated and OBS.enabled:
+        OBS.metrics.counter("journal.truncated_tail").inc()
+    return parsed, truncated
 
 
 class CampaignJournal:
@@ -97,25 +135,10 @@ class CampaignJournal:
         Only a *final* damaged line is forgiven (that is the one a
         SIGKILL can produce); damage earlier in the file means the
         journal was edited or corrupted and raises :class:`JournalError`.
+        A forgiven tail is also counted on the ``journal.truncated_tail``
+        observability counter (see :func:`read_jsonl_tolerant`).
         """
-        self._truncated_tail = False
-        if not self.path.is_file():
-            return []
-        lines = self.path.read_text(encoding="utf-8").splitlines()
-        parsed: list[dict] = []
-        for i, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                parsed.append(json.loads(line))
-            except json.JSONDecodeError:
-                if i == len(lines) - 1:
-                    self._truncated_tail = True
-                    break
-                raise JournalError(
-                    f"corrupt journal line {i + 1} in {self.path}: "
-                    f"{line[:80]!r}"
-                ) from None
+        parsed, self._truncated_tail = read_jsonl_tolerant(self.path)
         return parsed
 
     @property

@@ -1,0 +1,189 @@
+"""Crash-safe watch checkpoint: the daemon's append-only source of truth.
+
+One JSONL file (``checkpoint.jsonl`` under the watch output directory)
+records everything a killed daemon needs to pick up where it left off,
+with the same append-then-flush contract the campaign journal makes
+(:mod:`repro.runtime.journal`): a SIGKILL can tear at most the final
+line, and :func:`~repro.runtime.journal.read_jsonl_tolerant` forgives
+exactly that.
+
+Event vocabulary::
+
+    watch-start    window_days, error_policy, system, seed, resumed,
+                   missing=[...]      # sources frozen absent at startup
+    alerts         ids=[...]          # durably acknowledged alert ids
+    window-close   window, start_day, end_day, watermark,
+                   offsets={rel: {offset, prefix}},   # boundary offsets
+                   health={...},                      # boundary health
+                   report={...}                       # close-time report
+    finalize       digest, windows
+
+The ``window-close`` event is the heart of exactly-once streaming: it
+captures the *boundary-consistent* pair of per-file restart offsets and
+ingestion-health baseline (see
+:meth:`~repro.stream.tailer.LogTailer.boundary_health`) plus the
+window's full close-time report, so a resume never recomputes a closed
+window and re-reads exactly the open window's bytes.  Alert ids are
+checkpointed *after* the alert lines are flushed to ``alerts.jsonl``;
+on resume the engine's dedup set is the union of checkpointed ids and
+a tolerant scan of the alert file itself, so a kill between the two
+writes can duplicate nothing and lose nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.logs.health import IngestionHealth, SourceHealth
+from repro.logs.record import LogSource
+from repro.runtime.journal import read_jsonl_tolerant
+
+__all__ = [
+    "WatchCheckpoint",
+    "WatchState",
+    "CheckpointError",
+    "health_to_jsonable",
+    "health_from_jsonable",
+]
+
+#: checkpoint file name under the watch output directory
+CHECKPOINT_NAME = "checkpoint.jsonl"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is unusable for the requested resume (e.g. it was
+    written with a different window size than the one requested)."""
+
+
+def health_to_jsonable(health: IngestionHealth) -> dict:
+    """An :class:`IngestionHealth` as checkpoint-storable plain data."""
+    return {
+        "sources": {source.value: bucket.as_dict()
+                    for source, bucket in health.sources.items()},
+        "notes": list(health.notes),
+    }
+
+
+def health_from_jsonable(data: dict) -> IngestionHealth:
+    """Rebuild an :class:`IngestionHealth` from checkpoint data."""
+    health = IngestionHealth()
+    for key, counts in data.get("sources", {}).items():
+        health.sources[LogSource(key)] = SourceHealth.from_dict(counts)
+    for message in data.get("notes", []):
+        health.note(message)
+    return health
+
+
+class WatchState:
+    """Everything a resumed daemon restores from one checkpoint replay."""
+
+    __slots__ = ("started", "config", "windows", "emitted_ids",
+                 "offsets", "watermark", "health", "truncated_tail",
+                 "finalized")
+
+    def __init__(self) -> None:
+        self.started = False
+        #: the watch-start fields (window_days, error_policy, ...)
+        self.config: dict[str, Any] = {}
+        #: window index -> its window-close event (last write wins)
+        self.windows: dict[int, dict] = {}
+        #: every durably acknowledged alert id
+        self.emitted_ids: set[str] = set()
+        #: per-file restart offsets of the *latest* closed window
+        self.offsets: dict[str, dict] = {}
+        #: watermark recorded at the latest closed window
+        self.watermark: float = float("-inf")
+        #: boundary health of the latest closed window (None == fresh)
+        self.health: Optional[IngestionHealth] = None
+        #: the checkpoint ended in a crash-torn line
+        self.truncated_tail = False
+        #: a finalize event exists (the watch ran to completion)
+        self.finalized = False
+
+    @property
+    def next_window(self) -> int:
+        """First window index the resumed daemon still has to close."""
+        return max(self.windows, default=-1) + 1
+
+    def closed_windows(self) -> list[dict]:
+        """The window-close events in window order."""
+        return [self.windows[k] for k in sorted(self.windows)]
+
+
+class WatchCheckpoint:
+    """The append-only checkpoint file of one watch output directory."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.path = self.root / CHECKPOINT_NAME
+
+    # ------------------------------------------------------------------
+    def append(self, event: str, **fields: Any) -> dict:
+        """Append one event line (flushed before returning)."""
+        record = {"event": event, **fields}
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+        return record
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def reset(self) -> None:
+        """Start fresh: drop any previous checkpoint."""
+        if self.path.is_file():
+            self.path.unlink()
+
+    # ------------------------------------------------------------------
+    def load(self) -> WatchState:
+        """Replay the checkpoint into a :class:`WatchState`.
+
+        Tolerates (and reports) a crash-torn final line; raises
+        :class:`~repro.runtime.journal.JournalError` for damage anywhere
+        else, because that means the file was edited, not crashed.
+        """
+        state = WatchState()
+        events, state.truncated_tail = read_jsonl_tolerant(self.path)
+        for record in events:
+            kind = record.get("event")
+            if kind == "watch-start":
+                state.started = True
+                state.config = {k: v for k, v in record.items()
+                                if k != "event"}
+            elif kind == "alerts":
+                state.emitted_ids.update(record.get("ids", ()))
+            elif kind == "window-close":
+                state.windows[int(record["window"])] = record
+                state.offsets = record.get("offsets", {})
+                state.watermark = float(record.get("watermark",
+                                                   float("-inf")))
+                health = record.get("health")
+                state.health = (health_from_jsonable(health)
+                                if health is not None else None)
+            elif kind == "finalize":
+                state.finalized = True
+        return state
+
+    def check_resumable(self, state: WatchState,
+                        window_days: int, error_policy: str) -> None:
+        """Reject a resume whose configuration contradicts the record.
+
+        Window geometry and error policy both change what every window
+        report contains; silently mixing them would produce an artifact
+        that matches *neither* configuration's batch run.
+        """
+        if not state.started:
+            return
+        recorded_days = state.config.get("window_days")
+        if recorded_days is not None and int(recorded_days) != window_days:
+            raise CheckpointError(
+                f"checkpoint was written with window_days="
+                f"{recorded_days}, cannot resume with {window_days}")
+        recorded_policy = state.config.get("error_policy")
+        if recorded_policy is not None and recorded_policy != error_policy:
+            raise CheckpointError(
+                f"checkpoint was written with error_policy="
+                f"{recorded_policy!r}, cannot resume with {error_policy!r}")

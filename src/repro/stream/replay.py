@@ -1,0 +1,210 @@
+"""Deterministic live-store replay: the streaming test/chaos harness.
+
+A :class:`ReplayWriter` takes a *complete* written log directory and
+re-enacts its production into a second directory, time-aligned: each
+:meth:`feed_until` call appends, to every live source file, exactly the
+lines whose parsed stamp is at or before the given simulation time.
+Driving a :class:`~repro.stream.daemon.WatchDaemon` between feeds
+reproduces, in-process and without sleeping, what the daemon sees when
+tailing a machine that is actually running.
+
+The writer also plays the adversary.  Between feeds a test can
+
+* :meth:`rotate` a source (rename-style logrotate: the live file moves
+  to a rotated name, the base path starts empty),
+* :meth:`copytruncate` it (content copied to the rotated name, base
+  truncated in place -- the rotation mode that defeats inode tracking),
+* :meth:`gzip_rotated` the newest rotated segment,
+* :meth:`vanish`/:meth:`restore` the base file (unlink + reappear),
+* :meth:`tear_tail` the next line (a torn mid-line write: the prefix
+  lands now, the remainder on the next feed),
+
+all shapes the resilient tailer claims to survive.  Because every byte
+of the complete store is eventually written somewhere under the live
+root, the parity oracle is self-checking: a batch
+``run_windowed`` over the live directory's *final* state must produce
+byte-identically what the daemon streamed (see
+``streamed_batch_equivalent``).
+
+One simplification: a complete store holding several physical files
+for one source is collapsed into that source's base path (rotation
+faults re-split it).  The line *sequence* per source is preserved, so
+the final-state batch reference is unaffected.
+"""
+
+from __future__ import annotations
+
+import gzip
+import shutil
+from collections import deque
+from pathlib import Path
+from typing import Deque, Optional
+
+from repro.logs.parsing import LineParser
+from repro.logs.store import LogStore, _SOURCE_PATHS
+from repro.logs.record import LogSource
+
+__all__ = ["ReplayWriter"]
+
+
+class ReplayWriter:
+    """Re-enact a finished log directory as a live, growing one."""
+
+    def __init__(self, complete_root: Path | str,
+                 live_root: Path | str) -> None:
+        complete = LogStore(complete_root)
+        manifest_text = (Path(complete_root) / "manifest.json").read_text()
+        self.live_root = Path(live_root)
+        self.live_root.mkdir(parents=True, exist_ok=True)
+        (self.live_root / "manifest.json").write_text(manifest_text)
+        #: the live directory as a store (hand this to the daemon)
+        self.store = LogStore(self.live_root)
+        clock = complete.manifest().clock()
+        parser = LineParser(clock)
+        #: pending (time, bytes) per source; bytes already end in \n
+        self._pending: dict[LogSource, Deque[tuple[float, bytes]]] = {}
+        #: latest stamp anywhere in the complete store
+        self.end_time = 0.0
+        for source in _SOURCE_PATHS:
+            queue: Deque[tuple[float, bytes]] = deque()
+            for path in complete.source_files(source):
+                parser.reset()  # skew state never crosses file boundaries
+                opener = gzip.open if path.suffix == ".gz" else open
+                with opener(path, "rb") as handle:
+                    raw = handle.read()
+                lines = raw.split(b"\n")
+                if lines and not lines[-1]:
+                    lines.pop()  # the empty split tail of a final \n
+                last = 0.0
+                for line in lines:
+                    record = parser.parse(
+                        line.decode("utf-8", errors="replace"))
+                    if record is not None:
+                        last = record.time
+                    # blank/malformed lines ride with their predecessor
+                    queue.append((last, line + b"\n"))
+                    self.end_time = max(self.end_time, last)
+            self._pending[source] = queue
+            # base files exist (empty) from the start: the daemon
+            # freezes its missing-source set at startup
+            base = self.store.path_for(source)
+            base.parent.mkdir(parents=True, exist_ok=True)
+            base.touch()
+        self._rotation_seq: dict[LogSource, int] = {}
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+    def pending_count(self, source: Optional[LogSource] = None) -> int:
+        """Lines not yet written (one source, or all)."""
+        if source is not None:
+            return len(self._pending[source])
+        return sum(len(q) for q in self._pending.values())
+
+    def feed_until(self, t: float) -> int:
+        """Append every pending line stamped at or before ``t``.
+
+        Inclusive on purpose: equal-time records never straddle a feed
+        boundary, so the daemon's poll increments keep the same
+        equal-time merge order the batch reader sees.  Returns the
+        number of chunks written.
+        """
+        written = 0
+        for source, queue in self._pending.items():
+            if source in getattr(self, "_vanished", ()):  # writer outage
+                continue
+            if not queue or queue[0][0] > t:
+                continue
+            chunks = []
+            while queue and queue[0][0] <= t:
+                chunks.append(queue.popleft()[1])
+            with self.store.path_for(source).open("ab") as handle:
+                handle.write(b"".join(chunks))
+            written += len(chunks)
+        return written
+
+    def feed_all(self) -> int:
+        """Write everything still pending (the replay's final state)."""
+        return self.feed_until(float("inf"))
+
+    def tear_tail(self, source: LogSource, keep: int = 10) -> bool:
+        """Write only the first ``keep`` bytes of the next pending line.
+
+        Emulates a torn mid-line write (crash or page-cache boundary):
+        the remainder -- re-queued at the same stamp -- lands on the
+        next feed, exactly how a real writer completes the line.
+        Returns False when nothing is pending.
+        """
+        queue = self._pending[source]
+        if not queue:
+            return False
+        time, line = queue.popleft()
+        keep = max(1, min(keep, len(line) - 1))
+        with self.store.path_for(source).open("ab") as handle:
+            handle.write(line[:keep])
+        queue.appendleft((time, line[keep:]))
+        return True
+
+    # ------------------------------------------------------------------
+    # lifecycle faults
+    # ------------------------------------------------------------------
+    def _rotated_name(self, source: LogSource) -> Path:
+        """Next rotated path; sequence numbers keep name order = age."""
+        base = self.store.path_for(source)
+        seq = self._rotation_seq.get(source, 0) + 1
+        self._rotation_seq[source] = seq
+        return base.with_name(f"{base.stem}-{seq:08d}.log")
+
+    def rotate(self, source: LogSource) -> Path:
+        """Rename-style logrotate: live file moves, base starts empty."""
+        base = self.store.path_for(source)
+        rotated = self._rotated_name(source)
+        base.rename(rotated)
+        base.touch()
+        return rotated
+
+    def copytruncate(self, source: LogSource) -> Path:
+        """Copy-then-truncate rotation (same inode keeps the base)."""
+        base = self.store.path_for(source)
+        rotated = self._rotated_name(source)
+        shutil.copyfile(base, rotated)
+        base.write_bytes(b"")
+        return rotated
+
+    def gzip_rotated(self, source: LogSource,
+                     rotated: Optional[Path] = None) -> Path:
+        """Compress a rotated segment in place (newest by default)."""
+        if rotated is None:
+            base = self.store.path_for(source)
+            candidates = sorted(base.parent.glob(f"{base.stem}-*.log"))
+            if not candidates:
+                raise FileNotFoundError(
+                    f"no rotated segment of {source.value!r} to gzip")
+            rotated = candidates[-1]
+        gz = rotated.with_name(rotated.name + ".gz")
+        with rotated.open("rb") as src, gzip.open(gz, "wb") as dst:
+            shutil.copyfileobj(src, dst)
+        rotated.unlink()
+        return gz
+
+    def vanish(self, source: LogSource) -> None:
+        """Unlink the live base file (collector outage / NFS blip).
+
+        While vanished the source's writer is out too: feeds hold that
+        source's lines, exactly as a collector that lost its file stops
+        producing visible bytes.  :meth:`restore` brings the content
+        back (same bytes, new inode) and feeding resumes.
+        """
+        base = self.store.path_for(source)
+        if not hasattr(self, "_hidden"):
+            self._hidden: dict[LogSource, bytes] = {}
+            self._vanished: set[LogSource] = set()
+        self._hidden[source] = base.read_bytes()
+        self._vanished.add(source)
+        base.unlink()
+
+    def restore(self, source: LogSource) -> None:
+        """Bring a vanished base file back with its pre-outage content."""
+        base = self.store.path_for(source)
+        base.write_bytes(getattr(self, "_hidden", {}).get(source, b""))
+        getattr(self, "_vanished", set()).discard(source)

@@ -1,0 +1,131 @@
+"""StreamIndex append/merge semantics: caches extend, never go stale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import RecordIndex, StreamIndex
+from repro.logs.parsing import ParsedRecord
+from repro.logs.record import LogSource
+
+
+def rec(t, event="mce", node="c0-0c0s0n0"):
+    return ParsedRecord(float(t), LogSource.CONSOLE, node, "kernel",
+                        event, {})
+
+
+def base_index():
+    return StreamIndex([rec(1, "mce"), rec(2, "oom_kill", "c0-0c0s0n1"),
+                        rec(3, "mce")])
+
+
+class TestAppend:
+    def test_extends_stream_and_built_buckets(self):
+        index = base_index()
+        # force-build every cache, then append
+        _ = index.by_event, index.by_node, index.times
+        mce = index.select(frozenset({"mce"}))
+        assert len(mce) == 2
+        appended = index.append_records([rec(4, "mce"),
+                                         rec(5, "segfault", "c0-0c0s1n0")])
+        assert appended == 2 and len(index) == 5
+        assert [r.time for r in index.by_event["mce"]] == [1.0, 3.0, 4.0]
+        assert [r.time for r in index.by_node["c0-0c0s1n0"]] == [5.0]
+        assert [r.time for r in index.select(frozenset({"mce"}))] \
+            == [1.0, 3.0, 4.0]
+        assert list(index.times) == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_append_to_cold_index_builds_lazily(self):
+        index = base_index()
+        index.append_records([rec(4, "mce")])
+        assert [r.time for r in index.by_event["mce"]] == [1.0, 3.0, 4.0]
+
+    def test_empty_append_is_a_noop(self):
+        index = base_index()
+        by_event = index.by_event
+        assert index.append_records([]) == 0
+        assert index.by_event is by_event  # cache untouched
+
+    def test_out_of_order_append_raises_and_leaves_index_intact(self):
+        index = base_index()
+        _ = index.by_event
+        with pytest.raises(ValueError, match="out-of-order"):
+            index.append_records([rec(2.5, "mce")])
+        assert len(index) == 3
+        assert [r.time for r in index.by_event["mce"]] == [1.0, 3.0]
+
+    def test_equal_tail_time_is_allowed(self):
+        index = base_index()
+        assert index.append_records([rec(3, "mce")]) == 1
+        assert len(index) == 4
+
+    def test_selection_alias_rebuilt_when_other_key_arrives(self):
+        index = StreamIndex([rec(1, "mce")])
+        # single-hit selection aliases the by_event bucket internally
+        pair = frozenset({"mce", "oom_kill"})
+        assert [r.event for r in index.select(pair)] == ["mce"]
+        index.append_records([rec(2, "oom_kill")])
+        assert [r.event for r in index.select(pair)] == ["mce", "oom_kill"]
+
+    def test_node_times_refresh_for_touched_nodes(self):
+        index = base_index()
+        assert list(index.node_times("c0-0c0s0n0")) == [1.0, 3.0]
+        index.append_records([rec(4, "mce")])
+        assert list(index.node_times("c0-0c0s0n0")) == [1.0, 3.0, 4.0]
+
+    def test_window_query_spans_frozen_prefix_and_tail(self):
+        index = base_index()
+        _ = index.times  # freeze the prefix
+        index.append_records([rec(4, "mce"), rec(5, "mce")])
+        assert [r.time for r in index.window(2.0, 5.0)] == [2.0, 3.0, 4.0]
+
+
+class TestMerge:
+    def test_merge_places_late_records_at_their_stamp(self):
+        index = base_index()
+        _ = index.by_event
+        assert index.merge_records([rec(1.5, "segfault")]) == 1
+        assert [r.time for r in index.records] == [1.0, 1.5, 2.0, 3.0]
+        # caches were reset and rebuild over the merged stream
+        assert [r.time for r in index.by_event["segfault"]] == [1.5]
+
+    def test_merge_is_stable_on_ties(self):
+        index = StreamIndex([rec(1, "mce"), rec(2, "mce")])
+        index.merge_records([rec(1, "oom_kill")])
+        assert [r.event for r in index.records] == ["mce", "oom_kill",
+                                                    "mce"]
+
+    def test_empty_merge_is_a_noop(self):
+        index = base_index()
+        by_event = index.by_event
+        assert index.merge_records([]) == 0
+        assert index.by_event is by_event
+
+
+class TestEvict:
+    def test_evict_drops_old_records_and_resets_caches(self):
+        index = base_index()
+        _ = index.by_event
+        assert index.evict_before(2.0) == 1
+        assert [r.time for r in index.records] == [2.0, 3.0]
+        assert set(index.by_event) == {"oom_kill", "mce"}
+
+    def test_evict_nothing(self):
+        index = base_index()
+        assert index.evict_before(0.5) == 0
+
+
+class TestRecordIndex:
+    def test_append_totals_and_resident_count(self):
+        index = RecordIndex.build([rec(1)], [], [])
+        appended = index.append(internal=[rec(2)],
+                                external=[rec(3, "nvf")],
+                                scheduler=[rec(4, "slurm_submit")])
+        assert appended == 3
+        assert index.resident_records() == 4
+        assert index.last_time() == 4.0
+
+    def test_evict_before_covers_all_streams(self):
+        index = RecordIndex.build([rec(1), rec(5)], [rec(2, "nvf")], [])
+        assert index.evict_before(3.0) == 2
+        assert index.resident_records() == 1

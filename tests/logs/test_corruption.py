@@ -139,3 +139,70 @@ class TestInjector:
             assert len(lines) == bucket.quarantined
         else:
             assert not quarantine.exists()
+
+
+class TestLifecycleFaults:
+    """File-lifecycle modes: what a live, rotating directory does to a
+    reader.  Unlike content damage these are (nearly) lossless -- the
+    batch readers must see the same records through any of them."""
+
+    def test_historical_campaign_mix_is_frozen(self):
+        from repro.logs.corruption import LIFECYCLE_MODES
+
+        assert set(LIFECYCLE_MODES).isdisjoint(ALL_MODES)
+        assert set(ALL_MODES) | set(LIFECYCLE_MODES) == set(CorruptionMode)
+
+    @staticmethod
+    def _read_counts(store):
+        health = IngestionHealth()
+        clock = store.manifest().clock()
+        total = len(store.read_internal(clock, "skip", health))
+        total += len(store.read_external(clock, "skip", health))
+        total += len(store.read_scheduler(clock, "skip", health))
+        return total, health
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        "mode", [CorruptionMode.ROTATE, CorruptionMode.TRUNCATE_FILE,
+                 CorruptionMode.REAPPEAR])
+    def test_lossless_modes_preserve_every_record(self, store_copy,
+                                                  mode, seed):
+        before, _ = self._read_counts(store_copy)
+        injector = CorruptionInjector(store_copy, seed=seed)
+        report = injector.apply(
+            CorruptionSpec(modes=(mode,), file_fraction=1.0))
+        assert report.mutated_lines[mode.value] > 0
+        after, health = self._read_counts(store_copy)
+        assert after == before
+        assert health.conserved, conservation_violations(health)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_partial_append_holds_back_one_line_per_file(self, store_copy,
+                                                         seed):
+        before, _ = self._read_counts(store_copy)
+        injector = CorruptionInjector(store_copy, seed=seed)
+        report = injector.apply(CorruptionSpec(
+            modes=(CorruptionMode.PARTIAL_APPEND,), file_fraction=1.0))
+        sheared = report.mutated_lines[CorruptionMode.PARTIAL_APPEND.value]
+        assert sheared > 0
+        after, health = self._read_counts(store_copy)
+        # exactly the torn tails are held back, flagged, and conserved
+        assert before - after == sheared
+        assert health.partial_tails == sheared
+        assert health.conserved, conservation_violations(health)
+        assert not health.degraded
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pipeline_survives_the_full_lifecycle_diet(self, store_copy,
+                                                       seed):
+        from repro.logs.corruption import LIFECYCLE_MODES
+
+        injector = CorruptionInjector(store_copy, seed=seed)
+        injector.apply(CorruptionSpec(modes=LIFECYCLE_MODES,
+                                      file_fraction=0.5))
+        health = IngestionHealth()
+        diag = HolisticDiagnosis.from_store(
+            store_copy, error_policy=ErrorPolicy.QUARANTINE, health=health)
+        report = diag.run()  # must not raise
+        assert report.failure_count >= 0
+        assert health.conserved, conservation_violations(health)

@@ -107,3 +107,59 @@ class TestWriteRead:
         store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
         (tmp_path / "logs" / "p0" / "consumer.log").unlink()
         assert list(store.read_source(LogSource.CONSUMER)) == []
+
+
+class TestPartialTail:
+    """A file whose last line has no newline is a mid-write snapshot:
+    the torn tail is held back, flagged, and never counted as damage."""
+
+    def _store_with_torn_tail(self, tmp_path):
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        path = store.path_for(LogSource.CONSOLE)
+        whole = path.read_bytes()
+        torn = whole.rstrip(b"\n")
+        path.write_bytes(whole + torn[: len(torn) // 2])
+        return store, whole + torn + b"\n"
+
+    def test_torn_final_line_is_held_back(self, tmp_path):
+        from repro.logs.health import IngestionHealth
+
+        store, _ = self._store_with_torn_tail(tmp_path)
+        health = IngestionHealth()
+        records = list(store.read_internal(SimClock(), "skip", health))
+        bucket = health.source(LogSource.CONSOLE)
+        # only the whole line was read; the torn tail is neither read
+        # nor parsed nor quarantined, so conservation still holds
+        assert bucket.read == 1
+        assert bucket.partial_tail == 1
+        assert bucket.conserved
+        assert len(records) == 2  # console mce + messages nhc_suspect
+        # a growing log is normal operation, not degradation
+        assert not health.degraded
+        assert health.partial_tails == 1
+        assert any("partial tail held back" in line
+                   for line in health.summary_lines())
+
+    def test_completed_line_parses_on_next_read(self, tmp_path):
+        from repro.logs.health import IngestionHealth
+
+        store, completed = self._store_with_torn_tail(tmp_path)
+        store.path_for(LogSource.CONSOLE).write_bytes(completed)
+        health = IngestionHealth()
+        records = list(store.read_internal(SimClock(), "skip", health))
+        bucket = health.source(LogSource.CONSOLE)
+        assert bucket.partial_tail == 0
+        assert bucket.read == bucket.parsed == 2
+        assert len(records) == 3
+
+    def test_whitespace_only_tail_is_not_flagged(self, tmp_path):
+        from repro.logs.health import IngestionHealth
+
+        store = LogStore(tmp_path / "logs")
+        store.write(filled_bus(), SimClock(), "TT", 1, 10.0)
+        with store.path_for(LogSource.CONSOLE).open("ab") as handle:
+            handle.write(b"   ")
+        health = IngestionHealth()
+        store.read_internal(SimClock(), "skip", health)
+        assert health.source(LogSource.CONSOLE).partial_tail == 0

@@ -1,0 +1,29 @@
+"""``repro obs summary`` rendering, including the crash-recovery flag."""
+
+from __future__ import annotations
+
+from repro.obs.export import render_summary
+
+
+def metrics_snapshot(**counters):
+    return {"counters": dict(counters), "gauges": {}, "histograms": {}}
+
+
+class TestTruncatedTailHighlight:
+    def test_flagged_when_tails_were_recovered(self):
+        text = render_summary(metrics=metrics_snapshot(
+            **{"journal.truncated_tail": 2, "stream.polls": 40}))
+        assert "! 2 crash-truncated journal tail(s) recovered" in text
+        # the highlight reads as an annotation, after the raw counters
+        lines = text.splitlines()
+        assert lines[-1].lstrip().startswith("!")
+
+    def test_silent_when_no_tail_was_recovered(self):
+        text = render_summary(metrics=metrics_snapshot(
+            **{"stream.polls": 40}))
+        assert "crash-truncated" not in text
+
+    def test_counter_still_listed_plainly(self):
+        text = render_summary(metrics=metrics_snapshot(
+            **{"journal.truncated_tail": 1}))
+        assert "journal.truncated_tail" in text

@@ -113,3 +113,35 @@ class TestArtifacts:
         journal.append("attempt-failed", experiment="figX", attempt=2,
                        reason="spurious")
         assert set(journal.completed_results()) == {"figX"}
+
+
+class TestTruncatedTailCounter:
+    def test_forgiven_tail_counts_when_obs_enabled(self, tmp_path):
+        from repro.obs import OBS, ObsConfig, configure
+
+        journal = CampaignJournal(tmp_path / "camp")
+        journal.append("campaign-start", seed=7, experiments=[])
+        with journal.path.open("a") as handle:
+            handle.write('{"event": "complete", "experi')
+        configure(ObsConfig(enabled=True))
+        try:
+            journal.events()
+            assert OBS.metrics.counter("journal.truncated_tail").value == 1
+            journal.events()  # every tolerant replay counts the tail
+            assert OBS.metrics.counter("journal.truncated_tail").value == 2
+        finally:
+            configure(ObsConfig(enabled=False))
+            OBS.reset()
+
+    def test_clean_replay_counts_nothing(self, tmp_path):
+        from repro.obs import OBS, ObsConfig, configure
+
+        journal = CampaignJournal(tmp_path / "camp")
+        journal.append("campaign-start", seed=7, experiments=[])
+        configure(ObsConfig(enabled=True))
+        try:
+            journal.events()
+            assert OBS.metrics.counter("journal.truncated_tail").value == 0
+        finally:
+            configure(ObsConfig(enabled=False))
+            OBS.reset()

@@ -1,0 +1,74 @@
+"""Fixtures for the streaming subsystem tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.logs.record import LogBus, LogRecord, LogSource
+from repro.logs.store import LogStore
+from repro.simul.clock import DAY, SimClock
+
+
+def small_bus(days: int = 3) -> LogBus:
+    """A hand-built multi-day, multi-source record set.
+
+    Deliberately includes node-scoped precursors (``nvf``/``nhf``) so
+    alert tests have something to warn about, a daily ``kernel_panic``
+    so every window confirms a failure (and emits a window summary
+    alert), spread over ``days`` days so window-boundary logic is
+    exercised.
+    """
+    bus = LogBus()
+    for day in range(days):
+        t0 = day * DAY
+        bus.emit(LogRecord(t0 + 3600.0, LogSource.CONSOLE, "c0-0c0s0n0",
+                           "mce", {"bank": 1, "status": "ff"}))
+        bus.emit(LogRecord(t0 + 4000.0, LogSource.MESSAGES, "c0-0c0s0n0",
+                           "nhc_suspect", {"why": "t"}))
+        bus.emit(LogRecord(t0 + 5000.0, LogSource.ERD, "erd",
+                           "ec_heartbeat_stop", {"src": "c0-0c0s0n1"}))
+        bus.emit(LogRecord(t0 + 6000.0, LogSource.CONTROLLER, "c0-0c0s0",
+                           "nvf", {"node": f"c0-0c0s{day}n1"}))
+        bus.emit(LogRecord(t0 + 7000.0, LogSource.CONTROLLER, "c0-0c0s0",
+                           "nhf", {"node": f"c0-0c0s{day}n2"}))
+        bus.emit(LogRecord(t0 + 8000.0, LogSource.SCHEDULER, "sdb",
+                           "slurm_submit", {"job": day}))
+        bus.emit(LogRecord(t0 + 9000.0, LogSource.CONSOLE, "c0-0c0s1n0",
+                           "mce", {"bank": 2, "status": "aa"}))
+        bus.emit(LogRecord(t0 + 9500.0, LogSource.CONSOLE, "c0-0c0s0n0",
+                           "kernel_panic", {"why": "Fatal exception"}))
+    return bus
+
+
+@pytest.fixture
+def small_store(tmp_path) -> LogStore:
+    """A complete three-day store built from :func:`small_bus`."""
+    store = LogStore(tmp_path / "complete")
+    store.write(small_bus(), SimClock(), system="TT", seed=1,
+                duration_seconds=3 * DAY)
+    return store
+
+
+def drive_daemon(writer, daemon, step_days: float = 0.1,
+                 faults=None, kill_and_resume_at=None, make_daemon=None):
+    """Feed the replay in ``step_days`` increments, ticking after each.
+
+    ``faults`` maps a step index to a callable taking the writer.
+    ``kill_and_resume_at`` abandons the daemon at that step (a SIGKILL
+    stand-in: nothing is flushed beyond what already hit disk) and
+    continues with ``make_daemon()``.  Returns the finalized report.
+    """
+    steps = int(math.ceil(writer.end_time / (step_days * DAY)))
+    for i in range(1, steps + 1):
+        writer.feed_until(i * step_days * DAY)
+        if faults and i in faults:
+            faults[i](writer)
+        daemon.tick()
+        if kill_and_resume_at == i:
+            daemon = make_daemon()
+            daemon.start()
+    writer.feed_all()
+    daemon.tick()
+    return daemon.finalize()

@@ -1,0 +1,87 @@
+"""CLI streaming smoke (tier: streaming): a real ``repro watch`` process.
+
+The run_ci.sh streaming tier: start the daemon as a subprocess against a
+live directory, append one day's increment while it polls, assert an
+alert from that increment lands in ``alerts.jsonl``, then SIGTERM it and
+assert a clean finalize (exit 0, report written).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.simul.clock import DAY
+from repro.stream.replay import ReplayWriter
+
+pytestmark = pytest.mark.streaming
+
+DEADLINE = 30.0  # generous; the loop below exits as soon as it can
+
+
+def wait_for(predicate, what: str):
+    limit = time.monotonic() + DEADLINE
+    while time.monotonic() < limit:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(f"timed out waiting for {what}")
+
+
+def alert_times(alerts: Path) -> list[float]:
+    if not alerts.exists():
+        return []
+    times = []
+    for line in alerts.read_text().splitlines():
+        try:
+            times.append(float(json.loads(line)["time"]))
+        except (ValueError, KeyError):
+            continue  # a torn tail mid-append; the daemon owns that file
+    return times
+
+
+def test_watch_process_alerts_live_and_finalizes_on_sigterm(
+        small_store, tmp_path):
+    writer = ReplayWriter(small_store.root, tmp_path / "live")
+    writer.feed_until(0.5 * DAY)  # day 0 on disk before the daemon starts
+    out = tmp_path / "watch"
+    alerts = out / "alerts.jsonl"
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(src), env.get("PYTHONPATH", "")]))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "watch", str(writer.store.root),
+         "--out", str(out), "--poll-interval", "0.1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    try:
+        # the startup scan alerts on day 0's precursors
+        wait_for(lambda: len(alert_times(alerts)) > 0,
+                 "a day-0 alert from the startup scan")
+
+        # feed one increment and watch a *live* alert arrive for it
+        writer.feed_until(1.5 * DAY)
+        wait_for(lambda: any(t >= DAY for t in alert_times(alerts)),
+                 "an alert for the day-1 increment")
+
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=DEADLINE)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    assert proc.returncode == 0, stdout + stderr
+    assert "report written:" in stdout
+    assert (out / "report.json").exists()
+    # the finalized report covers the day-1 increment we fed live
+    windows = json.loads((out / "report.json").read_text())
+    assert windows and windows[-1]["end_day"] >= 1

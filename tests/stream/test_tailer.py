@@ -1,0 +1,233 @@
+"""The resilient tailer: identity tracking under hostile file lifecycles."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.core.serialize import canonical_json
+from repro.logs.health import ErrorPolicy, IngestionError, IngestionHealth
+from repro.logs.record import LogSource
+from repro.logs.store import LogStore
+from repro.simul.clock import DAY, SimClock
+from repro.stream.replay import ReplayWriter
+from repro.stream.tailer import LogTailer
+
+from .conftest import small_bus
+
+
+def make_pair(tmp_path, days=3):
+    """(writer, tailer) over a fresh replay of a small complete store."""
+    complete = LogStore(tmp_path / "complete")
+    complete.write(small_bus(days), SimClock(), system="TT", seed=1,
+                   duration_seconds=days * DAY)
+    writer = ReplayWriter(complete.root, tmp_path / "live")
+    tailer = LogTailer(writer.store, boundary_seconds=DAY)
+    return writer, tailer
+
+
+def drain(writer, tailer, step=0.25):
+    """Feed-and-poll to exhaustion; returns every record seen.
+
+    Accumulated per stream (internal, then external, then scheduler) so
+    the result is order-comparable with a batch read, which concatenates
+    whole streams rather than interleaving them poll by poll.
+    """
+    internal, external, scheduler = [], [], []
+    t = 0.0
+    while writer.pending_count() or t <= writer.end_time + step * DAY:
+        t += step * DAY
+        writer.feed_until(t)
+        inc = tailer.poll()
+        internal.extend(inc.internal)
+        external.extend(inc.external)
+        scheduler.extend(inc.scheduler)
+        if t > writer.end_time + 2 * step * DAY:
+            break
+    return internal + external + scheduler
+
+
+def batch_records(store):
+    health = IngestionHealth()
+    clock = store.manifest().clock()
+    return (list(store.read_internal(clock, "skip", health))
+            + list(store.read_external(clock, "skip", health))
+            + list(store.read_scheduler(clock, "skip", health)), health)
+
+
+class TestIncrementalEqualsBatch:
+    def test_clean_stream_matches_batch(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        streamed = drain(writer, tailer)
+        tailer.finalize_health()
+        expected, batch_health = batch_records(writer.store)
+        assert canonical_json(streamed) == canonical_json(expected)
+        # the shared health must match a batch read of the final dir
+        for source in LogSource:
+            assert (tailer.health.source(source).as_dict()
+                    == batch_health.source(source).as_dict())
+
+    def test_single_poll_reads_everything(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_all()
+        inc = tailer.poll()
+        expected, _ = batch_records(writer.store)
+        assert inc.records == len(expected)
+
+
+class TestRotation:
+    def test_rename_rotation_never_rereads(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_until(0.5 * DAY)
+        tailer.poll()
+        writer.rotate(LogSource.CONSOLE)
+        writer.feed_all()
+        tailer.poll()
+        assert tailer.stats.rotations == 1
+        # no duplicates: accounting equals a batch read of the final dir
+        _, bh = batch_records(writer.store)
+        bucket = tailer.health.source(LogSource.CONSOLE)
+        assert bucket.read == bh.source(LogSource.CONSOLE).read
+        assert bucket.files == bh.source(LogSource.CONSOLE).files == 2
+
+    def test_copytruncate_adopts_the_copy(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_until(1.2 * DAY)
+        tailer.poll()
+        writer.copytruncate(LogSource.CONTROLLER)
+        writer.feed_all()
+        tailer.poll()
+        tailer.poll()  # a second poll must not flap identities
+        _, bh = batch_records(writer.store)
+        bucket = tailer.health.source(LogSource.CONTROLLER)
+        expected = bh.source(LogSource.CONTROLLER)
+        assert bucket.read == expected.read
+        assert bucket.files == expected.files == 2
+        assert tailer.stats.rotations == 1
+        assert tailer.stats.truncations == 0
+
+    def test_gzip_finalization_skips_consumed_prefix(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_until(0.5 * DAY)
+        tailer.poll()
+        writer.rotate(LogSource.MESSAGES)
+        writer.gzip_rotated(LogSource.MESSAGES)
+        writer.feed_all()
+        tailer.poll()
+        assert tailer.stats.gzip_finalized == 1
+        _, bh = batch_records(writer.store)
+        assert (tailer.health.source(LogSource.MESSAGES).read
+                == bh.source(LogSource.MESSAGES).read)
+
+    def test_vanish_and_reappear_adopts_by_content(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_until(1.0 * DAY)
+        tailer.poll()
+        writer.vanish(LogSource.ERD)
+        tailer.poll()  # file gone: state parked as orphan
+        writer.restore(LogSource.ERD)
+        before = tailer.health.source(LogSource.ERD).read
+        tailer.poll()
+        assert tailer.stats.reappeared == 1
+        # same content, new inode: nothing re-read
+        assert tailer.health.source(LogSource.ERD).read == before
+
+    def test_true_truncation_counts_and_drops(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_until(1.0 * DAY)
+        tailer.poll()
+        base = writer.store.path_for(LogSource.CONSOLE)
+        base.write_bytes(b"")  # content destroyed, same inode
+        writer.feed_all()
+        tailer.poll()
+        assert tailer.stats.truncations == 1
+
+
+class TestPartialTail:
+    def test_torn_line_held_back_then_completed(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_until(0.3 * DAY)
+        writer.tear_tail(LogSource.CONSOLE, keep=12)
+        inc = tailer.poll()
+        held = tailer._tracked[LogSource.CONSOLE]
+        state = next(iter(held.values()))
+        assert state.pending_tail > 0
+        assert tailer.stats.partial_holds == 1
+        count_before = len(inc.internal)
+        writer.feed_all()
+        inc2 = tailer.poll()
+        # the completed line parses whole, exactly once
+        expected, _ = batch_records(writer.store)
+        assert (count_before + len(inc2.internal)
+                + len(inc.external) + len(inc2.external)
+                + len(inc.scheduler) + len(inc2.scheduler)) == len(expected)
+
+    def test_finalize_health_flags_current_torn_tail(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_until(0.3 * DAY)
+        writer.tear_tail(LogSource.CONSOLE, keep=12)
+        tailer.poll()
+        tailer.finalize_health()
+        assert tailer.health.source(LogSource.CONSOLE).partial_tail == 1
+        # completing the line clears the flag (current-state semantics)
+        writer.feed_all()
+        tailer.poll()
+        tailer.finalize_health()
+        assert tailer.health.source(LogSource.CONSOLE).partial_tail == 0
+
+
+class TestBoundaries:
+    def test_boundary_pair_is_resume_consistent(self, tmp_path):
+        """Seeding a second tailer from (snapshot, health) at a boundary
+        and draining reproduces the crash-free health exactly."""
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_until(1.4 * DAY)
+        tailer.poll()
+        health_at_1 = tailer.boundary_health(1)
+        offsets_at_1 = tailer.boundary_snapshot(1)
+        # crash-free continuation
+        writer.feed_all()
+        tailer.poll()
+        tailer.finalize_health()
+        # resumed continuation from the boundary pair
+        resumed = LogTailer(writer.store, health=health_at_1,
+                            boundary_seconds=DAY, reset_quarantine=False)
+        resumed.seed(offsets_at_1)
+        resumed.poll()
+        resumed.finalize_health()
+        for source in LogSource:
+            assert (resumed.health.source(source).as_dict()
+                    == tailer.health.source(source).as_dict()), source
+
+    def test_snapshot_prunes_consumed_marks(self, tmp_path):
+        writer, tailer = make_pair(tmp_path)
+        writer.feed_all()
+        tailer.poll()
+        tailer.boundary_health(1)
+        tailer.boundary_snapshot(1)
+        for source in LogSource:
+            for state in tailer._tracked[source].values():
+                assert all(k > 1 for k in state.boundaries)
+                assert all(k > 1 for k in state.boundary_counts)
+
+
+class TestErrorPolicies:
+    def test_strict_raises_on_malformed(self, tmp_path):
+        writer, _ = make_pair(tmp_path)
+        tailer = LogTailer(writer.store, policy=ErrorPolicy.STRICT)
+        writer.feed_until(0.2 * DAY)
+        with writer.store.path_for(LogSource.CONSOLE).open("ab") as handle:
+            handle.write(b"utter garbage, no structure\n")
+        with pytest.raises(IngestionError):
+            tailer.poll()
+
+    def test_quarantine_writes_and_counts(self, tmp_path):
+        writer, _ = make_pair(tmp_path)
+        tailer = LogTailer(writer.store, policy=ErrorPolicy.QUARANTINE)
+        writer.feed_until(0.2 * DAY)
+        with writer.store.path_for(LogSource.CONSOLE).open("ab") as handle:
+            handle.write(b"utter garbage, no structure\n")
+        tailer.poll()
+        assert tailer.health.source(LogSource.CONSOLE).quarantined == 1
+        assert writer.store.quarantine_path(LogSource.CONSOLE).is_file()
