@@ -17,6 +17,10 @@
 #      consistency); see tests/core/test_parity_gate.py
 #   5. tier-2 chaos gate: corruption + supervision campaigns and the
 #      overhead benchmarks (scripts/run_chaos.sh)
+#   6. fleet chaos gate: shard_kill + corrupt_artifact on a fleet plus
+#      driver SIGKILL/--resume byte-parity of fleet_report.json
+#      (tests/chaos/test_fleet_chaos.py), then the fleet scaling and
+#      shard-rebuild cost figures (benchmarks/bench_fleet.py)
 #
 # Usage:
 #   scripts/run_ci.sh           # everything
@@ -50,6 +54,16 @@ fi
 
 echo "== tier-2 chaos gate (scripts/run_chaos.sh) =="
 scripts/run_chaos.sh
+
+echo "== fleet chaos gate (tests/chaos/test_fleet_chaos.py) =="
+# part of the chaos gate above too; the focused re-run isolates the
+# fleet properties (shard_kill + corrupt_artifact degradation,
+# driver SIGKILL + --resume byte parity) when debugging a failure
+python -m pytest tests/chaos/test_fleet_chaos.py -m chaos -q
+
+echo "== fleet scaling + rebuild cost (benchmarks/bench_fleet.py) =="
+python -m pytest benchmarks/bench_fleet.py \
+    -m 'not chaos' --benchmark-disable -q -s
 
 echo "== supervision overhead (benchmarks/bench_supervisor.py) =="
 python -m pytest benchmarks/bench_supervisor.py \

@@ -41,6 +41,7 @@ from repro.core.pipeline import (
     DiagnosisWindow,
     HolisticDiagnosis,
 )
+from repro.fleet.rollup import FleetReport
 from repro.logs.health import ErrorPolicy, IngestionHealth
 from repro.logs.store import LogStore
 from repro.obs import ObsConfig, session
@@ -49,8 +50,10 @@ __all__ = [
     "load_system",
     "diagnose",
     "diagnose_windowed",
+    "diagnose_fleet",
     "run_campaign",
     "watch",
+    "FleetReport",
     "ObsConfig",
     "ErrorPolicy",
     "DiagnosisReport",
@@ -201,5 +204,41 @@ def run_campaign(
     from repro.runtime import CampaignSupervisor
 
     supervisor = CampaignSupervisor(out, seed=seed, config=config, only=only)
+    with _maybe_session(obs):
+        return supervisor.run(resume=resume)
+
+
+def diagnose_fleet(
+    out: Union[Path, str],
+    *,
+    systems: int = 100,
+    days: int = 2,
+    seed: int = 7,
+    resume: bool = False,
+    config=None,
+    obs: Optional[ObsConfig] = None,
+) -> FleetReport:
+    """Diagnose a fleet of simulated systems under shard supervision.
+
+    Every member runs in its own supervised worker shard (private
+    deadline, retries and circuit breaker), persists a self-validating
+    columnar artifact under ``out/shards/``, and the surviving shards
+    are merged into a :class:`FleetReport` with conserved accounting
+    (``covered + degraded == fleet``) -- a partial fleet degrades, it
+    never crashes the rollup.  ``resume=True`` replays the fleet
+    journal, re-validates every artifact through its checksum
+    (rebuilding any that rotted), re-runs only what is unproven, and
+    reproduces ``out/fleet_report.json`` byte-identically.  ``config``
+    is an optional :class:`repro.runtime.SupervisorConfig` (defaults
+    to :func:`repro.fleet.fleet_config`'s concurrent profile).  See
+    ``docs/FLEET.md``.
+    """
+    # imported lazily, like run_campaign: the fleet subsystem drags in
+    # the simulator and is not needed by the diagnosis-only surface
+    from repro.fleet import FleetSpec, FleetSupervisor
+
+    supervisor = FleetSupervisor(
+        out, spec=FleetSpec(systems=systems, days=days, seed=seed),
+        config=config)
     with _maybe_session(obs):
         return supervisor.run(resume=resume)

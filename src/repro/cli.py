@@ -8,6 +8,7 @@ Usage (installed as a module runner)::
     python -m repro checkpoint logs/s3 --cost 360
     python -m repro experiments
     python -m repro run-all --out campaign --resume
+    python -m repro fleet fleetdir --systems 100 --resume
     python -m repro watch logs/live --out watch --idle-polls 10
 
 The CLI is a thin layer: each subcommand maps onto one public API call,
@@ -142,6 +143,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--metrics", type=Path, default=None, metavar="PATH",
                        help="record the campaign and write a canonical-JSON "
                             "metrics snapshot")
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="diagnose a sharded fleet of systems (partial-failure safe)")
+    p_fleet.add_argument("out", type=Path,
+                         help="fleet directory (journal + shard artifacts "
+                              "+ fleet_report.json)")
+    p_fleet.add_argument("--systems", type=int, default=100,
+                         help="fleet size (default: 100)")
+    p_fleet.add_argument("--days", type=int, default=2,
+                         help="simulated days per member (default: 2)")
+    p_fleet.add_argument("--seed", type=int, default=7)
+    p_fleet.add_argument("--resume", action="store_true",
+                         help="re-validate shard artifacts and re-run only "
+                              "what the journal cannot prove complete")
+    p_fleet.add_argument("--max-workers", type=int, default=None,
+                         metavar="N",
+                         help="concurrent shard workers (default: cpu-1, "
+                              "capped at 8; 1 forces sequential)")
+    p_fleet.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                         help="record the run and write a Chrome "
+                              "trace-event JSON file")
+    p_fleet.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                         help="record the run and write a canonical-JSON "
+                              "metrics snapshot")
 
     p_watch = sub.add_parser(
         "watch",
@@ -482,6 +508,50 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetSpec, FleetSupervisor, fleet_config
+    from repro.runtime import JournalError
+
+    try:
+        spec = FleetSpec(systems=args.systems, days=args.days,
+                         seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    config = fleet_config(max_workers=args.max_workers)
+    try:
+        supervisor = FleetSupervisor(args.out, spec=spec, config=config)
+        with _obs_session(args):
+            report = supervisor.run(resume=args.resume)
+        _note_obs_outputs(args)
+    except JournalError as exc:
+        raise SystemExit(f"error: {exc}")
+    cov = report.coverage
+    print(f"fleet: {cov['fleet']} systems, {cov['covered']} covered, "
+          f"{cov['degraded']} degraded "
+          f"({report.total_failures} failures total)")
+    if report.dominant_causes:
+        print(bar_chart(report.dominant_causes, fmt="{:.1%}",
+                        title="fleet-wide dominant causes"))
+    dist = report.failure_time_distribution
+    if dist.get("gaps"):
+        print(f"inter-failure gaps: {dist['gaps']} pooled, "
+              f"median {dist['median_hours']:.2f}h, "
+              f"mean {dist['mean_hours']:.2f}h")
+    for outlier in report.outliers:
+        print(f"outlier: {outlier['system']} at "
+              f"{outlier['failures_per_day']:.1f} failures/day "
+              f"(robust z {outlier['robust_z']:.1f})")
+    if report.degraded:
+        print("\nDEGRADED fleet (coverage is conserved, not silently "
+              "shrunk):")
+        for entry in report.degraded_systems:
+            print(f"  {entry['status'].upper():<7} {entry['system']:<9} "
+                  f"{entry['reason']}")
+        print("re-run with --resume to retry degraded shards")
+    print(f"report written: {supervisor.journal.report_path}")
+    return report.exit_code()
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.stream import CheckpointError, WatchConfig, WatchDaemon
 
@@ -542,6 +612,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "timeline": _cmd_timeline,
         "experiments": _cmd_experiments,
         "run-all": _cmd_run_all,
+        "fleet": _cmd_fleet,
         "watch": _cmd_watch,
         "obs": _cmd_obs,
     }

@@ -1,0 +1,97 @@
+"""Atomic on-disk artifacts: one writer, one crash-safety contract.
+
+Three subsystems publish "all-or-nothing" files: the campaign journal's
+per-experiment results (:mod:`repro.runtime.journal`), the streaming
+daemon's final report (:mod:`repro.stream.daemon`) and the fleet layer's
+shard artifacts and rollup (:mod:`repro.fleet`).  They used to carry
+near-identical temp-file-plus-rename implementations; this module is the
+single shared one, so the crash-safety contract cannot silently diverge
+again:
+
+* the temp file lives **next to** the destination, so the final
+  ``os.replace`` never crosses a filesystem boundary;
+* the temp file is **fsynced before publication**, so a crash cannot
+  publish an empty or partial file -- the destination either holds the
+  complete previous content or the complete new content, never a tear;
+* canonical-JSON artifacts go through :func:`repro.core.serialize.
+  canonical_json`, so byte-identity of equal payloads is guaranteed by
+  construction (the property every resume gate in this repo checks).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.core.serialize import canonical_json
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_bytes",
+    "write_canonical_artifact",
+    "append_jsonl_line",
+]
+
+
+def _publish(path: Path, write) -> None:
+    """Temp-file + fsync + rename; ``write`` fills the open temp handle."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    with tmp.open(write.mode) as handle:
+        write(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``)."""
+
+    def write(handle):
+        handle.write(text)
+
+    write.mode = "w"
+    _publish(path, write)
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write raw ``data`` to ``path`` atomically (binary twin of
+    :func:`atomic_write_text`; shard artifacts are ``.npz`` blobs)."""
+
+    def write(handle):
+        handle.write(data)
+
+    write.mode = "wb"
+    _publish(path, write)
+
+
+def write_canonical_artifact(path: Path, obj: Any) -> str:
+    """Atomically publish ``obj`` as canonical JSON; returns its digest.
+
+    The file holds ``canonical_json(obj)`` plus a trailing newline; the
+    returned sha256 hex digest covers the JSON text (without the
+    newline), matching :func:`repro.core.serialize.report_digest`.
+    Equal payloads produce byte-identical files -- the invariant the
+    campaign, watch and fleet resume gates all rely on.
+    """
+    text = canonical_json(obj)
+    atomic_write_text(path, text + "\n")
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def append_jsonl_line(path: Path, record: dict) -> None:
+    """Append one JSON line to ``path``, flushed before returning.
+
+    The shared append discipline of the campaign journal and the watch
+    checkpoint: sorted keys, one line per event, flushed per call so a
+    process kill loses nothing already appended (only an OS crash can
+    tear the final line, which
+    :func:`repro.runtime.journal.read_jsonl_tolerant` forgives).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()

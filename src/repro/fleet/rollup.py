@@ -1,0 +1,279 @@
+"""Partial-fleet rollup: merge surviving shards, account for the rest.
+
+The merge contract is **conservation**: every system in the fleet
+appears in the report exactly once, either as a covered entry (its
+shard artifact validated and its summary was merged) or as a degraded
+entry (the shard exhausted its retries, was breaker-skipped, or never
+ran), and ``coverage.covered + coverage.degraded == coverage.fleet``
+always.  A rollup over *zero* surviving shards is still a well-formed
+report -- empty aggregates, all systems degraded -- never a crash.
+
+Fleet-wide aggregates, all computed from decoded shard content (which
+is deterministic in the fleet seed, unlike the artifact bytes):
+
+* **dominant causes** -- each shard's failure-category breakdown
+  weighted by its failure count, i.e. the fleet-wide Fig. 16-style
+  mix;
+* **family split** -- hardware/software/application shares, weighted
+  the same way;
+* **cross-system failure-time distribution** -- every covered system's
+  inter-failure gaps pooled into fixed buckets, plus per-system MTBF
+  on each covered entry;
+* **outlier systems** -- robust z-score (median/MAD) on per-system
+  failures-per-day; hot systems stand out without a handful of quiet
+  ones dragging a mean around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.fleet.artifact import ShardArtifact
+
+__all__ = ["FleetReport", "merge_shards", "shard_summary"]
+
+#: fixed inter-failure histogram bucket edges (hours); the last bucket
+#: is open-ended
+GAP_BUCKET_HOURS: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 24.0)
+
+#: robust z-score beyond which a system counts as an outlier
+OUTLIER_Z = 3.5
+
+
+def shard_summary(member_id: str, member_seed: int, days: int,
+                  total_nodes: int, report, records) -> dict:
+    """One shard's diagnosis condensed to the rollup vocabulary.
+
+    ``report`` is the shard's :class:`~repro.core.pipeline.
+    DiagnosisReport`, ``records`` its :class:`~repro.core.index.
+    RecordIndex`; everything kept is plain jsonable data, deterministic
+    in ``(member_id, member_seed)``.
+    """
+    return {
+        "system": member_id,
+        "seed": member_seed,
+        "days": days,
+        "total_nodes": total_nodes,
+        "failures": report.failure_count,
+        "records": {
+            "internal": len(records.internal),
+            "external": len(records.external),
+            "scheduler": len(records.scheduler),
+        },
+        "category_breakdown": {c.value: f for c, f in
+                               report.category_breakdown.items()},
+        "family_split": dict(report.family_split),
+        "degraded": bool(report.degraded),
+        "degraded_reasons": list(report.degraded_reasons),
+    }
+
+
+@dataclass
+class FleetReport:
+    """The fleet-wide diagnosis: covered shards merged, losses accounted."""
+
+    #: the run's shape ({"systems", "days", "seed"})
+    config: dict
+    #: conservation accounting ({"fleet", "covered", "degraded"})
+    coverage: dict
+    #: one entry per covered system (sorted by id)
+    systems: list[dict] = field(default_factory=list)
+    #: one entry per degraded system ({"system", "status", "reason",
+    #: "attempts"}, sorted by id)
+    degraded_systems: list[dict] = field(default_factory=list)
+    #: fleet-wide failure-category mix (failure-count weighted)
+    dominant_causes: dict[str, float] = field(default_factory=dict)
+    #: fleet-wide HW/SW/App shares (failure-count weighted)
+    family_split: dict[str, float] = field(default_factory=dict)
+    #: pooled inter-failure gap histogram + summary stats
+    failure_time_distribution: dict = field(default_factory=dict)
+    #: hot systems by robust z-score on failures/day
+    outliers: list[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def conserved(self) -> bool:
+        """The conservation invariant: nothing lost, nothing doubled."""
+        cov = self.coverage
+        return (cov["covered"] + cov["degraded"] == cov["fleet"]
+                and len(self.systems) == cov["covered"]
+                and len(self.degraded_systems) == cov["degraded"])
+
+    @property
+    def degraded(self) -> bool:
+        return self.coverage["degraded"] > 0
+
+    @property
+    def total_failures(self) -> int:
+        return sum(entry["failures"] for entry in self.systems)
+
+    def exit_code(self) -> int:
+        """CLI contract: 0 full coverage, 3 partial (degraded shards)."""
+        return 3 if self.degraded else 0
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {
+            "config": self.config,
+            "coverage": self.coverage,
+            "systems": self.systems,
+            "degraded_systems": self.degraded_systems,
+            "dominant_causes": self.dominant_causes,
+            "family_split": self.family_split,
+            "failure_time_distribution": self.failure_time_distribution,
+            "outliers": self.outliers,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "FleetReport":
+        return cls(
+            config=dict(data["config"]),
+            coverage=dict(data["coverage"]),
+            systems=list(data.get("systems", [])),
+            degraded_systems=list(data.get("degraded_systems", [])),
+            dominant_causes=dict(data.get("dominant_causes", {})),
+            family_split=dict(data.get("family_split", {})),
+            failure_time_distribution=dict(
+                data.get("failure_time_distribution", {})),
+            outliers=list(data.get("outliers", [])),
+        )
+
+
+def _weighted_mix(reports: list[dict], key: str) -> dict[str, float]:
+    """Failure-count-weighted average of per-shard fraction dicts."""
+    weights: dict[str, float] = {}
+    total = 0.0
+    for report in reports:
+        failures = float(report.get("failures", 0))
+        if failures <= 0:
+            continue
+        total += failures
+        for name, fraction in report.get(key, {}).items():
+            weights[name] = weights.get(name, 0.0) + fraction * failures
+    if total <= 0:
+        return {}
+    return {name: value / total for name, value in sorted(weights.items())}
+
+
+def _gap_histogram(gaps_hours: list[float]) -> dict:
+    """Pooled inter-failure gaps into the fixed fleet buckets."""
+    edges = GAP_BUCKET_HOURS
+    counts = [0] * (len(edges) + 1)
+    for gap in gaps_hours:
+        for i, edge in enumerate(edges):
+            if gap < edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    labels = []
+    prev = 0.0
+    for edge in edges:
+        labels.append(f"{prev:g}-{edge:g}h")
+        prev = edge
+    labels.append(f">={edges[-1]:g}h")
+    out = {"bucket_hours": list(edges), "buckets": labels,
+           "counts": counts, "gaps": len(gaps_hours)}
+    if gaps_hours:
+        arr = np.asarray(gaps_hours, dtype=float)
+        out["mean_hours"] = float(arr.mean())
+        out["median_hours"] = float(np.median(arr))
+    return out
+
+
+def _system_entry(member_id: str, artifact: ShardArtifact,
+                  days: int) -> tuple[dict, list[float]]:
+    """One covered system's report entry plus its inter-failure gaps."""
+    report = artifact.report
+    times = np.sort(np.asarray(
+        artifact.arrays.get("failure_times", ()), dtype=float))
+    gaps = (np.diff(times) / 3600.0).tolist() if len(times) > 1 else []
+    failures = int(report.get("failures", len(times)))
+    entry = {
+        "system": member_id,
+        "failures": failures,
+        "failures_per_day": failures / float(days),
+        "records": dict(report.get("records", {})),
+        "diagnosis_degraded": bool(report.get("degraded", False)),
+        "mean_interfailure_hours": (
+            float(np.mean(gaps)) if gaps else None),
+    }
+    return entry, gaps
+
+
+def _find_outliers(systems: list[dict]) -> list[dict]:
+    """Hot systems by robust z-score on failures/day (median + MAD)."""
+    if len(systems) < 4:
+        return []  # too few points for a meaningful spread estimate
+    rates = np.asarray([s["failures_per_day"] for s in systems],
+                       dtype=float)
+    median = float(np.median(rates))
+    mad = float(np.median(np.abs(rates - median)))
+    if mad <= 0.0:
+        return []
+    outliers = []
+    for entry, rate in zip(systems, rates):
+        z = 0.6745 * (rate - median) / mad
+        if abs(z) >= OUTLIER_Z:
+            outliers.append({
+                "system": entry["system"],
+                "failures_per_day": float(rate),
+                "robust_z": float(round(z, 4)),
+            })
+    return outliers
+
+
+def merge_shards(
+    config: dict,
+    member_ids: list[str],
+    covered: Mapping[str, ShardArtifact],
+    degraded: Mapping[str, dict],
+) -> FleetReport:
+    """Merge surviving shards into a :class:`FleetReport`.
+
+    ``covered`` maps member id -> validated shard artifact; ``degraded``
+    maps member id -> ``{"status", "reason", "attempts"}`` for every
+    shard that produced no usable artifact.  Every id in ``member_ids``
+    must land in exactly one of the two (ids in neither are recorded as
+    degraded with reason ``"no shard outcome"`` -- conservation beats
+    optimism).
+    """
+    systems: list[dict] = []
+    degraded_entries: list[dict] = []
+    gaps_hours: list[float] = []
+    reports: list[dict] = []
+    for member_id in sorted(member_ids):
+        artifact = covered.get(member_id)
+        if artifact is not None:
+            entry, gaps = _system_entry(member_id, artifact,
+                                        int(config.get("days", 1)))
+            systems.append(entry)
+            gaps_hours.extend(gaps)
+            reports.append(artifact.report)
+            continue
+        info = degraded.get(member_id)
+        degraded_entries.append({
+            "system": member_id,
+            "status": (info or {}).get("status", "missing"),
+            "reason": (info or {}).get("reason", "no shard outcome"),
+            "attempts": int((info or {}).get("attempts", 0)),
+        })
+    report = FleetReport(
+        config=dict(config),
+        coverage={
+            "fleet": len(member_ids),
+            "covered": len(systems),
+            "degraded": len(degraded_entries),
+        },
+        systems=systems,
+        degraded_systems=degraded_entries,
+        dominant_causes=_weighted_mix(reports, "category_breakdown"),
+        family_split=_weighted_mix(reports, "family_split"),
+        failure_time_distribution=_gap_histogram(gaps_hours),
+        outliers=_find_outliers(systems),
+    )
+    assert report.conserved  # by construction; the property test re-proves it
+    return report

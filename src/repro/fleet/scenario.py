@@ -1,0 +1,161 @@
+"""Fleet members: many small simulated systems, one per shard.
+
+The paper studies five production systems in depth; the fleet layer
+asks the *operational* question a center with a whole machine room
+faces: given dozens-to-hundreds of systems, diagnose each one and roll
+the answers up.  A fleet member is deliberately small -- a 192-node
+XC40-style machine simulated for a few days -- so a 100-system fleet
+stays a seconds-scale stress scenario rather than an hours-scale one.
+
+Members are deterministic in ``(member_id, seed)``: each gets its own
+derived seed, its own failure-rate draw (a few members draw a hot-rate
+multiplier, anchoring the rollup's outlier analysis), and its own
+cached log directory under ``<cache>/fleet/``, materialised with the
+same atomic build-directory discipline as the experiment scenarios
+(:func:`repro.experiments.scenarios.materialize`) -- a SIGKILL mid-
+build can never publish a half-written member store.
+
+The member system key is ``FLEET`` and intentionally lives *outside*
+the Table I catalog (``SYSTEMS`` is the paper's five systems, frozen);
+the spec is passed to :meth:`~repro.platform.Platform.build` directly
+and its node count to the diagnosis pipeline explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.reboot import RebootService
+from repro.cluster.systems import (
+    Family,
+    FileSystemKind,
+    Interconnect,
+    SchedulerKind,
+    SystemSpec,
+)
+from repro.experiments.scenarios import scenario_cache_root
+from repro.faults import Campaign
+from repro.logs.store import LogStore
+from repro.platform import Platform
+
+__all__ = ["FLEET_SYSTEM", "FleetSpec", "materialize_member"]
+
+#: the (deliberately small) system every fleet member simulates
+FLEET_SYSTEM = SystemSpec(
+    key="FLEET",
+    family=Family.CRAY_XC40,
+    nodes=192,
+    interconnect=Interconnect.ARIES_DRAGONFLY,
+    scheduler=SchedulerKind.SLURM,
+    filesystem=FileSystemKind.LUSTRE,
+    os_name="SuSE",
+    processors="Haswell",
+    duration_months=1,
+    log_size_gb=0.1,
+)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fleet run's shape: how many systems, how long, which seed."""
+
+    systems: int = 100
+    days: int = 2
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.systems < 1:
+            raise ValueError("systems must be >= 1")
+        if self.days < 1:
+            raise ValueError("days must be >= 1")
+
+    @property
+    def member_ids(self) -> list[str]:
+        return [f"sys-{i:03d}" for i in range(self.systems)]
+
+    def member_seed(self, index: int) -> int:
+        """Derived per-member seed (stable, collision-free spacing)."""
+        return self.seed * 100_003 + index * 7_919
+
+    def as_config(self) -> dict:
+        """The resume-compatibility fingerprint recorded in the journal."""
+        return {"systems": self.systems, "days": self.days,
+                "seed": self.seed}
+
+
+def _build_member(plat: Platform, days: int) -> None:
+    """One member's fault campaign: rate-varied, occasionally hot.
+
+    Every draw comes from the platform's seeded rng tree, so a member
+    rebuilt after a crash (or on another host) produces byte-identical
+    logs -- the foundation of the fleet's resume parity.
+    """
+    # production members get repaired: failed nodes return to service
+    RebootService(plat, mean_repair=4 * 3600.0)
+    camp = Campaign(plat, name="fleet")
+    rng = plat.rng.child("scenario", "fleet-member")
+    rate = rng.uniform(0.7, 1.5)
+    if rng.bernoulli(0.04):
+        # a few hot systems anchor the rollup's outlier detection
+        rate *= 5.0
+    camp.poisson("mce_failstop", per_day=2.0 * rate, duration_days=days,
+                 params={"precursor": True})
+    camp.poisson("lustre_bug_chain", per_day=1.6 * rate,
+                 duration_days=days)
+    camp.poisson("app_exit_chain", per_day=1.8 * rate, duration_days=days)
+    camp.poisson("oom_chain", per_day=1.0 * rate, duration_days=days,
+                 params={"fail_prob": 1.0})
+    camp.poisson("kernel_bug_chain", per_day=0.6 * rate,
+                 duration_days=days)
+    # benign populations so the precursor / false-positive analyses
+    # have substance to chew on
+    camp.poisson("nvf_chain", per_day=0.4 * rate, duration_days=days,
+                 params={"fail_prob": 0.85})
+    camp.poisson("nhf_benign", per_day=2.0, duration_days=days)
+    camp.poisson("mce_benign", per_day=6.0, duration_days=days)
+    camp.poisson("lustre_benign_flood", per_day=4.0, duration_days=days)
+    plat.run(days=days + 1)
+
+
+def materialize_member(
+    member_id: str,
+    seed: int,
+    days: int,
+    root: Optional[Path] = None,
+    force: bool = False,
+) -> LogStore:
+    """Build (or reuse) one fleet member's log directory.
+
+    Cache key: ``<root>/fleet/<member_id>-seed<seed>-d<days>``; reuse
+    requires a readable manifest with the matching seed.  Publication
+    is an atomic directory rename, exactly like
+    :func:`repro.experiments.scenarios.materialize`.
+    """
+    root = (root or scenario_cache_root()) / "fleet"
+    store = LogStore(root / f"{member_id}-seed{seed}-d{days}")
+    if not force and store.exists():
+        try:
+            manifest = store.manifest()
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # damaged cache entry: fall through and rebuild
+        else:
+            if manifest.seed == seed and manifest.system == FLEET_SYSTEM.key:
+                return store
+    plat = Platform.build(FLEET_SYSTEM, seed=seed)
+    _build_member(plat, days)
+    build_dir = root / f".building-{member_id}-seed{seed}-{os.getpid()}"
+    if build_dir.exists():
+        shutil.rmtree(build_dir)
+    try:
+        plat.write_logs(build_dir)
+        if store.root.exists():  # stale or damaged predecessor
+            shutil.rmtree(store.root)
+        os.replace(build_dir, store.root)
+    finally:
+        if build_dir.exists():
+            shutil.rmtree(build_dir)
+    return store

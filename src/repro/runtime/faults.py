@@ -2,23 +2,41 @@
 
 PR 1's :mod:`repro.logs.corruption` attacks the *data*; this module
 attacks the *execution*: a worker process consults the fault plan at
-the start of every experiment attempt and, when the plan names that
-``(experiment, attempt)``, dies mid-flight (SIGKILL), hangs past its
+the start of every task attempt and, when the plan names that
+``(task, attempt)``, dies mid-flight (SIGKILL), hangs past its
 deadline, crashes with an exception, or merely runs slow.  The plan
 rides in a JSON file referenced by the ``REPRO_FAULT_PLAN`` environment
 variable so it crosses the fork boundary (and the CLI boundary in the
 chaos tests) without any supervisor cooperation -- exactly like real
 faults.
 
-Plan file format::
+Plan file format (full grammar in ``docs/RESILIENT_RUNS.md``)::
 
     {"fig4": [{"action": "sigkill", "attempts": [1]}],
      "table3": [{"action": "hang", "attempts": [1, 2]},
-                {"action": "slow", "attempts": [3], "delay": 0.2}]}
+                {"action": "slow", "attempts": [3], "delay": 0.2}],
+     "sys-004": [{"action": "corrupt_artifact", "attempts": [1],
+                  "mode": "truncate"}]}
 
-Actions: ``sigkill`` (uncatchable death), ``hang`` (sleep forever, in
-small slices so nothing can interrupt it early by accident), ``crash``
-(raise RuntimeError), ``slow`` (sleep ``delay`` seconds, then proceed).
+Start-stage actions (fired by :func:`inject` as an attempt begins):
+``sigkill`` (uncatchable death), ``hang`` (sleep forever, in small
+slices so nothing can interrupt it early by accident), ``crash``
+(raise RuntimeError), ``slow`` (sleep ``delay`` seconds, then proceed),
+plus the fleet-layer spellings ``shard_kill`` and ``shard_hang`` (same
+behaviour, scoped to shard ids so one plan file can attack campaign
+experiments and fleet shards without ambiguity).
+
+Artifact-stage action: ``corrupt_artifact`` damages a shard's
+just-written on-disk artifact (``mode``: ``truncate`` drops the tail
+including the content-hash footer, ``flip`` corrupts bytes in place),
+exercising the fleet layer's checksum-detect-and-rebuild path.  It is
+fired by :func:`corrupt_artifact` after the write, never by
+:func:`inject`.
+
+A plan that parses as JSON but names an unknown fault kind (or is
+otherwise malformed) raises :class:`FaultPlanError` with a message
+naming the offender and the known kinds -- a typo in a chaos plan must
+fail loudly, not silently run the campaign without faults.
 """
 
 from __future__ import annotations
@@ -31,7 +49,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
 
-__all__ = ["FAULT_PLAN_ENV", "FaultSpec", "FaultPlan", "inject"]
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultPlanError",
+    "FaultSpec",
+    "FaultPlan",
+    "inject",
+    "corrupt_artifact",
+]
 
 #: environment variable naming the active fault-plan file
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -40,7 +65,26 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 #: expected to fire long before this drains
 _HANG_SECONDS = 3600.0
 
-_ACTIONS = ("sigkill", "hang", "crash", "slow")
+#: actions fired as an attempt starts (shard_* are the fleet spellings)
+_START_ACTIONS = ("sigkill", "hang", "crash", "slow",
+                  "shard_kill", "shard_hang")
+#: actions fired against a written artifact, never at attempt start
+_ARTIFACT_ACTIONS = ("corrupt_artifact",)
+_ACTIONS = _START_ACTIONS + _ARTIFACT_ACTIONS
+
+#: corrupt_artifact damage modes
+_CORRUPT_MODES = ("truncate", "flip")
+
+#: keys a plan spec object may carry
+_SPEC_KEYS = frozenset({"action", "attempts", "delay", "mode"})
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (unknown kind, bad structure).
+
+    Raised eagerly at parse time so a typo'd chaos plan fails the run
+    loudly instead of silently injecting nothing.
+    """
 
 
 @dataclass(frozen=True)
@@ -50,26 +94,41 @@ class FaultSpec:
     action: str
     attempts: tuple[int, ...] = (1,)
     delay: float = 0.0
+    #: damage mode for ``corrupt_artifact`` (ignored by other actions)
+    mode: str = "truncate"
 
     def __post_init__(self) -> None:
         if self.action not in _ACTIONS:
-            raise ValueError(
+            raise FaultPlanError(
                 f"unknown fault action {self.action!r}; known: {_ACTIONS}")
         if not self.attempts:
-            raise ValueError("attempts must name at least one attempt")
+            raise FaultPlanError("attempts must name at least one attempt")
         if self.delay < 0:
-            raise ValueError("delay must be non-negative")
+            raise FaultPlanError("delay must be non-negative")
+        if self.mode not in _CORRUPT_MODES:
+            raise FaultPlanError(
+                f"unknown corrupt_artifact mode {self.mode!r}; "
+                f"known: {_CORRUPT_MODES}")
+
+    @property
+    def stage(self) -> str:
+        """When this fault fires: ``"start"`` or ``"artifact"``."""
+        return "artifact" if self.action in _ARTIFACT_ACTIONS else "start"
 
     def matches(self, attempt: int) -> bool:
         return attempt in self.attempts
 
     def fire(self) -> None:
-        """Execute the fault in the current process."""
+        """Execute a start-stage fault in the current process."""
+        if self.stage != "start":
+            raise FaultPlanError(
+                f"{self.action} is an artifact-stage fault; "
+                "fire it via corrupt_artifact()")
         if self.delay:
             time.sleep(self.delay)
-        if self.action == "sigkill":
+        if self.action in ("sigkill", "shard_kill"):
             os.kill(os.getpid(), signal.SIGKILL)
-        elif self.action == "hang":
+        elif self.action in ("hang", "shard_hang"):
             deadline = time.monotonic() + _HANG_SECONDS
             while time.monotonic() < deadline:
                 time.sleep(0.05)
@@ -77,26 +136,69 @@ class FaultSpec:
             raise RuntimeError("injected crash (fault plan)")
         # "slow" is just the delay above
 
+    def damage(self, path: Path) -> None:
+        """Apply this artifact-stage fault to a written file."""
+        data = path.read_bytes()
+        if self.mode == "flip":
+            mid = len(data) // 2
+            flipped = bytes([data[mid] ^ 0xFF]) if data else b"\xff"
+            path.write_bytes(data[:mid] + flipped + data[mid + 1:])
+        else:  # truncate: drop the tail (footer and checksum with it)
+            path.write_bytes(data[: max(0, int(len(data) * 0.6))])
+
+
+def _parse_spec(exp_id: str, index: int, spec: object) -> FaultSpec:
+    """One plan entry -> :class:`FaultSpec`, rejecting malformed shapes."""
+    where = f"fault plan entry {exp_id!r}[{index}]"
+    if not isinstance(spec, Mapping):
+        raise FaultPlanError(f"{where}: expected an object, got "
+                             f"{type(spec).__name__}")
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        raise FaultPlanError(
+            f"{where}: unknown keys {sorted(unknown)}; "
+            f"allowed: {sorted(_SPEC_KEYS)}")
+    if "action" not in spec:
+        raise FaultPlanError(f"{where}: missing required key 'action'")
+    attempts = spec.get("attempts", [1])
+    if (not isinstance(attempts, Sequence) or isinstance(attempts, str)
+            or not all(isinstance(a, int) and not isinstance(a, bool)
+                       for a in attempts)):
+        raise FaultPlanError(f"{where}: attempts must be a list of ints")
+    try:
+        return FaultSpec(
+            action=spec["action"],
+            attempts=tuple(attempts),
+            delay=float(spec.get("delay", 0.0)),
+            mode=spec.get("mode", "truncate"),
+        )
+    except FaultPlanError as exc:
+        raise FaultPlanError(f"{where}: {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise FaultPlanError(f"{where}: {exc}") from None
+
 
 class FaultPlan:
-    """The full plan: experiment id -> planned faults."""
+    """The full plan: task id (experiment or shard) -> planned faults."""
 
     def __init__(self, faults: Mapping[str, Sequence[FaultSpec]]) -> None:
         self.faults = {k: tuple(v) for k, v in faults.items()}
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_jsonable(cls, data: Mapping[str, object]) -> "FaultPlan":
+    def from_jsonable(cls, data: object) -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise FaultPlanError(
+                "fault plan must be a JSON object mapping task ids to "
+                f"fault lists, got {type(data).__name__}")
         faults = {}
         for exp_id, specs in data.items():
-            faults[exp_id] = [
-                FaultSpec(
-                    action=spec["action"],
-                    attempts=tuple(spec.get("attempts", [1])),
-                    delay=float(spec.get("delay", 0.0)),
-                )
-                for spec in specs
-            ]
+            if not isinstance(specs, Sequence) or isinstance(specs, str):
+                raise FaultPlanError(
+                    f"fault plan entry {exp_id!r} must be a list of fault "
+                    f"objects, got {type(specs).__name__}")
+            faults[exp_id] = [_parse_spec(exp_id, i, spec)
+                              for i, spec in enumerate(specs)]
         return cls(faults)
 
     @classmethod
@@ -113,39 +215,75 @@ class FaultPlan:
 
     def dump(self, path: Path | str) -> Path:
         path = Path(path)
-        data = {
-            exp_id: [
-                {"action": s.action, "attempts": list(s.attempts),
-                 "delay": s.delay}
-                for s in specs
-            ]
-            for exp_id, specs in self.faults.items()
-        }
+        data = {}
+        for exp_id, specs in self.faults.items():
+            entries = []
+            for s in specs:
+                entry = {"action": s.action, "attempts": list(s.attempts),
+                         "delay": s.delay}
+                if s.action in _ARTIFACT_ACTIONS:
+                    entry["mode"] = s.mode
+                entries.append(entry)
+            data[exp_id] = entries
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
         return path
 
     # ------------------------------------------------------------------
-    def spec_for(self, exp_id: str, attempt: int) -> Optional[FaultSpec]:
+    def spec_for(self, exp_id: str, attempt: int,
+                 stage: str = "start") -> Optional[FaultSpec]:
         for spec in self.faults.get(exp_id, ()):
-            if spec.matches(attempt):
+            if spec.stage == stage and spec.matches(attempt):
                 return spec
         return None
 
 
-def inject(exp_id: str, attempt: int) -> None:
-    """Fire the planned fault for this (experiment, attempt), if any.
+def _active_plan() -> Optional[FaultPlan]:
+    """The installed plan; unreadable/undecodable files are a no-op.
 
-    Called by worker processes at the start of every attempt.  A broken
-    plan file is a no-op rather than a new failure mode: fault injection
-    must never corrupt a production campaign that forgot to unset the
-    environment variable.
+    A *vanished or unreadable* plan file must never become a new failure
+    mode for a production run that forgot to unset the environment
+    variable.  A plan that parses but is malformed (unknown kind, bad
+    structure) raises :class:`FaultPlanError` instead -- that is a
+    deliberate chaos plan with a typo, and silence would mean running
+    the whole campaign without the faults the operator asked for.
     """
     try:
-        plan = FaultPlan.from_env()
-    except (OSError, ValueError, KeyError, json.JSONDecodeError):
-        return
+        return FaultPlan.from_env()
+    except FaultPlanError:
+        raise
+    except (OSError, ValueError):
+        return None
+
+
+def inject(exp_id: str, attempt: int) -> None:
+    """Fire the planned start-stage fault for this (task, attempt), if any.
+
+    Called by worker processes at the start of every attempt.
+    Artifact-stage faults (``corrupt_artifact``) never fire here; see
+    :func:`corrupt_artifact`.
+    """
+    plan = _active_plan()
     if plan is None:
         return
-    spec = plan.spec_for(exp_id, attempt)
+    spec = plan.spec_for(exp_id, attempt, stage="start")
     if spec is not None:
         spec.fire()
+
+
+def corrupt_artifact(exp_id: str, attempt: int, path: Path) -> bool:
+    """Damage ``path`` if the plan names (task, attempt) for corruption.
+
+    Called by the fleet shard worker immediately after publishing its
+    artifact; returns True when damage was applied.  The corruption is
+    deliberately applied *after* the atomic rename -- the threat model
+    is bit rot and torn storage on a file that was once valid, which is
+    exactly what the checksum footer exists to catch.
+    """
+    plan = _active_plan()
+    if plan is None:
+        return False
+    spec = plan.spec_for(exp_id, attempt, stage="artifact")
+    if spec is None or not Path(path).is_file():
+        return False
+    spec.damage(Path(path))
+    return True

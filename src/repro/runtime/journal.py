@@ -34,11 +34,11 @@ Crash-safety contract:
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 from typing import Any, Iterable, Optional
 
+from repro.core.artifacts import append_jsonl_line, atomic_write_text
 from repro.experiments.result import ExperimentResult
 from repro.obs import OBS
 
@@ -54,22 +54,6 @@ ARTIFACTS_DIR = "artifacts"
 class JournalError(RuntimeError):
     """A journal is unusable for the requested operation (e.g. resuming
     with a different seed than the one the campaign started with)."""
-
-
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
-
-    The temp file lives next to the destination so the replace never
-    crosses a filesystem boundary; it is fsynced before publication so
-    a crash cannot publish an empty or partial file.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
-    with tmp.open("w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
 
 
 def read_jsonl_tolerant(path: Path) -> tuple[list[dict], bool]:
@@ -123,10 +107,7 @@ class CampaignJournal:
     def append(self, event: str, **fields: Any) -> dict:
         """Append one event line (flushed before returning)."""
         record = {"event": event, **fields, "wall": time.time()}
-        self.root.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+        append_jsonl_line(self.path, record)
         return record
 
     def events(self) -> list[dict]:

@@ -28,23 +28,27 @@ campaign alive through all of that:
 On platforms without ``fork`` the supervisor degrades to in-process
 execution with exception capture (no kill-isolation); the report says
 so rather than pretending.
+
+Since PR 7 the heartbeat/deadline/retry/breaker machinery itself lives
+in :mod:`repro.runtime.tasks` (it also powers the fleet layer's shard
+workers); this module is the campaign-shaped subclass: experiment
+specs become tasks keyed by experiment id and grouped by scenario,
+completion publishes the canonical per-experiment artifact, and the
+journal vocabulary, obs counters and report contract of PR 4 are
+unchanged.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import threading
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.experiments.registry import EXPERIMENT_SPECS, ExperimentSpec
 from repro.experiments.result import ExperimentResult
 from repro.obs import OBS
-from repro.runtime import faults
 from repro.runtime.journal import CampaignJournal, JournalError
-from repro.runtime.retry import CircuitBreaker, RetryPolicy
+from repro.runtime.tasks import SupervisorConfig, TaskSpec, TaskSupervisor
 
 __all__ = [
     "SupervisorConfig",
@@ -52,27 +56,6 @@ __all__ = [
     "CampaignReport",
     "CampaignSupervisor",
 ]
-
-
-@dataclass(frozen=True)
-class SupervisorConfig:
-    """Tunables for one supervised campaign."""
-
-    #: per-experiment wall-clock deadline (seconds)
-    deadline: float = 1800.0
-    #: how often workers emit heartbeats
-    heartbeat_interval: float = 0.2
-    #: max heartbeat silence before a worker is declared dead
-    heartbeat_grace: float = 10.0
-    #: supervisor poll granularity
-    poll_interval: float = 0.05
-    retry: RetryPolicy = field(default_factory=RetryPolicy)
-    #: consecutive failures per scenario before its circuit opens
-    breaker_threshold: int = 3
-    #: run workers as separate processes (False = in-process capture)
-    isolated: bool = True
-    #: injectable sleeper so tests never actually wait out backoffs
-    sleep: Callable[[float], None] = time.sleep
 
 
 @dataclass
@@ -125,77 +108,34 @@ class CampaignReport:
         return 0 if self.shapes_ok else 1
 
 
-# ---------------------------------------------------------------------------
-# worker side
-# ---------------------------------------------------------------------------
-def _worker_main(
-    conn,
-    specs: Sequence[ExperimentSpec],
-    seed: int,
-    attempts: dict[str, int],
-    heartbeat_interval: float,
-) -> None:
-    """Run a batch of experiments, streaming progress over ``conn``.
+def _as_task(spec: ExperimentSpec) -> TaskSpec:
+    """An experiment spec as a supervised task.
 
-    Runs in a forked child: ``specs`` (including lambdas) are inherited,
-    never pickled.  A daemon thread heartbeats continuously so the
-    supervisor can tell "computing" from "dead"; hangs are the
-    *deadline's* job, not the heartbeat's.  One experiment's exception
-    is reported and the batch moves on -- only process death (SIGKILL,
-    segfault) costs the remaining experiments, and the supervisor
-    restarts those.
+    Experiments without a scenario get private groups (and private
+    breaker keys) so an unrelated crash never trips their circuit;
+    the payload crossing the result pipe is the result's jsonable
+    form, keeping workers replaceable.
     """
-    lock = threading.Lock()
-    done = threading.Event()
-
-    def send(*message) -> None:
-        with lock:
-            conn.send(message)
-
-    def beat() -> None:
-        while not done.is_set():
-            try:
-                send("heartbeat", time.monotonic())
-            except OSError:  # supervisor went away; die quietly
-                return
-            done.wait(heartbeat_interval)
-
-    threading.Thread(target=beat, daemon=True).start()
-    try:
-        for spec in specs:
-            attempt = attempts.get(spec.experiment, 1)
-            send("start", spec.experiment, attempt)
-            try:
-                with OBS.span("campaign.experiment", "campaign",
-                              experiment=spec.experiment, attempt=attempt):
-                    faults.inject(spec.experiment, attempt)
-                    result = spec.produce(seed)
-                send("done", spec.experiment, result.to_jsonable())
-            except Exception as exc:  # isolate the experiment, not the batch
-                send("error", spec.experiment,
-                     f"{type(exc).__name__}: {exc}")
-        # the worker is forked, so its recorder inherited the parent's
-        # enabled flag and open-span stack: buffered spans/metrics go
-        # home over the result pipe and are absorbed supervisor-side
-        # (a killed worker loses only its unsent buffer)
-        if OBS.enabled:
-            send("obs", OBS.drain_payload())
-        send("exit",)
-    finally:
-        done.set()
-        conn.close()
+    return TaskSpec(
+        task_id=spec.experiment,
+        group=spec.scenario or f"exp:{spec.experiment}",
+        run=lambda seed, _spec=spec: _spec.produce(seed).to_jsonable(),
+    )
 
 
-# ---------------------------------------------------------------------------
-# supervisor side
-# ---------------------------------------------------------------------------
-class CampaignSupervisor:
+class CampaignSupervisor(TaskSupervisor):
     """Run a full experiment campaign under supervision.
 
     ``specs`` defaults to the paper's registry; tests and benchmarks
     inject small synthetic spec tables.  All artifacts, events and the
     resume state live under ``root``.
     """
+
+    id_field = "experiment"
+    task_span = "campaign.experiment"
+    span_category = "campaign"
+    span_tag = "experiment"
+    metric_prefix = "campaign"
 
     def __init__(
         self,
@@ -205,8 +145,6 @@ class CampaignSupervisor:
         config: Optional[SupervisorConfig] = None,
         only: Optional[Sequence[str]] = None,
     ) -> None:
-        self.seed = seed
-        self.config = config or SupervisorConfig()
         table = tuple(specs if specs is not None else EXPERIMENT_SPECS)
         if only is not None:
             wanted = set(only)
@@ -216,16 +154,33 @@ class CampaignSupervisor:
                     f"unknown experiments: {', '.join(sorted(unknown))}")
             table = tuple(s for s in table if s.experiment in wanted)
         self.specs = table
-        self.journal = CampaignJournal(root)
-        self._notes: list[str] = []
-        self._ctx = None
-        if self.config.isolated:
-            try:
-                self._ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX fallback
-                self._notes.append(
-                    "process isolation unavailable (no fork); degraded to "
-                    "in-process execution")
+        self._spec_by_id = {s.experiment: s for s in table}
+        super().__init__(CampaignJournal(root),
+                         [_as_task(s) for s in table],
+                         config=config, seed=seed)
+
+    # ------------------------------------------------------------------
+    # TaskSupervisor hooks
+    # ------------------------------------------------------------------
+    def _publish(self, task: TaskSpec, payload: Any,
+                 attempt: int) -> ExperimentResult:
+        """Atomically publish the experiment's canonical artifact."""
+        result = ExperimentResult.from_jsonable(payload)
+        self.journal.write_artifact(result)
+        return result
+
+    def _complete_fields(self, task: TaskSpec,
+                         value: ExperimentResult) -> dict:
+        return {"shape_ok": bool(value.shape_ok)}
+
+    def _make_outcome(self, task: TaskSpec, status: str, attempts: int,
+                      reason: str = "", value: Any = None,
+                      from_journal: bool = False) -> ExperimentOutcome:
+        return ExperimentOutcome(
+            experiment=task.task_id,
+            scenario=self._spec_by_id[task.task_id].scenario,
+            status=status, attempts=attempts, reason=reason,
+            result=value, from_journal=from_journal)
 
     # ------------------------------------------------------------------
     def run(self, resume: bool = False) -> CampaignReport:
@@ -270,11 +225,7 @@ class CampaignSupervisor:
             self.journal.reset()
         self.journal.start(self.seed, [s.experiment for s in self.specs],
                            resumed=resume)
-        breaker = CircuitBreaker(threshold=self.config.breaker_threshold)
-        for group_key, group in self._groups():
-            pending = [s for s in group if s.experiment not in outcomes]
-            if pending:
-                self._run_group(group_key, pending, breaker, outcomes)
+        self.execute(outcomes)
         report = CampaignReport(
             seed=self.seed,
             outcomes=[outcomes[s.experiment] for s in self.specs],
@@ -291,277 +242,3 @@ class CampaignSupervisor:
                 OBS.metrics.counter(f"campaign.{status}").inc(
                     len(report.by_status(status)))
         return report
-
-    # ------------------------------------------------------------------
-    def _groups(self) -> list[tuple[str, list[ExperimentSpec]]]:
-        """Specs grouped by scenario (order of first appearance).
-
-        One worker serves one scenario group so the expensive
-        materialise-and-diagnose work is shared in-process; experiments
-        without a scenario get private groups (and private breaker
-        keys) so an unrelated crash never trips their circuit.
-        """
-        order: list[str] = []
-        groups: dict[str, list[ExperimentSpec]] = {}
-        for spec in self.specs:
-            key = spec.scenario or f"exp:{spec.experiment}"
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(spec)
-        return [(key, groups[key]) for key in order]
-
-    def _run_group(
-        self,
-        group_key: str,
-        pending: list[ExperimentSpec],
-        breaker: CircuitBreaker,
-        outcomes: dict[str, ExperimentOutcome],
-    ) -> None:
-        retry = self.config.retry
-        attempts: dict[str, int] = {}
-        last_error: dict[str, str] = {}
-        round_no = 0
-        # a worker that dies before ever reaching an experiment consumes
-        # no attempts, so progress is not guaranteed per round; the round
-        # cap bounds that pathology without constraining honest retries
-        max_rounds = retry.max_attempts * len(pending) + self.config.breaker_threshold
-        while pending:
-            if breaker.is_open(group_key):
-                reason = f"circuit open for {group_key}: {breaker.reason(group_key)}"
-                for spec in pending:
-                    self.journal.append("skip", experiment=spec.experiment,
-                                        reason=reason)
-                    outcomes[spec.experiment] = ExperimentOutcome(
-                        experiment=spec.experiment, scenario=spec.scenario,
-                        status="skipped", attempts=attempts.get(spec.experiment, 0),
-                        reason=reason)
-                return
-            round_no += 1
-            if round_no > max_rounds:
-                for spec in pending:
-                    reason = last_error.get(
-                        spec.experiment, "supervisor made no progress")
-                    self._finalize_failure(spec, attempts, reason, outcomes)
-                return
-            if self._ctx is not None:
-                self._run_batch_isolated(
-                    group_key, pending, attempts, last_error, breaker, outcomes)
-            else:
-                self._run_batch_inline(
-                    group_key, pending, attempts, last_error, breaker, outcomes)
-            still = []
-            for spec in pending:
-                if spec.experiment in outcomes:
-                    continue
-                if retry.allows(attempts.get(spec.experiment, 0) + 1):
-                    still.append(spec)
-                else:
-                    self._finalize_failure(
-                        spec, attempts,
-                        f"retries exhausted ({attempts[spec.experiment]} "
-                        f"attempts; last: {last_error.get(spec.experiment, 'unknown')})",
-                        outcomes)
-            pending = still
-            if pending and not breaker.is_open(group_key):
-                self.config.sleep(retry.backoff(round_no, key=group_key))
-
-    def _finalize_failure(
-        self,
-        spec: ExperimentSpec,
-        attempts: dict[str, int],
-        reason: str,
-        outcomes: dict[str, ExperimentOutcome],
-    ) -> None:
-        self.journal.append("failed", experiment=spec.experiment,
-                            attempts=attempts.get(spec.experiment, 0),
-                            reason=reason)
-        outcomes[spec.experiment] = ExperimentOutcome(
-            experiment=spec.experiment, scenario=spec.scenario,
-            status="failed", attempts=attempts.get(spec.experiment, 0),
-            reason=reason)
-
-    # ------------------------------------------------------------------
-    def _complete(
-        self,
-        spec: ExperimentSpec,
-        payload: dict,
-        attempts: dict[str, int],
-        breaker: CircuitBreaker,
-        group_key: str,
-        outcomes: dict[str, ExperimentOutcome],
-    ) -> None:
-        result = ExperimentResult.from_jsonable(payload)
-        # artifact first, completion event second: a crash in between
-        # re-runs the experiment, which is safe because artifacts are
-        # deterministic and atomically replaced
-        self.journal.write_artifact(result)
-        self.journal.append("complete", experiment=spec.experiment,
-                            attempt=attempts.get(spec.experiment, 1),
-                            shape_ok=bool(result.shape_ok))
-        outcomes[spec.experiment] = ExperimentOutcome(
-            experiment=spec.experiment, scenario=spec.scenario,
-            status="completed", attempts=attempts.get(spec.experiment, 1),
-            result=result)
-        breaker.record_success(group_key)
-
-    def _attempt_failed(
-        self,
-        spec: ExperimentSpec,
-        reason: str,
-        attempts: dict[str, int],
-        last_error: dict[str, str],
-        breaker: CircuitBreaker,
-        group_key: str,
-    ) -> None:
-        last_error[spec.experiment] = reason
-        self.journal.append("attempt-failed", experiment=spec.experiment,
-                            attempt=attempts.get(spec.experiment, 1),
-                            reason=reason)
-        if OBS.enabled:
-            OBS.metrics.counter("campaign.retries").inc()
-        if breaker.record_failure(group_key, reason):
-            self.journal.append("breaker-open", key=group_key, reason=reason)
-            if OBS.enabled:
-                OBS.metrics.counter("campaign.breaker_open").inc()
-
-    # ------------------------------------------------------------------
-    def _run_batch_inline(
-        self,
-        group_key: str,
-        batch: list[ExperimentSpec],
-        attempts: dict[str, int],
-        last_error: dict[str, str],
-        breaker: CircuitBreaker,
-        outcomes: dict[str, ExperimentOutcome],
-    ) -> None:
-        """Degraded mode: exception capture without process isolation.
-
-        Reuses :func:`repro.core.analysis.guarded` -- the same
-        capture-and-degrade primitive the diagnosis driver runs every
-        analysis under -- so inline experiments and analyses share one
-        error-capture contract.
-        """
-        from repro.core.analysis import guarded
-
-        for spec in batch:
-            if breaker.is_open(group_key):
-                return
-            attempts[spec.experiment] = attempts.get(spec.experiment, 0) + 1
-            self.journal.append("start", experiment=spec.experiment,
-                                attempt=attempts[spec.experiment],
-                                isolated=False)
-            errors: dict[str, str] = {}
-            result = guarded(spec.experiment,
-                             lambda: spec.produce(self.seed), None, errors)
-            if spec.experiment in errors:
-                self._attempt_failed(spec, errors[spec.experiment], attempts,
-                                     last_error, breaker, group_key)
-                continue
-            self._complete(spec, result.to_jsonable(), attempts, breaker,
-                           group_key, outcomes)
-
-    def _run_batch_isolated(
-        self,
-        group_key: str,
-        batch: list[ExperimentSpec],
-        attempts: dict[str, int],
-        last_error: dict[str, str],
-        breaker: CircuitBreaker,
-        outcomes: dict[str, ExperimentOutcome],
-    ) -> None:
-        """Spawn one worker for the batch and babysit it to completion.
-
-        Returns when the worker exits (cleanly or not) or is killed for
-        blowing a deadline / losing its heartbeat.  Per-experiment
-        bookkeeping happens as the messages arrive, so anything the
-        worker finished before dying stays finished.
-        """
-        cfg = self.config
-        next_attempts = {
-            s.experiment: attempts.get(s.experiment, 0) + 1 for s in batch}
-        specs_by_id = {s.experiment: s for s in batch}
-        parent_conn, child_conn = self._ctx.Pipe()
-        proc = self._ctx.Process(
-            target=_worker_main,
-            args=(child_conn, batch, self.seed, next_attempts,
-                  cfg.heartbeat_interval),
-        )
-        proc.start()
-        child_conn.close()
-        now = time.monotonic()
-        last_beat = now
-        current: Optional[str] = None
-        exp_started = now
-        kill_reason: Optional[str] = None
-        try:
-            while True:
-                got = parent_conn.poll(cfg.poll_interval)
-                now = time.monotonic()
-                if got:
-                    try:
-                        message = parent_conn.recv()
-                    except (EOFError, OSError):
-                        break
-                    kind = message[0]
-                    if kind == "heartbeat":
-                        last_beat = now
-                    elif kind == "start":
-                        _, exp_id, attempt = message
-                        current = exp_id
-                        exp_started = now
-                        last_beat = now
-                        attempts[exp_id] = attempt
-                        self.journal.append("start", experiment=exp_id,
-                                            attempt=attempt, isolated=True)
-                    elif kind == "done":
-                        _, exp_id, payload = message
-                        self._complete(specs_by_id[exp_id], payload, attempts,
-                                       breaker, group_key, outcomes)
-                        current = None
-                    elif kind == "error":
-                        _, exp_id, reason = message
-                        self._attempt_failed(
-                            specs_by_id[exp_id], reason, attempts,
-                            last_error, breaker, group_key)
-                        current = None
-                    elif kind == "obs":
-                        OBS.absorb(message[1])
-                    elif kind == "exit":
-                        break
-                    continue
-                if current is not None and now - exp_started > cfg.deadline:
-                    kill_reason = (
-                        f"deadline exceeded ({cfg.deadline:.1f}s) -- "
-                        "worker killed")
-                    break
-                if now - last_beat > cfg.heartbeat_grace:
-                    kill_reason = (
-                        f"heartbeat lost (> {cfg.heartbeat_grace:.1f}s "
-                        "silence) -- worker killed")
-                    break
-                if not proc.is_alive():
-                    break
-        finally:
-            if proc.is_alive():
-                proc.kill()
-            proc.join(timeout=10.0)
-            parent_conn.close()
-        if kill_reason is None and current is not None:
-            kill_reason = f"worker died (exit code {proc.exitcode})"
-        if current is not None:
-            self._attempt_failed(
-                specs_by_id[current], kill_reason or "worker died",
-                attempts, last_error, breaker, group_key)
-        elif kill_reason is not None:
-            # death between experiments: charge the scenario, not an
-            # experiment -- the round cap bounds repeat offenders
-            self.journal.append("worker-lost", group=group_key,
-                                reason=kill_reason)
-            if OBS.enabled:
-                OBS.metrics.counter("campaign.worker_lost").inc()
-            if breaker.record_failure(group_key, kill_reason):
-                self.journal.append("breaker-open", key=group_key,
-                                    reason=kill_reason)
-                if OBS.enabled:
-                    OBS.metrics.counter("campaign.breaker_open").inc()

@@ -32,7 +32,8 @@ from repro.core.external import NODE_SCOPED_PRECURSORS
 from repro.core.serialize import canonical_json
 from repro.logs.parsing import ParsedRecord
 from repro.obs import OBS
-from repro.runtime.journal import atomic_write_text, read_jsonl_tolerant
+from repro.core.artifacts import atomic_write_text
+from repro.runtime.journal import read_jsonl_tolerant
 from repro.simul.clock import DAY
 
 __all__ = ["Alert", "AlertEngine", "PRECURSOR_EVENTS"]

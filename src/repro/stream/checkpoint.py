@@ -32,10 +32,10 @@ writes can duplicate nothing and lose nothing.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.core.artifacts import append_jsonl_line
 from repro.logs.health import IngestionHealth, SourceHealth
 from repro.logs.record import LogSource
 from repro.runtime.journal import read_jsonl_tolerant
@@ -121,12 +121,14 @@ class WatchCheckpoint:
 
     # ------------------------------------------------------------------
     def append(self, event: str, **fields: Any) -> dict:
-        """Append one event line (flushed before returning)."""
+        """Append one event line (flushed before returning).
+
+        Shares the campaign journal's append discipline via
+        :func:`repro.core.artifacts.append_jsonl_line` -- the two
+        crash-safety contracts are one implementation.
+        """
         record = {"event": event, **fields}
-        self.root.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+        append_jsonl_line(self.path, record)
         return record
 
     def exists(self) -> bool:

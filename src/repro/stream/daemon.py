@@ -65,14 +65,14 @@ from typing import Optional, Sequence
 from repro.core.failure_detection import FailureDetector
 from repro.core.index import RecordIndex, StreamIndex
 from repro.core.pipeline import HolisticDiagnosis, degradation_for
-from repro.core.serialize import canonical_json, report_digest, to_jsonable
+from repro.core.serialize import to_jsonable
 from repro.logs.health import ErrorPolicy, IngestionHealth
 from repro.logs.parsing import ParsedRecord
 from repro.logs.record import LogSource
 from repro.logs.store import LogStore
 from repro.obs import OBS
+from repro.core.artifacts import write_canonical_artifact
 from repro.runtime.faults import inject
-from repro.runtime.journal import atomic_write_text
 from repro.simul.clock import DAY
 from repro.stream.alerts import AlertEngine
 from repro.stream.checkpoint import (
@@ -416,10 +416,8 @@ class WatchDaemon:
                 "end_day": event["end_day"],
                 "report": patched,
             })
-        text = canonical_json(windows_out)
-        digest = report_digest(windows_out)
         report_path = Path(self.config.out) / REPORT_NAME
-        atomic_write_text(report_path, text + "\n")
+        digest = write_canonical_artifact(report_path, windows_out)
         self.checkpoint.append("finalize", digest=digest,
                                windows=len(windows_out))
         if OBS.enabled:

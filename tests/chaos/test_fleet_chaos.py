@@ -1,0 +1,138 @@
+"""Fleet chaos gate (tier-2): kill shards, rot artifacts, kill the driver.
+
+The fleet's acceptance properties, end-to-end through the CLI:
+
+* shard-level chaos (``shard_kill``, ``corrupt_artifact``) degrades
+  coverage gracefully and self-heals on retries -- and once every
+  shard has completed, the report is byte-identical to an undisturbed
+  fleet's;
+* SIGKILL of the *driver* mid-fleet followed by ``repro fleet
+  --resume`` also converges to the byte-identical report.
+
+Marked ``chaos``; run via ``scripts/run_chaos.sh`` or ``pytest -m
+chaos``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.chaos
+
+# the acceptance bar runs on the full 100-system stress scenario
+SYSTEMS = 100
+DAYS = 1
+SEED = 21
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    """One member-log cache shared by every fleet in the module."""
+    return tmp_path_factory.mktemp("fleet-cache")
+
+
+def fleet_cmd(out, *extra):
+    return [sys.executable, "-m", "repro", "fleet", str(out),
+            "--systems", str(SYSTEMS), "--days", str(DAYS),
+            "--seed", str(SEED), "--max-workers", "4", *extra]
+
+
+def cli_env(cache_dir, fault_plan=None):
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(src), env.get("PYTHONPATH", "")]))
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env.pop(FAULT_PLAN_ENV, None)
+    if fault_plan is not None:
+        env[FAULT_PLAN_ENV] = str(fault_plan)
+    return env
+
+
+def run_fleet(out, cache_dir, *extra, fault_plan=None):
+    return subprocess.run(fleet_cmd(out, *extra), capture_output=True,
+                          text=True, env=cli_env(cache_dir, fault_plan),
+                          timeout=600)
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory, cache_dir):
+    """An undisturbed fleet's report: the parity reference (and the
+    cache warm-up every other fleet in the module reuses)."""
+    out = tmp_path_factory.mktemp("baseline") / "fleet"
+    proc = run_fleet(out, cache_dir)
+    assert proc.returncode == 0, proc.stderr
+    return (out / "fleet_report.json").read_bytes()
+
+
+def test_shard_chaos_degrades_then_converges(tmp_path, cache_dir,
+                                             baseline):
+    """Kills + corruption: conserved partial report, then full parity."""
+    plan = FaultPlan({
+        "sys-001": [FaultSpec("shard_kill", attempts=(1, 2, 3))],
+        "sys-003": [FaultSpec("corrupt_artifact", attempts=(1,),
+                              mode="truncate")],
+        "sys-004": [FaultSpec("shard_kill", attempts=(1,))],
+    }).dump(tmp_path / "plan.json")
+    out = tmp_path / "fleet"
+    proc = run_fleet(out, cache_dir, fault_plan=plan)
+    assert proc.returncode == 3, proc.stdout + proc.stderr
+    report = json.loads((out / "fleet_report.json").read_text())
+    cov = report["coverage"]
+    assert cov == {"fleet": SYSTEMS, "covered": SYSTEMS - 1, "degraded": 1}
+    degraded, = report["degraded_systems"]
+    assert degraded["system"] == "sys-001"
+    assert "retries exhausted" in degraded["reason"]
+    # sys-003 (corrupted once) and sys-004 (killed once) self-healed
+    covered = {entry["system"] for entry in report["systems"]}
+    assert {"sys-003", "sys-004"} <= covered
+
+    # chaos lifted + --resume: the degraded shard completes and the
+    # report converges to the undisturbed fleet's bytes
+    proc = run_fleet(out, cache_dir, "--resume")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert (out / "fleet_report.json").read_bytes() == baseline
+
+
+def test_driver_sigkill_then_resume_is_byte_identical(tmp_path, cache_dir,
+                                                      baseline):
+    """SIGKILL the whole driver mid-fleet; --resume finishes the job."""
+    out = tmp_path / "fleet"
+    # slow every shard down a little so the driver dies mid-fleet
+    plan = FaultPlan({
+        f"sys-{i:03d}": [FaultSpec("slow", attempts=(1,), delay=0.4)]
+        for i in range(SYSTEMS)
+    }).dump(tmp_path / "plan.json")
+    proc = subprocess.Popen(fleet_cmd(out), env=cli_env(cache_dir, plan),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    journal = out / "journal.jsonl"
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline and proc.poll() is None:
+        if journal.is_file() and b'"complete"' in journal.read_bytes():
+            break
+        time.sleep(0.05)
+    mid_flight = proc.poll() is None
+    if mid_flight:
+        os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=30)
+    assert mid_flight, "fleet finished before the driver could be killed"
+    assert not (out / "fleet_report.json").exists()
+
+    resumed = run_fleet(out, cache_dir, "--resume")
+    assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+    assert (out / "fleet_report.json").read_bytes() == baseline
+    # the resume trusted at least one journaled shard instead of
+    # redoing the whole fleet
+    events = [json.loads(line)["event"]
+              for line in journal.read_text().splitlines() if line]
+    marker = max(i for i, e in enumerate(events) if e == "fleet-resume")
+    assert events[:marker].count("complete") >= 1

@@ -1,0 +1,98 @@
+"""Shard artifact container: checksum footer, atomicity, tamper evidence.
+
+Every damage mode the fleet's self-healing relies on must be *detected*
+here -- the supervisor only rebuilds what ``read_shard_artifact``
+refuses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet.artifact import (
+    MAGIC,
+    ShardArtifactError,
+    read_shard_artifact,
+    write_shard_artifact,
+)
+
+ARRAYS = {
+    "failure_times": np.array([10.0, 250.0, 9000.0]),
+    "internal_times": np.array([1.0, 2.0, 3.0, 4.0]),
+}
+REPORT = {"system": "sys-000", "failures": 3, "family_split": {"hw": 1.0}}
+
+
+def write(path):
+    return write_shard_artifact(path, ARRAYS, REPORT)
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "shard.npz"
+    digest = write(path)
+    artifact = read_shard_artifact(path)
+    assert artifact.digest == digest
+    assert artifact.report == REPORT
+    assert set(artifact.arrays) == set(ARRAYS)
+    for name, values in ARRAYS.items():
+        np.testing.assert_array_equal(artifact.arrays[name], values)
+
+
+def test_rewrite_is_atomic_replacement(tmp_path):
+    path = tmp_path / "shard.npz"
+    write(path)
+    write_shard_artifact(path, {"failure_times": np.array([1.0])},
+                         {"system": "sys-000", "failures": 1})
+    assert read_shard_artifact(path).report["failures"] == 1
+    assert not list(tmp_path.glob(".tmp*"))  # no droppings
+
+
+def test_reserved_array_name_rejected(tmp_path):
+    with pytest.raises(ValueError, match="reserved"):
+        write_shard_artifact(tmp_path / "s.npz",
+                             {"report_json": np.array([1.0])}, REPORT)
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(ShardArtifactError, match="unreadable"):
+        read_shard_artifact(tmp_path / "nope.npz")
+
+
+@pytest.mark.parametrize("keep", [0.2, 0.6, 0.95])
+def test_truncation_detected(tmp_path, keep):
+    path = tmp_path / "shard.npz"
+    write(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep)])
+    with pytest.raises(ShardArtifactError):
+        read_shard_artifact(path)
+
+
+def test_every_flipped_byte_detected(tmp_path):
+    """Single-bit rot anywhere in the payload fails the checksum."""
+    path = tmp_path / "shard.npz"
+    write(path)
+    data = bytearray(path.read_bytes())
+    payload_len = len(data) - (len(MAGIC) + 65)
+    for offset in range(0, payload_len, max(1, payload_len // 16)):
+        damaged = bytearray(data)
+        damaged[offset] ^= 0xFF
+        path.write_bytes(bytes(damaged))
+        with pytest.raises(ShardArtifactError):
+            read_shard_artifact(path)
+
+
+def test_footer_tamper_detected(tmp_path):
+    path = tmp_path / "shard.npz"
+    write(path)
+    data = bytearray(path.read_bytes())
+    data[-2] = ord("0") if data[-2] != ord("0") else ord("1")
+    path.write_bytes(bytes(data))
+    with pytest.raises(ShardArtifactError, match="checksum"):
+        read_shard_artifact(path)
+
+
+def test_garbage_file_rejected(tmp_path):
+    path = tmp_path / "shard.npz"
+    path.write_bytes(b"this was never an artifact")
+    with pytest.raises(ShardArtifactError):
+        read_shard_artifact(path)

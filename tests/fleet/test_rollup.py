@@ -1,0 +1,168 @@
+"""Partial-fleet rollup: the conservation invariant, proven by property.
+
+``merge_shards`` must account for every fleet member exactly once --
+covered or degraded -- for *any* pattern of shard loss, including the
+total loss of the fleet, and the aggregates must only ever come from
+the surviving shards.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.artifact import ShardArtifact
+from repro.fleet.rollup import (
+    GAP_BUCKET_HOURS,
+    FleetReport,
+    merge_shards,
+    shard_summary,
+)
+
+CONFIG = {"systems": 0, "days": 2, "seed": 7}
+
+
+def make_artifact(member_id, failures=4, gap_hours=1.0, degraded=False):
+    """A synthetic decoded shard: what a validated artifact yields."""
+    times = np.arange(failures, dtype=float) * gap_hours * 3600.0
+    report = {
+        "system": member_id,
+        "failures": failures,
+        "records": {"internal": 10 * failures, "external": 5,
+                    "scheduler": 3},
+        "category_breakdown": {"oom": 0.5, "fsbug": 0.5},
+        "family_split": {"software": 0.75, "hardware": 0.25},
+        "degraded": degraded,
+        "degraded_reasons": [],
+    }
+    return ShardArtifact(arrays={"failure_times": times}, report=report,
+                         digest="0" * 64)
+
+
+def degraded_info(attempts=3):
+    return {"status": "failed",
+            "reason": f"retries exhausted ({attempts} attempts)",
+            "attempts": attempts}
+
+
+# ----------------------------------------------------------------------
+# the conservation property
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    fleet=st.integers(min_value=1, max_value=40),
+    data=st.data(),
+)
+def test_any_loss_pattern_conserves_accounting(fleet, data):
+    """Kill/corrupt an arbitrary subset: covered + degraded == fleet."""
+    ids = [f"sys-{i:03d}" for i in range(fleet)]
+    lost = data.draw(st.sets(st.sampled_from(ids)))
+    # a further arbitrary subset of the lost shards never even got an
+    # outcome (e.g. the driver died first): merge must still conserve
+    unreported = data.draw(st.sets(st.sampled_from(sorted(lost))
+                                   if lost else st.nothing()))
+    covered = {mid: make_artifact(mid, failures=3 + (i % 4))
+               for i, mid in enumerate(ids) if mid not in lost}
+    degraded = {mid: degraded_info() for mid in lost - unreported}
+
+    report = merge_shards(dict(CONFIG, systems=fleet), ids, covered,
+                          degraded)
+
+    assert report.conserved
+    assert report.coverage == {"fleet": fleet, "covered": len(covered),
+                               "degraded": len(lost)}
+    seen = ([e["system"] for e in report.systems]
+            + [e["system"] for e in report.degraded_systems])
+    assert sorted(seen) == sorted(ids)  # each member exactly once
+    for entry in report.degraded_systems:
+        if entry["system"] in unreported:
+            assert entry["reason"] == "no shard outcome"
+    # aggregates come only from survivors
+    assert report.total_failures == sum(
+        a.report["failures"] for a in covered.values())
+    assert report.exit_code() == (3 if lost else 0)
+    # and the report survives its own serialization
+    round_tripped = FleetReport.from_jsonable(
+        json.loads(json.dumps(report.to_jsonable())))
+    assert round_tripped.conserved
+    assert round_tripped.coverage == report.coverage
+
+
+def test_zero_survivors_is_well_formed():
+    """Total fleet loss: all-degraded, empty aggregates, no crash."""
+    ids = [f"sys-{i:03d}" for i in range(5)]
+    report = merge_shards(dict(CONFIG, systems=5), ids, {},
+                          {mid: degraded_info() for mid in ids})
+    assert report.conserved
+    assert report.coverage == {"fleet": 5, "covered": 0, "degraded": 5}
+    assert report.systems == []
+    assert report.dominant_causes == {}
+    assert report.family_split == {}
+    assert report.failure_time_distribution["gaps"] == 0
+    assert report.outliers == []
+    assert report.total_failures == 0
+    assert report.exit_code() == 3
+
+
+# ----------------------------------------------------------------------
+# aggregate shapes
+# ----------------------------------------------------------------------
+def test_dominant_causes_are_failure_weighted():
+    heavy = make_artifact("sys-000", failures=90)
+    light = make_artifact("sys-001", failures=10)
+    light.report["category_breakdown"] = {"oom": 1.0}
+    heavy.report["category_breakdown"] = {"fsbug": 1.0}
+    report = merge_shards(dict(CONFIG, systems=2),
+                          ["sys-000", "sys-001"],
+                          {"sys-000": heavy, "sys-001": light}, {})
+    assert report.dominant_causes == pytest.approx(
+        {"fsbug": 0.9, "oom": 0.1})
+    assert sum(report.family_split.values()) == pytest.approx(1.0)
+
+
+def test_gap_histogram_pools_across_systems():
+    fast = make_artifact("sys-000", failures=4, gap_hours=0.3)
+    slow = make_artifact("sys-001", failures=3, gap_hours=30.0)
+    report = merge_shards(dict(CONFIG, systems=2),
+                          ["sys-000", "sys-001"],
+                          {"sys-000": fast, "sys-001": slow}, {})
+    dist = report.failure_time_distribution
+    assert dist["gaps"] == 5  # 3 fast + 2 slow
+    assert dist["bucket_hours"] == list(GAP_BUCKET_HOURS)
+    assert sum(dist["counts"]) == 5
+    assert dist["counts"][1] == 3   # 0.3h gaps in the 0.25-0.5h bucket
+    assert dist["counts"][-1] == 2  # 30h gaps in the open-ended tail
+    entry = next(e for e in report.systems if e["system"] == "sys-000")
+    assert entry["mean_interfailure_hours"] == pytest.approx(0.3)
+
+
+def test_outliers_need_spread_and_enough_systems():
+    ids = [f"sys-{i:03d}" for i in range(6)]
+    covered = {mid: make_artifact(mid, failures=4) for mid in ids}
+    report = merge_shards(dict(CONFIG, systems=6), ids, covered, {})
+    assert report.outliers == []  # MAD is zero: no spread, no outliers
+
+    covered["sys-005"] = make_artifact("sys-005", failures=80)
+    covered["sys-000"] = make_artifact("sys-000", failures=3)
+    covered["sys-001"] = make_artifact("sys-001", failures=5)
+    report = merge_shards(dict(CONFIG, systems=6), ids, covered, {})
+    assert [o["system"] for o in report.outliers] == ["sys-005"]
+    assert report.outliers[0]["robust_z"] >= 3.5
+
+
+def test_shard_summary_is_jsonable(tmp_path):
+    """The worker-side condenser emits plain data, ready for the pipe."""
+    from repro.core.pipeline import HolisticDiagnosis
+    from repro.fleet.scenario import FLEET_SYSTEM, materialize_member
+
+    store = materialize_member("sys-000", seed=123, days=1, root=tmp_path)
+    diag = HolisticDiagnosis.from_store(store,
+                                        total_nodes=FLEET_SYSTEM.nodes)
+    summary = shard_summary("sys-000", 123, 1, FLEET_SYSTEM.nodes,
+                            diag.run(), diag.records)
+    assert json.loads(json.dumps(summary)) == summary
+    assert summary["system"] == "sys-000"
+    assert summary["failures"] >= 0
+    assert set(summary["records"]) == {"internal", "external", "scheduler"}

@@ -82,3 +82,32 @@ def test_disabled_recorder_ships_no_obs_messages(tmp_path):
     assert report.exit_code() == 0
     assert OBS.spans() == []
     assert OBS.metrics.snapshot()["counters"] == {}
+
+
+@supervision
+def test_forked_workers_ship_only_their_own_deltas(tmp_path):
+    """Regression: a forked worker inherits the parent recorder's
+    buffered finished spans and counter values wholesale.  Shipping
+    that inherited state home again would double it parent-side --
+    compounding with every worker forked later.  Workers must drop it
+    at startup and report only their own deltas."""
+    from repro.obs import OBS
+
+    specs = (spec("e1"), spec("e2"), spec("e3"))
+    with session(ObsConfig()) as recorder:
+        # parent-side state buffered *before* any worker forks
+        OBS.metrics.counter("parent.marker").inc()
+        with OBS.span("parent.setup"):
+            pass
+        sup = CampaignSupervisor(tmp_path / "camp", seed=7, specs=specs,
+                                 config=fast_config())
+        report = sup.run()
+        spans = recorder.spans()
+        counters = recorder.metrics.snapshot()["counters"]
+
+    assert report.exit_code() == 0
+    # exactly once each, no matter how many workers forked after them
+    assert counters["parent.marker"] == 1
+    assert counters["campaign.completed"] == 3
+    assert len([s for s in spans if s.name == "parent.setup"]) == 1
+    assert len([s for s in spans if s.name == "campaign.experiment"]) == 3

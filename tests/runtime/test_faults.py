@@ -5,11 +5,20 @@ supervisor in ``test_supervisor.py`` and the chaos gate; here we cover
 the plan mechanics and the actions that return.
 """
 
+import hashlib
+import json
 import time
 
 import pytest
 
-from repro.runtime.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec, inject
+from repro.runtime.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    corrupt_artifact,
+    inject,
+)
 
 
 class TestFaultSpec:
@@ -36,6 +45,14 @@ class TestFaultSpec:
             FaultSpec("crash", attempts=())
         with pytest.raises(ValueError, match="non-negative"):
             FaultSpec("slow", delay=-1.0)
+        with pytest.raises(FaultPlanError, match="unknown corrupt_artifact"):
+            FaultSpec("corrupt_artifact", mode="scribble")
+
+    def test_stages(self):
+        assert FaultSpec("shard_kill").stage == "start"
+        assert FaultSpec("corrupt_artifact").stage == "artifact"
+        with pytest.raises(FaultPlanError, match="artifact-stage"):
+            FaultSpec("corrupt_artifact").fire()
 
 
 class TestFaultPlan:
@@ -63,6 +80,35 @@ class TestFaultPlan:
         plan = FaultPlan.from_env()
         assert plan.spec_for("a", 1).action == "crash"
 
+    def test_fleet_modes_round_trip(self, tmp_path):
+        plan = FaultPlan({
+            "sys-004": [FaultSpec("shard_kill", attempts=(1,)),
+                        FaultSpec("corrupt_artifact", attempts=(1,),
+                                  mode="flip")],
+        })
+        back = FaultPlan.load(plan.dump(tmp_path / "p.json"))
+        assert back.spec_for("sys-004", 1).action == "shard_kill"
+        art = back.spec_for("sys-004", 1, stage="artifact")
+        assert art.action == "corrupt_artifact" and art.mode == "flip"
+
+    def test_unknown_kind_rejected_with_clear_error(self, tmp_path):
+        """A typo'd plan must fail loudly, not silently inject nothing."""
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps({"fig4": [{"action": "explode"}]}))
+        with pytest.raises(FaultPlanError, match="unknown fault action"):
+            FaultPlan.load(path)
+
+    def test_malformed_structure_rejected(self, tmp_path):
+        for bad in (["not", "a", "mapping"],
+                    {"fig4": "sigkill"},
+                    {"fig4": [{"attempts": [1]}]},
+                    {"fig4": [{"action": "sigkill", "attempts": "1"}]},
+                    {"fig4": [{"action": "sigkill", "when": [1]}]}):
+            path = tmp_path / "p.json"
+            path.write_text(json.dumps(bad))
+            with pytest.raises(FaultPlanError):
+                FaultPlan.load(path)
+
 
 class TestInject:
     def test_noop_without_plan(self, monkeypatch):
@@ -88,3 +134,57 @@ class TestInject:
         inject("fig4", 1)  # attempt 1 unplanned
         with pytest.raises(RuntimeError, match="injected crash"):
             inject("fig4", 2)
+
+    def test_unknown_kind_in_env_plan_raises(self, tmp_path, monkeypatch):
+        """Unlike undecodable files, a *typo'd* plan is a loud error."""
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps({"fig4": [{"action": "explode"}]}))
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        with pytest.raises(FaultPlanError, match="unknown fault action"):
+            inject("fig4", 1)
+
+    def test_artifact_stage_never_fires_at_start(self, tmp_path,
+                                                 monkeypatch):
+        path = FaultPlan(
+            {"s": [FaultSpec("corrupt_artifact", attempts=(1,))]}
+        ).dump(tmp_path / "p.json")
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        inject("s", 1)  # must not raise or damage anything
+
+
+class TestCorruptArtifact:
+    def _artifact(self, tmp_path):
+        art = tmp_path / "shard.npz"
+        art.write_bytes(b"A" * 100)
+        return art
+
+    def test_noop_without_plan(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        art = self._artifact(tmp_path)
+        assert corrupt_artifact("s", 1, art) is False
+        assert art.read_bytes() == b"A" * 100
+
+    def test_truncate(self, tmp_path, monkeypatch):
+        path = FaultPlan(
+            {"s": [FaultSpec("corrupt_artifact", attempts=(1,))]}
+        ).dump(tmp_path / "p.json")
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        art = self._artifact(tmp_path)
+        assert corrupt_artifact("s", 1, art) is True
+        assert len(art.read_bytes()) < 100
+        # unplanned attempt: untouched
+        art2 = self._artifact(tmp_path)
+        assert corrupt_artifact("s", 2, art2) is False
+
+    def test_flip_preserves_length(self, tmp_path, monkeypatch):
+        path = FaultPlan(
+            {"s": [FaultSpec("corrupt_artifact", attempts=(1,),
+                             mode="flip")]}
+        ).dump(tmp_path / "p.json")
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        art = self._artifact(tmp_path)
+        before = hashlib.sha256(art.read_bytes()).hexdigest()
+        assert corrupt_artifact("s", 1, art) is True
+        data = art.read_bytes()
+        assert len(data) == 100
+        assert hashlib.sha256(data).hexdigest() != before
