@@ -14,6 +14,11 @@
 # for how to read them (and why test_parse_parallel is hardware-bound
 # on single-core runners).
 #
+# A second stanza runs the persistent parse-cache legs (PR 8,
+# benchmarks/bench_cache.py) and refreshes the min_ms figures in
+# BENCH_pr8.json; the uncached baselines there are timed inline so
+# both columns always come from the same machine and run.
+#
 # test_pipeline_run_windowed (registry-era addition) has no pre-PR
 # baseline by construction; compare it against test_full_pipeline_run
 # to read the registry-dispatch + window-slicing overhead.  The batch
@@ -65,4 +70,71 @@ print(f"\n{OUT} updated:")
 for name, entry in doc["results"].items():
     print(f"  {name}: {entry['before_ms']} -> {entry['after_ms']} ms "
           f"({entry['speedup']}x)")
+EOF
+
+RAW_CACHE="$(mktemp --suffix=.json)"
+trap 'rm -f "$RAW" "$RAW_CACHE"' EXIT
+
+python -m pytest \
+    benchmarks/bench_cache.py \
+    -q --benchmark-only --benchmark-json="$RAW_CACHE"
+
+python - "$RAW_CACHE" <<'EOF'
+import json
+import sys
+import time
+
+OUT = "BENCH_pr8.json"
+
+data = json.load(open(sys.argv[1]))
+after = {
+    b["fullname"].split("/")[-1]: b["stats"]["min"] * 1000
+    for b in data["benchmarks"]
+}
+
+# uncached baselines, timed right here so both columns share a machine
+from repro.core.pipeline import HolisticDiagnosis
+from repro.experiments.scenarios import materialize
+from repro.logs.parallel import parallel_read
+
+store = materialize("s3", seed=7)
+
+
+def best(fn, rounds=5):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - start) * 1000)
+    return min(times)
+
+
+read_ms = best(lambda: parallel_read(store))
+build_ms = best(lambda: HolisticDiagnosis.from_store(store))
+base_for = {
+    "test_cache_cold_populate": read_ms,
+    "test_cache_warm_hit": read_ms,
+    "test_cache_delta_ingest": read_ms,
+    "test_cache_warm_construction": build_ms,
+}
+
+doc = json.load(open(OUT))
+doc["baselines_ms"] = {
+    "uncached_parallel_read": round(read_ms, 2),
+    "uncached_pipeline_construction": round(build_ms, 2),
+}
+for name, ms in sorted(after.items()):
+    entry = doc["results"].setdefault(name, {})
+    entry["min_ms"] = round(ms, 2)
+    leg = name.split("::")[-1]
+    base = base_for.get(leg)
+    if base:
+        ratio = base / ms
+        entry["vs_uncached"] = (f"{ratio:.2f}x faster" if ratio >= 1
+                                else f"{1 / ratio:.2f}x slower")
+
+json.dump(doc, open(OUT, "w"), indent=2)
+print(f"\n{OUT} updated:")
+for name, entry in doc["results"].items():
+    print(f"  {name}: {entry['min_ms']} ms ({entry.get('vs_uncached')})")
 EOF

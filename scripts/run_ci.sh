@@ -14,10 +14,15 @@
 #   4. parity gate: the registry-driver report must stay byte-identical
 #      (canonical JSON) to the committed pre-refactor goldens on s1-s5,
 #      and one full-span window must equal the batch run (windowed
-#      consistency); see tests/core/test_parity_gate.py
-#   5. tier-2 chaos gate: corruption + supervision campaigns and the
+#      consistency); see tests/core/test_parity_gate.py -- including
+#      the cache-transparency legs (cached, warm, post-corruption runs
+#      must hash identically to the uncached goldens)
+#   5. parse-cache warm-run smoke: focused re-run of the delta-only
+#      ingest properties (warm run parses zero files, changed dirs
+#      parse only the delta); tests/logs/test_parallel.py
+#   6. tier-2 chaos gate: corruption + supervision campaigns and the
 #      overhead benchmarks (scripts/run_chaos.sh)
-#   6. fleet chaos gate: shard_kill + corrupt_artifact on a fleet plus
+#   7. fleet chaos gate: shard_kill + corrupt_artifact on a fleet plus
 #      driver SIGKILL/--resume byte-parity of fleet_report.json
 #      (tests/chaos/test_fleet_chaos.py), then the fleet scaling and
 #      shard-rebuild cost figures (benchmarks/bench_fleet.py)
@@ -43,6 +48,13 @@ python -m pytest tests/stream -m streaming -q
 
 echo "== parity + windowed-consistency gate (pytest -m parity) =="
 python -m pytest tests/core/test_parity_gate.py -m parity -q
+
+echo "== parse-cache warm-run smoke (zero files re-parsed) =="
+# part of tier-1 too; the focused re-run isolates the cache property
+# that matters operationally -- a warm second run must serve every
+# file from cache (no parses, no pool fork) and a changed directory
+# must parse only the delta
+python -m pytest tests/logs/test_parallel.py::TestDeltaOnlyIngest -q
 
 echo "== benchmark shape smoke (--benchmark-disable) =="
 python -m pytest benchmarks/ -m 'not chaos' --benchmark-disable -q

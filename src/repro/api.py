@@ -83,6 +83,7 @@ def load_system(
     *,
     error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
     health: Optional[IngestionHealth] = None,
+    cache=None,
 ) -> HolisticDiagnosis:
     """Ingest a log directory and return the bound diagnosis pipeline.
 
@@ -93,9 +94,16 @@ def load_system(
     raises on the first malformed line, ``"skip"`` and ``"quarantine"``
     ingest around damage and account for it in the report's
     :class:`IngestionHealth`.
+
+    ``cache`` attaches a persistent parse cache so re-ingesting
+    unchanged logs skips parsing entirely: ``True`` uses the store-local
+    default directory (``<logdir>/.parse-cache``), a path uses that
+    directory, ``None`` (default) parses uncached.  Output is
+    byte-identical either way (see ``docs/PERFORMANCE.md``).
     """
     return HolisticDiagnosis.from_store(
-        _store(logdir), error_policy=error_policy, health=health)
+        _store(logdir), error_policy=error_policy, health=health,
+        cache=cache)
 
 
 def diagnose(
@@ -104,6 +112,7 @@ def diagnose(
     error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
     only: Optional[Sequence[str]] = None,
     obs: Optional[ObsConfig] = None,
+    cache=None,
 ) -> DiagnosisReport:
     """One call from a log directory to the paper's full diagnosis.
 
@@ -112,9 +121,11 @@ def diagnose(
     stream is missing is reported in ``degraded_reasons`` rather than
     silently returning its neutral result.  ``obs`` scopes the call in
     an observability session and writes the artifacts its paths name.
+    ``cache`` is the parse-cache knob of :func:`load_system`.
     """
     with _maybe_session(obs):
-        return load_system(logdir, error_policy=error_policy).run(only=only)
+        return load_system(logdir, error_policy=error_policy,
+                           cache=cache).run(only=only)
 
 
 def diagnose_windowed(
@@ -125,16 +136,18 @@ def diagnose_windowed(
     error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
     only: Optional[Sequence[str]] = None,
     obs: Optional[ObsConfig] = None,
+    cache=None,
 ) -> list[DiagnosisWindow]:
     """Sliding-window diagnosis: one report per ``window_days`` slice.
 
     Windows advance by ``stride_days`` (default: tumbling).  With
     observability enabled (an ``obs`` config, or a surrounding
     :func:`repro.obs.session`) each window carries a per-analysis cost
-    profile in :attr:`DiagnosisWindow.profile`.
+    profile in :attr:`DiagnosisWindow.profile`.  ``cache`` is the
+    parse-cache knob of :func:`load_system`.
     """
     with _maybe_session(obs):
-        diag = load_system(logdir, error_policy=error_policy)
+        diag = load_system(logdir, error_policy=error_policy, cache=cache)
         return list(diag.run_windowed(window_days, stride_days=stride_days,
                                       only=only))
 
@@ -150,6 +163,7 @@ def watch(
     max_polls: Optional[int] = None,
     idle_polls: Optional[int] = None,
     obs: Optional[ObsConfig] = None,
+    cache=None,
 ):
     """Stream-diagnose a live log directory until it goes quiet.
 
@@ -168,6 +182,9 @@ def watch(
     consecutive empty polls or ``max_polls`` total (each ``None`` means
     unbounded -- then it runs until SIGTERM/SIGINT, which finalize
     gracefully).  Returns a :class:`repro.stream.WatchReport`.
+    ``cache`` attaches a parse cache to the daemon's store, making
+    restart-time catch-up reads delta-only (the live tail itself parses
+    incrementally and needs no cache).
     """
     # imported lazily, like run_campaign: the streaming subsystem is
     # not needed by the batch-only surface above
@@ -177,7 +194,8 @@ def watch(
     config = WatchConfig(
         logdir=Path(logdir), out=Path(out), window_days=window_days,
         poll_interval=poll_interval, error_policy=error_policy,
-        resume=resume, max_polls=max_polls, idle_polls=idle_polls)
+        resume=resume, max_polls=max_polls, idle_polls=idle_polls,
+        cache=cache)
     with _maybe_session(obs):
         return WatchDaemon(config).run()
 

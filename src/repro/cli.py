@@ -61,9 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
              "quarantine also writes them to <logdir>/quarantine/)",
     )
 
+    def add_cache_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-cache", action="store_true",
+                       help="parse without the persistent parse cache "
+                            "(output is byte-identical either way)")
+        p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                       help="parse-cache directory (default: "
+                            "<logdir>/.parse-cache)")
+
     p_diag = sub.add_parser("diagnose", help="run the pipeline over a log dir")
     p_diag.add_argument("logdir", type=Path, nargs="?", default=None)
     p_diag.add_argument("--error-policy", **policy_kwargs)
+    add_cache_flags(p_diag)
     p_diag.add_argument("--findings", action="store_true",
                         help="print Table VI style findings")
     p_diag.add_argument("--cases", action="store_true",
@@ -91,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred = sub.add_parser("predict", help="online failure prediction")
     p_pred.add_argument("logdir", type=Path)
     p_pred.add_argument("--error-policy", **policy_kwargs)
+    add_cache_flags(p_pred)
     p_pred.add_argument("--require-external", action="store_true")
     p_pred.add_argument("--min-events", type=int, default=3)
     p_pred.add_argument("--horizon", type=float, default=7200.0,
@@ -99,12 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ckpt = sub.add_parser("checkpoint", help="checkpoint interval advice")
     p_ckpt.add_argument("logdir", type=Path)
     p_ckpt.add_argument("--error-policy", **policy_kwargs)
+    add_cache_flags(p_ckpt)
     p_ckpt.add_argument("--cost", type=float, default=360.0,
                         help="checkpoint cost in seconds")
 
     p_tl = sub.add_parser("timeline", help="forensic timeline for one node")
     p_tl.add_argument("logdir", type=Path)
     p_tl.add_argument("--error-policy", **policy_kwargs)
+    add_cache_flags(p_tl)
     p_tl.add_argument("node", help="node cname, e.g. c0-0c1s4n2")
     p_tl.add_argument("--at", type=float, default=None,
                       help="anchor sim-time (default: the node's first "
@@ -177,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="watch output directory (alerts.jsonl, "
                               "checkpoint.jsonl, report.json)")
     p_watch.add_argument("--error-policy", **policy_kwargs)
+    add_cache_flags(p_watch)
     p_watch.add_argument("--window-days", type=int, default=1, metavar="N",
                          help="diagnosis window size in days (default: 1)")
     p_watch.add_argument("--poll-interval", type=float, default=0.5,
@@ -196,6 +209,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_watch.add_argument("--metrics", type=Path, default=None, metavar="PATH",
                          help="record the run and write a canonical-JSON "
                               "metrics snapshot")
+
+    p_cache = sub.add_parser(
+        "cache", help="manage a store's persistent parse cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for name, text in (
+        ("stats", "entry count, disk bytes, records, and -- when a "
+                  "--metrics snapshot is given -- the hit rate"),
+        ("clear", "delete every cache entry"),
+        ("verify", "validate every entry's checksum (healing rot)"),
+    ):
+        pc = cache_sub.add_parser(name, help=text)
+        pc.add_argument("logdir", type=Path,
+                        help="log store whose cache to inspect")
+        pc.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                        help="cache directory (default: "
+                             "<logdir>/.parse-cache)")
+        if name == "stats":
+            pc.add_argument("--metrics", type=Path, default=None,
+                            metavar="PATH",
+                            help="metrics snapshot of a recorded run (from "
+                                 "any command's --metrics flag) to compute "
+                                 "the hit rate from")
+        if name == "verify":
+            pc.add_argument("--no-heal", action="store_true",
+                            help="report invalid entries without deleting "
+                                 "them")
 
     p_obs = sub.add_parser(
         "obs", help="inspect observability artifacts")
@@ -228,12 +267,30 @@ def _note_obs_outputs(args: argparse.Namespace) -> None:
         print(f"metrics written: {args.metrics}")
 
 
-def _load(logdir: Path, error_policy: str = "skip") -> HolisticDiagnosis:
+def _cache_from_args(args: argparse.Namespace):
+    """Resolve the shared ``--no-cache`` / ``--cache-dir`` flags.
+
+    The parse cache is *on by default* for the read-only commands (it
+    is byte-transparent and a second run over unchanged logs skips
+    parsing entirely): ``True`` means the store-local default
+    directory, a path overrides the location, ``False`` disables.
+    """
+    if getattr(args, "no_cache", False):
+        if getattr(args, "cache_dir", None) is not None:
+            raise SystemExit("error: --no-cache and --cache-dir conflict")
+        return False
+    cache_dir = getattr(args, "cache_dir", None)
+    return True if cache_dir is None else cache_dir
+
+
+def _load(logdir: Path, error_policy: str = "skip",
+          cache=None) -> HolisticDiagnosis:
     store = LogStore(logdir)
     if not store.exists():
         raise SystemExit(f"error: {logdir} is not a log store "
                          "(no manifest.json)")
-    return HolisticDiagnosis.from_store(store, error_policy=error_policy)
+    return HolisticDiagnosis.from_store(store, error_policy=error_policy,
+                                        cache=cache)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -278,7 +335,7 @@ def _parse_only(raw: Optional[str]) -> Optional[list[str]]:
 
 def _cmd_diagnose_windowed(args: argparse.Namespace,
                            only: Optional[list[str]]) -> int:
-    diag = _load(args.logdir, args.error_policy)
+    diag = _load(args.logdir, args.error_policy, _cache_from_args(args))
     try:
         windows = diag.run_windowed(args.window_days,
                                     stride_days=args.stride_days, only=only)
@@ -326,7 +383,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 def _diagnose_batch(args: argparse.Namespace,
                     only: Optional[list[str]]) -> int:
     """The whole-span diagnosis body (``diagnose`` without windows)."""
-    diag = _load(args.logdir, args.error_policy)
+    diag = _load(args.logdir, args.error_policy, _cache_from_args(args))
     report = diag.run(only=only)
     if report.degraded:
         print(f"DEGRADED diagnosis ({len(report.degraded_reasons)} reasons):")
@@ -383,7 +440,7 @@ def _diagnose_batch(args: argparse.Namespace,
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    diag = _load(args.logdir, args.error_policy)
+    diag = _load(args.logdir, args.error_policy, _cache_from_args(args))
     config = PredictorConfig(
         require_external=args.require_external,
         min_events=args.min_events,
@@ -399,7 +456,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
-    diag = _load(args.logdir, args.error_policy)
+    diag = _load(args.logdir, args.error_policy, _cache_from_args(args))
     advisor = CheckpointAdvisor(diag.failures)
     predictor = OnlinePredictor()
     stream = sorted(diag.internal + diag.external, key=lambda r: r.time)
@@ -418,7 +475,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.core.timeline import node_timeline, render_timeline
 
-    diag = _load(args.logdir, args.error_policy)
+    diag = _load(args.logdir, args.error_policy, _cache_from_args(args))
     anchor = args.at
     failure = None
     if anchor is None:
@@ -563,7 +620,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         logdir=args.logdir, out=args.out, window_days=args.window_days,
         poll_interval=args.poll_interval, error_policy=args.error_policy,
         resume=args.resume, max_polls=args.max_polls,
-        idle_polls=args.idle_polls)
+        idle_polls=args.idle_polls, cache=_cache_from_args(args))
     try:
         with _obs_session(args):
             daemon = WatchDaemon(config)
@@ -585,6 +642,58 @@ def _cmd_watch(args: argparse.Namespace) -> int:
           f"-> {report.alerts_path}")
     print(f"report written: {report.report_path}")
     _note_obs_outputs(args)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.logs.cache import ParseCache
+    from repro.logs.store import DEFAULT_CACHE_DIRNAME
+
+    store = LogStore(args.logdir)
+    if not store.exists():
+        raise SystemExit(f"error: {args.logdir} is not a log store "
+                         "(no manifest.json)")
+    cache_dir = args.cache_dir or store.root / DEFAULT_CACHE_DIRNAME
+    cache = ParseCache(cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cache entries from {cache_dir}")
+        return 0
+    if args.cache_command == "verify":
+        valid, invalid = cache.verify(heal=not args.no_heal)
+        for entry_path in invalid:
+            verb = "evicted" if not args.no_heal else "invalid"
+            print(f"{verb}: {entry_path.name}")
+        print(f"{valid} valid, {len(invalid)} invalid entries "
+              f"in {cache_dir}")
+        return 1 if invalid else 0
+    # stats
+    stats = cache.stats(count_records=True)
+    print(f"cache at {cache_dir}")
+    print(f"  entries:      {stats.entries}")
+    print(f"  disk bytes:   {stats.total_bytes}")
+    print(f"  records:      {stats.records}")
+    if stats.invalid:
+        print(f"  invalid:      {stats.invalid}  (run `repro cache verify` "
+              "to heal)")
+    if getattr(args, "metrics", None) is not None:
+        import json
+
+        try:
+            counters = json.loads(
+                Path(args.metrics).read_text()).get("counters", {})
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: unreadable metrics snapshot: {exc}")
+        hits = counters.get("cache.hit", 0)
+        misses = counters.get("cache.miss", 0)
+        if hits + misses:
+            print(f"  hit rate:     {hits / (hits + misses):.1%} "
+                  f"({hits} hits / {misses} misses)")
+        else:
+            print("  hit rate:     n/a (snapshot has no cache counters)")
+        if counters.get("cache.invalidate"):
+            print(f"  invalidated:  {counters['cache.invalidate']} "
+                  "(rotted entries self-healed)")
     return 0
 
 
@@ -614,6 +723,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run-all": _cmd_run_all,
         "fleet": _cmd_fleet,
         "watch": _cmd_watch,
+        "cache": _cmd_cache,
         "obs": _cmd_obs,
     }
     try:

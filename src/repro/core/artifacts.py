@@ -33,6 +33,9 @@ __all__ = [
     "atomic_write_bytes",
     "write_canonical_artifact",
     "append_jsonl_line",
+    "write_checksummed_blob",
+    "read_checksummed_blob",
+    "BlobIntegrityError",
 ]
 
 
@@ -80,6 +83,70 @@ def write_canonical_artifact(path: Path, obj: Any) -> str:
     text = canonical_json(obj)
     atomic_write_text(path, text + "\n")
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class BlobIntegrityError(RuntimeError):
+    """A checksummed blob failed validation (truncated, corrupt, foreign).
+
+    Consumers treat this as "the artifact never existed" and rebuild it
+    in place -- corruption is a repairable state, never a crash.  The
+    fleet shard reader wraps it in its own :class:`ShardArtifactError`;
+    the parse cache silently evicts the entry and re-parses.
+    """
+
+
+#: footer layout shared by every checksummed blob: magic + 64 hex + \n
+_DIGEST_LEN = 64
+
+
+def write_checksummed_blob(path: Path | str, payload: bytes,
+                           magic: bytes) -> str:
+    """Atomically publish ``payload`` with a self-validating footer.
+
+    The on-disk layout is ``<payload> <magic> <sha256 hexdigest of
+    payload> \\n`` -- the footer is the first thing a torn write loses,
+    so :func:`read_checksummed_blob` detects truncation, bit rot and
+    foreign files alike.  ``magic`` must end with a newline so the
+    footer is greppable.  Returns the payload digest.
+    """
+    if not magic.endswith(b"\n"):
+        raise ValueError("blob magic must end with a newline")
+    digest = hashlib.sha256(payload).hexdigest()
+    atomic_write_bytes(Path(path),
+                       payload + magic + digest.encode("ascii") + b"\n")
+    return digest
+
+
+def read_checksummed_blob(path: Path | str, magic: bytes) -> bytes:
+    """Validate and return the payload of a checksummed blob.
+
+    Raises :class:`BlobIntegrityError` for every way the file can be
+    wrong: missing, shorter than its footer, wrong magic, or a digest
+    mismatch.  The caller decides the remedy (rebuild, evict, degrade).
+    """
+    path = Path(path)
+    footer_len = len(magic) + _DIGEST_LEN + 1
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise BlobIntegrityError(
+            f"unreadable blob {path}: {exc}") from None
+    if len(raw) <= footer_len:
+        raise BlobIntegrityError(
+            f"truncated blob {path}: {len(raw)} bytes is smaller than "
+            "the checksum footer")
+    payload, footer = raw[:-footer_len], raw[-footer_len:]
+    if not footer.startswith(magic) or not footer.endswith(b"\n"):
+        raise BlobIntegrityError(
+            f"blob {path} has no checksum footer (truncated write or "
+            "foreign file)")
+    recorded = footer[len(magic):-1].decode("ascii", "replace")
+    actual = hashlib.sha256(payload).hexdigest()
+    if actual != recorded:
+        raise BlobIntegrityError(
+            f"blob {path} failed its checksum "
+            f"(recorded {recorded[:12]}..., actual {actual[:12]}...)")
+    return payload
 
 
 def append_jsonl_line(path: Path, record: dict) -> None:

@@ -251,6 +251,7 @@ class HolisticDiagnosis:
         store: LogStore,
         error_policy: ErrorPolicy | str = ErrorPolicy.SKIP,
         health: Optional[IngestionHealth] = None,
+        cache=None,
         **kwargs,
     ) -> "HolisticDiagnosis":
         """Build the pipeline from an on-disk log directory.
@@ -263,6 +264,14 @@ class HolisticDiagnosis:
         malformed line raises; the tolerant policies always produce a
         (possibly degraded) pipeline.  ``policy`` is accepted as a
         deprecated spelling of ``error_policy``.
+
+        ``cache`` attaches a persistent parse cache to the ingestion
+        pass (see :meth:`~repro.logs.store.LogStore.with_cache` for the
+        accepted values: ``True`` for the store-local default directory,
+        a path, or a :class:`~repro.logs.cache.ParseCache`).  ``None``
+        keeps whatever cache the store already carries, so both
+        ``from_store(store.with_cache(True))`` and
+        ``from_store(store, cache=True)`` warm-start identically.
         """
         if "policy" in kwargs:
             warnings.warn(
@@ -270,6 +279,8 @@ class HolisticDiagnosis:
                 "(the spelling every public entry point shares)",
                 DeprecationWarning, stacklevel=2)
             error_policy = kwargs.pop("policy")
+        if cache is not None:
+            store = store.with_cache(cache)
         manifest = store.manifest()
         clock = manifest.clock()
         policy = ErrorPolicy.coerce(error_policy)

@@ -205,8 +205,12 @@ class FleetSupervisor(TaskSupervisor):
             member_seed = spec.member_seed(index)
             store = materialize_member(member_id, member_seed, spec.days,
                                        root=cache_root)
+            # store-local parse cache: a shard retried after a fault, or
+            # rebuilt because its artifact rotted on resume, re-reads the
+            # member's (unchanged) logs as pure cache hits instead of
+            # re-parsing them
             diag = HolisticDiagnosis.from_store(
-                store, total_nodes=FLEET_SYSTEM.nodes)
+                store.with_cache(True), total_nodes=FLEET_SYSTEM.nodes)
             report = diag.run()
             summary = shard_summary(member_id, member_seed, spec.days,
                                     FLEET_SYSTEM.nodes, report,

@@ -19,16 +19,29 @@ workers' health accounting, so the parent collects every result first
 and re-raises :class:`~repro.logs.health.IngestionError` only after the
 pool has drained.
 
+When the store carries a persistent parse cache
+(:mod:`repro.logs.cache`), ingest is **delta-only**: the parent probes
+every file against the cache first and ships only the *misses* -- the
+delta -- to the pool.  A warm run therefore parses zero files and never
+forks; a changed directory parses only the new/modified files, which is
+what finally gives the pool a real multi-core win (the delta is the
+whole workload, not a re-parse of the archive).  Pool workers populate
+the cache themselves (the atomic entry writer is multi-process safe),
+so one pass warms the cache for every future reader.
+
 Per the optimisation guides' discipline ("no optimisation without
 measuring"), the speed-up is benchmarked in
 ``benchmarks/bench_parallel_parse.py`` rather than assumed; on small
-stores the pool overhead dominates, so ``parallel_read`` falls back to
-the serial path below :data:`MIN_PARALLEL_BYTES`.
+deltas the pool overhead dominates, so ``parallel_read`` falls back to
+the serial path below :data:`MIN_PARALLEL_BYTES` -- and always on a
+single-core host, where a pool can only lose (BENCH_pr3 measured 750 ms
+pool vs 367 ms serial on 1 CPU).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import warnings
 from pathlib import Path
 from typing import Optional
@@ -39,6 +52,7 @@ from repro.logs.health import (
     IngestionHealth,
     SourceHealth,
 )
+from repro.logs.cache import ParseCache
 from repro.logs.parsing import LineParser, ParsedRecord
 from repro.logs.record import LogSource
 from repro.logs.store import LogStore, _merge_records, parse_log_file
@@ -47,12 +61,24 @@ from repro.simul.clock import SimClock
 
 __all__ = ["parallel_read", "diagnosis_inputs", "MIN_PARALLEL_BYTES"]
 
-#: stores smaller than this parse serially (pool startup would dominate).
+#: deltas smaller than this parse serially (pool startup would dominate).
 #: Measured with the compiled dispatchers: a 6.7 MB five-file store
 #: parses in ~0.42 s in-process but ~0.93 s through the pool (fork plus
 #: pickling ~66 k records back through the result pipe), so the
-#: break-even point sits well above the old 4 MB threshold.
+#: break-even point sits well above the old 4 MB threshold.  With a
+#: parse cache attached the comparison is against *delta* bytes only --
+#: cached files never enter the decision.
 MIN_PARALLEL_BYTES = 32 * 1024 * 1024
+
+
+def _effective_cpu_count() -> int:
+    """CPUs this process may actually use (affinity-aware where known).
+
+    ``os.process_cpu_count`` (3.13+) respects affinity masks; older
+    interpreters fall back to ``os.cpu_count``.  A single-core answer
+    disables the pool outright -- forking there is pure overhead.
+    """
+    return getattr(os, "process_cpu_count", os.cpu_count)() or 1
 
 #: typed failure marker a worker sends home instead of raising:
 #: ``("strict", detail)`` for strict-policy violations (re-raised by the
@@ -67,20 +93,28 @@ _WorkerResult = tuple[
     list[ParsedRecord], dict[str, int], list[str], Optional[_ErrorMarker]]
 
 
-def _parse_file(args: tuple[str, str, str]) -> _WorkerResult:
+def _parse_file(args: tuple) -> _WorkerResult:
     """Worker: parse one log file (module-level for pickling).
 
     The clock is rebuilt directly from the manifest's epoch string --
     no throwaway manifest needed.  Nothing raises out of here: every
     failure becomes a typed marker so one bad file (or one strict
     violation) cannot take down the pool or lose sibling accounting.
+
+    ``args`` is ``(path, epoch_iso, policy_value)`` plus an optional
+    fourth element naming a parse-cache directory: when present, the
+    worker parses through the cache -- populating it for every future
+    reader -- instead of discarding its work at exit.  The atomic entry
+    writer makes concurrent workers race benignly.
     """
-    path_str, epoch_iso, policy_value = args
+    path_str, epoch_iso, policy_value = args[:3]
+    cache_dir = args[3] if len(args) > 3 else None
     policy = ErrorPolicy(policy_value)
     parser = LineParser(SimClock.from_iso(epoch_iso))
+    cache = ParseCache(Path(cache_dir)) if cache_dir else None
     try:
         records, health, quarantined = parse_log_file(
-            Path(path_str), parser, policy)
+            Path(path_str), parser, policy, cache=cache)
         return records, health.as_dict(), quarantined, None
     except IngestionError as exc:
         if policy is ErrorPolicy.STRICT:
@@ -124,7 +158,7 @@ def _unpack_records(columns: _RecordColumns) -> list[ParsedRecord]:
 
 
 def _parse_file_packed(
-    args: tuple[str, str, str]
+    args: tuple
 ) -> tuple[_RecordColumns, dict[str, int], list[str],
            Optional[_ErrorMarker], Optional[dict]]:
     """Pool-side wrapper of :func:`_parse_file` with columnar results.
@@ -169,8 +203,11 @@ def parallel_read(
 
     Returns source -> time-sorted records, assembled with a k-way merge
     of the per-file streams (each file comes back time-sorted, see
-    :func:`~repro.logs.store.parse_log_file`).  Serial fallback when the
-    store is small (see :data:`MIN_PARALLEL_BYTES`) unless
+    :func:`~repro.logs.store.parse_log_file`).  When ``store`` carries a
+    parse cache, ingest is delta-only: cache hits are served in the
+    parent and only misses are parsed.  Serial fallback when the delta
+    is small (see :data:`MIN_PARALLEL_BYTES`) or the host has a single
+    usable CPU -- a pool can only lose there -- unless
     ``force_parallel`` insists.  ``error_policy`` and ``health`` behave
     as in :meth:`~repro.logs.store.LogStore.read_source` (``policy`` is
     the deprecated spelling of ``error_policy``).  Under the strict
@@ -197,10 +234,24 @@ def _parallel_read(
     health: Optional[IngestionHealth],
     read_span,
 ) -> dict[LogSource, list[ParsedRecord]]:
-    """The fan-out body of :func:`parallel_read` (span already open)."""
+    """The fan-out body of :func:`parallel_read` (span already open).
+
+    Delta-only when the store carries a parse cache: every file is
+    probed against the cache in the parent first (a hit costs one read
+    + hash, no parse, no fork), and only the misses -- the delta --
+    enter the serial-vs-pool decision.  A fully warm cache therefore
+    parses zero files; a fresh daily segment parses alone.
+    """
     manifest = store.manifest()
+    cache = store.cache
+    cache_dir = str(cache.root) if cache is not None else None
+    probe = LineParser(manifest.clock()) if cache is not None else None
     tasks: list[tuple[LogSource, str]] = []
-    total_bytes = 0
+    #: per-task result slot; filled from the cache probe here, from the
+    #: serial/pool parse below for the delta
+    parsed: list[Optional[_WorkerResult]] = []
+    delta_indices: list[int] = []
+    total_bytes = delta_bytes = 0
     for source in LogSource:
         if policy is ErrorPolicy.QUARANTINE:
             store._reset_quarantine(source)
@@ -209,26 +260,57 @@ def _parallel_read(
             health.source(source)
             health.note(f"source {source.value!r} has no log files")
         for path in paths:
+            size = path.stat().st_size
+            total_bytes += size
             tasks.append((source, str(path)))
-            total_bytes += path.stat().st_size
+            hit = None
+            if cache is not None:
+                try:
+                    hit = cache.lookup(path, probe, policy)
+                except IngestionError:
+                    # unreadable file or a strict violation against the
+                    # cached malformed lines: route through the normal
+                    # delta machinery so the marker semantics (retry /
+                    # lost / drain-then-raise) stay in one place
+                    hit = None
+            if hit is not None:
+                records, file_health, quarantined = hit
+                parsed.append(
+                    (records, file_health.as_dict(), quarantined, None))
+            else:
+                delta_indices.append(len(parsed))
+                parsed.append(None)
+                delta_bytes += size
     out: dict[LogSource, list[ParsedRecord]] = {s: [] for s in LogSource}
     if not tasks:
         return out
-    worker_args = [(path, manifest.epoch_iso, policy.value)
-                   for _source, path in tasks]
-    if total_bytes < MIN_PARALLEL_BYTES and not force_parallel:
-        read_span.tag(mode="serial", files=len(tasks), bytes=total_bytes)
-        parsed = [_parse_file(args) for args in worker_args]
+    worker_args = [(tasks[i][1], manifest.epoch_iso, policy.value, cache_dir)
+                   for i in delta_indices]
+    cached_files = len(tasks) - len(delta_indices)
+    use_pool = force_parallel or (
+        delta_bytes >= MIN_PARALLEL_BYTES and _effective_cpu_count() > 1)
+    if not worker_args:
+        # fully warm cache: nothing to parse, nothing to fork
+        read_span.tag(mode="cached", files=len(tasks), bytes=total_bytes,
+                      cached_files=cached_files, delta_files=0, delta_bytes=0)
+    elif not use_pool:
+        read_span.tag(mode="serial", files=len(tasks), bytes=total_bytes,
+                      cached_files=cached_files,
+                      delta_files=len(worker_args), delta_bytes=delta_bytes)
+        for i, args in zip(delta_indices, worker_args):
+            parsed[i] = _parse_file(args)
     else:
-        read_span.tag(mode="pool", files=len(tasks), bytes=total_bytes)
-        workers = workers or min(len(tasks), multiprocessing.cpu_count())
+        read_span.tag(mode="pool", files=len(tasks), bytes=total_bytes,
+                      cached_files=cached_files,
+                      delta_files=len(worker_args), delta_bytes=delta_bytes)
+        workers = workers or min(len(worker_args), _effective_cpu_count())
         with multiprocessing.Pool(processes=max(1, workers)) as pool:
             packed = pool.map(_parse_file_packed, worker_args)
-        parsed = []
-        for columns, counts, quarantined, error, payload in packed:
+        for i, (columns, counts, quarantined, error, payload) in zip(
+                delta_indices, packed):
             OBS.absorb(payload)
-            parsed.append((_unpack_records(columns), counts, quarantined,
-                           error))
+            parsed[i] = (_unpack_records(columns), counts, quarantined,
+                         error)
     lists: dict[LogSource, list[list[ParsedRecord]]] = {s: [] for s in LogSource}
     strict_violation: Optional[str] = None
     for (source, path), result in zip(tasks, parsed):
@@ -236,7 +318,7 @@ def _parallel_read(
         if error is not None and error[0] != "strict":
             # one serial retry in the parent before declaring the file lost
             records, counts, quarantined, error = _parse_file(
-                (path, manifest.epoch_iso, policy.value))
+                (path, manifest.epoch_iso, policy.value, cache_dir))
             if error is None:
                 counts["retried_files"] = counts.get("retried_files", 0) + 1
         if error is not None:

@@ -43,10 +43,14 @@ __all__ = [
     "parse_log_file",
     "open_log_text",
     "QUARANTINE_DIR",
+    "DEFAULT_CACHE_DIRNAME",
 ]
 
 #: subdirectory (under the store root) collecting quarantined raw lines
 QUARANTINE_DIR = "quarantine"
+
+#: store-local default directory of the persistent parse cache
+DEFAULT_CACHE_DIRNAME = ".parse-cache"
 
 #: bounded retry for transient I/O errors (NFS hiccups, rotation races)
 _IO_RETRIES = 3
@@ -112,6 +116,7 @@ def parse_log_file(
     path: Path,
     parser: LineParser,
     policy: ErrorPolicy = ErrorPolicy.SKIP,
+    cache=None,
 ) -> tuple[list[ParsedRecord], SourceHealth, list[str]]:
     """Parse one physical log file under an error policy (traced).
 
@@ -119,7 +124,15 @@ def parse_log_file(
     one ``logs.parse_file`` span carrying the file name plus line/byte
     accounting, and the ``ingest.*`` counters advance -- in the pool
     workers just as in-process, buffered and merged at drain.
+
+    ``cache`` is an optional :class:`repro.logs.cache.ParseCache`: a
+    content-hash hit skips the parse entirely (only ``cache.*`` metrics
+    advance, never ``ingest.*`` -- a hit parsed nothing), a miss parses
+    once and populates the cache.  Either way the returned triple is
+    byte-for-byte what the uncached parse would have produced.
     """
+    if cache is not None:
+        return cache.parse(path, parser, policy)
     if not OBS.enabled:
         return _parse_log_file(path, parser, policy)
     with OBS.span("logs.parse_file", "ingest", file=path.name) as span:
@@ -127,18 +140,124 @@ def parse_log_file(
         span.add(records=health.parsed, read=health.read,
                  quarantined=health.quarantined, recovered=health.recovered,
                  bytes=path.stat().st_size)
-        metrics = OBS.metrics
-        metrics.counter("ingest.files_parsed").inc()
-        metrics.counter("ingest.lines_read").inc(health.read)
-        metrics.counter("ingest.lines_parsed").inc(health.parsed)
-        metrics.counter("ingest.lines_quarantined").inc(health.quarantined)
-        metrics.counter("ingest.lines_ignored").inc(health.ignored)
-        metrics.counter("ingest.lines_recovered").inc(health.recovered)
-        if health.retried_files:
-            metrics.counter("ingest.io_retries").inc(health.retried_files)
-        if health.partial_tail:
-            metrics.counter("ingest.partial_tails").inc(health.partial_tail)
+        _emit_ingest_metrics(health)
         return records, health, quarantined
+
+
+def _emit_ingest_metrics(health: SourceHealth) -> None:
+    """Advance the ``ingest.*`` counters for one actually-parsed file."""
+    metrics = OBS.metrics
+    metrics.counter("ingest.files_parsed").inc()
+    metrics.counter("ingest.lines_read").inc(health.read)
+    metrics.counter("ingest.lines_parsed").inc(health.parsed)
+    metrics.counter("ingest.lines_quarantined").inc(health.quarantined)
+    metrics.counter("ingest.lines_ignored").inc(health.ignored)
+    metrics.counter("ingest.lines_recovered").inc(health.recovered)
+    if health.retried_files:
+        metrics.counter("ingest.io_retries").inc(health.retried_files)
+    if health.partial_tail:
+        metrics.counter("ingest.partial_tails").inc(health.partial_tail)
+
+
+def _load_log_text(path: Path) -> tuple[str, int]:
+    """Read + decode one log file whole, with bounded I/O retries.
+
+    Returns ``(text, retried)`` where ``retried`` is 1 when transient
+    ``OSError`` forced at least one retry (the ``retried_files`` health
+    bit).  Reading whole is deliberate: daily-rotated segments keep
+    sizes modest and the mojibake scan runs once over the buffer instead
+    of once per line.  Raises :class:`IngestionError` when the file
+    stays unreadable -- gzip damage surfaces here too (``BadGzipFile``
+    is an ``OSError``), so a rotted ``.gz`` segment is retried and then
+    reported exactly like a vanished file.
+    """
+    last_error: Optional[OSError] = None
+    for attempt in range(_IO_RETRIES):
+        try:
+            with open_log_text(path) as handle:
+                return handle.read(), 1 if attempt else 0
+        except OSError as exc:
+            last_error = exc
+            _time.sleep(_IO_BACKOFF * (attempt + 1))
+    raise IngestionError(
+        f"unreadable after {_IO_RETRIES} attempts: {path}: {last_error}",
+        path=str(path),
+    )
+
+
+def _parse_log_text(
+    text: str,
+    parser: LineParser,
+    policy: ErrorPolicy,
+    path: Path,
+    retried: int = 0,
+) -> tuple[list[ParsedRecord], SourceHealth, list[str]]:
+    """Parse one file's already-loaded text (the pure half of the parse).
+
+    Factored out of the on-disk path so the parse cache can hash and
+    parse the *same* bytes -- no read/parse race can store an entry
+    under a stale key.  ``path`` is for error messages only.
+
+    The returned records are guaranteed time-sorted.  Writers emit in
+    order, so this is normally a free pass over an already-ordered list;
+    only a file whose stamps carry sub-``max_skew`` backwards jitter
+    (small skew is deliberately left for downstream sorting) pays one
+    stable sort.  The guarantee is what lets the stream assemblers use
+    ``heapq.merge`` instead of re-sorting whole sources.
+    """
+    records: list[ParsedRecord] = []
+    quarantined: list[str] = []
+    # local counters: attribute increments per line would dominate
+    # the hot loop (measured in benchmarks/bench_tolerant_parse.py)
+    read = parsed = recovered = ignored = 0
+    last_time = float("-inf")
+    in_order = True
+    parser.reset()
+    parse_ex = parser.parse_ex
+    append = records.append
+    # a file whose last line has no newline is a mid-write snapshot,
+    # not corruption: hold the torn tail back (it is neither read nor
+    # parsed nor quarantined -- the writer will finish it) and flag it
+    # so operators see data is arriving
+    partial_tail = 0
+    if text and not text.endswith("\n"):
+        cut = text.rfind("\n") + 1
+        if text[cut:].strip():
+            partial_tail = 1
+        text = text[:cut]
+    scan = REPLACEMENT_CHAR in text
+    for line in text.splitlines():
+        read += 1
+        record, status, repaired = parse_ex(line, scan)
+        if record is not None:
+            parsed += 1
+            recovered += repaired
+            append(record)
+            t = record.time
+            if t < last_time:
+                in_order = False
+            else:
+                last_time = t
+        elif status == "blank":
+            ignored += 1
+        else:  # malformed
+            if policy is ErrorPolicy.STRICT:
+                raise IngestionError(
+                    f"malformed line in {path}: {line[:120]!r}",
+                    path=str(path), line=line,
+                )
+            if policy is ErrorPolicy.QUARANTINE:
+                quarantined.append(line)
+            else:
+                ignored += 1
+    if not in_order:
+        records.sort(key=_TIME_KEY)
+    health = SourceHealth(
+        read=read, parsed=parsed, quarantined=len(quarantined),
+        ignored=ignored, recovered=recovered, files=1,
+        retried_files=retried, partial_tail=partial_tail,
+    )
+    return records, health, quarantined
 
 
 def _parse_log_file(
@@ -151,95 +270,50 @@ def _parse_log_file(
     Returns ``(records, health, quarantined_lines)``.  The function is
     process-safe (no writes); quarantine persistence is the caller's job
     so parallel workers stay pure.  Transient ``OSError`` during the
-    read is retried from scratch up to :data:`_IO_RETRIES` times with
-    the partial accounting discarded, so the conservation law holds even
-    across retries.
-
-    The file is read whole (daily-rotated segments keep sizes modest) so
-    the mojibake scan runs once over the buffer instead of once per
-    line; the per-line scan is re-enabled only for the rare file that
-    actually contains replacement characters.
-
-    The returned records are guaranteed time-sorted.  Writers emit in
-    order, so this is normally a free pass over an already-ordered list;
-    only a file whose stamps carry sub-``max_skew`` backwards jitter
-    (small skew is deliberately left for downstream sorting) pays one
-    stable sort.  The guarantee is what lets the stream assemblers use
-    ``heapq.merge`` instead of re-sorting whole sources.
+    read is retried up to :data:`_IO_RETRIES` times (see
+    :func:`_load_log_text`), so the conservation law holds even across
+    retries -- accounting starts only once the text is in memory.
     """
-    last_error: Optional[OSError] = None
-    for attempt in range(_IO_RETRIES):
-        records: list[ParsedRecord] = []
-        quarantined: list[str] = []
-        # local counters: attribute increments per line would dominate
-        # the hot loop (measured in benchmarks/bench_tolerant_parse.py)
-        read = parsed = recovered = ignored = 0
-        last_time = float("-inf")
-        in_order = True
-        parser.reset()
-        parse_ex = parser.parse_ex
-        append = records.append
-        try:
-            with open_log_text(path) as handle:
-                text = handle.read()
-            # a file whose last line has no newline is a mid-write
-            # snapshot, not corruption: hold the torn tail back (it is
-            # neither read nor parsed nor quarantined -- the writer will
-            # finish it) and flag it so operators see data is arriving
-            partial_tail = 0
-            if text and not text.endswith("\n"):
-                cut = text.rfind("\n") + 1
-                if text[cut:].strip():
-                    partial_tail = 1
-                text = text[:cut]
-            scan = REPLACEMENT_CHAR in text
-            for line in text.splitlines():
-                read += 1
-                record, status, repaired = parse_ex(line, scan)
-                if record is not None:
-                    parsed += 1
-                    recovered += repaired
-                    append(record)
-                    t = record.time
-                    if t < last_time:
-                        in_order = False
-                    else:
-                        last_time = t
-                elif status == "blank":
-                    ignored += 1
-                else:  # malformed
-                    if policy is ErrorPolicy.STRICT:
-                        raise IngestionError(
-                            f"malformed line in {path}: {line[:120]!r}",
-                            path=str(path), line=line,
-                        )
-                    if policy is ErrorPolicy.QUARANTINE:
-                        quarantined.append(line)
-                    else:
-                        ignored += 1
-            if not in_order:
-                records.sort(key=_TIME_KEY)
-            health = SourceHealth(
-                read=read, parsed=parsed, quarantined=len(quarantined),
-                ignored=ignored, recovered=recovered, files=1,
-                retried_files=1 if attempt else 0,
-                partial_tail=partial_tail,
-            )
-            return records, health, quarantined
-        except OSError as exc:
-            last_error = exc
-            _time.sleep(_IO_BACKOFF * (attempt + 1))
-    raise IngestionError(
-        f"unreadable after {_IO_RETRIES} attempts: {path}: {last_error}",
-        path=str(path),
-    )
+    text, retried = _load_log_text(path)
+    return _parse_log_text(text, parser, policy, path, retried)
 
 
 class LogStore:
-    """A directory of text logs for one simulated system."""
+    """A directory of text logs for one simulated system.
 
-    def __init__(self, root: Path | str) -> None:
+    ``cache`` attaches a persistent parse cache to every read path
+    (:mod:`repro.logs.cache`): ``None`` disables caching (the default),
+    ``True`` uses the store-local default directory
+    (``<root>/.parse-cache``), a path uses that directory, and a
+    :class:`~repro.logs.cache.ParseCache` instance is used as-is.
+    """
+
+    def __init__(self, root: Path | str, cache=None) -> None:
         self.root = Path(root)
+        self.cache = self._resolve_cache(cache)
+
+    def _resolve_cache(self, cache):
+        """Coerce the ``cache`` knob into a ParseCache (or None)."""
+        if cache is None or cache is False:
+            return None
+        from repro.logs.cache import ParseCache
+
+        if isinstance(cache, ParseCache):
+            return cache
+        if cache is True:
+            return ParseCache(self.root / DEFAULT_CACHE_DIRNAME)
+        return ParseCache(Path(cache))
+
+    def with_cache(self, cache) -> "LogStore":
+        """A view of the same store with a (possibly different) cache.
+
+        Returns ``self`` when the knob resolves to the cache already
+        attached; otherwise a new :class:`LogStore` sharing the root.
+        """
+        resolved = self._resolve_cache(cache)
+        if resolved is self.cache:
+            return self
+        return LogStore(self.root, cache=resolved)
 
     # ------------------------------------------------------------------
     # writing
@@ -410,7 +484,7 @@ class LogStore:
         for path in files:
             try:
                 records, file_health, quarantined = parse_log_file(
-                    path, parser, policy)
+                    path, parser, policy, cache=self.cache)
             except IngestionError:
                 if policy is ErrorPolicy.STRICT:
                     raise

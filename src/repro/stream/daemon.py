@@ -105,6 +105,12 @@ class WatchConfig:
     #: finalize after this many consecutive polls with no new data
     #: (None = run until stopped)
     idle_polls: Optional[int] = None
+    #: parse cache attached to the daemon's store (same accepted values
+    #: as :meth:`repro.logs.store.LogStore.with_cache`).  The live tail
+    #: parses incrementally and never re-reads whole files, so the cache
+    #: only pays off on *restart*-time catch-up reads and on any batch
+    #: reader sharing the directory -- it never changes streamed bytes.
+    cache: object = None
 
     def __post_init__(self) -> None:
         self.logdir = Path(self.logdir)
@@ -143,7 +149,7 @@ class WatchDaemon:
 
     def __init__(self, config: WatchConfig) -> None:
         self.config = config
-        self.store = LogStore(config.logdir)
+        self.store = LogStore(config.logdir, cache=config.cache)
         manifest = self.store.manifest()  # FileNotFoundError for bare dirs
         self.clock = manifest.clock()
         self.system = manifest.system
@@ -488,15 +494,19 @@ def streamed_batch_equivalent(
     window_days: int,
     error_policy: ErrorPolicy | str = ErrorPolicy.SKIP,
     only: Optional[Sequence[str]] = None,
+    cache=None,
 ) -> list[dict]:
     """The batch-side artifact the streamed one must byte-match.
 
     Runs the ordinary batch ``run_windowed`` over the (finished) store
     and shapes it exactly like :attr:`WatchReport.windows` -- the two
     sides of every parity assertion in the streaming tests and the
-    chaos gate.
+    chaos gate.  ``cache`` optionally attaches a parse cache to the
+    batch side; parity holds either way by the cache's byte-identity
+    contract.
     """
-    diag = HolisticDiagnosis.from_store(store, error_policy=error_policy)
+    diag = HolisticDiagnosis.from_store(store, error_policy=error_policy,
+                                        cache=cache)
     return [
         {"start_day": win.start_day, "end_day": win.end_day,
          "report": to_jsonable(win.report)}

@@ -73,3 +73,41 @@ def test_windowed_full_span_matches_batch_on_s3(goldens):
     assert canonical_json(report) == canonical_json(batch)
     # and both equal the pre-refactor bytes
     assert report_digest(report) == goldens["scenarios"]["s3"]["sha256"]
+
+
+@pytest.mark.parametrize("scenario", ["s1", "s2", "s3", "s4", "s5"])
+def test_cache_is_byte_transparent(scenario, goldens, tmp_path):
+    """The persistent parse cache may never change a single report byte.
+
+    Three legs against the same golden: cold run (populating the
+    cache), warm run (pure cache hits, zero re-parse) and a
+    cache-poisoning pass (every entry truncated or bit-flipped, forcing
+    the self-heal path).  All must equal the uncached digest.
+    """
+    from repro.logs.cache import ParseCache
+
+    store = materialize(scenario, seed=goldens["seed"])
+    cache = ParseCache(tmp_path / "parity-cache")
+    cached = store.with_cache(cache)
+    want = goldens["scenarios"][scenario]["sha256"]
+
+    cold = HolisticDiagnosis.from_store(cached).run()
+    assert report_digest(cold) == want, f"{scenario}: cold cached run"
+
+    warm = HolisticDiagnosis.from_store(cached).run()
+    assert report_digest(warm) == want, f"{scenario}: warm cached run"
+    assert cache.hits and not cache.invalidated
+
+    # chaos: rot every entry (alternating torn tail / bit flip), then
+    # demand the same bytes again -- corruption is a repairable state
+    for i, entry in enumerate(cache.entry_files()):
+        raw = bytearray(entry.read_bytes())
+        if i % 2 == 0:
+            entry.write_bytes(bytes(raw[:max(1, len(raw) // 3)]))
+        else:
+            raw[len(raw) // 2] ^= 0xFF
+            entry.write_bytes(bytes(raw))
+    healed = HolisticDiagnosis.from_store(cached).run()
+    assert report_digest(healed) == want, f"{scenario}: post-corruption run"
+    assert cache.invalidated > 0, "corrupted entries were never evicted"
+    assert cache.verify() == (len(cache.entry_files()), [])

@@ -58,3 +58,121 @@ class TestParallelRead:
                     rotate_daily=True)
         by_source = parallel_read(store, workers=2, force_parallel=True)
         assert len(by_source[LogSource.CONSOLE]) == 16
+
+
+class TestDeltaOnlyIngest:
+    """Cache-aware parallel_read: hits stay in the parent, misses are
+    the delta, and the pool-vs-serial decision is delta-sized."""
+
+    def test_cached_store_matches_uncached(self, diagnosed_scenario,
+                                           tmp_path):
+        _, _, store = diagnosed_scenario
+        cached = store.with_cache(tmp_path / "pc")
+        want = parallel_read(store)
+        assert_same = lambda got: all(
+            [(r.time, r.event) for r in got[s]] ==
+            [(r.time, r.event) for r in want[s]] for s in LogSource)
+        assert assert_same(parallel_read(cached))   # cold
+        assert assert_same(parallel_read(cached))   # warm
+
+    def test_warm_cache_parses_zero_files(self, diagnosed_scenario,
+                                          tmp_path, monkeypatch):
+        import repro.logs.parallel as par
+        _, _, store = diagnosed_scenario
+        cached = store.with_cache(tmp_path / "pc")
+        parallel_read(cached)                       # populate
+        def boom(args):
+            raise AssertionError(f"warm run parsed {args[0]}")
+        monkeypatch.setattr(par, "_parse_file", boom)
+        monkeypatch.setattr(par, "_parse_file_packed", boom)
+        parallel_read(cached)                       # all hits, no parses
+
+    def test_warm_cache_skips_pool_even_forced(self, diagnosed_scenario,
+                                               tmp_path, monkeypatch):
+        import multiprocessing
+        import repro.logs.parallel as par
+        _, _, store = diagnosed_scenario
+        cached = store.with_cache(tmp_path / "pc")
+        parallel_read(cached)
+        def no_pool(*a, **k):
+            raise AssertionError("pool forked on a fully warm cache")
+        monkeypatch.setattr(par.multiprocessing, "Pool", no_pool)
+        parallel_read(cached, force_parallel=True)
+
+    def test_delta_file_is_the_only_parse(self, diagnosed_scenario,
+                                          tmp_path, monkeypatch):
+        import shutil
+        import repro.logs.parallel as par
+        _, _, base = diagnosed_scenario
+        root = tmp_path / "copy"
+        shutil.copytree(base.root, root)
+        from repro.logs.store import LogStore
+        store = LogStore(root, cache=tmp_path / "pc")
+        parallel_read(store)                        # populate
+        # a new daily segment appears: only it should be parsed
+        fresh = root / "p0" / "console-29990101.log"
+        src = root / "p0" / "console.log"
+        fresh.write_text("".join(src.read_text().splitlines(True)[:3]))
+        parsed = []
+        orig = par._parse_file
+        def spy(args):
+            parsed.append(args[0])
+            return orig(args)
+        monkeypatch.setattr(par, "_parse_file", spy)
+        by_source = parallel_read(store)
+        assert parsed == [str(fresh)]
+        assert len(by_source[LogSource.CONSOLE]) > 0
+        # and the next run parses nothing at all
+        parsed.clear()
+        parallel_read(store)
+        assert parsed == []
+
+    def test_single_core_never_pools(self, diagnosed_scenario, monkeypatch):
+        import repro.logs.parallel as par
+        _, _, store = diagnosed_scenario
+        monkeypatch.setattr(par, "MIN_PARALLEL_BYTES", 0)
+        monkeypatch.setattr(par, "_effective_cpu_count", lambda: 1)
+        def no_pool(*a, **k):
+            raise AssertionError("pool forked on a single-core host")
+        monkeypatch.setattr(par.multiprocessing, "Pool", no_pool)
+        parallel_read(store)                        # serial despite size
+
+    def test_multi_core_pools_over_threshold(self, diagnosed_scenario,
+                                             monkeypatch):
+        import repro.logs.parallel as par
+        _, _, store = diagnosed_scenario
+        monkeypatch.setattr(par, "MIN_PARALLEL_BYTES", 0)
+        monkeypatch.setattr(par, "_effective_cpu_count", lambda: 2)
+        forked = []
+        real_pool = par.multiprocessing.Pool
+        def spy_pool(*a, **k):
+            forked.append(k.get("processes") or (a[0] if a else None))
+            return real_pool(*a, **k)
+        monkeypatch.setattr(par.multiprocessing, "Pool", spy_pool)
+        want = parallel_read(store)
+        assert forked == [2]
+
+    def test_small_delta_stays_serial(self, diagnosed_scenario, monkeypatch):
+        import repro.logs.parallel as par
+        _, _, store = diagnosed_scenario
+        monkeypatch.setattr(par, "_effective_cpu_count", lambda: 8)
+        def no_pool(*a, **k):
+            raise AssertionError("pool forked under the byte threshold")
+        monkeypatch.setattr(par.multiprocessing, "Pool", no_pool)
+        parallel_read(store)                        # small store -> serial
+
+    def test_pool_workers_populate_the_cache(self, diagnosed_scenario,
+                                             tmp_path):
+        from repro.logs.cache import ParseCache
+        _, _, store = diagnosed_scenario
+        cache = ParseCache(tmp_path / "pc")
+        cached = store.with_cache(cache)
+        parallel_read(cached, workers=2, force_parallel=True)
+        # content-addressed: identical files (e.g. two empty sources)
+        # share one entry, so count distinct contents, not files
+        contents = {
+            path.read_text()
+            for s in LogSource for path in store.source_files(s)}
+        assert len(cache.entry_files()) == len(contents)
+        valid, invalid = cache.verify()
+        assert invalid == [] and valid == len(contents)

@@ -251,3 +251,66 @@ class TestRunAllCommand:
         with pytest.raises(SystemExit, match="unknown experiments"):
             main(["run-all", "--out", str(tmp_path / "c"),
                   "--no-isolation", "--only", "nope"])
+
+
+class TestCacheCommand:
+    def test_stats_clear_verify_roundtrip(self, logdir, tmp_path, capsys):
+        cache_dir = tmp_path / "cli-cache"
+        assert main(["diagnose", str(logdir),
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", str(logdir),
+                     "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "disk bytes:" in out
+        assert main(["cache", "verify", str(logdir),
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", str(logdir),
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert "cleared" in capsys.readouterr().out
+
+    def test_verify_flags_and_heals_rot(self, logdir, tmp_path, capsys):
+        from repro.logs.cache import ParseCache
+
+        cache_dir = tmp_path / "rot-cache"
+        assert main(["diagnose", str(logdir),
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        victim = ParseCache(cache_dir).entry_files()[0]
+        victim.write_bytes(b"rotted")
+        assert main(["cache", "verify", str(logdir),
+                     "--cache-dir", str(cache_dir), "--no-heal"]) == 1
+        assert victim.exists()
+        assert main(["cache", "verify", str(logdir),
+                     "--cache-dir", str(cache_dir)]) == 1
+        assert not victim.exists()
+        assert main(["cache", "verify", str(logdir),
+                     "--cache-dir", str(cache_dir)]) == 0
+
+    def test_stats_hit_rate_from_metrics(self, logdir, tmp_path, capsys):
+        cache_dir = tmp_path / "hr-cache"
+        metrics = tmp_path / "metrics.json"
+        assert main(["diagnose", str(logdir),
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert main(["diagnose", str(logdir), "--cache-dir", str(cache_dir),
+                     "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", str(logdir),
+                     "--cache-dir", str(cache_dir),
+                     "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate:     100.0%" in out
+
+    def test_no_cache_conflicts_with_cache_dir(self, logdir):
+        with pytest.raises(SystemExit, match="conflict"):
+            main(["diagnose", str(logdir), "--no-cache",
+                  "--cache-dir", "somewhere"])
+
+    def test_no_cache_runs_uncached(self, logdir, capsys):
+        assert main(["diagnose", str(logdir), "--no-cache"]) == 0
+        assert "failures detected" in capsys.readouterr().out
+
+    def test_cache_on_missing_store_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a log store"):
+            main(["cache", "stats", str(tmp_path / "nope")])
