@@ -20,9 +20,13 @@
 #   5. parse-cache warm-run smoke: focused re-run of the delta-only
 #      ingest properties (warm run parses zero files, changed dirs
 #      parse only the delta); tests/logs/test_parallel.py
-#   6. tier-2 chaos gate: corruption + supervision campaigns and the
+#   6. BG/Q dialect smoke: the bgq-ras platform catalog end-to-end
+#      (scenario -> store -> cached ingest -> report) plus dialect
+#      sniffing and per-catalog cache isolation
+#      (tests/logs/test_catalogs.py; see docs/PLATFORMS.md)
+#   7. tier-2 chaos gate: corruption + supervision campaigns and the
 #      overhead benchmarks (scripts/run_chaos.sh)
-#   7. fleet chaos gate: shard_kill + corrupt_artifact on a fleet plus
+#   8. fleet chaos gate: shard_kill + corrupt_artifact on a fleet plus
 #      driver SIGKILL/--resume byte-parity of fleet_report.json
 #      (tests/chaos/test_fleet_chaos.py), then the fleet scaling and
 #      shard-rebuild cost figures (benchmarks/bench_fleet.py)
@@ -55,6 +59,12 @@ echo "== parse-cache warm-run smoke (zero files re-parsed) =="
 # file from cache (no parses, no pool fork) and a changed directory
 # must parse only the delta
 python -m pytest tests/logs/test_parallel.py::TestDeltaOnlyIngest -q
+
+echo "== BG/Q dialect smoke (second catalog through the same pipeline) =="
+# the pluggable-catalog gate: the bgq-ras scenario must ingest, cache,
+# analyse and report end-to-end, cache entries must stay per-dialect,
+# and default-dialect reports must keep omitting platform_analyses
+python -m pytest tests/logs/test_catalogs.py -q
 
 echo "== benchmark shape smoke (--benchmark-disable) =="
 python -m pytest benchmarks/ -m 'not chaos' --benchmark-disable -q

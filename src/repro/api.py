@@ -64,9 +64,10 @@ __all__ = [
 ]
 
 
-def _store(logdir: Union[Path, str]) -> LogStore:
+def _store(logdir: Union[Path, str],
+           platform: Optional[str] = None) -> LogStore:
     """Open an on-disk log store, failing with a useful message."""
-    store = LogStore(Path(logdir))
+    store = LogStore(Path(logdir), platform=platform)
     if not store.exists():
         raise FileNotFoundError(
             f"{logdir} is not a log store (no manifest.json)")
@@ -84,6 +85,7 @@ def load_system(
     error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
     health: Optional[IngestionHealth] = None,
     cache=None,
+    platform: Optional[str] = None,
 ) -> HolisticDiagnosis:
     """Ingest a log directory and return the bound diagnosis pipeline.
 
@@ -100,9 +102,15 @@ def load_system(
     default directory (``<logdir>/.parse-cache``), a path uses that
     directory, ``None`` (default) parses uncached.  Output is
     byte-identical either way (see ``docs/PERFORMANCE.md``).
+
+    ``platform`` forces the catalog the logs are read under (a registry
+    name from :mod:`repro.logs.catalogs`, e.g. ``"cray-xc"`` or
+    ``"bgq-ras"``); the default ``None`` honors the store manifest's
+    recorded dialect, content-sniffing when the manifest predates the
+    field (see ``docs/PLATFORMS.md``).
     """
     return HolisticDiagnosis.from_store(
-        _store(logdir), error_policy=error_policy, health=health,
+        _store(logdir, platform), error_policy=error_policy, health=health,
         cache=cache)
 
 
@@ -113,6 +121,7 @@ def diagnose(
     only: Optional[Sequence[str]] = None,
     obs: Optional[ObsConfig] = None,
     cache=None,
+    platform: Optional[str] = None,
 ) -> DiagnosisReport:
     """One call from a log directory to the paper's full diagnosis.
 
@@ -121,11 +130,12 @@ def diagnose(
     stream is missing is reported in ``degraded_reasons`` rather than
     silently returning its neutral result.  ``obs`` scopes the call in
     an observability session and writes the artifacts its paths name.
-    ``cache`` is the parse-cache knob of :func:`load_system`.
+    ``cache`` and ``platform`` are the parse-cache and read-dialect
+    knobs of :func:`load_system`.
     """
     with _maybe_session(obs):
         return load_system(logdir, error_policy=error_policy,
-                           cache=cache).run(only=only)
+                           cache=cache, platform=platform).run(only=only)
 
 
 def diagnose_windowed(
@@ -137,17 +147,20 @@ def diagnose_windowed(
     only: Optional[Sequence[str]] = None,
     obs: Optional[ObsConfig] = None,
     cache=None,
+    platform: Optional[str] = None,
 ) -> list[DiagnosisWindow]:
     """Sliding-window diagnosis: one report per ``window_days`` slice.
 
     Windows advance by ``stride_days`` (default: tumbling).  With
     observability enabled (an ``obs`` config, or a surrounding
     :func:`repro.obs.session`) each window carries a per-analysis cost
-    profile in :attr:`DiagnosisWindow.profile`.  ``cache`` is the
-    parse-cache knob of :func:`load_system`.
+    profile in :attr:`DiagnosisWindow.profile`.  ``cache`` and
+    ``platform`` are the parse-cache and read-dialect knobs of
+    :func:`load_system`.
     """
     with _maybe_session(obs):
-        diag = load_system(logdir, error_policy=error_policy, cache=cache)
+        diag = load_system(logdir, error_policy=error_policy, cache=cache,
+                           platform=platform)
         return list(diag.run_windowed(window_days, stride_days=stride_days,
                                       only=only))
 
@@ -164,6 +177,7 @@ def watch(
     idle_polls: Optional[int] = None,
     obs: Optional[ObsConfig] = None,
     cache=None,
+    platform: Optional[str] = None,
 ):
     """Stream-diagnose a live log directory until it goes quiet.
 
@@ -184,7 +198,8 @@ def watch(
     gracefully).  Returns a :class:`repro.stream.WatchReport`.
     ``cache`` attaches a parse cache to the daemon's store, making
     restart-time catch-up reads delta-only (the live tail itself parses
-    incrementally and needs no cache).
+    incrementally and needs no cache).  ``platform`` forces the read
+    dialect, as in :func:`load_system`.
     """
     # imported lazily, like run_campaign: the streaming subsystem is
     # not needed by the batch-only surface above
@@ -195,7 +210,7 @@ def watch(
         logdir=Path(logdir), out=Path(out), window_days=window_days,
         poll_interval=poll_interval, error_policy=error_policy,
         resume=resume, max_polls=max_polls, idle_polls=idle_polls,
-        cache=cache)
+        cache=cache, platform=platform)
     with _maybe_session(obs):
         return WatchDaemon(config).run()
 
@@ -235,6 +250,7 @@ def diagnose_fleet(
     resume: bool = False,
     config=None,
     obs: Optional[ObsConfig] = None,
+    platform: Optional[str] = None,
 ) -> FleetReport:
     """Diagnose a fleet of simulated systems under shard supervision.
 
@@ -248,15 +264,17 @@ def diagnose_fleet(
     (rebuilding any that rotted), re-runs only what is unproven, and
     reproduces ``out/fleet_report.json`` byte-identically.  ``config``
     is an optional :class:`repro.runtime.SupervisorConfig` (defaults
-    to :func:`repro.fleet.fleet_config`'s concurrent profile).  See
-    ``docs/FLEET.md``.
+    to :func:`repro.fleet.fleet_config`'s concurrent profile).
+    ``platform`` forces the catalog every member store is read under
+    (``None`` honors each member's manifest).  See ``docs/FLEET.md``.
     """
     # imported lazily, like run_campaign: the fleet subsystem drags in
     # the simulator and is not needed by the diagnosis-only surface
     from repro.fleet import FleetSpec, FleetSupervisor
 
     supervisor = FleetSupervisor(
-        out, spec=FleetSpec(systems=systems, days=days, seed=seed),
+        out, spec=FleetSpec(systems=systems, days=days, seed=seed,
+                            platform=platform),
         config=config)
     with _maybe_session(obs):
         return supervisor.run(resume=resume)

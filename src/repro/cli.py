@@ -33,6 +33,7 @@ from repro.core.report import generate_findings, render_findings
 from repro.core.rootcause import RootCauseEngine
 from repro.experiments.render import bar_chart
 from repro.experiments.scenarios import SCENARIOS, materialize
+from repro.logs.catalogs import catalog_names
 from repro.logs.health import ErrorPolicy, IngestionError
 from repro.logs.store import LogStore
 
@@ -69,10 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parse-cache directory (default: "
                             "<logdir>/.parse-cache)")
 
+    def add_platform_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--platform", choices=catalog_names(), default=None,
+                       help="platform catalog to read the logs under "
+                            "(default: the store manifest's recorded "
+                            "dialect, sniffed from content for stores "
+                            "that predate the field)")
+
     p_diag = sub.add_parser("diagnose", help="run the pipeline over a log dir")
     p_diag.add_argument("logdir", type=Path, nargs="?", default=None)
     p_diag.add_argument("--error-policy", **policy_kwargs)
     add_cache_flags(p_diag)
+    add_platform_flag(p_diag)
     p_diag.add_argument("--findings", action="store_true",
                         help="print Table VI style findings")
     p_diag.add_argument("--cases", action="store_true",
@@ -167,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--days", type=int, default=2,
                          help="simulated days per member (default: 2)")
     p_fleet.add_argument("--seed", type=int, default=7)
+    add_platform_flag(p_fleet)
     p_fleet.add_argument("--resume", action="store_true",
                          help="re-validate shard artifacts and re-run only "
                               "what the journal cannot prove complete")
@@ -190,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "checkpoint.jsonl, report.json)")
     p_watch.add_argument("--error-policy", **policy_kwargs)
     add_cache_flags(p_watch)
+    add_platform_flag(p_watch)
     p_watch.add_argument("--window-days", type=int, default=1, metavar="N",
                          help="diagnosis window size in days (default: 1)")
     p_watch.add_argument("--poll-interval", type=float, default=0.5,
@@ -235,6 +246,11 @@ def build_parser() -> argparse.ArgumentParser:
             pc.add_argument("--no-heal", action="store_true",
                             help="report invalid entries without deleting "
                                  "them")
+
+    p_cat = sub.add_parser(
+        "catalogs", help="list the registered platform catalogs")
+    p_cat.add_argument("--events", action="store_true",
+                       help="also list every event key per catalog")
 
     p_obs = sub.add_parser(
         "obs", help="inspect observability artifacts")
@@ -284,8 +300,8 @@ def _cache_from_args(args: argparse.Namespace):
 
 
 def _load(logdir: Path, error_policy: str = "skip",
-          cache=None) -> HolisticDiagnosis:
-    store = LogStore(logdir)
+          cache=None, platform: Optional[str] = None) -> HolisticDiagnosis:
+    store = LogStore(logdir, platform=platform)
     if not store.exists():
         raise SystemExit(f"error: {logdir} is not a log store "
                          "(no manifest.json)")
@@ -335,7 +351,8 @@ def _parse_only(raw: Optional[str]) -> Optional[list[str]]:
 
 def _cmd_diagnose_windowed(args: argparse.Namespace,
                            only: Optional[list[str]]) -> int:
-    diag = _load(args.logdir, args.error_policy, _cache_from_args(args))
+    diag = _load(args.logdir, args.error_policy, _cache_from_args(args),
+                 platform=args.platform)
     try:
         windows = diag.run_windowed(args.window_days,
                                     stride_days=args.stride_days, only=only)
@@ -383,7 +400,8 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 def _diagnose_batch(args: argparse.Namespace,
                     only: Optional[list[str]]) -> int:
     """The whole-span diagnosis body (``diagnose`` without windows)."""
-    diag = _load(args.logdir, args.error_policy, _cache_from_args(args))
+    diag = _load(args.logdir, args.error_policy, _cache_from_args(args),
+                 platform=args.platform)
     report = diag.run(only=only)
     if report.degraded:
         print(f"DEGRADED diagnosis ({len(report.degraded_reasons)} reasons):")
@@ -571,7 +589,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     try:
         spec = FleetSpec(systems=args.systems, days=args.days,
-                         seed=args.seed)
+                         seed=args.seed, platform=args.platform)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     config = fleet_config(max_workers=args.max_workers)
@@ -620,7 +638,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         logdir=args.logdir, out=args.out, window_days=args.window_days,
         poll_interval=args.poll_interval, error_policy=args.error_policy,
         resume=args.resume, max_polls=args.max_polls,
-        idle_polls=args.idle_polls, cache=_cache_from_args(args))
+        idle_polls=args.idle_polls, cache=_cache_from_args(args),
+        platform=args.platform)
     try:
         with _obs_session(args):
             daemon = WatchDaemon(config)
@@ -697,6 +716,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_catalogs(args: argparse.Namespace) -> int:
+    from repro.logs.catalogs import DEFAULT_PLATFORM, get_catalog
+
+    for name in catalog_names():
+        catalog = get_catalog(name)
+        default = "  (default)" if name == DEFAULT_PLATFORM else ""
+        print(f"{name}{default}")
+        print(f"  {catalog.description}")
+        print(f"  events: {len(catalog.events)}  "
+              f"daemons: {', '.join(sorted(catalog.daemons))}")
+        print(f"  fingerprint: {catalog.fingerprint[:16]}")
+        if args.events:
+            for key in sorted(catalog.events):
+                spec = catalog.events[key]
+                print(f"    {key:<24} {spec.source.value:<10} "
+                      f"{spec.daemon}")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import summarize_file
 
@@ -724,6 +762,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fleet": _cmd_fleet,
         "watch": _cmd_watch,
         "cache": _cmd_cache,
+        "catalogs": _cmd_catalogs,
         "obs": _cmd_obs,
     }
     try:

@@ -40,6 +40,15 @@ A spec is self-describing:
 ``field``
     The :class:`~repro.core.pipeline.DiagnosisReport` attribute the
     result lands in (defaults to ``name``).
+``platforms``
+    Platform catalogs (registry names from :mod:`repro.logs.catalogs`)
+    the analysis applies to.  Empty -- the overwhelming default -- means
+    platform-independent: the analysis runs everywhere and claims a
+    report field.  Non-empty marks a dialect-specific analysis: it runs
+    only when the diagnosed store's platform is listed, never claims a
+    dedicated report field, and lands in the report's
+    ``platform_analyses`` mapping instead -- so a Cray diagnosis simply
+    omits BG/Q analyses rather than crashing on their absent vocabulary.
 
 :func:`execute` is the generic driver: it resolves inputs from a
 context object, runs every (selected) analysis under error capture,
@@ -106,11 +115,22 @@ class AnalysisSpec:
     required_sources: tuple[LogSource, ...] = ()
     field: Optional[str] = None
     doc: str = ""
+    platforms: tuple[str, ...] = ()
 
     @property
     def report_field(self) -> str:
         """The report attribute this analysis fills."""
         return self.field or self.name
+
+    def applies_to(self, platform: Optional[str]) -> bool:
+        """Whether this analysis runs for a store of ``platform``.
+
+        Universal analyses (empty ``platforms``) apply everywhere,
+        including to a ``None`` platform (a directly constructed
+        diagnosis with no store); scoped analyses need a listed name.
+        """
+        return not self.platforms or (
+            platform is not None and platform in self.platforms)
 
 
 class AnalysisRegistry:
@@ -198,6 +218,16 @@ class AnalysisRegistry:
                     skipped.append(name)
         return skipped
 
+    def platform_excluded(self, platform: Optional[str]) -> list[str]:
+        """Names of platform-scoped analyses that do *not* apply.
+
+        The driver folds these into the skip set, so a dialect-specific
+        analysis degrades to its neutral result on every other platform
+        instead of crashing on a vocabulary it cannot see.
+        """
+        return [s.name for s in self._specs.values()
+                if not s.applies_to(platform)]
+
     def closure(self, names: Iterable[str]) -> list[str]:
         """``names`` plus transitive dependencies, in execution order.
 
@@ -241,6 +271,7 @@ def execute(
     registry: Optional[AnalysisRegistry] = None,
     *,
     skipped: Sequence[str] = (),
+    exclude: Sequence[str] = (),
     errors: Optional[dict[str, str]] = None,
     only: Optional[Iterable[str]] = None,
     profile: Optional[dict[str, float]] = None,
@@ -252,7 +283,9 @@ def execute(
     result.  A ``name`` in ``skipped`` (the missing-source contract) and
     any analysis outside ``only``'s dependency closure never runs and
     yields its neutral result -- the neutral factory is invoked *only*
-    on those paths, never on success.
+    on those paths, never on success.  A ``name`` in ``exclude`` (the
+    platform-scoping contract) is dropped entirely: no run, no neutral,
+    no entry in the result mapping.
 
     With observability enabled every executed analysis runs under an
     ``analysis.<name>`` span; passing a ``profile`` dict additionally
@@ -265,8 +298,11 @@ def execute(
     selected = (set(registry.names()) if only is None
                 else set(registry.closure(only)))
     skipped_set = set(skipped)
+    excluded_set = set(exclude)
     results: dict[str, Any] = {}
     for spec in registry:
+        if spec.name in excluded_set:
+            continue
         if spec.name not in selected or spec.name in skipped_set:
             results[spec.name] = spec.neutral()
             continue

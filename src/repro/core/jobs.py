@@ -31,13 +31,14 @@ __all__ = [
     "overallocation_report",
 ]
 
-_START_EVENTS = {"slurm_start", "torque_start"}
-_COMPLETE_EVENTS = {"slurm_complete", "torque_complete"}
-_SUBMIT_EVENTS = {"slurm_submit", "torque_submit"}
-_CANCEL_EVENTS = {"slurm_cancel", "torque_cancel"}
-_TIMEOUT_EVENTS = {"slurm_timeout", "torque_timeout"}
-_MEM_EVENTS = {"slurm_mem_exceeded", "torque_mem_exceeded"}
-_REQUEUE_EVENTS = {"slurm_requeue", "torque_requeue"}
+_START_EVENTS = {"slurm_start", "torque_start", "cobalt_start"}
+_COMPLETE_EVENTS = {"slurm_complete", "torque_complete", "cobalt_complete"}
+_SUBMIT_EVENTS = {"slurm_submit", "torque_submit", "cobalt_submit"}
+_CANCEL_EVENTS = {"slurm_cancel", "torque_cancel", "cobalt_cancel"}
+_TIMEOUT_EVENTS = {"slurm_timeout", "torque_timeout", "cobalt_timeout"}
+_MEM_EVENTS = {"slurm_mem_exceeded", "torque_mem_exceeded",
+               "cobalt_mem_exceeded"}
+_REQUEUE_EVENTS = {"slurm_requeue", "torque_requeue", "cobalt_requeue"}
 
 
 @dataclass

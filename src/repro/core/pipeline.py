@@ -45,6 +45,7 @@ from repro.core.falsepos import FprComparison
 from repro.core.index import RecordIndex, failure_times_by_node
 from repro.core.jobs import JobView, parse_jobs
 from repro.core.leadtime import LeadTimeRecord, LeadTimeSummary
+from repro.core.ras import ras_category_breakdown  # noqa: F401  (registers)
 from repro.core.rootcause import RootCauseInference
 from repro.core.spatial import SwoEvent, detect_swos, exclude_intended
 from repro.core.stacktrace import traces_by_node
@@ -163,6 +164,11 @@ class DiagnosisReport:
     analysis_errors: dict[str, str] = field(default_factory=dict)
     #: what the hardened readers saw, when the caller asked for it
     ingestion_health: Optional[IngestionHealth] = None
+    #: results of platform-scoped analyses (``AnalysisSpec.platforms``)
+    #: that applied to this store's dialect; empty -- and byte-invisible
+    #: to the parity gate -- on platforms where none apply
+    platform_analyses: dict = field(
+        default_factory=dict, metadata={"omit_empty": True})
 
     @property
     def failure_count(self) -> int:
@@ -199,6 +205,7 @@ class HolisticDiagnosis:
         total_nodes: Optional[int] = None,
         missing_sources: Sequence[LogSource] = (),
         ingestion_health: Optional[IngestionHealth] = None,
+        platform: Optional[str] = None,
     ) -> None:
         self.internal = list(internal)
         self.external = list(external)
@@ -206,6 +213,10 @@ class HolisticDiagnosis:
         self.detector = detector or FailureDetector()
         self.total_nodes = total_nodes
         self.ingestion_health = ingestion_health
+        #: catalog name of the diagnosed store (``None`` for directly
+        #: constructed pipelines): platform-scoped analyses run only
+        #: when their declared platform matches
+        self.platform = platform
         self.missing_sources = list(missing_sources)
         if ingestion_health is not None:
             for source in ingestion_health.missing_sources():
@@ -293,6 +304,7 @@ class HolisticDiagnosis:
             except KeyError:
                 pass
         missing = [s for s in LogSource if not store.source_files(s)]
+        kwargs.setdefault("platform", store.catalog.name)
         with OBS.span("pipeline.ingest", "ingest", policy=policy.value):
             internal = store.read_internal(clock, policy, health)
             external = store.read_external(clock, policy, health)
@@ -408,6 +420,7 @@ class HolisticDiagnosis:
             only = list(only)
         with OBS.span("pipeline.run", "pipeline") as span:
             skipped, reasons = self.degradation()
+            excluded = REGISTRY.platform_excluded(self.platform)
             selected = (REGISTRY.names() if only is None
                         else REGISTRY.closure(only))
             if only is not None and skipped:
@@ -416,16 +429,37 @@ class HolisticDiagnosis:
                     if name in not_run:
                         reasons.append(f"requested analysis {name!r} "
                                        f"not run: {not_run[name]}")
+            if only is not None and excluded:
+                for name in selected:
+                    if name in excluded:
+                        spec = REGISTRY.get(name)
+                        reasons.append(
+                            f"requested analysis {name!r} not run: "
+                            f"applies only to platform "
+                            + "/".join(spec.platforms)
+                            + f" (this store is "
+                              f"{self.platform or 'unknown'})")
             errors: dict[str, str] = {}
-            results = execute(self, skipped=skipped, errors=errors,
-                              only=only, profile=profile)
-            span.add(analyses=len(set(selected) - set(skipped)))
-            fields = {REGISTRY.get(name).report_field: value
-                      for name, value in results.items()}
+            results = execute(self, skipped=skipped, exclude=excluded,
+                              errors=errors, only=only, profile=profile)
+            span.add(analyses=len(set(selected) - set(skipped)
+                                  - set(excluded)))
+            # universal analyses claim dedicated report fields;
+            # platform-scoped ones land in the platform_analyses mapping
+            # (and excluded ones vanish entirely -- not a degradation)
+            fields = {}
+            platform_results: dict[str, object] = {}
+            for name, value in results.items():
+                spec = REGISTRY.get(name)
+                if not spec.platforms:
+                    fields[spec.report_field] = value
+                else:  # excluded specs never reach the result mapping
+                    platform_results[name] = value
             report = DiagnosisReport(
                 failures=self.failures,
                 intended_shutdowns=self.intended_shutdowns,
                 swos=self.swos,
+                platform_analyses=platform_results,
                 **fields,
             )
             report.skipped_analyses = skipped
@@ -483,6 +517,7 @@ class HolisticDiagnosis:
                     total_nodes=self.total_nodes,
                     missing_sources=self.missing_sources,
                     ingestion_health=self.ingestion_health,
+                    platform=self.platform,
                 )
                 profile: Optional[dict[str, float]] = (
                     {} if OBS.enabled else None)

@@ -1,0 +1,54 @@
+"""Blue Gene/Q RAS-dialect analyses (platform-scoped specs).
+
+The BG/Q control system stamps every RAS line with a category token
+(``RAS KERNEL FATAL ...``, ``RAS DDR WARN ...``); operators triage by
+that token long before reading bodies.  :func:`ras_category_breakdown`
+reproduces that first-look census over the parsed streams.
+
+These specs declare ``platforms=("bgq-ras",)``: they run only when the
+diagnosed store's catalog is the BG/Q dialect, never claim a dedicated
+:class:`~repro.core.pipeline.DiagnosisReport` field, and land in the
+report's ``platform_analyses`` mapping -- the ~10-line path any new
+dialect-specific analysis takes (see ``docs/PLATFORMS.md``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.core.analysis import AnalysisSpec, register
+from repro.logs.parsing import ParsedRecord
+
+__all__ = ["ras_category_breakdown"]
+
+
+def ras_category_breakdown(
+    internal: Sequence[ParsedRecord],
+    external: Sequence[ParsedRecord],
+) -> dict[str, int]:
+    """Count records per RAS category token across both record streams.
+
+    Categories come from :func:`repro.logs.bgq.ras_category` (the body's
+    leading ``RAS <CATEGORY> <SEVERITY>`` frame; scheduler-style bodies
+    count as ``COBALT``, anything else as ``OTHER``).  Sorted by
+    descending count, then name, so the report is deterministic.
+    """
+    from repro.logs.bgq import ras_category
+
+    counts: Counter[str] = Counter()
+    for record in internal:
+        counts[ras_category(record.body)] += 1
+    for record in external:
+        counts[ras_category(record.body)] += 1
+    return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+register(AnalysisSpec(
+    name="ras_category_breakdown",
+    inputs=("internal", "external"),
+    compute=ras_category_breakdown,
+    neutral=dict,
+    platforms=("bgq-ras",),
+    doc="BG/Q: record census per RAS category token (KERNEL/DDR/...)",
+))

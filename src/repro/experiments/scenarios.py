@@ -21,7 +21,16 @@ from typing import Callable, Optional
 
 from repro.cluster.reboot import RebootService
 from repro.cluster.sensors import cpu_temperature_trace
+from repro.cluster.systems import (
+    Family,
+    FileSystemKind,
+    Interconnect,
+    SchedulerKind,
+    SystemSpec,
+)
 from repro.faults import Campaign
+from repro.logs.bgq import BGQ_EVENTS
+from repro.logs.record import LogRecord
 from repro.logs.store import LogStore
 from repro.platform import Platform
 from repro.scheduler import JobBug, JobSpec, WorkloadConfig, WorkloadGenerator, WorkloadScheduler
@@ -438,10 +447,156 @@ def _build_cases(plat: Platform) -> None:
 
 
 # ---------------------------------------------------------------------------
+# bgq: two weeks of Blue Gene/Q-style RAS logs (the second dialect)
+# ---------------------------------------------------------------------------
+#: a BG/Q-flavoured rack: not one of Table I's systems, so the spec lives
+#: here (like the fleet harness's FLEET system) rather than in SYSTEMS
+_BGQ_SYSTEM = SystemSpec(
+    key="BGQ",
+    family=Family.INSTITUTIONAL,
+    nodes=512,
+    interconnect=Interconnect.GEMINI_TORUS,
+    scheduler=SchedulerKind.SLURM,  # unused: cobalt records are emitted directly
+    filesystem=FileSystemKind.LOCAL,
+    os_name="CNK",
+    processors="PowerPC-A2",
+    duration_months=1,
+    log_size_gb=1.2,
+)
+
+
+def _build_bgq(plat: Platform) -> None:
+    """Emit a BG/Q RAS campaign directly onto the bus.
+
+    The Cray scenarios drive fault chains through the HSS simulation;
+    the BG/Q dialect has no such machinery, so this builder writes the
+    record stream itself: kernel panics with machine-check/ECC
+    precursors, health-check admindowns after stalls, coordinated
+    shutdowns with MMCS power-off notifications (the intended-shutdown
+    signature), DDR/torus/environmental chatter, and a Cobalt job
+    lifecycle -- everything the pipeline's accounting must recognise,
+    rendered under the ``bgq-ras`` catalog.
+    """
+    plat.platform = "bgq-ras"
+    rng = plat.rng.child("scenario", "bgq")
+    nodes = [name.cname for name in plat.machine.nodes]
+    days = 14
+
+    def emit(t: float, component: str, event: str, **attrs: object) -> None:
+        spec = BGQ_EVENTS[event]
+        plat.bus.emit(LogRecord(t, spec.source, component, event,
+                                attrs, spec.severity))
+
+    job_id = 40_000
+    active_jobs: list[tuple[int, str]] = []  # (job, user) currently running
+    for day in range(days):
+        t0 = day * DAY
+        # -- kernel panics with hardware precursors (~2-3/day) ---------
+        for _ in range(rng.integer(2, 4)):
+            node = rng.choice(nodes)
+            t = t0 + rng.uniform(0.5, 23.0) * HOUR
+            emit(t - 300.0, node, "mce", cpu=rng.integer(0, 16),
+                 status="0x8c000000")
+            emit(t - 120.0, node, "mce", cpu=rng.integer(0, 16),
+                 status="0x8c000000")
+            emit(t - 60.0, node, "ecc_uncorrected", bank=rng.integer(0, 8),
+                 addr=f"0x{rng.integer(0, 1 << 32):08x}")
+            emit(t, node, "kernel_panic", why="machine check")
+            # post-mortem controller/environmental indicators
+            emit(t + 90.0, "mmcs", "nhf", node=node, beats=3)
+            emit(t + 150.0, "mc", "ec_heartbeat_stop", node=node)
+            if active_jobs and rng.bernoulli(0.4):
+                job, user = rng.choice(active_jobs)
+                emit(t + 30.0, "cobalt", "cobalt_requeue",
+                     job=job, user=user, node=node)
+        # -- health-check admindowns after stalls (~1/day) -------------
+        if rng.bernoulli(0.8):
+            node = rng.choice(nodes)
+            t = t0 + rng.uniform(1.0, 22.0) * HOUR
+            emit(t - 400.0, node, "hung_task", cpu=rng.integer(0, 16), n=240)
+            emit(t - 200.0, node, "hung_task", cpu=rng.integer(0, 16), n=440)
+            emit(t, node, "nhc_admindown", why="heartbeat timeout")
+        # -- OOM-driven panic (~every other day) ------------------------
+        if rng.bernoulli(0.5):
+            node = rng.choice(nodes)
+            t = t0 + rng.uniform(2.0, 20.0) * HOUR
+            emit(t - 30.0, node, "oom_kill",
+                 prog=rng.choice(["lammps", "qmcpack", "nek5000"]),
+                 pid=rng.integer(1000, 30000))
+            emit(t, node, "kernel_panic", why="out of memory")
+        # -- coordinated (intended) shutdowns (~every other day) --------
+        if rng.bernoulli(0.5):
+            node = rng.choice(nodes)
+            t = t0 + rng.uniform(6.0, 18.0) * HOUR
+            emit(t, node, "node_shutdown_msg", why="service action")
+            emit(t + 5.0, node, "node_halt", why="power down")
+            emit(t + 60.0, "mmcs", "ec_node_info_off", node=node)
+            emit(t + 45.0, "mmcs", "service_action",
+                 why=f"compute card replacement on {node}")
+        # -- background chatter -----------------------------------------
+        for _ in range(rng.integer(10, 20)):
+            emit(t0 + rng.uniform(0.0, 24.0) * HOUR, rng.choice(nodes),
+                 "ddr_correctable", bank=rng.integer(0, 8),
+                 count=rng.integer(1, 40))
+        for _ in range(rng.integer(2, 5)):
+            emit(t0 + rng.uniform(0.0, 24.0) * HOUR, rng.choice(nodes),
+                 "torus_link_error",
+                 link=rng.choice(["A+", "A-", "B+", "B-", "C+", "D+", "E-"]),
+                 count=rng.integer(1, 200))
+        for _ in range(rng.integer(1, 4)):
+            emit(t0 + rng.uniform(0.0, 24.0) * HOUR, rng.choice(nodes),
+                 "ciod_io_error", n=rng.integer(1, 8),
+                 why="connection reset by I/O node")
+        for _ in range(rng.integer(1, 3)):
+            emit(t0 + rng.uniform(0.0, 24.0) * HOUR, "mc",
+                 "sensor_read_fail", sensor="VDD08.current",
+                 node=rng.choice(nodes))
+        if rng.bernoulli(0.4):
+            emit(t0 + rng.uniform(0.0, 24.0) * HOUR, rng.choice(nodes),
+                 "gpfs_degraded", why="quorum node unreachable")
+        if rng.bernoulli(0.3):
+            emit(t0 + rng.uniform(0.0, 24.0) * HOUR, "mc",
+                 "bulk_power_warning", why="input voltage sag on bulk 3")
+        if rng.bernoulli(0.15):
+            emit(t0 + rng.uniform(0.0, 24.0) * HOUR, "bgmaster",
+                 "bgmaster_restart", prog="mmcs_server", n=rng.integer(1, 3))
+        # -- Cobalt job lifecycle (~8/day) ------------------------------
+        for _ in range(rng.integer(6, 10)):
+            job_id += 1
+            user = f"u{rng.integer(2000, 2200)}"
+            submit = t0 + rng.uniform(0.0, 20.0) * HOUR
+            emit(submit, "cobalt", "cobalt_submit", job=job_id, user=user)
+            if rng.bernoulli(0.05):
+                emit(submit + rng.uniform(2.0, 30.0) * MINUTE, "cobalt",
+                     "cobalt_cancel", job=job_id, user=user)
+                continue
+            start = submit + rng.uniform(1.0, 45.0) * MINUTE
+            alloc = rng.sample(nodes, rng.integer(1, 4))
+            emit(start, "cobalt", "cobalt_start", job=job_id, user=user,
+                 nodes=",".join(alloc),
+                 app=rng.choice(["lammps", "qmcpack", "nek5000", "gtc"]))
+            active_jobs.append((job_id, user))
+            end = start + rng.uniform(0.5, 6.0) * HOUR
+            if rng.bernoulli(0.04):
+                emit(end, "cobalt", "cobalt_timeout", job=job_id, user=user)
+                emit(end + 1.0, "cobalt", "cobalt_complete",
+                     job=job_id, user=user, code=1)
+            elif rng.bernoulli(0.05):
+                emit(end, "cobalt", "cobalt_mem_exceeded",
+                     job=job_id, user=user, node=rng.choice(alloc))
+                emit(end + 1.0, "cobalt", "cobalt_complete",
+                     job=job_id, user=user, code=137)
+            else:
+                emit(end, "cobalt", "cobalt_complete", job=job_id,
+                     user=user, code=0 if rng.bernoulli(0.88) else 1)
+    plat.run(days=days)
+
+
+# ---------------------------------------------------------------------------
 # registry + materialisation
 # ---------------------------------------------------------------------------
-#: scenario name -> (system key, builder)
-SCENARIOS: dict[str, tuple[str, ScenarioFn]] = {
+#: scenario name -> (system key or explicit spec, builder)
+SCENARIOS: dict[str, tuple[str | SystemSpec, ScenarioFn]] = {
     "s1": ("S1", _build_s1),
     "s2": ("S2", _build_s2),
     "s3": ("S3", _build_s3),
@@ -451,6 +606,7 @@ SCENARIOS: dict[str, tuple[str, ScenarioFn]] = {
     "fig12": ("S3", _build_fig12),
     "fig17": ("S4", _build_fig17),
     "cases": ("S1", _build_cases),
+    "bgq": (_BGQ_SYSTEM, _build_bgq),
 }
 
 
@@ -477,6 +633,7 @@ def materialize(
     except KeyError:
         known = ", ".join(sorted(SCENARIOS))
         raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+    system_key = system.key if isinstance(system, SystemSpec) else system
     root = root or scenario_cache_root()
     store = LogStore(root / f"{name}-seed{seed}")
     if not force and store.exists():
@@ -485,7 +642,7 @@ def materialize(
         except (OSError, ValueError, KeyError, TypeError):
             pass  # damaged cache entry: fall through and rebuild
         else:
-            if manifest.seed == seed and manifest.system == system:
+            if manifest.seed == seed and manifest.system == system_key:
                 return store
     plat = Platform.build(system, seed=seed)
     builder(plat)

@@ -66,6 +66,10 @@ class FleetSpec:
     systems: int = 100
     days: int = 2
     seed: int = 7
+    #: platform catalog every member store is *read* under (a registry
+    #: name from :mod:`repro.logs.catalogs`); None defers to each
+    #: member's manifest, which records the dialect it was written in
+    platform: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.systems < 1:
@@ -83,8 +87,11 @@ class FleetSpec:
 
     def as_config(self) -> dict:
         """The resume-compatibility fingerprint recorded in the journal."""
-        return {"systems": self.systems, "days": self.days,
-                "seed": self.seed}
+        config = {"systems": self.systems, "days": self.days,
+                  "seed": self.seed}
+        if self.platform:  # omitted when defaulted: old journals resume
+            config["platform"] = self.platform
+        return config
 
 
 def _build_member(plat: Platform, days: int) -> None:

@@ -43,6 +43,7 @@ from repro.core.artifacts import append_jsonl_line, write_canonical_artifact
 from repro.fleet.artifact import ShardArtifact, ShardArtifactError, read_shard_artifact
 from repro.fleet.rollup import FleetReport, merge_shards, shard_summary
 from repro.fleet.scenario import FLEET_SYSTEM, FleetSpec, materialize_member
+from repro.logs.store import LogStore
 from repro.obs import OBS
 from repro.runtime import faults
 from repro.runtime.journal import JournalError, read_jsonl_tolerant
@@ -205,6 +206,8 @@ class FleetSupervisor(TaskSupervisor):
             member_seed = spec.member_seed(index)
             store = materialize_member(member_id, member_seed, spec.days,
                                        root=cache_root)
+            if spec.platform is not None:  # forced read dialect
+                store = LogStore(store.root, platform=spec.platform)
             # store-local parse cache: a shard retried after a fault, or
             # rebuilt because its artifact rotted on resume, re-reads the
             # member's (unchanged) logs as pure cache hits instead of

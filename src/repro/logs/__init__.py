@@ -11,9 +11,16 @@ back through the parsers -- it never touches simulator state.
 Modules
 -------
 * :mod:`repro.logs.record` -- record model, sources, severities, the bus.
-* :mod:`repro.logs.catalog` -- the event vocabulary: one
-  :class:`~repro.logs.catalog.EventSpec` per event type with a message
-  template and the regex that recovers its attributes from a log line.
+* :mod:`repro.logs.catalogs` -- the :class:`PlatformCatalog` registry:
+  every dialect (event specs + daemon dispatch + severity/source
+  mapping) behind one named lookup, with content sniffing for stores
+  that do not declare theirs.
+* :mod:`repro.logs.catalog` -- the Cray XC vocabulary (the default
+  ``cray-xc`` catalog): one :class:`~repro.logs.catalog.EventSpec` per
+  event type with a message template and the regex that recovers its
+  attributes from a log line.
+* :mod:`repro.logs.bgq` -- the Blue Gene/Q-style RAS vocabulary
+  (``bgq-ras``), same pipeline, disjoint daemon set.
 * :mod:`repro.logs.render` -- record -> text line, per source dialect.
 * :mod:`repro.logs.parsing` -- text line -> :class:`ParsedRecord`.
 * :mod:`repro.logs.store` -- on-disk layout, writers and streaming readers.
@@ -21,12 +28,23 @@ Modules
 """
 
 from repro.logs.catalog import EVENTS, EventSpec, event_spec
+from repro.logs.catalogs import (
+    DEFAULT_PLATFORM,
+    PlatformCatalog,
+    catalog_names,
+    compile_dispatchers,
+    detect_platform,
+    get_catalog,
+    register_catalog,
+    resolve_catalog,
+)
 from repro.logs.parsing import ParsedRecord, parse_line
 from repro.logs.record import LogBus, LogRecord, LogSource, Severity
 from repro.logs.render import render_line
 from repro.logs.store import LogStore
 
 __all__ = [
+    "DEFAULT_PLATFORM",
     "EVENTS",
     "EventSpec",
     "LogBus",
@@ -34,8 +52,15 @@ __all__ = [
     "LogSource",
     "LogStore",
     "ParsedRecord",
+    "PlatformCatalog",
     "Severity",
+    "catalog_names",
+    "compile_dispatchers",
+    "detect_platform",
     "event_spec",
+    "get_catalog",
     "parse_line",
+    "register_catalog",
     "render_line",
+    "resolve_catalog",
 ]

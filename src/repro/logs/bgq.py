@@ -1,0 +1,396 @@
+"""A Blue Gene/Q-style RAS vocabulary, registered as ``bgq-ras``.
+
+Second platform dialect proving the ingestion/registry layers are
+genuinely platform-agnostic (ROADMAP item 1c): the same systemic
+assessment run over a different log vocabulary, following Sirbu &
+Babaoglu's holistic Blue Gene/Q study.  BG/Q RAS events carry a
+``RAS <COMPONENT> <SEVERITY>`` prefix and a component/category
+vocabulary (KERNEL, DDR, CIOD, MMCS, MC ...) quite unlike Cray's
+syslog shapes, and the reporting daemons differ completely:
+
+======== ============ ===========================================
+daemon   source       role
+======== ============ ===========================================
+cnk      console      Compute Node Kernel RAS stream
+ciod     messages     I/O-node control daemon (app lifecycle, I/O)
+bgmaster consumer     bgmaster server manager / health checks
+mmcs     controller   Midplane Monitoring and Control System
+mc       erd          machine controller environmental stream
+cobalt   sched        Cobalt resource manager
+======== ============ ===========================================
+
+The daemon tag set is disjoint from the Cray catalog's, so dialect
+sniffing (:func:`repro.logs.catalogs.detect_platform`) is unambiguous.
+
+**Shared semantic keys.** Events that carry platform-independent
+meaning reuse the canonical key the analysis layer already understands
+(``kernel_panic``, ``nhc_admindown``, ``mce``, ``nhf``, ``nvf``,
+``ec_node_info_off`` ...), so failure detection, symptom labelling and
+the environmental-correlation analyses work on BG/Q logs unchanged --
+the *vocabulary* is per-platform, the *semantics* are the paper's.
+Events with no Cray counterpart (``ddr_correctable``,
+``ciod_io_error`` ...) get their own keys and feed the BG/Q-scoped
+``ras_category_breakdown`` analysis.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.logs.catalog import EventSpec
+from repro.logs.catalogs import (
+    PlatformCatalog,
+    compile_dispatchers,
+    register_catalog,
+)
+from repro.logs.record import LogSource, Severity
+
+__all__ = ["BGQ_EVENTS", "BGQ_DAEMON_SOURCES", "BGQ_RAS", "ras_category"]
+
+BGQ_EVENTS: dict[str, EventSpec] = {}
+
+
+def _register(
+    key: str,
+    source: LogSource,
+    daemon: str,
+    severity: Severity,
+    template: str,
+    pattern: str,
+    required: tuple[str, ...] = (),
+    defaults: Mapping[str, object] | None = None,
+) -> None:
+    if key in BGQ_EVENTS:
+        raise ValueError(f"duplicate bgq event key: {key}")
+    BGQ_EVENTS[key] = EventSpec(
+        key=key,
+        source=source,
+        daemon=daemon,
+        severity=severity,
+        template=template,
+        pattern=re.compile(pattern),
+        required=required,
+        defaults=dict(defaults or {}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# cnk (Compute Node Kernel) -> console
+# ---------------------------------------------------------------------------
+_register(
+    "kernel_panic",
+    LogSource.CONSOLE,
+    "cnk",
+    Severity.FATAL,
+    "RAS KERNEL FATAL Kernel panic: {why}",
+    r"^RAS KERNEL FATAL Kernel panic: (?P<why>.+)$",
+    required=("why",),
+)
+_register(
+    "mce",
+    LogSource.CONSOLE,
+    "cnk",
+    Severity.CRITICAL,
+    "RAS KERNEL FATAL machine check interrupt: core {cpu} MCSR {status}",
+    r"^RAS KERNEL FATAL machine check interrupt: core (?P<cpu>\d+) MCSR (?P<status>[0-9a-fx]+)$",
+    required=("cpu", "status"),
+)
+_register(
+    "ecc_uncorrected",
+    LogSource.CONSOLE,
+    "cnk",
+    Severity.CRITICAL,
+    "RAS DDR FATAL uncorrectable ECC error: rank {bank} address {addr}",
+    r"^RAS DDR FATAL uncorrectable ECC error: rank (?P<bank>\d+) address (?P<addr>[0-9a-fx]+)$",
+    required=("bank", "addr"),
+)
+_register(
+    "ddr_correctable",
+    LogSource.CONSOLE,
+    "cnk",
+    Severity.WARNING,
+    "RAS DDR WARN correctable error summary: rank {bank} count {count}",
+    r"^RAS DDR WARN correctable error summary: rank (?P<bank>\d+) count (?P<count>\d+)$",
+    required=("bank",),
+    defaults={"count": 1},
+)
+_register(
+    "oom_kill",
+    LogSource.CONSOLE,
+    "cnk",
+    Severity.ERROR,
+    "RAS KERNEL ERROR out of memory: killed process {prog} pid {pid}",
+    r"^RAS KERNEL ERROR out of memory: killed process (?P<prog>[\w./-]+) pid (?P<pid>\d+)$",
+    required=("prog", "pid"),
+)
+_register(
+    "hung_task",
+    LogSource.CONSOLE,
+    "cnk",
+    Severity.WARNING,
+    "RAS KERNEL WARN core {cpu} stalled: thread unresponsive for {n} seconds",
+    r"^RAS KERNEL WARN core (?P<cpu>\d+) stalled: thread unresponsive for (?P<n>\d+) seconds$",
+    required=("cpu",),
+    defaults={"n": 120},
+)
+_register(
+    "node_halt",
+    LogSource.CONSOLE,
+    "cnk",
+    Severity.ALERT,
+    "RAS KERNEL ALERT kernel halted: {why}",
+    r"^RAS KERNEL ALERT kernel halted: (?P<why>.+)$",
+    required=("why",),
+)
+_register(
+    "node_shutdown_msg",
+    LogSource.CONSOLE,
+    "cnk",
+    Severity.NOTICE,
+    "RAS KERNEL NOTICE software shutdown requested: {why}",
+    r"^RAS KERNEL NOTICE software shutdown requested: (?P<why>.+)$",
+    required=("why",),
+)
+_register(
+    "torus_link_error",
+    LogSource.CONSOLE,
+    "cnk",
+    Severity.ERROR,
+    "RAS TORUS ERROR link {link} receiver: {count} bad packets detected",
+    r"^RAS TORUS ERROR link (?P<link>[\w+-]+) receiver: (?P<count>\d+) bad packets detected$",
+    required=("link",),
+    defaults={"count": 1},
+)
+
+# ---------------------------------------------------------------------------
+# ciod (I/O-node control daemon) -> messages
+# ---------------------------------------------------------------------------
+_register(
+    "app_exit_abnormal",
+    LogSource.MESSAGES,
+    "ciod",
+    Severity.ERROR,
+    "RAS CIOD ERROR application {app} job {job} terminated by signal {code}",
+    r"^RAS CIOD ERROR application (?P<app>[\w./-]+) job (?P<job>\d+) terminated by signal (?P<code>-?\d+)$",
+    required=("app", "job", "code"),
+)
+_register(
+    "ciod_io_error",
+    LogSource.MESSAGES,
+    "ciod",
+    Severity.ERROR,
+    "RAS CIOD ERROR I/O failure on stream {n}: {why}",
+    r"^RAS CIOD ERROR I/O failure on stream (?P<n>\d+): (?P<why>.+)$",
+    required=("why",),
+    defaults={"n": 1},
+)
+_register(
+    "gpfs_degraded",
+    LogSource.MESSAGES,
+    "ciod",
+    Severity.WARNING,
+    "RAS GPFS WARN filesystem degraded: {why}",
+    r"^RAS GPFS WARN filesystem degraded: (?P<why>.+)$",
+    required=("why",),
+)
+
+# ---------------------------------------------------------------------------
+# bgmaster (server manager / health) -> consumer
+# ---------------------------------------------------------------------------
+_register(
+    "nhc_admindown",
+    LogSource.CONSUMER,
+    "bgmaster",
+    Severity.ERROR,
+    "RAS BGMASTER ERROR node marked unavailable by health check: {why}",
+    r"^RAS BGMASTER ERROR node marked unavailable by health check: (?P<why>.+)$",
+    required=("why",),
+)
+_register(
+    "bgmaster_restart",
+    LogSource.CONSUMER,
+    "bgmaster",
+    Severity.WARNING,
+    "RAS BGMASTER WARN server {prog} restarted: attempt {n}",
+    r"^RAS BGMASTER WARN server (?P<prog>[\w./-]+) restarted: attempt (?P<n>\d+)$",
+    required=("prog",),
+    defaults={"n": 1},
+)
+
+# ---------------------------------------------------------------------------
+# mmcs (Midplane Monitoring and Control System) -> controller
+# ---------------------------------------------------------------------------
+_register(
+    "nhf",
+    LogSource.CONTROLLER,
+    "mmcs",
+    Severity.ERROR,
+    "RAS MMCS ERROR node heartbeat fault: node {node} missed {beats} polls",
+    r"^RAS MMCS ERROR node heartbeat fault: node (?P<node>[\w-]+) missed (?P<beats>\d+) polls$",
+    required=("node",),
+    defaults={"beats": 3},
+)
+_register(
+    "nvf",
+    LogSource.CONTROLLER,
+    "mmcs",
+    Severity.ERROR,
+    "RAS MMCS ERROR node voltage fault: node {node} rail {rail} at {volts} V",
+    r"^RAS MMCS ERROR node voltage fault: node (?P<node>[\w-]+) rail (?P<rail>[\w.]+) at (?P<volts>[0-9.]+) V$",
+    required=("node",),
+    defaults={"rail": "VDD08", "volts": "0.68"},
+)
+_register(
+    "ec_node_info_off",
+    LogSource.CONTROLLER,
+    "mmcs",
+    Severity.NOTICE,
+    "RAS MMCS NOTICE compute card state change: node {node} now OFF",
+    r"^RAS MMCS NOTICE compute card state change: node (?P<node>[\w-]+) now OFF$",
+    required=("node",),
+)
+_register(
+    "service_action",
+    LogSource.CONTROLLER,
+    "mmcs",
+    Severity.NOTICE,
+    "RAS MMCS NOTICE service action opened: {why}",
+    r"^RAS MMCS NOTICE service action opened: (?P<why>.+)$",
+    required=("why",),
+)
+
+# ---------------------------------------------------------------------------
+# mc (machine controller environmentals) -> erd
+# ---------------------------------------------------------------------------
+_register(
+    "ec_heartbeat_stop",
+    LogSource.ERD,
+    "mc",
+    Severity.ERROR,
+    "RAS MC ERROR environmental heartbeat stopped: node {node}",
+    r"^RAS MC ERROR environmental heartbeat stopped: node (?P<node>[\w-]+)$",
+    required=("node",),
+)
+_register(
+    "sensor_read_fail",
+    LogSource.ERD,
+    "mc",
+    Severity.WARNING,
+    "RAS MC WARN sensor read failed: sensor {sensor} on node {node}",
+    r"^RAS MC WARN sensor read failed: sensor (?P<sensor>[\w.]+) on node (?P<node>[\w-]+)$",
+    required=("sensor", "node"),
+)
+_register(
+    "bulk_power_warning",
+    LogSource.ERD,
+    "mc",
+    Severity.WARNING,
+    "RAS MC WARN bulk power module warning: {why}",
+    r"^RAS MC WARN bulk power module warning: (?P<why>.+)$",
+    required=("why",),
+)
+
+# ---------------------------------------------------------------------------
+# cobalt (resource manager) -> sched
+# ---------------------------------------------------------------------------
+_register(
+    "cobalt_submit",
+    LogSource.SCHEDULER,
+    "cobalt",
+    Severity.INFO,
+    "Job {job}/{user}: submitted",
+    r"^Job (?P<job>\d+)/(?P<user>\w+): submitted$",
+    required=("job", "user"),
+)
+_register(
+    "cobalt_start",
+    LogSource.SCHEDULER,
+    "cobalt",
+    Severity.INFO,
+    "Job {job}/{user}: Running job on {nodes}: app {app}",
+    r"^Job (?P<job>\d+)/(?P<user>\w+): Running job on (?P<nodes>[\w,-]+): app (?P<app>[\w./-]+)$",
+    required=("job", "user", "nodes", "app"),
+)
+_register(
+    "cobalt_complete",
+    LogSource.SCHEDULER,
+    "cobalt",
+    Severity.INFO,
+    "Job {job}/{user}: exited with status {code}",
+    r"^Job (?P<job>\d+)/(?P<user>\w+): exited with status (?P<code>-?\d+)$",
+    required=("job", "user", "code"),
+)
+_register(
+    "cobalt_cancel",
+    LogSource.SCHEDULER,
+    "cobalt",
+    Severity.NOTICE,
+    "Job {job}/{user}: user delete requested",
+    r"^Job (?P<job>\d+)/(?P<user>\w+): user delete requested$",
+    required=("job", "user"),
+)
+_register(
+    "cobalt_timeout",
+    LogSource.SCHEDULER,
+    "cobalt",
+    Severity.NOTICE,
+    "Job {job}/{user}: maximum execution time exceeded",
+    r"^Job (?P<job>\d+)/(?P<user>\w+): maximum execution time exceeded$",
+    required=("job", "user"),
+)
+_register(
+    "cobalt_mem_exceeded",
+    LogSource.SCHEDULER,
+    "cobalt",
+    Severity.ERROR,
+    "Job {job}/{user}: memory limit exceeded on {node}, killing job",
+    r"^Job (?P<job>\d+)/(?P<user>\w+): memory limit exceeded on (?P<node>[\w-]+), killing job$",
+    required=("job", "user", "node"),
+)
+_register(
+    "cobalt_requeue",
+    LogSource.SCHEDULER,
+    "cobalt",
+    Severity.NOTICE,
+    "Job {job}/{user}: requeued after failure of {node}",
+    r"^Job (?P<job>\d+)/(?P<user>\w+): requeued after failure of (?P<node>[\w-]+)$",
+    required=("job", "user", "node"),
+)
+
+
+#: daemon tag -> source for chatter lines
+BGQ_DAEMON_SOURCES: dict[str, LogSource] = {
+    "cnk": LogSource.CONSOLE,
+    "ciod": LogSource.MESSAGES,
+    "bgmaster": LogSource.CONSUMER,
+    "mmcs": LogSource.CONTROLLER,
+    "mc": LogSource.ERD,
+}
+
+#: RAS component/category token of an event body ("KERNEL", "DDR", ...);
+#: "COBALT" for scheduler lines, which carry no RAS prefix
+_RAS_PREFIX = re.compile(r"^RAS (?P<category>[A-Z]+) ")
+
+
+def ras_category(body: str) -> str:
+    """The RAS component token of a body, or ``COBALT``/``OTHER``."""
+    m = _RAS_PREFIX.match(body)
+    if m is not None:
+        return m.group("category")
+    return "COBALT" if body.startswith("Job ") else "OTHER"
+
+
+BGQ_RAS = register_catalog(
+    PlatformCatalog(
+        name="bgq-ras",
+        description=(
+            "Blue Gene/Q-style RAS vocabulary (cnk/ciod/bgmaster/mmcs/mc "
+            "daemons, Cobalt scheduler) after Sirbu & Babaoglu"
+        ),
+        events=BGQ_EVENTS,
+        dispatchers=compile_dispatchers(BGQ_EVENTS),
+        daemon_sources=BGQ_DAEMON_SOURCES,
+        default_source=LogSource.SCHEDULER,
+    )
+)

@@ -88,35 +88,38 @@ CACHE_FORMAT = 1
 #: cache entry file suffix (``<content64>-<env16>.rpc``)
 ENTRY_SUFFIX = ".rpc"
 
-_catalog_fp: Optional[str] = None
+_catalog_fp: dict[str, str] = {}
 
 
-def catalog_fingerprint() -> str:
-    """Digest of the event vocabulary and the record layout (memoised).
+def catalog_fingerprint(catalog=None) -> str:
+    """Digest of one catalog's vocabulary and the record layout (memoised).
 
-    Covers, for every registered :class:`~repro.logs.catalog.EventSpec`:
-    key, source, daemon, severity, template and pattern -- the complete
-    input of the compiled dispatch tables -- plus the
-    :class:`~repro.logs.parsing.ParsedRecord` slot layout.  Editing
-    ``catalog.py`` patterns or the record shape therefore re-keys the
-    whole cache automatically.
+    Per platform catalog: the catalog's own content fingerprint (every
+    :class:`~repro.logs.catalog.EventSpec`'s key, source, daemon,
+    severity, template and pattern -- the complete input of the compiled
+    dispatch tables) plus the :class:`~repro.logs.parsing.ParsedRecord`
+    slot layout.  Editing a vocabulary or the record shape therefore
+    re-keys that catalog's cache entries automatically, and two dialects
+    sharing one cache directory can never collide: identical bytes
+    parsed under ``cray-xc`` and ``bgq-ras`` key distinct entries.
+
+    ``catalog`` is a :class:`~repro.logs.catalogs.PlatformCatalog`, a
+    registered name, or ``None`` for the default dialect.
     """
-    global _catalog_fp
-    if _catalog_fp is None:
-        from repro.logs.catalog import EVENTS
+    from repro.logs.catalogs import resolve_catalog
 
+    catalog = resolve_catalog(catalog)
+    fp = _catalog_fp.get(catalog.name)
+    if fp is None:
         hasher = hashlib.sha256()
-        for key in sorted(EVENTS):
-            spec = EVENTS[key]
-            hasher.update(
-                f"{key}\x00{spec.source.value}\x00{spec.daemon}\x00"
-                f"{spec.severity.value}\x00{spec.template}\x00"
-                f"{spec.pattern.pattern}\x01".encode())
+        hasher.update(catalog.fingerprint.encode())
+        hasher.update(b"\x00")
         hasher.update("\x02".join(
             f.name for f in ParsedRecord.__dataclass_fields__.values()
         ).encode())
-        _catalog_fp = hasher.hexdigest()
-    return _catalog_fp
+        fp = hasher.hexdigest()
+        _catalog_fp[catalog.name] = fp
+    return fp
 
 
 def _content_hash(text: str) -> str:
@@ -160,8 +163,12 @@ class ParseCache:
     # keying
     # ------------------------------------------------------------------
     def _env_fingerprint(self, parser: LineParser) -> str:
-        """Everything besides content the parse is a function of."""
-        raw = (f"{CACHE_FORMAT}\x00{catalog_fingerprint()}\x00"
+        """Everything besides content the parse is a function of.
+
+        Includes the parser's platform catalog, so one shared cache
+        directory keeps per-dialect entries strictly apart.
+        """
+        raw = (f"{CACHE_FORMAT}\x00{catalog_fingerprint(parser.catalog)}\x00"
                f"{parser.clock.epoch.isoformat()}\x00{parser.max_skew}")
         return hashlib.sha256(raw.encode()).hexdigest()
 

@@ -1087,3 +1087,39 @@ def dispatcher_for_daemon(daemon: str) -> DaemonDispatcher | None:
 
 
 compile_dispatchers()
+
+
+# ---------------------------------------------------------------------------
+# Registration as the default platform catalog
+# ---------------------------------------------------------------------------
+#: daemon tag -> source for chatter lines (scheduler daemons fall through
+#: to the catalog's default source)
+DAEMON_SOURCES: dict[str, LogSource] = {
+    "kernel": LogSource.CONSOLE,
+    "nhc": LogSource.MESSAGES,
+    "apsys": LogSource.MESSAGES,
+    "l0sysd": LogSource.CONSUMER,
+    "bc": LogSource.CONTROLLER,
+    "cc": LogSource.CONTROLLER,
+    "erd": LogSource.ERD,
+}
+
+from repro.logs.catalogs import PlatformCatalog, register_catalog  # noqa: E402
+
+#: the Cray XC vocabulary as a first-class catalog.  It wraps the very
+#: same EVENTS/DISPATCHERS objects as the module globals above, so code
+#: going through the catalog dispatches identically to code that still
+#: imports the singletons.
+CRAY_XC = register_catalog(
+    PlatformCatalog(
+        name="cray-xc",
+        description=(
+            "Cray XC console/messages/consumer/controller/ERD/scheduler "
+            "vocabulary (the paper's Tables II-IV); the default dialect"
+        ),
+        events=EVENTS,
+        dispatchers=DISPATCHERS,
+        daemon_sources=DAEMON_SOURCES,
+        default_source=LogSource.SCHEDULER,
+    )
+)

@@ -105,12 +105,15 @@ def _parse_file(args: tuple) -> _WorkerResult:
     fourth element naming a parse-cache directory: when present, the
     worker parses through the cache -- populating it for every future
     reader -- instead of discarding its work at exit.  The atomic entry
-    writer makes concurrent workers race benignly.
+    writer makes concurrent workers race benignly.  An optional fifth
+    element names the platform catalog (dialect) to parse under; absent
+    means the default Cray dialect.
     """
     path_str, epoch_iso, policy_value = args[:3]
     cache_dir = args[3] if len(args) > 3 else None
+    catalog = args[4] if len(args) > 4 else None
     policy = ErrorPolicy(policy_value)
-    parser = LineParser(SimClock.from_iso(epoch_iso))
+    parser = LineParser(SimClock.from_iso(epoch_iso), catalog=catalog)
     cache = ParseCache(Path(cache_dir)) if cache_dir else None
     try:
         records, health, quarantined = parse_log_file(
@@ -245,7 +248,9 @@ def _parallel_read(
     manifest = store.manifest()
     cache = store.cache
     cache_dir = str(cache.root) if cache is not None else None
-    probe = LineParser(manifest.clock()) if cache is not None else None
+    catalog_name = store.catalog.name
+    probe = (LineParser(manifest.clock(), catalog=store.catalog)
+             if cache is not None else None)
     tasks: list[tuple[LogSource, str]] = []
     #: per-task result slot; filled from the cache probe here, from the
     #: serial/pool parse below for the delta
@@ -284,7 +289,8 @@ def _parallel_read(
     out: dict[LogSource, list[ParsedRecord]] = {s: [] for s in LogSource}
     if not tasks:
         return out
-    worker_args = [(tasks[i][1], manifest.epoch_iso, policy.value, cache_dir)
+    worker_args = [(tasks[i][1], manifest.epoch_iso, policy.value, cache_dir,
+                    catalog_name)
                    for i in delta_indices]
     cached_files = len(tasks) - len(delta_indices)
     use_pool = force_parallel or (
@@ -318,7 +324,8 @@ def _parallel_read(
         if error is not None and error[0] != "strict":
             # one serial retry in the parent before declaring the file lost
             records, counts, quarantined, error = _parse_file(
-                (path, manifest.epoch_iso, policy.value, cache_dir))
+                (path, manifest.epoch_iso, policy.value, cache_dir,
+                 catalog_name))
             if error is None:
                 counts["retried_files"] = counts.get("retried_files", 0) + 1
         if error is not None:

@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Iterable, Iterator, NamedTuple, Optional
 
-from repro.logs.catalog import DISPATCHERS
+from repro.logs.catalog import CRAY_XC, DAEMON_SOURCES
+from repro.logs.catalogs import PlatformCatalog, resolve_catalog
 from repro.logs.record import LogSource, Severity
 from repro.simul.clock import SimClock, parse_syslog
 
@@ -153,9 +154,16 @@ class LineParser:
         self,
         clock: Optional[SimClock] = None,
         max_skew: float = DEFAULT_MAX_SKEW,
+        catalog: "str | PlatformCatalog | None" = None,
     ) -> None:
         self.clock = clock or SimClock()
         self.max_skew = float(max_skew)
+        #: the platform dialect this parser recognises (default cray-xc)
+        self.catalog = CRAY_XC if catalog is None else resolve_catalog(catalog)
+        # bound locally: dispatcher lookup is the hottest dict access
+        self._dispatchers = self.catalog.dispatchers
+        self._daemon_sources = self.catalog.daemon_sources
+        self._default_source = self.catalog.default_source
         self._last_time: Optional[float] = None
         #: whole-second stamp prefix -> integer microseconds since epoch
         self._prefix_us: dict[str, int] = {}
@@ -209,7 +217,7 @@ class LineParser:
         self, time: float, component: str, daemon: str, body: str
     ) -> ParsedRecord:
         """Match the body against the daemon's compiled dispatcher."""
-        dispatcher = DISPATCHERS.get(daemon)
+        dispatcher = self._dispatchers.get(daemon)
         if dispatcher is not None:
             hit = dispatcher.match(body)
             if hit is not None:
@@ -217,8 +225,9 @@ class LineParser:
                 return ParsedRecord(time, spec.source, component, daemon,
                                     spec.key, attrs, spec.severity, body)
         # Unrecognised chatter: keep it, classified by daemon only.
-        return ParsedRecord(time, _source_for_daemon(daemon), component,
-                            daemon, None, _EMPTY_ATTRS, Severity.INFO, body)
+        return ParsedRecord(
+            time, self._daemon_sources.get(daemon, self._default_source),
+            component, daemon, None, _EMPTY_ATTRS, Severity.INFO, body)
 
     def parse(self, line: str) -> Optional[ParsedRecord]:
         """Parse one line; None for blank/malformed lines."""
@@ -238,15 +247,16 @@ class LineParser:
         except ValueError:
             return None
         # _build(), inlined
-        dispatcher = DISPATCHERS.get(daemon)
+        dispatcher = self._dispatchers.get(daemon)
         if dispatcher is not None:
             hit = dispatcher.match(body)
             if hit is not None:
                 spec, attrs = hit
                 return ParsedRecord(time, spec.source, component, daemon,
                                     spec.key, attrs, spec.severity, body)
-        return ParsedRecord(time, _source_for_daemon(daemon), component,
-                            daemon, None, _EMPTY_ATTRS, Severity.INFO, body)
+        return ParsedRecord(
+            time, self._daemon_sources.get(daemon, self._default_source),
+            component, daemon, None, _EMPTY_ATTRS, Severity.INFO, body)
 
     def parse_ex(self, line: str, scan_mojibake: bool = True) -> ParseOutcome:
         """Hardened parse: classify and, where possible, repair a line.
@@ -292,7 +302,7 @@ class LineParser:
             time = last
             recovered = True
         # _build(), inlined
-        dispatcher = DISPATCHERS.get(daemon)
+        dispatcher = self._dispatchers.get(daemon)
         if dispatcher is not None:
             hit = dispatcher.match(body)
             if hit is not None:
@@ -300,8 +310,9 @@ class LineParser:
                 record = ParsedRecord(time, spec.source, component, daemon,
                                       spec.key, attrs, spec.severity, body)
                 return ParseOutcome(record, "parsed", recovered)
-        record = ParsedRecord(time, _source_for_daemon(daemon), component,
-                              daemon, None, _EMPTY_ATTRS, Severity.INFO, body)
+        record = ParsedRecord(
+            time, self._daemon_sources.get(daemon, self._default_source),
+            component, daemon, None, _EMPTY_ATTRS, Severity.INFO, body)
         return ParseOutcome(record, "parsed", recovered)
 
     def parse_many(self, lines: Iterable[str]) -> Iterator[ParsedRecord]:
@@ -312,15 +323,8 @@ class LineParser:
                 yield rec
 
 
-_DAEMON_SOURCE = {
-    "kernel": LogSource.CONSOLE,
-    "nhc": LogSource.MESSAGES,
-    "apsys": LogSource.MESSAGES,
-    "l0sysd": LogSource.CONSUMER,
-    "bc": LogSource.CONTROLLER,
-    "cc": LogSource.CONTROLLER,
-    "erd": LogSource.ERD,
-}
+#: legacy alias; the mapping is owned by the default catalog now
+_DAEMON_SOURCE = DAEMON_SOURCES
 
 
 def _source_for_daemon(daemon: str) -> LogSource:
@@ -328,13 +332,19 @@ def _source_for_daemon(daemon: str) -> LogSource:
     return _DAEMON_SOURCE.get(daemon, LogSource.SCHEDULER)
 
 
-def parse_line(line: str, clock: Optional[SimClock] = None) -> Optional[ParsedRecord]:
+def parse_line(
+    line: str,
+    clock: Optional[SimClock] = None,
+    catalog: "str | PlatformCatalog | None" = None,
+) -> Optional[ParsedRecord]:
     """One-shot convenience wrapper around :class:`LineParser`."""
-    return LineParser(clock).parse(line)
+    return LineParser(clock, catalog=catalog).parse(line)
 
 
 def parse_lines(
-    lines: Iterable[str], clock: Optional[SimClock] = None
+    lines: Iterable[str],
+    clock: Optional[SimClock] = None,
+    catalog: "str | PlatformCatalog | None" = None,
 ) -> Iterator[ParsedRecord]:
     """One-shot convenience wrapper for many lines."""
-    return LineParser(clock).parse_many(lines)
+    return LineParser(clock, catalog=catalog).parse_many(lines)

@@ -18,16 +18,21 @@ that composes lines, so emission and parsing cannot drift apart.
 
 from __future__ import annotations
 
-from repro.logs.catalog import event_spec
+from repro.logs.catalog import CRAY_XC
+from repro.logs.catalogs import PlatformCatalog
 from repro.logs.record import LogRecord
 from repro.simul.clock import SimClock
 
 __all__ = ["render_line", "render_records"]
 
 
-def render_line(record: LogRecord, clock: SimClock) -> str:
+def render_line(
+    record: LogRecord,
+    clock: SimClock,
+    catalog: "PlatformCatalog | None" = None,
+) -> str:
     """Render one record into its text log line."""
-    spec = event_spec(record.event)
+    spec = (catalog or CRAY_XC).event_spec(record.event)
     if spec.source is not record.source:
         raise ValueError(
             f"record source {record.source.value!r} does not match "
@@ -39,7 +44,7 @@ def render_line(record: LogRecord, clock: SimClock) -> str:
     return f"{clock.stamp(record.time)} {record.component} {spec.daemon}: {body}"
 
 
-def render_records(records, clock: SimClock):
+def render_records(records, clock: SimClock, catalog: "PlatformCatalog | None" = None):
     """Yield text lines for an iterable of records."""
     for record in records:
-        yield render_line(record, clock)
+        yield render_line(record, clock, catalog)

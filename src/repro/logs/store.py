@@ -30,6 +30,13 @@ from operator import attrgetter
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Optional
 
+from repro.logs.catalogs import (
+    DEFAULT_PLATFORM,
+    PlatformCatalog,
+    detect_platform,
+    get_catalog,
+    resolve_catalog,
+)
 from repro.logs.health import ErrorPolicy, IngestionError, IngestionHealth, SourceHealth
 from repro.logs.parsing import REPLACEMENT_CHAR, LineParser, ParsedRecord
 from repro.logs.record import LogBus, LogRecord, LogSource
@@ -94,6 +101,9 @@ class StoreManifest:
     seed: int
     epoch_iso: str
     duration_seconds: float
+    #: platform dialect the logs were written in ("" = unknown; readers
+    #: of pre-dialect stores fall back to content sniffing)
+    platform: str = ""
 
     def clock(self) -> SimClock:
         """Reconstruct the clock the writer used."""
@@ -286,11 +296,75 @@ class LogStore:
     ``True`` uses the store-local default directory
     (``<root>/.parse-cache``), a path uses that directory, and a
     :class:`~repro.logs.cache.ParseCache` instance is used as-is.
+
+    ``platform`` pins the event-vocabulary dialect (a registered catalog
+    name or a :class:`~repro.logs.catalogs.PlatformCatalog`).  When left
+    ``None`` the dialect is auto-detected on first use: the manifest's
+    recorded platform wins, an unlabelled store is content-sniffed, and
+    an ambiguous sniff falls back to the default Cray dialect with a
+    warning -- reading never fails over dialect resolution.
     """
 
-    def __init__(self, root: Path | str, cache=None) -> None:
+    def __init__(
+        self,
+        root: Path | str,
+        cache=None,
+        platform: "str | PlatformCatalog | None" = None,
+    ) -> None:
         self.root = Path(root)
         self.cache = self._resolve_cache(cache)
+        self._platform = platform
+        self._catalog: Optional[PlatformCatalog] = None
+
+    @property
+    def catalog(self) -> PlatformCatalog:
+        """The resolved platform catalog (detected lazily on first use)."""
+        if self._catalog is None:
+            self._catalog = self._resolve_catalog()
+        return self._catalog
+
+    def _resolve_catalog(self) -> PlatformCatalog:
+        if self._platform is not None:
+            return resolve_catalog(self._platform)
+        name = ""
+        try:
+            name = self.manifest().platform
+        except (FileNotFoundError, json.JSONDecodeError, TypeError):
+            pass
+        if name:
+            try:
+                return get_catalog(name)
+            except KeyError:
+                warnings.warn(
+                    f"manifest records unknown platform {name!r}; "
+                    "falling back to content sniffing",
+                    stacklevel=3,
+                )
+        sniffed = self._sniff_platform()
+        if sniffed is not None:
+            return get_catalog(sniffed)
+        warnings.warn(
+            f"could not determine the platform dialect of {self.root}; "
+            f"assuming {DEFAULT_PLATFORM!r}",
+            stacklevel=3,
+        )
+        return get_catalog(DEFAULT_PLATFORM)
+
+    def _sniff_platform(self) -> Optional[str]:
+        """Dialect name sniffed from the first lines of each source."""
+        lines: list[str] = []
+        for source in _SOURCE_PATHS:
+            for path in self.source_files(source):
+                try:
+                    with open_log_text(path) as handle:
+                        for i, line in enumerate(handle):
+                            if i >= 8:
+                                break
+                            lines.append(line)
+                except OSError:
+                    continue
+                break  # first readable file of a source is enough
+        return detect_platform(lines)
 
     def _resolve_cache(self, cache):
         """Coerce the ``cache`` knob into a ParseCache (or None)."""
@@ -313,7 +387,11 @@ class LogStore:
         resolved = self._resolve_cache(cache)
         if resolved is self.cache:
             return self
-        return LogStore(self.root, cache=resolved)
+        # carry the dialect over: an already-resolved catalog is passed
+        # as-is so the view never re-sniffs the directory
+        return LogStore(
+            self.root, cache=resolved, platform=self._catalog or self._platform
+        )
 
     # ------------------------------------------------------------------
     # writing
@@ -326,6 +404,7 @@ class LogStore:
         seed: int,
         duration_seconds: float,
         rotate_daily: bool = False,
+        platform: "str | PlatformCatalog | None" = None,
     ) -> StoreManifest:
         """Render the whole bus into the directory layout.
 
@@ -334,12 +413,22 @@ class LogStore:
         source is split into per-day files (``console-20150105.log``,
         ...), matching how production syslog directories actually look;
         the readers handle both layouts transparently.
+
+        ``platform`` selects the dialect the bus is rendered in (it is
+        recorded in the manifest so readers never have to sniff); when
+        ``None`` the store's own platform applies, defaulting to the
+        Cray dialect.
         """
+        catalog = resolve_catalog(
+            platform if platform is not None else self._platform
+        )
+        self._catalog = catalog
         manifest = StoreManifest(
             system=system,
             seed=seed,
             epoch_iso=clock.epoch.isoformat(),
             duration_seconds=float(duration_seconds),
+            platform=catalog.name,
         )
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / "manifest.json").write_text(
@@ -362,7 +451,7 @@ class LogStore:
                     handles[source] = path.open("w")
                 for record in bus.sorted_records():
                     handles[record.source].write(
-                        render_line(record, clock) + "\n")
+                        render_line(record, clock, catalog) + "\n")
             else:
                 for record in bus.sorted_records():
                     day = clock.to_datetime(record.time).strftime("%Y%m%d")
@@ -374,7 +463,7 @@ class LogStore:
                         path = base.with_name(f"{base.stem}-{day}.log")
                         handle = path.open("w")
                         handles[key] = handle
-                    handle.write(render_line(record, clock) + "\n")
+                    handle.write(render_line(record, clock, catalog) + "\n")
         finally:
             for handle in handles.values():
                 handle.close()
@@ -439,7 +528,7 @@ class LogStore:
             path = self.root / _SOURCE_PATHS[record.source]
             path.parent.mkdir(parents=True, exist_ok=True)
             with path.open("a") as handle:
-                handle.write(render_line(record, clock) + "\n")
+                handle.write(render_line(record, clock, self.catalog) + "\n")
             count += 1
         return count
 
@@ -474,7 +563,7 @@ class LogStore:
         """
         policy = ErrorPolicy.coerce(policy)
         clock = clock or self.manifest().clock()
-        parser = LineParser(clock)
+        parser = LineParser(clock, catalog=self.catalog)
         bucket = health.source(source) if health is not None else None
         if policy is ErrorPolicy.QUARANTINE:
             self._reset_quarantine(source)

@@ -61,6 +61,9 @@ class Platform:
         #: callbacks (time, node_name, job_id) invoked when a chain fails a
         #: node; the scheduler registers here to requeue/kill affected jobs.
         self.failure_listeners: list = []
+        #: catalog name the logs render under (None -> the store default,
+        #: ``cray-xc``); BG/Q-style scenario builders set ``"bgq-ras"``
+        self.platform: Optional[str] = None
 
     @classmethod
     def build(cls, system: str | SystemSpec, seed: int = 0) -> "Platform":
@@ -123,6 +126,7 @@ class Platform:
             system=self.spec.key,
             seed=self.seed,
             duration_seconds=self.engine.now,
+            platform=self.platform,
         )
 
     # ------------------------------------------------------------------

@@ -111,6 +111,10 @@ class WatchConfig:
     #: only pays off on *restart*-time catch-up reads and on any batch
     #: reader sharing the directory -- it never changes streamed bytes.
     cache: object = None
+    #: platform catalog the store is read under (a registry name from
+    #: :mod:`repro.logs.catalogs`); None defers to the store's manifest
+    #: (falling back to content sniffing, then the default dialect)
+    platform: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.logdir = Path(self.logdir)
@@ -149,7 +153,8 @@ class WatchDaemon:
 
     def __init__(self, config: WatchConfig) -> None:
         self.config = config
-        self.store = LogStore(config.logdir, cache=config.cache)
+        self.store = LogStore(config.logdir, cache=config.cache,
+                              platform=config.platform)
         manifest = self.store.manifest()  # FileNotFoundError for bare dirs
         self.clock = manifest.clock()
         self.system = manifest.system
@@ -351,6 +356,7 @@ class WatchDaemon:
                 total_nodes=self.total_nodes,
                 missing_sources=self.missing,
                 ingestion_health=None,
+                platform=self.store.catalog.name,
             )
             report = sub.run()
             report_dict = to_jsonable(report)

@@ -60,7 +60,7 @@ class ReplayWriter:
         #: the live directory as a store (hand this to the daemon)
         self.store = LogStore(self.live_root)
         clock = complete.manifest().clock()
-        parser = LineParser(clock)
+        parser = LineParser(clock, catalog=complete.catalog)
         #: pending (time, bytes) per source; bytes already end in \n
         self._pending: dict[LogSource, Deque[tuple[float, bytes]]] = {}
         #: latest stamp anywhere in the complete store

@@ -107,7 +107,7 @@ class TailedFile:
 
     def __init__(self, path: Path, source: LogSource, clock: SimClock,
                  ino: Optional[int] = None, offset: int = 0,
-                 prefix: bytes = b"") -> None:
+                 prefix: bytes = b"", catalog=None) -> None:
         self.path = path
         self.source = source
         self.ino = ino
@@ -117,7 +117,7 @@ class TailedFile:
         #: the head is still short; immutable content for append-only
         #: files, so a mismatch means the file was replaced or rewritten)
         self.prefix = prefix
-        self.parser = LineParser(clock)
+        self.parser = LineParser(clock, catalog=catalog)
         #: a ``.gz`` segment read once, never polled again
         self.finalized = False
         #: bytes currently held back past the last newline
@@ -157,6 +157,8 @@ class LogTailer:
     ) -> None:
         self.store = store
         self.clock = clock or store.manifest().clock()
+        #: resolved once so every tracked file parses the same dialect
+        self.catalog = store.catalog
         self.policy = ErrorPolicy.coerce(policy)
         self.health = health if health is not None else IngestionHealth()
         self.boundary_seconds = boundary_seconds
@@ -197,6 +199,7 @@ class LogTailer:
                 ino=None,
                 offset=int(entry.get("offset", 0)),
                 prefix=bytes.fromhex(entry.get("prefix", "")),
+                catalog=self.catalog,
             )
             # seeded files were already counted by the run that
             # checkpointed them; don't count them again
@@ -416,7 +419,8 @@ class LogTailer:
                 matched[key] = adopted
             else:
                 matched[key] = TailedFile(path, source, self.clock,
-                                          ino=st.st_ino)
+                                          ino=st.st_ino,
+                                          catalog=self.catalog)
                 bucket.files += 1
 
         # leftover states: nothing on disk claimed them this poll

@@ -45,6 +45,9 @@ EXPECTED_ANALYSES = {
     "same_job_groups", "lead_times", "lead_time_summary",
     "false_positives", "category_breakdown", "blade_sharing",
     "root_causes", "family_split",
+    # platform-scoped (ISSUE 9): runs only under its declared catalog,
+    # lands in report.platform_analyses rather than a dedicated field
+    "ras_category_breakdown",
 }
 
 
@@ -82,9 +85,23 @@ class TestRegistryContents:
         report_fields = {f.name for f in fields(DiagnosisReport)}
         seen: set[str] = set()
         for spec in REGISTRY:
-            assert spec.report_field in report_fields
+            if not spec.platforms:  # scoped specs land in platform_analyses
+                assert spec.report_field in report_fields
             assert spec.report_field not in seen
             seen.add(spec.report_field)
+
+    def test_platform_scoping(self):
+        """Scoped specs run only under their catalog; universal specs
+        apply everywhere, including stores with no known platform."""
+        spec = REGISTRY.get("ras_category_breakdown")
+        assert spec.platforms == ("bgq-ras",)
+        assert spec.applies_to("bgq-ras")
+        assert not spec.applies_to("cray-xc")
+        assert not spec.applies_to(None)
+        assert REGISTRY.platform_excluded("bgq-ras") == []
+        assert REGISTRY.platform_excluded(None) == ["ras_category_breakdown"]
+        universal = REGISTRY.get("dominance")
+        assert universal.applies_to(None) and universal.applies_to("bgq-ras")
 
 
 class TestRegistryValidation:

@@ -115,7 +115,7 @@ class TestInvalidation:
         before = set(p.name for p in cache.entry_files())
         # simulate an edited catalog.py: the memoised fingerprint changes
         monkeypatch.setattr(cache_mod, "_catalog_fp",
-                            "0" * 64)
+                            {"cray-xc": "0" * 64})
         assert snapshot(cached) == snapshot(store)
         after = set(p.name for p in cache.entry_files())
         # every file re-keyed: old entries orphaned, new ones written

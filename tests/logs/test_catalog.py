@@ -1,8 +1,14 @@
-"""Tests for the event catalog: templates, patterns, dispatch tables."""
+"""Tests for the event catalogs: templates, patterns, dispatch tables.
+
+The template/pattern inverse tests are parametrized over *every*
+registered platform catalog (ISSUE 9): each dialect must satisfy the
+same render->parse round-trip contract the Cray vocabulary always had.
+"""
 
 import pytest
 
 from repro.logs.catalog import EVENTS, event_spec, events_for_daemon
+from repro.logs.catalogs import catalog_names, get_catalog
 from repro.logs.record import LogSource
 
 # representative attribute values per required-attribute name
@@ -23,14 +29,31 @@ SAMPLE_ATTRS = {
 }
 
 
-def sample_attrs_for(key):
-    spec = EVENTS[key]
+# dialect-specific sample values (BG/Q link names carry no colon)
+CATALOG_SAMPLE_OVERRIDES = {
+    "bgq-ras": {"link": "R01-M0-L3", "node": "R01-M0-N04-J07",
+                "nodes": "R01-M0-N04-J07,R01-M0-N05-J00"},
+}
+
+
+def sample_attrs_for(key, catalog="cray-xc"):
+    events = get_catalog(catalog).events
+    samples = {**SAMPLE_ATTRS, **CATALOG_SAMPLE_OVERRIDES.get(catalog, {})}
+    spec = events[key]
     attrs = dict(spec.defaults)
     for name in spec.required:
-        attrs.setdefault(name, SAMPLE_ATTRS.get(name, "x"))
+        attrs.setdefault(name, samples.get(name, "x"))
     if key == "link_failover":
         attrs["status"] = "ok"
     return attrs
+
+
+#: every (catalog, event key) pair across all registered dialects
+ALL_CATALOG_EVENTS = [
+    (name, key)
+    for name in catalog_names()
+    for key in sorted(get_catalog(name).events)
+]
 
 
 class TestRegistry:
@@ -61,31 +84,34 @@ class TestRegistry:
 
 
 class TestTemplatePatternInverse:
-    @pytest.mark.parametrize("key", sorted(EVENTS))
-    def test_roundtrip(self, key):
+    @pytest.mark.parametrize("catalog,key", ALL_CATALOG_EVENTS)
+    def test_roundtrip(self, catalog, key):
         """format() then parse() recovers exactly the used attributes."""
-        spec = EVENTS[key]
-        attrs = sample_attrs_for(key)
+        spec = get_catalog(catalog).events[key]
+        attrs = sample_attrs_for(key, catalog)
         body = spec.format(attrs)
         recovered = spec.parse(body)
-        assert recovered is not None, f"{key}: pattern does not match template"
+        assert recovered is not None, (
+            f"{catalog}/{key}: pattern does not match template")
         for name, value in recovered.items():
             assert str(attrs[name]) == value
 
-    @pytest.mark.parametrize("key", sorted(EVENTS))
-    def test_no_cross_matching_within_daemon(self, key):
+    @pytest.mark.parametrize("catalog,key", ALL_CATALOG_EVENTS)
+    def test_no_cross_matching_within_daemon(self, catalog, key):
         """A rendered body matches no *other* spec of the same daemon whose
         attribute sets differ (dialect ambiguity would corrupt parsing)."""
-        spec = EVENTS[key]
-        body = spec.format(sample_attrs_for(key))
-        for other in events_for_daemon(spec.daemon):
-            if other.key == key:
+        events = get_catalog(catalog).events
+        spec = events[key]
+        body = spec.format(sample_attrs_for(key, catalog))
+        for other in events.values():
+            if other.daemon != spec.daemon or other.key == key:
                 continue
             hit = other.parse(body)
             if hit is not None:
                 # only acceptable if both parses recover identical attrs
                 assert hit == spec.parse(body), (
-                    f"{key} body also matches {other.key} with different attrs"
+                    f"{catalog}/{key} body also matches {other.key} "
+                    "with different attrs"
                 )
 
     def test_missing_required_raises(self):

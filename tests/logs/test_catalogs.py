@@ -1,0 +1,346 @@
+"""The platform-catalog registry and the pluggable-dialect contract.
+
+ISSUE 9 coverage, one class per guarantee:
+
+* the named registry itself (builtins, lookup errors, replace semantics);
+* per-catalog content fingerprints and parse-cache environment keys;
+* dialect sniffing from raw lines;
+* satellite 1 -- two dialects sharing one cache directory never collide;
+* satellite 2 -- manifests record the dialect, and auto-detect *warns
+  and defaults* instead of raising when a store is ambiguous;
+* cross-dialect degradation -- a BG/Q store read under the Cray catalog
+  degrades to chatter with conserved accounting, never a crash;
+* the BG/Q scenario end-to-end: ingest, cache hit on re-read, analyses,
+  a report whose ``platform_analyses`` mapping is populated.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.pipeline import HolisticDiagnosis
+from repro.core.serialize import to_jsonable
+from repro.logs.bgq import BGQ_EVENTS
+from repro.logs.cache import ParseCache, catalog_fingerprint
+from repro.logs.catalog import EVENTS
+from repro.logs.catalogs import (
+    CATALOGS,
+    DEFAULT_PLATFORM,
+    PlatformCatalog,
+    catalog_names,
+    detect_platform,
+    get_catalog,
+    register_catalog,
+    resolve_catalog,
+)
+from repro.logs.health import IngestionHealth
+from repro.logs.parsing import LineParser
+from repro.logs.record import LogBus, LogRecord, LogSource
+from repro.logs.store import LogStore
+from repro.simul.clock import SimClock
+
+from tests.logs.test_catalog import sample_attrs_for
+
+CLOCK = SimClock()
+
+
+def dialect_line(catalog: str, key: str, t: float = 100.0,
+                 component: str = "n0", **attrs) -> str:
+    """One rendered log line of ``key`` in the named dialect's frame."""
+    spec = get_catalog(catalog).events[key]
+    merged = {**sample_attrs_for(key, catalog), **attrs}
+    return f"{CLOCK.stamp(t)} {component} {spec.daemon}: {spec.format(merged)}"
+
+
+def make_raw_store(root, lines, platform="") -> LogStore:
+    """Hand-write a minimal store: a manifest and one console file."""
+    (root / "p0").mkdir(parents=True)
+    (root / "p0" / "console.log").write_text(
+        "".join(line + "\n" for line in lines))
+    manifest = {
+        "system": "TT", "seed": 1, "epoch_iso": CLOCK.epoch.isoformat(),
+        "duration_seconds": 86400.0, "platform": platform,
+    }
+    (root / "manifest.json").write_text(json.dumps(manifest))
+    return LogStore(root)
+
+
+BGQ_LINES = [
+    dialect_line("bgq-ras", "ddr_correctable", 10.0, bank="2"),
+    dialect_line("bgq-ras", "mce", 20.0, cpu="3", status="dead"),
+    dialect_line("bgq-ras", "kernel_panic", 30.0, why="Fatal exception"),
+]
+
+CRAY_LINES = [
+    dialect_line("cray-xc", "mce", 10.0),
+    dialect_line("cray-xc", "oom_kill", 20.0),
+    dialect_line("cray-xc", "kernel_panic", 30.0),
+]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = catalog_names()
+        assert "cray-xc" in names and "bgq-ras" in names
+
+    def test_default_is_cray(self):
+        assert DEFAULT_PLATFORM == "cray-xc"
+        assert resolve_catalog(None).name == "cray-xc"
+
+    def test_resolve_passthrough_and_lookup(self):
+        cat = get_catalog("bgq-ras")
+        assert resolve_catalog(cat) is cat
+        assert resolve_catalog("bgq-ras") is cat
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(KeyError, match="registered:.*bgq-ras.*cray-xc"):
+            get_catalog("vax-vms")
+
+    def test_register_duplicate_rejected_unless_replace(self):
+        cray = get_catalog("cray-xc")
+        dummy = PlatformCatalog(
+            name="test-dialect", description="scratch", events={},
+            dispatchers={}, daemon_sources={})
+        try:
+            register_catalog(dummy)
+            with pytest.raises(ValueError, match="already registered"):
+                register_catalog(dummy)
+            register_catalog(dummy, replace=True)  # explicit replace OK
+        finally:
+            CATALOGS.pop("test-dialect", None)
+        # builtins were never disturbed
+        assert get_catalog("cray-xc") is cray
+
+    def test_vocabulary_access_mirrors_module_helpers(self):
+        cray = get_catalog("cray-xc")
+        assert cray.event_spec("mce") is EVENTS["mce"]
+        with pytest.raises(KeyError, match="similar"):
+            cray.event_spec("mce_bogus")
+        assert all(s.daemon == "kernel"
+                   for s in cray.events_for_daemon("kernel"))
+        bgq = get_catalog("bgq-ras")
+        assert bgq.source_for_daemon("cnk") is LogSource.CONSOLE
+        assert bgq.source_for_daemon("no_such") is LogSource.SCHEDULER
+
+    def test_daemon_sets_are_disjoint(self):
+        """The sniffing contract: no daemon tag lives in both dialects."""
+        cray = get_catalog("cray-xc").daemons
+        bgq = get_catalog("bgq-ras").daemons
+        assert not (cray & bgq)
+
+
+class TestFingerprints:
+    def test_catalogs_fingerprint_differently(self):
+        assert (get_catalog("cray-xc").fingerprint
+                != get_catalog("bgq-ras").fingerprint)
+
+    def test_fingerprint_is_stable(self):
+        cat = get_catalog("bgq-ras")
+        assert cat.fingerprint == cat.fingerprint
+
+    def test_cache_env_fingerprints_differ_per_catalog(self):
+        assert (catalog_fingerprint("cray-xc")
+                != catalog_fingerprint("bgq-ras"))
+        assert catalog_fingerprint(None) == catalog_fingerprint("cray-xc")
+
+
+class TestDetectPlatform:
+    def test_detects_bgq(self):
+        assert detect_platform(BGQ_LINES) == "bgq-ras"
+
+    def test_detects_cray(self):
+        assert detect_platform(CRAY_LINES) == "cray-xc"
+
+    def test_majority_wins_on_mixed_lines(self):
+        assert detect_platform(BGQ_LINES + CRAY_LINES[:1]) == "bgq-ras"
+
+    def test_garbage_and_empty_are_none(self):
+        assert detect_platform([]) is None
+        assert detect_platform(["foo", "not a log line at all"]) is None
+        stamp = CLOCK.stamp(5.0)
+        assert detect_platform([f"{stamp} n0 mystery-daemon: hello"]) is None
+
+    def test_tie_is_none(self):
+        assert detect_platform(BGQ_LINES[:1] + CRAY_LINES[:1]) is None
+
+
+class TestSharedCacheIsolation:
+    """Satellite 1: identical bytes under two dialects never collide."""
+
+    def test_two_dialects_one_cache_directory(self, tmp_path):
+        shared = tmp_path / "shared.log"
+        shared.write_text("".join(line + "\n" for line in BGQ_LINES))
+        cache = ParseCache(tmp_path / "cache")
+        cray = LineParser(CLOCK, catalog=get_catalog("cray-xc"))
+        bgq = LineParser(CLOCK, catalog=get_catalog("bgq-ras"))
+
+        # the keys themselves are distinct for the same bytes
+        assert (cache._env_fingerprint(cray) != cache._env_fingerprint(bgq))
+
+        cray_records, _, _ = cache.parse(shared, cray)
+        bgq_records, _, _ = cache.parse(shared, bgq)
+        assert cache.misses == 2 and cache.hits == 0
+        assert cache.stats().entries == 2  # one per dialect, no collision
+
+        # re-reads hit, each returning its own dialect's parse
+        cray_again, _, _ = cache.parse(shared, cray)
+        bgq_again, _, _ = cache.parse(shared, bgq)
+        assert cache.hits == 2 and cache.misses == 2
+        assert [r.event for r in cray_again] == [r.event for r in cray_records]
+        assert [r.event for r in bgq_again] == [r.event for r in bgq_records]
+        # the Cray catalog sees BG/Q lines as chatter; BG/Q recovers events
+        assert all(r.event is None for r in cray_again)
+        assert [r.event for r in bgq_again] == [
+            "ddr_correctable", "mce", "kernel_panic"]
+
+
+class TestManifestDialect:
+    """Satellite 2: recorded dialects, sniffing, and the warn-not-raise
+    fallback for ambiguous stores."""
+
+    def test_write_records_platform_and_reader_honors_it(self, tmp_path):
+        bus = LogBus()
+        spec = BGQ_EVENTS["kernel_panic"]
+        bus.emit(LogRecord(time=30.0, source=spec.source, component="n0",
+                           event="kernel_panic", attrs={"why": "oops"},
+                           severity=spec.severity))
+        store = LogStore(tmp_path / "w")
+        store.write(bus, CLOCK, "TT", 1, 86400.0, platform="bgq-ras")
+        assert store.manifest().platform == "bgq-ras"
+        reread = LogStore(store.root)  # fresh: resolves from manifest
+        assert reread.catalog.name == "bgq-ras"
+        records = list(reread.read_source(LogSource.CONSOLE))
+        assert [r.event for r in records] == ["kernel_panic"]
+
+    def test_manifest_wins_over_content(self, tmp_path):
+        # recorded dialect is authoritative: no sniffing, no warning
+        store = make_raw_store(tmp_path / "s", CRAY_LINES, platform="bgq-ras")
+        assert store.catalog.name == "bgq-ras"
+
+    def test_forced_platform_wins_over_manifest(self, tmp_path):
+        root = tmp_path / "s"
+        make_raw_store(root, BGQ_LINES, platform="bgq-ras")
+        forced = LogStore(root, platform="cray-xc")
+        assert forced.catalog.name == "cray-xc"
+
+    def test_unknown_manifest_platform_warns_and_sniffs(self, tmp_path):
+        store = make_raw_store(tmp_path / "s", BGQ_LINES, platform="vax-vms")
+        with pytest.warns(UserWarning, match="unknown platform 'vax-vms'"):
+            assert store.catalog.name == "bgq-ras"
+
+    def test_predialect_store_sniffs(self, tmp_path):
+        # platform="" is what every pre-ISSUE-9 manifest deserializes to
+        store = make_raw_store(tmp_path / "s", BGQ_LINES, platform="")
+        assert store.catalog.name == "bgq-ras"
+
+    def test_ambiguous_store_warns_and_defaults_never_raises(self, tmp_path):
+        stamp = CLOCK.stamp(5.0)
+        store = make_raw_store(
+            tmp_path / "s", [f"{stamp} n0 mystery-daemon: hello"])
+        with pytest.warns(UserWarning, match="assuming 'cray-xc'"):
+            assert store.catalog.name == DEFAULT_PLATFORM
+
+    def test_bare_directory_defaults_with_warning(self, tmp_path):
+        store = LogStore(tmp_path / "empty")
+        with pytest.warns(UserWarning, match="assuming 'cray-xc'"):
+            assert store.catalog.name == DEFAULT_PLATFORM
+
+
+class TestCrossDialectDegradation:
+    """Satellite 3: a store read under the wrong dialect degrades to
+    chatter -- conserved line accounting, zero failures, no crash."""
+
+    def test_bgq_lines_under_cray_are_conserved_chatter(self, tmp_path):
+        store = make_raw_store(tmp_path / "s", BGQ_LINES, platform="bgq-ras")
+        forced = LogStore(store.root, platform="cray-xc")
+        health = IngestionHealth()
+        records = list(forced.read_source(
+            LogSource.CONSOLE, policy="quarantine", health=health))
+        # every line is well-framed, so nothing is lost or quarantined:
+        # read == parsed + ignored + quarantined, with quarantined == 0
+        bucket = health.source(LogSource.CONSOLE)
+        assert bucket.read == len(BGQ_LINES)
+        assert bucket.parsed + bucket.ignored + bucket.quarantined == \
+            bucket.read
+        assert bucket.quarantined == 0
+        assert all(r.event is None for r in records)  # all chatter
+
+    def test_wrong_dialect_diagnosis_degrades_not_crashes(self, tmp_path):
+        store = make_raw_store(tmp_path / "s", BGQ_LINES, platform="bgq-ras")
+        forced = LogStore(store.root, platform="cray-xc")
+        report = HolisticDiagnosis.from_store(forced).run()
+        assert report.failures == []  # chatter carries no failure events
+        # and the BG/Q-scoped analysis is excluded, not errored
+        assert report.platform_analyses == {}
+        assert not report.analysis_errors
+
+
+@pytest.fixture(scope="module")
+def bgq_store(tmp_path_factory):
+    """A small BG/Q system run through the real scenario builder."""
+    from repro.cluster.systems import (
+        Family,
+        FileSystemKind,
+        Interconnect,
+        SchedulerKind,
+        SystemSpec,
+    )
+    from repro.experiments.scenarios import _build_bgq
+    from repro.platform import Platform
+
+    spec = SystemSpec(
+        key="BGQ", family=Family.INSTITUTIONAL, nodes=64,
+        interconnect=Interconnect.GEMINI_TORUS,
+        scheduler=SchedulerKind.SLURM, filesystem=FileSystemKind.LOCAL,
+        os_name="CNK", processors="PowerPC-A2", duration_months=1,
+        log_size_gb=0.2)
+    plat = Platform.build(spec, seed=3)
+    _build_bgq(plat)
+    root = tmp_path_factory.mktemp("bgq") / "logs"
+    plat.write_logs(root)
+    return LogStore(root)
+
+
+class TestBgqEndToEnd:
+    """The acceptance walk: scenario -> store -> cached ingest ->
+    analyses -> a report with the platform-scoped mapping populated."""
+
+    def test_manifest_and_catalog(self, bgq_store):
+        assert bgq_store.manifest().platform == "bgq-ras"
+        assert bgq_store.catalog.name == "bgq-ras"
+
+    def test_ingest_cache_hits_on_second_read_and_isolates(
+            self, bgq_store, tmp_path):
+        cache = ParseCache(tmp_path / "cache")
+        first = LogStore(bgq_store.root, cache=cache)
+        HolisticDiagnosis.from_store(first)
+        assert cache.misses > 0 and cache.hits == 0
+        cold_misses = cache.misses
+        second = LogStore(bgq_store.root, cache=cache)
+        HolisticDiagnosis.from_store(second)
+        assert cache.misses == cold_misses  # delta is empty: zero re-parse
+        assert cache.hits >= cold_misses
+        # cross-dialect isolation inside the same directory: forcing the
+        # Cray catalog re-keys every file instead of colliding
+        forced = LogStore(bgq_store.root, cache=cache, platform="cray-xc")
+        HolisticDiagnosis.from_store(forced)
+        assert cache.misses == 2 * cold_misses
+
+    def test_report_populates_platform_analyses(self, bgq_store):
+        report = HolisticDiagnosis.from_store(bgq_store).run()
+        assert report.failures, "the scenario injects real failures"
+        assert report.intended_shutdowns, "and intended shutdowns"
+        breakdown = report.platform_analyses["ras_category_breakdown"]
+        assert breakdown.get("KERNEL", 0) > 0
+        assert not report.degraded
+        # the mapping is visible in the serialized report...
+        assert "platform_analyses" in to_jsonable(report)
+
+    def test_cray_reports_omit_the_mapping(self, diagnosed_scenario):
+        # ...and byte-invisible for default-dialect stores (parity)
+        _, _, store = diagnosed_scenario
+        report = HolisticDiagnosis.from_store(store).run()
+        assert report.platform_analyses == {}
+        assert "platform_analyses" not in to_jsonable(report)

@@ -5,28 +5,42 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.logs.catalog import EVENTS
+from repro.logs.catalogs import get_catalog
 from repro.logs.parsing import LineParser, parse_line, parse_lines
 from repro.logs.record import LogRecord, LogSource, Severity
 from repro.logs.render import render_line, render_records
 from repro.simul.clock import SimClock
 
-from tests.logs.test_catalog import sample_attrs_for
+from tests.logs.test_catalog import ALL_CATALOG_EVENTS, sample_attrs_for
 
 CLOCK = SimClock()
 
-
-def make_record(key, t=3600.5):
-    spec = EVENTS[key]
-    component = {
+#: a plausible space-free component token per source, per dialect
+COMPONENTS = {
+    "cray-xc": {
         LogSource.CONSOLE: "c0-0c1s4n2",
         LogSource.MESSAGES: "c0-0c1s4n2",
         LogSource.CONSUMER: "c0-0c1s4n2",
         LogSource.CONTROLLER: "c0-0c1s4",
         LogSource.ERD: "erd",
         LogSource.SCHEDULER: "sdb",
-    }[spec.source]
+    },
+    "bgq-ras": {
+        LogSource.CONSOLE: "R01-M0-N04-J07",
+        LogSource.MESSAGES: "R01-M0-N04-J07",
+        LogSource.CONSUMER: "R01-M0-N04-J07",
+        LogSource.CONTROLLER: "R01-M0",
+        LogSource.ERD: "mc-server",
+        LogSource.SCHEDULER: "cobalt-server",
+    },
+}
+
+
+def make_record(key, t=3600.5, catalog="cray-xc"):
+    spec = get_catalog(catalog).events[key]
+    component = COMPONENTS[catalog][spec.source]
     return LogRecord(time=t, source=spec.source, component=component,
-                     event=key, attrs=sample_attrs_for(key))
+                     event=key, attrs=sample_attrs_for(key, catalog))
 
 
 class TestRenderLine:
@@ -48,11 +62,12 @@ class TestRenderLine:
 
 
 class TestParseLine:
-    @pytest.mark.parametrize("key", sorted(EVENTS))
-    def test_full_roundtrip_every_event(self, key):
-        record = make_record(key)
-        line = render_line(record, CLOCK)
-        parsed = parse_line(line, CLOCK)
+    @pytest.mark.parametrize("catalog,key", ALL_CATALOG_EVENTS)
+    def test_full_roundtrip_every_event(self, catalog, key):
+        cat = get_catalog(catalog)
+        record = make_record(key, catalog=catalog)
+        line = render_line(record, CLOCK, catalog=cat)
+        parsed = parse_line(line, CLOCK, catalog=cat)
         assert parsed is not None
         assert parsed.event == key
         assert parsed.component == record.component
