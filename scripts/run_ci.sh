@@ -24,9 +24,15 @@
 #      (scenario -> store -> cached ingest -> report) plus dialect
 #      sniffing and per-catalog cache isolation
 #      (tests/logs/test_catalogs.py; see docs/PLATFORMS.md)
-#   7. tier-2 chaos gate: corruption + supervision campaigns and the
+#   7. serve smoke: a real `repro serve` subprocess answers POST
+#      /v1/diagnose twice (second answer must be a byte-identical
+#      cache hit), reports honest counters on /v1/health, and drains
+#      cleanly on SIGTERM (tests/serve/test_cli_smoke.py, -m serve);
+#      the in-process coalescing/quota/drain matrix is tier-1
+#      (tests/serve/)
+#   8. tier-2 chaos gate: corruption + supervision campaigns and the
 #      overhead benchmarks (scripts/run_chaos.sh)
-#   8. fleet chaos gate: shard_kill + corrupt_artifact on a fleet plus
+#   9. fleet chaos gate: shard_kill + corrupt_artifact on a fleet plus
 #      driver SIGKILL/--resume byte-parity of fleet_report.json
 #      (tests/chaos/test_fleet_chaos.py), then the fleet scaling and
 #      shard-rebuild cost figures (benchmarks/bench_fleet.py)
@@ -66,7 +72,16 @@ echo "== BG/Q dialect smoke (second catalog through the same pipeline) =="
 # and default-dialect reports must keep omitting platform_analyses
 python -m pytest tests/logs/test_catalogs.py -q
 
+echo "== serve smoke (pytest -m serve) =="
+# a real `repro serve` process: announce, diagnose twice over raw
+# sockets (miss then byte-identical hit), health counters, SIGTERM
+# drain with exit 0 and the printed summary
+python -m pytest tests/serve/test_cli_smoke.py -m serve -q
+
 echo "== benchmark shape smoke (--benchmark-disable) =="
+# bench_serve.py runs its storms in full here (it does not use the
+# pytest-benchmark fixture), so this stage is also the service SLO
+# gate: warm p99, warm hit rate, exactly-one-pipeline-run cold
 python -m pytest benchmarks/ -m 'not chaos' --benchmark-disable -q
 
 if [[ "${1:-}" == "--fast" ]]; then

@@ -33,6 +33,8 @@ Stability contract (see ``docs/API.md``):
 from __future__ import annotations
 
 import contextlib
+import json
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -41,6 +43,8 @@ from repro.core.pipeline import (
     DiagnosisWindow,
     HolisticDiagnosis,
 )
+from repro.core.schema import json_schema_of
+from repro.core.serialize import canonical_json
 from repro.fleet.rollup import FleetReport
 from repro.logs.health import ErrorPolicy, IngestionHealth
 from repro.logs.store import LogStore
@@ -53,6 +57,10 @@ __all__ = [
     "diagnose_fleet",
     "run_campaign",
     "watch",
+    "serve",
+    "report_schema",
+    "DiagnoseRequest",
+    "ServiceResponse",
     "FleetReport",
     "ObsConfig",
     "ErrorPolicy",
@@ -62,6 +70,153 @@ __all__ = [
     "IngestionHealth",
     "LogStore",
 ]
+
+
+@dataclass(frozen=True)
+class DiagnoseRequest:
+    """The wire form of one diagnosis request.
+
+    Frozen and JSON-pure: every field round-trips through
+    :meth:`canonical` -> ``json.loads`` -> :meth:`from_wire` to an equal
+    object, so the same value works as an HTTP body for the service
+    layer (``POST /v1/diagnose``), as the first positional argument to
+    :func:`diagnose` / :func:`diagnose_windowed` / :func:`load_system`,
+    and as a coalescing/cache key ingredient.  Field names *are* the
+    HTTP field names -- the unified option vocabulary (``error_policy``,
+    ``window_days``, ``stride_days``, ``only``, ``platform``).
+    """
+
+    logdir: str
+    window_days: Optional[int] = None
+    stride_days: Optional[int] = None
+    only: Optional[tuple[str, ...]] = None
+    error_policy: str = "skip"
+    platform: Optional[str] = None
+    cache: Union[bool, str, None] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "logdir", str(self.logdir))
+        if self.only is not None:
+            only = tuple(str(name) for name in self.only)
+            object.__setattr__(self, "only", only)
+        object.__setattr__(
+            self, "error_policy", ErrorPolicy.coerce(self.error_policy).value)
+        if self.window_days is not None and self.window_days < 1:
+            raise ValueError(
+                f"window_days must be >= 1, got {self.window_days}")
+        if self.stride_days is not None:
+            if self.window_days is None:
+                raise ValueError("stride_days requires window_days")
+            if self.stride_days < 1:
+                raise ValueError(
+                    f"stride_days must be >= 1, got {self.stride_days}")
+        if isinstance(self.cache, Path):
+            object.__setattr__(self, "cache", str(self.cache))
+        elif not isinstance(self.cache, (bool, str, type(None))):
+            raise TypeError(
+                f"cache must be bool, str or None on the wire, "
+                f"got {type(self.cache).__name__}")
+
+    def to_wire(self) -> dict:
+        """A plain JSON-ready dict (tuples become lists)."""
+        return {
+            "logdir": self.logdir,
+            "window_days": self.window_days,
+            "stride_days": self.stride_days,
+            "only": list(self.only) if self.only is not None else None,
+            "error_policy": self.error_policy,
+            "platform": self.platform,
+            "cache": self.cache,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "DiagnoseRequest":
+        """Parse a wire dict, rejecting unknown keys loudly."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"request must be a JSON object, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s) {', '.join(unknown)}; "
+                f"expected a subset of {', '.join(sorted(known))}")
+        if "logdir" not in data:
+            raise ValueError("request is missing required field logdir")
+        kwargs = dict(data)
+        only = kwargs.get("only")
+        if only is not None:
+            if not isinstance(only, (list, tuple)):
+                raise ValueError("only must be a list of analysis names")
+            kwargs["only"] = tuple(only)
+        return cls(**kwargs)
+
+    def canonical(self) -> str:
+        """Canonical JSON text (sorted keys, no whitespace)."""
+        return canonical_json(self.to_wire())
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """The wire form of one service answer.
+
+    ``body`` is the exact JSON text the service computed -- for report
+    endpoints that is ``canonical_json(report)``, byte-for-byte what a
+    direct :func:`diagnose` plus canonical serialization yields.
+    ``cached`` / ``coalesced`` / ``key`` mirror the ``X-Cache`` /
+    ``X-Coalesced`` / ``X-Request-Key`` response headers.
+    """
+
+    status: int
+    #: what the body is: report | windows | fleet | schema | health | error
+    kind: str
+    body: str
+    cached: bool = False
+    coalesced: bool = False
+    key: Optional[str] = None
+
+    @property
+    def body_bytes(self) -> bytes:
+        """The response body exactly as it crosses the wire."""
+        return self.body.encode("utf-8")
+
+    def payload(self) -> object:
+        """The body parsed back to Python."""
+        return json.loads(self.body)
+
+    def to_wire(self) -> dict:
+        return {
+            "status": self.status,
+            "kind": self.kind,
+            "body": self.body,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "ServiceResponse":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown response field(s) {', '.join(unknown)}")
+        return cls(**data)
+
+    def canonical(self) -> str:
+        return canonical_json(self.to_wire())
+
+
+def _require_request_only(fn_name: str, **pairs) -> None:
+    """Reject kwargs that overlap a passed DiagnoseRequest's fields."""
+    for name, (value, default) in pairs.items():
+        if name == "error_policy":
+            value = ErrorPolicy.coerce(value)
+            default = ErrorPolicy.coerce(default)
+        if value != default:
+            raise TypeError(
+                f"{fn_name}() got both a DiagnoseRequest and an explicit "
+                f"{name}= keyword; set {name} on the request instead")
 
 
 def _store(logdir: Union[Path, str],
@@ -80,7 +235,7 @@ def _maybe_session(obs: Optional[ObsConfig]):
 
 
 def load_system(
-    logdir: Union[Path, str],
+    logdir: Union[Path, str, DiagnoseRequest],
     *,
     error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
     health: Optional[IngestionHealth] = None,
@@ -88,6 +243,10 @@ def load_system(
     platform: Optional[str] = None,
 ) -> HolisticDiagnosis:
     """Ingest a log directory and return the bound diagnosis pipeline.
+
+    The positional argument may be a :class:`DiagnoseRequest` instead
+    of a path, in which case the request's fields supply the options
+    and the overlapping keywords must be left at their defaults.
 
     The pipeline object exposes the full power surface (``run``,
     ``run_windowed``, ``compute``, the shared record index); the
@@ -109,13 +268,23 @@ def load_system(
     recorded dialect, content-sniffing when the manifest predates the
     field (see ``docs/PLATFORMS.md``).
     """
+    if isinstance(logdir, DiagnoseRequest):
+        request = logdir
+        _require_request_only(
+            "load_system",
+            error_policy=(error_policy, ErrorPolicy.SKIP),
+            cache=(cache, None), platform=(platform, None))
+        logdir = request.logdir
+        error_policy = request.error_policy
+        cache = request.cache
+        platform = request.platform
     return HolisticDiagnosis.from_store(
         _store(logdir, platform), error_policy=error_policy, health=health,
         cache=cache)
 
 
 def diagnose(
-    logdir: Union[Path, str],
+    logdir: Union[Path, str, DiagnoseRequest],
     *,
     error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
     only: Optional[Sequence[str]] = None,
@@ -131,17 +300,34 @@ def diagnose(
     silently returning its neutral result.  ``obs`` scopes the call in
     an observability session and writes the artifacts its paths name.
     ``cache`` and ``platform`` are the parse-cache and read-dialect
-    knobs of :func:`load_system`.
+    knobs of :func:`load_system`.  A :class:`DiagnoseRequest` (with
+    ``window_days`` unset) may stand in for the path plus options.
     """
+    if isinstance(logdir, DiagnoseRequest):
+        request = logdir
+        _require_request_only(
+            "diagnose",
+            error_policy=(error_policy, ErrorPolicy.SKIP),
+            only=(only, None), cache=(cache, None),
+            platform=(platform, None))
+        if request.window_days is not None:
+            raise ValueError(
+                "request sets window_days; use diagnose_windowed for "
+                "windowed runs")
+        logdir = request.logdir
+        error_policy = request.error_policy
+        only = request.only
+        cache = request.cache
+        platform = request.platform
     with _maybe_session(obs):
         return load_system(logdir, error_policy=error_policy,
                            cache=cache, platform=platform).run(only=only)
 
 
 def diagnose_windowed(
-    logdir: Union[Path, str],
+    logdir: Union[Path, str, DiagnoseRequest],
     *,
-    window_days: int,
+    window_days: Optional[int] = None,
     stride_days: Optional[int] = None,
     error_policy: Union[ErrorPolicy, str] = ErrorPolicy.SKIP,
     only: Optional[Sequence[str]] = None,
@@ -156,8 +342,30 @@ def diagnose_windowed(
     :func:`repro.obs.session`) each window carries a per-analysis cost
     profile in :attr:`DiagnosisWindow.profile`.  ``cache`` and
     ``platform`` are the parse-cache and read-dialect knobs of
-    :func:`load_system`.
+    :func:`load_system`.  A :class:`DiagnoseRequest` carrying
+    ``window_days`` may stand in for the path plus options -- the
+    keyword is then optional (and must agree when given).
     """
+    if isinstance(logdir, DiagnoseRequest):
+        request = logdir
+        _require_request_only(
+            "diagnose_windowed",
+            window_days=(window_days, None),
+            stride_days=(stride_days, None),
+            error_policy=(error_policy, ErrorPolicy.SKIP),
+            only=(only, None), cache=(cache, None),
+            platform=(platform, None))
+        logdir = request.logdir
+        window_days = request.window_days
+        stride_days = request.stride_days
+        error_policy = request.error_policy
+        only = request.only
+        cache = request.cache
+        platform = request.platform
+    if window_days is None:
+        raise TypeError(
+            "diagnose_windowed() needs window_days -- as a keyword or on "
+            "the DiagnoseRequest")
     with _maybe_session(obs):
         diag = load_system(logdir, error_policy=error_policy, cache=cache,
                            platform=platform)
@@ -166,7 +374,7 @@ def diagnose_windowed(
 
 
 def watch(
-    logdir: Union[Path, str],
+    logdir: Union[Path, str, DiagnoseRequest],
     *,
     out: Union[Path, str],
     window_days: int = 1,
@@ -204,6 +412,20 @@ def watch(
     # imported lazily, like run_campaign: the streaming subsystem is
     # not needed by the batch-only surface above
     from repro.stream import WatchConfig, WatchDaemon
+
+    if isinstance(logdir, DiagnoseRequest):
+        request = logdir
+        _require_request_only(
+            "watch",
+            window_days=(window_days, 1),
+            error_policy=(error_policy, ErrorPolicy.SKIP),
+            cache=(cache, None), platform=(platform, None))
+        logdir = request.logdir
+        if request.window_days is not None:
+            window_days = request.window_days
+        error_policy = request.error_policy
+        cache = request.cache
+        platform = request.platform
 
     _store(logdir)  # fail early with the shared useful message
     config = WatchConfig(
@@ -278,3 +500,52 @@ def diagnose_fleet(
         config=config)
     with _maybe_session(obs):
         return supervisor.run(resume=resume)
+
+
+def report_schema() -> dict:
+    """A stable JSON schema for :class:`DiagnosisReport`.
+
+    Derived from the report dataclasses themselves (so it cannot drift)
+    and emitted deterministically -- sorted ``$defs`` and properties,
+    canonical-JSON friendly.  The service layer serves exactly this
+    document at ``GET /v1/schema``.
+    """
+    return json_schema_of(DiagnosisReport, title="DiagnosisReport")
+
+
+def serve(
+    root: Union[Path, str] = ".",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    max_workers: int = 4,
+    cache_entries: int = 128,
+    quota_rate: float = 50.0,
+    quota_burst: float = 200.0,
+    max_pending: int = 64,
+    drain_grace: float = 30.0,
+    obs: Optional[ObsConfig] = None,
+):
+    """Run the diagnosis service until SIGTERM/SIGINT; returns its report.
+
+    Blocking facade over :mod:`repro.serve`: an asyncio HTTP front end
+    exposing ``POST /v1/diagnose``, ``POST /v1/diagnose/windowed``,
+    ``POST /v1/fleet``, ``GET /v1/health``, ``GET /v1/schema`` and the
+    chunked ``GET /v1/alerts/stream``.  Identical concurrent requests
+    coalesce into one pipeline run, warm repeats answer from an LRU
+    report cache invalidated by logdir content fingerprints, per-tenant
+    token buckets and a global backpressure cap answer overload with
+    429 + ``Retry-After``.  ``root`` anchors every ``logdir`` in
+    request bodies (path escapes answer 403).  See ``docs/SERVICE.md``.
+    """
+    # imported lazily, like run_campaign: asyncio service machinery is
+    # not needed by the batch-only surface above
+    from repro.serve import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        root=Path(root), host=host, port=port, max_workers=max_workers,
+        cache_entries=cache_entries, quota_rate=quota_rate,
+        quota_burst=quota_burst, max_pending=max_pending,
+        drain_grace=drain_grace)
+    with _maybe_session(obs):
+        return run_service(config)

@@ -221,6 +221,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record the run and write a canonical-JSON "
                               "metrics snapshot")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="HTTP diagnosis service (coalescing, report cache, quotas)")
+    p_serve.add_argument("root", type=Path, nargs="?", default=Path("."),
+                        help="directory request logdirs are resolved "
+                             "under (default: cwd)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8787, metavar="N",
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default: 8787)")
+    p_serve.add_argument("--max-workers", type=int, default=4, metavar="N",
+                         help="executor threads running pipeline work "
+                              "(default: 4)")
+    p_serve.add_argument("--cache-entries", type=int, default=128,
+                         metavar="N",
+                         help="LRU report-cache capacity (default: 128)")
+    p_serve.add_argument("--quota-rate", type=float, default=50.0,
+                         metavar="R",
+                         help="per-tenant sustained requests/second "
+                              "(default: 50)")
+    p_serve.add_argument("--quota-burst", type=float, default=200.0,
+                         metavar="B",
+                         help="per-tenant burst capacity (default: 200)")
+    p_serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                         help="global cap on admitted pipeline runs; "
+                              "beyond it requests get 429 (default: 64)")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="seconds to let in-flight requests finish "
+                              "on SIGTERM (default: 30)")
+    p_serve.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                         help="record the service and write a Chrome "
+                              "trace-event JSON file")
+    p_serve.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                         help="record the service and write a canonical-JSON "
+                              "metrics snapshot")
+
     p_cache = sub.add_parser(
         "cache", help="manage a store's persistent parse cache")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
@@ -664,6 +702,39 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceConfig, run_service
+
+    if not args.root.is_dir():
+        raise SystemExit(f"error: {args.root} is not a directory")
+    config = ServiceConfig(
+        root=args.root, host=args.host, port=args.port,
+        max_workers=args.max_workers, cache_entries=args.cache_entries,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        max_pending=args.max_pending, drain_grace=args.drain_grace,
+        announce=True)
+    try:
+        with _obs_session(args):
+            report = run_service(config)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"error: cannot bind {args.host}:{args.port}: {exc}")
+    cache = report.cache
+    coalesce = report.coalesce
+    print(f"served {report.requests} requests "
+          f"({report.errors} internal errors); "
+          f"{'drained cleanly' if report.drained else 'drain timed out'}")
+    print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.2%}); "
+          f"coalesced {coalesce['coalesced']} requests into "
+          f"{coalesce['flights']} runs")
+    print(f"rejected: {report.quota['rejected']} quota, "
+          f"{report.backpressure['rejected']} backpressure")
+    _note_obs_outputs(args)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.logs.cache import ParseCache
     from repro.logs.store import DEFAULT_CACHE_DIRNAME
@@ -761,6 +832,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run-all": _cmd_run_all,
         "fleet": _cmd_fleet,
         "watch": _cmd_watch,
+        "serve": _cmd_serve,
         "cache": _cmd_cache,
         "catalogs": _cmd_catalogs,
         "obs": _cmd_obs,

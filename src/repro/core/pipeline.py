@@ -260,6 +260,7 @@ class HolisticDiagnosis:
     def from_store(
         cls,
         store: LogStore,
+        *legacy,
         error_policy: ErrorPolicy | str = ErrorPolicy.SKIP,
         health: Optional[IngestionHealth] = None,
         cache=None,
@@ -284,6 +285,21 @@ class HolisticDiagnosis:
         ``from_store(store.with_cache(True))`` and
         ``from_store(store, cache=True)`` warm-start identically.
         """
+        if legacy:
+            if len(legacy) > 3:
+                raise TypeError(
+                    "from_store() takes one positional argument (the "
+                    f"store); got {len(legacy)} extra")
+            names = ("error_policy", "health", "cache")
+            warnings.warn(
+                "from_store() positional options are deprecated; pass "
+                f"{'/'.join(n + '=' for n in names[:len(legacy)])} as "
+                "keywords (the names every public entry point shares)",
+                DeprecationWarning, stacklevel=2)
+            resolved = [error_policy, health, cache]
+            for index, value in enumerate(legacy):
+                resolved[index] = value
+            error_policy, health, cache = resolved
         if "policy" in kwargs:
             warnings.warn(
                 "from_store(policy=...) is deprecated; use error_policy=... "

@@ -1,0 +1,150 @@
+"""Derive a stable JSON schema from the report dataclasses.
+
+The service layer promises clients a machine-readable contract for the
+bytes it serves (``GET /v1/schema``).  Rather than hand-maintaining a
+schema document that drifts from the dataclasses, :func:`json_schema_of`
+walks the type hints of a dataclass recursively and emits JSON Schema
+(draft 2020-12 vocabulary, the subset these shapes need):
+
+* dataclasses become ``object`` schemas with per-field ``properties``
+  (recursing), collected once into ``$defs`` and referenced by name so
+  shared shapes (e.g. ``DetectedFailure``) appear exactly once;
+* ``list[X]`` / ``tuple[X, ...]`` / ``Sequence[X]`` become ``array``;
+* ``dict[K, V]`` becomes ``object`` with ``additionalProperties`` of
+  the value schema (keys serialize to strings, matching
+  :func:`repro.core.serialize.to_jsonable`);
+* ``Optional[X]`` admits ``null``; enums enumerate their values;
+* unparameterized containers and unknown classes degrade to a
+  permissive schema rather than failing -- the schema must describe
+  every report the pipeline can emit, not reject edge shapes.
+
+Determinism matters more than completeness here: the schema is part of
+the snapshot-tested wire contract, so ``$defs`` and ``properties`` are
+emitted in sorted order and the output is canonical-JSON friendly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from typing import Any, Optional, Union
+
+__all__ = ["json_schema_of"]
+
+_PRIMITIVES = {
+    bool: {"type": "boolean"},
+    int: {"type": "integer"},
+    float: {"type": "number"},
+    str: {"type": "string"},
+    bytes: {"type": "string"},
+    type(None): {"type": "null"},
+}
+
+#: accepts anything -- the honest schema for untyped containers
+_ANY: dict[str, Any] = {}
+
+
+def _is_optional(args: tuple) -> bool:
+    return type(None) in args
+
+
+def _schema_of(tp: Any, defs: dict[str, dict]) -> dict[str, Any]:
+    """The schema of one annotation, accumulating dataclass ``$defs``."""
+    if tp in _PRIMITIVES:
+        return dict(_PRIMITIVES[tp])
+    if tp is Any or tp is object:
+        return dict(_ANY)
+    origin = typing.get_origin(tp)
+    args = typing.get_args(tp)
+    if origin is Union:
+        variants = [_schema_of(arg, defs) for arg in args]
+        if _is_optional(args) and len(args) == 2:
+            other = next(a for a in args if a is not type(None))
+            inner = _schema_of(other, defs)
+            if "$ref" in inner or "anyOf" in inner:
+                return {"anyOf": [inner, {"type": "null"}]}
+            types = inner.pop("type", None)
+            kinds = [types] if isinstance(types, str) else list(types or [])
+            return {"type": sorted(set(kinds) | {"null"}), **inner}
+        return {"anyOf": variants}
+    if origin in (list, set, frozenset, tuple) or origin is typing.Sequence:
+        if origin is tuple and args and args[-1] is not Ellipsis:
+            return {"type": "array",
+                    "prefixItems": [_schema_of(a, defs) for a in args]}
+        item = args[0] if args else Any
+        return {"type": "array", "items": _schema_of(item, defs)}
+    if origin is dict or origin is typing.Mapping:
+        value = args[1] if len(args) == 2 else Any
+        return {"type": "object",
+                "additionalProperties": _schema_of(value, defs)}
+    try:
+        from collections.abc import Mapping, Sequence as AbcSequence
+        if origin is not None and isinstance(origin, type):
+            if issubclass(origin, Mapping):
+                value = args[1] if len(args) == 2 else Any
+                return {"type": "object",
+                        "additionalProperties": _schema_of(value, defs)}
+            if issubclass(origin, AbcSequence):
+                item = args[0] if args else Any
+                return {"type": "array", "items": _schema_of(item, defs)}
+    except TypeError:
+        pass
+    if isinstance(tp, type) and issubclass(tp, enum.Enum):
+        return {"enum": sorted(str(member.value) for member in tp)}
+    if dataclasses.is_dataclass(tp):
+        name = tp.__name__
+        if name not in defs:
+            defs[name] = {"placeholder": True}  # break recursion cycles
+            defs[name] = _dataclass_schema(tp, defs)
+        return {"$ref": f"#/$defs/{name}"}
+    if tp in (list, tuple, set, frozenset):
+        return {"type": "array", "items": dict(_ANY)}
+    if tp is dict:
+        return {"type": "object"}
+    # an unknown class: describe, don't reject
+    return {"type": "object",
+            "description": getattr(tp, "__name__", str(tp))}
+
+
+def _dataclass_schema(tp: type, defs: dict[str, dict]) -> dict[str, Any]:
+    try:
+        hints = typing.get_type_hints(tp)
+    except Exception:
+        hints = {f.name: f.type for f in dataclasses.fields(tp)}
+    properties: dict[str, dict] = {}
+    required: list[str] = []
+    for field in dataclasses.fields(tp):
+        properties[field.name] = _schema_of(hints.get(field.name, Any), defs)
+        no_default = (field.default is dataclasses.MISSING
+                      and field.default_factory is dataclasses.MISSING)
+        if no_default:
+            required.append(field.name)
+    schema: dict[str, Any] = {
+        "type": "object",
+        "properties": {k: properties[k] for k in sorted(properties)},
+    }
+    if required:
+        schema["required"] = sorted(required)
+    return schema
+
+
+def json_schema_of(tp: type,
+                   title: Optional[str] = None) -> dict[str, Any]:
+    """A self-contained JSON schema document for one dataclass.
+
+    The root object inlines ``tp``'s own schema and carries every
+    transitively referenced dataclass in sorted ``$defs``.
+    """
+    if not dataclasses.is_dataclass(tp):
+        raise TypeError(f"{tp!r} is not a dataclass")
+    defs: dict[str, dict] = {}
+    root = _dataclass_schema(tp, defs)
+    document: dict[str, Any] = {
+        "$schema": "https://json-schema.org/draft/2020-12/schema",
+        "title": title or tp.__name__,
+        **root,
+    }
+    if defs:
+        document["$defs"] = {k: defs[k] for k in sorted(defs)}
+    return document

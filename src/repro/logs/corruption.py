@@ -438,7 +438,10 @@ class CorruptionInjector:
             if not rng.bernoulli(fraction):
                 continue
             gz_path = path.with_name(path.name + ".gz")
-            with gzip.open(gz_path, "wb") as handle:
+            # mtime=0 + no embedded filename: gzip headers stay
+            # byte-identical across runs (same seed => same bytes)
+            with open(gz_path, "wb") as raw, gzip.GzipFile(
+                    fileobj=raw, mode="wb", mtime=0) as handle:
                 handle.write(path.read_bytes())
             path.unlink()
             rel = gz_path.relative_to(self.store.root).as_posix()

@@ -54,7 +54,7 @@ class ErrorPolicy(str, Enum):
             return cls(value)
         except ValueError:
             raise ValueError(
-                f"unknown error policy {value!r}; expected one of "
+                f"unknown error_policy {value!r}; expected one of "
                 f"{[p.value for p in cls]}"
             ) from None
 

@@ -193,13 +193,41 @@ def _coerce_legacy_policy(
     return ErrorPolicy.coerce(error_policy)
 
 
+_OPTION_NAMES = ("workers", "force_parallel", "error_policy", "health")
+
+
+def _coerce_legacy_positional(where, legacy, workers, force_parallel,
+                              error_policy, health):
+    """Map deprecated positional options onto their keyword names.
+
+    The public surface promises one positional argument (the store) and
+    keyword-only options; callers still passing options positionally
+    get one release of DeprecationWarning-backed compatibility.
+    """
+    if not legacy:
+        return workers, force_parallel, error_policy, health
+    if len(legacy) > len(_OPTION_NAMES):
+        raise TypeError(
+            f"{where}() takes one positional argument (the store); "
+            f"got {len(legacy)} extra")
+    warnings.warn(
+        f"{where}() positional options are deprecated; pass "
+        f"{'/'.join(n + '=' for n in _OPTION_NAMES[:len(legacy)])} as "
+        "keywords (the names every public entry point shares)",
+        DeprecationWarning, stacklevel=3)
+    resolved = [workers, force_parallel, error_policy, health]
+    for index, value in enumerate(legacy):
+        resolved[index] = value
+    return tuple(resolved)
+
+
 def parallel_read(
     store: LogStore,
+    *legacy,
     workers: Optional[int] = None,
     force_parallel: bool = False,
     error_policy: ErrorPolicy | str = ErrorPolicy.SKIP,
     health: Optional[IngestionHealth] = None,
-    *,
     policy: Optional[ErrorPolicy | str] = None,
 ) -> dict[LogSource, list[ParsedRecord]]:
     """Parse every source of a store, fanned out over processes.
@@ -222,6 +250,9 @@ def parallel_read(
     ``logs.parallel_read`` span (tags: file count, byte total, mode),
     and pool workers' buffered spans/metrics are merged at drain.
     """
+    workers, force_parallel, error_policy, health = _coerce_legacy_positional(
+        "parallel_read", legacy, workers, force_parallel, error_policy,
+        health)
     policy = _coerce_legacy_policy(error_policy, policy, "parallel_read")
     with OBS.span("logs.parallel_read", "ingest") as read_span:
         result = _parallel_read(store, workers, force_parallel, policy,
@@ -355,11 +386,11 @@ def _parallel_read(
 
 def diagnosis_inputs(
     store: LogStore,
+    *legacy,
     workers: Optional[int] = None,
     force_parallel: bool = False,
     error_policy: ErrorPolicy | str = ErrorPolicy.SKIP,
     health: Optional[IngestionHealth] = None,
-    *,
     policy: Optional[ErrorPolicy | str] = None,
 ) -> tuple[list[ParsedRecord], list[ParsedRecord], list[ParsedRecord]]:
     """(internal, external, scheduler) streams, parsed in parallel.
@@ -372,6 +403,9 @@ def diagnosis_inputs(
     The per-source streams come back already time-sorted, so the
     combined streams are k-way merges, not re-sorts.
     """
+    workers, force_parallel, error_policy, health = _coerce_legacy_positional(
+        "diagnosis_inputs", legacy, workers, force_parallel, error_policy,
+        health)
     resolved = _coerce_legacy_policy(error_policy, policy, "diagnosis_inputs")
     by_source = parallel_read(store, workers=workers,
                               force_parallel=force_parallel,

@@ -182,6 +182,18 @@ def render_summary(trace: Optional[dict] = None,
             lines.append(
                 f"  ! {truncated} crash-truncated journal tail(s) "
                 "recovered -- a run was killed mid-append and resumed")
+        hits = counters.get("serve.cache.hit", 0)
+        misses = counters.get("serve.cache.miss", 0)
+        if hits or misses:
+            rate = hits / (hits + misses)
+            line = (f"  service: report-cache hit rate {rate:.1%} "
+                    f"({hits} hits / {misses} misses), "
+                    f"{counters.get('serve.coalesced', 0)} coalesced")
+            rejected = (counters.get("serve.quota.rejected", 0)
+                        + counters.get("serve.backpressure.rejected", 0))
+            if rejected:
+                line += f", {rejected} rejected (quota/backpressure)"
+            lines.append(line)
     return "\n".join(lines)
 
 

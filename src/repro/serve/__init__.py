@@ -1,0 +1,47 @@
+"""Diagnosis-as-a-service: the asyncio HTTP front end.
+
+A zero-dependency service layer over :mod:`repro.api` -- stdlib asyncio
+streams speaking hand-rolled HTTP/1.1 (:mod:`repro.serve.http`), an
+exact-match router, single-flight request coalescing, an LRU report
+cache invalidated by logdir content fingerprints, per-tenant
+token-bucket quotas with a global backpressure cap, and a graceful
+SIGTERM drain.  ``repro serve`` on the command line, or
+:func:`repro.api.serve` / :func:`run_service` from Python.  The full
+endpoint and operational reference lives in ``docs/SERVICE.md``.
+"""
+
+from repro.serve.cache import (
+    CachedResponse,
+    ReportCache,
+    logdir_fingerprint,
+    request_key,
+)
+from repro.serve.coalesce import Coalescer
+from repro.serve.http import HttpError, Request
+from repro.serve.quotas import Backpressure, QuotaRegistry, TokenBucket
+from repro.serve.router import Route, Router
+from repro.serve.server import (
+    DiagnosisService,
+    ServeReport,
+    ServiceConfig,
+    run_service,
+)
+
+__all__ = [
+    "Backpressure",
+    "CachedResponse",
+    "Coalescer",
+    "DiagnosisService",
+    "HttpError",
+    "QuotaRegistry",
+    "ReportCache",
+    "Request",
+    "Route",
+    "Router",
+    "ServeReport",
+    "ServiceConfig",
+    "TokenBucket",
+    "logdir_fingerprint",
+    "request_key",
+    "run_service",
+]

@@ -1,0 +1,75 @@
+"""Request coalescing: identical concurrent requests share one run.
+
+During an incident the same diagnosis is requested by many operators
+(and dashboards) at once; running the pipeline once per request would
+melt the executor for identical answers.  The :class:`Coalescer` keys
+each in-flight computation by the request's canonical key (see
+:func:`repro.serve.cache.request_key` -- logdir content fingerprint +
+window + analyses + error_policy + platform): the first arrival becomes
+the **leader** and actually computes, every later identical arrival
+becomes a **follower** that awaits the leader's future and receives the
+same result object -- hence byte-identical response bodies.
+
+The in-flight table is scoped to the event loop (no locks needed:
+entries are created and removed between awaits), and an entry is
+removed *before* the leader's result is delivered, so a request
+arriving after completion starts a fresh run -- coalescing is strictly
+about concurrency, never staleness; staleness is the report cache's
+job.  A leader's failure propagates to every follower (they would have
+failed identically), and the failed key is removed so the next arrival
+retries fresh.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Single-flight execution keyed by canonical request key."""
+
+    def __init__(self) -> None:
+        self._in_flight: dict[str, asyncio.Future] = {}
+        #: total requests that joined an existing flight (the
+        #: coalesce-rate numerator; mirrored to ``serve.coalesced``)
+        self.coalesced = 0
+        #: total flights actually started
+        self.flights = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Currently open flights (the ``serve.in_flight`` gauge)."""
+        return len(self._in_flight)
+
+    async def run(self, key: str,
+                  compute: Callable[[], Awaitable]) -> tuple[object, bool]:
+        """Run ``compute`` once per concurrent ``key``.
+
+        Returns ``(result, joined)`` -- ``joined`` is True for a
+        follower that shared a leader's run.  Exceptions propagate to
+        leader and followers alike.
+        """
+        existing = self._in_flight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return await asyncio.shield(existing), True
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._in_flight[key] = future
+        self.flights += 1
+        try:
+            result = await compute()
+        except BaseException as exc:
+            future.set_exception(exc)
+            # a follower may never come; don't warn about un-retrieved
+            # exceptions for a future only the leader saw
+            future.exception()
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            # remove before delivery: later arrivals must start fresh
+            self._in_flight.pop(key, None)

@@ -1,0 +1,70 @@
+"""Route table: (method, path) -> named handler, 404/405 separated.
+
+A deliberately small exact-match router -- the service's paths carry no
+wildcards, so matching is a dict lookup.  What it adds over a bare dict
+is the part operators see: a wrong *method* on a known path answers
+405 with an ``Allow`` header, an unknown path answers 404 listing
+nothing, and every route carries a short ``name`` used as the metrics
+suffix (``serve.latency.<name>``), keeping the obs series stable even
+if a path is ever renamed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+from repro.serve.http import HttpError, Request
+
+__all__ = ["Route", "Router"]
+
+#: a handler takes the parsed request and returns response bytes --
+#: or None when it wrote the (streaming) response itself
+Handler = Callable[..., Awaitable]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One endpoint: method + exact path + handler + metrics name."""
+
+    method: str
+    path: str
+    handler: Handler
+    #: short stable identifier for metrics and logs (e.g. ``diagnose``)
+    name: str
+    #: streaming routes write the response themselves (chunked)
+    streaming: bool = False
+
+
+class Router:
+    """Exact-match route table with correct 404/405 semantics."""
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[str, str], Route] = {}
+        self._paths: dict[str, set[str]] = {}
+
+    def add(self, method: str, path: str, handler: Handler, name: str,
+            streaming: bool = False) -> None:
+        """Register one route; duplicate (method, path) is a bug."""
+        key = (method.upper(), path)
+        if key in self._routes:
+            raise ValueError(f"duplicate route {method} {path}")
+        self._routes[key] = Route(method.upper(), path, handler, name,
+                                  streaming)
+        self._paths.setdefault(path, set()).add(method.upper())
+
+    def resolve(self, request: Request) -> Route:
+        """The route for a request; HttpError(404/405) otherwise."""
+        route = self._routes.get((request.method.upper(), request.path))
+        if route is not None:
+            return route
+        allowed = self._paths.get(request.path)
+        if allowed:
+            raise HttpError(
+                405, f"{request.method} not allowed on {request.path}",
+                headers={"Allow": ", ".join(sorted(allowed))})
+        raise HttpError(404, f"no such endpoint {request.path}")
+
+    def routes(self) -> list[Route]:
+        """Every registered route (stable order: path, then method)."""
+        return [self._routes[key] for key in sorted(self._routes)]

@@ -173,7 +173,7 @@ class WatchCheckpoint:
                         window_days: int, error_policy: str) -> None:
         """Reject a resume whose configuration contradicts the record.
 
-        Window geometry and error policy both change what every window
+        Window geometry and ``error_policy`` both change what every window
         report contains; silently mixing them would produce an artifact
         that matches *neither* configuration's batch run.
         """

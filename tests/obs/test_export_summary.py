@@ -27,3 +27,26 @@ class TestTruncatedTailHighlight:
         text = render_summary(metrics=metrics_snapshot(
             **{"journal.truncated_tail": 1}))
         assert "journal.truncated_tail" in text
+
+
+class TestServeHighlight:
+    def test_hit_rate_and_coalescing_summarised(self):
+        text = render_summary(metrics=metrics_snapshot(
+            **{"serve.cache.hit": 9, "serve.cache.miss": 1,
+               "serve.coalesced": 5}))
+        assert "report-cache hit rate 90.0%" in text
+        assert "(9 hits / 1 misses)" in text
+        assert "5 coalesced" in text
+        assert "rejected" not in text
+
+    def test_rejections_appended_when_present(self):
+        text = render_summary(metrics=metrics_snapshot(
+            **{"serve.cache.hit": 1, "serve.cache.miss": 1,
+               "serve.quota.rejected": 3,
+               "serve.backpressure.rejected": 2}))
+        assert "5 rejected (quota/backpressure)" in text
+
+    def test_silent_without_service_traffic(self):
+        text = render_summary(metrics=metrics_snapshot(
+            **{"stream.polls": 40}))
+        assert "service:" not in text

@@ -1,0 +1,96 @@
+"""Fixtures and helpers for the diagnosis-service tests.
+
+Tests here run the real :class:`~repro.serve.DiagnosisService` on an
+ephemeral port inside ``asyncio.run`` (no event-loop plugin needed) and
+talk real HTTP/1.1 to it over ``asyncio.open_connection`` -- the full
+socket path, not handler calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+import pytest
+
+from repro.logs.record import LogBus, LogRecord, LogSource
+from repro.logs.store import LogStore
+from repro.simul.clock import DAY, SimClock
+
+
+def serve_bus(days: int = 3) -> LogBus:
+    """A compact multi-day, multi-source record set (cf. stream tests)."""
+    bus = LogBus()
+    for day in range(days):
+        t0 = day * DAY
+        bus.emit(LogRecord(t0 + 3600.0, LogSource.CONSOLE, "c0-0c0s0n0",
+                           "mce", {"bank": 1, "status": "ff"}))
+        bus.emit(LogRecord(t0 + 4000.0, LogSource.MESSAGES, "c0-0c0s0n0",
+                           "nhc_suspect", {"why": "t"}))
+        bus.emit(LogRecord(t0 + 5000.0, LogSource.ERD, "erd",
+                           "ec_heartbeat_stop", {"src": "c0-0c0s0n1"}))
+        bus.emit(LogRecord(t0 + 6000.0, LogSource.CONTROLLER, "c0-0c0s0",
+                           "nvf", {"node": f"c0-0c0s{day}n1"}))
+        bus.emit(LogRecord(t0 + 7000.0, LogSource.CONTROLLER, "c0-0c0s0",
+                           "nhf", {"node": f"c0-0c0s{day}n2"}))
+        bus.emit(LogRecord(t0 + 8000.0, LogSource.SCHEDULER, "sdb",
+                           "slurm_submit", {"job": day}))
+        bus.emit(LogRecord(t0 + 9500.0, LogSource.CONSOLE, "c0-0c0s0n0",
+                           "kernel_panic", {"why": "Fatal exception"}))
+    return bus
+
+
+@pytest.fixture
+def service_root(tmp_path) -> Path:
+    """A service root holding one store under ``logs/``."""
+    store = LogStore(tmp_path / "logs")
+    store.write(serve_bus(3), SimClock(), system="TT", seed=1,
+                duration_seconds=3 * DAY)
+    return tmp_path
+
+
+async def http_request(host: str, port: int, method: str, path: str,
+                       body: bytes = b"", headers=None,
+                       read_body: bool = True):
+    """One real HTTP/1.1 request; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    head = (f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+            f"Content-Length: {len(body)}\r\n")
+    for name, value in (headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    writer.write(head.encode("latin-1") + b"\r\n" + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    response_headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    data = b""
+    if read_body:
+        if response_headers.get("transfer-encoding") == "chunked":
+            while True:
+                size_line = await reader.readline()
+                size = int(size_line.strip() or b"0", 16)
+                if size == 0:
+                    await reader.readline()
+                    break
+                data += await reader.readexactly(size)
+                await reader.readexactly(2)  # trailing CRLF
+        else:
+            length = int(response_headers.get("content-length", 0))
+            data = await reader.readexactly(length)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    return status, response_headers, data
+
+
+def run(coro):
+    """asyncio.run with a sane per-test ceiling."""
+    return asyncio.run(asyncio.wait_for(coro, timeout=120))

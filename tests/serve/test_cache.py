@@ -1,0 +1,135 @@
+"""Report cache: fingerprint freshness, canonical keys, LRU mechanics."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.serve.cache import (
+    CachedResponse,
+    ReportCache,
+    logdir_fingerprint,
+    request_key,
+)
+
+
+def touch_store(root, content=b"x"):
+    """Append to the store's first log file, guaranteeing new mtime."""
+    path = sorted(p for p in root.rglob("*.log") if p.is_file())[0]
+    with path.open("ab") as fh:
+        fh.write(content)
+    # appended bytes change size; force a distinct mtime too so the
+    # fingerprint moves even inside one timer tick
+    stat = path.stat()
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+
+class TestLogdirFingerprint:
+    def test_stable_for_unchanged_dir(self, service_root):
+        logs = service_root / "logs"
+        assert logdir_fingerprint(logs) == logdir_fingerprint(logs)
+
+    def test_appended_line_changes_fingerprint(self, service_root):
+        logs = service_root / "logs"
+        before = logdir_fingerprint(logs)
+        touch_store(logs, b"2099-01-01 injected line\n")
+        assert logdir_fingerprint(logs) != before
+
+    def test_parse_cache_artifacts_do_not_invalidate(self, service_root):
+        logs = service_root / "logs"
+        before = logdir_fingerprint(logs)
+        derived = logs / ".parse-cache"
+        derived.mkdir()
+        (derived / "entry.bin").write_bytes(b"cache artifact")
+        quarantine = logs / "quarantine"
+        quarantine.mkdir()
+        (quarantine / "console.bad").write_bytes(b"bad line")
+        assert logdir_fingerprint(logs) == before
+
+    def test_platform_changes_fingerprint(self, service_root):
+        logs = service_root / "logs"
+        assert logdir_fingerprint(logs, "cray-xc") \
+            != logdir_fingerprint(logs, "bgq-ras")
+
+
+class TestRequestKey:
+    def test_same_parameters_same_key(self, tmp_path):
+        kwargs = dict(endpoint="diagnose", window_days=None,
+                      stride_days=None, only=("swos", "dominance"),
+                      error_policy="skip", platform=None)
+        assert request_key(tmp_path, "f1", **kwargs) \
+            == request_key(tmp_path, "f1", **kwargs)
+
+    def test_only_order_is_canonical(self, tmp_path):
+        a = request_key(tmp_path, "f1", endpoint="diagnose",
+                        only=("swos", "dominance"))
+        b = request_key(tmp_path, "f1", endpoint="diagnose",
+                        only=("dominance", "swos"))
+        assert a == b
+
+    def test_every_dimension_changes_the_key(self, tmp_path):
+        base = request_key(tmp_path, "f1", endpoint="diagnose")
+        variants = [
+            request_key(tmp_path, "f2", endpoint="diagnose"),
+            request_key(tmp_path, "f1", endpoint="windowed"),
+            request_key(tmp_path, "f1", endpoint="diagnose", window_days=7),
+            request_key(tmp_path, "f1", endpoint="diagnose",
+                        error_policy="strict"),
+            request_key(tmp_path, "f1", endpoint="diagnose",
+                        platform="bgq-ras"),
+            request_key(tmp_path, "f1", endpoint="diagnose",
+                        only=("swos",)),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+
+class TestReportCache:
+    def test_get_put_roundtrip_and_counters(self):
+        cache = ReportCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", CachedResponse(b"body", "/d", "f1"))
+        entry = cache.get("k")
+        assert entry is not None and entry.body == b"body"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_new_fingerprint_purges_stale_same_logdir(self):
+        cache = ReportCache(max_entries=8)
+        cache.put("k1", CachedResponse(b"old1", "/d", "f1"))
+        cache.put("k2", CachedResponse(b"old2", "/d", "f1"))
+        cache.put("other", CachedResponse(b"other", "/e", "f9"))
+        cache.put("k3", CachedResponse(b"new", "/d", "f2"))
+        assert cache.get("k1") is None
+        assert cache.get("k2") is None
+        assert cache.get("k3").body == b"new"
+        assert cache.get("other").body == b"other"  # unrelated dir survives
+        assert cache.invalidated == 2
+
+    def test_lru_eviction_order(self):
+        cache = ReportCache(max_entries=2)
+        cache.put("a", CachedResponse(b"a", "/a", "f"))
+        cache.put("b", CachedResponse(b"b", "/b", "f"))
+        assert cache.get("a") is not None  # freshen a
+        cache.put("c", CachedResponse(b"c", "/c", "f"))
+        assert cache.get("b") is None  # b was least recently used
+        assert cache.get("a") is not None
+        assert cache.evicted == 1
+
+    def test_invalidate_logdir_and_clear(self):
+        cache = ReportCache(max_entries=8)
+        cache.put("k1", CachedResponse(b"1", "/d", "f1"))
+        cache.put("k2", CachedResponse(b"2", "/e", "f1"))
+        assert cache.invalidate_logdir("/d") == 1
+        assert cache.get("k1") is None
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReportCache(max_entries=0)
+
+    def test_stats_shape(self):
+        stats = ReportCache().stats()
+        assert set(stats) == {"entries", "max_entries", "hits", "misses",
+                              "hit_rate", "invalidated", "evicted"}

@@ -1,0 +1,94 @@
+"""CLI service smoke (tier: serve): a real ``repro serve`` process.
+
+The run_ci.sh serve tier: start the service as a subprocess, diagnose
+over real HTTP twice (asserting the second answer is a byte-identical
+cache hit), then SIGTERM it mid-lifetime and assert a clean drain
+(exit 0, summary printed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.serve
+
+DEADLINE = 60.0
+
+
+def raw_request(host: str, port: int, method: str, path: str,
+                body: bytes = b"") -> tuple[int, dict, bytes]:
+    """One HTTP/1.1 request over a plain socket (no client library)."""
+    with socket.create_connection((host, port), timeout=DEADLINE) as sock:
+        sock.sendall(
+            f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+            .encode() + body)
+        data = b""
+        while chunk := sock.recv(65536):
+            data += chunk
+    head, _, payload = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, payload
+
+
+def test_serve_process_diagnoses_caches_and_drains_on_sigterm(
+        service_root):
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(src), env.get("PYTHONPATH", "")]))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(service_root),
+         "--port", "0", "--max-workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    try:
+        announce = proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", announce)
+        assert match, f"no announce line, got {announce!r}"
+        host, port = match.group(1), int(match.group(2))
+
+        body = json.dumps({"logdir": "logs"}).encode()
+        status, headers, first = raw_request(host, port, "POST",
+                                             "/v1/diagnose", body)
+        assert status == 200, first
+        assert headers["x-cache"] == "miss"
+        status, headers, second = raw_request(host, port, "POST",
+                                              "/v1/diagnose", body)
+        assert status == 200
+        assert headers["x-cache"] == "hit"
+        assert first == second  # byte-identical warm answer
+
+        status, _, health = raw_request(host, port, "GET", "/v1/health")
+        assert status == 200
+        parsed = json.loads(health)
+        assert parsed["cache"]["hits"] == 1
+
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=DEADLINE)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    assert proc.returncode == 0, stdout + stderr
+    assert "drained cleanly" in stdout
+    assert "1 hits / 1 misses" in stdout
+    # the port is actually closed after drain
+    time.sleep(0.1)
+    with pytest.raises(OSError):
+        socket.create_connection((host, port), timeout=2)

@@ -1,0 +1,123 @@
+"""Single-flight coalescing: one run per concurrent identical key."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+class TestCoalescer:
+    def test_concurrent_identical_keys_share_one_run(self):
+        async def go():
+            coalescer = Coalescer()
+            runs = 0
+            release = asyncio.Event()
+
+            async def compute():
+                nonlocal runs
+                runs += 1
+                await release.wait()
+                return {"answer": runs}
+
+            tasks = [asyncio.create_task(coalescer.run("k", compute))
+                     for _ in range(8)]
+            await asyncio.sleep(0)  # let every task reach the coalescer
+            release.set()
+            results = await asyncio.gather(*tasks)
+            return runs, results, coalescer
+
+        runs, results, coalescer = run(go())
+        assert runs == 1
+        assert coalescer.flights == 1
+        assert coalescer.coalesced == 7
+        values = [value for value, _ in results]
+        assert all(value is values[0] for value in values)
+        assert sum(1 for _, joined in results if not joined) == 1
+
+    def test_distinct_keys_run_separately(self):
+        async def go():
+            coalescer = Coalescer()
+            seen = []
+
+            async def compute_for(key):
+                async def compute():
+                    seen.append(key)
+                    return key
+                return await coalescer.run(key, compute)
+
+            await asyncio.gather(compute_for("a"), compute_for("b"))
+            return seen, coalescer
+
+        seen, coalescer = run(go())
+        assert sorted(seen) == ["a", "b"]
+        assert coalescer.flights == 2
+        assert coalescer.coalesced == 0
+
+    def test_sequential_same_key_runs_twice(self):
+        async def go():
+            coalescer = Coalescer()
+            runs = 0
+
+            async def compute():
+                nonlocal runs
+                runs += 1
+                return runs
+
+            first, _ = await coalescer.run("k", compute)
+            second, _ = await coalescer.run("k", compute)
+            return first, second, coalescer
+
+        first, second, coalescer = run(go())
+        assert (first, second) == (1, 2)
+        assert coalescer.flights == 2
+
+    def test_leader_failure_reaches_every_follower(self):
+        async def go():
+            coalescer = Coalescer()
+            release = asyncio.Event()
+
+            async def compute():
+                await release.wait()
+                raise RuntimeError("pipeline exploded")
+
+            tasks = [asyncio.create_task(coalescer.run("k", compute))
+                     for _ in range(3)]
+            await asyncio.sleep(0)
+            release.set()
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            return outcomes, coalescer
+
+        outcomes, coalescer = run(go())
+        assert len(outcomes) == 3
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+        # the failed flight is gone: a retry starts fresh
+        assert coalescer.in_flight == 0
+
+    def test_failure_then_retry_starts_fresh(self):
+        async def go():
+            coalescer = Coalescer()
+            attempts = 0
+
+            async def compute():
+                nonlocal attempts
+                attempts += 1
+                if attempts == 1:
+                    raise RuntimeError("transient")
+                return "recovered"
+
+            with pytest.raises(RuntimeError):
+                await coalescer.run("k", compute)
+            value, joined = await coalescer.run("k", compute)
+            return value, joined, attempts
+
+        value, joined, attempts = run(go())
+        assert value == "recovered"
+        assert not joined
+        assert attempts == 2

@@ -1,0 +1,111 @@
+"""Quotas and backpressure: deterministic token buckets, honest 429s."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.http import HttpError
+from repro.serve.quotas import Backpressure, QuotaRegistry, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert all(bucket.try_acquire()[0] for _ in range(3))
+        ok, wait = bucket.try_acquire()
+        assert not ok
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_is_lazy_and_capped(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.advance(100.0)  # refill far past the cap
+        assert bucket.try_acquire()[0]
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+    def test_partial_refill_waits_the_remainder(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        clock.advance(0.25)
+        ok, wait = bucket.try_acquire()
+        assert not ok
+        assert wait == pytest.approx(0.75)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestQuotaRegistry:
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quotas = QuotaRegistry(rate=1.0, burst=1, clock=clock)
+        quotas.admit("alice")
+        with pytest.raises(HttpError):
+            quotas.admit("alice")
+        quotas.admit("bob")  # bob's bucket is untouched
+        assert quotas.stats()["tenants"] == 2
+        assert quotas.rejected == 1
+
+    def test_429_carries_retry_after_rounded_up(self):
+        clock = FakeClock()
+        quotas = QuotaRegistry(rate=0.4, burst=1, clock=clock)
+        quotas.admit("t")
+        with pytest.raises(HttpError) as excinfo:
+            quotas.admit("t")
+        assert excinfo.value.status == 429
+        retry_after = int(excinfo.value.headers["Retry-After"])
+        assert retry_after >= 1  # 2.5s wait rounds up to 3, never 0
+        assert retry_after == 3
+
+    def test_refill_admits_again(self):
+        clock = FakeClock()
+        quotas = QuotaRegistry(rate=1.0, burst=1, clock=clock)
+        quotas.admit("t")
+        clock.advance(1.5)
+        quotas.admit("t")  # no raise
+
+
+class TestBackpressure:
+    def test_cap_rejects_with_429(self):
+        gate = Backpressure(max_pending=2)
+        first = gate.admit()
+        gate.admit()
+        with pytest.raises(HttpError) as excinfo:
+            gate.admit()
+        assert excinfo.value.status == 429
+        assert "Retry-After" in excinfo.value.headers
+        assert gate.rejected == 1
+        with first:
+            pass  # context exit releases the slot...
+        gate.admit()  # ...so admission works again
+        assert gate.peak == 2
+
+    def test_slot_released_on_exception(self):
+        gate = Backpressure(max_pending=1)
+        with pytest.raises(RuntimeError):
+            with gate.admit():
+                raise RuntimeError("work failed")
+        gate.admit()  # slot came back
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            Backpressure(max_pending=0)

@@ -1,0 +1,153 @@
+"""The wire contract: DiagnoseRequest/ServiceResponse round-trips.
+
+ISSUE 10's API-surface satellite: the frozen request/response
+dataclasses round-trip through canonical JSON, every ``repro.api``
+entry point accepts either kwargs or a request object (with identical
+results), and ``api.report_schema()`` is a stable machine-readable
+description of :class:`DiagnosisReport`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.core.serialize import canonical_json, to_jsonable
+
+
+class TestDiagnoseRequest:
+    def test_canonical_round_trip(self):
+        request = api.DiagnoseRequest(
+            logdir="logs/s1", window_days=7, stride_days=3,
+            only=("swos", "dominance"), error_policy="quarantine",
+            platform="cray-xc", cache=True)
+        wire = json.loads(request.canonical())
+        assert api.DiagnoseRequest.from_wire(wire) == request
+        # canonical text is deterministic: sorted keys, no whitespace
+        assert request.canonical() == canonical_json(request.to_wire())
+        assert " " not in request.canonical()
+
+    def test_defaults_round_trip(self):
+        request = api.DiagnoseRequest(logdir="logs/s1")
+        assert api.DiagnoseRequest.from_wire(
+            json.loads(request.canonical())) == request
+
+    def test_unknown_field_is_rejected_loudly(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            api.DiagnoseRequest.from_wire({"logdir": "x", "policy": "skip"})
+
+    def test_missing_logdir_is_rejected(self):
+        with pytest.raises(ValueError, match="logdir"):
+            api.DiagnoseRequest.from_wire({"window_days": 7})
+
+    def test_error_policy_is_coerced_to_wire_spelling(self):
+        from repro.logs.health import ErrorPolicy
+
+        request = api.DiagnoseRequest(logdir="x",
+                                      error_policy=ErrorPolicy.STRICT)
+        assert request.error_policy == "strict"
+
+    def test_stride_without_window_is_rejected(self):
+        with pytest.raises(ValueError, match="stride_days"):
+            api.DiagnoseRequest(logdir="x", stride_days=2)
+
+    def test_only_normalizes_to_tuple(self):
+        request = api.DiagnoseRequest(logdir="x", only=["a", "b"])
+        assert request.only == ("a", "b")
+
+    def test_non_wire_cache_value_is_rejected(self):
+        with pytest.raises(TypeError, match="cache"):
+            api.DiagnoseRequest(logdir="x", cache=object())
+
+
+class TestServiceResponse:
+    def test_canonical_round_trip(self):
+        response = api.ServiceResponse(
+            status=200, kind="report", body='{"a":1}',
+            cached=True, coalesced=False, key="abc")
+        assert api.ServiceResponse.from_wire(
+            json.loads(response.canonical())) == response
+        assert response.payload() == {"a": 1}
+        assert response.body_bytes == b'{"a":1}'
+
+    def test_unknown_field_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown response field"):
+            api.ServiceResponse.from_wire(
+                {"status": 200, "kind": "report", "body": "{}",
+                 "surprise": 1})
+
+
+class TestRequestObjectEntryPoints:
+    def test_diagnose_accepts_request_object(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        request = api.DiagnoseRequest(logdir=str(store.root))
+        via_request = api.diagnose(request)
+        via_kwargs = api.diagnose(store.root)
+        assert canonical_json(via_request) == canonical_json(via_kwargs)
+
+    def test_diagnose_windowed_takes_geometry_from_request(
+            self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        request = api.DiagnoseRequest(logdir=str(store.root), window_days=7)
+        via_request = api.diagnose_windowed(request)
+        via_kwargs = api.diagnose_windowed(store.root, window_days=7)
+        assert [(w.start_day, w.end_day) for w in via_request] \
+            == [(w.start_day, w.end_day) for w in via_kwargs]
+        assert canonical_json([w.report for w in via_request]) \
+            == canonical_json([w.report for w in via_kwargs])
+
+    def test_conflicting_kwargs_are_a_type_error(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        request = api.DiagnoseRequest(logdir=str(store.root))
+        with pytest.raises(TypeError, match="error_policy"):
+            api.diagnose(request, error_policy="strict")
+
+    def test_windowed_request_on_diagnose_is_rejected(
+            self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        request = api.DiagnoseRequest(logdir=str(store.root), window_days=7)
+        with pytest.raises(ValueError, match="diagnose_windowed"):
+            api.diagnose(request)
+
+    def test_windowed_without_geometry_anywhere_is_rejected(
+            self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with pytest.raises(TypeError, match="window_days"):
+            api.diagnose_windowed(str(store.root))
+
+
+class TestReportSchema:
+    def test_schema_is_stable_and_canonical(self):
+        first = api.report_schema()
+        second = api.report_schema()
+        assert canonical_json(first) == canonical_json(second)
+        assert first["title"] == "DiagnosisReport"
+        assert first["type"] == "object"
+
+    def test_schema_covers_every_report_field(self):
+        import dataclasses
+
+        schema = api.report_schema()
+        field_names = {f.name for f in
+                       dataclasses.fields(api.DiagnosisReport)}
+        assert set(schema["properties"]) == field_names
+
+    def test_report_payload_matches_schema_types(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        schema = api.report_schema()
+        payload = to_jsonable(api.diagnose(store.root))
+        for name, spec in schema["properties"].items():
+            value = payload.get(name)
+            kinds = spec.get("type")
+            if value is None or kinds is None:
+                continue
+            kinds = [kinds] if isinstance(kinds, str) else kinds
+            python_kinds = {"array": list, "object": dict,
+                            "string": str, "boolean": bool,
+                            "integer": int, "number": (int, float)}
+            allowed = tuple(python_kinds[k] for k in kinds
+                            if k in python_kinds)
+            if allowed:
+                assert isinstance(value, allowed), (name, type(value))

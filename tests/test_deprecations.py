@@ -55,6 +55,72 @@ class TestLegacyPolicyKwarg:
             HolisticDiagnosis.from_store(store, error_policy="skip")
 
 
+class TestLegacyPositionalOptions:
+    """ISSUE 10: options are keyword-only; positionals warn and forward."""
+
+    def test_parallel_read_positional_warns_and_forwards(
+            self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with pytest.warns(DeprecationWarning, match="positional"):
+            legacy = parallel_read(store, 2, True, "skip")
+        modern = parallel_read(store, workers=2, force_parallel=True,
+                               error_policy="skip")
+        assert {s: len(records) for s, records in legacy.items()} \
+            == {s: len(records) for s, records in modern.items()}
+
+    def test_diagnosis_inputs_positional_warns_and_forwards(
+            self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with pytest.warns(DeprecationWarning, match="positional"):
+            internal, external, sched = diagnosis_inputs(store, None, False,
+                                                         "skip")
+        modern = diagnosis_inputs(store, error_policy="skip")
+        assert (len(internal), len(external), len(sched)) \
+            == tuple(len(stream) for stream in modern)
+
+    def test_from_store_positional_warns_and_forwards(
+            self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with pytest.warns(DeprecationWarning, match="positional"):
+            legacy = HolisticDiagnosis.from_store(store, "skip")
+        modern = HolisticDiagnosis.from_store(store, error_policy="skip")
+        assert len(legacy.failures) == len(modern.failures)
+
+    def test_too_many_positionals_is_a_type_error(self, diagnosed_scenario):
+        _, _, store = diagnosed_scenario
+        with pytest.raises(TypeError, match="positional argument"):
+            parallel_read(store, None, False, "skip", None, "extra")
+
+
+class TestUnifiedErrorPolicyMessages:
+    """ISSUE 10: every refusal names the unified knob ``error_policy``."""
+
+    def test_coerce_message_says_error_policy(self):
+        with pytest.raises(ValueError, match="unknown error_policy"):
+            ErrorPolicy.coerce("explode")
+
+    def test_api_diagnose_bad_policy_says_error_policy(self, tmp_path):
+        from repro import api
+
+        with pytest.raises(ValueError, match="unknown error_policy"):
+            api.DiagnoseRequest(logdir=str(tmp_path), error_policy="nope")
+
+    def test_checkpoint_resume_mismatch_says_error_policy(self, tmp_path):
+        from repro.stream.checkpoint import (
+            CheckpointError,
+            WatchCheckpoint,
+            WatchState,
+        )
+
+        checkpoint = WatchCheckpoint(tmp_path)
+        state = WatchState()
+        state.started = True
+        state.config = {"window_days": 1, "error_policy": "skip"}
+        with pytest.raises(CheckpointError, match="error_policy="):
+            checkpoint.check_resumable(state, window_days=1,
+                                       error_policy="strict")
+
+
 class TestModuleAliases:
     def test_source_dependent_analyses_warns_and_forwards(self):
         from repro.core import analysis, pipeline
